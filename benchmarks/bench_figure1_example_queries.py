@@ -1,0 +1,33 @@
+"""Figure 1 — the example database and queries q1/q2/q3.
+
+Regenerates the results of the paper's example queries on the exact
+Figure 1 instance and times their execution through the full pipeline.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.workloads.forum import Q1, Q3
+
+
+def test_q1_union_of_messages_and_imports(benchmark, forum_db):
+    result = benchmark(forum_db.execute, Q1)
+    assert sorted(result.rows, key=repr) == [
+        (1, "lorem ipsum ..."),
+        (2, "hello ..."),
+        (3, "I don't ..."),
+        (4, "hi there ..."),
+    ]
+    print_table("Figure 1: q1 result", result.columns, sorted(result.rows))
+
+
+def test_q2_view_is_queryable(benchmark, forum_db):
+    result = benchmark(forum_db.execute, "SELECT mId, text FROM v1")
+    assert len(result) == 4
+
+
+def test_q3_approval_counts(benchmark, forum_db):
+    result = benchmark(forum_db.execute, Q3)
+    assert sorted(result.rows) == [(1, "hello ..."), (3, "hi there ...")]
+    print_table("Figure 1: q3 result", result.columns, sorted(result.rows))

@@ -1,0 +1,86 @@
+"""Lazy vs eager provenance computation.
+
+The paper (§1): a user can "decide whether he will store the provenance
+of a query for later reuse or let the system compute it on the fly".
+This bench quantifies the trade-off: eager pays materialization once and
+then answers provenance retrievals from the stored relation; lazy pays
+the full rewrite+execution on every retrieval. The reproduced shape:
+eager wins as soon as provenance is retrieved repeatedly.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import print_table
+
+from repro.workloads.forum import scaled_forum_db
+
+PROV_SQL = (
+    "SELECT PROVENANCE v1.mId, text, count(*) AS approvals "
+    "FROM v1 JOIN approved a ON v1.mId = a.mId GROUP BY v1.mId, text"
+)
+RETRIEVAL_FILTER = " WHERE prov_approved_uid = 7"
+
+
+def _fresh_db():
+    return scaled_forum_db(messages=200, users=40, imports=100, approvals_per_message=3)
+
+
+def test_lazy_retrieval(benchmark):
+    """Every retrieval recomputes provenance on the fly."""
+    db = _fresh_db()
+
+    def lazy():
+        return db.execute(
+            f"SELECT * FROM ({PROV_SQL}) AS p{RETRIEVAL_FILTER}"
+        )
+
+    result = benchmark(lazy)
+    assert len(result) > 0
+
+
+def test_eager_retrieval(benchmark):
+    """Provenance stored once; retrievals read the materialized table."""
+    db = _fresh_db()
+    db.execute(f"CREATE TABLE prov_store AS {PROV_SQL}")
+
+    def eager():
+        return db.execute(f"SELECT * FROM prov_store{RETRIEVAL_FILTER}")
+
+    result = benchmark(eager)
+    assert len(result) > 0
+
+
+def test_breakeven_report():
+    """Materialization cost vs per-retrieval savings: print the
+    break-even retrieval count."""
+    db = _fresh_db()
+
+    start = time.perf_counter()
+    lazy_result = db.execute(f"SELECT * FROM ({PROV_SQL}) AS p{RETRIEVAL_FILTER}")
+    lazy_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    db.execute(f"CREATE TABLE prov_store AS {PROV_SQL}")
+    materialize_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    eager_result = db.execute(f"SELECT * FROM prov_store{RETRIEVAL_FILTER}")
+    eager_seconds = time.perf_counter() - start
+
+    assert sorted(eager_result.rows, key=repr) == sorted(lazy_result.rows, key=repr)
+    saving = max(lazy_seconds - eager_seconds, 1e-9)
+    breakeven = materialize_seconds / saving
+    print_table(
+        "Lazy vs eager provenance",
+        ["metric", "value"],
+        [
+            ("lazy retrieval", f"{lazy_seconds * 1000:.2f} ms"),
+            ("materialization (once)", f"{materialize_seconds * 1000:.2f} ms"),
+            ("eager retrieval", f"{eager_seconds * 1000:.2f} ms"),
+            ("break-even retrievals", f"{breakeven:.1f}"),
+        ],
+    )
+    # Eager retrieval must beat lazy recomputation per retrieval.
+    assert eager_seconds < lazy_seconds

@@ -1,0 +1,74 @@
+"""Provenance-computation overhead by query class.
+
+The demo paper's companion evaluation measures, on TPC-H, how much more
+expensive the rewritten provenance query is than the original, per query
+class. We reproduce the *shape* on the TPC-H-like generator:
+
+* SPJ: small constant factor (tuples merely widen);
+* AGG: one extra (hash) join back to the input;
+* SET: padding + bag union, or join-back;
+* NESTED: unnesting turns per-row sublinks into joins — provenance can
+  even be *faster* than the original correlated query.
+
+Absolute numbers are a pure-Python interpreter's, not a patched
+PostgreSQL's; the ordering and rough ratios are the reproduced result.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from conftest import print_table
+
+from repro.workloads.queries import QUERY_CLASSES, with_provenance
+
+_RESULTS: dict[str, tuple[float, float]] = {}
+
+
+def _flat_cases():
+    for class_name, queries in QUERY_CLASSES.items():
+        for name, sql in queries.items():
+            yield class_name, name, sql
+
+
+@pytest.mark.parametrize(
+    "class_name,name,sql",
+    list(_flat_cases()),
+    ids=[f"{c}:{n}" for c, n, _ in _flat_cases()],
+)
+def test_provenance_overhead(benchmark, tpch_db, class_name, name, sql):
+    prov_sql = with_provenance(sql)
+
+    start = time.perf_counter()
+    plain = tpch_db.execute(sql)
+    plain_seconds = time.perf_counter() - start
+
+    result = benchmark(tpch_db.execute, prov_sql)
+
+    # Correctness alongside timing: originals preserved.
+    width = len(plain.columns)
+    assert {tuple(r[:width]) for r in result.rows} == set(plain.rows)
+    try:
+        prov_seconds = benchmark.stats.stats.mean
+    except (AttributeError, TypeError):
+        # --benchmark-disable mode: fall back to a single manual timing.
+        start = time.perf_counter()
+        tpch_db.execute(prov_sql)
+        prov_seconds = time.perf_counter() - start
+    _RESULTS[f"{class_name}:{name}"] = (plain_seconds, prov_seconds)
+
+
+def test_zz_overhead_report(tpch_db):
+    """Prints the per-class overhead table after the sweep (run last)."""
+    if not _RESULTS:
+        pytest.skip("overhead benchmarks did not run")
+    rows = []
+    for key, (plain, prov) in sorted(_RESULTS.items()):
+        factor = prov / plain if plain > 0 else float("inf")
+        rows.append((key, f"{plain * 1000:.2f}", f"{prov * 1000:.2f}", f"{factor:.2f}x"))
+    print_table(
+        "Provenance overhead by query class (TPC-H-like)",
+        ["query", "original ms", "provenance ms", "factor"],
+        rows,
+    )

@@ -1,0 +1,54 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every benchmark regenerates one artifact of the paper (see DESIGN.md's
+per-experiment index). Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to also see the regenerated tables/figures printed inline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PermDB
+from repro.workloads.forum import create_forum_db, scaled_forum_db
+from repro.workloads.tpch import TpchConfig, create_tpch_db
+
+
+@pytest.fixture(scope="session")
+def forum_db() -> PermDB:
+    """The paper's Figure 1 database."""
+    return create_forum_db()
+
+
+@pytest.fixture(scope="session")
+def forum_db_large() -> PermDB:
+    """A scaled forum instance for timing-sensitive comparisons."""
+    return scaled_forum_db(messages=400, users=60, imports=200, approvals_per_message=3)
+
+
+@pytest.fixture(scope="session")
+def tpch_db() -> PermDB:
+    """TPC-H-like database at the default benchmark scale."""
+    return create_tpch_db(TpchConfig())
+
+
+@pytest.fixture(scope="session")
+def tpch_db_small() -> PermDB:
+    return create_tpch_db(TpchConfig().scale(0.25))
+
+
+def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
+    """Aligned table output for regenerated results (visible with -s)."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    print(f"\n== {title} ==")
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in cells:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))

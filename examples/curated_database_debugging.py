@@ -1,0 +1,129 @@
+"""Tracing errors in a curated database — the paper's motivating use case.
+
+"Provenance information is used in areas like curated databases, data
+warehouses and e-science to trace errors, estimate data quality and gain
+additional insights about data." (paper §1)
+
+Scenario: a curated protein annotation database integrates records from
+three upstream sources of varying quality. A downstream report shows a
+suspicious annotation; we use Perm's provenance to find which source
+records produced it, then assess how many report rows depend on the
+unreliable source — without any manual bookkeeping, because the
+provenance is computed from the queries themselves.
+
+Run:  python examples/curated_database_debugging.py
+"""
+
+from __future__ import annotations
+
+from repro import PermDB
+
+
+def build_curated_db() -> PermDB:
+    db = PermDB()
+    db.execute(
+        """
+        CREATE TABLE source_swiss (pid int, gene text, function text);
+        CREATE TABLE source_trembl (pid int, gene text, function text);
+        CREATE TABLE source_legacy (pid int, gene text, function text);
+        CREATE TABLE curators (cid int, name text, trusts text);
+        """
+    )
+    db.load_rows(
+        "source_swiss",
+        [
+            (1, "BRCA1", "DNA repair"),
+            (2, "TP53", "tumor suppression"),
+            (3, "EGFR", "signal transduction"),
+        ],
+    )
+    db.load_rows(
+        "source_trembl",
+        [
+            (3, "EGFR", "signal transduction"),
+            (4, "MYC", "transcription regulation"),
+        ],
+    )
+    db.load_rows(
+        "source_legacy",
+        [
+            (2, "TP53", "unknown"),          # stale annotation!
+            (5, "KRAS", "GTPase activity"),
+            (6, "ALK", "unknown"),           # stale annotation!
+        ],
+    )
+    db.load_rows("curators", [(1, "ada", "swiss"), (2, "ben", "legacy")])
+    # The curated view integrates all three sources (classic curated-DB
+    # shape: a union of cleaned upstream feeds).
+    db.execute(
+        """
+        CREATE VIEW annotations AS
+            SELECT pid, gene, function FROM source_swiss
+            UNION SELECT pid, gene, function FROM source_trembl
+            UNION SELECT pid, gene, function FROM source_legacy
+        """
+    )
+    return db
+
+
+def main() -> None:
+    db = build_curated_db()
+
+    print("The curated annotation view:")
+    print(db.execute("SELECT * FROM annotations ORDER BY pid, function").format(), "\n")
+
+    # A report flags genes annotated with 'unknown' function.
+    print("Suspicious report rows (function = 'unknown'):")
+    report = db.execute("SELECT gene FROM annotations WHERE function = 'unknown'")
+    print(report.format(), "\n")
+
+    # Step 1: which source produced each suspicious row?
+    print("Provenance of the suspicious rows — which source is to blame?")
+    prov = db.execute(
+        "SELECT PROVENANCE gene FROM annotations WHERE function = 'unknown'"
+    )
+    print(prov.format(), "\n")
+    blamed = [
+        relation
+        for relation in ("swiss", "trembl", "legacy")
+        for row in prov.rows
+        if any(
+            row[prov.schema.index_of(c)] is not None
+            for c in prov.provenance_attrs
+            if f"source_{relation}" in c
+        )
+    ]
+    print(f"-> every 'unknown' annotation traces to: source_{set(blamed).pop()}\n")
+
+    # Step 2: quantify exposure — how many curated rows depend on the
+    # legacy feed at all? Store the provenance eagerly and analyze it
+    # with ordinary SQL (the paper's "store provenance for later
+    # investigation").
+    db.execute(
+        "CREATE TABLE annotation_prov AS SELECT PROVENANCE pid, gene, function FROM annotations"
+    )
+    exposure = db.execute(
+        """
+        SELECT count(*) AS legacy_dependent
+        FROM annotation_prov
+        WHERE prov_source_legacy_pid IS NOT NULL
+        """
+    )
+    total = db.execute("SELECT count(*) FROM annotations")
+    print(
+        f"curated rows depending on the legacy feed: "
+        f"{exposure.rows[0][0]} of {total.rows[0][0]}"
+    )
+
+    # Step 3: where-provenance — was the *function string itself* copied
+    # from the legacy feed, or merely influenced by it?
+    copy_prov = db.execute(
+        "SELECT PROVENANCE ON CONTRIBUTION (COPY PARTIAL) function "
+        "FROM annotations WHERE gene = 'TP53'"
+    )
+    print("\nwhere-provenance of TP53's function values:")
+    print(copy_prov.format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Quickstart: the paper's running example, end to end.
+
+Builds the Figure 1 forum database, runs the example queries q1-q3, and
+computes the provenance of q1 — reproducing Figure 2 — plus the SQL-PLE
+variations of §2.4.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import PermDB
+
+
+def main() -> None:
+    db = PermDB()
+
+    # -- Figure 1: schema and data ---------------------------------------
+    db.execute(
+        """
+        CREATE TABLE messages (mId int, text text, uId int);
+        CREATE TABLE users (uId int, name text);
+        CREATE TABLE imports (mId int, text text, origin text);
+        CREATE TABLE approved (uId int, mId int);
+
+        INSERT INTO messages VALUES (1, 'lorem ipsum ...', 3), (4, 'hi there ...', 2);
+        INSERT INTO users VALUES (1, 'Bert'), (2, 'Gert'), (3, 'Gertrud');
+        INSERT INTO imports VALUES (2, 'hello ...', 'superForum'),
+                                   (3, 'I don''t ...', 'HiBoard');
+        INSERT INTO approved VALUES (2, 2), (1, 4), (2, 4), (3, 4);
+        """
+    )
+
+    # -- q1: all messages, entered or imported ---------------------------
+    q1 = "SELECT mId, text FROM messages UNION SELECT mId, text FROM imports"
+    print("q1: all messages")
+    print(db.execute(q1 + " ORDER BY mId").format(), "\n")
+
+    # -- q2: store q1 as a view ------------------------------------------
+    db.execute(f"CREATE VIEW v1 AS {q1}")
+
+    # -- q3: approval counts per message ----------------------------------
+    q3 = (
+        "SELECT count(*), text FROM v1 JOIN approved a ON (v1.mId = a.mId) "
+        "GROUP BY v1.mId, text"
+    )
+    print("q3: approvals per message (unapproved messages omitted)")
+    print(db.execute(q3).format(), "\n")
+
+    # -- Figure 2: the provenance of q1 ------------------------------------
+    print("Figure 2: SELECT PROVENANCE on q1")
+    prov = db.execute(
+        "SELECT PROVENANCE mId, text FROM messages "
+        "UNION SELECT mId, text FROM imports ORDER BY mId"
+    )
+    print(prov.format())
+    print("original attributes:  ", prov.original_attrs)
+    print("provenance attributes:", list(prov.provenance_attrs), "\n")
+
+    # -- §2.4: provenance of an aggregation, then querying it --------------
+    print("provenance of q3 (aggregation provenance, INFLUENCE semantics)")
+    print(
+        db.execute(
+            "SELECT PROVENANCE ON CONTRIBUTION (INFLUENCE) count(*), text "
+            "FROM v1 JOIN approved a ON v1.mId = a.mId GROUP BY v1.mId, text"
+        ).format(),
+        "\n",
+    )
+
+    print("filtering provenance with plain SQL (imported from superForum):")
+    print(
+        db.execute(
+            "SELECT text, prov_imports_origin FROM "
+            "(SELECT PROVENANCE count(*) AS cnt, text "
+            " FROM v1 JOIN approved a ON v1.mId = a.mId "
+            " GROUP BY v1.mId, text) AS prov "
+            "WHERE cnt > 0 AND prov_imports_origin = 'superForum'"
+        ).format(),
+        "\n",
+    )
+
+    print("BASERELATION: treat the view itself as the provenance source")
+    print(db.execute("SELECT PROVENANCE text FROM v1 BASERELATION").format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs (`pip install -e .`) in
+environments whose setuptools predates PEP 660 editable wheels."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""repro — a full reproduction of the Perm provenance management system.
+
+Perm (Glavic & Alonso, SIGMOD 2009 demonstration; ICDE/EDBT 2009
+companions) computes tuple-level data provenance for relational queries
+by *query rewriting*: a query ``q`` is transformed into a query ``q+``
+whose result is the original result annotated with the contributing base
+tuples in ``prov_<relation>_<attribute>`` columns. Because provenance
+data and provenance computation are plain relations and plain queries,
+they can be stored, optimized and queried with the full power of SQL.
+
+Quickstart::
+
+    from repro import PermDB
+
+    db = PermDB()
+    db.execute("CREATE TABLE messages (mid int, text text, uid int)")
+    db.execute("INSERT INTO messages VALUES (1, 'lorem ipsum', 3)")
+    result = db.execute("SELECT PROVENANCE text FROM messages")
+    print(result.format())
+
+The package layers match the paper's Figure 3 architecture: SQL frontend
+(:mod:`repro.sql`), analyzer with view unfolding (:mod:`repro.analyzer`),
+the provenance rewriter — the paper's contribution — (:mod:`repro.core`),
+logical optimizer (:mod:`repro.optimizer`), planner and executor
+(:mod:`repro.planner`, :mod:`repro.executor`), plus the Perm browser
+(:mod:`repro.browser`) and example workloads (:mod:`repro.workloads`).
+"""
+
+from .core.context import RewriteOptions
+from .core.eager import materialize_provenance, stored_provenance_attrs
+from .core.external import attach_external_provenance, detach_external_provenance
+from .engine.session import PermDB, connect
+from .errors import (
+    AnalyzeError,
+    CatalogError,
+    ExecutionError,
+    ParseError,
+    PermError,
+    PlanError,
+    RewriteError,
+    TypeCheckError,
+)
+from .storage.table import Relation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PermDB",
+    "connect",
+    "Relation",
+    "RewriteOptions",
+    "materialize_provenance",
+    "stored_provenance_attrs",
+    "attach_external_provenance",
+    "detach_external_provenance",
+    "PermError",
+    "ParseError",
+    "AnalyzeError",
+    "TypeCheckError",
+    "CatalogError",
+    "RewriteError",
+    "PlanError",
+    "ExecutionError",
+]

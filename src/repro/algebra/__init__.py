@@ -1,0 +1,46 @@
+"""Relational algebra: resolved expression trees and logical operators.
+
+This is the representation the Perm provenance rewriter works on — the
+equivalent of PostgreSQL's internal *query tree* that the paper's
+Figure 3 shows flowing from the analyzer through the Perm rewrite module
+into the planner.
+"""
+
+from .expressions import (  # noqa: F401
+    AggExpr,
+    BinOp,
+    CaseExpr,
+    CastExpr,
+    Column,
+    Const,
+    DistinctTest,
+    Expr,
+    FuncExpr,
+    InListExpr,
+    IsNullTest,
+    OuterColumn,
+    SubqueryExpr,
+    UnOp,
+    infer_type,
+    map_expr,
+    walk_expr,
+)
+from .nodes import (  # noqa: F401
+    Aggregate,
+    BaseRelationNode,
+    Distinct,
+    Join,
+    Limit,
+    Node,
+    Project,
+    ProvenanceNode,
+    Scan,
+    Select,
+    SetOpNode,
+    SingleRow,
+    Sort,
+    SortKey,
+)
+from .render import render_tree  # noqa: F401
+from .to_sql import algebra_to_sql  # noqa: F401
+from .tree import copy_tree, replace_children, walk_tree  # noqa: F401

@@ -1,0 +1,476 @@
+"""Logical algebra operators.
+
+Every node computes its output :class:`~repro.catalog.schema.Schema` at
+construction time from its children, so the provenance rewriter can build
+new trees and immediately read schemas off them — exactly how Perm's
+rewrite module manipulates PostgreSQL query trees whose target lists are
+kept consistent.
+
+Attribute names are unique within each operator's output (the analyzer
+qualifies scan outputs as ``alias.column``; the rewriter generates fresh
+``prov_...`` names), which makes name-based column references stable
+under rewriting.
+
+Two marker nodes carry SQL-PLE information from the analyzer to the
+provenance rewriter and never survive into a final plan:
+
+* :class:`ProvenanceNode` — "compute the provenance of my subtree" with a
+  given contribution semantics (``SELECT PROVENANCE ...``);
+* :class:`BaseRelationNode` — "treat my subtree as a base relation"
+  (``BASERELATION``) and/or "these attributes of my subtree already are
+  provenance" (``PROVENANCE (attrs)`` / eager-provenance catalog entries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from ..catalog.schema import Attribute, Schema
+from ..datatypes import SQLType, unify_types
+from ..errors import AnalyzeError
+from .expressions import AggExpr, Expr, infer_type
+
+__all__ = [
+    "Node",
+    "Scan",
+    "SingleRow",
+    "Project",
+    "Select",
+    "Join",
+    "Aggregate",
+    "SetOpNode",
+    "Distinct",
+    "Sort",
+    "SortKey",
+    "Limit",
+    "ProvenanceNode",
+    "BaseRelationNode",
+]
+
+JOIN_KINDS = ("inner", "left", "right", "full", "cross")
+SETOP_KINDS = ("union", "intersect", "except")
+
+
+class Node:
+    """Base class for logical operators."""
+
+    __slots__ = ("schema",)
+
+    schema: Schema
+
+    @property
+    def children(self) -> tuple["Node", ...]:
+        raise NotImplementedError
+
+    def with_children(self, children: Sequence["Node"]) -> "Node":
+        """Rebuild this node with new children (schemas recomputed)."""
+        raise NotImplementedError
+
+    def expressions(self) -> Iterator[Expr]:
+        """All expressions held directly by this node."""
+        return iter(())
+
+    def label(self) -> str:
+        """Short operator label for algebra-tree rendering (Figure 4)."""
+        return type(self).__name__
+
+
+class Scan(Node):
+    """Base-table (or unfolded-view materialization) access.
+
+    ``table_name`` is the catalog name; ``alias`` the query-level alias;
+    ``columns`` the stored column names in table order. The output schema
+    qualifies each attribute as ``alias.column``.
+    """
+
+    __slots__ = ("table_name", "alias", "columns")
+
+    def __init__(self, table_name: str, alias: str, schema_in: Schema):
+        self.table_name = table_name
+        self.alias = alias
+        self.columns = schema_in.names
+        self.schema = Schema(
+            Attribute(f"{alias}.{attribute.name}", attribute.type) for attribute in schema_in
+        )
+
+    @property
+    def children(self) -> tuple[Node, ...]:
+        return ()
+
+    def with_children(self, children: Sequence[Node]) -> "Scan":
+        assert not children
+        clone = Scan.__new__(Scan)
+        clone.table_name = self.table_name
+        clone.alias = self.alias
+        clone.columns = list(self.columns)
+        clone.schema = self.schema
+        return clone
+
+    def label(self) -> str:
+        if self.alias and self.alias.lower() != self.table_name.lower():
+            return f"Scan({self.table_name} AS {self.alias})"
+        return f"Scan({self.table_name})"
+
+
+class SingleRow(Node):
+    """Produces exactly one empty tuple (SELECT without FROM)."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        self.schema = Schema(())
+
+    @property
+    def children(self) -> tuple[Node, ...]:
+        return ()
+
+    def with_children(self, children: Sequence[Node]) -> "SingleRow":
+        assert not children
+        return SingleRow()
+
+    def label(self) -> str:
+        return "SingleRow"
+
+
+class Project(Node):
+    """Generalized projection: named output expressions."""
+
+    __slots__ = ("child", "items")
+
+    def __init__(self, child: Node, items: Sequence[tuple[str, Expr]]):
+        self.child = child
+        self.items = list(items)
+        if not self.items:
+            raise AnalyzeError("projection with empty output list")
+        self.schema = Schema(
+            Attribute(name, infer_type(expr, child.schema)) for name, expr in self.items
+        )
+
+    @property
+    def children(self) -> tuple[Node, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[Node]) -> "Project":
+        (child,) = children
+        return Project(child, self.items)
+
+    def expressions(self) -> Iterator[Expr]:
+        for _, expr in self.items:
+            yield expr
+
+    def label(self) -> str:
+        names = ", ".join(name for name, _ in self.items)
+        return f"Π[{_shorten(names)}]"
+
+
+class Select(Node):
+    """Selection σ (WHERE / HAVING / join-filter placement)."""
+
+    __slots__ = ("child", "condition")
+
+    def __init__(self, child: Node, condition: Expr):
+        self.child = child
+        self.condition = condition
+        self.schema = child.schema
+
+    @property
+    def children(self) -> tuple[Node, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[Node]) -> "Select":
+        (child,) = children
+        return Select(child, self.condition)
+
+    def expressions(self) -> Iterator[Expr]:
+        yield self.condition
+
+    def label(self) -> str:
+        from .to_sql import expr_to_sql
+
+        return f"σ[{_shorten(expr_to_sql(self.condition))}]"
+
+
+class Join(Node):
+    """Inner / outer / cross join. Output schema concatenates both inputs;
+    the analyzer guarantees disjoint attribute names."""
+
+    __slots__ = ("left", "right", "kind", "condition")
+
+    def __init__(self, left: Node, right: Node, kind: str, condition: Optional[Expr]):
+        if kind not in JOIN_KINDS:
+            raise AnalyzeError(f"unknown join kind {kind!r}")
+        if kind == "cross" and condition is not None:
+            raise AnalyzeError("cross join cannot have a condition")
+        if kind != "cross" and condition is None:
+            raise AnalyzeError(f"{kind} join requires a condition")
+        self.left = left
+        self.right = right
+        self.kind = kind
+        self.condition = condition
+        self.schema = left.schema.concat(right.schema)
+
+    @property
+    def children(self) -> tuple[Node, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[Node]) -> "Join":
+        left, right = children
+        return Join(left, right, self.kind, self.condition)
+
+    def expressions(self) -> Iterator[Expr]:
+        if self.condition is not None:
+            yield self.condition
+
+    def label(self) -> str:
+        from .to_sql import expr_to_sql
+
+        symbol = {"inner": "⋈", "left": "⟕", "right": "⟖", "full": "⟗", "cross": "×"}[self.kind]
+        if self.condition is None:
+            return symbol
+        return f"{symbol}[{_shorten(expr_to_sql(self.condition))}]"
+
+
+class Aggregate(Node):
+    """Grouping + aggregation α. Output = group keys then aggregates."""
+
+    __slots__ = ("child", "group_items", "agg_items")
+
+    def __init__(
+        self,
+        child: Node,
+        group_items: Sequence[tuple[str, Expr]],
+        agg_items: Sequence[tuple[str, AggExpr]],
+    ):
+        self.child = child
+        self.group_items = list(group_items)
+        self.agg_items = list(agg_items)
+        attributes = [
+            Attribute(name, infer_type(expr, child.schema)) for name, expr in self.group_items
+        ]
+        attributes += [
+            Attribute(name, infer_type(agg, child.schema)) for name, agg in self.agg_items
+        ]
+        if not attributes:
+            raise AnalyzeError("aggregate with no outputs")
+        self.schema = Schema(attributes)
+
+    @property
+    def children(self) -> tuple[Node, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[Node]) -> "Aggregate":
+        (child,) = children
+        return Aggregate(child, self.group_items, self.agg_items)
+
+    def expressions(self) -> Iterator[Expr]:
+        for _, expr in self.group_items:
+            yield expr
+        for _, agg in self.agg_items:
+            yield agg
+
+    def label(self) -> str:
+        groups = ", ".join(name for name, _ in self.group_items)
+        aggs = ", ".join(f"{agg.func}" for _, agg in self.agg_items)
+        return f"α[{_shorten(groups)}; {_shorten(aggs)}]"
+
+
+class SetOpNode(Node):
+    """UNION / INTERSECT / EXCEPT (set) or their ALL (bag) variants.
+
+    Output attribute names come from the left input; types are unified
+    per position.
+    """
+
+    __slots__ = ("left", "right", "kind", "all")
+
+    def __init__(self, left: Node, right: Node, kind: str, all: bool):
+        if kind not in SETOP_KINDS:
+            raise AnalyzeError(f"unknown set operation {kind!r}")
+        if len(left.schema) != len(right.schema):
+            raise AnalyzeError(
+                f"{kind.upper()} inputs have different arity "
+                f"({len(left.schema)} vs {len(right.schema)})"
+            )
+        self.left = left
+        self.right = right
+        self.kind = kind
+        self.all = all
+        attributes = []
+        for left_attr, right_attr in zip(left.schema, right.schema):
+            unified = unify_types(left_attr.type, right_attr.type, kind.upper())
+            attributes.append(Attribute(left_attr.name, unified))
+        self.schema = Schema(attributes)
+
+    @property
+    def children(self) -> tuple[Node, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[Node]) -> "SetOpNode":
+        left, right = children
+        return SetOpNode(left, right, self.kind, self.all)
+
+    def label(self) -> str:
+        symbol = {"union": "∪", "intersect": "∩", "except": "−"}[self.kind]
+        return f"{symbol}{' ALL' if self.all else ''}"
+
+
+class Distinct(Node):
+    """Duplicate elimination δ."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: Node):
+        self.child = child
+        self.schema = child.schema
+
+    @property
+    def children(self) -> tuple[Node, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[Node]) -> "Distinct":
+        (child,) = children
+        return Distinct(child)
+
+    def label(self) -> str:
+        return "δ"
+
+
+@dataclass(frozen=True)
+class SortKey:
+    expr: Expr
+    descending: bool = False
+    nulls_first: Optional[bool] = None
+
+
+class Sort(Node):
+    """ORDER BY."""
+
+    __slots__ = ("child", "keys")
+
+    def __init__(self, child: Node, keys: Sequence[SortKey]):
+        self.child = child
+        self.keys = list(keys)
+        self.schema = child.schema
+
+    @property
+    def children(self) -> tuple[Node, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[Node]) -> "Sort":
+        (child,) = children
+        return Sort(child, self.keys)
+
+    def expressions(self) -> Iterator[Expr]:
+        for key in self.keys:
+            yield key.expr
+
+    def label(self) -> str:
+        from .to_sql import expr_to_sql
+
+        keys = ", ".join(
+            expr_to_sql(k.expr) + (" DESC" if k.descending else "") for k in self.keys
+        )
+        return f"Sort[{_shorten(keys)}]"
+
+
+class Limit(Node):
+    """LIMIT / OFFSET with constant expressions."""
+
+    __slots__ = ("child", "limit", "offset")
+
+    def __init__(self, child: Node, limit: Optional[Expr], offset: Optional[Expr]):
+        self.child = child
+        self.limit = limit
+        self.offset = offset
+        self.schema = child.schema
+
+    @property
+    def children(self) -> tuple[Node, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[Node]) -> "Limit":
+        (child,) = children
+        return Limit(child, self.limit, self.offset)
+
+    def expressions(self) -> Iterator[Expr]:
+        if self.limit is not None:
+            yield self.limit
+        if self.offset is not None:
+            yield self.offset
+
+    def label(self) -> str:
+        from .to_sql import expr_to_sql
+
+        parts = []
+        if self.limit is not None:
+            parts.append(f"limit {expr_to_sql(self.limit)}")
+        if self.offset is not None:
+            parts.append(f"offset {expr_to_sql(self.offset)}")
+        return f"Limit[{', '.join(parts)}]"
+
+
+class ProvenanceNode(Node):
+    """SQL-PLE marker: compute provenance of the subtree below.
+
+    ``contribution`` is ``influence``, ``copy partial`` or
+    ``copy complete``. Consumed by :mod:`repro.core.provenance`.
+    """
+
+    __slots__ = ("child", "contribution")
+
+    def __init__(self, child: Node, contribution: str = "influence"):
+        self.child = child
+        self.contribution = contribution
+        self.schema = child.schema
+
+    @property
+    def children(self) -> tuple[Node, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[Node]) -> "ProvenanceNode":
+        (child,) = children
+        return ProvenanceNode(child, self.contribution)
+
+    def label(self) -> str:
+        return f"PROVENANCE({self.contribution})"
+
+
+class BaseRelationNode(Node):
+    """SQL-PLE marker: treat the subtree as a base relation during the
+    provenance rewrite (``BASERELATION``), optionally with externally
+    supplied provenance attributes (``PROVENANCE (attrs)``).
+
+    ``relation_label`` is the name used when generating
+    ``prov_<rel>_<attr>`` columns for this pseudo base relation.
+    """
+
+    __slots__ = ("child", "relation_label", "provenance_attrs")
+
+    def __init__(
+        self,
+        child: Node,
+        relation_label: str,
+        provenance_attrs: Optional[tuple[str, ...]] = None,
+    ):
+        self.child = child
+        self.relation_label = relation_label
+        self.provenance_attrs = provenance_attrs
+        self.schema = child.schema
+
+    @property
+    def children(self) -> tuple[Node, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[Node]) -> "BaseRelationNode":
+        (child,) = children
+        return BaseRelationNode(child, self.relation_label, self.provenance_attrs)
+
+    def label(self) -> str:
+        if self.provenance_attrs is not None:
+            return f"BASERELATION({self.relation_label}, PROVENANCE {list(self.provenance_attrs)})"
+        return f"BASERELATION({self.relation_label})"
+
+
+def _shorten(text: str, limit: int = 48) -> str:
+    return text if len(text) <= limit else text[: limit - 1] + "…"

@@ -1,0 +1,78 @@
+"""ASCII rendering of algebra trees.
+
+The Perm browser shows the algebra tree of the original query and of the
+rewritten provenance query side by side (Figure 4, markers 3 and 4).
+This module produces the text equivalent:
+
+    Π[count, text]
+    └─ α[v1.mId, text; count]
+       └─ ⋈[v1.mId = a.mId]
+          ├─ Scan(v1)
+          └─ Scan(approved AS a)
+"""
+
+from __future__ import annotations
+
+from .expressions import SubqueryExpr, walk_expr
+from .nodes import Node
+
+
+def render_tree(root: Node, show_schema: bool = False, show_subplans: bool = True) -> str:
+    """Render a plan as an indented ASCII tree."""
+    lines: list[str] = []
+    _render(root, "", "", lines, show_schema, show_subplans)
+    return "\n".join(lines)
+
+
+def _render(
+    node: Node,
+    prefix: str,
+    child_prefix: str,
+    lines: list[str],
+    show_schema: bool,
+    show_subplans: bool,
+) -> None:
+    label = node.label()
+    if show_schema:
+        label += "  :: (" + ", ".join(a.name for a in node.schema) + ")"
+    lines.append(prefix + label)
+
+    subplans: list[Node] = []
+    if show_subplans:
+        for expr in node.expressions():
+            for sub in walk_expr(expr):
+                if isinstance(sub, SubqueryExpr):
+                    subplans.append(sub.plan)
+
+    entries: list[tuple[str, Node]] = [("", child) for child in node.children]
+    entries += [("sublink: ", plan) for plan in subplans]
+
+    for index, (tag, child) in enumerate(entries):
+        last = index == len(entries) - 1
+        connector = "└─ " if last else "├─ "
+        extension = "   " if last else "│  "
+        _render(
+            child,
+            child_prefix + connector + tag,
+            child_prefix + extension,
+            lines,
+            show_schema,
+            show_subplans,
+        )
+
+
+def render_side_by_side(left: str, right: str, gap: int = 4, headers: tuple[str, str] | None = None) -> str:
+    """Render two pre-formatted trees next to each other (original vs
+    rewritten query, as in the browser)."""
+    left_lines = left.splitlines() or [""]
+    right_lines = right.splitlines() or [""]
+    if headers is not None:
+        left_lines = [headers[0], "=" * len(headers[0])] + left_lines
+        right_lines = [headers[1], "=" * len(headers[1])] + right_lines
+    width = max((len(l) for l in left_lines), default=0)
+    height = max(len(left_lines), len(right_lines))
+    left_lines += [""] * (height - len(left_lines))
+    right_lines += [""] * (height - len(right_lines))
+    return "\n".join(
+        l.ljust(width + gap) + r for l, r in zip(left_lines, right_lines)
+    )

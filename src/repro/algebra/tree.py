@@ -1,0 +1,114 @@
+"""Tree utilities for algebra plans: traversal and transformation."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from .expressions import SubqueryExpr, map_expr, walk_expr
+from .nodes import Node
+
+
+def walk_tree(root: Node) -> Iterator[Node]:
+    """Pre-order traversal of operators (not descending into subplans)."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children))
+
+
+def walk_tree_with_subplans(root: Node) -> Iterator[Node]:
+    """Pre-order traversal including sublink subplans."""
+    for node in walk_tree(root):
+        yield node
+        for expr in node.expressions():
+            for sub in walk_expr(expr):
+                if isinstance(sub, SubqueryExpr):
+                    yield from walk_tree_with_subplans(sub.plan)
+
+
+def replace_children(node: Node, children: list[Node]) -> Node:
+    """Rebuild *node* over new children (schemas are recomputed)."""
+    return node.with_children(children)
+
+
+def copy_tree(root: Node) -> Node:
+    """Structural copy of a plan (expressions are immutable and shared)."""
+    return root.with_children([copy_tree(c) for c in root.children])
+
+
+def transform_tree(root: Node, fn: Callable[[Node], Optional[Node]]) -> Node:
+    """Bottom-up transformation: children first, then *fn* on the rebuilt
+    node; *fn* returns a replacement or ``None`` to keep the node."""
+    rebuilt = root.with_children([transform_tree(c, fn) for c in root.children])
+    replacement = fn(rebuilt)
+    return rebuilt if replacement is None else replacement
+
+
+def transform_subplans(root: Node, fn: Callable[[Node], Node]) -> Node:
+    """Apply *fn* to every sublink subplan in the tree (and recursively to
+    subplans inside those plans)."""
+
+    def rewrite_node(node: Node) -> Optional[Node]:
+        changed = False
+        new_exprs = []
+        for expr in node.expressions():
+            def replace(sub):
+                if isinstance(sub, SubqueryExpr):
+                    new_plan = fn(transform_subplans(sub.plan, fn))
+                    return SubqueryExpr(
+                        sub.kind, new_plan, sub.operand, sub.op, sub.quantifier, sub.negated
+                    )
+                return None
+
+            new_expr = map_expr(expr, replace)
+            new_exprs.append(new_expr)
+            if new_expr is not expr:
+                changed = True
+        if not changed:
+            return None
+        return _replace_expressions(node, new_exprs)
+
+    return transform_tree(root, rewrite_node)
+
+
+def _replace_expressions(node: Node, new_exprs: list) -> Node:
+    """Rebuild *node* with its expression slots replaced in order."""
+    from . import nodes as n
+
+    if isinstance(node, n.Project):
+        items = [(name, e) for (name, _), e in zip(node.items, new_exprs)]
+        return n.Project(node.child, items)
+    if isinstance(node, n.Select):
+        return n.Select(node.child, new_exprs[0])
+    if isinstance(node, n.Join):
+        condition = new_exprs[0] if node.condition is not None else None
+        return n.Join(node.left, node.right, node.kind, condition)
+    if isinstance(node, n.Aggregate):
+        count = len(node.group_items)
+        group_items = [(name, e) for (name, _), e in zip(node.group_items, new_exprs[:count])]
+        agg_items = [(name, e) for (name, _), e in zip(node.agg_items, new_exprs[count:])]
+        return n.Aggregate(node.child, group_items, agg_items)
+    if isinstance(node, n.Sort):
+        keys = [
+            n.SortKey(e, k.descending, k.nulls_first) for k, e in zip(node.keys, new_exprs)
+        ]
+        return n.Sort(node.child, keys)
+    if isinstance(node, n.Limit):
+        limit = new_exprs[0] if node.limit is not None else None
+        offset_index = 1 if node.limit is not None else 0
+        offset = new_exprs[offset_index] if node.offset is not None else None
+        return n.Limit(node.child, limit, offset)
+    return node
+
+
+def count_nodes(root: Node) -> int:
+    """Number of operators in the plan, subplans included."""
+    return sum(1 for _ in walk_tree_with_subplans(root))
+
+
+def tree_depth(root: Node) -> int:
+    """Height of the operator tree (subplans not included)."""
+    if not root.children:
+        return 1
+    return 1 + max(tree_depth(c) for c in root.children)

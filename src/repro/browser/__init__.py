@@ -1,0 +1,3 @@
+"""The Perm browser (text edition)."""
+
+from .browser import BrowserView, PermBrowser  # noqa: F401

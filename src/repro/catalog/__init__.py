@@ -1,0 +1,5 @@
+"""Catalog: schemas, tables, views, statistics and provenance metadata."""
+
+from .catalog import Catalog, TableEntry, ViewEntry  # noqa: F401
+from .schema import Attribute, Schema  # noqa: F401
+from .stats import ColumnStats, TableStats, compute_table_stats  # noqa: F401

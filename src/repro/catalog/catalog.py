@@ -1,0 +1,173 @@
+"""The system catalog: tables, views and provenance registrations.
+
+Views are stored as their defining query AST (the analyzer unfolds them,
+mirroring the "view unfolding" step in the paper's Figure 3 pipeline).
+
+Eager provenance support (paper §1: "decide whether he will store the
+provenance of a query for later reuse"): when a table or view is created
+from a ``SELECT PROVENANCE`` query, the catalog records which of its
+columns are provenance attributes. A later query over that relation can
+then resume the rewrite from the stored columns instead of recomputing
+provenance — the incremental provenance computation of §2.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import CatalogError
+from ..storage.table import HeapTable
+from .schema import Schema
+from .stats import TableStats, compute_table_stats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sql import ast
+
+
+@dataclass
+class TableEntry:
+    """A stored base table."""
+
+    name: str
+    table: HeapTable
+    # Provenance metadata for eagerly materialized provenance (column
+    # names that carry provenance, in schema order).
+    provenance_attrs: tuple[str, ...] = ()
+    _stats: Optional[TableStats] = field(default=None, repr=False)
+    _stats_version: int = field(default=-1, repr=False)
+
+    @property
+    def schema(self) -> Schema:
+        return self.table.schema
+
+    def stats(self) -> TableStats:
+        """Cached statistics, recomputed when the table has been mutated."""
+        if self._stats is None or self._stats_version != self.table.version:
+            self._stats = compute_table_stats(self.table)
+            self._stats_version = self.table.version
+        return self._stats
+
+
+@dataclass
+class ViewEntry:
+    """A stored view: name, defining query AST, and its SQL text."""
+
+    name: str
+    query: "ast.QueryExpr"
+    sql: str
+    provenance_attrs: tuple[str, ...] = ()
+
+
+class Catalog:
+    """Name -> relation mapping with case-insensitive lookup."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableEntry] = {}
+        self._views: dict[str, ViewEntry] = {}
+
+    # -- tables ---------------------------------------------------------
+    def create_table(
+        self,
+        name: str,
+        schema: Schema,
+        if_not_exists: bool = False,
+        provenance_attrs: tuple[str, ...] = (),
+    ) -> TableEntry:
+        key = name.lower()
+        if key in self._tables or key in self._views:
+            if if_not_exists and key in self._tables:
+                return self._tables[key]
+            raise CatalogError(f"relation {name!r} already exists")
+        entry = TableEntry(name=name, table=HeapTable(name, schema), provenance_attrs=provenance_attrs)
+        self._tables[key] = entry
+        return entry
+
+    def drop_table(self, name: str, if_exists: bool = False) -> bool:
+        key = name.lower()
+        if key not in self._tables:
+            if if_exists:
+                return False
+            raise CatalogError(f"table {name!r} does not exist")
+        del self._tables[key]
+        return True
+
+    def table(self, name: str) -> TableEntry:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"table {name!r} does not exist") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    @property
+    def tables(self) -> list[TableEntry]:
+        return list(self._tables.values())
+
+    # -- views ----------------------------------------------------------
+    def create_view(
+        self,
+        name: str,
+        query: "ast.QueryExpr",
+        sql: str,
+        or_replace: bool = False,
+        provenance_attrs: tuple[str, ...] = (),
+    ) -> ViewEntry:
+        key = name.lower()
+        if key in self._tables:
+            raise CatalogError(f"relation {name!r} already exists as a table")
+        if key in self._views and not or_replace:
+            raise CatalogError(f"view {name!r} already exists")
+        entry = ViewEntry(name=name, query=query, sql=sql, provenance_attrs=provenance_attrs)
+        self._views[key] = entry
+        return entry
+
+    def drop_view(self, name: str, if_exists: bool = False) -> bool:
+        key = name.lower()
+        if key not in self._views:
+            if if_exists:
+                return False
+            raise CatalogError(f"view {name!r} does not exist")
+        del self._views[key]
+        return True
+
+    def view(self, name: str) -> ViewEntry:
+        try:
+            return self._views[name.lower()]
+        except KeyError:
+            raise CatalogError(f"view {name!r} does not exist") from None
+
+    def has_view(self, name: str) -> bool:
+        return name.lower() in self._views
+
+    @property
+    def views(self) -> list[ViewEntry]:
+        return list(self._views.values())
+
+    # -- generic --------------------------------------------------------
+    def has_relation(self, name: str) -> bool:
+        key = name.lower()
+        return key in self._tables or key in self._views
+
+    def relation_names(self) -> list[str]:
+        return sorted([e.name for e in self._tables.values()] + [e.name for e in self._views.values()])
+
+    def register_provenance_attrs(self, name: str, attrs: tuple[str, ...]) -> None:
+        """Record that relation *name* stores provenance in columns *attrs*
+        (eager provenance registration)."""
+        key = name.lower()
+        if key in self._tables:
+            self._tables[key].provenance_attrs = attrs
+        elif key in self._views:
+            self._views[key].provenance_attrs = attrs
+        else:
+            raise CatalogError(f"relation {name!r} does not exist")
+
+    def provenance_attrs(self, name: str) -> tuple[str, ...]:
+        key = name.lower()
+        if key in self._tables:
+            return self._tables[key].provenance_attrs
+        if key in self._views:
+            return self._views[key].provenance_attrs
+        raise CatalogError(f"relation {name!r} does not exist")

@@ -1,0 +1,105 @@
+"""Schemas and attributes.
+
+An :class:`Attribute` describes one column: its (case-preserving) name
+and static type. A :class:`Schema` is an ordered attribute list with
+case-insensitive lookup, matching PostgreSQL's folding of unquoted
+identifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..datatypes import SQLType
+from ..errors import CatalogError
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed column."""
+
+    name: str
+    type: SQLType
+
+    def renamed(self, name: str) -> "Attribute":
+        return Attribute(name, self.type)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.name} {self.type}"
+
+
+class Schema:
+    """Ordered list of attributes with case-insensitive name lookup."""
+
+    __slots__ = ("attributes", "_index")
+
+    def __init__(self, attributes: Iterable[Attribute]):
+        self.attributes: tuple[Attribute, ...] = tuple(attributes)
+        index: dict[str, int] = {}
+        for position, attribute in enumerate(self.attributes):
+            key = attribute.name.lower()
+            if key in index:
+                raise CatalogError(f"duplicate attribute name {attribute.name!r} in schema")
+            index[key] = position
+        self._index = index
+
+    # -- container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __getitem__(self, position: int) -> Attribute:
+        return self.attributes[position]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self.attributes == other.attributes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Schema(" + ", ".join(str(a) for a in self.attributes) + ")"
+
+    # -- lookup --------------------------------------------------------------
+    @property
+    def names(self) -> list[str]:
+        return [a.name for a in self.attributes]
+
+    @property
+    def types(self) -> list[SQLType]:
+        return [a.type for a in self.attributes]
+
+    def has(self, name: str) -> bool:
+        return name.lower() in self._index
+
+    def index_of(self, name: str) -> int:
+        """Position of attribute *name* (case-insensitive)."""
+        try:
+            return self._index[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"no attribute {name!r} in schema ({', '.join(self.names)})"
+            ) from None
+
+    def attribute(self, name: str) -> Attribute:
+        return self.attributes[self.index_of(name)]
+
+    # -- construction helpers --------------------------------------------------
+    def concat(self, other: "Schema") -> "Schema":
+        return Schema(self.attributes + other.attributes)
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        return Schema(self.attribute(n) for n in names)
+
+    def renamed(self, new_names: Iterable[str]) -> "Schema":
+        new = tuple(new_names)
+        if len(new) != len(self.attributes):
+            raise CatalogError(
+                f"rename expects {len(self.attributes)} names, got {len(new)}"
+            )
+        return Schema(a.renamed(n) for a, n in zip(self.attributes, new))
+
+
+def schema_of(*pairs: tuple[str, SQLType]) -> Schema:
+    """Convenience constructor: ``schema_of(("id", SQLType.INT), ...)``."""
+    return Schema(Attribute(name, type_) for name, type_ in pairs)

@@ -1,0 +1,64 @@
+"""Table statistics for the cost model.
+
+PostgreSQL's ANALYZE gathers row counts and per-column distinct counts;
+Perm's cost-based rewrite-strategy selection (paper §2.2: "a heuristic
+and a cost-based solution for choosing the best rewrite strategy") needs
+the same numbers. Statistics are computed lazily per table version and
+cached on the catalog entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..datatypes import value_identity
+from ..storage.table import HeapTable
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Statistics for a single column."""
+
+    name: str
+    n_distinct: int
+    null_fraction: float
+
+    @property
+    def selectivity_eq(self) -> float:
+        """Estimated selectivity of an equality predicate on this column."""
+        if self.n_distinct <= 0:
+            return 1.0
+        return (1.0 - self.null_fraction) / self.n_distinct
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Statistics for a whole table."""
+
+    row_count: int
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStats | None:
+        return self.columns.get(name.lower())
+
+
+def compute_table_stats(table: HeapTable) -> TableStats:
+    """One full scan computing row count, distinct counts and null fractions."""
+    row_count = len(table.rows)
+    columns: dict[str, ColumnStats] = {}
+    for position, attribute in enumerate(table.schema):
+        distinct_values = set()
+        nulls = 0
+        for row in table.rows:
+            value = row[position]
+            if value is None:
+                nulls += 1
+            else:
+                distinct_values.add(value_identity(value))
+        null_fraction = (nulls / row_count) if row_count else 0.0
+        columns[attribute.name.lower()] = ColumnStats(
+            name=attribute.name,
+            n_distinct=len(distinct_values),
+            null_fraction=null_fraction,
+        )
+    return TableStats(row_count=row_count, columns=columns)

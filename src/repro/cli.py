@@ -1,0 +1,170 @@
+"""Interactive SQL shell: ``python -m repro``.
+
+A psql-style front end to a PermDB session — the closest equivalent of
+sitting at the demo booth. Supports everything the engine supports
+(including SQL-PLE) plus backslash commands:
+
+==============  ======================================================
+command         effect
+==============  ======================================================
+``\\d``          list relations
+``\\d name``     describe one relation (columns, provenance registration)
+``\\browser q``  render the Perm-browser panes for a query
+``\\rewrite q``  show the rewritten SQL of a provenance query
+``\\algebra q``  show original and rewritten algebra trees
+``\\timing``     toggle per-query pipeline timing
+``\\demo``       load the paper's Figure 1 example database
+``\\q``          quit
+==============  ======================================================
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, Optional, TextIO
+
+from .browser import PermBrowser
+from .engine.session import PermDB
+from .errors import PermError
+
+_PROMPT = "perm> "
+_CONTINUATION = "  ... "
+
+
+class Shell:
+    """A scriptable REPL around one PermDB session."""
+
+    def __init__(self, db: Optional[PermDB] = None, out: Optional[TextIO] = None):
+        self.db = db or PermDB()
+        # Resolved lazily so pytest's capture (and late stream swaps) work.
+        self.out = out if out is not None else sys.stdout
+        self.timing = False
+        self._browser = PermBrowser(self.db)
+
+    # ------------------------------------------------------------------
+    def run(self, lines: Iterable[str]) -> None:
+        """Process input lines (REPL loop body, also used by tests)."""
+        buffer: list[str] = []
+        for raw in lines:
+            line = raw.rstrip("\n")
+            if not buffer and line.strip().startswith("\\"):
+                if not self.handle_command(line.strip()):
+                    return
+                continue
+            buffer.append(line)
+            statement = "\n".join(buffer).strip()
+            if statement.endswith(";") or not statement:
+                if statement:
+                    self.execute(statement)
+                buffer.clear()
+        leftover = "\n".join(buffer).strip()
+        if leftover:
+            self.execute(leftover)
+
+    # ------------------------------------------------------------------
+    def execute(self, sql: str) -> None:
+        try:
+            if self.timing:
+                profile = self.db.profile(sql.rstrip(";"))
+                assert profile.result is not None
+                self._print(profile.result.format(max_rows=50))
+                self._print(profile.summary())
+            else:
+                result = self.db.execute(sql)
+                self._print(result.format(max_rows=50))
+        except PermError as exc:
+            self._print(f"ERROR: {exc}")
+
+    def handle_command(self, command: str) -> bool:
+        """Execute a backslash command; returns False to quit."""
+        name, _, argument = command.partition(" ")
+        argument = argument.strip()
+        try:
+            if name in ("\\q", "\\quit"):
+                return False
+            if name == "\\d":
+                self._describe(argument)
+            elif name == "\\browser":
+                self._print(self._browser.show(argument, max_rows=20))
+            elif name == "\\rewrite":
+                self._print(self.db.explain(argument, mode="rewrite"))
+            elif name == "\\algebra":
+                self._print(self.db.explain(argument, mode="algebra"))
+            elif name == "\\timing":
+                self.timing = not self.timing
+                self._print(f"timing is {'on' if self.timing else 'off'}")
+            elif name == "\\demo":
+                from .workloads.forum import create_forum_db
+
+                create_forum_db(self.db)
+                self._print("loaded the Figure 1 forum database (messages, users, imports, approved, v1)")
+            elif name in ("\\h", "\\help", "\\?"):
+                self._print(__doc__ or "")
+            else:
+                self._print(f"unknown command {name!r}; try \\h")
+        except PermError as exc:
+            self._print(f"ERROR: {exc}")
+        return True
+
+    # ------------------------------------------------------------------
+    def _describe(self, name: str) -> None:
+        if not name:
+            names = self.db.catalog.relation_names()
+            if not names:
+                self._print("(no relations)")
+                return
+            for relation in names:
+                kind = "view" if self.db.catalog.has_view(relation) else "table"
+                self._print(f"{relation}  ({kind})")
+            return
+        schema = self.db.analyze_relation_schema(name)
+        provenance = set(self.db.catalog.provenance_attrs(name))
+        self._print(f"relation {name}:")
+        for attribute in schema:
+            marker = "   [provenance]" if attribute.name in provenance else ""
+            self._print(f"  {attribute.name}  {attribute.type}{marker}")
+
+    def _print(self, text: str) -> None:
+        print(text, file=self.out)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Entry point for ``python -m repro`` (interactive or piped)."""
+    argv = sys.argv[1:] if argv is None else argv
+    shell = Shell()
+    if argv:
+        # Execute files given on the command line, then exit.
+        for path in argv:
+            with open(path) as handle:
+                shell.run(handle)
+        return 0
+    interactive = sys.stdin.isatty()
+    if interactive:
+        print("Perm reproduction shell — \\h for help, \\demo for the paper's database, \\q to quit")
+        try:
+            buffer: list[str] = []
+            while True:
+                prompt = _CONTINUATION if buffer else _PROMPT
+                try:
+                    line = input(prompt)
+                except EOFError:
+                    print()
+                    return 0
+                if not buffer and line.strip().startswith("\\"):
+                    if not shell.handle_command(line.strip()):
+                        return 0
+                    continue
+                buffer.append(line)
+                statement = "\n".join(buffer).strip()
+                if statement.endswith(";"):
+                    shell.execute(statement)
+                    buffer.clear()
+        except KeyboardInterrupt:
+            print()
+            return 130
+    shell.run(sys.stdin)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

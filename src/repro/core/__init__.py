@@ -1,0 +1,16 @@
+"""The paper's primary contribution: provenance computation by query
+rewriting.
+
+Given an algebra tree for a query ``q``, this package produces the tree
+of the provenance query ``q+`` whose result is the original result of
+``q`` augmented with ``prov_<relation>_<attribute>`` columns holding the
+contributing base tuples (paper §2.1–§2.2). Supported contribution
+semantics: influence (PI-CS, why-provenance) and copy (C-CS,
+where-provenance, PARTIAL and COMPLETE variants); supported SQL-PLE
+controls: ``BASERELATION``, external ``PROVENANCE (attrs)``, nested
+``SELECT PROVENANCE``; rewrite strategies are chosen heuristically or by
+cost (§2.2).
+"""
+
+from .naming import ProvAttr, ProvNameGenerator  # noqa: F401
+from .provenance import ProvenanceRewriter, RewriteOptions  # noqa: F401

@@ -1,0 +1,73 @@
+"""Shared state for one provenance rewrite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import TYPE_CHECKING, Optional
+
+from ..catalog.catalog import Catalog
+from ..optimizer.cost import CostModel
+from .naming import ProvNameGenerator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..algebra.nodes import Node
+
+
+@dataclass
+class RewriteOptions:
+    """Tunable behaviour of the provenance rewriter.
+
+    ``union_strategy``
+        ``"pad"`` — rewrite both UNION branches and pad each with typed
+        NULLs for the other's provenance attributes (the rule shown for
+        Figure 2 of the paper); ``"joinback"`` — compute the original
+        union and left-outer-join it back to the padded union of the
+        rewritten inputs; ``"heuristic"`` / ``"cost"`` — let
+        :mod:`repro.core.strategies` choose (the paper's §2.2 choice).
+    ``sublink_strategy``
+        ``"gen"`` — unnest sublinks into joins where valid; ``"left"`` —
+        decorrelate and join; ``"keep"`` — never trace provenance into
+        sublinks; ``"heuristic"`` / ``"cost"`` — choose automatically.
+    ``difference_semantics``
+        ``"lineage"`` — the provenance of ``t ∈ T1 − T2`` is the witness
+        of ``t`` in ``T1`` plus *all* of ``T2`` (Cui–Widom lineage, and
+        Perm's PI-CS for difference); ``"left-only"`` — only the ``T1``
+        witness (cheaper, sometimes preferable; kept as an option).
+    """
+
+    union_strategy: str = "pad"
+    sublink_strategy: str = "heuristic"
+    difference_semantics: str = "lineage"
+
+    def __post_init__(self) -> None:
+        valid_union = ("pad", "joinback", "heuristic", "cost")
+        valid_sublink = ("gen", "left", "keep", "heuristic", "cost")
+        valid_difference = ("lineage", "left-only")
+        if self.union_strategy not in valid_union:
+            raise ValueError(f"union_strategy must be one of {valid_union}")
+        if self.sublink_strategy not in valid_sublink:
+            raise ValueError(f"sublink_strategy must be one of {valid_sublink}")
+        if self.difference_semantics not in valid_difference:
+            raise ValueError(f"difference_semantics must be one of {valid_difference}")
+
+
+@dataclass
+class RewriteContext:
+    """Per-rewrite state: catalog access, naming, options, cost model and
+    a counter for fresh intermediate attribute names."""
+
+    catalog: Catalog
+    options: RewriteOptions = field(default_factory=RewriteOptions)
+    naming: ProvNameGenerator = field(default_factory=ProvNameGenerator)
+    cost_model: Optional[CostModel] = None
+    _ids: "count[int]" = field(default_factory=count)
+
+    def fresh_prefix(self) -> str:
+        """A unique prefix for renamed intermediate attributes."""
+        return f"_rw{next(self._ids)}"
+
+    def costs(self) -> CostModel:
+        if self.cost_model is None:
+            self.cost_model = CostModel(self.catalog)
+        return self.cost_model

@@ -1,0 +1,332 @@
+"""Copy contribution semantics (C-CS / where-provenance) rewrite rules.
+
+The paper (§2.4): Perm supports "several types of Where-provenance as
+keyword COPY". Copy semantics asks *where a value was copied from*
+rather than which tuples influenced a result: a base-relation attribute
+contributes only if its value is literally copied into the result
+(through projections, group-by keys, union branches, ...). Expressions
+(``a + 1``), aggregates and filter predicates do not copy.
+
+Two variants, as in Perm:
+
+``COPY PARTIAL``
+    only the base attributes actually copied into the result carry
+    values in the provenance columns; the rest of the contributing tuple
+    is NULL.
+
+``COPY COMPLETE``
+    whenever at least one attribute of a base tuple is copied, the whole
+    tuple appears in the provenance (all its attributes).
+
+The rewrite mirrors the influence rules structurally (so the provenance
+schema is identical to INFLUENCE — same ``prov_*`` columns, making the
+two semantics directly comparable), but tracks a static *copy map* from
+output attributes to the provenance attributes they copy, and masks
+provenance columns with typed NULLs at every operator where copying is
+lost. External provenance attributes (``PROVENANCE (attrs)``) are never
+masked — they were produced outside and are passed through verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..algebra import expressions as ax
+from ..algebra import nodes as an
+from ..datatypes import SQLType
+from ..errors import RewriteError
+from .context import RewriteContext
+from .influence import (
+    identity_items,
+    join_back_condition,
+    null_items,
+    prov_items,
+)
+from .naming import ProvAttr
+
+__all__ = ["CopyResult", "rewrite_copy"]
+
+
+@dataclass
+class CopyResult:
+    """Rewritten subtree + provenance attributes + copy tracking.
+
+    ``copies`` maps each *original* output attribute name to the set of
+    provenance attribute names whose values it copies; ``always_live``
+    holds provenance attributes exempt from masking (external
+    provenance).
+    """
+
+    node: an.Node
+    prov: list[ProvAttr]
+    copies: dict[str, frozenset[str]]
+    always_live: frozenset[str] = field(default_factory=frozenset)
+
+
+def rewrite_copy(node: an.Node, ctx: RewriteContext, mode: str) -> CopyResult:
+    """Rewrite *node* under copy semantics (*mode*: "partial"/"complete")."""
+    if mode not in ("partial", "complete"):
+        raise RewriteError(f"unknown COPY mode {mode!r}")
+    if isinstance(node, an.Scan):
+        return _rewrite_scan(node, ctx)
+    if isinstance(node, an.SingleRow):
+        return CopyResult(node, [], {})
+    if isinstance(node, an.BaseRelationNode):
+        return _rewrite_base_relation(node, ctx)
+    if isinstance(node, an.Project):
+        return _rewrite_project(node, ctx, mode)
+    if isinstance(node, an.Select):
+        # Filters copy nothing; sublinks contribute no copy provenance.
+        child = rewrite_copy(node.child, ctx, mode)
+        return CopyResult(
+            an.Select(child.node, node.condition), child.prov, child.copies, child.always_live
+        )
+    if isinstance(node, an.Join):
+        left = rewrite_copy(node.left, ctx, mode)
+        right = rewrite_copy(node.right, ctx, mode)
+        joined = an.Join(left.node, right.node, node.kind, node.condition)
+        copies = dict(left.copies)
+        copies.update(right.copies)
+        return CopyResult(
+            joined, left.prov + right.prov, copies, left.always_live | right.always_live
+        )
+    if isinstance(node, an.Aggregate):
+        return _rewrite_aggregate(node, ctx, mode)
+    if isinstance(node, an.SetOpNode):
+        return _rewrite_setop(node, ctx, mode)
+    if isinstance(node, an.Distinct):
+        child = rewrite_copy(node.child, ctx, mode)
+        return CopyResult(an.Distinct(child.node), child.prov, child.copies, child.always_live)
+    if isinstance(node, an.Sort):
+        child = rewrite_copy(node.child, ctx, mode)
+        return CopyResult(
+            an.Sort(child.node, node.keys), child.prov, child.copies, child.always_live
+        )
+    if isinstance(node, an.Limit):
+        return _rewrite_limit(node, ctx, mode)
+    if isinstance(node, an.ProvenanceNode):
+        raise RewriteError("nested ProvenanceNode must be expanded before the copy rewrite")
+    raise RewriteError(f"no copy rewrite rule for {type(node).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Masking
+# ---------------------------------------------------------------------------
+
+def _masked_prov_items(
+    provs: list[ProvAttr],
+    survivors: frozenset[str],
+    always_live: frozenset[str],
+    mode: str,
+) -> list[tuple[str, ax.Expr]]:
+    """Provenance projection items with non-copied attributes NULLed.
+
+    PARTIAL keeps exactly the surviving attributes; COMPLETE keeps every
+    attribute of any relation access with at least one survivor.
+    """
+    live = set(survivors) | set(always_live)
+    if mode == "complete":
+        live_accesses = {p.access for p in provs if p.name in live}
+        live |= {p.name for p in provs if p.access in live_accesses}
+    items: list[tuple[str, ax.Expr]] = []
+    for p in provs:
+        if p.name in live:
+            items.append((p.name, ax.Column(p.name)))
+        else:
+            items.append((p.name, ax.Const(None, p.type)))
+    return items
+
+
+def _survivors(copies: dict[str, frozenset[str]]) -> frozenset[str]:
+    out: set[str] = set()
+    for names in copies.values():
+        out |= names
+    return frozenset(out)
+
+
+# ---------------------------------------------------------------------------
+# Per-operator rules
+# ---------------------------------------------------------------------------
+
+def _rewrite_scan(node: an.Scan, ctx: RewriteContext) -> CopyResult:
+    prefix = ctx.naming.relation_prefix(node.table_name)
+    provs: list[ProvAttr] = []
+    items = identity_items(node.schema)
+    copies: dict[str, frozenset[str]] = {}
+    for column, attribute in zip(node.columns, node.schema):
+        prov_name = ctx.naming.attribute_name(prefix, column)
+        provs.append(ProvAttr(prov_name, node.table_name, column, attribute.type, prefix))
+        items.append((prov_name, ax.Column(attribute.name)))
+        copies[attribute.name] = frozenset({prov_name})
+    return CopyResult(an.Project(node, items), provs, copies)
+
+
+def _rewrite_base_relation(node: an.BaseRelationNode, ctx: RewriteContext) -> CopyResult:
+    child = node.child
+    items = identity_items(child.schema)
+    provs: list[ProvAttr] = []
+    copies: dict[str, frozenset[str]] = {}
+    always_live: set[str] = set()
+    if node.provenance_attrs is None:
+        prefix = ctx.naming.relation_prefix(node.relation_label)
+        for attribute in child.schema:
+            base = attribute.name.rsplit(".", 1)[-1]
+            prov_name = ctx.naming.attribute_name(prefix, base)
+            provs.append(ProvAttr(prov_name, node.relation_label, base, attribute.type, prefix))
+            items.append((prov_name, ax.Column(attribute.name)))
+            copies[attribute.name] = frozenset({prov_name})
+    else:
+        for unique_name in node.provenance_attrs:
+            attribute = child.schema.attribute(unique_name)
+            base = attribute.name.rsplit(".", 1)[-1]
+            prov_name = base
+            if prov_name in {p.name for p in provs}:
+                prov_name = ctx.naming.attribute_name("prov", base)
+            ctx.naming.claim(prov_name)
+            provs.append(
+                ProvAttr(
+                    prov_name,
+                    node.relation_label,
+                    base,
+                    attribute.type,
+                    f"ext_{node.relation_label}",
+                )
+            )
+            items.append((prov_name, ax.Column(unique_name)))
+            always_live.add(prov_name)
+    return CopyResult(an.Project(child, items), provs, copies, frozenset(always_live))
+
+
+def _copy_source(expr: ax.Expr) -> str | None:
+    """The input column an output expression *copies*, if any. Only a
+    plain column reference is a copy; casts and computations are not."""
+    if isinstance(expr, ax.Column):
+        return expr.name
+    return None
+
+
+def _rewrite_project(node: an.Project, ctx: RewriteContext, mode: str) -> CopyResult:
+    child = rewrite_copy(node.child, ctx, mode)
+    copies: dict[str, frozenset[str]] = {}
+    for name, expr in node.items:
+        source = _copy_source(expr)
+        copies[name] = child.copies.get(source, frozenset()) if source else frozenset()
+    survivors = _survivors(copies)
+    items = list(node.items) + _masked_prov_items(child.prov, survivors, child.always_live, mode)
+    return CopyResult(an.Project(child.node, items), child.prov, copies, child.always_live)
+
+
+def _rewrite_aggregate(node: an.Aggregate, ctx: RewriteContext, mode: str) -> CopyResult:
+    from .influence import rename_originals
+
+    for _, group_expr in node.group_items:
+        if any(isinstance(s, ax.SubqueryExpr) for s in ax.walk_expr(group_expr)):
+            raise RewriteError(
+                "GROUP BY expressions containing subqueries are not supported "
+                "in provenance queries"
+            )
+    child = rewrite_copy(node.child, ctx, mode)
+    renamed, mapping = rename_originals(ctx, _as_rewrite(child))
+
+    conditions: list[ax.Expr] = []
+    for group_name, group_expr in node.group_items:
+        renamed_expr = ax.rename_columns(group_expr, mapping)
+        conditions.append(ax.DistinctTest(ax.Column(group_name), renamed_expr, negated=True))
+    condition = ax.combine_conjuncts(conditions) or ax.Const(True, SQLType.BOOL)
+
+    joined = an.Join(node, renamed, "left", condition)
+
+    copies: dict[str, frozenset[str]] = {}
+    for group_name, group_expr in node.group_items:
+        source = _copy_source(group_expr)
+        copies[group_name] = child.copies.get(source, frozenset()) if source else frozenset()
+    for agg_name, _ in node.agg_items:
+        copies[agg_name] = frozenset()  # aggregate results are computed, not copied
+
+    survivors = _survivors(copies)
+    items = identity_items(node.schema) + _masked_prov_items(
+        child.prov, survivors, child.always_live, mode
+    )
+    return CopyResult(an.Project(joined, items), child.prov, copies, child.always_live)
+
+
+def _rewrite_limit(node: an.Limit, ctx: RewriteContext, mode: str) -> CopyResult:
+    from .influence import rename_originals
+
+    child = rewrite_copy(node.child, ctx, mode)
+    renamed, mapping = rename_originals(ctx, _as_rewrite(child))
+    original_names = node.schema.names
+    condition = join_back_condition(original_names, [mapping[n] for n in original_names])
+    joined = an.Join(node, renamed, "left", condition)
+    items = identity_items(node.schema) + prov_items(child.prov)
+    return CopyResult(an.Project(joined, items), child.prov, child.copies, child.always_live)
+
+
+def _rewrite_setop(node: an.SetOpNode, ctx: RewriteContext, mode: str) -> CopyResult:
+    from .influence import rename_originals
+
+    left = rewrite_copy(node.left, ctx, mode)
+    right = rewrite_copy(node.right, ctx, mode)
+    out_names = node.schema.names
+    left_names = node.left.schema.names
+    right_names = node.right.schema.names
+
+    if node.kind == "union":
+        left_items = [
+            (out, ax.Column(inner)) for out, inner in zip(out_names, left_names)
+        ] + prov_items(left.prov) + null_items(right.prov)
+        right_items = [
+            (out, ax.Column(inner)) for out, inner in zip(out_names, right_names)
+        ] + null_items(left.prov) + prov_items(right.prov)
+        rewritten = an.SetOpNode(
+            an.Project(left.node, left_items),
+            an.Project(right.node, right_items),
+            "union",
+            all=True,
+        )
+        copies = {
+            out: left.copies.get(l, frozenset()) | right.copies.get(r, frozenset())
+            for out, l, r in zip(out_names, left_names, right_names)
+        }
+        return CopyResult(
+            rewritten, left.prov + right.prov, copies, left.always_live | right.always_live
+        )
+
+    renamed_left, map_left = rename_originals(ctx, _as_rewrite(left))
+    left_cond = join_back_condition(out_names, [map_left[n] for n in left_names])
+    joined: an.Node = an.Join(node, renamed_left, "left", left_cond)
+
+    if node.kind == "intersect":
+        renamed_right, map_right = rename_originals(ctx, _as_rewrite(right))
+        right_cond = join_back_condition(out_names, [map_right[n] for n in right_names])
+        joined = an.Join(joined, renamed_right, "left", right_cond)
+        right_prov = prov_items(right.prov)
+        copies = {
+            out: left.copies.get(l, frozenset()) | right.copies.get(r, frozenset())
+            for out, l, r in zip(out_names, left_names, right_names)
+        }
+    else:  # except: result values come from the left input only
+        right_prov = null_items(right.prov)
+        copies = {
+            out: left.copies.get(l, frozenset())
+            for out, l in zip(out_names, left_names)
+        }
+
+    items = (
+        [(out, ax.Column(out)) for out in out_names]
+        + prov_items(left.prov)
+        + right_prov
+    )
+    return CopyResult(
+        an.Project(joined, items),
+        left.prov + right.prov,
+        copies,
+        left.always_live | right.always_live,
+    )
+
+
+def _as_rewrite(result: CopyResult):
+    """Adapter so copy results can reuse the influence helpers."""
+    from .influence import RewriteResult
+
+    return RewriteResult(result.node, result.prov)

@@ -1,0 +1,51 @@
+"""Eager (materialized) provenance.
+
+The paper (§1): a user can "decide whether he will store the provenance
+of a query for later reuse or let the system compute it on the fly".
+*Lazy* provenance is just running ``SELECT PROVENANCE ...``; *eager*
+provenance materializes that result once:
+
+* ``CREATE TABLE p AS SELECT PROVENANCE ...`` stores the provenance
+  relation; the engine registers which of its columns are provenance in
+  the catalog.
+* A later query over ``p`` — optionally with an explicit
+  ``PROVENANCE (attrs)`` annotation, or relying on the catalog
+  registration — resumes the rewrite from the stored columns instead of
+  recomputing them (incremental provenance computation, §2.4).
+
+This module provides the convenience API used by examples and
+benchmarks; the SQL path works without it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import RewriteError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine.session import PermDB
+    from ..storage.table import Relation
+
+
+def materialize_provenance(db: "PermDB", name: str, provenance_sql: str) -> "Relation":
+    """Store the result of *provenance_sql* as table *name* and register
+    its provenance columns for later reuse.
+
+    Equivalent to ``CREATE TABLE <name> AS <provenance_sql>`` — provided
+    as an explicit API so applications can manage eager provenance
+    programmatically.
+    """
+    result = db.execute(provenance_sql)
+    if not result.provenance_attrs:
+        raise RewriteError(
+            "materialize_provenance() expects a SELECT PROVENANCE query "
+            "(the result carries no provenance attributes)"
+        )
+    db.create_table_from_relation(name, result)
+    return result
+
+
+def stored_provenance_attrs(db: "PermDB", name: str) -> tuple[str, ...]:
+    """The registered provenance columns of a stored relation."""
+    return db.catalog.provenance_attrs(name)

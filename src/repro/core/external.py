@@ -1,0 +1,56 @@
+"""External provenance.
+
+The paper (§2.2): "the rewrite rules are unaware of how the provenance
+attributes of their input were produced. This is a huge advantage,
+because it enables us to use the rewrite rules to propagate provenance
+information that was not produced by Perm" — e.g. manual annotations or
+columns imported from another provenance management system.
+
+Two mechanisms expose external provenance to the rewriter:
+
+* per-query: the SQL-PLE ``PROVENANCE (attr, ...)`` modifier on a FROM
+  item (parsed into ``provenance_attrs`` on the FROM item, turned into a
+  :class:`~repro.algebra.nodes.BaseRelationNode` by the analyzer, and
+  consumed by the rewrite rules);
+* persistent: registering the provenance columns of a stored relation in
+  the catalog with :func:`attach_external_provenance`, after which every
+  provenance query over that relation picks them up automatically.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from ..errors import CatalogError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine.session import PermDB
+
+
+def attach_external_provenance(db: "PermDB", relation: str, attrs: Sequence[str]) -> None:
+    """Register *attrs* of *relation* as provenance columns.
+
+    Validates that every attribute exists. Subsequent provenance queries
+    over *relation* treat these columns as its provenance instead of
+    rewriting below it.
+    """
+    catalog = db.catalog
+    if catalog.has_table(relation):
+        schema = catalog.table(relation).schema
+    elif catalog.has_view(relation):
+        # Validate against the view's analyzed output schema.
+        schema = db.analyze_relation_schema(relation)
+    else:
+        raise CatalogError(f"relation {relation!r} does not exist")
+    for attr in attrs:
+        if not schema.has(attr):
+            raise CatalogError(
+                f"relation {relation!r} has no attribute {attr!r} "
+                f"(have: {', '.join(schema.names)})"
+            )
+    catalog.register_provenance_attrs(relation, tuple(attrs))
+
+
+def detach_external_provenance(db: "PermDB", relation: str) -> None:
+    """Remove any provenance registration from *relation*."""
+    db.catalog.register_provenance_attrs(relation, ())

@@ -1,0 +1,435 @@
+"""Influence contribution semantics (PI-CS / why-provenance) rewrite rules.
+
+Implements the algebraic rules of the paper's §2.2 (full definitions in
+its companion paper, Glavic & Alonso, ICDE 2009). Every rule consumes a
+rewritten input ``T+`` together with its provenance attribute list
+``P(T+)`` and produces the rewritten operator — the rules are
+compositional and "unaware of how the provenance attributes of their
+input were produced", which is what enables external provenance and
+incremental (eager) provenance to flow through unchanged.
+
+Rule summary (``A`` = original attributes, ``P`` = provenance
+attributes, ``≐`` = null-safe equality / IS NOT DISTINCT FROM):
+
+====================  ====================================================
+operator              rewrite
+====================  ====================================================
+base access R         ``Π_{A, A→prov_R_A}(R)``
+σ_C(T)                ``σ_C(T+)``
+Π_A(T)                ``Π_{A,P}(T+)``
+T1 ⋈_C T2 (any kind)  ``T1+ ⋈_C T2+``
+α_{G,agg}(T)          ``Π_{G,agg,P}(α_{G,agg}(T) ⟕_{G ≐ G'} ren(T+))``
+T1 ∪ T2               ``Π_{A,P1,null(P2)}(T1+) ⊎ Π_{A,null(P1),P2}(T2+)``
+                      (alternative join-back strategy available)
+T1 ∩ T2               ``Π((T1 ∩ T2) ⋈_{A≐A1} ren(T1+) ⋈_{A≐A2} ren(T2+))``
+T1 − T2               ``Π((T1 − T2) ⋈_{A≐A1} ren(T1+) ⟕_true ren(T2+))``
+                      (Cui–Widom lineage: all of T2 contributes; a
+                      left-only option drops the T2 side)
+δ(T)                  ``δ(T+)``
+sort                  rewrite below, keys unchanged
+limit                 join the limited original back to ``T+``
+====================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..algebra import expressions as ax
+from ..algebra import nodes as an
+from ..catalog.schema import Schema
+from ..datatypes import SQLType
+from ..errors import RewriteError
+from .context import RewriteContext
+from .naming import ProvAttr
+
+__all__ = ["RewriteResult", "rewrite_influence"]
+
+
+@dataclass
+class RewriteResult:
+    """A rewritten subtree plus its provenance attribute list P(T+)."""
+
+    node: an.Node
+    prov: list[ProvAttr]
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers (also used by the copy-semantics rules)
+# ---------------------------------------------------------------------------
+
+def identity_items(schema: Schema) -> list[tuple[str, ax.Expr]]:
+    return [(attribute.name, ax.Column(attribute.name)) for attribute in schema]
+
+
+def prov_items(provs: list[ProvAttr]) -> list[tuple[str, ax.Expr]]:
+    return [(p.name, ax.Column(p.name)) for p in provs]
+
+
+def null_items(provs: list[ProvAttr]) -> list[tuple[str, ax.Expr]]:
+    return [(p.name, ax.Const(None, p.type)) for p in provs]
+
+
+def prov_output_items(
+    ctx: RewriteContext,
+    base_names: list[str],
+    provs: list[ProvAttr],
+    value_expr=None,
+) -> tuple[list[tuple[str, ax.Expr]], list[ProvAttr]]:
+    """Projection items exposing the provenance attributes next to
+    *base_names*, renaming any provenance attribute whose name collides
+    with a user-visible output column (e.g. a stored column that happens
+    to be called ``prov_r_a``). ``value_expr(p)`` supplies the expression
+    for each attribute (default: a reference to its current column).
+
+    Deterministic for a given (base_names, provs) pair, so the union rule
+    can call it once per branch and obtain identical output names.
+    """
+    if value_expr is None:
+        value_expr = lambda p: ax.Column(p.name)  # noqa: E731
+    taken = {name.lower() for name in base_names}
+    items: list[tuple[str, ax.Expr]] = []
+    final: list[ProvAttr] = []
+    for p in provs:
+        name = p.name
+        while name.lower() in taken:
+            name += "_"
+        if name != p.name:
+            ctx.naming.claim(name)
+            final.append(ProvAttr(name, p.relation, p.attribute, p.type, p.access))
+        else:
+            final.append(p)
+        taken.add(name.lower())
+        items.append((name, value_expr(p)))
+    return items, final
+
+
+def rename_originals(
+    ctx: RewriteContext, result: "RewriteResult"
+) -> tuple[an.Node, dict[str, str]]:
+    """Rename the *original* attributes of a rewritten subtree with a
+    fresh prefix (keeping provenance attribute names), so it can be
+    joined to a copy of the original query without name collisions.
+
+    Returns the projected node and the old -> new name mapping.
+    """
+    prefix = ctx.fresh_prefix()
+    mapping: dict[str, str] = {}
+    items: list[tuple[str, ax.Expr]] = []
+    prov_names = {p.name for p in result.prov}
+    for attribute in result.node.schema:
+        if attribute.name in prov_names:
+            items.append((attribute.name, ax.Column(attribute.name)))
+        else:
+            new_name = f"{prefix}.{attribute.name}"
+            mapping[attribute.name] = new_name
+            items.append((new_name, ax.Column(attribute.name)))
+    return an.Project(result.node, items), mapping
+
+
+def join_back_condition(
+    original_names: list[str], renamed_names: list[str]
+) -> ax.Expr:
+    """``AND_i original_i ≐ renamed_i`` — the null-safe equality join the
+    aggregation / set-operation / limit rules re-attach provenance with."""
+    parts: list[ax.Expr] = [
+        ax.DistinctTest(ax.Column(o), ax.Column(r), negated=True)
+        for o, r in zip(original_names, renamed_names)
+    ]
+    combined = ax.combine_conjuncts(parts)
+    return combined if combined is not None else ax.Const(True, SQLType.BOOL)
+
+
+def _expr_has_subquery(expr: ax.Expr) -> bool:
+    return any(isinstance(sub, ax.SubqueryExpr) for sub in ax.walk_expr(expr))
+
+
+# ---------------------------------------------------------------------------
+# The rewriter
+# ---------------------------------------------------------------------------
+
+def rewrite_influence(node: an.Node, ctx: RewriteContext) -> RewriteResult:
+    """Rewrite *node* under influence contribution semantics."""
+    if isinstance(node, an.Scan):
+        return _rewrite_scan(node, ctx)
+    if isinstance(node, an.SingleRow):
+        return RewriteResult(node, [])
+    if isinstance(node, an.BaseRelationNode):
+        return _rewrite_base_relation(node, ctx)
+    if isinstance(node, an.Project):
+        child = rewrite_influence(node.child, ctx)
+        extra, provs = prov_output_items(
+            ctx, [name for name, _ in node.items], child.prov
+        )
+        return RewriteResult(an.Project(child.node, list(node.items) + extra), provs)
+    if isinstance(node, an.Select):
+        from .sublinks import rewrite_select_with_sublinks
+
+        return rewrite_select_with_sublinks(node, ctx, rewrite_influence)
+    if isinstance(node, an.Join):
+        left = rewrite_influence(node.left, ctx)
+        right = rewrite_influence(node.right, ctx)
+        joined = an.Join(left.node, right.node, node.kind, node.condition)
+        return RewriteResult(joined, left.prov + right.prov)
+    if isinstance(node, an.Aggregate):
+        return _rewrite_aggregate(node, ctx, rewrite_influence)
+    if isinstance(node, an.SetOpNode):
+        return _rewrite_setop(node, ctx, rewrite_influence)
+    if isinstance(node, an.Distinct):
+        child = rewrite_influence(node.child, ctx)
+        return RewriteResult(an.Distinct(child.node), child.prov)
+    if isinstance(node, an.Sort):
+        child = rewrite_influence(node.child, ctx)
+        return RewriteResult(an.Sort(child.node, node.keys), child.prov)
+    if isinstance(node, an.Limit):
+        return _rewrite_limit(node, ctx, rewrite_influence)
+    if isinstance(node, an.ProvenanceNode):
+        raise RewriteError(
+            "nested ProvenanceNode must be expanded before the influence "
+            "rewrite (driver bug)"
+        )
+    raise RewriteError(f"no influence rewrite rule for {type(node).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Per-operator rules
+# ---------------------------------------------------------------------------
+
+def _rewrite_scan(node: an.Scan, ctx: RewriteContext) -> RewriteResult:
+    """Base relation access: duplicate every attribute under its
+    ``prov_<rel>_<attr>`` name."""
+    prefix = ctx.naming.relation_prefix(node.table_name)
+    provs: list[ProvAttr] = []
+    items = identity_items(node.schema)
+    for column, attribute in zip(node.columns, node.schema):
+        prov_name = ctx.naming.attribute_name(prefix, column)
+        provs.append(ProvAttr(prov_name, node.table_name, column, attribute.type, prefix))
+        items.append((prov_name, ax.Column(attribute.name)))
+    return RewriteResult(an.Project(node, items), provs)
+
+
+def _rewrite_base_relation(node: an.BaseRelationNode, ctx: RewriteContext) -> RewriteResult:
+    """``BASERELATION`` / external ``PROVENANCE (attrs)`` (paper §2.4).
+
+    Without an attribute list, the subtree is treated like a base
+    relation: every output attribute is duplicated under a provenance
+    name derived from the relation label. With a list, the named
+    attributes *already are* provenance (produced manually, by another
+    PMS, or by an earlier eager Perm run) and are re-exposed under their
+    stored names — the rewrite rules above this node cannot tell the
+    difference, which is the paper's point about external provenance.
+    """
+    child = node.child  # not rewritten: the rewrite stops here
+    items = identity_items(child.schema)
+    provs: list[ProvAttr] = []
+    if node.provenance_attrs is None:
+        prefix = ctx.naming.relation_prefix(node.relation_label)
+        for attribute in child.schema:
+            base = attribute.name.rsplit(".", 1)[-1]
+            prov_name = ctx.naming.attribute_name(prefix, base)
+            provs.append(ProvAttr(prov_name, node.relation_label, base, attribute.type, prefix))
+            items.append((prov_name, ax.Column(attribute.name)))
+    else:
+        for unique_name in node.provenance_attrs:
+            attribute = child.schema.attribute(unique_name)
+            base = attribute.name.rsplit(".", 1)[-1]
+            prov_name = base
+            # Stored provenance columns keep their stored names unless
+            # that name is already taken in this rewrite.
+            if prov_name in {p.name for p in provs}:
+                prov_name = ctx.naming.attribute_name("prov", base)
+            ctx.naming.claim(prov_name)
+            provs.append(
+                ProvAttr(prov_name, node.relation_label, base, attribute.type, f"ext_{node.relation_label}")
+            )
+            items.append((prov_name, ax.Column(unique_name)))
+    return RewriteResult(an.Project(child, items), provs)
+
+
+def _rewrite_aggregate(node: an.Aggregate, ctx: RewriteContext, rewrite) -> RewriteResult:
+    """``(α_{G,agg}(T))+ = Π_{G,agg,P}(α_{G,agg}(T) ⟕_{G ≐ G'} ren(T+))``.
+
+    The original aggregation runs untouched (so aggregate values are
+    exactly those of the original query) and is joined back to the
+    rewritten input on the group-by expressions under null-safe
+    equality; with no GROUP BY the join condition is TRUE, so the single
+    aggregate row picks up every input tuple as provenance — and
+    survives with NULL provenance when the input is empty.
+    """
+    for _, group_expr in node.group_items:
+        if _expr_has_subquery(group_expr):
+            raise RewriteError(
+                "GROUP BY expressions containing subqueries are not supported "
+                "in provenance queries"
+            )
+    child = rewrite(node.child, ctx)
+    renamed, mapping = rename_originals(ctx, child)
+
+    conditions: list[ax.Expr] = []
+    for group_name, group_expr in node.group_items:
+        renamed_expr = ax.rename_columns(group_expr, mapping)
+        conditions.append(
+            ax.DistinctTest(ax.Column(group_name), renamed_expr, negated=True)
+        )
+    condition = ax.combine_conjuncts(conditions)
+    if condition is None:
+        condition = ax.Const(True, SQLType.BOOL)
+
+    joined = an.Join(node, renamed, "left", condition)
+    extra, provs = prov_output_items(ctx, node.schema.names, child.prov)
+    items = identity_items(node.schema) + extra
+    return RewriteResult(an.Project(joined, items), provs)
+
+
+def _rewrite_limit(node: an.Limit, ctx: RewriteContext, rewrite) -> RewriteResult:
+    """Join the limited original result back to the rewritten input.
+
+    Note: if the limited result contains duplicate rows, each duplicate
+    picks up the witnesses of every equal row (the relational
+    representation cannot distinguish them); the companion papers accept
+    the same for TOP-k queries.
+    """
+    child = rewrite(node.child, ctx)
+    renamed, mapping = rename_originals(ctx, child)
+    original_names = node.schema.names
+    renamed_names = [mapping[name] for name in original_names]
+    condition = join_back_condition(original_names, renamed_names)
+    joined = an.Join(node, renamed, "left", condition)
+    extra, provs = prov_output_items(ctx, node.schema.names, child.prov)
+    items = identity_items(node.schema) + extra
+    return RewriteResult(an.Project(joined, items), provs)
+
+
+# ---------------------------------------------------------------------------
+# Set operations (with strategy choice, paper §2.2)
+# ---------------------------------------------------------------------------
+
+def _rewrite_setop(node: an.SetOpNode, ctx: RewriteContext, rewrite) -> RewriteResult:
+    left = rewrite(node.left, ctx)
+    right = rewrite(node.right, ctx)
+    if node.kind == "union":
+        from .strategies import choose_union_strategy
+
+        return choose_union_strategy(node, left, right, ctx)
+    if node.kind == "intersect":
+        return _rewrite_intersect(node, left, right, ctx)
+    if node.kind == "except":
+        return _rewrite_except(node, left, right, ctx)
+    raise RewriteError(f"unknown set operation {node.kind!r}")
+
+
+def union_pad_strategy(
+    node: an.SetOpNode, left: RewriteResult, right: RewriteResult, ctx: RewriteContext
+) -> RewriteResult:
+    """``Π_{A,P1,null(P2)}(T1+) ⊎ Π_{A,null(P1),P2}(T2+)`` — each branch
+    keeps its own witnesses and is NULL-padded for the other branch's
+    provenance attributes. This is exactly the shape of Figure 2 in the
+    paper: the ``lorem ipsum`` tuple carries ``messages`` provenance and
+    NULLs under the ``imports`` columns."""
+    out_names = node.schema.names
+    left_names = node.left.schema.names
+    right_names = node.right.schema.names
+    all_provs = left.prov + right.prov
+    left_set = {p.name for p in left.prov}
+
+    left_extra, provs = prov_output_items(
+        ctx,
+        out_names,
+        all_provs,
+        value_expr=lambda p: ax.Column(p.name) if p.name in left_set else ax.Const(None, p.type),
+    )
+    right_extra, _ = prov_output_items(
+        ctx,
+        out_names,
+        all_provs,
+        value_expr=lambda p: ax.Const(None, p.type) if p.name in left_set else ax.Column(p.name),
+    )
+    left_items = [
+        (out, ax.Column(inner)) for out, inner in zip(out_names, left_names)
+    ] + left_extra
+    right_items = [
+        (out, ax.Column(inner)) for out, inner in zip(out_names, right_names)
+    ] + right_extra
+
+    left_proj = an.Project(left.node, left_items)
+    right_proj = an.Project(right.node, right_items)
+    rewritten = an.SetOpNode(left_proj, right_proj, "union", all=True)
+    return RewriteResult(rewritten, provs)
+
+
+def union_joinback_strategy(
+    node: an.SetOpNode, left: RewriteResult, right: RewriteResult, ctx: RewriteContext
+) -> RewriteResult:
+    """``(T1 ∪ T2) ⟕_{A ≐ A'} (padded union of T1+, T2+)`` — computes the
+    original (deduplicated) union once and re-attaches witnesses by
+    join. Only valid for set union; UNION ALL always pads.
+
+    Compared to the pad strategy this pays an extra join but can win
+    when the union result is small relative to the rewritten inputs
+    (aggressive deduplication), the trade-off the paper's §2.2 strategy
+    chooser weighs.
+    """
+    if node.all:
+        raise RewriteError("join-back union strategy is not valid for UNION ALL")
+    padded = union_pad_strategy(node, left, right, ctx)
+    renamed, mapping = rename_originals(ctx, padded)
+    original_names = node.schema.names
+    renamed_names = [mapping[name] for name in original_names]
+    condition = join_back_condition(original_names, renamed_names)
+    joined = an.Join(node, renamed, "left", condition)
+    # Pad strategy already deconflicted names against the output schema.
+    items = identity_items(node.schema) + prov_items(padded.prov)
+    return RewriteResult(an.Project(joined, items), padded.prov)
+
+
+def _rewrite_intersect(
+    node: an.SetOpNode, left: RewriteResult, right: RewriteResult, ctx: RewriteContext
+) -> RewriteResult:
+    """Each intersection tuple joins its witnesses from both inputs."""
+    renamed_left, map_left = rename_originals(ctx, left)
+    renamed_right, map_right = rename_originals(ctx, right)
+    out_names = node.schema.names
+    left_cond = join_back_condition(
+        out_names, [map_left[n] for n in node.left.schema.names]
+    )
+    right_cond = join_back_condition(
+        out_names, [map_right[n] for n in node.right.schema.names]
+    )
+    joined = an.Join(
+        an.Join(node, renamed_left, "left", left_cond),
+        renamed_right,
+        "left",
+        right_cond,
+    )
+    extra, provs = prov_output_items(ctx, node.schema.names, left.prov + right.prov)
+    items = identity_items(node.schema) + extra
+    return RewriteResult(an.Project(joined, items), provs)
+
+
+def _rewrite_except(
+    node: an.SetOpNode, left: RewriteResult, right: RewriteResult, ctx: RewriteContext
+) -> RewriteResult:
+    """``T1 − T2``: the surviving tuple's witness from ``T1`` plus —
+    under the default Cui–Widom-compatible semantics — every tuple of
+    ``T2`` (each of them "influences" the survival by failing to match).
+    The ``left-only`` option keeps the schema but NULLs the T2 side.
+    """
+    renamed_left, map_left = rename_originals(ctx, left)
+    left_cond = join_back_condition(
+        node.schema.names, [map_left[n] for n in node.left.schema.names]
+    )
+    joined: an.Node = an.Join(node, renamed_left, "left", left_cond)
+    if ctx.options.difference_semantics == "lineage":
+        renamed_right, _ = rename_originals(ctx, right)
+        joined = an.Join(joined, renamed_right, "left", ax.Const(True, SQLType.BOOL))
+        nulled: set[str] = set()
+    else:
+        nulled = {p.name for p in right.prov}
+    extra, provs = prov_output_items(
+        ctx,
+        node.schema.names,
+        left.prov + right.prov,
+        value_expr=lambda p: ax.Const(None, p.type) if p.name in nulled else ax.Column(p.name),
+    )
+    items = identity_items(node.schema) + extra
+    return RewriteResult(an.Project(joined, items), provs)

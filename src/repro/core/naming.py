@@ -1,0 +1,89 @@
+"""Provenance attribute naming.
+
+The paper (§2.1): "all attributes from the relevant base relations are
+appended to the result schema of the original query. To distinguish
+between original attributes and provenance attributes, provenance
+attributes are identified by a prefix and the name of the relation they
+are derived from" — i.e. ``prov_<relation>_<attribute>``.
+
+When the same relation is accessed more than once in a query (self
+joins, a relation on both sides of a UNION), Perm numbers the repeated
+accesses; we do the same: the second access to ``r`` yields
+``prov_r_1_<attribute>``, the third ``prov_r_2_<attribute>``, and so on.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..datatypes import SQLType
+
+
+@dataclass(frozen=True)
+class ProvAttr:
+    """One provenance attribute of a rewritten query.
+
+    ``name`` is the output column name (``prov_messages_mid``);
+    ``relation``/``attribute`` identify the base relation attribute the
+    column witnesses; ``type`` is its SQL type (used for typed NULL
+    padding in the union rule and Figure 2's NULL cells); ``access``
+    groups the attributes of one relation *access* together (self joins
+    access a relation twice), which the COPY COMPLETE semantics needs to
+    keep whole contributing tuples.
+    """
+
+    name: str
+    relation: str
+    attribute: str
+    type: SQLType
+    access: str = ""
+
+
+_SANITIZE = re.compile(r"[^a-z0-9_]+")
+
+
+def sanitize(part: str) -> str:
+    """Lower-case and strip characters that would make an awkward
+    identifier (Perm folds names the way PostgreSQL folds unquoted
+    identifiers)."""
+    cleaned = _SANITIZE.sub("_", part.lower()).strip("_")
+    return cleaned or "x"
+
+
+class ProvNameGenerator:
+    """Generates unique provenance attribute names for one rewrite.
+
+    One instance lives for the duration of a provenance rewrite, so
+    numbering of repeated relation accesses is consistent across the
+    whole query tree.
+    """
+
+    def __init__(self) -> None:
+        self._relation_uses: dict[str, int] = {}
+        self._taken: set[str] = set()
+
+    def relation_prefix(self, relation: str) -> str:
+        """Reserve the next access number for *relation* and return the
+        name prefix for its attributes."""
+        key = sanitize(relation)
+        use = self._relation_uses.get(key, 0)
+        self._relation_uses[key] = use + 1
+        if use == 0:
+            return f"prov_{key}"
+        return f"prov_{key}_{use}"
+
+    def attribute_name(self, prefix: str, attribute: str) -> str:
+        """Unique column name for one attribute under a relation prefix."""
+        base = f"{prefix}_{sanitize(attribute)}"
+        candidate = base
+        suffix = 0
+        while candidate in self._taken:
+            suffix += 1
+            candidate = f"{base}_{suffix}"
+        self._taken.add(candidate)
+        return candidate
+
+    def claim(self, name: str) -> None:
+        """Mark an externally supplied provenance column name as taken."""
+        self._taken.add(name)

@@ -1,0 +1,150 @@
+"""The provenance rewrite driver.
+
+Finds every :class:`~repro.algebra.nodes.ProvenanceNode` marker the
+analyzer planted (``SELECT PROVENANCE ...``), rewrites the subtree below
+it under the requested contribution semantics, and replaces the marker
+with the rewritten tree whose schema is the original result attributes
+followed by the ``prov_*`` attributes — the paper's provenance
+representation (§2.1). Markers nested inside derived tables or sublinks
+are expanded innermost-first, so a provenance query over a provenance
+query rewrites the already-rewritten form, exactly as Perm does on
+PostgreSQL query trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..algebra import expressions as ax
+from ..algebra import nodes as an
+from ..algebra.tree import transform_subplans, transform_tree, walk_tree_with_subplans
+from ..catalog.catalog import Catalog
+from ..catalog.schema import Schema
+from ..errors import RewriteError
+from .context import RewriteContext, RewriteOptions
+from .copy import rewrite_copy
+from .influence import RewriteResult, rewrite_influence
+from .naming import ProvAttr
+
+__all__ = ["ProvenanceRewriter", "RewriteOptions", "contains_provenance_marker"]
+
+
+def contains_provenance_marker(node: an.Node) -> bool:
+    """Whether any ``SELECT PROVENANCE`` marker remains in the tree."""
+    return any(
+        isinstance(sub, an.ProvenanceNode) for sub in walk_tree_with_subplans(node)
+    )
+
+
+@dataclass
+class ExpandedQuery:
+    """Result of marker expansion for one query tree."""
+
+    node: an.Node
+    # Provenance attributes of the *root* marker (empty if the root was
+    # not a provenance query; nested markers' attributes become ordinary
+    # columns of their subtrees).
+    prov: list[ProvAttr] = field(default_factory=list)
+
+    @property
+    def provenance_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.prov)
+
+
+class ProvenanceRewriter:
+    """Rewrites queries with ``SELECT PROVENANCE`` markers.
+
+    This is the "Provenance Rewriter" box in the paper's Figure 3 —
+    sitting between the analyzer and the optimizer/planner.
+    """
+
+    def __init__(self, catalog: Catalog, options: Optional[RewriteOptions] = None):
+        self.catalog = catalog
+        self.options = options or RewriteOptions()
+
+    # ------------------------------------------------------------------
+    def expand(self, root: an.Node) -> ExpandedQuery:
+        """Expand every marker in *root*; report the root marker's
+        provenance attributes so the engine can annotate the result."""
+        ctx = self._context()
+        return self._expand_root(root, ctx)
+
+    def _expand_root(self, root: an.Node, ctx: RewriteContext) -> ExpandedQuery:
+        if isinstance(root, an.ProvenanceNode):
+            inner = self._expand_nested(root.child, ctx)
+            result = self._rewrite_block(inner, root.contribution, ctx)
+            node, prov = self._normalize(inner.schema, result)
+            return ExpandedQuery(node, prov)
+        if isinstance(root, (an.Sort, an.Limit)):
+            # ORDER BY / LIMIT above the provenance marker (e.g. a sorted
+            # provenance union): rewrite below, keep the wrapper, and
+            # still report the provenance attributes.
+            inner = self._expand_root(root.children[0], ctx)
+            return ExpandedQuery(root.with_children([inner.node]), inner.prov)
+        return ExpandedQuery(self._expand_nested(root, ctx), [])
+
+    def rewrite_tree(
+        self, node: an.Node, contribution: str = "influence"
+    ) -> tuple[an.Node, list[ProvAttr]]:
+        """Rewrite a marker-free tree directly (library-level API used by
+        benchmarks and tests to compare strategies)."""
+        ctx = self._context()
+        inner = self._expand_nested(node, ctx)
+        result = self._rewrite_block(inner, contribution, ctx)
+        return self._normalize(inner.schema, result)
+
+    # ------------------------------------------------------------------
+    def _context(self) -> RewriteContext:
+        return RewriteContext(catalog=self.catalog, options=self.options)
+
+    def _expand_nested(self, node: an.Node, ctx: RewriteContext) -> an.Node:
+        """Replace markers strictly below the root, innermost-first, in
+        both the operator tree and sublink subplans."""
+        node = transform_subplans(node, lambda plan: self._expand_nested(plan, ctx))
+
+        def replace_marker(candidate: an.Node) -> Optional[an.Node]:
+            if isinstance(candidate, an.ProvenanceNode):
+                result = self._rewrite_block(candidate.child, candidate.contribution, ctx)
+                rewritten, _ = self._normalize(candidate.child.schema, result)
+                return rewritten
+            return None
+
+        return transform_tree(node, replace_marker)
+
+    def _rewrite_block(
+        self, node: an.Node, contribution: str, ctx: RewriteContext
+    ) -> RewriteResult:
+        if contribution == "influence":
+            return rewrite_influence(node, ctx)
+        if contribution == "copy partial":
+            result = rewrite_copy(node, ctx, "partial")
+            return RewriteResult(result.node, result.prov)
+        if contribution == "copy complete":
+            result = rewrite_copy(node, ctx, "complete")
+            return RewriteResult(result.node, result.prov)
+        raise RewriteError(f"unknown contribution semantics {contribution!r}")
+
+    def _normalize(
+        self, original_schema: Schema, result: RewriteResult
+    ) -> tuple[an.Node, list[ProvAttr]]:
+        """Final projection: original result attributes first (in their
+        original order), then every provenance attribute — the schema
+        shape of Figure 2. Provenance names colliding with original
+        output names (possible when a user selects a stored provenance
+        column) are disambiguated here."""
+        taken = {a.name.lower() for a in original_schema}
+        items: list[tuple[str, ax.Expr]] = [
+            (attribute.name, ax.Column(attribute.name)) for attribute in original_schema
+        ]
+        final_prov: list[ProvAttr] = []
+        for p in result.prov:
+            name = p.name
+            while name.lower() in taken:
+                name = name + "_"
+            taken.add(name.lower())
+            items.append((name, ax.Column(p.name)))
+            final_prov.append(
+                ProvAttr(name, p.relation, p.attribute, p.type, p.access)
+            )
+        return an.Project(result.node, items), final_prov

@@ -1,0 +1,72 @@
+"""Rewrite-strategy selection.
+
+Paper §2.2: "For some operators there is more than one rewrite rule that
+produces the provenance of the operator. For this type of operator the
+choice of rewrite rule influences the performance of the provenance
+computation. We provide a heuristic and a cost-based solution for
+choosing the best rewrite strategy."
+
+Concretely, for set UNION two rules exist (pad-union and join-back; see
+:mod:`repro.core.influence`), and for sublinks GEN/LEFT/KEEP (see
+:mod:`repro.core.sublinks`). This module implements the chooser:
+
+* ``heuristic`` — pad-union always (it avoids the extra join and wins
+  unless deduplication is extreme); GEN/LEFT by correlation shape.
+* ``cost`` — build every applicable candidate, estimate each with the
+  optimizer's cost model (:class:`repro.optimizer.cost.CostModel`) and
+  keep the cheapest, mirroring how Perm reuses PostgreSQL's costing.
+"""
+
+from __future__ import annotations
+
+from ..algebra import nodes as an
+from ..errors import RewriteError
+from .context import RewriteContext
+from .influence import RewriteResult, union_joinback_strategy, union_pad_strategy
+
+__all__ = ["choose_union_strategy", "union_strategy_candidates"]
+
+
+def union_strategy_candidates(
+    node: an.SetOpNode,
+    left: RewriteResult,
+    right: RewriteResult,
+    ctx: RewriteContext,
+) -> dict[str, RewriteResult]:
+    """All valid union rewrites for this operator, keyed by strategy name.
+
+    Join-back is only valid for set union (it would over-replicate under
+    UNION ALL, where equal tuples are distinct witnesses).
+    """
+    candidates = {"pad": union_pad_strategy(node, left, right, ctx)}
+    if not node.all:
+        candidates["joinback"] = union_joinback_strategy(node, left, right, ctx)
+    return candidates
+
+
+def choose_union_strategy(
+    node: an.SetOpNode,
+    left: RewriteResult,
+    right: RewriteResult,
+    ctx: RewriteContext,
+) -> RewriteResult:
+    """Pick the union rewrite according to ``ctx.options.union_strategy``."""
+    option = ctx.options.union_strategy
+    if option == "pad":
+        return union_pad_strategy(node, left, right, ctx)
+    if option == "joinback":
+        if node.all:
+            raise RewriteError(
+                "the join-back union strategy is not valid for UNION ALL; "
+                "use union_strategy='pad' (or 'heuristic'/'cost')"
+            )
+        return union_joinback_strategy(node, left, right, ctx)
+    candidates = union_strategy_candidates(node, left, right, ctx)
+    if option == "heuristic" or len(candidates) == 1:
+        # Heuristic: pad-union avoids the extra join over the (usually
+        # dominant) rewritten inputs.
+        return candidates["pad"]
+    assert option == "cost"
+    costs = {name: ctx.costs().cost(result.node) for name, result in candidates.items()}
+    best = min(costs, key=costs.__getitem__)
+    return candidates[best]

@@ -1,0 +1,285 @@
+"""Provenance for nested subqueries (sublinks).
+
+The demo paper supports "provenance for nested subqueries" via its EDBT
+2009 companion, which defines several strategies for rewriting sublinks
+so the tuples they access appear in the provenance. We implement the two
+core strategies plus a safe fallback:
+
+``GEN`` (unnesting)
+    A *positive, uncorrelated* ``IN``/``EXISTS`` conjunct becomes a join
+    between the rewritten outer input and the rewritten sublink query:
+    ``σ_{x IN q}(T)+  →  T+ ⋈_{x = q.col} ren(q+)``. Join multiplicity is
+    exactly provenance replication: one output row per witness from the
+    sublink.
+
+``LEFT`` (decorrelation + join)
+    A *positive, correlated* ``IN``/``EXISTS`` whose correlation
+    predicates sit in Select operators along the subplan's root spine
+    (Project/Select/Distinct chain) is decorrelated: the correlated
+    conjuncts are pulled out, their :class:`OuterColumn` references are
+    demoted to plain columns, and the decorrelated subquery joins the
+    outer input on those predicates.
+
+``KEEP`` (fallback)
+    Anything else (negated sublinks, scalar subqueries, quantified
+    comparisons, correlations the extractor cannot reach) keeps the
+    sublink as an opaque filter: the outer query's provenance is still
+    computed, but no provenance is collected from inside the sublink —
+    exactly Perm's behaviour when a sublink rewrite strategy is not
+    applicable.
+
+Strategy choice is heuristic (GEN when uncorrelated, LEFT when
+correlated) or cost-based via :mod:`repro.core.strategies`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..algebra import expressions as ax
+from ..algebra import nodes as an
+from .context import RewriteContext
+from .influence import RewriteResult, prov_items, identity_items
+
+RewriteFn = Callable[[an.Node, RewriteContext], RewriteResult]
+
+
+@dataclass
+class _SublinkPlan:
+    """A sublink conjunct the rewriter decided to unnest."""
+
+    conjunct: ax.SubqueryExpr
+    strategy: str  # "gen" or "left"
+    decorrelated: an.Node
+    # Correlation predicates with OuterColumn(level=1) demoted to Column.
+    join_conditions: list[ax.Expr]
+
+
+def rewrite_select_with_sublinks(
+    node: an.Select, ctx: RewriteContext, rewrite: RewriteFn
+) -> RewriteResult:
+    """Influence rule for σ, handling sublink conjuncts in the condition."""
+    child = rewrite(node.child, ctx)
+    strategy_option = ctx.options.sublink_strategy
+
+    if strategy_option == "keep":
+        return RewriteResult(an.Select(child.node, node.condition), child.prov)
+
+    plain: list[ax.Expr] = []
+    unnested: list[_SublinkPlan] = []
+    for conjunct in ax.conjuncts(node.condition):
+        plan = _plan_sublink(conjunct, ctx, strategy_option)
+        if plan is None:
+            plain.append(conjunct)
+        else:
+            unnested.append(plan)
+
+    if not unnested:
+        return RewriteResult(an.Select(child.node, node.condition), child.prov)
+
+    current = child.node
+    provs = list(child.prov)
+    for plan in unnested:
+        sub_result = rewrite(plan.decorrelated, ctx)
+        renamed, mapping = _rename_sub(ctx, sub_result)
+        conditions = [
+            ax.rename_columns(c, mapping) for c in plan.join_conditions
+        ]
+        membership = _membership_condition(plan.conjunct, mapping)
+        if membership is not None:
+            conditions.append(membership)
+        condition = ax.combine_conjuncts(conditions)
+        if condition is None:
+            current = an.Join(current, renamed, "cross", None)
+        else:
+            current = an.Join(current, renamed, "inner", condition)
+        provs.extend(sub_result.prov)
+
+    remaining = ax.combine_conjuncts(plain)
+    result_node: an.Node = current if remaining is None else an.Select(current, remaining)
+    # Narrow back to the outer schema plus all provenance attributes so
+    # parent rules see the expected shape.
+    items = identity_items(child.node.schema)
+    have = {name for name, _ in items}
+    items += [(p.name, ax.Column(p.name)) for p in provs if p.name not in have]
+    return RewriteResult(an.Project(result_node, items), provs)
+
+
+# ---------------------------------------------------------------------------
+# Sublink planning
+# ---------------------------------------------------------------------------
+
+def _plan_sublink(
+    conjunct: ax.Expr, ctx: RewriteContext, strategy_option: str
+) -> Optional[_SublinkPlan]:
+    """Decide whether and how to unnest a conjunct. Returns ``None`` for
+    the KEEP fallback."""
+    if not isinstance(conjunct, ax.SubqueryExpr):
+        return None
+    if conjunct.negated or conjunct.kind not in ("in", "exists"):
+        return None
+    correlated_names = ax._outer_columns_of_plan(conjunct.plan, level=1)
+
+    if not correlated_names:
+        if strategy_option == "left":
+            return None  # user forced LEFT; it needs correlation predicates
+        return _SublinkPlan(conjunct, "gen", conjunct.plan, [])
+
+    if strategy_option == "gen":
+        return None  # user forced GEN; it cannot handle correlation
+    extracted = _decorrelate(conjunct.plan)
+    if extracted is None:
+        return None
+    decorrelated, join_conditions = extracted
+    return _SublinkPlan(conjunct, "left", decorrelated, join_conditions)
+
+
+def _decorrelate(plan: an.Node) -> Optional[tuple[an.Node, list[ax.Expr]]]:
+    """Pull level-1 correlated conjuncts out of Select operators on the
+    root spine (Project/Select/Distinct/Sort chain) of *plan*.
+
+    The columns those conjuncts reference must survive to the subplan's
+    output, so every Project above an extraction point is widened with
+    the needed columns. Returns ``None`` when the correlation sits under
+    an operator we cannot safely cross (join, aggregate, set operation,
+    limit — crossing those would change semantics).
+    """
+    spine: list[an.Node] = []
+    current = plan
+    while True:
+        if isinstance(current, an.Select):
+            spine.append(current)
+            current = current.child
+            continue
+        if isinstance(current, (an.Project, an.Distinct, an.Sort)):
+            if _node_exprs_correlated(current):
+                return None
+            spine.append(current)
+            current = current.child
+            continue
+        break
+    # Below the spine, no correlation may remain.
+    if _subtree_correlated(current):
+        return None
+
+    extracted: list[ax.Expr] = []
+    needed: set[str] = set()
+
+    def rebuild(index: int) -> an.Node:
+        if index == len(spine):
+            return current
+        node = spine[index]
+        child = rebuild(index + 1)
+        if isinstance(node, an.Select):
+            keep: list[ax.Expr] = []
+            for conjunct in ax.conjuncts(node.condition):
+                if _expr_correlated(conjunct):
+                    demoted = _demote_outer(conjunct)
+                    if demoted is None:
+                        keep.append(conjunct)
+                        continue
+                    extracted.append(demoted)
+                    for sub in ax.walk_expr(demoted):
+                        if isinstance(sub, ax.Column) and not node.child.schema.has(sub.name):
+                            # references a demoted outer column: belongs
+                            # to the outer side of the join, fine.
+                            continue
+                        if isinstance(sub, ax.Column):
+                            needed.add(sub.name)
+                else:
+                    keep.append(conjunct)
+            remaining = ax.combine_conjuncts(keep)
+            return child if remaining is None else an.Select(child, remaining)
+        if isinstance(node, an.Project):
+            items = list(node.items)
+            have = {name for name, _ in items}
+            for name in sorted(needed):
+                if name not in have and child.schema.has(name):
+                    items.append((name, ax.Column(name)))
+            return an.Project(child, items)
+        if isinstance(node, an.Distinct):
+            return an.Distinct(child)
+        if isinstance(node, an.Sort):
+            return an.Sort(child, node.keys)
+        raise AssertionError("unreachable spine node")
+
+    # `rebuild` recurses into the child before handling each node, so a
+    # Project is widened only after every Select below it has already
+    # contributed to `needed` — one pass suffices.
+    rebuilt = rebuild(0)
+    if not extracted:
+        return None
+    return rebuilt, extracted
+
+
+def _membership_condition(
+    sublink: ax.SubqueryExpr, mapping: dict[str, str]
+) -> Optional[ax.Expr]:
+    """The value-membership predicate of an IN sublink (EXISTS has none),
+    rewritten against the renamed subquery output."""
+    if sublink.kind != "in":
+        return None
+    assert sublink.operand is not None
+    output_name = sublink.plan.schema[0].name
+    renamed = mapping.get(output_name, output_name)
+    return ax.BinOp("=", sublink.operand, ax.Column(renamed))
+
+
+def _rename_sub(
+    ctx: RewriteContext, result: RewriteResult
+) -> tuple[an.Node, dict[str, str]]:
+    """Rename the subquery's original attributes with a fresh prefix
+    (provenance names are globally unique already)."""
+    from .influence import rename_originals
+
+    return rename_originals(ctx, result)
+
+
+# ---------------------------------------------------------------------------
+# Correlation predicates
+# ---------------------------------------------------------------------------
+
+def _expr_correlated(expr: ax.Expr) -> bool:
+    for sub in ax.walk_expr(expr):
+        if isinstance(sub, ax.OuterColumn) and sub.level == 1:
+            return True
+        if isinstance(sub, ax.SubqueryExpr) and ax._outer_columns_of_plan(sub.plan, 2):
+            return True
+    return False
+
+
+def _node_exprs_correlated(node: an.Node) -> bool:
+    return any(_expr_correlated(e) for e in node.expressions())
+
+
+def _subtree_correlated(node: an.Node) -> bool:
+    from ..algebra.tree import walk_tree
+
+    for sub in walk_tree(node):
+        if _node_exprs_correlated(sub):
+            return True
+        for expr in sub.expressions():
+            for inner in ax.walk_expr(expr):
+                if isinstance(inner, ax.SubqueryExpr) and ax._outer_columns_of_plan(
+                    inner.plan, 2
+                ):
+                    return True
+    return False
+
+
+def _demote_outer(expr: ax.Expr) -> Optional[ax.Expr]:
+    """Replace OuterColumn(level=1) with plain Column references; bail
+    out (return None) if the expression contains nested sublinks, whose
+    inner levels we would have to shift."""
+    if any(isinstance(s, ax.SubqueryExpr) for s in ax.walk_expr(expr)):
+        return None
+
+    def demote(sub: ax.Expr) -> Optional[ax.Expr]:
+        if isinstance(sub, ax.OuterColumn) and sub.level == 1:
+            return ax.Column(sub.name)
+        if isinstance(sub, ax.OuterColumn) and sub.level > 1:
+            return ax.OuterColumn(sub.name, sub.level - 1)
+        return None
+
+    return ax.map_expr(expr, demote)

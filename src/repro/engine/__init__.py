@@ -1,0 +1,4 @@
+"""Engine: the user-facing database session (PermDB)."""
+
+from .result import ExecutionProfile, StageTiming  # noqa: F401
+from .session import PermDB, connect  # noqa: F401

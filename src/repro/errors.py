@@ -1,0 +1,59 @@
+"""Exception hierarchy for the Perm reproduction.
+
+Every error raised by the library derives from :class:`PermError`, so a
+caller can catch one type.  Subclasses map to the pipeline stage that
+detected the problem (Figure 3 of the paper): lexing/parsing, semantic
+analysis, provenance rewriting, planning, and execution.
+"""
+
+from __future__ import annotations
+
+
+class PermError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParseError(PermError):
+    """Raised by the lexer or parser for malformed SQL / SQL-PLE input.
+
+    Carries the 1-based line and column where the problem was detected so
+    clients (and the Perm browser) can point at the offending token.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (f", column {column}" if column is not None else "")
+        super().__init__(message + location)
+        self.message = message
+        self.line = line
+        self.column = column
+
+
+class AnalyzeError(PermError):
+    """Raised during semantic analysis: unknown relations or columns,
+    ambiguous references, arity mismatches, bad aggregate usage, etc."""
+
+
+class CatalogError(PermError):
+    """Raised for catalog violations: duplicate table names, dropping a
+    relation that does not exist, schema/row arity mismatches."""
+
+
+class TypeCheckError(AnalyzeError):
+    """Raised when an expression is not well typed (e.g. ``1 + 'a'``)."""
+
+
+class RewriteError(PermError):
+    """Raised by the provenance rewriter when a query cannot be rewritten
+    under the requested contribution semantics."""
+
+
+class PlanError(PermError):
+    """Raised by the planner when a logical tree has no physical
+    implementation (should not happen for trees built by the analyzer)."""
+
+
+class ExecutionError(PermError):
+    """Raised at runtime: division by zero, scalar subquery returning more
+    than one row, cast failures, and similar data-dependent errors."""

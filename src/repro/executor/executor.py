@@ -1,0 +1,21 @@
+"""Plan execution: run a physical operator tree into a Relation."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..storage.table import Relation
+from .iterators import PhysicalOp
+
+
+def execute_plan(plan: PhysicalOp, provenance_attrs: Sequence[str] = ()) -> Relation:
+    """Execute *plan* to completion and wrap the rows in a
+    :class:`~repro.storage.table.Relation`.
+
+    ``provenance_attrs`` annotates which output columns carry provenance
+    (set by the engine when the query went through the provenance
+    rewriter), so clients can split original from provenance attributes
+    the way Figure 2 of the paper presents them.
+    """
+    rows = list(plan.rows(()))
+    return Relation(plan.schema, rows, provenance_attrs)

@@ -1,0 +1,578 @@
+"""Expression compilation and evaluation.
+
+Expressions are compiled once per plan into Python closures over column
+positions, then evaluated per row. Correlated sublinks receive an
+*environment*: a chain of (name -> position, row) frames, innermost
+first, that :class:`~repro.algebra.expressions.OuterColumn` references
+index into. Uncorrelated subplans are executed once and cached.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Optional, Sequence
+
+from ..algebra import expressions as ax
+from ..catalog.schema import Schema
+from ..datatypes import (
+    SQLType,
+    Value,
+    arith,
+    cast_value,
+    compare,
+    eq,
+    ge,
+    gt,
+    is_true,
+    le,
+    lt,
+    ne,
+    negate,
+    not_distinct,
+    tvl_and,
+    tvl_not,
+    tvl_or,
+    type_of_value,
+    value_identity,
+)
+from ..errors import ExecutionError, PlanError
+
+Row = tuple[Value, ...]
+# Environment frame: name->position mapping plus the current row.
+Frame = tuple[dict[str, int], Row]
+Env = tuple[Frame, ...]
+
+# A compiled expression: (row, env) -> value.
+CompiledExpr = Callable[[Row, Env], Value]
+
+_COMPARATORS: dict[str, Callable[[Value, Value], Optional[bool]]] = {
+    "=": eq,
+    "<>": ne,
+    "<": lt,
+    "<=": le,
+    ">": gt,
+    ">=": ge,
+}
+
+
+def _schema_map(schema: Schema) -> dict[str, int]:
+    return {attribute.name.lower(): i for i, attribute in enumerate(schema)}
+
+
+def _like_to_regex(pattern: str) -> re.Pattern[str]:
+    out = []
+    i = 0
+    while i < len(pattern):
+        ch = pattern[i]
+        if ch == "\\" and i + 1 < len(pattern):
+            out.append(re.escape(pattern[i + 1]))
+            i += 2
+            continue
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+        i += 1
+    return re.compile("".join(out) + r"\Z", re.DOTALL)
+
+
+class ExprCompiler:
+    """Compiles resolved expressions against a schema.
+
+    ``plan_compiler`` turns an algebra subplan into an executable
+    callable ``run(env) -> list[Row]`` — injected by the planner so this
+    module stays independent of physical operator classes.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        outer_schemas: Sequence[Schema] = (),
+        plan_compiler: Optional[Callable[..., Callable[[Env], list[Row]]]] = None,
+    ):
+        self.schema = schema
+        self.positions = _schema_map(schema)
+        self.outer_schemas = tuple(outer_schemas)
+        self.plan_compiler = plan_compiler
+
+    # ------------------------------------------------------------------
+    def compile(self, expr: ax.Expr) -> CompiledExpr:
+        if isinstance(expr, ax.Column):
+            try:
+                position = self.positions[expr.name.lower()]
+            except KeyError:
+                raise PlanError(
+                    f"column {expr.name!r} not in schema ({', '.join(self.schema.names)})"
+                ) from None
+            return lambda row, env, p=position: row[p]
+
+        if isinstance(expr, ax.OuterColumn):
+            level = expr.level
+            key = expr.name.lower()
+            def outer_ref(row: Row, env: Env, level=level, key=key) -> Value:
+                if level > len(env):
+                    raise ExecutionError(
+                        f"correlated reference {expr.name!r} has no enclosing row"
+                    )
+                frame_positions, frame_row = env[level - 1]
+                try:
+                    return frame_row[frame_positions[key]]
+                except KeyError:
+                    raise ExecutionError(
+                        f"correlated reference {expr.name!r} not found in outer scope"
+                    ) from None
+            return outer_ref
+
+        if isinstance(expr, ax.Const):
+            value = expr.value
+            return lambda row, env: value
+
+        if isinstance(expr, ax.BinOp):
+            return self._compile_binop(expr)
+
+        if isinstance(expr, ax.UnOp):
+            operand = self.compile(expr.operand)
+            if expr.op == "not":
+                return lambda row, env: tvl_not(_as_bool(operand(row, env)))
+            if expr.op == "-":
+                return lambda row, env: negate(operand(row, env))
+            raise PlanError(f"unknown unary operator {expr.op!r}")
+
+        if isinstance(expr, ax.IsNullTest):
+            operand = self.compile(expr.operand)
+            if expr.negated:
+                return lambda row, env: operand(row, env) is not None
+            return lambda row, env: operand(row, env) is None
+
+        if isinstance(expr, ax.DistinctTest):
+            left = self.compile(expr.left)
+            right = self.compile(expr.right)
+            if expr.negated:  # IS NOT DISTINCT FROM (null-safe equality)
+                return lambda row, env: not_distinct(left(row, env), right(row, env))
+            return lambda row, env: not not_distinct(left(row, env), right(row, env))
+
+        if isinstance(expr, ax.CaseExpr):
+            return self._compile_case(expr)
+
+        if isinstance(expr, ax.FuncExpr):
+            return self._compile_func(expr)
+
+        if isinstance(expr, ax.CastExpr):
+            operand = self.compile(expr.operand)
+            target = expr.target
+            return lambda row, env: cast_value(operand(row, env), target)
+
+        if isinstance(expr, ax.InListExpr):
+            return self._compile_in_list(expr)
+
+        if isinstance(expr, ax.SubqueryExpr):
+            return self._compile_subquery(expr)
+
+        if isinstance(expr, ax.AggExpr):
+            raise PlanError("aggregate expression outside an Aggregate operator")
+
+        raise PlanError(f"cannot compile expression {type(expr).__name__}")
+
+    # ------------------------------------------------------------------
+    def _compile_binop(self, expr: ax.BinOp) -> CompiledExpr:
+        left = self.compile(expr.left)
+        right = self.compile(expr.right)
+        op = expr.op
+
+        if op == "and":
+            return lambda row, env: tvl_and(_as_bool(left(row, env)), _as_bool(right(row, env)))
+        if op == "or":
+            return lambda row, env: tvl_or(_as_bool(left(row, env)), _as_bool(right(row, env)))
+        if op in _COMPARATORS:
+            comparator = _COMPARATORS[op]
+            return lambda row, env: comparator(left(row, env), right(row, env))
+        if op in ("+", "-", "*", "/", "%", "||"):
+            return lambda row, env: arith(op, left(row, env), right(row, env))
+        if op in ("like", "ilike"):
+            case_insensitive = op == "ilike"
+
+            def run_like(row: Row, env: Env) -> Optional[bool]:
+                value = left(row, env)
+                pattern = right(row, env)
+                if value is None or pattern is None:
+                    return None
+                if not isinstance(value, str) or not isinstance(pattern, str):
+                    raise ExecutionError("LIKE requires text operands")
+                regex = _like_to_regex(pattern.lower() if case_insensitive else pattern)
+                target = value.lower() if case_insensitive else value
+                return regex.match(target) is not None
+
+            return run_like
+        raise PlanError(f"unknown binary operator {op!r}")
+
+    def _compile_case(self, expr: ax.CaseExpr) -> CompiledExpr:
+        whens = [(self.compile(c), self.compile(r)) for c, r in expr.whens]
+        else_fn = self.compile(expr.else_result) if expr.else_result is not None else None
+        if expr.operand is None:
+
+            def searched(row: Row, env: Env) -> Value:
+                for condition, result in whens:
+                    if is_true(_as_bool(condition(row, env))):
+                        return result(row, env)
+                return else_fn(row, env) if else_fn is not None else None
+
+            return searched
+        operand_fn = self.compile(expr.operand)
+
+        def simple(row: Row, env: Env) -> Value:
+            subject = operand_fn(row, env)
+            for condition, result in whens:
+                if is_true(eq(subject, condition(row, env))):
+                    return result(row, env)
+            return else_fn(row, env) if else_fn is not None else None
+
+        return simple
+
+    def _compile_in_list(self, expr: ax.InListExpr) -> CompiledExpr:
+        operand = self.compile(expr.operand)
+        items = [self.compile(i) for i in expr.items]
+        negated = expr.negated
+
+        def run(row: Row, env: Env) -> Optional[bool]:
+            subject = operand(row, env)
+            saw_null = False
+            for item in items:
+                result = eq(subject, item(row, env))
+                if result is True:
+                    return False if negated else True
+                if result is None:
+                    saw_null = True
+            if saw_null:
+                return None
+            return True if negated else False
+
+        return run
+
+    def _compile_subquery(self, expr: ax.SubqueryExpr) -> CompiledExpr:
+        if self.plan_compiler is None:
+            raise PlanError("subquery in a context without a plan compiler")
+        run_plan = self.plan_compiler(expr.plan, (self.schema, *self.outer_schemas))
+        correlated = ax.plan_is_correlated(expr.plan)
+        my_positions = self.positions
+        cache: dict[str, list[Row]] = {}
+
+        def rows_for(row: Row, env: Env) -> list[Row]:
+            if not correlated and "rows" in cache:
+                return cache["rows"]
+            inner_env: Env = ((my_positions, row), *env)
+            result = run_plan(inner_env)
+            if not correlated:
+                cache["rows"] = result
+            return result
+
+        kind = expr.kind
+        if kind == "scalar":
+
+            def scalar(row: Row, env: Env) -> Value:
+                rows = rows_for(row, env)
+                if not rows:
+                    return None
+                if len(rows) > 1:
+                    raise ExecutionError("scalar subquery returned more than one row")
+                return rows[0][0]
+
+            return scalar
+
+        if kind == "exists":
+            negated = expr.negated
+
+            def exists(row: Row, env: Env) -> bool:
+                found = bool(rows_for(row, env))
+                return (not found) if negated else found
+
+            return exists
+
+        if kind == "in":
+            assert expr.operand is not None
+            operand = self.compile(expr.operand)
+            negated = expr.negated
+
+            def in_sub(row: Row, env: Env) -> Optional[bool]:
+                subject = operand(row, env)
+                saw_null = False
+                for inner in rows_for(row, env):
+                    result = eq(subject, inner[0])
+                    if result is True:
+                        return False if negated else True
+                    if result is None:
+                        saw_null = True
+                if saw_null:
+                    return None
+                return True if negated else False
+
+            return in_sub
+
+        if kind == "quant":
+            assert expr.operand is not None and expr.op is not None
+            operand = self.compile(expr.operand)
+            comparator = _COMPARATORS[expr.op]
+            want_all = expr.quantifier == "all"
+
+            def quant(row: Row, env: Env) -> Optional[bool]:
+                subject = operand(row, env)
+                saw_null = False
+                matched = False
+                for inner in rows_for(row, env):
+                    result = comparator(subject, inner[0])
+                    if result is None:
+                        saw_null = True
+                    elif result:
+                        matched = True
+                        if not want_all:
+                            return True
+                    elif want_all:
+                        return False
+                if want_all:
+                    return None if saw_null else True
+                return None if saw_null else matched
+
+            return quant
+
+        raise PlanError(f"unknown sublink kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    def _compile_func(self, expr: ax.FuncExpr) -> CompiledExpr:
+        args = [self.compile(a) for a in expr.args]
+        name = expr.name
+        try:
+            impl = _FUNCTIONS[name]
+        except KeyError:
+            raise PlanError(f"unknown function {name!r}") from None
+        expected = _FUNCTION_ARITY.get(name)
+        if expected is not None and len(args) not in expected:
+            raise PlanError(f"function {name} called with {len(args)} arguments")
+
+        def run(row: Row, env: Env) -> Value:
+            return impl([a(row, env) for a in args])
+
+        return run
+
+
+def _as_bool(value: Value) -> Optional[bool]:
+    if value is None or isinstance(value, bool):
+        return value
+    raise ExecutionError(f"expected a boolean, got {type_of_value(value)}")
+
+
+# ---------------------------------------------------------------------------
+# Scalar function implementations (NULL-propagating unless noted)
+# ---------------------------------------------------------------------------
+
+def _strict(fn: Callable[..., Value]) -> Callable[[list[Value]], Value]:
+    def wrapped(args: list[Value]) -> Value:
+        if any(a is None for a in args):
+            return None
+        return fn(*args)
+
+    return wrapped
+
+
+def _num(value: Value, func: str) -> float | int:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ExecutionError(f"{func}() requires a numeric argument")
+    return value
+
+
+def _text(value: Value, func: str) -> str:
+    if not isinstance(value, str):
+        raise ExecutionError(f"{func}() requires a text argument")
+    return value
+
+
+def _coalesce(args: list[Value]) -> Value:
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+def _nullif(args: list[Value]) -> Value:
+    if len(args) != 2:
+        raise ExecutionError("nullif() takes two arguments")
+    return None if is_true(eq(args[0], args[1])) else args[0]
+
+
+def _greatest(args: list[Value]) -> Value:
+    present = [a for a in args if a is not None]
+    if not present:
+        return None
+    best = present[0]
+    for candidate in present[1:]:
+        if compare(candidate, best) == 1:
+            best = candidate
+    return best
+
+
+def _least(args: list[Value]) -> Value:
+    present = [a for a in args if a is not None]
+    if not present:
+        return None
+    best = present[0]
+    for candidate in present[1:]:
+        if compare(candidate, best) == -1:
+            best = candidate
+    return best
+
+
+def _concat(args: list[Value]) -> Value:
+    # PostgreSQL concat() skips NULLs.
+    return "".join(cast_value(a, SQLType.TEXT) for a in args if a is not None)  # type: ignore[misc]
+
+
+def _substring(args: list[Value]) -> Value:
+    if any(a is None for a in args):
+        return None
+    text = _text(args[0], "substring")
+    start = int(_num(args[1], "substring"))
+    # SQL substring is 1-based; handle start < 1 like PostgreSQL.
+    if len(args) == 3:
+        length = int(_num(args[2], "substring"))
+        if length < 0:
+            raise ExecutionError("negative substring length not allowed")
+        end = start + length
+        begin = max(start, 1)
+        return text[begin - 1 : max(end - 1, 0)]
+    return text[max(start, 1) - 1 :]
+
+
+def _round(args: list[Value]) -> Value:
+    if args[0] is None:
+        return None
+    value = _num(args[0], "round")
+    digits = 0
+    if len(args) == 2:
+        if args[1] is None:
+            return None
+        digits = int(_num(args[1], "round"))
+    result = round(float(value) + 0.0, digits)
+    return result if digits > 0 else (int(result) if float(result).is_integer() else result)
+
+
+_FUNCTIONS: dict[str, Callable[[list[Value]], Value]] = {
+    "abs": _strict(lambda v: abs(_num(v, "abs"))),
+    "round": _round,
+    "floor": _strict(lambda v: int(__import__("math").floor(_num(v, "floor")))),
+    "ceil": _strict(lambda v: int(__import__("math").ceil(_num(v, "ceil")))),
+    "sqrt": _strict(lambda v: __import__("math").sqrt(_num(v, "sqrt"))),
+    "power": _strict(lambda a, b: float(_num(a, "power")) ** float(_num(b, "power"))),
+    "mod": _strict(lambda a, b: arith("%", a, b)),
+    "upper": _strict(lambda v: _text(v, "upper").upper()),
+    "lower": _strict(lambda v: _text(v, "lower").lower()),
+    "length": _strict(lambda v: len(_text(v, "length"))),
+    "char_length": _strict(lambda v: len(_text(v, "char_length"))),
+    "substring": _substring,
+    "substr": _substring,
+    "trim": _strict(lambda v: _text(v, "trim").strip()),
+    "ltrim": _strict(lambda v: _text(v, "ltrim").lstrip()),
+    "rtrim": _strict(lambda v: _text(v, "rtrim").rstrip()),
+    "replace": _strict(
+        lambda s, old, new: _text(s, "replace").replace(_text(old, "replace"), _text(new, "replace"))
+    ),
+    "concat": _concat,
+    "coalesce": _coalesce,
+    "nullif": _nullif,
+    "greatest": _greatest,
+    "least": _least,
+}
+
+_FUNCTION_ARITY: dict[str, tuple[int, ...]] = {
+    "abs": (1,),
+    "round": (1, 2),
+    "floor": (1,),
+    "ceil": (1,),
+    "sqrt": (1,),
+    "power": (2,),
+    "mod": (2,),
+    "upper": (1,),
+    "lower": (1,),
+    "length": (1,),
+    "char_length": (1,),
+    "substring": (2, 3),
+    "substr": (2, 3),
+    "trim": (1,),
+    "ltrim": (1,),
+    "rtrim": (1,),
+    "replace": (3,),
+    "nullif": (2,),
+}
+
+
+class AggregateAccumulator:
+    """Accumulator for one aggregate over one group."""
+
+    __slots__ = ("func", "distinct", "count", "total", "best", "seen", "float_seen")
+
+    def __init__(self, func: str, distinct: bool):
+        self.func = func
+        self.distinct = distinct
+        self.count = 0
+        self.total: float | int = 0
+        self.best: Value = None
+        self.seen: set = set()
+        self.float_seen = False
+
+    def add(self, value: Value) -> None:
+        if self.func == "count" and value is _COUNT_STAR:
+            self.count += 1
+            return
+        if value is None:
+            return
+        if self.distinct:
+            key = value_identity(value)
+            if key in self.seen:
+                return
+            self.seen.add(key)
+        self.count += 1
+        if self.func in ("sum", "avg"):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ExecutionError(f"{self.func}() requires numeric input")
+            if isinstance(value, float):
+                self.float_seen = True
+            self.total += value
+        elif self.func in ("min", "max"):
+            if self.best is None:
+                self.best = value
+            else:
+                relation = compare(value, self.best)
+                if relation is not None and (
+                    (self.func == "min" and relation < 0) or (self.func == "max" and relation > 0)
+                ):
+                    self.best = value
+
+    def result(self) -> Value:
+        if self.func == "count":
+            return self.count
+        if self.func == "sum":
+            if self.count == 0:
+                return None
+            return float(self.total) if self.float_seen else self.total
+        if self.func == "avg":
+            if self.count == 0:
+                return None
+            return self.total / self.count
+        if self.func in ("min", "max"):
+            return self.best
+        raise ExecutionError(f"unknown aggregate {self.func!r}")
+
+
+class _CountStar:
+    """Sentinel handed to count(*) accumulators for every input row."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<count(*)>"
+
+
+_COUNT_STAR = _CountStar()
+
+
+def count_star_sentinel() -> "_CountStar":
+    return _COUNT_STAR

@@ -1,0 +1,432 @@
+"""Physical volcano-style operators.
+
+Each operator exposes ``rows(env)`` yielding tuples; *env* is the chain
+of enclosing-row frames used by correlated sublinks (threaded down to
+every compiled expression). The planner chooses between hash-based and
+nested-loop implementations (see :mod:`repro.planner.planner`), the same
+role PostgreSQL's planner plays below the Perm rewriter in Figure 3 of
+the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Sequence
+
+from ..catalog.schema import Schema
+from ..datatypes import Value, is_true, row_identity, sort_key, value_identity
+from ..errors import ExecutionError
+from ..storage.table import HeapTable
+from .expr_eval import AggregateAccumulator, CompiledExpr, Env, Row, count_star_sentinel
+
+
+class PhysicalOp:
+    """Base class for physical operators."""
+
+    __slots__ = ("schema",)
+
+    schema: Schema
+
+    def rows(self, env: Env) -> Iterator[Row]:
+        raise NotImplementedError
+
+
+class PScan(PhysicalOp):
+    """Sequential scan over a heap table."""
+
+    __slots__ = ("table",)
+
+    def __init__(self, table: HeapTable, schema: Schema):
+        self.table = table
+        self.schema = schema
+
+    def rows(self, env: Env) -> Iterator[Row]:
+        return iter(self.table.rows)
+
+
+class PValues(PhysicalOp):
+    """Materialized row source (used for SingleRow and cached results)."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: list[Row], schema: Schema):
+        self.data = data
+        self.schema = schema
+
+    def rows(self, env: Env) -> Iterator[Row]:
+        return iter(self.data)
+
+
+class PProject(PhysicalOp):
+    __slots__ = ("child", "items")
+
+    def __init__(self, child: PhysicalOp, items: list[CompiledExpr], schema: Schema):
+        self.child = child
+        self.items = items
+        self.schema = schema
+
+    def rows(self, env: Env) -> Iterator[Row]:
+        items = self.items
+        for row in self.child.rows(env):
+            yield tuple(item(row, env) for item in items)
+
+
+class PFilter(PhysicalOp):
+    __slots__ = ("child", "predicate")
+
+    def __init__(self, child: PhysicalOp, predicate: CompiledExpr):
+        self.child = child
+        self.predicate = predicate
+        self.schema = child.schema
+
+    def rows(self, env: Env) -> Iterator[Row]:
+        predicate = self.predicate
+        for row in self.child.rows(env):
+            if is_true(predicate(row, env)):
+                yield row
+
+
+class PNestedLoopJoin(PhysicalOp):
+    """Nested-loop join supporting every join kind and arbitrary
+    conditions (evaluated over the concatenated row)."""
+
+    __slots__ = ("left", "right", "kind", "condition", "left_width", "right_width")
+
+    def __init__(
+        self,
+        left: PhysicalOp,
+        right: PhysicalOp,
+        kind: str,
+        condition: Optional[CompiledExpr],
+        schema: Schema,
+    ):
+        self.left = left
+        self.right = right
+        self.kind = kind
+        self.condition = condition
+        self.left_width = len(left.schema)
+        self.right_width = len(right.schema)
+        self.schema = schema
+
+    def rows(self, env: Env) -> Iterator[Row]:
+        condition = self.condition
+        right_rows = list(self.right.rows(env))
+        left_pad = (None,) * self.left_width
+        right_pad = (None,) * self.right_width
+        right_matched = [False] * len(right_rows) if self.kind in ("right", "full") else None
+
+        for left_row in self.left.rows(env):
+            matched = False
+            for index, right_row in enumerate(right_rows):
+                combined = left_row + right_row
+                if condition is None or is_true(condition(combined, env)):
+                    matched = True
+                    if right_matched is not None:
+                        right_matched[index] = True
+                    yield combined
+            if not matched and self.kind in ("left", "full"):
+                yield left_row + right_pad
+
+        if right_matched is not None:
+            for flag, right_row in zip(right_matched, right_rows):
+                if not flag:
+                    yield left_pad + right_row
+
+
+class PHashJoin(PhysicalOp):
+    """Hash join on equi-key conjuncts, with optional null-safe keys
+    (``IS NOT DISTINCT FROM``) — the join form the provenance rewrite
+    rules generate — and a residual condition for the rest."""
+
+    __slots__ = (
+        "left",
+        "right",
+        "kind",
+        "left_keys",
+        "right_keys",
+        "null_safe",
+        "residual",
+        "left_width",
+        "right_width",
+    )
+
+    def __init__(
+        self,
+        left: PhysicalOp,
+        right: PhysicalOp,
+        kind: str,
+        left_keys: list[CompiledExpr],
+        right_keys: list[CompiledExpr],
+        null_safe: list[bool],
+        residual: Optional[CompiledExpr],
+        schema: Schema,
+    ):
+        self.left = left
+        self.right = right
+        self.kind = kind
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.null_safe = null_safe
+        self.residual = residual
+        self.left_width = len(left.schema)
+        self.right_width = len(right.schema)
+        self.schema = schema
+
+    def _key(self, values: list[Value]) -> Optional[tuple]:
+        """Hash key, or None when a non-null-safe key is NULL (such rows
+        can never match under SQL equality)."""
+        out = []
+        for value, safe in zip(values, self.null_safe):
+            if value is None and not safe:
+                return None
+            out.append(value_identity(value))
+        return tuple(out)
+
+    def rows(self, env: Env) -> Iterator[Row]:
+        right_rows = list(self.right.rows(env))
+        table: dict[tuple, list[int]] = {}
+        for index, right_row in enumerate(right_rows):
+            key = self._key([k(right_row, env) for k in self.right_keys])
+            if key is not None:
+                table.setdefault(key, []).append(index)
+
+        right_matched = [False] * len(right_rows) if self.kind in ("right", "full") else None
+        left_pad = (None,) * self.left_width
+        right_pad = (None,) * self.right_width
+        residual = self.residual
+
+        for left_row in self.left.rows(env):
+            key = self._key([k(left_row, env) for k in self.left_keys])
+            matched = False
+            if key is not None:
+                for index in table.get(key, ()):
+                    combined = left_row + right_rows[index]
+                    if residual is not None and not is_true(residual(combined, env)):
+                        continue
+                    matched = True
+                    if right_matched is not None:
+                        right_matched[index] = True
+                    yield combined
+            if not matched and self.kind in ("left", "full"):
+                yield left_row + right_pad
+
+        if right_matched is not None:
+            for flag, right_row in zip(right_matched, right_rows):
+                if not flag:
+                    yield left_pad + right_row
+
+
+class AggSpec:
+    """One aggregate to compute: function, compiled argument, distinct."""
+
+    __slots__ = ("func", "arg", "distinct")
+
+    def __init__(self, func: str, arg: Optional[CompiledExpr], distinct: bool):
+        self.func = func
+        self.arg = arg
+        self.distinct = distinct
+
+
+class PHashAggregate(PhysicalOp):
+    """Hash aggregation. With no group keys, always emits one row (the
+    SQL global aggregate, e.g. ``count(*)`` over an empty table is 0)."""
+
+    __slots__ = ("child", "group_exprs", "agg_specs")
+
+    def __init__(
+        self,
+        child: PhysicalOp,
+        group_exprs: list[CompiledExpr],
+        agg_specs: list[AggSpec],
+        schema: Schema,
+    ):
+        self.child = child
+        self.group_exprs = group_exprs
+        self.agg_specs = agg_specs
+        self.schema = schema
+
+    def rows(self, env: Env) -> Iterator[Row]:
+        star = count_star_sentinel()
+        groups: dict[tuple, tuple[tuple[Value, ...], list[AggregateAccumulator]]] = {}
+        for row in self.child.rows(env):
+            key_values = tuple(g(row, env) for g in self.group_exprs)
+            key = tuple(value_identity(v) for v in key_values)
+            state = groups.get(key)
+            if state is None:
+                state = (
+                    key_values,
+                    [AggregateAccumulator(s.func, s.distinct) for s in self.agg_specs],
+                )
+                groups[key] = state
+            for spec, accumulator in zip(self.agg_specs, state[1]):
+                if spec.arg is None:
+                    accumulator.add(star)
+                else:
+                    accumulator.add(spec.arg(row, env))
+
+        if not groups and not self.group_exprs:
+            accumulators = [AggregateAccumulator(s.func, s.distinct) for s in self.agg_specs]
+            yield tuple(a.result() for a in accumulators)
+            return
+        for key_values, accumulators in groups.values():
+            yield key_values + tuple(a.result() for a in accumulators)
+
+
+class PHashDistinct(PhysicalOp):
+    __slots__ = ("child",)
+
+    def __init__(self, child: PhysicalOp):
+        self.child = child
+        self.schema = child.schema
+
+    def rows(self, env: Env) -> Iterator[Row]:
+        seen: set = set()
+        for row in self.child.rows(env):
+            key = row_identity(row)
+            if key not in seen:
+                seen.add(key)
+                yield row
+
+
+class PSetOp(PhysicalOp):
+    """UNION / INTERSECT / EXCEPT with set or bag (ALL) semantics."""
+
+    __slots__ = ("left", "right", "kind", "all")
+
+    def __init__(self, left: PhysicalOp, right: PhysicalOp, kind: str, all_: bool, schema: Schema):
+        self.left = left
+        self.right = right
+        self.kind = kind
+        self.all = all_
+        self.schema = schema
+
+    def rows(self, env: Env) -> Iterator[Row]:
+        if self.kind == "union":
+            if self.all:
+                yield from self.left.rows(env)
+                yield from self.right.rows(env)
+                return
+            seen: set = set()
+            for source in (self.left, self.right):
+                for row in source.rows(env):
+                    key = row_identity(row)
+                    if key not in seen:
+                        seen.add(key)
+                        yield row
+            return
+
+        right_counts: dict[tuple, int] = {}
+        for row in self.right.rows(env):
+            key = row_identity(row)
+            right_counts[key] = right_counts.get(key, 0) + 1
+
+        if self.kind == "intersect":
+            emitted: dict[tuple, int] = {}
+            for row in self.left.rows(env):
+                key = row_identity(row)
+                available = right_counts.get(key, 0)
+                if available == 0:
+                    continue
+                if self.all:
+                    used = emitted.get(key, 0)
+                    if used < available:
+                        emitted[key] = used + 1
+                        yield row
+                else:
+                    if key not in emitted:
+                        emitted[key] = 1
+                        yield row
+            return
+
+        if self.kind == "except":
+            if self.all:
+                consumed: dict[tuple, int] = {}
+                for row in self.left.rows(env):
+                    key = row_identity(row)
+                    used = consumed.get(key, 0)
+                    if used < right_counts.get(key, 0):
+                        consumed[key] = used + 1
+                        continue
+                    yield row
+            else:
+                emitted_set: set = set()
+                for row in self.left.rows(env):
+                    key = row_identity(row)
+                    if key in right_counts or key in emitted_set:
+                        continue
+                    emitted_set.add(key)
+                    yield row
+            return
+        raise ExecutionError(f"unknown set operation {self.kind!r}")
+
+
+class SortSpec:
+    """One compiled sort key with direction and NULL placement."""
+
+    __slots__ = ("expr", "descending", "nulls_first")
+
+    def __init__(self, expr: CompiledExpr, descending: bool, nulls_first: Optional[bool]):
+        self.expr = expr
+        self.descending = descending
+        # PostgreSQL default: NULLS LAST for ASC, NULLS FIRST for DESC.
+        self.nulls_first = descending if nulls_first is None else nulls_first
+
+
+class PSort(PhysicalOp):
+    __slots__ = ("child", "keys")
+
+    def __init__(self, child: PhysicalOp, keys: Sequence[SortSpec]):
+        self.child = child
+        self.keys = list(keys)
+        self.schema = child.schema
+
+    def rows(self, env: Env) -> Iterator[Row]:
+        data = list(self.child.rows(env))
+        # Stable multi-key sort: apply keys from least to most significant.
+        for key in reversed(self.keys):
+            expr = key.expr
+            # When sorting in reverse, pre-reversal NULL placement flips.
+            nulls_first_ascending = key.nulls_first != key.descending
+            data.sort(
+                key=lambda row: sort_key(expr(row, env), nulls_first=nulls_first_ascending),
+                reverse=key.descending,
+            )
+        return iter(data)
+
+
+class PLimit(PhysicalOp):
+    __slots__ = ("child", "limit", "offset")
+
+    def __init__(
+        self, child: PhysicalOp, limit: Optional[CompiledExpr], offset: Optional[CompiledExpr]
+    ):
+        self.child = child
+        self.limit = limit
+        self.offset = offset
+        self.schema = child.schema
+
+    def _count(self, compiled: Optional[CompiledExpr], env: Env, what: str) -> Optional[int]:
+        if compiled is None:
+            return None
+        value = compiled((), env)
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, int):
+            if isinstance(value, float) and value.is_integer():
+                value = int(value)
+            else:
+                raise ExecutionError(f"{what} must be an integer, got {value!r}")
+        if value < 0:
+            raise ExecutionError(f"{what} must not be negative")
+        return value
+
+    def rows(self, env: Env) -> Iterator[Row]:
+        limit = self._count(self.limit, env, "LIMIT")
+        offset = self._count(self.offset, env, "OFFSET") or 0
+        emitted = 0
+        for index, row in enumerate(self.child.rows(env)):
+            if index < offset:
+                continue
+            if limit is not None and emitted >= limit:
+                return
+            emitted += 1
+            yield row

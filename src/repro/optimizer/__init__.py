@@ -1,0 +1,12 @@
+"""Logical optimizer: rewrite rules and the cost model.
+
+Perm deliberately represents provenance computations as ordinary
+relational queries so that "Perm benefits from the query optimization
+techniques incorporated into PostgreSQL" (paper §2.3). This package is
+our stand-in for those techniques: classic logical rewrites plus a
+cardinality-based cost model that also powers the cost-based
+rewrite-strategy selection of §2.2.
+"""
+
+from .cost import CostEstimator, CostModel  # noqa: F401
+from .optimizer import Optimizer, optimize  # noqa: F401

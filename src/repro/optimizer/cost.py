@@ -1,0 +1,254 @@
+"""Cardinality estimation and the cost model.
+
+Used for two purposes, both following the paper:
+
+* ordinary query optimization (this module scores candidate logical
+  plans, mirroring how the PostgreSQL planner costs the rewritten
+  provenance queries);
+* cost-based selection among alternative provenance rewrite strategies
+  (§2.2: "We provide a heuristic and a cost-based solution for choosing
+  the best rewrite strategy") — :mod:`repro.core.strategies` estimates
+  each candidate rewrite with this model and keeps the cheapest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..algebra import expressions as ax
+from ..algebra import nodes as an
+from ..catalog.catalog import Catalog
+
+# Default selectivities (the classic System-R constants).
+_SEL_EQ = 0.1
+_SEL_RANGE = 0.33
+_SEL_DEFAULT = 0.5
+
+# Per-row processing cost factors by operator.
+_COST_SCAN = 1.0
+_COST_FILTER = 0.2
+_COST_PROJECT = 0.3
+_COST_HASH_BUILD = 1.5
+_COST_HASH_PROBE = 1.0
+_COST_NL_PAIR = 0.6
+_COST_SORT_FACTOR = 2.0
+_COST_AGG = 1.5
+_COST_SETOP = 1.2
+
+
+@dataclass(frozen=True)
+class PlanEstimate:
+    """Estimated output cardinality and cumulative cost of a plan."""
+
+    rows: float
+    cost: float
+
+
+class CostEstimator:
+    """Bottom-up cardinality/cost estimation over logical trees."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    # ------------------------------------------------------------------
+    def estimate(self, node: an.Node) -> PlanEstimate:
+        if isinstance(node, an.Scan):
+            if self.catalog.has_table(node.table_name):
+                rows = float(self.catalog.table(node.table_name).stats().row_count)
+            else:  # pragma: no cover - scans always name tables
+                rows = 1000.0
+            return PlanEstimate(rows, rows * _COST_SCAN)
+
+        if isinstance(node, an.SingleRow):
+            return PlanEstimate(1.0, 0.0)
+
+        if isinstance(node, an.Project):
+            child = self.estimate(node.child)
+            return PlanEstimate(child.rows, child.cost + child.rows * _COST_PROJECT)
+
+        if isinstance(node, an.Select):
+            child = self.estimate(node.child)
+            selectivity = self._selectivity(node.condition, node)
+            rows = max(child.rows * selectivity, 0.0)
+            return PlanEstimate(rows, child.cost + child.rows * _COST_FILTER)
+
+        if isinstance(node, an.Join):
+            return self._estimate_join(node)
+
+        if isinstance(node, an.Aggregate):
+            child = self.estimate(node.child)
+            if not node.group_items:
+                rows = 1.0
+            else:
+                distinct = self._distinct_estimate(node)
+                rows = min(child.rows, distinct)
+            return PlanEstimate(rows, child.cost + child.rows * _COST_AGG)
+
+        if isinstance(node, an.SetOpNode):
+            left = self.estimate(node.left)
+            right = self.estimate(node.right)
+            if node.kind == "union":
+                rows = left.rows + right.rows
+                if not node.all:
+                    rows *= 0.9  # mild dedup estimate
+            elif node.kind == "intersect":
+                rows = min(left.rows, right.rows) * 0.5
+            else:  # except
+                rows = left.rows * 0.5
+            cost = left.cost + right.cost + (left.rows + right.rows) * _COST_SETOP
+            return PlanEstimate(rows, cost)
+
+        if isinstance(node, an.Distinct):
+            child = self.estimate(node.child)
+            return PlanEstimate(child.rows * 0.9, child.cost + child.rows * _COST_SETOP)
+
+        if isinstance(node, an.Sort):
+            child = self.estimate(node.child)
+            import math
+
+            comparisons = child.rows * max(math.log2(child.rows), 1.0) if child.rows > 1 else 1.0
+            return PlanEstimate(child.rows, child.cost + comparisons * _COST_SORT_FACTOR)
+
+        if isinstance(node, an.Limit):
+            child = self.estimate(node.child)
+            limit_rows = child.rows
+            if node.limit is not None and isinstance(node.limit, ax.Const) and isinstance(
+                node.limit.value, int
+            ):
+                limit_rows = min(child.rows, float(node.limit.value))
+            return PlanEstimate(limit_rows, child.cost)
+
+        if isinstance(node, (an.ProvenanceNode, an.BaseRelationNode)):
+            return self.estimate(node.child)
+
+        # Unknown operator: be pessimistic but finite.
+        children = [self.estimate(c) for c in node.children]
+        rows = max((c.rows for c in children), default=1.0)
+        cost = sum(c.cost for c in children) + rows
+        return PlanEstimate(rows, cost)
+
+    # ------------------------------------------------------------------
+    def _estimate_join(self, node: an.Join) -> PlanEstimate:
+        left = self.estimate(node.left)
+        right = self.estimate(node.right)
+        if node.condition is None:
+            rows = left.rows * right.rows
+            cost = left.cost + right.cost + rows * _COST_NL_PAIR
+            return PlanEstimate(rows, cost)
+
+        equi = 0
+        selectivity = 1.0
+        for conjunct in ax.conjuncts(node.condition):
+            if self._is_equi(conjunct, node):
+                equi += 1
+                selectivity *= self._equi_selectivity(conjunct, node)
+            else:
+                selectivity *= _SEL_DEFAULT
+
+        rows = left.rows * right.rows * selectivity
+        if node.kind == "left":
+            rows = max(rows, left.rows)
+        elif node.kind == "right":
+            rows = max(rows, right.rows)
+        elif node.kind == "full":
+            rows = max(rows, left.rows, right.rows)
+
+        if equi:
+            cost = (
+                left.cost
+                + right.cost
+                + right.rows * _COST_HASH_BUILD
+                + left.rows * _COST_HASH_PROBE
+                + rows
+            )
+        else:
+            cost = left.cost + right.cost + left.rows * right.rows * _COST_NL_PAIR
+        return PlanEstimate(max(rows, 0.0), cost)
+
+    def _is_equi(self, conjunct: ax.Expr, join: an.Join) -> bool:
+        if isinstance(conjunct, ax.BinOp) and conjunct.op == "=":
+            a, b = conjunct.left, conjunct.right
+        elif isinstance(conjunct, ax.DistinctTest) and conjunct.negated:
+            a, b = conjunct.left, conjunct.right
+        else:
+            return False
+        return isinstance(a, ax.Column) and isinstance(b, ax.Column)
+
+    def _equi_selectivity(self, conjunct: ax.Expr, join: an.Join) -> float:
+        left_ndv = self._column_ndv(conjunct.left, join)  # type: ignore[attr-defined]
+        right_ndv = self._column_ndv(conjunct.right, join)  # type: ignore[attr-defined]
+        ndv = max(left_ndv or 0, right_ndv or 0)
+        if ndv <= 0:
+            return _SEL_EQ
+        return 1.0 / ndv
+
+    def _column_ndv(self, expr: ax.Expr, root: an.Node) -> int | None:
+        """Distinct-count of a column, traced back to a base-table scan."""
+        if not isinstance(expr, ax.Column):
+            return None
+        target = expr.name
+        for node in _walk(root):
+            if isinstance(node, an.Scan) and node.schema.has(target):
+                position = node.schema.index_of(target)
+                column = node.columns[position]
+                if self.catalog.has_table(node.table_name):
+                    stats = self.catalog.table(node.table_name).stats()
+                    column_stats = stats.column(column)
+                    if column_stats is not None:
+                        return column_stats.n_distinct
+        return None
+
+    def _distinct_estimate(self, node: an.Aggregate) -> float:
+        product = 1.0
+        for _, expr in node.group_items:
+            ndv = self._column_ndv(expr, node.child)
+            product *= float(ndv) if ndv else 10.0
+        return product
+
+    def _selectivity(self, condition: ax.Expr, node: an.Select) -> float:
+        selectivity = 1.0
+        for conjunct in ax.conjuncts(condition):
+            if isinstance(conjunct, ax.BinOp) and conjunct.op == "=":
+                ndv = self._column_ndv(conjunct.left, node) or self._column_ndv(
+                    conjunct.right, node
+                )
+                selectivity *= (1.0 / ndv) if ndv else _SEL_EQ
+            elif isinstance(conjunct, ax.BinOp) and conjunct.op in ("<", "<=", ">", ">="):
+                selectivity *= _SEL_RANGE
+            else:
+                selectivity *= _SEL_DEFAULT
+        return selectivity
+
+
+def _walk(root: an.Node):
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(node.children)
+
+
+class CostModel:
+    """Facade combining estimation with plan comparison."""
+
+    def __init__(self, catalog: Catalog):
+        self.estimator = CostEstimator(catalog)
+
+    def cost(self, node: an.Node) -> float:
+        return self.estimator.estimate(node).cost
+
+    def rows(self, node: an.Node) -> float:
+        return self.estimator.estimate(node).rows
+
+    def cheapest(self, candidates: list[an.Node]) -> tuple[an.Node, float]:
+        """Return the candidate with the lowest estimated cost."""
+        assert candidates, "cheapest() needs at least one candidate"
+        best = None
+        best_cost = float("inf")
+        for candidate in candidates:
+            candidate_cost = self.cost(candidate)
+            if candidate_cost < best_cost:
+                best = candidate
+                best_cost = candidate_cost
+        assert best is not None
+        return best, best_cost

@@ -1,0 +1,63 @@
+"""Optimizer driver: applies the logical rules to a fixpoint.
+
+Rules run bottom-up; after a full pass changes the tree, another pass
+runs, up to a small iteration bound (the rules are strictly
+simplifying, so the bound exists only as a safety net). Sublink
+subplans are optimized recursively with the same rules.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from ..algebra import nodes as an
+from ..algebra.tree import transform_subplans, transform_tree
+from ..catalog.catalog import Catalog
+from .rules import DEFAULT_RULES
+
+Rule = Callable[[an.Node], Optional[an.Node]]
+
+_MAX_PASSES = 12
+
+
+class Optimizer:
+    """Rule-based logical optimizer."""
+
+    def __init__(self, catalog: Catalog, rules: Sequence[Rule] = DEFAULT_RULES):
+        self.catalog = catalog
+        self.rules = tuple(rules)
+
+    def optimize(self, node: an.Node) -> an.Node:
+        """Optimize *node* (and all sublink subplans) to a fixpoint."""
+        current = transform_subplans(node, self._optimize_plan)
+        return self._optimize_plan(current)
+
+    # ------------------------------------------------------------------
+    def _optimize_plan(self, node: an.Node) -> an.Node:
+        current = node
+        for _ in range(_MAX_PASSES):
+            changed = False
+
+            def apply_rules(candidate: an.Node) -> Optional[an.Node]:
+                nonlocal changed
+                result = candidate
+                fired = True
+                while fired:
+                    fired = False
+                    for rule in self.rules:
+                        replacement = rule(result)
+                        if replacement is not None:
+                            result = replacement
+                            changed = True
+                            fired = True
+                return result if result is not candidate else None
+
+            current = transform_tree(current, apply_rules)
+            if not changed:
+                return current
+        return current
+
+
+def optimize(catalog: Catalog, node: an.Node) -> an.Node:
+    """Convenience: optimize *node* with the default rules."""
+    return Optimizer(catalog).optimize(node)

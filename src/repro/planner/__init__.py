@@ -1,0 +1,3 @@
+"""Planner: logical algebra -> physical operator trees."""
+
+from .planner import Planner, plan  # noqa: F401

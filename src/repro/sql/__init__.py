@@ -1,0 +1,15 @@
+"""SQL frontend: lexer, parser, AST and SQL text generation.
+
+The dialect is the subset of PostgreSQL SQL that the Perm demo exercises
+— SELECT/FROM/WHERE/GROUP BY/HAVING/ORDER BY/LIMIT, explicit and implicit
+joins (inner, left/right/full outer, cross, NATURAL, USING), set
+operations, nested subqueries (scalar, EXISTS, IN, ANY/ALL), views and
+basic DDL/DML — plus the SQL-PLE provenance extension of the paper's
+section 2.4 (``SELECT PROVENANCE``, ``ON CONTRIBUTION (...)``,
+``BASERELATION`` and ``PROVENANCE (attrs)`` on FROM items).
+"""
+
+from .ast import *  # noqa: F401,F403
+from .lexer import Lexer, Token, TokenKind, tokenize  # noqa: F401
+from .parser import Parser, parse_expression, parse_sql, parse_statement  # noqa: F401
+from .printer import format_expression, format_statement  # noqa: F401

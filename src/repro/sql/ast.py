@@ -1,0 +1,347 @@
+"""Abstract syntax tree for the SQL / SQL-PLE dialect.
+
+Nodes are small frozen-ish dataclasses (mutable where the analyzer
+annotates them). The AST is deliberately *unresolved*: column references
+are name paths, relations are names. The analyzer
+(:mod:`repro.analyzer`) turns an AST into a resolved algebra tree.
+
+SQL-PLE additions relative to plain SQL (paper §2.4):
+
+* :class:`ProvenanceClause` attached to a :class:`Select` — produced by
+  ``SELECT PROVENANCE [ON CONTRIBUTION (...)]``;
+* ``baserelation`` flag on FROM items — ``FROM v1 BASERELATION`` stops
+  the rewrite at that item (it is treated like a base relation);
+* ``provenance_attrs`` on FROM items — ``FROM t PROVENANCE (a, b)``
+  declares externally supplied provenance attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal as L
+from typing import Optional, Union
+
+from ..datatypes import Value
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expression:
+    """Base class for expression AST nodes."""
+
+    __slots__ = ()
+
+
+@dataclass
+class Literal(Expression):
+    """A constant: number, string, boolean or NULL."""
+
+    value: Value
+
+
+@dataclass
+class ColumnRef(Expression):
+    """A possibly qualified column reference such as ``v1.mId``.
+
+    ``parts`` holds the path components in source order; the analyzer
+    resolves the final component as the column name and everything before
+    it as the relation qualifier.
+    """
+
+    parts: tuple[str, ...]
+
+    @property
+    def name(self) -> str:
+        return self.parts[-1]
+
+    @property
+    def qualifier(self) -> Optional[str]:
+        return self.parts[-2] if len(self.parts) > 1 else None
+
+
+@dataclass
+class Star(Expression):
+    """``*`` or ``alias.*`` in a select list."""
+
+    qualifier: Optional[str] = None
+
+
+@dataclass
+class BinaryOp(Expression):
+    """Binary operator: arithmetic, comparison, AND/OR, ``||``, LIKE."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+
+@dataclass
+class UnaryOp(Expression):
+    """Unary operator: NOT, unary minus / plus."""
+
+    op: str
+    operand: Expression
+
+
+@dataclass
+class IsNull(Expression):
+    operand: Expression
+    negated: bool = False
+
+
+@dataclass
+class IsDistinct(Expression):
+    """``a IS [NOT] DISTINCT FROM b`` — null-safe (in)equality."""
+
+    left: Expression
+    right: Expression
+    negated: bool = False  # True for IS NOT DISTINCT FROM
+
+
+@dataclass
+class Between(Expression):
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+
+@dataclass
+class InList(Expression):
+    operand: Expression
+    items: list[Expression]
+    negated: bool = False
+
+
+@dataclass
+class InSubquery(Expression):
+    operand: Expression
+    query: "QueryExpr"
+    negated: bool = False
+
+
+@dataclass
+class Exists(Expression):
+    query: "QueryExpr"
+    negated: bool = False
+
+
+@dataclass
+class ScalarSubquery(Expression):
+    query: "QueryExpr"
+
+
+@dataclass
+class QuantifiedComparison(Expression):
+    """``expr op ANY (subquery)`` / ``expr op ALL (subquery)``."""
+
+    op: str
+    quantifier: L["any", "all"]
+    operand: Expression
+    query: "QueryExpr"
+
+
+@dataclass
+class FuncCall(Expression):
+    """Function or aggregate call. ``count(*)`` sets ``star``."""
+
+    name: str
+    args: list[Expression]
+    distinct: bool = False
+    star: bool = False
+
+
+@dataclass
+class Case(Expression):
+    """Searched or simple CASE."""
+
+    operand: Optional[Expression]
+    whens: list[tuple[Expression, Expression]]
+    else_result: Optional[Expression] = None
+
+
+@dataclass
+class Cast(Expression):
+    operand: Expression
+    type_name: str
+
+
+# ---------------------------------------------------------------------------
+# Query expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SelectItem:
+    expression: Expression
+    alias: Optional[str] = None
+
+
+@dataclass
+class OrderItem:
+    expression: Expression
+    descending: bool = False
+    nulls_first: Optional[bool] = None
+
+
+@dataclass
+class ProvenanceClause:
+    """``SELECT PROVENANCE [ON CONTRIBUTION (semantics)]``.
+
+    ``contribution`` is one of ``influence`` (default; PI-CS /
+    why-provenance), ``copy partial`` or ``copy complete`` (C-CS /
+    where-provenance variants).
+    """
+
+    contribution: str = "influence"
+
+
+class FromItem:
+    """Base class for FROM-clause items."""
+
+    __slots__ = ()
+
+
+@dataclass
+class TableRef(FromItem):
+    """A base relation or view reference, with SQL-PLE modifiers."""
+
+    name: str
+    alias: Optional[str] = None
+    baserelation: bool = False
+    provenance_attrs: Optional[list[str]] = None
+
+
+@dataclass
+class SubqueryRef(FromItem):
+    """A derived table ``(SELECT ...) AS alias``, with SQL-PLE modifiers."""
+
+    query: "QueryExpr"
+    alias: Optional[str] = None
+    column_aliases: Optional[list[str]] = None
+    baserelation: bool = False
+    provenance_attrs: Optional[list[str]] = None
+
+
+@dataclass
+class JoinRef(FromItem):
+    """An explicit JOIN between two FROM items."""
+
+    kind: L["inner", "left", "right", "full", "cross"]
+    left: FromItem
+    right: FromItem
+    condition: Optional[Expression] = None
+    using: Optional[list[str]] = None
+    natural: bool = False
+
+
+@dataclass
+class Select:
+    """A single SELECT block."""
+
+    items: list[SelectItem]
+    from_items: list[FromItem] = field(default_factory=list)
+    where: Optional[Expression] = None
+    group_by: list[Expression] = field(default_factory=list)
+    having: Optional[Expression] = None
+    distinct: bool = False
+    provenance: Optional[ProvenanceClause] = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: Optional[Expression] = None
+    offset: Optional[Expression] = None
+
+
+@dataclass
+class SetOp:
+    """UNION / INTERSECT / EXCEPT, set or bag (ALL) semantics."""
+
+    op: L["union", "intersect", "except"]
+    all: bool
+    left: "QueryExpr"
+    right: "QueryExpr"
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: Optional[Expression] = None
+    offset: Optional[Expression] = None
+
+
+QueryExpr = Union[Select, SetOp]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Statement:
+    __slots__ = ()
+
+
+@dataclass
+class QueryStatement(Statement):
+    query: QueryExpr
+
+
+@dataclass
+class ColumnDef:
+    name: str
+    type_name: str
+
+
+@dataclass
+class CreateTable(Statement):
+    name: str
+    columns: list[ColumnDef]
+    if_not_exists: bool = False
+
+
+@dataclass
+class CreateTableAs(Statement):
+    name: str
+    query: QueryExpr
+    if_not_exists: bool = False
+
+
+@dataclass
+class CreateView(Statement):
+    name: str
+    query: QueryExpr
+    or_replace: bool = False
+
+
+@dataclass
+class DropRelation(Statement):
+    kind: L["table", "view"]
+    name: str
+    if_exists: bool = False
+
+
+@dataclass
+class Insert(Statement):
+    table: str
+    columns: Optional[list[str]]
+    # Either literal VALUES rows or a source query.
+    rows: Optional[list[list[Expression]]] = None
+    query: Optional[QueryExpr] = None
+
+
+@dataclass
+class Delete(Statement):
+    table: str
+    where: Optional[Expression] = None
+
+
+@dataclass
+class Update(Statement):
+    table: str
+    assignments: list[tuple[str, Expression]]
+    where: Optional[Expression] = None
+
+
+@dataclass
+class Explain(Statement):
+    """``EXPLAIN [REWRITE|ALGEBRA|PLAN] <query>`` — the browser's panes."""
+
+    mode: L["rewrite", "algebra", "plan"]
+    statement: Statement

@@ -1,0 +1,210 @@
+"""SQL tokenizer.
+
+Produces a stream of :class:`Token` objects with 1-based line/column
+positions (used by :class:`~repro.errors.ParseError`). Keywords are
+recognized case-insensitively; the SQL-PLE keywords of the paper
+(``PROVENANCE``, ``BASERELATION``, ``CONTRIBUTION``, ``INFLUENCE``,
+``COPY``) are ordinary keywords here so the parser can treat them
+contextually — plain SQL queries that use them as identifiers still parse
+when quoted.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ParseError
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    EOF = "eof"
+
+
+# Every word the parser treats specially. Membership here only means the
+# token is tagged KEYWORD; reserved-ness is decided by the parser.
+KEYWORDS = frozenset(
+    """
+    select from where group by having order limit offset distinct all as
+    and or not null true false is in like ilike between exists any some
+    case when then else end cast asc desc nulls first last
+    join inner left right full outer cross on using natural
+    union intersect except
+    create table view drop insert into values delete update set
+    if replace temp temporary
+    provenance baserelation contribution influence copy partial complete
+    transitive explain analyze rewrite algebra plan
+    count sum avg min max
+    primary key references default unique check
+    """.split()
+)
+
+# Multi-character operators, longest first so the lexer is greedy.
+_OPERATORS = ["<>", "!=", "<=", ">=", "||", "::", "=", "<", ">", "+", "-", "*", "/", "%",
+              "(", ")", ",", ".", ";"]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    @property
+    def upper(self) -> str:
+        return self.text.upper()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.value}, {self.text!r}, {self.line}:{self.column})"
+
+
+class Lexer:
+    """Single-pass tokenizer over a SQL string."""
+
+    def __init__(self, text: str):
+        self._text = text
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+
+    def tokens(self) -> list[Token]:
+        out: list[Token] = []
+        while True:
+            token = self._next_token()
+            out.append(token)
+            if token.kind is TokenKind.EOF:
+                return out
+
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        return self._text[index] if index < len(self._text) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self._pos < len(self._text):
+                if self._text[self._pos] == "\n":
+                    self._line += 1
+                    self._col = 1
+                else:
+                    self._col += 1
+                self._pos += 1
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self._pos < len(self._text):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "-" and self._peek(1) == "-":
+                while self._pos < len(self._text) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line, start_col = self._line, self._col
+                self._advance(2)
+                while self._pos < len(self._text) and not (self._peek() == "*" and self._peek(1) == "/"):
+                    self._advance()
+                if self._pos >= len(self._text):
+                    raise ParseError("unterminated block comment", start_line, start_col)
+                self._advance(2)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_whitespace_and_comments()
+        line, col = self._line, self._col
+        if self._pos >= len(self._text):
+            return Token(TokenKind.EOF, "", line, col)
+        ch = self._peek()
+
+        if ch == "'":
+            return self._lex_string(line, col)
+        if ch == '"':
+            return self._lex_quoted_ident(line, col)
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._lex_number(line, col)
+        if ch.isalpha() or ch == "_":
+            return self._lex_word(line, col)
+        for op in _OPERATORS:
+            if self._text.startswith(op, self._pos):
+                self._advance(len(op))
+                return Token(TokenKind.OPERATOR, op, line, col)
+        raise ParseError(f"unexpected character {ch!r}", line, col)
+
+    def _lex_string(self, line: int, col: int) -> Token:
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            if self._pos >= len(self._text):
+                raise ParseError("unterminated string literal", line, col)
+            ch = self._peek()
+            if ch == "'":
+                if self._peek(1) == "'":  # '' escape
+                    chars.append("'")
+                    self._advance(2)
+                    continue
+                self._advance()
+                return Token(TokenKind.STRING, "".join(chars), line, col)
+            chars.append(ch)
+            self._advance()
+
+    def _lex_quoted_ident(self, line: int, col: int) -> Token:
+        self._advance()
+        chars: list[str] = []
+        while True:
+            if self._pos >= len(self._text):
+                raise ParseError("unterminated quoted identifier", line, col)
+            ch = self._peek()
+            if ch == '"':
+                if self._peek(1) == '"':
+                    chars.append('"')
+                    self._advance(2)
+                    continue
+                self._advance()
+                if not chars:
+                    raise ParseError("empty quoted identifier", line, col)
+                return Token(TokenKind.IDENT, "".join(chars), line, col)
+            chars.append(ch)
+            self._advance()
+
+    def _lex_number(self, line: int, col: int) -> Token:
+        start = self._pos
+        seen_dot = False
+        seen_exp = False
+        while self._pos < len(self._text):
+            ch = self._peek()
+            if ch.isdigit():
+                self._advance()
+            elif ch == "." and not seen_dot and not seen_exp:
+                seen_dot = True
+                self._advance()
+            elif ch in "eE" and not seen_exp and self._pos > start:
+                nxt = self._peek(1)
+                if nxt.isdigit() or (nxt in "+-" and self._peek(2).isdigit()):
+                    seen_exp = True
+                    self._advance()
+                    if self._peek() in "+-":
+                        self._advance()
+                else:
+                    break
+            else:
+                break
+        return Token(TokenKind.NUMBER, self._text[start:self._pos], line, col)
+
+    def _lex_word(self, line: int, col: int) -> Token:
+        start = self._pos
+        while self._pos < len(self._text) and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        word = self._text[start:self._pos]
+        kind = TokenKind.KEYWORD if word.lower() in KEYWORDS else TokenKind.IDENT
+        return Token(kind, word, line, col)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize *text*, returning a list ending with an EOF token."""
+    return Lexer(text).tokens()

@@ -1,0 +1,856 @@
+"""Recursive-descent parser for the SQL / SQL-PLE dialect.
+
+Grammar highlights (see :mod:`repro.sql.ast` for node semantics):
+
+* full SELECT blocks with DISTINCT, GROUP BY, HAVING, ORDER BY,
+  LIMIT/OFFSET;
+* explicit joins (INNER/LEFT/RIGHT/FULL/CROSS, ON/USING/NATURAL) and
+  implicit comma joins;
+* UNION / INTERSECT / EXCEPT with the usual precedence (INTERSECT binds
+  tighter) and ALL variants;
+* subqueries in FROM and in expressions (scalar, EXISTS, IN, ANY/ALL);
+* DDL/DML: CREATE TABLE (AS), CREATE [OR REPLACE] VIEW, DROP, INSERT,
+  DELETE, UPDATE, EXPLAIN;
+* SQL-PLE (paper §2.4): ``SELECT PROVENANCE [ON CONTRIBUTION (...)]``,
+  ``BASERELATION`` and ``PROVENANCE (attrs)`` modifiers on FROM items.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ParseError
+from . import ast
+from .lexer import Token, TokenKind, tokenize
+
+# Words that may not be used as bare identifiers (aliases, table names).
+_RESERVED = frozenset(
+    """
+    select from where group having order limit offset union intersect except
+    join inner left right full cross on using natural and or not as when then
+    else end case distinct all into values set is in like between exists
+    """.split()
+)
+
+_COMPARISON_OPS = {"=", "<>", "!=", "<", ">", "<=", ">="}
+
+_JOIN_KINDS = {"INNER": "inner", "LEFT": "left", "RIGHT": "right", "FULL": "full", "CROSS": "cross"}
+
+
+class Parser:
+    """Parses one or more SQL statements from a token stream."""
+
+    def __init__(self, text: str):
+        self._tokens = tokenize(text)
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind is not TokenKind.EOF:
+            self._index += 1
+        return token
+
+    def _at_keyword(self, *words: str) -> bool:
+        token = self._peek()
+        return token.kind is TokenKind.KEYWORD and token.upper in words
+
+    def _at_operator(self, *ops: str) -> bool:
+        token = self._peek()
+        return token.kind is TokenKind.OPERATOR and token.text in ops
+
+    def _accept_keyword(self, *words: str) -> Optional[Token]:
+        if self._at_keyword(*words):
+            return self._advance()
+        return None
+
+    def _accept_operator(self, *ops: str) -> Optional[Token]:
+        if self._at_operator(*ops):
+            return self._advance()
+        return None
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._peek()
+        if not self._at_keyword(word):
+            raise ParseError(f"expected {word}, found {token.text!r}", token.line, token.column)
+        return self._advance()
+
+    def _expect_operator(self, op: str) -> Token:
+        token = self._peek()
+        if not self._at_operator(op):
+            raise ParseError(f"expected {op!r}, found {token.text!r}", token.line, token.column)
+        return self._advance()
+
+    def _expect_identifier(self, what: str = "identifier") -> str:
+        token = self._peek()
+        if token.kind is TokenKind.IDENT:
+            return self._advance().text
+        # Non-reserved keywords double as identifiers (e.g. a column named
+        # "text", "count" or "copy" — the paper's schema uses "text").
+        if token.kind is TokenKind.KEYWORD and token.text.lower() not in _RESERVED:
+            return self._advance().text
+        raise ParseError(f"expected {what}, found {token.text!r}", token.line, token.column)
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def parse_statements(self) -> list[ast.Statement]:
+        statements: list[ast.Statement] = []
+        while True:
+            while self._accept_operator(";"):
+                pass
+            if self._peek().kind is TokenKind.EOF:
+                return statements
+            statements.append(self.parse_statement())
+            token = self._peek()
+            if token.kind is TokenKind.EOF:
+                return statements
+            if not self._at_operator(";"):
+                raise ParseError(
+                    f"unexpected input after statement: {token.text!r}", token.line, token.column
+                )
+
+    def parse_statement(self) -> ast.Statement:
+        if self._at_keyword("SELECT") or self._at_operator("("):
+            return ast.QueryStatement(self.parse_query_expr())
+        if self._at_keyword("CREATE"):
+            return self._parse_create()
+        if self._at_keyword("DROP"):
+            return self._parse_drop()
+        if self._at_keyword("INSERT"):
+            return self._parse_insert()
+        if self._at_keyword("DELETE"):
+            return self._parse_delete()
+        if self._at_keyword("UPDATE"):
+            return self._parse_update()
+        if self._at_keyword("EXPLAIN"):
+            return self._parse_explain()
+        token = self._peek()
+        raise ParseError(f"unexpected start of statement: {token.text!r}", token.line, token.column)
+
+    # ------------------------------------------------------------------
+    # Query expressions (set-operation precedence: EXCEPT/UNION < INTERSECT)
+    # ------------------------------------------------------------------
+    def parse_query_expr(self) -> ast.QueryExpr:
+        query = self._parse_set_op_operand()
+        while self._at_keyword("UNION", "EXCEPT", "INTERSECT"):
+            op_token = self._advance()
+            op = op_token.upper.lower()
+            is_all = bool(self._accept_keyword("ALL"))
+            self._accept_keyword("DISTINCT")
+            if op == "intersect":
+                right = self._parse_set_op_primary()
+            else:
+                right = self._parse_set_op_operand_no_union()
+            query = ast.SetOp(op=op, all=is_all, left=query, right=right)  # type: ignore[arg-type]
+        self._parse_trailing_clauses(query)
+        return query
+
+    def _parse_set_op_operand(self) -> ast.QueryExpr:
+        """Parse a chain of INTERSECTs (binds tighter than UNION/EXCEPT)."""
+        query = self._parse_set_op_primary()
+        while self._at_keyword("INTERSECT"):
+            self._advance()
+            is_all = bool(self._accept_keyword("ALL"))
+            self._accept_keyword("DISTINCT")
+            right = self._parse_set_op_primary()
+            query = ast.SetOp(op="intersect", all=is_all, left=query, right=right)
+        return query
+
+    # After consuming UNION/EXCEPT we still need INTERSECT to bind tighter
+    # on the right-hand side.
+    _parse_set_op_operand_no_union = _parse_set_op_operand
+
+    def _parse_set_op_primary(self) -> ast.QueryExpr:
+        if self._accept_operator("("):
+            query = self.parse_query_expr()
+            self._expect_operator(")")
+            return query
+        return self._parse_select()
+
+    def _parse_trailing_clauses(self, query: ast.QueryExpr) -> None:
+        """ORDER BY / LIMIT / OFFSET attach to the outermost query expression."""
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            items = [self._parse_order_item()]
+            while self._accept_operator(","):
+                items.append(self._parse_order_item())
+            if query.order_by:
+                token = self._peek()
+                raise ParseError("duplicate ORDER BY clause", token.line, token.column)
+            query.order_by = items
+        if self._accept_keyword("LIMIT"):
+            if not self._accept_keyword("ALL"):
+                query.limit = self.parse_expression()
+        if self._accept_keyword("OFFSET"):
+            query.offset = self.parse_expression()
+
+    def _parse_order_item(self) -> ast.OrderItem:
+        expression = self.parse_expression()
+        descending = False
+        if self._accept_keyword("ASC"):
+            descending = False
+        elif self._accept_keyword("DESC"):
+            descending = True
+        nulls_first: Optional[bool] = None
+        if self._accept_keyword("NULLS"):
+            if self._accept_keyword("FIRST"):
+                nulls_first = True
+            else:
+                self._expect_keyword("LAST")
+                nulls_first = False
+        return ast.OrderItem(expression, descending, nulls_first)
+
+    # ------------------------------------------------------------------
+    # SELECT block
+    # ------------------------------------------------------------------
+    def _parse_select(self) -> ast.Select:
+        self._expect_keyword("SELECT")
+        provenance = self._parse_provenance_clause()
+
+        distinct = False
+        if self._accept_keyword("DISTINCT"):
+            distinct = True
+        else:
+            self._accept_keyword("ALL")
+
+        items = [self._parse_select_item()]
+        while self._accept_operator(","):
+            items.append(self._parse_select_item())
+
+        from_items: list[ast.FromItem] = []
+        if self._accept_keyword("FROM"):
+            from_items.append(self._parse_from_item())
+            while self._accept_operator(","):
+                from_items.append(self._parse_from_item())
+
+        where = self.parse_expression() if self._accept_keyword("WHERE") else None
+
+        group_by: list[ast.Expression] = []
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self.parse_expression())
+            while self._accept_operator(","):
+                group_by.append(self.parse_expression())
+
+        having = self.parse_expression() if self._accept_keyword("HAVING") else None
+
+        return ast.Select(
+            items=items,
+            from_items=from_items,
+            where=where,
+            group_by=group_by,
+            having=having,
+            distinct=distinct,
+            provenance=provenance,
+        )
+
+    def _parse_provenance_clause(self) -> Optional[ast.ProvenanceClause]:
+        """``PROVENANCE [ON CONTRIBUTION (INFLUENCE | COPY [PARTIAL|COMPLETE])]``.
+
+        ``SELECT PROVENANCE`` is only recognized when the next token keeps
+        it unambiguous — ``SELECT provenance FROM t`` (a column named
+        provenance) still parses, because a bare column reference would be
+        followed by ``,``/``FROM``, not by another value expression.
+        """
+        if not self._at_keyword("PROVENANCE"):
+            return None
+        nxt = self._peek(1)
+        if nxt.kind is TokenKind.OPERATOR and nxt.text in (",", ";", ")", "."):
+            return None  # it's a column named provenance
+        if nxt.kind is TokenKind.KEYWORD and nxt.upper in ("FROM", "AS", "UNION", "INTERSECT", "EXCEPT"):
+            return None
+        if nxt.kind is TokenKind.EOF:
+            return None
+        self._advance()
+        contribution = "influence"
+        if self._accept_keyword("ON"):
+            self._expect_keyword("CONTRIBUTION")
+            self._expect_operator("(")
+            if self._accept_keyword("INFLUENCE"):
+                contribution = "influence"
+            elif self._accept_keyword("COPY"):
+                if self._accept_keyword("COMPLETE"):
+                    contribution = "copy complete"
+                else:
+                    self._accept_keyword("PARTIAL")
+                    contribution = "copy partial"
+            else:
+                token = self._peek()
+                raise ParseError(
+                    f"unknown contribution semantics {token.text!r} "
+                    "(expected INFLUENCE or COPY [PARTIAL|COMPLETE])",
+                    token.line,
+                    token.column,
+                )
+            self._expect_operator(")")
+        return ast.ProvenanceClause(contribution=contribution)
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        if self._at_operator("*"):
+            self._advance()
+            return ast.SelectItem(ast.Star())
+        expression = self.parse_expression()
+        alias: Optional[str] = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier("alias")
+        elif self._peek().kind is TokenKind.IDENT:
+            alias = self._advance().text
+        elif self._peek().kind is TokenKind.KEYWORD and self._peek().text.lower() not in _RESERVED:
+            alias = self._advance().text
+        return ast.SelectItem(expression, alias)
+
+    # ------------------------------------------------------------------
+    # FROM items and joins
+    # ------------------------------------------------------------------
+    def _parse_from_item(self) -> ast.FromItem:
+        item = self._parse_join_operand()
+        while True:
+            natural = False
+            if self._at_keyword("NATURAL"):
+                natural = True
+                self._advance()
+            kind: Optional[str] = None
+            if self._at_keyword("JOIN"):
+                kind = "inner"
+                self._advance()
+            elif self._peek().upper in _JOIN_KINDS and self._peek().kind is TokenKind.KEYWORD:
+                kind = _JOIN_KINDS[self._advance().upper]
+                self._accept_keyword("OUTER")
+                self._expect_keyword("JOIN")
+            elif natural:
+                token = self._peek()
+                raise ParseError("expected JOIN after NATURAL", token.line, token.column)
+            else:
+                return item
+            right = self._parse_join_operand()
+            condition: Optional[ast.Expression] = None
+            using: Optional[list[str]] = None
+            if kind != "cross" and not natural:
+                if self._accept_keyword("ON"):
+                    condition = self.parse_expression()
+                elif self._accept_keyword("USING"):
+                    self._expect_operator("(")
+                    using = [self._expect_identifier("column name")]
+                    while self._accept_operator(","):
+                        using.append(self._expect_identifier("column name"))
+                    self._expect_operator(")")
+                else:
+                    token = self._peek()
+                    raise ParseError(
+                        f"expected ON or USING after JOIN, found {token.text!r}",
+                        token.line,
+                        token.column,
+                    )
+            item = ast.JoinRef(
+                kind=kind,  # type: ignore[arg-type]
+                left=item,
+                right=right,
+                condition=condition,
+                using=using,
+                natural=natural,
+            )
+
+    def _parse_join_operand(self) -> ast.FromItem:
+        if self._at_operator("("):
+            # Either a parenthesized join / from item or a subquery.
+            if self._starts_subquery():
+                self._advance()
+                query = self.parse_query_expr()
+                self._expect_operator(")")
+                alias, column_aliases = self._parse_from_alias()
+                baserelation, prov_attrs = self._parse_from_modifiers()
+                return ast.SubqueryRef(
+                    query=query,
+                    alias=alias,
+                    column_aliases=column_aliases,
+                    baserelation=baserelation,
+                    provenance_attrs=prov_attrs,
+                )
+            self._advance()
+            inner = self._parse_from_item()
+            self._expect_operator(")")
+            return inner
+        name = self._expect_identifier("relation name")
+        alias, column_aliases = self._parse_from_alias()
+        if column_aliases is not None:
+            token = self._peek()
+            raise ParseError("column aliases are only supported on subqueries", token.line, token.column)
+        baserelation, prov_attrs = self._parse_from_modifiers()
+        return ast.TableRef(
+            name=name, alias=alias, baserelation=baserelation, provenance_attrs=prov_attrs
+        )
+
+    def _starts_subquery(self) -> bool:
+        """Positioned at ``(``: does it open a subquery (vs a nested
+        join / parenthesized expression)?
+
+        The content is a query expression when it starts with SELECT, or
+        when it starts with a parenthesized group followed by a set-op
+        keyword / ORDER / LIMIT / the closing paren (e.g. the deparser's
+        ``((SELECT ...) UNION ALL (SELECT ...))``). A group followed by
+        an alias, JOIN or comma is a FROM item instead.
+        """
+        first = self._peek(1)
+        if first.kind is TokenKind.KEYWORD and first.upper == "SELECT":
+            return True
+        if not (first.kind is TokenKind.OPERATOR and first.text == "("):
+            return False
+        # Find the token following the first parenthesized group.
+        offset = 1
+        depth = 0
+        while True:
+            token = self._peek(offset)
+            if token.kind is TokenKind.EOF:
+                return False
+            if token.kind is TokenKind.OPERATOR and token.text == "(":
+                depth += 1
+            elif token.kind is TokenKind.OPERATOR and token.text == ")":
+                depth -= 1
+                if depth == 0:
+                    follower = self._peek(offset + 1)
+                    if follower.kind is TokenKind.KEYWORD and follower.upper in (
+                        "UNION",
+                        "INTERSECT",
+                        "EXCEPT",
+                        "ORDER",
+                        "LIMIT",
+                        "OFFSET",
+                    ):
+                        return True
+                    if follower.kind is TokenKind.OPERATOR and follower.text == ")":
+                        # "((...))": subquery iff the inner chain opens
+                        # with SELECT behind the leading parentheses.
+                        inner = 1
+                        while (
+                            self._peek(inner).kind is TokenKind.OPERATOR
+                            and self._peek(inner).text == "("
+                        ):
+                            inner += 1
+                        head = self._peek(inner)
+                        return head.kind is TokenKind.KEYWORD and head.upper == "SELECT"
+                    return False
+            offset += 1
+
+    def _parse_from_alias(self) -> tuple[Optional[str], Optional[list[str]]]:
+        alias: Optional[str] = None
+        column_aliases: Optional[list[str]] = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier("alias")
+        elif self._peek().kind is TokenKind.IDENT:
+            alias = self._advance().text
+        if alias is not None and self._at_operator("("):
+            self._advance()
+            column_aliases = [self._expect_identifier("column alias")]
+            while self._accept_operator(","):
+                column_aliases.append(self._expect_identifier("column alias"))
+            self._expect_operator(")")
+        return alias, column_aliases
+
+    def _parse_from_modifiers(self) -> tuple[bool, Optional[list[str]]]:
+        """SQL-PLE FROM-item suffixes: ``BASERELATION`` / ``PROVENANCE (a, b)``."""
+        baserelation = False
+        prov_attrs: Optional[list[str]] = None
+        while True:
+            if self._accept_keyword("BASERELATION"):
+                baserelation = True
+                continue
+            if self._at_keyword("PROVENANCE") and self._peek(1).text == "(":
+                self._advance()
+                self._expect_operator("(")
+                prov_attrs = [self._expect_identifier("provenance attribute")]
+                while self._accept_operator(","):
+                    prov_attrs.append(self._expect_identifier("provenance attribute"))
+                self._expect_operator(")")
+                continue
+            return baserelation, prov_attrs
+
+    # ------------------------------------------------------------------
+    # DDL / DML
+    # ------------------------------------------------------------------
+    def _parse_create(self) -> ast.Statement:
+        self._expect_keyword("CREATE")
+        or_replace = False
+        if self._accept_keyword("OR"):
+            self._expect_keyword("REPLACE")
+            or_replace = True
+        self._accept_keyword("TEMP") or self._accept_keyword("TEMPORARY")
+        if self._accept_keyword("VIEW"):
+            name = self._expect_identifier("view name")
+            self._expect_keyword("AS")
+            query = self.parse_query_expr()
+            return ast.CreateView(name=name, query=query, or_replace=or_replace)
+        self._expect_keyword("TABLE")
+        if_not_exists = False
+        if self._accept_keyword("IF"):
+            self._expect_keyword("NOT")
+            self._expect_keyword("EXISTS")
+            if_not_exists = True
+        name = self._expect_identifier("table name")
+        if self._accept_keyword("AS"):
+            query = self.parse_query_expr()
+            return ast.CreateTableAs(name=name, query=query, if_not_exists=if_not_exists)
+        self._expect_operator("(")
+        columns = [self._parse_column_def()]
+        while self._accept_operator(","):
+            columns.append(self._parse_column_def())
+        self._expect_operator(")")
+        return ast.CreateTable(name=name, columns=columns, if_not_exists=if_not_exists)
+
+    def _parse_column_def(self) -> ast.ColumnDef:
+        name = self._expect_identifier("column name")
+        type_name = self._expect_identifier("type name")
+        # "double precision" / "character varying" two-word types.
+        if type_name.lower() in ("double", "character") and self._peek().kind in (
+            TokenKind.IDENT,
+            TokenKind.KEYWORD,
+        ):
+            follower = self._peek().text.lower()
+            if follower in ("precision", "varying"):
+                type_name = f"{type_name} {self._advance().text}"
+        # Ignore length parameters such as varchar(20).
+        if self._accept_operator("("):
+            while not self._at_operator(")"):
+                self._advance()
+            self._expect_operator(")")
+        # Ignore column constraints (PRIMARY KEY, NOT NULL, ...).
+        while self._at_keyword("PRIMARY", "NOT", "NULL", "UNIQUE", "DEFAULT", "REFERENCES", "CHECK", "KEY"):
+            self._advance()
+            if self._at_operator("("):
+                self._advance()
+                depth = 1
+                while depth:
+                    if self._at_operator("("):
+                        depth += 1
+                    elif self._at_operator(")"):
+                        depth -= 1
+                    self._advance()
+        return ast.ColumnDef(name=name, type_name=type_name)
+
+    def _parse_drop(self) -> ast.Statement:
+        self._expect_keyword("DROP")
+        if self._accept_keyword("VIEW"):
+            kind = "view"
+        else:
+            self._expect_keyword("TABLE")
+            kind = "table"
+        if_exists = False
+        if self._accept_keyword("IF"):
+            self._expect_keyword("EXISTS")
+            if_exists = True
+        name = self._expect_identifier("relation name")
+        return ast.DropRelation(kind=kind, name=name, if_exists=if_exists)  # type: ignore[arg-type]
+
+    def _parse_insert(self) -> ast.Statement:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._expect_identifier("table name")
+        columns: Optional[list[str]] = None
+        if self._at_operator("(") and not self._starts_subquery():
+            self._advance()
+            columns = [self._expect_identifier("column name")]
+            while self._accept_operator(","):
+                columns.append(self._expect_identifier("column name"))
+            self._expect_operator(")")
+        if self._accept_keyword("VALUES"):
+            rows = [self._parse_value_row()]
+            while self._accept_operator(","):
+                rows.append(self._parse_value_row())
+            return ast.Insert(table=table, columns=columns, rows=rows)
+        query = self.parse_query_expr()
+        return ast.Insert(table=table, columns=columns, query=query)
+
+    def _parse_value_row(self) -> list[ast.Expression]:
+        self._expect_operator("(")
+        row = [self.parse_expression()]
+        while self._accept_operator(","):
+            row.append(self.parse_expression())
+        self._expect_operator(")")
+        return row
+
+    def _parse_delete(self) -> ast.Statement:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._expect_identifier("table name")
+        where = self.parse_expression() if self._accept_keyword("WHERE") else None
+        return ast.Delete(table=table, where=where)
+
+    def _parse_update(self) -> ast.Statement:
+        self._expect_keyword("UPDATE")
+        table = self._expect_identifier("table name")
+        self._expect_keyword("SET")
+        assignments = [self._parse_assignment()]
+        while self._accept_operator(","):
+            assignments.append(self._parse_assignment())
+        where = self.parse_expression() if self._accept_keyword("WHERE") else None
+        return ast.Update(table=table, assignments=assignments, where=where)
+
+    def _parse_assignment(self) -> tuple[str, ast.Expression]:
+        column = self._expect_identifier("column name")
+        self._expect_operator("=")
+        return column, self.parse_expression()
+
+    def _parse_explain(self) -> ast.Statement:
+        self._expect_keyword("EXPLAIN")
+        mode = "plan"
+        if self._accept_keyword("REWRITE"):
+            mode = "rewrite"
+        elif self._accept_keyword("ALGEBRA"):
+            mode = "algebra"
+        elif self._accept_keyword("PLAN"):
+            mode = "plan"
+        statement = self.parse_statement()
+        return ast.Explain(mode=mode, statement=statement)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def parse_expression(self) -> ast.Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expression:
+        left = self._parse_and()
+        while self._at_keyword("OR"):
+            self._advance()
+            left = ast.BinaryOp("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.Expression:
+        left = self._parse_not()
+        while self._at_keyword("AND"):
+            self._advance()
+            left = ast.BinaryOp("and", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> ast.Expression:
+        if self._at_keyword("NOT"):
+            self._advance()
+            return ast.UnaryOp("not", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> ast.Expression:
+        left = self._parse_additive()
+        while True:
+            if self._at_operator(*_COMPARISON_OPS):
+                op = self._advance().text
+                if op == "!=":
+                    op = "<>"
+                if self._at_keyword("ANY", "SOME", "ALL"):
+                    quantifier = "all" if self._advance().upper == "ALL" else "any"
+                    self._expect_operator("(")
+                    query = self.parse_query_expr()
+                    self._expect_operator(")")
+                    left = ast.QuantifiedComparison(op=op, quantifier=quantifier, operand=left, query=query)
+                else:
+                    left = ast.BinaryOp(op, left, self._parse_additive())
+                continue
+            negated = False
+            checkpoint = self._index
+            if self._at_keyword("NOT") and self._peek(1).upper in ("IN", "BETWEEN", "LIKE", "ILIKE"):
+                self._advance()
+                negated = True
+            if self._accept_keyword("IS"):
+                is_not = bool(self._accept_keyword("NOT"))
+                if self._accept_keyword("NULL"):
+                    left = ast.IsNull(left, negated=is_not)
+                elif self._accept_keyword("DISTINCT"):
+                    self._expect_keyword("FROM")
+                    right = self._parse_additive()
+                    left = ast.IsDistinct(left, right, negated=is_not)
+                elif self._accept_keyword("TRUE"):
+                    cmp = ast.IsDistinct(left, ast.Literal(True), negated=True)
+                    left = ast.UnaryOp("not", cmp) if is_not else cmp
+                elif self._accept_keyword("FALSE"):
+                    cmp = ast.IsDistinct(left, ast.Literal(False), negated=True)
+                    left = ast.UnaryOp("not", cmp) if is_not else cmp
+                else:
+                    token = self._peek()
+                    raise ParseError(
+                        f"expected NULL, DISTINCT FROM, TRUE or FALSE after IS, found {token.text!r}",
+                        token.line,
+                        token.column,
+                    )
+                continue
+            if self._accept_keyword("BETWEEN"):
+                low = self._parse_additive()
+                self._expect_keyword("AND")
+                high = self._parse_additive()
+                left = ast.Between(left, low, high, negated=negated)
+                continue
+            if self._accept_keyword("IN"):
+                self._expect_operator("(")
+                if self._at_keyword("SELECT") or (self._at_operator("(") and self._starts_subquery()):
+                    query = self.parse_query_expr()
+                    self._expect_operator(")")
+                    left = ast.InSubquery(left, query, negated=negated)
+                else:
+                    items = [self.parse_expression()]
+                    while self._accept_operator(","):
+                        items.append(self.parse_expression())
+                    self._expect_operator(")")
+                    left = ast.InList(left, items, negated=negated)
+                continue
+            if self._at_keyword("LIKE", "ILIKE"):
+                op = self._advance().upper.lower()
+                pattern = self._parse_additive()
+                node: ast.Expression = ast.BinaryOp(op, left, pattern)
+                left = ast.UnaryOp("not", node) if negated else node
+                continue
+            self._index = checkpoint
+            return left
+
+    def _parse_additive(self) -> ast.Expression:
+        left = self._parse_multiplicative()
+        while self._at_operator("+", "-", "||"):
+            op = self._advance().text
+            left = ast.BinaryOp(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expression:
+        left = self._parse_unary()
+        while self._at_operator("*", "/", "%"):
+            op = self._advance().text
+            left = ast.BinaryOp(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> ast.Expression:
+        if self._at_operator("-"):
+            self._advance()
+            return ast.UnaryOp("-", self._parse_unary())
+        if self._at_operator("+"):
+            self._advance()
+            return self._parse_unary()
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expression:
+        expression = self._parse_atom()
+        while self._accept_operator("::"):
+            type_name = self._expect_identifier("type name")
+            expression = ast.Cast(expression, type_name)
+        return expression
+
+    def _parse_atom(self) -> ast.Expression:
+        token = self._peek()
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            text = token.text
+            if "." in text or "e" in text or "E" in text:
+                return ast.Literal(float(text))
+            return ast.Literal(int(text))
+        if token.kind is TokenKind.STRING:
+            self._advance()
+            return ast.Literal(token.text)
+        if self._accept_keyword("NULL"):
+            return ast.Literal(None)
+        if self._accept_keyword("TRUE"):
+            return ast.Literal(True)
+        if self._accept_keyword("FALSE"):
+            return ast.Literal(False)
+        if self._accept_keyword("CASE"):
+            return self._parse_case()
+        if self._accept_keyword("CAST"):
+            self._expect_operator("(")
+            operand = self.parse_expression()
+            self._expect_keyword("AS")
+            type_name = self._expect_identifier("type name")
+            if type_name.lower() in ("double", "character"):
+                follower = self._peek().text.lower()
+                if follower in ("precision", "varying"):
+                    type_name = f"{type_name} {self._advance().text}"
+            if self._accept_operator("("):
+                while not self._at_operator(")"):
+                    self._advance()
+                self._expect_operator(")")
+            self._expect_operator(")")
+            return ast.Cast(operand, type_name)
+        if self._accept_keyword("EXISTS"):
+            self._expect_operator("(")
+            query = self.parse_query_expr()
+            self._expect_operator(")")
+            return ast.Exists(query)
+        if self._at_operator("("):
+            if self._starts_subquery():
+                self._advance()
+                query = self.parse_query_expr()
+                self._expect_operator(")")
+                return ast.ScalarSubquery(query)
+            self._advance()
+            expression = self.parse_expression()
+            self._expect_operator(")")
+            return expression
+        if token.kind in (TokenKind.IDENT, TokenKind.KEYWORD):
+            return self._parse_name_or_call()
+        raise ParseError(f"unexpected token {token.text!r} in expression", token.line, token.column)
+
+    def _parse_case(self) -> ast.Expression:
+        operand: Optional[ast.Expression] = None
+        if not self._at_keyword("WHEN"):
+            operand = self.parse_expression()
+        whens: list[tuple[ast.Expression, ast.Expression]] = []
+        while self._accept_keyword("WHEN"):
+            condition = self.parse_expression()
+            self._expect_keyword("THEN")
+            result = self.parse_expression()
+            whens.append((condition, result))
+        if not whens:
+            token = self._peek()
+            raise ParseError("CASE requires at least one WHEN branch", token.line, token.column)
+        else_result = self.parse_expression() if self._accept_keyword("ELSE") else None
+        self._expect_keyword("END")
+        return ast.Case(operand=operand, whens=whens, else_result=else_result)
+
+    def _parse_name_or_call(self) -> ast.Expression:
+        token = self._peek()
+        if token.kind is TokenKind.KEYWORD and token.text.lower() in _RESERVED:
+            raise ParseError(f"unexpected keyword {token.text!r} in expression", token.line, token.column)
+        name = self._advance().text
+        # Function call?
+        if self._at_operator("(") :
+            self._advance()
+            if self._accept_operator("*"):
+                self._expect_operator(")")
+                return ast.FuncCall(name=name.lower(), args=[], star=True)
+            distinct = bool(self._accept_keyword("DISTINCT"))
+            args: list[ast.Expression] = []
+            if not self._at_operator(")"):
+                args.append(self.parse_expression())
+                while self._accept_operator(","):
+                    args.append(self.parse_expression())
+            self._expect_operator(")")
+            return ast.FuncCall(name=name.lower(), args=args, distinct=distinct)
+        parts = [name]
+        while self._at_operator(".") :
+            self._advance()
+            if self._accept_operator("*"):
+                return ast.Star(qualifier=".".join(parts))
+            parts.append(self._expect_identifier("column name"))
+        return ast.ColumnRef(tuple(parts))
+
+
+def parse_sql(text: str) -> list[ast.Statement]:
+    """Parse a string holding one or more ``;``-separated statements."""
+    return Parser(text).parse_statements()
+
+
+def parse_statement(text: str) -> ast.Statement:
+    """Parse exactly one statement; raises if there are zero or several."""
+    statements = parse_sql(text)
+    if len(statements) != 1:
+        raise ParseError(f"expected exactly one statement, found {len(statements)}")
+    return statements[0]
+
+
+def parse_expression(text: str) -> ast.Expression:
+    """Parse a standalone scalar expression (used by tests and the REPL)."""
+    parser = Parser(text)
+    expression = parser.parse_expression()
+    token = parser._peek()
+    if token.kind is not TokenKind.EOF:
+        raise ParseError(f"unexpected trailing input: {token.text!r}", token.line, token.column)
+    return expression

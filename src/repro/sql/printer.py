@@ -1,0 +1,254 @@
+"""AST -> SQL text.
+
+Used by the Perm browser (pane 1 shows the normalized input query), by
+``EXPLAIN REWRITE`` and by the parser round-trip property tests
+(``parse(print(parse(q)))`` must be a fixpoint).
+"""
+
+from __future__ import annotations
+
+from ..datatypes import Value
+from . import ast
+
+_IDENT_SAFE = set("abcdefghijklmnopqrstuvwxyz0123456789_")
+
+
+def quote_identifier(name: str) -> str:
+    """Quote *name* if it is not a lower-case bare-safe identifier."""
+    if name and all(c in _IDENT_SAFE for c in name) and not name[0].isdigit():
+        return name
+    escaped = name.replace('"', '""')
+    return f'"{escaped}"'
+
+
+def _literal(value: Value) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return repr(value)
+
+
+def format_expression(node: ast.Expression) -> str:
+    """Render an expression AST back to SQL text (fully parenthesized
+    where precedence could be ambiguous)."""
+    if isinstance(node, ast.Literal):
+        return _literal(node.value)
+    if isinstance(node, ast.ColumnRef):
+        return ".".join(quote_identifier(p) for p in node.parts)
+    if isinstance(node, ast.Star):
+        return f"{quote_identifier(node.qualifier)}.*" if node.qualifier else "*"
+    if isinstance(node, ast.BinaryOp):
+        op = node.op.upper() if node.op in ("and", "or", "like", "ilike") else node.op
+        return f"({format_expression(node.left)} {op} {format_expression(node.right)})"
+    if isinstance(node, ast.UnaryOp):
+        if node.op == "not":
+            return f"(NOT {format_expression(node.operand)})"
+        return f"({node.op}{format_expression(node.operand)})"
+    if isinstance(node, ast.IsNull):
+        maybe_not = " NOT" if node.negated else ""
+        return f"({format_expression(node.operand)} IS{maybe_not} NULL)"
+    if isinstance(node, ast.IsDistinct):
+        maybe_not = " NOT" if node.negated else ""
+        return f"({format_expression(node.left)} IS{maybe_not} DISTINCT FROM {format_expression(node.right)})"
+    if isinstance(node, ast.Between):
+        maybe_not = "NOT " if node.negated else ""
+        return (
+            f"({format_expression(node.operand)} {maybe_not}BETWEEN "
+            f"{format_expression(node.low)} AND {format_expression(node.high)})"
+        )
+    if isinstance(node, ast.InList):
+        maybe_not = "NOT " if node.negated else ""
+        items = ", ".join(format_expression(i) for i in node.items)
+        return f"({format_expression(node.operand)} {maybe_not}IN ({items}))"
+    if isinstance(node, ast.InSubquery):
+        maybe_not = "NOT " if node.negated else ""
+        return f"({format_expression(node.operand)} {maybe_not}IN ({format_query(node.query)}))"
+    if isinstance(node, ast.Exists):
+        prefix = "NOT " if node.negated else ""
+        return f"({prefix}EXISTS ({format_query(node.query)}))"
+    if isinstance(node, ast.ScalarSubquery):
+        return f"({format_query(node.query)})"
+    if isinstance(node, ast.QuantifiedComparison):
+        return (
+            f"({format_expression(node.operand)} {node.op} {node.quantifier.upper()} "
+            f"({format_query(node.query)}))"
+        )
+    if isinstance(node, ast.FuncCall):
+        if node.star:
+            return f"{node.name}(*)"
+        distinct = "DISTINCT " if node.distinct else ""
+        args = ", ".join(format_expression(a) for a in node.args)
+        return f"{node.name}({distinct}{args})"
+    if isinstance(node, ast.Case):
+        parts = ["CASE"]
+        if node.operand is not None:
+            parts.append(format_expression(node.operand))
+        for condition, result in node.whens:
+            parts.append(f"WHEN {format_expression(condition)} THEN {format_expression(result)}")
+        if node.else_result is not None:
+            parts.append(f"ELSE {format_expression(node.else_result)}")
+        parts.append("END")
+        return "(" + " ".join(parts) + ")"
+    if isinstance(node, ast.Cast):
+        return f"CAST({format_expression(node.operand)} AS {node.type_name})"
+    raise TypeError(f"cannot format expression node {type(node).__name__}")
+
+
+def _format_from_item(item: ast.FromItem) -> str:
+    if isinstance(item, ast.TableRef):
+        text = quote_identifier(item.name)
+        if item.alias:
+            text += f" AS {quote_identifier(item.alias)}"
+        if item.baserelation:
+            text += " BASERELATION"
+        if item.provenance_attrs:
+            attrs = ", ".join(quote_identifier(a) for a in item.provenance_attrs)
+            text += f" PROVENANCE ({attrs})"
+        return text
+    if isinstance(item, ast.SubqueryRef):
+        text = f"({format_query(item.query)})"
+        if item.alias:
+            text += f" AS {quote_identifier(item.alias)}"
+            if item.column_aliases:
+                cols = ", ".join(quote_identifier(c) for c in item.column_aliases)
+                text += f" ({cols})"
+        if item.baserelation:
+            text += " BASERELATION"
+        if item.provenance_attrs:
+            attrs = ", ".join(quote_identifier(a) for a in item.provenance_attrs)
+            text += f" PROVENANCE ({attrs})"
+        return text
+    if isinstance(item, ast.JoinRef):
+        left = _format_from_item(item.left)
+        right = _format_from_item(item.right)
+        if isinstance(item.right, ast.JoinRef):
+            right = f"({right})"
+        natural = "NATURAL " if item.natural else ""
+        keyword = {"inner": "JOIN", "left": "LEFT JOIN", "right": "RIGHT JOIN",
+                   "full": "FULL JOIN", "cross": "CROSS JOIN"}[item.kind]
+        text = f"{left} {natural}{keyword} {right}"
+        if item.condition is not None:
+            text += f" ON {format_expression(item.condition)}"
+        elif item.using:
+            cols = ", ".join(quote_identifier(c) for c in item.using)
+            text += f" USING ({cols})"
+        return text
+    raise TypeError(f"cannot format FROM item {type(item).__name__}")
+
+
+def _format_order(items: list[ast.OrderItem]) -> str:
+    rendered = []
+    for item in items:
+        text = format_expression(item.expression)
+        text += " DESC" if item.descending else " ASC"
+        if item.nulls_first is True:
+            text += " NULLS FIRST"
+        elif item.nulls_first is False:
+            text += " NULLS LAST"
+        rendered.append(text)
+    return "ORDER BY " + ", ".join(rendered)
+
+
+def format_query(query: ast.QueryExpr) -> str:
+    """Render a query expression (SELECT or set operation) to SQL."""
+    if isinstance(query, ast.SetOp):
+        keyword = query.op.upper() + (" ALL" if query.all else "")
+        left = format_query(query.left)
+        right = format_query(query.right)
+        if isinstance(query.left, ast.SetOp):
+            left = f"({left})"
+        if isinstance(query.right, ast.SetOp):
+            right = f"({right})"
+        text = f"{left} {keyword} {right}"
+        if query.order_by:
+            text += " " + _format_order(query.order_by)
+        if query.limit is not None:
+            text += f" LIMIT {format_expression(query.limit)}"
+        if query.offset is not None:
+            text += f" OFFSET {format_expression(query.offset)}"
+        return text
+
+    select = query
+    parts = ["SELECT"]
+    if select.provenance is not None:
+        parts.append("PROVENANCE")
+        if select.provenance.contribution != "influence":
+            parts.append(f"ON CONTRIBUTION ({select.provenance.contribution.upper()})")
+        else:
+            parts.append("ON CONTRIBUTION (INFLUENCE)")
+    if select.distinct:
+        parts.append("DISTINCT")
+    rendered_items = []
+    for item in select.items:
+        text = format_expression(item.expression)
+        if item.alias:
+            text += f" AS {quote_identifier(item.alias)}"
+        rendered_items.append(text)
+    parts.append(", ".join(rendered_items))
+    if select.from_items:
+        parts.append("FROM " + ", ".join(_format_from_item(i) for i in select.from_items))
+    if select.where is not None:
+        parts.append("WHERE " + format_expression(select.where))
+    if select.group_by:
+        parts.append("GROUP BY " + ", ".join(format_expression(e) for e in select.group_by))
+    if select.having is not None:
+        parts.append("HAVING " + format_expression(select.having))
+    if select.order_by:
+        parts.append(_format_order(select.order_by))
+    if select.limit is not None:
+        parts.append(f"LIMIT {format_expression(select.limit)}")
+    if select.offset is not None:
+        parts.append(f"OFFSET {format_expression(select.offset)}")
+    return " ".join(parts)
+
+
+def format_statement(statement: ast.Statement) -> str:
+    """Render any statement AST back to SQL text."""
+    if isinstance(statement, ast.QueryStatement):
+        return format_query(statement.query)
+    if isinstance(statement, ast.CreateTable):
+        ine = "IF NOT EXISTS " if statement.if_not_exists else ""
+        columns = ", ".join(
+            f"{quote_identifier(c.name)} {c.type_name}" for c in statement.columns
+        )
+        return f"CREATE TABLE {ine}{quote_identifier(statement.name)} ({columns})"
+    if isinstance(statement, ast.CreateTableAs):
+        ine = "IF NOT EXISTS " if statement.if_not_exists else ""
+        return f"CREATE TABLE {ine}{quote_identifier(statement.name)} AS {format_query(statement.query)}"
+    if isinstance(statement, ast.CreateView):
+        replace = "OR REPLACE " if statement.or_replace else ""
+        return f"CREATE {replace}VIEW {quote_identifier(statement.name)} AS {format_query(statement.query)}"
+    if isinstance(statement, ast.DropRelation):
+        exists = "IF EXISTS " if statement.if_exists else ""
+        return f"DROP {statement.kind.upper()} {exists}{quote_identifier(statement.name)}"
+    if isinstance(statement, ast.Insert):
+        text = f"INSERT INTO {quote_identifier(statement.table)}"
+        if statement.columns:
+            text += " (" + ", ".join(quote_identifier(c) for c in statement.columns) + ")"
+        if statement.rows is not None:
+            rows = ", ".join(
+                "(" + ", ".join(format_expression(v) for v in row) + ")" for row in statement.rows
+            )
+            return f"{text} VALUES {rows}"
+        assert statement.query is not None
+        return f"{text} {format_query(statement.query)}"
+    if isinstance(statement, ast.Delete):
+        text = f"DELETE FROM {quote_identifier(statement.table)}"
+        if statement.where is not None:
+            text += f" WHERE {format_expression(statement.where)}"
+        return text
+    if isinstance(statement, ast.Update):
+        sets = ", ".join(
+            f"{quote_identifier(c)} = {format_expression(e)}" for c, e in statement.assignments
+        )
+        text = f"UPDATE {quote_identifier(statement.table)} SET {sets}"
+        if statement.where is not None:
+            text += f" WHERE {format_expression(statement.where)}"
+        return text
+    if isinstance(statement, ast.Explain):
+        return f"EXPLAIN {statement.mode.upper()} {format_statement(statement.statement)}"
+    raise TypeError(f"cannot format statement {type(statement).__name__}")

@@ -1,0 +1,3 @@
+"""In-memory storage layer: heap tables and result relations."""
+
+from .table import HeapTable, Relation  # noqa: F401

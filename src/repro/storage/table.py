@@ -1,0 +1,184 @@
+"""In-memory heap tables and immutable result relations.
+
+The original Perm system stores everything in PostgreSQL heap files; this
+reproduction keeps tuples as Python tuples in lists. :class:`HeapTable`
+is the mutable stored form (INSERT/DELETE/UPDATE bump a version counter
+that invalidates cached statistics); :class:`Relation` is the immutable
+query-result form returned by the executor and consumed by clients and
+the Perm browser.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+from ..catalog.schema import Schema
+from ..datatypes import Value, cast_value, format_value, type_of_value, SQLType
+from ..errors import CatalogError
+
+Row = tuple[Value, ...]
+
+
+class HeapTable:
+    """A mutable stored table: a schema plus a list of rows."""
+
+    def __init__(self, name: str, schema: Schema):
+        self.name = name
+        self.schema = schema
+        self.rows: list[Row] = []
+        # Bumped on every mutation; used to invalidate cached statistics.
+        self.version = 0
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def _coerce_row(self, values: Sequence[Value]) -> Row:
+        if len(values) != len(self.schema):
+            raise CatalogError(
+                f"table {self.name!r} has {len(self.schema)} columns, "
+                f"got a row with {len(values)} values"
+            )
+        coerced: list[Value] = []
+        for value, attribute in zip(values, self.schema):
+            if value is None:
+                coerced.append(None)
+                continue
+            actual = type_of_value(value)
+            if actual is attribute.type:
+                coerced.append(value)
+            elif actual is SQLType.INT and attribute.type is SQLType.FLOAT:
+                coerced.append(float(value))  # type: ignore[arg-type]
+            else:
+                coerced.append(cast_value(value, attribute.type))
+        return tuple(coerced)
+
+    def insert(self, values: Sequence[Value]) -> None:
+        """Insert one row, coercing values to the column types."""
+        self.rows.append(self._coerce_row(values))
+        self.version += 1
+
+    def insert_many(self, rows: Iterable[Sequence[Value]]) -> int:
+        count = 0
+        for row in rows:
+            self.rows.append(self._coerce_row(row))
+            count += 1
+        self.version += 1
+        return count
+
+    def delete_where(self, predicate: Callable[[Row], bool]) -> int:
+        """Delete rows matching *predicate*; returns the number removed."""
+        kept = [row for row in self.rows if not predicate(row)]
+        removed = len(self.rows) - len(kept)
+        self.rows = kept
+        if removed:
+            self.version += 1
+        return removed
+
+    def update_where(
+        self, predicate: Callable[[Row], bool], updater: Callable[[Row], Sequence[Value]]
+    ) -> int:
+        """Apply *updater* to rows matching *predicate*; returns count."""
+        changed = 0
+        new_rows: list[Row] = []
+        for row in self.rows:
+            if predicate(row):
+                new_rows.append(self._coerce_row(updater(row)))
+                changed += 1
+            else:
+                new_rows.append(row)
+        self.rows = new_rows
+        if changed:
+            self.version += 1
+        return changed
+
+    def truncate(self) -> None:
+        self.rows.clear()
+        self.version += 1
+
+
+class Relation:
+    """An immutable query result: schema + rows (+ provenance metadata).
+
+    ``provenance_attrs`` lists which attribute names carry provenance —
+    the paper's ``prov_<rel>_<attr>`` columns — so clients and the Perm
+    browser can split the grid into "original result attributes" and
+    "provenance attributes" exactly as Figure 2 of the paper does.
+    """
+
+    __slots__ = ("schema", "rows", "provenance_attrs")
+
+    def __init__(
+        self,
+        schema: Schema,
+        rows: Iterable[Row],
+        provenance_attrs: Sequence[str] = (),
+    ):
+        self.schema = schema
+        self.rows: list[Row] = list(rows)
+        self.provenance_attrs: tuple[str, ...] = tuple(provenance_attrs)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Relation)
+            and self.schema == other.schema
+            and self.rows == other.rows
+        )
+
+    @property
+    def columns(self) -> list[str]:
+        return self.schema.names
+
+    @property
+    def original_attrs(self) -> list[str]:
+        """Names of non-provenance (original result) attributes."""
+        prov = set(self.provenance_attrs)
+        return [name for name in self.schema.names if name not in prov]
+
+    def column(self, name: str) -> list[Value]:
+        """All values of one column, in row order."""
+        index = self.schema.index_of(name)
+        return [row[index] for row in self.rows]
+
+    def sorted(self) -> "Relation":
+        """Rows in a deterministic order (for comparisons in tests)."""
+        from ..datatypes import sort_key
+
+        ordered = sorted(self.rows, key=lambda row: tuple(sort_key(v) for v in row))
+        return Relation(self.schema, ordered, self.provenance_attrs)
+
+    def as_dicts(self) -> list[dict[str, Value]]:
+        """Rows as name -> value dictionaries (convenient in examples)."""
+        names = self.schema.names
+        return [dict(zip(names, row)) for row in self.rows]
+
+    def format(self, max_rows: int | None = None) -> str:
+        """Render an aligned text grid in the style of psql / the Perm
+        browser result pane (see Figure 4, marker 5 of the paper)."""
+        names = self.schema.names
+        shown = self.rows if max_rows is None else self.rows[:max_rows]
+        cells = [[format_value(v) for v in row] for row in shown]
+        widths = [len(n) for n in names]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        header = " | ".join(n.ljust(w) for n, w in zip(names, widths))
+        separator = "-+-".join("-" * w for w in widths)
+        lines = [" " + header, separator.join(["-", "-"]) if False else "-" + separator + "-"]
+        for row in cells:
+            lines.append(" " + " | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if max_rows is not None and len(self.rows) > max_rows:
+            lines.append(f" ... ({len(self.rows) - max_rows} more rows)")
+        lines.append(f"({len(self.rows)} row{'s' if len(self.rows) != 1 else ''})")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation({self.schema.names}, {len(self.rows)} rows)"

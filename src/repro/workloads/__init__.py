@@ -1,0 +1,6 @@
+"""Example workloads: the paper's forum database and a TPC-H-like
+synthetic benchmark database."""
+
+from .forum import FORUM_QUERIES, create_forum_db  # noqa: F401
+from .queries import QUERY_CLASSES, queries_for_class  # noqa: F401
+from .tpch import TpchConfig, create_tpch_db  # noqa: F401

@@ -1,0 +1,106 @@
+"""Benchmark query classes over the TPC-H-like database.
+
+The Perm evaluation groups queries by the rewrite machinery they
+exercise; the benchmark harness sweeps each class with and without
+``SELECT PROVENANCE`` to reproduce the overhead shapes:
+
+* ``SPJ`` — select/project/join only: the rewrite merely widens tuples.
+* ``AGG`` — aggregation: the rewrite adds one join back to the input.
+* ``SET`` — set operations: padding + bag union (or join-back).
+* ``NESTED`` — sublinks: unnesting / decorrelation strategies.
+"""
+
+from __future__ import annotations
+
+SPJ_QUERIES = {
+    "spj_filter": (
+        "SELECT o_orderkey, o_totalprice FROM orders WHERE o_totalprice > 200000"
+    ),
+    "spj_join2": (
+        "SELECT c_name, o_orderkey FROM customer JOIN orders "
+        "ON c_custkey = o_custkey WHERE o_orderstatus = 'O'"
+    ),
+    "spj_join3": (
+        "SELECT c_name, o_orderkey, l_quantity "
+        "FROM customer JOIN orders ON c_custkey = o_custkey "
+        "JOIN lineitem ON o_orderkey = l_orderkey "
+        "WHERE l_returnflag = 'R'"
+    ),
+    "spj_outer": (
+        "SELECT c_name, o_orderkey FROM customer "
+        "LEFT JOIN orders ON c_custkey = o_custkey AND o_totalprice > 300000"
+    ),
+}
+
+AGG_QUERIES = {
+    "agg_global": "SELECT count(*), sum(l_quantity) FROM lineitem",
+    "agg_group": (
+        "SELECT o_custkey, count(*) AS orders, sum(o_totalprice) AS total "
+        "FROM orders GROUP BY o_custkey"
+    ),
+    "agg_join_group": (
+        "SELECT c_mktsegment, count(*) AS n, avg(o_totalprice) AS avg_price "
+        "FROM customer JOIN orders ON c_custkey = o_custkey "
+        "GROUP BY c_mktsegment"
+    ),
+    "agg_having": (
+        "SELECT o_custkey, count(*) AS n FROM orders "
+        "GROUP BY o_custkey HAVING count(*) > 2"
+    ),
+}
+
+SET_QUERIES = {
+    "set_union": (
+        "SELECT c_custkey FROM customer WHERE c_acctbal > 5000 "
+        "UNION SELECT o_custkey FROM orders WHERE o_totalprice > 300000"
+    ),
+    "set_union_all": (
+        "SELECT c_custkey FROM customer WHERE c_acctbal > 5000 "
+        "UNION ALL SELECT o_custkey FROM orders WHERE o_totalprice > 300000"
+    ),
+    "set_intersect": (
+        "SELECT c_custkey FROM customer WHERE c_acctbal > 0 "
+        "INTERSECT SELECT o_custkey FROM orders"
+    ),
+    "set_except": (
+        "SELECT c_custkey FROM customer "
+        "EXCEPT SELECT o_custkey FROM orders WHERE o_orderstatus = 'F'"
+    ),
+}
+
+NESTED_QUERIES = {
+    "nested_in": (
+        "SELECT c_name FROM customer WHERE c_custkey IN "
+        "(SELECT o_custkey FROM orders WHERE o_totalprice > 300000)"
+    ),
+    "nested_exists": (
+        "SELECT c_name FROM customer c WHERE EXISTS "
+        "(SELECT 1 FROM orders o WHERE o.o_custkey = c.c_custkey "
+        " AND o.o_orderstatus = 'F')"
+    ),
+    "nested_scalar": (
+        "SELECT o_orderkey, o_totalprice FROM orders o "
+        "WHERE o_totalprice > (SELECT avg(o_totalprice) FROM orders)"
+    ),
+}
+
+QUERY_CLASSES = {
+    "SPJ": SPJ_QUERIES,
+    "AGG": AGG_QUERIES,
+    "SET": SET_QUERIES,
+    "NESTED": NESTED_QUERIES,
+}
+
+
+def queries_for_class(name: str) -> dict[str, str]:
+    """Queries of one class; raises KeyError for unknown classes."""
+    return dict(QUERY_CLASSES[name.upper()])
+
+
+def with_provenance(sql: str, contribution: str | None = None) -> str:
+    """Turn a plain query into its ``SELECT PROVENANCE`` form."""
+    clause = "PROVENANCE"
+    if contribution is not None:
+        clause += f" ON CONTRIBUTION ({contribution.upper()})"
+    assert sql.upper().startswith("SELECT ")
+    return "SELECT " + clause + sql[len("SELECT"):]

@@ -1,0 +1,72 @@
+"""Perm browser tests: the five Figure 4 panes and the demo's
+interactive controls."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.browser import PermBrowser
+from repro.workloads.forum import SQLPLE_AGGREGATION, create_forum_db
+
+
+@pytest.fixture
+def browser():
+    return PermBrowser(create_forum_db())
+
+
+class TestPanes:
+    def test_view_has_all_panes(self, browser):
+        view = browser.run("SELECT PROVENANCE mId, text FROM messages")
+        assert "PROVENANCE" in view.input_sql
+        assert "prov_messages_mid" in view.rewritten_sql
+        assert "Scan(messages)" in view.original_tree
+        assert "prov_messages" in view.rewritten_tree
+        assert len(view.result) == 2
+
+    def test_render_layout(self, browser):
+        screen = browser.show("SELECT PROVENANCE mId, text FROM messages")
+        for marker in (
+            "query input (1)",
+            "rewritten SQL (2)",
+            "algebra trees (3: original | 4: rewritten)",
+            "result (5)",
+        ):
+            assert marker in screen
+
+    def test_aggregation_query_panes(self, browser):
+        view = browser.run(SQLPLE_AGGREGATION)
+        assert "α[" in view.original_tree
+        assert "⟕" in view.rewritten_tree  # the aggregation rule's left join
+        assert "(4 rows)" in view.result.format()
+
+    def test_result_truncation(self, browser):
+        screen = browser.show("SELECT PROVENANCE mId, text FROM messages", max_rows=1)
+        assert "1 more row" in screen
+
+
+class TestControls:
+    def test_strategy_toggles(self, browser):
+        browser.set_union_strategy("joinback")
+        view = browser.run(
+            "SELECT PROVENANCE mId, text FROM messages UNION SELECT mId, text FROM imports"
+        )
+        assert len(view.result) == 4
+        browser.set_union_strategy("pad")
+        browser.set_sublink_strategy("keep")
+        browser.set_difference_semantics("left-only")
+
+    def test_invalid_strategy_rejected(self, browser):
+        with pytest.raises(ValueError):
+            browser.set_union_strategy("magic")
+        with pytest.raises(ValueError):
+            browser.set_sublink_strategy("magic")
+        with pytest.raises(ValueError):
+            browser.set_difference_semantics("magic")
+
+    def test_contribution_semantics_choice_via_sql(self, browser):
+        view = browser.run(
+            "SELECT PROVENANCE ON CONTRIBUTION (COPY PARTIAL) text FROM messages"
+        )
+        row = view.result.rows[0]
+        assert row[0] == row[2]  # text copied
+        assert row[1] is None  # mId not copied

@@ -1,0 +1,33 @@
+"""Shared fixtures: the paper's forum database and the TPC-H-like
+benchmark database."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PermDB
+from repro.workloads.forum import create_forum_db
+from repro.workloads.tpch import TpchConfig, create_tpch_db
+
+
+@pytest.fixture
+def db() -> PermDB:
+    """An empty session."""
+    return PermDB()
+
+
+@pytest.fixture
+def forum_db() -> PermDB:
+    """The paper's Figure 1 database (fresh per test — tests mutate it)."""
+    return create_forum_db()
+
+
+@pytest.fixture(scope="session")
+def tpch_db() -> PermDB:
+    """A small TPC-H-like database, shared read-only across tests."""
+    return create_tpch_db(TpchConfig(customers=30, orders=120, parts=20))
+
+
+def rows_set(relation):
+    """Order-insensitive row comparison helper."""
+    return sorted(relation.rows, key=repr)

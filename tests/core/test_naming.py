@@ -1,0 +1,87 @@
+"""Provenance naming discipline tests (paper §2.1 naming scheme)."""
+
+from __future__ import annotations
+
+from repro.core.naming import ProvAttr, ProvNameGenerator, sanitize
+from repro.datatypes import SQLType as T
+
+
+class TestSanitize:
+    def test_lowercases(self):
+        assert sanitize("MId") == "mid"
+
+    def test_strips_special_characters(self):
+        assert sanitize("weird name!") == "weird_name"
+        assert sanitize("a.b") == "a_b"
+
+    def test_never_empty(self):
+        assert sanitize("!!!") == "x"
+
+
+class TestProvNameGenerator:
+    def test_first_access_unnumbered(self):
+        naming = ProvNameGenerator()
+        assert naming.relation_prefix("messages") == "prov_messages"
+
+    def test_repeated_accesses_numbered(self):
+        naming = ProvNameGenerator()
+        assert naming.relation_prefix("r") == "prov_r"
+        assert naming.relation_prefix("r") == "prov_r_1"
+        assert naming.relation_prefix("r") == "prov_r_2"
+        assert naming.relation_prefix("s") == "prov_s"
+
+    def test_numbering_is_case_insensitive(self):
+        naming = ProvNameGenerator()
+        naming.relation_prefix("R")
+        assert naming.relation_prefix("r") == "prov_r_1"
+
+    def test_attribute_names_unique(self):
+        naming = ProvNameGenerator()
+        prefix = naming.relation_prefix("t")
+        first = naming.attribute_name(prefix, "a")
+        second = naming.attribute_name(prefix, "a")
+        assert first == "prov_t_a"
+        assert second != first
+
+    def test_claimed_names_avoided(self):
+        naming = ProvNameGenerator()
+        naming.claim("prov_t_a")
+        prefix = naming.relation_prefix("t")
+        assert naming.attribute_name(prefix, "a") != "prov_t_a"
+
+    def test_prov_attr_fields(self):
+        attr = ProvAttr("prov_t_a", "t", "a", T.INT, "prov_t")
+        assert attr.name == "prov_t_a"
+        assert attr.relation == "t" and attr.attribute == "a"
+        assert attr.access == "prov_t"
+
+
+class TestNamingEndToEnd:
+    def test_paper_naming_scheme(self):
+        """prov_<relation>_<attribute>, as §2.1 prescribes."""
+        from repro import PermDB
+
+        db = PermDB()
+        db.execute("CREATE TABLE orders (id int, total float)")
+        result = db.execute("SELECT PROVENANCE id FROM orders")
+        assert list(result.provenance_attrs) == ["prov_orders_id", "prov_orders_total"]
+
+    def test_three_way_self_join_numbering(self):
+        from repro import PermDB
+
+        db = PermDB()
+        db.execute("CREATE TABLE r (a int); INSERT INTO r VALUES (1)")
+        result = db.execute(
+            "SELECT PROVENANCE x.a FROM r x, r y, r z "
+            "WHERE x.a = y.a AND y.a = z.a"
+        )
+        assert list(result.provenance_attrs) == ["prov_r_a", "prov_r_1_a", "prov_r_2_a"]
+        assert result.rows == [(1, 1, 1, 1)]
+
+    def test_mixed_case_table_names_folded(self):
+        from repro import PermDB
+
+        db = PermDB()
+        db.execute('CREATE TABLE "MyTable" (a int)')
+        result = db.execute('SELECT PROVENANCE a FROM "MyTable"')
+        assert list(result.provenance_attrs) == ["prov_mytable_a"]

@@ -1,0 +1,178 @@
+"""Property-based tests of the central provenance invariants.
+
+For randomly generated databases and a family of query shapes, under
+influence semantics:
+
+1. **Result preservation** — projecting the provenance result onto the
+   original attributes and deduplicating yields exactly the original
+   query result (as a set; the provenance representation replicates
+   originals per witness).
+2. **Witness soundness** — every non-NULL provenance tuple fragment is
+   an actual tuple of its base relation.
+3. **Sufficiency (monotone queries)** — re-running the query on only the
+   witness tuples still produces every original result tuple.
+4. **Strategy agreement** — pad and join-back union strategies produce
+   the same provenance relation.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PermDB, RewriteOptions
+
+# -- database generation -----------------------------------------------------
+
+_small_int = st.integers(min_value=0, max_value=4)
+_label = st.sampled_from(["a", "b", "c"])
+
+_r_rows = st.lists(
+    st.tuples(_small_int | st.none(), _label), min_size=0, max_size=8
+)
+_s_rows = st.lists(
+    st.tuples(_small_int | st.none(), _label), min_size=0, max_size=8
+)
+
+
+def build_db(r_rows, s_rows) -> PermDB:
+    db = PermDB()
+    db.execute("CREATE TABLE r (k int, v text); CREATE TABLE s (k int, v text)")
+    db.load_rows("r", r_rows)
+    db.load_rows("s", s_rows)
+    return db
+
+
+# Monotone query shapes exercising distinct rewrite rules.
+MONOTONE_QUERIES = [
+    "SELECT {} k, v FROM r WHERE k >= 1",
+    "SELECT {} v FROM r",
+    "SELECT {} r.k, s.v FROM r JOIN s ON r.k = s.k",
+    "SELECT {} k, v FROM r UNION SELECT k, v FROM s",
+    "SELECT {} k, v FROM r UNION ALL SELECT k, v FROM s",
+    "SELECT {} DISTINCT v FROM r",
+    "SELECT {} k FROM r WHERE k IN (SELECT k FROM s)",
+]
+
+# Queries whose originals are preserved but which are not monotone
+# (sufficiency does not apply to aggregates / difference).
+NON_MONOTONE_QUERIES = [
+    "SELECT {} v, count(*) AS n FROM r GROUP BY v",
+    "SELECT {} count(*) AS n FROM r",
+    "SELECT {} k, v FROM r EXCEPT SELECT k, v FROM s",
+    "SELECT {} k, v FROM r INTERSECT SELECT k, v FROM s",
+]
+
+ALL_QUERIES = MONOTONE_QUERIES + NON_MONOTONE_QUERIES
+
+
+@st.composite
+def db_and_query(draw, queries=ALL_QUERIES):
+    r_rows = draw(_r_rows)
+    s_rows = draw(_s_rows)
+    template = draw(st.sampled_from(queries))
+    return r_rows, s_rows, template
+
+
+def split_result(relation):
+    """(original fragments, witness fragments by relation) per row."""
+    width = len(relation.original_attrs)
+    return width
+
+
+@given(case=db_and_query())
+@settings(max_examples=60, deadline=None)
+def test_result_preservation(case):
+    r_rows, s_rows, template = case
+    db = build_db(r_rows, s_rows)
+    original = db.execute(template.format(""))
+    prov = db.execute(template.format("PROVENANCE"))
+    width = len(original.columns)
+    assert prov.original_attrs == original.columns
+    assert {tuple(row[:width]) for row in prov.rows} == set(original.rows)
+
+
+@given(case=db_and_query())
+@settings(max_examples=60, deadline=None)
+def test_witness_soundness(case):
+    r_rows, s_rows, template = case
+    db = build_db(r_rows, s_rows)
+    prov = db.execute(template.format("PROVENANCE"))
+    base = {"r": set(map(tuple, r_rows)), "s": set(map(tuple, s_rows))}
+    # Group provenance columns by relation: prov_r_* and prov_s_*.
+    positions: dict[str, list[int]] = {"r": [], "s": []}
+    for index, name in enumerate(prov.columns):
+        if name.startswith("prov_r"):
+            positions["r"].append(index)
+        elif name.startswith("prov_s"):
+            positions["s"].append(index)
+    # Accesses may repeat (prov_r_1_*): chunk into pairs (k, v).
+    for row in prov.rows:
+        for relation, cols in positions.items():
+            for start in range(0, len(cols), 2):
+                fragment = tuple(row[c] for c in cols[start : start + 2])
+                if all(value is None for value in fragment):
+                    continue  # padded branch / outer-join padding
+                assert fragment in base[relation], (
+                    f"witness {fragment} not in base relation {relation}"
+                )
+
+
+@given(case=db_and_query(queries=MONOTONE_QUERIES))
+@settings(max_examples=60, deadline=None)
+def test_witness_sufficiency_for_monotone_queries(case):
+    r_rows, s_rows, template = case
+    db = build_db(r_rows, s_rows)
+    original = db.execute(template.format(""))
+    prov = db.execute(template.format("PROVENANCE"))
+
+    positions: dict[str, list[int]] = {"r": [], "s": []}
+    for index, name in enumerate(prov.columns):
+        if name.startswith("prov_r"):
+            positions["r"].append(index)
+        elif name.startswith("prov_s"):
+            positions["s"].append(index)
+
+    witnesses: dict[str, set] = {"r": set(), "s": set()}
+    for row in prov.rows:
+        for relation, cols in positions.items():
+            for start in range(0, len(cols), 2):
+                fragment = tuple(row[c] for c in cols[start : start + 2])
+                if not all(value is None for value in fragment):
+                    witnesses[relation].add(fragment)
+
+    replay = build_db(sorted(witnesses["r"], key=repr), sorted(witnesses["s"], key=repr))
+    replayed = replay.execute(template.format(""))
+    assert set(original.rows) <= set(replayed.rows)
+
+
+@given(case=db_and_query(queries=["SELECT {} k, v FROM r UNION SELECT k, v FROM s"]))
+@settings(max_examples=40, deadline=None)
+def test_union_strategies_agree(case):
+    r_rows, s_rows, template = case
+    pad_db = build_db(r_rows, s_rows)
+    joinback_db = PermDB(RewriteOptions(union_strategy="joinback"))
+    joinback_db.execute("CREATE TABLE r (k int, v text); CREATE TABLE s (k int, v text)")
+    joinback_db.load_rows("r", r_rows)
+    joinback_db.load_rows("s", s_rows)
+
+    pad = pad_db.execute(template.format("PROVENANCE"))
+    joinback = joinback_db.execute(template.format("PROVENANCE"))
+    assert pad.columns == joinback.columns
+    assert sorted(pad.rows, key=repr) == sorted(joinback.rows, key=repr)
+
+
+@given(case=db_and_query())
+@settings(max_examples=30, deadline=None)
+def test_copy_provenance_values_match_result_values(case):
+    """Under COPY PARTIAL, any non-NULL provenance cell equals the value
+    of some original output column of its row (it was copied there)."""
+    r_rows, s_rows, template = case
+    db = build_db(r_rows, s_rows)
+    prov = db.execute(template.format("PROVENANCE ON CONTRIBUTION (COPY PARTIAL)"))
+    width = len(prov.original_attrs)
+    for row in prov.rows:
+        originals = set(row[:width])
+        for value in row[width:]:
+            if value is not None:
+                assert value in originals

@@ -1,0 +1,106 @@
+"""Rewrite-strategy selection tests (paper §2.2): candidates, heuristic
+and cost-based choice."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PermDB, RewriteError, RewriteOptions
+from repro.analyzer import Analyzer
+from repro.core.context import RewriteContext
+from repro.core.influence import rewrite_influence
+from repro.core.strategies import union_strategy_candidates
+from repro.sql import parse_statement
+from repro.algebra import nodes as an
+from repro.algebra.tree import walk_tree
+
+
+def make_db(**options):
+    db = PermDB(RewriteOptions(**options)) if options else PermDB()
+    db.execute(
+        """
+        CREATE TABLE a (x int);
+        CREATE TABLE b (x int);
+        INSERT INTO a VALUES (1), (2), (2), (3);
+        INSERT INTO b VALUES (2), (3), (4);
+        """
+    )
+    return db
+
+
+def union_node(db, all_=False):
+    sql = "SELECT x FROM a UNION {}SELECT x FROM b".format("ALL " if all_ else "")
+    query = parse_statement(sql).query
+    return Analyzer(db.catalog).analyze_query(query)
+
+
+class TestCandidates:
+    def test_set_union_has_two_candidates(self):
+        db = make_db()
+        node = union_node(db)
+        assert isinstance(node, an.SetOpNode)
+        ctx = RewriteContext(catalog=db.catalog, options=db.options)
+        left = rewrite_influence(node.left, ctx)
+        right = rewrite_influence(node.right, ctx)
+        candidates = union_strategy_candidates(node, left, right, ctx)
+        assert set(candidates) == {"pad", "joinback"}
+
+    def test_union_all_has_only_pad(self):
+        db = make_db()
+        node = union_node(db, all_=True)
+        ctx = RewriteContext(catalog=db.catalog, options=db.options)
+        left = rewrite_influence(node.left, ctx)
+        right = rewrite_influence(node.right, ctx)
+        candidates = union_strategy_candidates(node, left, right, ctx)
+        assert set(candidates) == {"pad"}
+
+    def test_joinback_shape_differs_from_pad(self):
+        db = make_db()
+        node = union_node(db)
+        ctx = RewriteContext(catalog=db.catalog, options=db.options)
+        left = rewrite_influence(node.left, ctx)
+        right = rewrite_influence(node.right, ctx)
+        candidates = union_strategy_candidates(node, left, right, ctx)
+        pad_joins = sum(isinstance(n, an.Join) for n in walk_tree(candidates["pad"].node))
+        joinback_joins = sum(
+            isinstance(n, an.Join) for n in walk_tree(candidates["joinback"].node)
+        )
+        assert joinback_joins == pad_joins + 1
+
+
+class TestChoice:
+    UNION_SQL = "SELECT PROVENANCE x FROM a UNION SELECT x FROM b"
+
+    def expected_rows(self):
+        return sorted(
+            make_db().execute(self.UNION_SQL).rows, key=repr
+        )
+
+    @pytest.mark.parametrize("strategy", ["pad", "joinback", "heuristic", "cost"])
+    def test_all_strategies_agree_on_result(self, strategy):
+        db = make_db(union_strategy=strategy)
+        result = db.execute(self.UNION_SQL)
+        assert sorted(result.rows, key=repr) == self.expected_rows()
+
+    def test_joinback_rejected_for_union_all(self):
+        db = make_db(union_strategy="joinback")
+        with pytest.raises(RewriteError, match="UNION ALL"):
+            db.execute("SELECT PROVENANCE x FROM a UNION ALL SELECT x FROM b")
+
+    def test_heuristic_falls_back_to_pad_for_union_all(self):
+        db = make_db(union_strategy="heuristic")
+        result = db.execute("SELECT PROVENANCE x FROM a UNION ALL SELECT x FROM b")
+        assert len(result) == 7
+
+    def test_cost_mode_runs_estimator(self):
+        db = make_db(union_strategy="cost")
+        result = db.execute(self.UNION_SQL)
+        assert len(result) == 7  # 4 witnesses from a, 3 from b
+
+    def test_invalid_option_rejected_eagerly(self):
+        with pytest.raises(ValueError):
+            RewriteOptions(union_strategy="nope")
+        with pytest.raises(ValueError):
+            RewriteOptions(sublink_strategy="nope")
+        with pytest.raises(ValueError):
+            RewriteOptions(difference_semantics="nope")

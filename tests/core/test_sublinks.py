@@ -1,0 +1,171 @@
+"""Nested-subquery (sublink) provenance: GEN / LEFT / KEEP strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PermDB, RewriteError, RewriteOptions
+
+
+def make_db(**options):
+    db = PermDB(RewriteOptions(**options)) if options else PermDB()
+    db.execute(
+        """
+        CREATE TABLE c (ck int, cname text);
+        CREATE TABLE o (ok int, ock int, price int);
+        INSERT INTO c VALUES (1, 'ann'), (2, 'bob'), (3, 'cat');
+        INSERT INTO o VALUES (10, 1, 100), (11, 1, 300), (12, 2, 50);
+        """
+    )
+    return db
+
+
+def rows(relation):
+    return sorted(relation.rows, key=repr)
+
+
+class TestGenStrategy:
+    def test_uncorrelated_in_collects_sublink_witnesses(self):
+        db = make_db()
+        result = db.execute(
+            "SELECT PROVENANCE cname FROM c WHERE ck IN (SELECT ock FROM o WHERE price > 60)"
+        )
+        # Only ann qualifies (orders 10 and 11 have price > 60) — and she
+        # has one provenance row per matching order.
+        assert result.columns == [
+            "cname", "prov_c_ck", "prov_c_cname", "prov_o_ok", "prov_o_ock", "prov_o_price",
+        ]
+        assert rows(result) == [
+            ("ann", 1, "ann", 10, 1, 100),
+            ("ann", 1, "ann", 11, 1, 300),
+        ]
+
+    def test_uncorrelated_exists_cross_collects_all(self):
+        db = make_db()
+        result = db.execute(
+            "SELECT PROVENANCE cname FROM c WHERE ck = 1 AND EXISTS (SELECT 1 FROM o WHERE price > 250)"
+        )
+        assert rows(result) == [("ann", 1, "ann", 11, 1, 300)]
+
+    def test_uncorrelated_exists_empty_sublink_filters_all(self):
+        db = make_db()
+        result = db.execute(
+            "SELECT PROVENANCE cname FROM c WHERE EXISTS (SELECT 1 FROM o WHERE price > 999)"
+        )
+        assert result.rows == []
+
+    def test_original_semantics_preserved(self):
+        db = make_db()
+        plain = db.execute(
+            "SELECT cname FROM c WHERE ck IN (SELECT ock FROM o)"
+        )
+        prov = db.execute(
+            "SELECT PROVENANCE cname FROM c WHERE ck IN (SELECT ock FROM o)"
+        )
+        assert {r[0] for r in plain.rows} == {r[0] for r in prov.rows}
+
+
+class TestLeftStrategy:
+    def test_correlated_exists_traced(self):
+        db = make_db()
+        result = db.execute(
+            "SELECT PROVENANCE cname FROM c WHERE EXISTS "
+            "(SELECT 1 FROM o WHERE o.ock = c.ck AND o.price >= 100)"
+        )
+        assert rows(result) == [
+            ("ann", 1, "ann", 10, 1, 100),
+            ("ann", 1, "ann", 11, 1, 300),
+        ]
+
+    def test_correlated_in_traced(self):
+        db = make_db()
+        result = db.execute(
+            "SELECT PROVENANCE cname FROM c WHERE ck IN "
+            "(SELECT ock FROM o WHERE o.ock = c.ck AND price < 200)"
+        )
+        assert rows(result) == [
+            ("ann", 1, "ann", 10, 1, 100),
+            ("bob", 2, "bob", 12, 2, 50),
+        ]
+
+    def test_correlation_under_aggregate_falls_back_to_keep(self):
+        db = make_db()
+        result = db.execute(
+            "SELECT PROVENANCE cname FROM c WHERE EXISTS "
+            "(SELECT count(*) FROM o WHERE o.ock = c.ck GROUP BY ock HAVING count(*) > 1)"
+        )
+        # KEEP fallback: the filter applies but no o-provenance appears.
+        assert result.columns == ["cname", "prov_c_ck", "prov_c_cname"]
+        assert rows(result) == [("ann", 1, "ann")]
+
+
+class TestKeepFallback:
+    def test_negated_sublinks_keep(self):
+        db = make_db()
+        result = db.execute(
+            "SELECT PROVENANCE cname FROM c WHERE ck NOT IN (SELECT ock FROM o)"
+        )
+        assert result.columns == ["cname", "prov_c_ck", "prov_c_cname"]
+        assert rows(result) == [("cat", 3, "cat")]
+
+    def test_scalar_sublinks_keep(self):
+        db = make_db()
+        result = db.execute(
+            "SELECT PROVENANCE cname FROM c WHERE ck = (SELECT min(ock) FROM o)"
+        )
+        assert result.columns == ["cname", "prov_c_ck", "prov_c_cname"]
+        assert result.rows == [("ann", 1, "ann")]  # min(ock) = 1
+
+    def test_forced_keep_strategy(self):
+        db = make_db(sublink_strategy="keep")
+        result = db.execute(
+            "SELECT PROVENANCE cname FROM c WHERE ck IN (SELECT ock FROM o)"
+        )
+        assert result.columns == ["cname", "prov_c_ck", "prov_c_cname"]
+        assert len(result) == 2  # ann, bob — no replication
+
+    def test_forced_gen_keeps_correlated_sublinks(self):
+        db = make_db(sublink_strategy="gen")
+        result = db.execute(
+            "SELECT PROVENANCE cname FROM c WHERE EXISTS "
+            "(SELECT 1 FROM o WHERE o.ock = c.ck)"
+        )
+        # GEN cannot decorrelate: sublink stays opaque.
+        assert result.columns == ["cname", "prov_c_ck", "prov_c_cname"]
+
+    def test_forced_left_keeps_uncorrelated_sublinks(self):
+        db = make_db(sublink_strategy="left")
+        result = db.execute(
+            "SELECT PROVENANCE cname FROM c WHERE ck IN (SELECT ock FROM o)"
+        )
+        assert result.columns == ["cname", "prov_c_ck", "prov_c_cname"]
+
+
+class TestStrategyEquivalence:
+    """All strategies must agree on the original result columns."""
+
+    QUERIES = [
+        "SELECT PROVENANCE cname FROM c WHERE ck IN (SELECT ock FROM o)",
+        "SELECT PROVENANCE cname FROM c WHERE EXISTS (SELECT 1 FROM o WHERE o.ock = c.ck)",
+        "SELECT PROVENANCE cname FROM c WHERE ck IN (SELECT ock FROM o WHERE price > 60)",
+    ]
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    @pytest.mark.parametrize("strategy", ["heuristic", "cost", "keep"])
+    def test_original_rows_stable_across_strategies(self, sql, strategy):
+        db = make_db(sublink_strategy=strategy)
+        result = db.execute(sql)
+        names = {row[0] for row in result.rows}
+        baseline = make_db().execute(sql.replace("PROVENANCE ", ""))
+        assert names == {row[0] for row in baseline.rows}
+
+
+class TestSublinkInProvenanceSubquery:
+    def test_sublink_inside_derived_table(self):
+        db = make_db()
+        result = db.execute(
+            "SELECT cname, prov_o_ok FROM "
+            "(SELECT PROVENANCE cname FROM c WHERE ck IN (SELECT ock FROM o)) AS p "
+            "WHERE prov_o_ok > 10"
+        )
+        assert rows(result) == [("ann", 11), ("bob", 12)]

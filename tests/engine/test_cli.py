@@ -1,0 +1,115 @@
+"""CLI shell tests: statements, backslash commands, error handling."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import Shell
+
+
+@pytest.fixture
+def shell():
+    return Shell(out=io.StringIO())
+
+
+def output(shell):
+    return shell.out.getvalue()
+
+
+class TestStatements:
+    def test_basic_roundtrip(self, shell):
+        shell.run(
+            [
+                "CREATE TABLE t (a int);",
+                "INSERT INTO t VALUES (1), (2);",
+                "SELECT a FROM t ORDER BY a;",
+            ]
+        )
+        assert "(2 rows)" in output(shell)
+
+    def test_multiline_statement(self, shell):
+        shell.run(["SELECT", "1 AS x", ";"])
+        assert "x" in output(shell) and "(1 row)" in output(shell)
+
+    def test_statement_without_trailing_semicolon_runs_at_eof(self, shell):
+        shell.run(["SELECT 42 AS answer"])
+        assert "42" in output(shell)
+
+    def test_error_is_reported_not_raised(self, shell):
+        shell.run(["SELECT zzz FROM missing;"])
+        assert "ERROR:" in output(shell)
+
+    def test_provenance_query(self, shell):
+        shell.run(["\\demo", "SELECT PROVENANCE mId, text FROM messages;"])
+        assert "prov_messages_mid" in output(shell)
+
+
+class TestCommands:
+    def test_demo_and_describe(self, shell):
+        shell.run(["\\demo", "\\d"])
+        text = output(shell)
+        assert "messages" in text and "v1  (view)" in text
+
+    def test_describe_relation_with_provenance_marker(self, shell):
+        shell.run(
+            [
+                "CREATE TABLE r (a int);",
+                "INSERT INTO r VALUES (1);",
+                "CREATE TABLE p AS SELECT PROVENANCE a FROM r;",
+                "\\d p",
+            ]
+        )
+        assert "[provenance]" in output(shell)
+
+    def test_describe_empty_catalog(self, shell):
+        shell.run(["\\d"])
+        assert "(no relations)" in output(shell)
+
+    def test_rewrite_and_algebra(self, shell):
+        shell.run(
+            [
+                "\\demo",
+                "\\rewrite SELECT PROVENANCE text FROM messages",
+                "\\algebra SELECT PROVENANCE text FROM messages",
+            ]
+        )
+        text = output(shell)
+        assert "prov_messages_text" in text
+        assert "original query" in text and "rewritten query" in text
+
+    def test_browser_command(self, shell):
+        shell.run(["\\demo", "\\browser SELECT PROVENANCE text FROM messages"])
+        assert "rewritten SQL (2)" in output(shell)
+
+    def test_timing_toggle(self, shell):
+        shell.run(["\\demo", "\\timing", "SELECT text FROM messages;"])
+        text = output(shell)
+        assert "timing is on" in text and "execute" in text
+
+    def test_quit_stops_processing(self, shell):
+        shell.run(["\\q", "SELECT 1;"])
+        assert "(1 row)" not in output(shell)
+
+    def test_unknown_command(self, shell):
+        shell.run(["\\nope"])
+        assert "unknown command" in output(shell)
+
+    def test_help(self, shell):
+        shell.run(["\\h"])
+        assert "\\browser" in output(shell)
+
+    def test_command_error_reported(self, shell):
+        shell.run(["\\d missing"])
+        assert "ERROR:" in output(shell)
+
+
+class TestMainEntryPoint:
+    def test_script_file_execution(self, tmp_path, capsys):
+        from repro.cli import main
+
+        script = tmp_path / "script.sql"
+        script.write_text("CREATE TABLE t (a int); INSERT INTO t VALUES (7); SELECT a FROM t;")
+        assert main([str(script)]) == 0
+        assert "7" in capsys.readouterr().out

@@ -1,0 +1,123 @@
+"""Lexer unit tests: token kinds, positions, escapes, comments, errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.lexer import TokenKind, tokenize
+
+
+def kinds(sql):
+    return [(t.kind, t.text) for t in tokenize(sql)[:-1]]
+
+
+class TestBasicTokens:
+    def test_keywords_case_insensitive(self):
+        for text in ("SELECT", "select", "SeLeCt"):
+            token = tokenize(text)[0]
+            assert token.kind is TokenKind.KEYWORD
+            assert token.upper == "SELECT"
+
+    def test_identifier(self):
+        token = tokenize("my_table1")[0]
+        assert token.kind is TokenKind.IDENT
+        assert token.text == "my_table1"
+
+    def test_sql_ple_keywords(self):
+        for word in ("PROVENANCE", "BASERELATION", "CONTRIBUTION", "INFLUENCE", "COPY"):
+            assert tokenize(word)[0].kind is TokenKind.KEYWORD
+
+    def test_eof_always_last(self):
+        assert tokenize("")[-1].kind is TokenKind.EOF
+        assert tokenize("select 1")[-1].kind is TokenKind.EOF
+
+
+class TestNumbers:
+    @pytest.mark.parametrize(
+        "text", ["0", "42", "3.14", ".5", "1e10", "1.5e-3", "2E+4"]
+    )
+    def test_number_forms(self, text):
+        token = tokenize(text)[0]
+        assert token.kind is TokenKind.NUMBER
+        assert token.text == text
+
+    def test_number_then_dot_access(self):
+        # "1.e" should not swallow the identifier (no exponent digits).
+        tokens = tokenize("1e")
+        assert tokens[0].kind is TokenKind.NUMBER
+        assert tokens[1].kind is TokenKind.IDENT
+
+
+class TestStrings:
+    def test_simple_string(self):
+        token = tokenize("'hello'")[0]
+        assert token.kind is TokenKind.STRING
+        assert token.text == "hello"
+
+    def test_quote_escape(self):
+        assert tokenize("'don''t'")[0].text == "don't"
+
+    def test_empty_string(self):
+        assert tokenize("''")[0].text == ""
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError, match="unterminated string"):
+            tokenize("'oops")
+
+    def test_newline_inside_string(self):
+        assert tokenize("'a\nb'")[0].text == "a\nb"
+
+
+class TestQuotedIdentifiers:
+    def test_quoted_identifier(self):
+        token = tokenize('"Weird Name"')[0]
+        assert token.kind is TokenKind.IDENT
+        assert token.text == "Weird Name"
+
+    def test_quoted_keyword_is_identifier(self):
+        assert tokenize('"select"')[0].kind is TokenKind.IDENT
+
+    def test_doubled_quote_escape(self):
+        assert tokenize('"a""b"')[0].text == 'a"b'
+
+    def test_unterminated(self):
+        with pytest.raises(ParseError, match="unterminated quoted identifier"):
+            tokenize('"oops')
+
+    def test_empty_quoted_identifier(self):
+        with pytest.raises(ParseError, match="empty quoted identifier"):
+            tokenize('""')
+
+
+class TestOperators:
+    def test_multi_char_operators_greedy(self):
+        assert kinds("a<=b") == [
+            (TokenKind.IDENT, "a"),
+            (TokenKind.OPERATOR, "<="),
+            (TokenKind.IDENT, "b"),
+        ]
+        assert [t for _, t in kinds("a<>b")] == ["a", "<>", "b"]
+        assert [t for _, t in kinds("a||b")] == ["a", "||", "b"]
+        assert [t for _, t in kinds("x::int")] == ["x", "::", "int"]
+
+    def test_unknown_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize("a ? b")
+
+
+class TestCommentsAndPositions:
+    def test_line_comment(self):
+        assert [t for _, t in kinds("select -- comment\n 1")] == ["select", "1"]
+
+    def test_block_comment(self):
+        assert [t for _, t in kinds("select /* a\nb */ 1")] == ["select", "1"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError, match="unterminated block comment"):
+            tokenize("select /* oops")
+
+    def test_positions(self):
+        tokens = tokenize("select\n  foo")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)

@@ -1,0 +1,319 @@
+"""Parser unit tests: clause coverage, precedence, SQL-PLE, DDL/DML,
+error reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast, parse_expression, parse_sql, parse_statement
+
+
+def q(sql: str) -> ast.QueryExpr:
+    statement = parse_statement(sql)
+    assert isinstance(statement, ast.QueryStatement)
+    return statement.query
+
+
+class TestSelectClauses:
+    def test_minimal(self):
+        select = q("SELECT 1")
+        assert isinstance(select, ast.Select)
+        assert select.from_items == []
+        assert isinstance(select.items[0].expression, ast.Literal)
+
+    def test_all_clauses(self):
+        select = q(
+            "SELECT DISTINCT a, b AS bee FROM t WHERE a > 1 "
+            "GROUP BY a HAVING count(*) > 2 ORDER BY a DESC LIMIT 10 OFFSET 5"
+        )
+        assert select.distinct
+        assert select.items[1].alias == "bee"
+        assert select.where is not None
+        assert len(select.group_by) == 1
+        assert select.having is not None
+        assert select.order_by[0].descending
+        assert isinstance(select.limit, ast.Literal) and select.limit.value == 10
+        assert isinstance(select.offset, ast.Literal) and select.offset.value == 5
+
+    def test_star_and_qualified_star(self):
+        select = q("SELECT *, t.* FROM t")
+        assert isinstance(select.items[0].expression, ast.Star)
+        star = select.items[1].expression
+        assert isinstance(star, ast.Star) and star.qualifier == "t"
+
+    def test_implicit_alias_without_as(self):
+        select = q("SELECT a alias_name FROM t")
+        assert select.items[0].alias == "alias_name"
+
+    def test_order_by_nulls_placement(self):
+        select = q("SELECT a FROM t ORDER BY a ASC NULLS FIRST, b DESC NULLS LAST")
+        assert select.order_by[0].nulls_first is True
+        assert select.order_by[1].nulls_first is False
+
+
+class TestJoins:
+    def test_join_kinds(self):
+        for sql_kind, kind in [
+            ("JOIN", "inner"),
+            ("INNER JOIN", "inner"),
+            ("LEFT JOIN", "left"),
+            ("LEFT OUTER JOIN", "left"),
+            ("RIGHT JOIN", "right"),
+            ("FULL OUTER JOIN", "full"),
+        ]:
+            select = q(f"SELECT * FROM a {sql_kind} b ON a.x = b.y")
+            join = select.from_items[0]
+            assert isinstance(join, ast.JoinRef)
+            assert join.kind == kind
+
+    def test_cross_join_has_no_condition(self):
+        join = q("SELECT * FROM a CROSS JOIN b").from_items[0]
+        assert join.kind == "cross" and join.condition is None
+
+    def test_using(self):
+        join = q("SELECT * FROM a JOIN b USING (x, y)").from_items[0]
+        assert join.using == ["x", "y"]
+
+    def test_natural(self):
+        join = q("SELECT * FROM a NATURAL JOIN b").from_items[0]
+        assert join.natural
+
+    def test_join_requires_on_or_using(self):
+        with pytest.raises(ParseError, match="expected ON or USING"):
+            q("SELECT * FROM a JOIN b")
+
+    def test_left_deep_chain(self):
+        join = q("SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y").from_items[0]
+        assert isinstance(join, ast.JoinRef)
+        assert isinstance(join.left, ast.JoinRef)
+
+    def test_comma_list(self):
+        select = q("SELECT * FROM a, b, c")
+        assert len(select.from_items) == 3
+
+    def test_derived_table(self):
+        select = q("SELECT * FROM (SELECT a FROM t) AS sub (x)")
+        sub = select.from_items[0]
+        assert isinstance(sub, ast.SubqueryRef)
+        assert sub.alias == "sub" and sub.column_aliases == ["x"]
+
+
+class TestSetOperations:
+    def test_union_chain_left_assoc(self):
+        setop = q("SELECT a FROM t UNION SELECT b FROM s UNION SELECT c FROM u")
+        assert isinstance(setop, ast.SetOp)
+        assert isinstance(setop.left, ast.SetOp)
+
+    def test_intersect_binds_tighter(self):
+        setop = q("SELECT a FROM t UNION SELECT b FROM s INTERSECT SELECT c FROM u")
+        assert setop.op == "union"
+        assert isinstance(setop.right, ast.SetOp)
+        assert setop.right.op == "intersect"
+
+    def test_union_all(self):
+        assert q("SELECT a FROM t UNION ALL SELECT b FROM s").all
+
+    def test_order_by_applies_to_whole_setop(self):
+        setop = q("SELECT a FROM t UNION SELECT b FROM s ORDER BY 1 LIMIT 3")
+        assert isinstance(setop, ast.SetOp)
+        assert len(setop.order_by) == 1
+        assert setop.limit is not None
+
+    def test_parenthesized_operand(self):
+        setop = q("(SELECT a FROM t ORDER BY a LIMIT 1) UNION SELECT b FROM s")
+        assert isinstance(setop.left, ast.Select)
+        assert setop.left.limit is not None
+
+
+class TestExpressions:
+    def test_precedence_or_and(self):
+        expression = parse_expression("a OR b AND c")
+        assert isinstance(expression, ast.BinaryOp) and expression.op == "or"
+
+    def test_precedence_arithmetic(self):
+        expression = parse_expression("1 + 2 * 3")
+        assert expression.op == "+"
+        assert expression.right.op == "*"
+
+    def test_not_binds_looser_than_comparison(self):
+        expression = parse_expression("NOT a = b")
+        assert isinstance(expression, ast.UnaryOp) and expression.op == "not"
+        assert isinstance(expression.operand, ast.BinaryOp)
+
+    def test_between(self):
+        expression = parse_expression("x BETWEEN 1 AND 10")
+        assert isinstance(expression, ast.Between)
+
+    def test_not_between(self):
+        expression = parse_expression("x NOT BETWEEN 1 AND 10")
+        assert isinstance(expression, ast.Between) and expression.negated
+
+    def test_in_list_and_subquery(self):
+        in_list = parse_expression("x IN (1, 2, 3)")
+        assert isinstance(in_list, ast.InList) and len(in_list.items) == 3
+        in_sub = parse_expression("x NOT IN (SELECT y FROM t)")
+        assert isinstance(in_sub, ast.InSubquery) and in_sub.negated
+
+    def test_is_null_and_is_distinct(self):
+        assert isinstance(parse_expression("x IS NULL"), ast.IsNull)
+        expression = parse_expression("x IS NOT NULL")
+        assert isinstance(expression, ast.IsNull) and expression.negated
+        distinct = parse_expression("x IS NOT DISTINCT FROM y")
+        assert isinstance(distinct, ast.IsDistinct) and distinct.negated
+
+    def test_like_and_negation(self):
+        like = parse_expression("name LIKE 'a%'")
+        assert isinstance(like, ast.BinaryOp) and like.op == "like"
+        negated = parse_expression("name NOT LIKE 'a%'")
+        assert isinstance(negated, ast.UnaryOp) and negated.op == "not"
+
+    def test_case_forms(self):
+        searched = parse_expression("CASE WHEN a THEN 1 ELSE 2 END")
+        assert isinstance(searched, ast.Case) and searched.operand is None
+        simple = parse_expression("CASE x WHEN 1 THEN 'a' END")
+        assert simple.operand is not None and simple.else_result is None
+
+    def test_cast_forms(self):
+        assert isinstance(parse_expression("CAST(x AS int)"), ast.Cast)
+        postfix = parse_expression("x::text")
+        assert isinstance(postfix, ast.Cast) and postfix.type_name == "text"
+
+    def test_quantified_comparison(self):
+        expression = parse_expression("x > ALL (SELECT y FROM t)")
+        assert isinstance(expression, ast.QuantifiedComparison)
+        assert expression.quantifier == "all"
+        some = parse_expression("x = SOME (SELECT y FROM t)")
+        assert some.quantifier == "any"
+
+    def test_exists(self):
+        assert isinstance(parse_expression("EXISTS (SELECT 1 FROM t)"), ast.Exists)
+
+    def test_function_calls(self):
+        call = parse_expression("count(DISTINCT x)")
+        assert isinstance(call, ast.FuncCall) and call.distinct
+        star = parse_expression("count(*)")
+        assert star.star
+        assert parse_expression("coalesce(a, b, 0)").name == "coalesce"
+
+    def test_scalar_subquery(self):
+        assert isinstance(parse_expression("(SELECT max(x) FROM t)"), ast.ScalarSubquery)
+
+    def test_unary_minus(self):
+        expression = parse_expression("-x + 1")
+        assert expression.op == "+"
+        assert isinstance(expression.left, ast.UnaryOp)
+
+    def test_bang_equals_normalized(self):
+        assert parse_expression("a != b").op == "<>"
+
+
+class TestSqlPle:
+    def test_select_provenance_default_influence(self):
+        select = q("SELECT PROVENANCE a FROM t")
+        assert select.provenance is not None
+        assert select.provenance.contribution == "influence"
+
+    def test_on_contribution_variants(self):
+        assert q(
+            "SELECT PROVENANCE ON CONTRIBUTION (INFLUENCE) a FROM t"
+        ).provenance.contribution == "influence"
+        assert q(
+            "SELECT PROVENANCE ON CONTRIBUTION (COPY) a FROM t"
+        ).provenance.contribution == "copy partial"
+        assert q(
+            "SELECT PROVENANCE ON CONTRIBUTION (COPY PARTIAL) a FROM t"
+        ).provenance.contribution == "copy partial"
+        assert q(
+            "SELECT PROVENANCE ON CONTRIBUTION (COPY COMPLETE) a FROM t"
+        ).provenance.contribution == "copy complete"
+
+    def test_unknown_contribution_rejected(self):
+        with pytest.raises(ParseError, match="unknown contribution"):
+            q("SELECT PROVENANCE ON CONTRIBUTION (MAGIC) a FROM t")
+
+    def test_column_named_provenance_still_works(self):
+        select = q("SELECT provenance FROM t")
+        assert select.provenance is None
+        assert select.items[0].expression.parts == ("provenance",)
+
+    def test_provenance_column_with_qualifier(self):
+        select = q("SELECT t.provenance, provenance.x FROM t, provenance")
+        assert select.provenance is None
+
+    def test_baserelation_modifier(self):
+        table = q("SELECT PROVENANCE a FROM v BASERELATION").from_items[0]
+        assert table.baserelation
+
+    def test_provenance_attrs_modifier(self):
+        table = q("SELECT PROVENANCE a FROM t PROVENANCE (pa, pb)").from_items[0]
+        assert table.provenance_attrs == ["pa", "pb"]
+
+    def test_modifiers_on_subquery(self):
+        sub = q(
+            "SELECT PROVENANCE a FROM (SELECT a, pa FROM t) AS s BASERELATION PROVENANCE (pa)"
+        ).from_items[0]
+        assert isinstance(sub, ast.SubqueryRef)
+        assert sub.baserelation and sub.provenance_attrs == ["pa"]
+
+
+class TestStatements:
+    def test_create_table(self):
+        statement = parse_statement(
+            "CREATE TABLE t (a int, b varchar(10), c double precision)"
+        )
+        assert isinstance(statement, ast.CreateTable)
+        assert [c.name for c in statement.columns] == ["a", "b", "c"]
+        assert statement.columns[2].type_name == "double precision"
+
+    def test_create_table_if_not_exists(self):
+        statement = parse_statement("CREATE TABLE IF NOT EXISTS t (a int)")
+        assert statement.if_not_exists
+
+    def test_create_table_as(self):
+        statement = parse_statement("CREATE TABLE t AS SELECT 1 AS one")
+        assert isinstance(statement, ast.CreateTableAs)
+
+    def test_create_view_and_or_replace(self):
+        statement = parse_statement("CREATE OR REPLACE VIEW v AS SELECT a FROM t")
+        assert isinstance(statement, ast.CreateView) and statement.or_replace
+
+    def test_drop(self):
+        statement = parse_statement("DROP TABLE IF EXISTS t")
+        assert isinstance(statement, ast.DropRelation)
+        assert statement.kind == "table" and statement.if_exists
+        assert parse_statement("DROP VIEW v").kind == "view"
+
+    def test_insert_values(self):
+        statement = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(statement, ast.Insert)
+        assert statement.columns == ["a", "b"]
+        assert len(statement.rows) == 2
+
+    def test_insert_query(self):
+        statement = parse_statement("INSERT INTO t SELECT a FROM s")
+        assert statement.rows is None and statement.query is not None
+
+    def test_delete_update(self):
+        delete = parse_statement("DELETE FROM t WHERE a = 1")
+        assert isinstance(delete, ast.Delete) and delete.where is not None
+        update = parse_statement("UPDATE t SET a = 2, b = b + 1 WHERE a = 1")
+        assert isinstance(update, ast.Update) and len(update.assignments) == 2
+
+    def test_explain_modes(self):
+        assert parse_statement("EXPLAIN REWRITE SELECT 1").mode == "rewrite"
+        assert parse_statement("EXPLAIN ALGEBRA SELECT 1").mode == "algebra"
+        assert parse_statement("EXPLAIN SELECT 1").mode == "plan"
+
+    def test_multiple_statements(self):
+        statements = parse_sql("SELECT 1; SELECT 2;; SELECT 3")
+        assert len(statements) == 3
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError, match="unexpected input after statement"):
+            parse_sql("SELECT 1 garbage garbage")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as info:
+            parse_sql("SELECT\n  FROM t")
+        assert info.value.line == 2

@@ -1,0 +1,125 @@
+"""Printer tests: formatting and parse->print->parse->print fixpoints,
+including hypothesis-generated random query shapes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql import format_statement, parse_statement
+
+
+FIXPOINT_CASES = [
+    "SELECT 1",
+    "SELECT a, b AS bee FROM t WHERE (a > 1)",
+    "SELECT DISTINCT a FROM t ORDER BY a DESC NULLS FIRST LIMIT 3 OFFSET 1",
+    "SELECT count(*), sum(DISTINCT x) FROM t GROUP BY y HAVING (count(*) > 2)",
+    "SELECT * FROM a JOIN b ON (a.x = b.y) LEFT JOIN c ON (b.z = c.z)",
+    "SELECT * FROM a NATURAL JOIN b",
+    "SELECT * FROM a JOIN b USING (x, y)",
+    "SELECT * FROM a CROSS JOIN b",
+    "SELECT a FROM t UNION ALL SELECT b FROM s",
+    "SELECT a FROM t INTERSECT SELECT b FROM s EXCEPT SELECT c FROM u",
+    "SELECT (CASE WHEN (a > 0) THEN 'p' ELSE 'n' END) FROM t",
+    "SELECT CAST(a AS int) FROM t",
+    "SELECT (x IN (1, 2)) FROM t",
+    "SELECT (x IN (SELECT y FROM s)) FROM t",
+    "SELECT (EXISTS (SELECT 1 FROM s)) FROM t",
+    "SELECT (a BETWEEN 1 AND 2) FROM t",
+    "SELECT (a IS NOT DISTINCT FROM b) FROM t",
+    "SELECT (a LIKE 'x%') FROM t",
+    "SELECT PROVENANCE ON CONTRIBUTION (INFLUENCE) a FROM t",
+    "SELECT PROVENANCE ON CONTRIBUTION (COPY PARTIAL) a FROM v BASERELATION",
+    "SELECT a FROM t PROVENANCE (pa, pb)",
+    "CREATE TABLE t (a int, b text)",
+    "CREATE OR REPLACE VIEW v AS SELECT a FROM t",
+    "INSERT INTO t (a) VALUES (1), (2)",
+    "DELETE FROM t WHERE (a = 1)",
+    "UPDATE t SET a = (a + 1) WHERE (b IS NULL)",
+    "EXPLAIN REWRITE SELECT PROVENANCE ON CONTRIBUTION (INFLUENCE) a FROM t",
+    'SELECT "Mixed Case" FROM "Weird Table"',
+]
+
+
+@pytest.mark.parametrize("sql", FIXPOINT_CASES)
+def test_print_parse_fixpoint(sql):
+    """print(parse(s)) must be a fixpoint of parse∘print."""
+    once = format_statement(parse_statement(sql))
+    twice = format_statement(parse_statement(once))
+    assert once == twice
+
+
+# ---------------------------------------------------------------------------
+# Property-based: random expression trees survive the round trip
+# ---------------------------------------------------------------------------
+
+_ident = st.sampled_from(["a", "b", "c", "t.x", "s.y"])
+_literal = st.one_of(
+    st.integers(min_value=0, max_value=10_000).map(str),
+    st.sampled_from(["'text'", "'it''s'", "NULL", "TRUE", "FALSE", "1.5"]),
+)
+_atom = st.one_of(_ident, _literal)
+
+
+def _binary(children):
+    ops = st.sampled_from(["+", "-", "*", "=", "<>", "<", ">=", "AND", "OR", "||"])
+    return st.tuples(children, ops, children).map(lambda t: f"({t[0]} {t[1]} {t[2]})")
+
+
+def _unary(children):
+    return children.map(lambda c: f"(NOT {c})") | children.map(lambda c: f"(-{c})")
+
+
+def _predicates(children):
+    return st.one_of(
+        children.map(lambda c: f"({c} IS NULL)"),
+        st.tuples(children, children).map(lambda t: f"({t[0]} IS DISTINCT FROM {t[1]})"),
+        st.tuples(children, children, children).map(
+            lambda t: f"({t[0]} BETWEEN {t[1]} AND {t[2]})"
+        ),
+        st.tuples(children, children).map(lambda t: f"({t[0]} IN ({t[1]}, {t[1]}))"),
+        st.tuples(children, children, children).map(
+            lambda t: f"(CASE WHEN ({t[0]} = {t[1]}) THEN {t[1]} ELSE {t[2]} END)"
+        ),
+    )
+
+
+_expression = st.recursive(
+    _atom,
+    lambda children: st.one_of(_binary(children), _unary(children), _predicates(children)),
+    max_leaves=12,
+)
+
+
+@given(expr=_expression)
+@settings(max_examples=150, deadline=None)
+def test_random_expression_roundtrip(expr):
+    sql = f"SELECT {expr} FROM t"
+    once = format_statement(parse_statement(sql))
+    twice = format_statement(parse_statement(once))
+    assert once == twice
+
+
+@given(
+    columns=st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=3, unique=True),
+    distinct=st.booleans(),
+    where=st.booleans(),
+    union=st.booleans(),
+    order=st.booleans(),
+    limit=st.integers(min_value=0, max_value=5) | st.none(),
+)
+@settings(max_examples=80, deadline=None)
+def test_random_query_shape_roundtrip(columns, distinct, where, union, order, limit):
+    sql = "SELECT " + ("DISTINCT " if distinct else "") + ", ".join(columns) + " FROM t"
+    if where:
+        sql += " WHERE (a > 1)"
+    if union:
+        sql += " UNION SELECT " + ", ".join(columns) + " FROM s"
+    if order:
+        sql += " ORDER BY 1 ASC"
+    if limit is not None:
+        sql += f" LIMIT {limit}"
+    once = format_statement(parse_statement(sql))
+    twice = format_statement(parse_statement(once))
+    assert once == twice

@@ -1,0 +1,208 @@
+"""Value-model tests: three-valued logic laws, comparisons, casts and
+arithmetic — partly property-based with hypothesis."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ExecutionError
+from repro.datatypes import (
+    SQLType,
+    arith,
+    cast_value,
+    compare,
+    distinct,
+    eq,
+    format_value,
+    is_true,
+    le,
+    lt,
+    ne,
+    not_distinct,
+    row_identity,
+    sort_key,
+    tvl_and,
+    tvl_not,
+    tvl_or,
+    type_from_name,
+    type_of_value,
+    unify_types,
+    value_identity,
+)
+from repro.errors import TypeCheckError
+
+TVL = [True, False, None]
+
+
+class TestThreeValuedLogic:
+    @pytest.mark.parametrize("a", TVL)
+    @pytest.mark.parametrize("b", TVL)
+    def test_and_truth_table(self, a, b):
+        expected = (
+            False if (a is False or b is False) else None if None in (a, b) else True
+        )
+        assert tvl_and(a, b) == expected
+
+    @pytest.mark.parametrize("a", TVL)
+    @pytest.mark.parametrize("b", TVL)
+    def test_or_truth_table(self, a, b):
+        expected = (
+            True if (a is True or b is True) else None if None in (a, b) else False
+        )
+        assert tvl_or(a, b) == expected
+
+    def test_not(self):
+        assert tvl_not(True) is False
+        assert tvl_not(False) is True
+        assert tvl_not(None) is None
+
+    @pytest.mark.parametrize("a", TVL)
+    @pytest.mark.parametrize("b", TVL)
+    def test_de_morgan(self, a, b):
+        assert tvl_not(tvl_and(a, b)) == tvl_or(tvl_not(a), tvl_not(b))
+        assert tvl_not(tvl_or(a, b)) == tvl_and(tvl_not(a), tvl_not(b))
+
+    def test_is_true_only_for_true(self):
+        assert is_true(True)
+        assert not is_true(False)
+        assert not is_true(None)
+
+
+class TestComparisons:
+    def test_null_propagates(self):
+        for op in (eq, ne, lt, le):
+            assert op(None, 1) is None
+            assert op(1, None) is None
+
+    def test_numeric_cross_type(self):
+        assert eq(1, 1.0) is True
+        assert lt(1, 1.5) is True
+
+    def test_string_comparison(self):
+        assert lt("abc", "abd") is True
+
+    def test_incomparable_types_raise(self):
+        with pytest.raises(ExecutionError):
+            compare(1, "a")
+        with pytest.raises(ExecutionError):
+            compare(True, 1)
+
+    def test_not_distinct_null_safe(self):
+        assert not_distinct(None, None) is True
+        assert not_distinct(None, 1) is False
+        assert not_distinct(2, 2) is True
+        assert distinct(None, None) is False
+
+    @given(st.one_of(st.none(), st.integers(), st.text(max_size=5)))
+    def test_not_distinct_reflexive(self, v):
+        assert not_distinct(v, v) is True
+
+
+class TestTypes:
+    def test_type_of_value(self):
+        assert type_of_value(1) is SQLType.INT
+        assert type_of_value(1.0) is SQLType.FLOAT
+        assert type_of_value(True) is SQLType.BOOL  # bool before int
+        assert type_of_value("x") is SQLType.TEXT
+        assert type_of_value(None) is SQLType.NULL
+
+    def test_type_from_name_aliases(self):
+        assert type_from_name("INTEGER") is SQLType.INT
+        assert type_from_name("double precision") is SQLType.FLOAT
+        assert type_from_name("varchar") is SQLType.TEXT
+        with pytest.raises(TypeCheckError):
+            type_from_name("blob")
+
+    def test_unify(self):
+        assert unify_types(SQLType.INT, SQLType.FLOAT) is SQLType.FLOAT
+        assert unify_types(SQLType.NULL, SQLType.TEXT) is SQLType.TEXT
+        with pytest.raises(TypeCheckError):
+            unify_types(SQLType.INT, SQLType.TEXT)
+
+
+class TestCasts:
+    def test_null_casts_to_null(self):
+        for target in SQLType:
+            assert cast_value(None, target) is None
+
+    def test_text_to_int(self):
+        assert cast_value(" 42 ", SQLType.INT) == 42
+        with pytest.raises(ExecutionError):
+            cast_value("4.5x", SQLType.INT)
+
+    def test_bool_casts(self):
+        assert cast_value("yes", SQLType.BOOL) is True
+        assert cast_value("f", SQLType.BOOL) is False
+        assert cast_value(0, SQLType.BOOL) is False
+        assert cast_value(True, SQLType.TEXT) == "true"
+
+    def test_float_to_text(self):
+        assert cast_value(1.0, SQLType.TEXT) == "1.0"
+
+
+class TestArithmetic:
+    def test_null_propagation(self):
+        for op in ("+", "-", "*", "/", "%", "||"):
+            assert arith(op, None, 1 if op != "||" else "a") is None
+
+    def test_integer_division_truncates_toward_zero(self):
+        assert arith("/", 7, 2) == 3
+        assert arith("/", -7, 2) == -3
+        assert arith("/", 7, -2) == -3
+
+    def test_float_division(self):
+        assert arith("/", 7.0, 2) == 3.5
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExecutionError, match="division by zero"):
+            arith("/", 1, 0)
+        with pytest.raises(ExecutionError, match="division by zero"):
+            arith("%", 1, 0)
+
+    def test_modulo_sign_follows_dividend(self):
+        assert arith("%", 7, 3) == 1
+        assert arith("%", -7, 3) == -1
+        assert arith("%", 7, -3) == 1
+
+    def test_concat(self):
+        assert arith("||", "a", "b") == "ab"
+        with pytest.raises(ExecutionError):
+            arith("||", 1, "b")
+
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_int_addition_matches_python(self, a, b):
+        assert arith("+", a, b) == a + b
+
+    @given(st.integers(-1000, 1000), st.integers(1, 1000))
+    def test_divmod_identity(self, a, b):
+        quotient = arith("/", a, b)
+        remainder = arith("%", a, b)
+        assert quotient * b + remainder == a
+
+
+class TestIdentityAndSorting:
+    def test_value_identity_distinguishes_bool_from_int(self):
+        assert value_identity(True) != value_identity(1)
+        assert value_identity(1) == value_identity(1.0)
+
+    def test_row_identity(self):
+        assert row_identity((1, "a")) == row_identity((1.0, "a"))
+        assert row_identity((True,)) != row_identity((1,))
+
+    def test_sort_key_nulls_last_by_default(self):
+        values = [3, None, 1]
+        ordered = sorted(values, key=sort_key)
+        assert ordered == [1, 3, None]
+
+    def test_sort_key_nulls_first(self):
+        values = [3, None, 1]
+        ordered = sorted(values, key=lambda v: sort_key(v, nulls_first=True))
+        assert ordered == [None, 1, 3]
+
+    def test_format_value(self):
+        assert format_value(None) == "null"
+        assert format_value(True) == "t"
+        assert format_value(2.0) == "2.0"
+        assert format_value("x") == "x"

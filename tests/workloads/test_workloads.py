@@ -1,0 +1,86 @@
+"""Workload generator tests: forum (Figure 1), scaled forum, TPC-H-like."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import QUERY_CLASSES, TpchConfig, create_forum_db, create_tpch_db
+from repro.workloads.forum import scaled_forum_db
+from repro.workloads.queries import queries_for_class, with_provenance
+
+
+class TestForum:
+    def test_figure1_cardinalities(self):
+        db = create_forum_db()
+        assert len(db.execute("SELECT * FROM messages")) == 2
+        assert len(db.execute("SELECT * FROM users")) == 3
+        assert len(db.execute("SELECT * FROM imports")) == 2
+        assert len(db.execute("SELECT * FROM approved")) == 4
+        assert len(db.execute("SELECT * FROM v1")) == 4
+
+    def test_scaled_forum_is_deterministic(self):
+        a = scaled_forum_db(messages=50, users=10, imports=20)
+        b = scaled_forum_db(messages=50, users=10, imports=20)
+        for table in ("messages", "users", "imports", "approved"):
+            assert (
+                a.execute(f"SELECT * FROM {table}").rows
+                == b.execute(f"SELECT * FROM {table}").rows
+            )
+
+    def test_scaled_forum_sizes(self):
+        db = scaled_forum_db(messages=50, users=10, imports=20, approvals_per_message=2)
+        assert len(db.execute("SELECT * FROM messages")) == 50
+        assert len(db.execute("SELECT * FROM imports")) == 20
+        assert len(db.execute("SELECT * FROM approved")) == 100
+
+    def test_scaled_ids_disjoint(self):
+        db = scaled_forum_db(messages=20, users=5, imports=20)
+        overlap = db.execute(
+            "SELECT mId FROM messages INTERSECT SELECT mId FROM imports"
+        )
+        assert overlap.rows == []
+
+
+class TestTpch:
+    @pytest.fixture(scope="class")
+    def tpch(self):
+        return create_tpch_db(TpchConfig(customers=20, orders=60, parts=10))
+
+    def test_row_counts(self, tpch):
+        assert len(tpch.execute("SELECT * FROM customer")) == 20
+        assert len(tpch.execute("SELECT * FROM orders")) == 60
+        assert len(tpch.execute("SELECT * FROM lineitem")) == 180
+        assert len(tpch.execute("SELECT * FROM region")) == 5
+
+    def test_referential_integrity(self, tpch):
+        dangling = tpch.execute(
+            "SELECT o_orderkey FROM orders WHERE o_custkey NOT IN "
+            "(SELECT c_custkey FROM customer)"
+        )
+        assert dangling.rows == []
+        dangling = tpch.execute(
+            "SELECT l_orderkey FROM lineitem WHERE l_orderkey NOT IN "
+            "(SELECT o_orderkey FROM orders)"
+        )
+        assert dangling.rows == []
+
+    def test_deterministic_for_seed(self):
+        a = create_tpch_db(TpchConfig(customers=5, orders=10, parts=5, seed=1))
+        b = create_tpch_db(TpchConfig(customers=5, orders=10, parts=5, seed=1))
+        assert a.execute("SELECT * FROM orders").rows == b.execute("SELECT * FROM orders").rows
+
+    def test_scale_factor(self):
+        config = TpchConfig(customers=100, orders=200).scale(0.1)
+        assert config.customers == 10 and config.orders == 20
+
+    def test_every_benchmark_query_runs(self, tpch):
+        for class_name in QUERY_CLASSES:
+            for name, sql in queries_for_class(class_name).items():
+                plain = tpch.execute(sql)
+                prov = tpch.execute(with_provenance(sql))
+                width = len(plain.columns)
+                assert {tuple(r[:width]) for r in prov.rows} == set(plain.rows), name
+
+    def test_with_provenance_contribution(self):
+        sql = with_provenance("SELECT a FROM t", contribution="copy partial")
+        assert sql.startswith("SELECT PROVENANCE ON CONTRIBUTION (COPY PARTIAL)")
