@@ -1,0 +1,135 @@
+"""Prepared statements and the plan cache vs the cold pipeline.
+
+Extends the Figure 3 stage-timing story: the paper's architecture runs
+Parser & Analyzer -> Provenance Rewriter -> Planner -> Executor for every
+query. The DB-API front end splits *prepare* from *execute*, so a
+repeated parameterized provenance query pays the front of the pipeline
+once. This bench measures three ways of running the same parameterized
+provenance query many times:
+
+* cold      — a fresh pipeline run per call (``profile``, no cache);
+* cached    — ``cursor.execute`` of identical SQL text (plan-cache hit);
+* prepared  — an explicit ``PreparedStatement`` (execute stage only);
+
+and reports the per-stage savings that explain the difference.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import print_table
+
+from repro.workloads.forum import SQLPLE_AGGREGATION
+
+QUERY = (
+    "SELECT PROVENANCE count(*) AS cnt, text "
+    "FROM v1 JOIN approved a ON v1.mId = a.mId "
+    "WHERE a.uId > ? GROUP BY v1.mId, text"
+)
+
+
+def _params(i: int) -> tuple[int]:
+    return (i % 3,)
+
+
+def test_cold_pipeline(benchmark, forum_db_large):
+    """Baseline: every call re-runs parse/analyze/rewrite/optimize/plan."""
+    counter = [0]
+
+    def run():
+        counter[0] += 1
+        return forum_db_large.profile(QUERY, params=_params(counter[0])).result
+
+    result = benchmark(run)
+    assert result is not None
+
+
+def test_cached_cursor_execute(benchmark, forum_db_large):
+    """Repeated cursor.execute of one SQL text: plan-cache hits."""
+    cursor = forum_db_large.cursor()
+    counter = [0]
+    hits_before = forum_db_large.plan_cache.hits
+    cursor.execute(QUERY, _params(0))  # warm the cache
+
+    def run():
+        counter[0] += 1
+        return cursor.execute(QUERY, _params(counter[0])).relation
+
+    result = benchmark(run)
+    assert result is not None
+    assert forum_db_large.plan_cache.hits > hits_before
+
+
+def test_prepared_statement(benchmark, forum_db_large):
+    """Explicit prepare once, execute many."""
+    statement = forum_db_large.prepare(QUERY)
+    counter = [0]
+    before = forum_db_large.counters.snapshot()
+
+    def run():
+        counter[0] += 1
+        return statement.execute(_params(counter[0]))
+
+    result = benchmark(run)
+    assert result is not None
+    # Only the execute stage moved.
+    assert forum_db_large.counters.prepared_since(before) == 0
+
+
+def test_per_stage_savings(forum_db_large, capsys):
+    """Quantify what prepare-once removes from the hot path (the Figure 3
+    stage table, split into pay-once vs pay-per-execute)."""
+    profile = forum_db_large.profile(QUERY, params=_params(1))
+    front = [t for t in profile.timings if t.name != "execute"]
+    execute = profile.timing("execute")
+    front_total = sum(t.seconds for t in front)
+
+    rows = [(t.name, f"{t.seconds * 1000:.3f} ms", "once") for t in front]
+    rows.append(("execute", f"{execute * 1000:.3f} ms", "per call"))
+    rows.append(("prepared saves/call", f"{front_total * 1000:.3f} ms", ""))
+    with capsys.disabled():
+        print_table(
+            "prepared+cached vs cold pipeline: per-stage cost",
+            ["stage", "time", "paid"],
+            rows,
+        )
+    assert front_total > 0 and execute > 0
+
+
+def test_prepared_matches_cold_results(forum_db_large):
+    """Sanity: the fast path returns exactly what the cold path returns."""
+    statement = forum_db_large.prepare(QUERY)
+    for i in range(4):
+        cold = forum_db_large.profile(QUERY, params=_params(i)).result
+        fast = statement.execute(_params(i))
+        assert sorted(fast.rows, key=repr) == sorted(cold.rows, key=repr)
+        assert fast.columns == cold.columns
+
+
+def test_cache_and_counters_report(forum_db_large, capsys):
+    """Surface the plan-cache stats after the benchmark workload ran."""
+    stats = forum_db_large.plan_cache.stats()
+    counters = forum_db_large.counters
+    rows = [
+        ("plan-cache hits", stats["hits"]),
+        ("plan-cache misses", stats["misses"]),
+        ("analyze runs", counters.analyze),
+        ("executions", counters.execute),
+    ]
+    with capsys.disabled():
+        print_table("pipeline counters", ["metric", "value"], rows)
+    assert counters.execute >= counters.analyze
+
+
+@pytest.mark.parametrize("sql", [SQLPLE_AGGREGATION])
+def test_unparameterized_queries_also_cache(benchmark, forum_db_large, sql):
+    """The cache is not params-only: identical plain SQL hits too."""
+    forum_db_large.cursor().execute(sql)
+    misses_before = forum_db_large.plan_cache.misses
+
+    def run():
+        return forum_db_large.cursor().execute(sql).relation
+
+    result = benchmark(run)
+    assert result is not None
+    assert forum_db_large.plan_cache.misses == misses_before

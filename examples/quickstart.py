@@ -1,86 +1,109 @@
-"""Quickstart: the paper's running example, end to end.
+"""Quickstart: the paper's running example on the DB-API front end.
 
-Builds the Figure 1 forum database, runs the example queries q1-q3, and
-computes the provenance of q1 — reproducing Figure 2 — plus the SQL-PLE
-variations of §2.4.
+Builds the Figure 1 forum database through a Connection/Cursor session,
+runs the example queries q1-q3, computes the provenance of q1 —
+reproducing Figure 2 — and shows the SQL-PLE variations of §2.4, using
+parameterized statements and a prepared statement where the original
+demo re-sent raw SQL.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import PermDB
+import repro
 
 
 def main() -> None:
-    db = PermDB()
+    conn = repro.connect()
 
     # -- Figure 1: schema and data ---------------------------------------
-    db.execute(
+    conn.execute(
         """
         CREATE TABLE messages (mId int, text text, uId int);
         CREATE TABLE users (uId int, name text);
         CREATE TABLE imports (mId int, text text, origin text);
         CREATE TABLE approved (uId int, mId int);
-
-        INSERT INTO messages VALUES (1, 'lorem ipsum ...', 3), (4, 'hi there ...', 2);
-        INSERT INTO users VALUES (1, 'Bert'), (2, 'Gert'), (3, 'Gertrud');
-        INSERT INTO imports VALUES (2, 'hello ...', 'superForum'),
-                                   (3, 'I don''t ...', 'HiBoard');
-        INSERT INTO approved VALUES (2, 2), (1, 4), (2, 4), (3, 4);
         """
+    )
+    conn.executemany(
+        "INSERT INTO messages VALUES (?, ?, ?)",
+        [(1, "lorem ipsum ...", 3), (4, "hi there ...", 2)],
+    )
+    conn.executemany(
+        "INSERT INTO users VALUES (?, ?)",
+        [(1, "Bert"), (2, "Gert"), (3, "Gertrud")],
+    )
+    conn.executemany(
+        "INSERT INTO imports VALUES (?, ?, ?)",
+        [(2, "hello ...", "superForum"), (3, "I don't ...", "HiBoard")],
+    )
+    conn.executemany(
+        "INSERT INTO approved VALUES (?, ?)",
+        [(2, 2), (1, 4), (2, 4), (3, 4)],
     )
 
     # -- q1: all messages, entered or imported ---------------------------
     q1 = "SELECT mId, text FROM messages UNION SELECT mId, text FROM imports"
-    print("q1: all messages")
-    print(db.execute(q1 + " ORDER BY mId").format(), "\n")
+    print("q1: all messages (cursor iteration)")
+    for mid, text in conn.execute(q1 + " ORDER BY mId"):
+        print(f"  {mid}  {text}")
+    print()
 
     # -- q2: store q1 as a view ------------------------------------------
-    db.execute(f"CREATE VIEW v1 AS {q1}")
+    conn.execute(f"CREATE VIEW v1 AS {q1}")
 
     # -- q3: approval counts per message ----------------------------------
-    q3 = (
+    cursor = conn.execute(
         "SELECT count(*), text FROM v1 JOIN approved a ON (v1.mId = a.mId) "
         "GROUP BY v1.mId, text"
     )
     print("q3: approvals per message (unapproved messages omitted)")
-    print(db.execute(q3).format(), "\n")
+    print("columns:", [name for name, *_ in cursor.description])
+    print("rows:   ", cursor.fetchall(), "\n")
 
     # -- Figure 2: the provenance of q1 ------------------------------------
     print("Figure 2: SELECT PROVENANCE on q1")
-    prov = db.execute(
+    cursor = conn.execute(
         "SELECT PROVENANCE mId, text FROM messages "
         "UNION SELECT mId, text FROM imports ORDER BY mId"
     )
+    prov = cursor.relation
     print(prov.format())
     print("original attributes:  ", prov.original_attrs)
-    print("provenance attributes:", list(prov.provenance_attrs), "\n")
+    print("provenance attributes:", list(cursor.provenance_attrs), "\n")
 
     # -- §2.4: provenance of an aggregation, then querying it --------------
     print("provenance of q3 (aggregation provenance, INFLUENCE semantics)")
     print(
-        db.execute(
+        conn.execute(
             "SELECT PROVENANCE ON CONTRIBUTION (INFLUENCE) count(*), text "
             "FROM v1 JOIN approved a ON v1.mId = a.mId GROUP BY v1.mId, text"
-        ).format(),
+        ).relation.format(),
         "\n",
     )
 
-    print("filtering provenance with plain SQL (imported from superForum):")
+    # -- prepared statement: the pipeline runs once, execute() many times --
+    stmt = conn.prepare(
+        "SELECT text, prov_imports_origin FROM "
+        "(SELECT PROVENANCE count(*) AS cnt, text "
+        " FROM v1 JOIN approved a ON v1.mId = a.mId "
+        " GROUP BY v1.mId, text) AS prov "
+        "WHERE cnt > 0 AND prov_imports_origin = ?"
+    )
+    print("filtering provenance with plain SQL, prepared + parameterized:")
+    for origin in ("superForum", "HiBoard"):
+        print(f"  origin={origin!r}: {stmt.execute((origin,)).rows}")
     print(
-        db.execute(
-            "SELECT text, prov_imports_origin FROM "
-            "(SELECT PROVENANCE count(*) AS cnt, text "
-            " FROM v1 JOIN approved a ON v1.mId = a.mId "
-            " GROUP BY v1.mId, text) AS prov "
-            "WHERE cnt > 0 AND prov_imports_origin = 'superForum'"
-        ).format(),
+        "pipeline counters:",
+        f"analyze={conn.counters.analyze}",
+        f"execute={conn.counters.execute}",
+        "(the prepared statement analyzed once, executed twice)",
         "\n",
     )
 
     print("BASERELATION: treat the view itself as the provenance source")
-    print(db.execute("SELECT PROVENANCE text FROM v1 BASERELATION").format())
+    print(conn.execute("SELECT PROVENANCE text FROM v1 BASERELATION").relation.format())
 
 
 if __name__ == "__main__":

@@ -8,51 +8,117 @@ tuples in ``prov_<relation>_<attribute>`` columns. Because provenance
 data and provenance computation are plain relations and plain queries,
 they can be stored, optimized and queried with the full power of SQL.
 
+The public API follows DB-API 2.0 (PEP 249): connections, cursors,
+``?``/``:name`` placeholders, prepared statements.
+
 Quickstart::
 
-    from repro import PermDB
+    import repro
 
-    db = PermDB()
-    db.execute("CREATE TABLE messages (mid int, text text, uid int)")
-    db.execute("INSERT INTO messages VALUES (1, 'lorem ipsum', 3)")
-    result = db.execute("SELECT PROVENANCE text FROM messages")
-    print(result.format())
+    conn = repro.connect()
+    conn.execute("CREATE TABLE messages (mid int, text text, uid int)")
+    conn.executemany(
+        "INSERT INTO messages VALUES (?, ?, ?)",
+        [(1, 'lorem ipsum', 3), (2, 'hi there', 2)],
+    )
+
+    cursor = conn.execute("SELECT PROVENANCE text FROM messages WHERE uid = ?", (3,))
+    for row in cursor:                       # cursors iterate
+        print(row)
+    print([name for name, *_ in cursor.description])
+
+    # Prepared statements pay the parse/analyze/rewrite/optimize/plan
+    # pipeline once; each execute() only pays execution.
+    stmt = conn.prepare("SELECT PROVENANCE text FROM messages WHERE uid = ?")
+    for uid in (1, 2, 3):
+        print(stmt.execute((uid,)).rows)
+
+Repeated ``conn.execute`` of the same SQL text hits an LRU plan cache
+(``conn.plan_cache.stats()``), so hot parameterized queries skip straight
+to the execute stage. The pre-1.x ``PermDB`` session remains available as
+a deprecated shim whose ``execute()`` returns the result relation
+directly.
 
 The package layers match the paper's Figure 3 architecture: SQL frontend
 (:mod:`repro.sql`), analyzer with view unfolding (:mod:`repro.analyzer`),
 the provenance rewriter — the paper's contribution — (:mod:`repro.core`),
 logical optimizer (:mod:`repro.optimizer`), planner and executor
-(:mod:`repro.planner`, :mod:`repro.executor`), plus the Perm browser
+(:mod:`repro.planner`, :mod:`repro.executor`), the explicit pipeline and
+DB-API front end (:mod:`repro.engine`), plus the Perm browser
 (:mod:`repro.browser`) and example workloads (:mod:`repro.workloads`).
 """
 
 from .core.context import RewriteOptions
 from .core.eager import materialize_provenance, stored_provenance_attrs
 from .core.external import attach_external_provenance, detach_external_provenance
-from .engine.session import PermDB, connect
+from .engine import (
+    Connection,
+    Cursor,
+    PermDB,
+    Pipeline,
+    PipelineCounters,
+    PlanCache,
+    PreparedPlan,
+    PreparedStatement,
+    connect,
+)
 from .errors import (
     AnalyzeError,
     CatalogError,
     ExecutionError,
+    IntegrityError,
+    NotSupportedError,
     ParseError,
     PermError,
+    PermWarning,
     PlanError,
+    ProgrammingError,
     RewriteError,
     TypeCheckError,
 )
 from .storage.table import Relation
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
+
+# ---------------------------------------------------------------------------
+# DB-API 2.0 (PEP 249) module-level attributes
+# ---------------------------------------------------------------------------
+apilevel = "2.0"
+# Threads may share the module, but not connections (the engine keeps
+# per-connection mutable state: catalog, plan cache, parameter context).
+threadsafety = 1
+# Positional placeholders are "?"; named ":name" placeholders are also
+# accepted (PEP 249 allows supporting several styles).
+paramstyle = "qmark"
+
+# PEP 249 exception aliases layered onto the native hierarchy.
+Warning = PermWarning  # noqa: A001 - name required by PEP 249
+Error = PermError
+DatabaseError = PermError
+InterfaceError = ProgrammingError
+DataError = ExecutionError
+OperationalError = ExecutionError
+InternalError = PlanError
 
 __all__ = [
-    "PermDB",
     "connect",
+    "Connection",
+    "Cursor",
+    "PreparedStatement",
+    "PreparedPlan",
+    "Pipeline",
+    "PipelineCounters",
+    "PlanCache",
+    "PermDB",
     "Relation",
     "RewriteOptions",
     "materialize_provenance",
     "stored_provenance_attrs",
     "attach_external_provenance",
     "detach_external_provenance",
+    "apilevel",
+    "threadsafety",
+    "paramstyle",
     "PermError",
     "ParseError",
     "AnalyzeError",
@@ -61,4 +127,14 @@ __all__ = [
     "RewriteError",
     "PlanError",
     "ExecutionError",
+    "ProgrammingError",
+    "NotSupportedError",
+    "IntegrityError",
+    "Warning",
+    "Error",
+    "DatabaseError",
+    "InterfaceError",
+    "DataError",
+    "OperationalError",
+    "InternalError",
 ]

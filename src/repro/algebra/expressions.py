@@ -71,6 +71,21 @@ class Const(Expr):
 
 
 @dataclass(frozen=True)
+class Param(Expr):
+    """A bind-parameter slot, filled in at execution time.
+
+    The slot's value lives in the :class:`~repro.executor.expr_eval.ParamContext`
+    shared by every compiled expression of one plan, so a prepared plan
+    can be re-executed with fresh values without recompilation."""
+
+    index: int
+    name: Optional[str] = None
+
+    def __str__(self) -> str:  # pragma: no cover
+        return f":{self.name}" if self.name is not None else f"${self.index + 1}"
+
+
+@dataclass(frozen=True)
 class BinOp(Expr):
     """Binary operation: arithmetic, comparison, AND/OR, LIKE, ``||``."""
 
@@ -412,6 +427,11 @@ def infer_type(expr: Expr, schema: Schema, outer_schemas: tuple[Schema, ...] = (
         return SQLType.NULL
     if isinstance(expr, Const):
         return expr.type
+    if isinstance(expr, Param):
+        # A parameter's type is unknown until bind time; NULL unifies
+        # with anything (the analyzer records expected types separately,
+        # see repro.analyzer.params).
+        return SQLType.NULL
     if isinstance(expr, BinOp):
         lt = infer_type(expr.left, schema, outer_schemas)
         rt = infer_type(expr.right, schema, outer_schemas)

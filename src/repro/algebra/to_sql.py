@@ -27,6 +27,7 @@ from .expressions import (
     InListExpr,
     IsNullTest,
     OuterColumn,
+    Param,
     SubqueryExpr,
     UnOp,
 )
@@ -69,6 +70,9 @@ def expr_to_sql(expr: Expr) -> str:
         if expr.value is None and expr.type is not SQLType.NULL:
             return f"CAST(NULL AS {_TYPE_NAMES[expr.type]})"
         return _literal(expr.value)
+    if isinstance(expr, Param):
+        # Re-parseable placeholder syntax (named slots keep their name).
+        return f":{expr.name}" if expr.name is not None else "?"
     if isinstance(expr, BinOp):
         op = expr.op.upper() if expr.op in ("and", "or", "like", "ilike") else expr.op
         return f"({expr_to_sql(expr.left)} {op} {expr_to_sql(expr.right)})"

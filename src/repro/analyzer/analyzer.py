@@ -643,6 +643,8 @@ class Analyzer:
 
         if isinstance(expr, ast.Literal):
             return ax.Const.of(expr.value)
+        if isinstance(expr, ast.Parameter):
+            return ax.Param(expr.index, expr.name)
         if isinstance(expr, ast.ColumnRef):
             if len(expr.parts) > 2:
                 raise AnalyzeError(

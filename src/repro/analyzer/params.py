@@ -1,0 +1,111 @@
+"""Parameter typing: expected SQL types for bind-parameter slots.
+
+A placeholder has no type of its own (``infer_type`` reports NULL, which
+unifies with anything), but its *context* usually pins one down: in
+``WHERE a > ?`` the slot must be comparable to ``a``. This module walks a
+resolved algebra tree after analysis and records, per parameter slot, the
+static type of the expression it is compared with / combined with. The
+prepared-statement front end (:mod:`repro.engine.prepared`) checks bound
+values against these expectations so a type mismatch fails at bind time
+with a clear error instead of deep inside the executor.
+
+The inference is deliberately best-effort: slots used only in opaque
+contexts stay untyped and accept any value.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..algebra import expressions as ax
+from ..algebra import nodes as an
+from ..algebra.tree import walk_tree
+from ..catalog.schema import Schema
+from ..datatypes import SQLType
+from ..errors import PermError
+
+_COMPARABLE_OPS = frozenset({"=", "<>", "<", ">", "<=", ">=", "+", "-", "*", "/", "%"})
+
+_EMPTY = Schema(())
+
+
+def infer_param_types(
+    root: an.Node, outer_schemas: tuple[Schema, ...] = ()
+) -> dict[int, SQLType]:
+    """Map parameter slot index -> expected :class:`SQLType`.
+
+    Only slots whose expected type can be pinned down appear in the
+    result. When a slot is used in several contexts, the first one
+    encountered wins (the contexts agree in any well-typed query).
+    """
+    found: dict[int, SQLType] = {}
+    _walk_plan(root, outer_schemas, found)
+    return found
+
+
+def _input_schema(node: an.Node) -> Schema:
+    """Schema the node's expressions are resolved against."""
+    if isinstance(node, an.Join):
+        return node.schema  # concatenation of both inputs
+    if isinstance(node, an.Limit):
+        return _EMPTY  # LIMIT/OFFSET expressions reference no columns
+    children = node.children
+    return children[0].schema if children else node.schema
+
+
+def _walk_plan(
+    root: an.Node, outer: tuple[Schema, ...], found: dict[int, SQLType]
+) -> None:
+    for node in walk_tree(root):
+        schema = _input_schema(node)
+        for expr in node.expressions():
+            for sub in ax.walk_expr(expr):
+                _match(sub, schema, outer, found)
+                if isinstance(sub, ax.SubqueryExpr):
+                    _walk_plan(sub.plan, (schema, *outer), found)
+
+
+def _match(
+    expr: ax.Expr, schema: Schema, outer: tuple[Schema, ...], found: dict[int, SQLType]
+) -> None:
+    if isinstance(expr, ax.BinOp) and expr.op in _COMPARABLE_OPS:
+        _pair(expr.left, expr.right, schema, outer, found)
+    elif isinstance(expr, ax.DistinctTest):
+        _pair(expr.left, expr.right, schema, outer, found)
+    elif isinstance(expr, ax.InListExpr):
+        for item in expr.items:
+            _pair(expr.operand, item, schema, outer, found)
+    elif isinstance(expr, ax.SubqueryExpr) and expr.kind in ("in", "quant"):
+        if isinstance(expr.operand, ax.Param):
+            _record(found, expr.operand, expr.plan.schema[0].type)
+
+
+def _pair(
+    a: ax.Expr,
+    b: ax.Expr,
+    schema: Schema,
+    outer: tuple[Schema, ...],
+    found: dict[int, SQLType],
+) -> None:
+    """One side a parameter, the other a typed expression -> record it."""
+    if isinstance(a, ax.Param) == isinstance(b, ax.Param):
+        return  # neither (nothing to do) or both (mutually untypable)
+    param, other = (a, b) if isinstance(a, ax.Param) else (b, a)
+    _record(found, param, _static_type(other, schema, outer))
+
+
+def _static_type(
+    expr: ax.Expr, schema: Schema, outer: tuple[Schema, ...]
+) -> Optional[SQLType]:
+    try:
+        inferred = ax.infer_type(expr, schema, outer)
+    except PermError:
+        return None
+    return None if inferred is SQLType.NULL else inferred
+
+
+def _record(
+    found: dict[int, SQLType], param: ax.Param, type_: Optional[SQLType]
+) -> None:
+    if type_ is not None and param.index not in found:
+        found[param.index] = type_

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 from ..algebra.render import render_side_by_side, render_tree
 from ..algebra.to_sql import algebra_to_sql
-from ..engine.session import PermDB
+from ..engine.connection import Connection
 from ..storage.table import Relation
 
 
@@ -59,9 +59,12 @@ class BrowserView:
 
 
 class PermBrowser:
-    """Interactive inspection of the provenance rewrite process."""
+    """Interactive inspection of the provenance rewrite process.
 
-    def __init__(self, db: PermDB):
+    Accepts any :class:`~repro.engine.connection.Connection` (including
+    the deprecated ``PermDB`` shim)."""
+
+    def __init__(self, db: Connection):
         self.db = db
 
     # -- the demo's interactive controls --------------------------------

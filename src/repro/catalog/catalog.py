@@ -60,11 +60,19 @@ class ViewEntry:
 
 
 class Catalog:
-    """Name -> relation mapping with case-insensitive lookup."""
+    """Name -> relation mapping with case-insensitive lookup.
+
+    ``version`` increments on every schema-level change (create/drop of a
+    relation, provenance registration). Row-level DML does not bump it —
+    plans scan heap tables in place, so cached plans stay valid across
+    inserts and deletes but not across schema changes. The engine's plan
+    cache keys on this counter (:mod:`repro.engine.pipeline`).
+    """
 
     def __init__(self) -> None:
         self._tables: dict[str, TableEntry] = {}
         self._views: dict[str, ViewEntry] = {}
+        self.version = 0
 
     # -- tables ---------------------------------------------------------
     def create_table(
@@ -81,6 +89,7 @@ class Catalog:
             raise CatalogError(f"relation {name!r} already exists")
         entry = TableEntry(name=name, table=HeapTable(name, schema), provenance_attrs=provenance_attrs)
         self._tables[key] = entry
+        self.version += 1
         return entry
 
     def drop_table(self, name: str, if_exists: bool = False) -> bool:
@@ -90,6 +99,7 @@ class Catalog:
                 return False
             raise CatalogError(f"table {name!r} does not exist")
         del self._tables[key]
+        self.version += 1
         return True
 
     def table(self, name: str) -> TableEntry:
@@ -121,6 +131,7 @@ class Catalog:
             raise CatalogError(f"view {name!r} already exists")
         entry = ViewEntry(name=name, query=query, sql=sql, provenance_attrs=provenance_attrs)
         self._views[key] = entry
+        self.version += 1
         return entry
 
     def drop_view(self, name: str, if_exists: bool = False) -> bool:
@@ -130,6 +141,7 @@ class Catalog:
                 return False
             raise CatalogError(f"view {name!r} does not exist")
         del self._views[key]
+        self.version += 1
         return True
 
     def view(self, name: str) -> ViewEntry:
@@ -163,6 +175,7 @@ class Catalog:
             self._views[key].provenance_attrs = attrs
         else:
             raise CatalogError(f"relation {name!r} does not exist")
+        self.version += 1
 
     def provenance_attrs(self, name: str) -> tuple[str, ...]:
         key = name.lower()

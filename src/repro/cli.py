@@ -1,6 +1,6 @@
 """Interactive SQL shell: ``python -m repro``.
 
-A psql-style front end to a PermDB session — the closest equivalent of
+A psql-style front end to a Perm connection — the closest equivalent of
 sitting at the demo booth. Supports everything the engine supports
 (including SQL-PLE) plus backslash commands:
 
@@ -24,7 +24,7 @@ import sys
 from typing import Iterable, Optional, TextIO
 
 from .browser import PermBrowser
-from .engine.session import PermDB
+from .engine.connection import Connection
 from .errors import PermError
 
 _PROMPT = "perm> "
@@ -32,10 +32,10 @@ _CONTINUATION = "  ... "
 
 
 class Shell:
-    """A scriptable REPL around one PermDB session."""
+    """A scriptable REPL around one Perm connection."""
 
-    def __init__(self, db: Optional[PermDB] = None, out: Optional[TextIO] = None):
-        self.db = db or PermDB()
+    def __init__(self, db: Optional[Connection] = None, out: Optional[TextIO] = None):
+        self.db = db or Connection()
         # Resolved lazily so pytest's capture (and late stream swaps) work.
         self.out = out if out is not None else sys.stdout
         self.timing = False
@@ -70,7 +70,7 @@ class Shell:
                 self._print(profile.result.format(max_rows=50))
                 self._print(profile.summary())
             else:
-                result = self.db.execute(sql)
+                result = self.db.run(sql)
                 self._print(result.format(max_rows=50))
         except PermError as exc:
             self._print(f"ERROR: {exc}")

@@ -24,11 +24,11 @@ from typing import TYPE_CHECKING
 from ..errors import RewriteError
 
 if TYPE_CHECKING:  # pragma: no cover
-    from ..engine.session import PermDB
+    from ..engine.connection import Connection
     from ..storage.table import Relation
 
 
-def materialize_provenance(db: "PermDB", name: str, provenance_sql: str) -> "Relation":
+def materialize_provenance(db: "Connection", name: str, provenance_sql: str) -> "Relation":
     """Store the result of *provenance_sql* as table *name* and register
     its provenance columns for later reuse.
 
@@ -36,7 +36,7 @@ def materialize_provenance(db: "PermDB", name: str, provenance_sql: str) -> "Rel
     as an explicit API so applications can manage eager provenance
     programmatically.
     """
-    result = db.execute(provenance_sql)
+    result = db.run(provenance_sql)
     if not result.provenance_attrs:
         raise RewriteError(
             "materialize_provenance() expects a SELECT PROVENANCE query "
@@ -46,6 +46,6 @@ def materialize_provenance(db: "PermDB", name: str, provenance_sql: str) -> "Rel
     return result
 
 
-def stored_provenance_attrs(db: "PermDB", name: str) -> tuple[str, ...]:
+def stored_provenance_attrs(db: "Connection", name: str) -> tuple[str, ...]:
     """The registered provenance columns of a stored relation."""
     return db.catalog.provenance_attrs(name)

@@ -24,10 +24,10 @@ from typing import TYPE_CHECKING, Sequence
 from ..errors import CatalogError
 
 if TYPE_CHECKING:  # pragma: no cover
-    from ..engine.session import PermDB
+    from ..engine.connection import Connection
 
 
-def attach_external_provenance(db: "PermDB", relation: str, attrs: Sequence[str]) -> None:
+def attach_external_provenance(db: "Connection", relation: str, attrs: Sequence[str]) -> None:
     """Register *attrs* of *relation* as provenance columns.
 
     Validates that every attribute exists. Subsequent provenance queries
@@ -51,6 +51,6 @@ def attach_external_provenance(db: "PermDB", relation: str, attrs: Sequence[str]
     catalog.register_provenance_attrs(relation, tuple(attrs))
 
 
-def detach_external_provenance(db: "PermDB", relation: str) -> None:
+def detach_external_provenance(db: "Connection", relation: str) -> None:
     """Remove any provenance registration from *relation*."""
     db.catalog.register_provenance_attrs(relation, ())

@@ -1,0 +1,530 @@
+"""The DB-API 2.0 connection: Perm's user-facing session object.
+
+``repro.connect()`` returns a :class:`Connection` that looks like a real
+database driver — cursors, ``?``/``:name`` placeholders, prepared
+statements, context-manager support — while implementing the paper's
+Figure 3 architecture underneath::
+
+    Parser & Analyzer  ->  Provenance Rewriter  ->  Planner  ->  Executor
+
+The expensive front of that pipeline runs once per query shape: query
+statements go through a :class:`~repro.engine.pipeline.PlanCache` keyed
+on their canonical SQL text, and :meth:`prepare` returns an explicit
+:class:`~repro.engine.prepared.PreparedStatement` whose ``execute`` pays
+only the execute stage. DDL/DML, eager provenance registration and
+per-stage profiling are carried over from the original ``PermDB``
+session, which remains available as a deprecated shim
+(:class:`repro.engine.session.PermDB`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..algebra import nodes as an
+from ..analyzer import Analyzer
+from ..catalog.catalog import Catalog
+from ..catalog.schema import Attribute, Schema
+from ..core.provenance import RewriteOptions
+from ..datatypes import SQLType, Value, is_true, type_from_name
+from ..errors import AnalyzeError, PermError, ProgrammingError
+from ..executor import execute_plan
+from ..executor.expr_eval import ExprCompiler
+from ..sql import ast
+from ..sql.printer import format_query, format_statement
+from ..storage.table import Relation
+from .cursor import Cursor, _status_rowcount
+from .pipeline import Pipeline, PlanCache, PreparedPlan, bind_parameters
+from .prepared import PreparedStatement
+from .result import ExecutionProfile
+
+_EXPLAIN_MODES = ("rewrite", "algebra", "plan")
+
+
+def _status(message: str) -> Relation:
+    """DDL/DML results are one-row relations, psql-style."""
+    return Relation(Schema((Attribute("status", SQLType.TEXT),)), [(message,)])
+
+
+class Connection:
+    """An in-memory Perm database session with a DB-API 2.0 surface.
+
+    >>> import repro
+    >>> conn = repro.connect()
+    >>> _ = conn.execute("CREATE TABLE r (a int, b text)")
+    >>> _ = conn.execute("INSERT INTO r VALUES (?, ?)", (1, 'x'))
+    >>> conn.execute("SELECT PROVENANCE a FROM r WHERE a > ?", (0,)).fetchall()
+    [(1, 1, 'x')]
+    """
+
+    def __init__(
+        self,
+        options: Optional[RewriteOptions] = None,
+        plan_cache_size: int = 128,
+    ):
+        self.catalog = Catalog()
+        self.options = options or RewriteOptions()
+        self.pipeline = Pipeline(self.catalog, self.options)
+        self.plan_cache = PlanCache(plan_cache_size)
+        self._closed = False
+
+    # Component access (kept for existing callers of the PermDB-era API).
+    @property
+    def rewriter(self):
+        return self.pipeline.rewriter
+
+    @property
+    def optimizer(self):
+        return self.pipeline.optimizer
+
+    @property
+    def planner(self):
+        return self.pipeline.planner
+
+    @property
+    def counters(self):
+        """Pipeline stage counters (see :class:`PipelineCounters`)."""
+        return self.pipeline.counters
+
+    # ------------------------------------------------------------------
+    # DB-API 2.0 surface
+    # ------------------------------------------------------------------
+    def cursor(self) -> Cursor:
+        self._check_open()
+        return Cursor(self)
+
+    def execute(self, sql: str, params: object = None) -> Cursor:
+        """Create a cursor, execute *sql* on it and return it
+        (sqlite3-style shortcut)."""
+        return self.cursor().execute(sql, params)
+
+    def executemany(self, sql: str, seq_of_params: Iterable[object]) -> Cursor:
+        return self.cursor().executemany(sql, seq_of_params)
+
+    def prepare(self, sql: str) -> PreparedStatement:
+        """Pay the parse/analyze/rewrite/optimize/plan stages now; the
+        returned statement's ``execute(params)`` only pays execution."""
+        self._check_open()
+        statements = self.pipeline.parse(sql)
+        if len(statements) != 1:
+            raise ProgrammingError("prepare() expects exactly one statement")
+        statement = statements[0]
+        if not isinstance(statement, ast.QueryStatement):
+            raise ProgrammingError(
+                "prepare() supports queries only; run DDL/DML through execute()"
+            )
+        return PreparedStatement(self, self._prepared_for(statement, sql))
+
+    def commit(self) -> None:
+        """No-op: the in-memory engine auto-commits (PEP 249 surface)."""
+        self._check_open()
+
+    def rollback(self) -> None:
+        """No-op: the in-memory engine has no transactions (PEP 249
+        surface; kept so DB-API tooling does not crash)."""
+        self._check_open()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        self._closed = True
+        self.plan_cache.clear()
+
+    def __enter__(self) -> "Connection":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ProgrammingError("connection is closed")
+
+    # ------------------------------------------------------------------
+    # Engine-level execution (returns Relations, used by the shim, the
+    # shell, the browser and the library helpers)
+    # ------------------------------------------------------------------
+    def run(self, sql: str, params: object = None) -> Relation:
+        """Execute one or more ``;``-separated statements; returns the
+        result relation of the last one. Parameters require a single
+        statement."""
+        return self._execute_sql(sql, params)[0]
+
+    def query(self, sql: str, params: object = None) -> Relation:
+        """Alias of :meth:`run` for read paths."""
+        return self.run(sql, params)
+
+    def _execute_sql(self, sql: str, params: object) -> tuple[Relation, int]:
+        self._check_open()
+        statements = self.pipeline.parse(sql)
+        if params is not None and len(statements) != 1:
+            raise ProgrammingError(
+                "parameters can only be bound to a single statement "
+                f"({len(statements)} given)"
+            )
+        relation: Optional[Relation] = None
+        rowcount = -1
+        for statement in statements:
+            relation, rowcount = self._run_statement(statement, params)
+        assert relation is not None
+        return relation, rowcount
+
+    def _execute_sql_many(
+        self, sql: str, seq_of_params: Iterable[object]
+    ) -> tuple[Optional[Relation], int]:
+        """One statement, many parameter sets (cursor ``executemany``).
+        The statement is parsed once; queries are also planned once."""
+        self._check_open()
+        statements = self.pipeline.parse(sql)
+        if len(statements) != 1:
+            raise ProgrammingError("executemany() requires a single statement")
+        statement = statements[0]
+        relation: Optional[Relation] = None
+        total = 0
+        counted = True
+        if isinstance(statement, ast.Insert) and statement.rows is not None:
+            # Bulk-INSERT fast path: analyze and compile the VALUES
+            # expressions once, rebind per parameter set.
+            specs = ast.statement_parameters(statement)
+            runner = self._prepare_insert(statement)
+            for params in seq_of_params:
+                self.pipeline.params.bind(bind_parameters(specs, params))
+                count = runner()
+                total += count
+                relation = _status(f"INSERT {count}")
+            return relation, (total if relation is not None else -1)
+        for params in seq_of_params:
+            relation, rowcount = self._run_statement(statement, params)
+            if rowcount < 0:
+                counted = False
+            else:
+                total += rowcount
+        return relation, (total if counted and relation is not None else -1)
+
+    def _run_statement(
+        self, statement: ast.Statement, params: object
+    ) -> tuple[Relation, int]:
+        if isinstance(statement, ast.QueryStatement):
+            prepared = self._prepared_for(statement)
+            values = bind_parameters(
+                prepared.param_specs, params, prepared.param_types
+            )
+            relation = prepared.execute(values)
+            return relation, len(relation)
+        if isinstance(statement, ast.Explain):
+            # EXPLAIN never executes the inner statement, so its
+            # placeholders need no values (but accept them if given).
+            if params is not None:
+                bind_parameters(ast.statement_parameters(statement), params)
+            return self._execute_explain(statement), -1
+        values = bind_parameters(ast.statement_parameters(statement), params)
+        self.pipeline.params.bind(values)
+        relation = self._execute_statement(statement)
+        return relation, _status_rowcount(relation)
+
+    def _prepared_for(
+        self, statement: ast.QueryStatement, sql: str = ""
+    ) -> PreparedPlan:
+        """Fetch a plan from the cache or run the pipeline for it.
+
+        The key is the statement's *canonical* SQL (deparse of the parsed
+        AST, whitespace- and case-normalized by construction) plus the
+        catalog version and the rewrite-option fingerprint — so schema
+        changes and browser strategy toggles never serve a stale plan.
+        """
+        canonical = format_statement(statement)
+        key = (canonical, self.catalog.version, repr(self.options))
+        plan = self.plan_cache.get(key)
+        if plan is None:
+            plan = self.pipeline.prepare(statement, sql or canonical)
+            plan.release_intermediates()
+            self.plan_cache.put(key, plan)
+        return plan
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def explain(self, sql: str, mode: str = "plan") -> str:
+        """The Perm-browser inspection surface as text.
+
+        ``mode`` (case-insensitive): ``"rewrite"`` — the rewritten query
+        as SQL (Figure 4, marker 2); ``"algebra"`` — original and
+        rewritten algebra trees side by side (markers 3 and 4);
+        ``"plan"`` — the optimized logical plan handed to the planner.
+        """
+        from ..algebra.render import render_side_by_side, render_tree
+        from ..algebra.to_sql import algebra_to_sql
+
+        mode = mode.lower()
+        if mode not in _EXPLAIN_MODES:
+            raise PermError(
+                f"unknown EXPLAIN mode {mode!r} "
+                f"(valid modes: {', '.join(_EXPLAIN_MODES)})"
+            )
+        profile = self.profile(sql, execute=False)
+        assert profile.analyzed is not None and profile.rewritten is not None
+        if mode == "rewrite":
+            return algebra_to_sql(profile.rewritten)
+        if mode == "algebra":
+            return render_side_by_side(
+                render_tree(profile.analyzed),
+                render_tree(profile.rewritten),
+                headers=("original query", "rewritten query"),
+            )
+        assert profile.optimized is not None
+        return render_tree(profile.optimized)
+
+    def profile(
+        self, sql: str, execute: bool = True, params: object = None
+    ) -> ExecutionProfile:
+        """Run the pipeline stage by stage, recording artifacts and
+        wall-clock timings (the Figure 3 breakdown)."""
+        self._check_open()
+        return self.pipeline.profile(sql, execute=execute, params=params)
+
+    # ------------------------------------------------------------------
+    # Helpers for the library API
+    # ------------------------------------------------------------------
+    def load_rows(self, table: str, rows: Sequence[Sequence[Value]]) -> int:
+        """Bulk-insert Python rows into *table* (used by workload
+        generators; bypasses SQL parsing)."""
+        entry = self.catalog.table(table)
+        return entry.table.insert_many(rows)
+
+    def create_table_from_relation(self, name: str, relation: Relation) -> None:
+        """Materialize a result as a stored table, carrying over its
+        provenance-column registration (eager provenance)."""
+        entry = self.catalog.create_table(
+            name,
+            Schema(Attribute(a.name, a.type) for a in relation.schema),
+            provenance_attrs=tuple(relation.provenance_attrs),
+        )
+        entry.table.insert_many(relation.rows)
+
+    def analyze_relation_schema(self, name: str) -> Schema:
+        """Output schema of a table or (analyzed, marker-expanded) view."""
+        if self.catalog.has_table(name):
+            return self.catalog.table(name).schema
+        view = self.catalog.view(name)
+        analyzer = self._analyzer()
+        node = analyzer.analyze_query(view.query)
+        node = self.rewriter.expand(node).node
+        return node.schema
+
+    def run_query_node(self, node: an.Node, provenance_attrs: Sequence[str] = ()) -> Relation:
+        """Optimize, plan and execute an already-analyzed algebra tree."""
+        optimized = self.optimizer.optimize(node)
+        physical = self.planner.plan(optimized)
+        return execute_plan(physical, provenance_attrs)
+
+    # ------------------------------------------------------------------
+    # Statement dispatch
+    # ------------------------------------------------------------------
+    def _analyzer(self) -> Analyzer:
+        return self.pipeline.analyzer()
+
+    def _execute_statement(self, statement: ast.Statement) -> Relation:
+        # QueryStatement and Explain never reach here: _run_statement
+        # dispatches them to the cached-plan / explain paths first.
+        if isinstance(statement, ast.CreateTable):
+            return self._execute_create_table(statement)
+        if isinstance(statement, ast.CreateTableAs):
+            return self._execute_create_table_as(statement)
+        if isinstance(statement, ast.CreateView):
+            return self._execute_create_view(statement)
+        if isinstance(statement, ast.DropRelation):
+            return self._execute_drop(statement)
+        if isinstance(statement, ast.Insert):
+            return self._execute_insert(statement)
+        if isinstance(statement, ast.Delete):
+            return self._execute_delete(statement)
+        if isinstance(statement, ast.Update):
+            return self._execute_update(statement)
+        if isinstance(statement, ast.Explain):
+            return self._execute_explain(statement)
+        raise PermError(f"unsupported statement {type(statement).__name__}")
+
+    def _execute_query(self, query: ast.QueryExpr) -> Relation:
+        """Run an embedded query (CTAS source, INSERT ... SELECT) through
+        the cached pipeline.
+
+        Does NOT rebind the parameter context: any placeholders inside
+        the query belong to the enclosing statement, whose slots were
+        bound by :meth:`_run_statement` for this execution epoch.
+        """
+        prepared = self._prepared_for(ast.QueryStatement(query))
+        self.pipeline.counters.execute += 1
+        return execute_plan(prepared.physical, prepared.provenance_attrs)
+
+    def _execute_create_table(self, statement: ast.CreateTable) -> Relation:
+        schema = Schema(
+            Attribute(column.name, type_from_name(column.type_name))
+            for column in statement.columns
+        )
+        self.catalog.create_table(statement.name, schema, statement.if_not_exists)
+        return _status("CREATE TABLE")
+
+    def _execute_create_table_as(self, statement: ast.CreateTableAs) -> Relation:
+        if statement.if_not_exists and self.catalog.has_relation(statement.name):
+            return _status("CREATE TABLE (exists, skipped)")
+        result = self._execute_query(statement.query)
+        self.create_table_from_relation(statement.name, result)
+        return _status(f"CREATE TABLE ({len(result)} rows)")
+
+    def _execute_create_view(self, statement: ast.CreateView) -> Relation:
+        if ast.statement_parameters(statement):
+            raise ProgrammingError(
+                "views cannot contain parameter placeholders"
+            )
+        # Validate (and compute the provenance registration) eagerly.
+        analyzer = self._analyzer()
+        node = analyzer.analyze_query(statement.query)
+        expanded = self.rewriter.expand(node)
+        if statement.or_replace and self.catalog.has_view(statement.name):
+            self.catalog.drop_view(statement.name)
+        self.catalog.create_view(
+            statement.name,
+            statement.query,
+            format_query(statement.query),
+            provenance_attrs=expanded.provenance_names,
+        )
+        return _status("CREATE VIEW")
+
+    def _execute_drop(self, statement: ast.DropRelation) -> Relation:
+        if statement.kind == "table":
+            dropped = self.catalog.drop_table(statement.name, statement.if_exists)
+        else:
+            dropped = self.catalog.drop_view(statement.name, statement.if_exists)
+        return _status(f"DROP {statement.kind.upper()}" + ("" if dropped else " (skipped)"))
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+    def _execute_insert(self, statement: ast.Insert) -> Relation:
+        return _status(f"INSERT {self._prepare_insert(statement)()}")
+
+    def _prepare_insert(self, statement: ast.Insert) -> Callable[[], int]:
+        """Resolve and compile an INSERT once; the returned runner
+        evaluates it against the currently bound parameters. This is what
+        lets ``executemany`` pay analysis/compilation once per statement
+        instead of once per parameter set."""
+        entry = self.catalog.table(statement.table)
+        schema = entry.schema
+        if statement.columns is not None:
+            positions = [schema.index_of(c) for c in statement.columns]
+        else:
+            positions = list(range(len(schema)))
+
+        def widen(values: Sequence[Value]) -> list[Value]:
+            if len(values) != len(positions):
+                raise AnalyzeError(
+                    f"INSERT expects {len(positions)} values, got {len(values)}"
+                )
+            row: list[Value] = [None] * len(schema)
+            for position, value in zip(positions, values):
+                row[position] = value
+            return row
+
+        if statement.rows is not None:
+            analyzer = self._analyzer()
+            compiler = ExprCompiler(
+                Schema(()),
+                plan_compiler=self._dml_plan_compiler(),
+                params=self.pipeline.params,
+            )
+            compiled_rows = [
+                [
+                    compiler.compile(
+                        analyzer.resolve_scalar(e, Schema(()), statement.table)
+                    )
+                    for e in value_exprs
+                ]
+                for value_exprs in statement.rows
+            ]
+
+            def run_values() -> int:
+                count = 0
+                for compiled in compiled_rows:
+                    entry.table.insert(widen([fn((), ()) for fn in compiled]))
+                    count += 1
+                return count
+
+            return run_values
+
+        assert statement.query is not None
+
+        def run_query() -> int:
+            result = self._execute_query(statement.query)
+            count = 0
+            for row in result.rows:
+                entry.table.insert(widen(row))
+                count += 1
+            return count
+
+        return run_query
+
+    def _predicate(self, entry, where: Optional[ast.Expression]) -> Callable:
+        if where is None:
+            return lambda row: True
+        analyzer = self._analyzer()
+        resolved = analyzer.resolve_scalar(where, entry.schema, entry.name)
+        compiled = ExprCompiler(
+            entry.schema,
+            plan_compiler=self._dml_plan_compiler(),
+            params=self.pipeline.params,
+        ).compile(resolved)
+        return lambda row: is_true(compiled(row, ()))
+
+    def _dml_plan_compiler(self):
+        planner = self.planner
+
+        def compile_plan(plan_node: an.Node, outer_schemas):
+            physical = planner.plan(plan_node, outer_schemas)
+            return lambda env: list(physical.rows(env))
+
+        return compile_plan
+
+    def _execute_delete(self, statement: ast.Delete) -> Relation:
+        entry = self.catalog.table(statement.table)
+        removed = entry.table.delete_where(self._predicate(entry, statement.where))
+        return _status(f"DELETE {removed}")
+
+    def _execute_update(self, statement: ast.Update) -> Relation:
+        entry = self.catalog.table(statement.table)
+        analyzer = self._analyzer()
+        compiler = ExprCompiler(
+            entry.schema,
+            plan_compiler=self._dml_plan_compiler(),
+            params=self.pipeline.params,
+        )
+        assignments: list[tuple[int, Callable]] = []
+        for column, expression in statement.assignments:
+            position = entry.schema.index_of(column)
+            resolved = analyzer.resolve_scalar(expression, entry.schema, entry.name)
+            assignments.append((position, compiler.compile(resolved)))
+
+        def updater(row):
+            new_row = list(row)
+            for position, compiled in assignments:
+                new_row[position] = compiled(row, ())
+            return new_row
+
+        changed = entry.table.update_where(self._predicate(entry, statement.where), updater)
+        return _status(f"UPDATE {changed}")
+
+    def _execute_explain(self, statement: ast.Explain) -> Relation:
+        if not isinstance(statement.statement, ast.QueryStatement):
+            raise PermError("EXPLAIN supports queries only")
+        text = self.explain(format_statement(statement.statement), statement.mode)
+        rows = [(line,) for line in text.splitlines()]
+        return Relation(Schema((Attribute("plan", SQLType.TEXT),)), rows)
+
+
+def connect(
+    options: Optional[RewriteOptions] = None, plan_cache_size: int = 128
+) -> Connection:
+    """Open a new in-memory Perm session (DB-API module-level constructor)."""
+    return Connection(options, plan_cache_size=plan_cache_size)

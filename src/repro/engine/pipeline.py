@@ -1,0 +1,397 @@
+"""The query pipeline as an explicit, reusable object.
+
+The paper's Figure 3 stage sequence::
+
+    Parser & Analyzer  ->  Provenance Rewriter  ->  Planner  ->  Executor
+
+used to live inline in ``PermDB.execute``/``PermDB.profile``, which meant
+every call re-parsed, re-analyzed, re-rewrote, re-optimized and
+re-planned its SQL. :class:`Pipeline` makes the stages first-class:
+``prepare()`` runs everything up to (and including) physical planning
+once and returns a :class:`PreparedPlan` that can be executed any number
+of times with fresh parameter bindings — only the execute stage is paid
+per call. :class:`PlanCache` (an LRU keyed on the statement's canonical
+SQL, the catalog version and the rewrite options) sits in front of
+``prepare()`` so repeated ``cursor.execute`` of the same query text skips
+straight to execution.
+
+:class:`PipelineCounters` counts stage invocations, which is how tests
+and benchmarks assert that the hot path really skips the front of the
+pipeline.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping, Optional, Sequence
+
+from ..analyzer import Analyzer, infer_param_types
+from ..catalog.catalog import Catalog
+from ..core.provenance import ProvenanceRewriter, RewriteOptions
+from ..datatypes import SQLType, Value, type_of_value
+from ..errors import ParseError, PermError, ProgrammingError, TypeCheckError
+from ..executor import ParamContext, execute_plan
+from ..executor.iterators import PhysicalOp
+from ..optimizer import Optimizer
+from ..planner import Planner
+from ..sql import ast, parse_sql
+from ..storage.table import Relation
+from .result import ExecutionProfile, StageTiming
+
+if False:  # pragma: no cover - typing only
+    from ..algebra.nodes import Node
+
+
+EMPTY_STATEMENT_MESSAGE = (
+    "empty statement: the input contains no SQL (only whitespace or comments)"
+)
+
+
+@dataclass
+class PipelineCounters:
+    """How often each pipeline stage has run (the Figure 3 boxes).
+
+    ``execute`` counts plan executions; the others count front-of-pipeline
+    work. A well-behaved hot path shows ``execute`` racing ahead while the
+    rest stand still.
+    """
+
+    parse: int = 0
+    analyze: int = 0
+    rewrite: int = 0
+    optimize: int = 0
+    plan: int = 0
+    execute: int = 0
+
+    def snapshot(self) -> "PipelineCounters":
+        return PipelineCounters(
+            self.parse, self.analyze, self.rewrite, self.optimize, self.plan, self.execute
+        )
+
+    def prepared_since(self, before: "PipelineCounters") -> int:
+        """Front-of-pipeline (analyze) runs since *before*."""
+        return self.analyze - before.analyze
+
+    def executed_since(self, before: "PipelineCounters") -> int:
+        return self.execute - before.execute
+
+
+@dataclass
+class PreparedPlan:
+    """Everything ``prepare()`` produced for one query statement.
+
+    The physical plan's expressions are compiled against the pipeline's
+    shared :class:`ParamContext`; :meth:`execute` binds slot-ordered
+    parameter values into that context and runs only the execute stage.
+    """
+
+    sql: str
+    statement: ast.QueryStatement
+    # Intermediate artifacts; present on freshly prepared plans (profile
+    # and explain read them) but dropped before a plan enters the cache —
+    # provenance-rewritten trees are much larger than the query, and
+    # execution needs only the physical plan.
+    analyzed: Optional["Node"]
+    rewritten: Optional["Node"]
+    optimized: Optional["Node"]
+    physical: PhysicalOp
+    provenance_attrs: tuple[str, ...]
+    param_specs: tuple[Optional[str], ...]  # slot order; None = positional
+    param_types: dict[int, SQLType]
+    # Catalog version the plan was built against; a mismatch means some
+    # DDL ran since and the plan may scan dropped storage (prepared
+    # statements re-prepare, the cache simply never matches).
+    catalog_version: int = -1
+    timings: list[StageTiming] = field(default_factory=list)
+    _pipeline: "Pipeline" = None  # type: ignore[assignment]
+
+    @property
+    def schema(self):
+        return self.physical.schema
+
+    @property
+    def parameter_count(self) -> int:
+        return len(self.param_specs)
+
+    def release_intermediates(self) -> None:
+        """Drop the logical-tree artifacts, keeping only what repeated
+        execution needs (called when the plan enters the cache)."""
+        self.analyzed = None
+        self.rewritten = None
+        self.optimized = None
+        self.timings = []
+
+    def execute(self, values: Sequence[Value] = ()) -> Relation:
+        """Run the execute stage with *values* bound to the parameter
+        slots (already in slot order — see :func:`bind_parameters`)."""
+        self._pipeline.counters.execute += 1
+        return execute_plan(
+            self.physical, self.provenance_attrs, values, context=self._pipeline.params
+        )
+
+
+class PlanCache:
+    """A small LRU of :class:`PreparedPlan` objects.
+
+    Keys carry the catalog version and rewrite-option fingerprint, so DDL
+    or strategy toggles simply stop matching old entries (which then age
+    out) — no explicit invalidation hooks needed.
+    """
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 0:
+            raise ValueError("plan cache capacity must be >= 0")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Hashable, PreparedPlan]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Optional[PreparedPlan]:
+        plan = self._entries.get(key)
+        if plan is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return plan
+
+    def put(self, key: Hashable, plan: PreparedPlan) -> None:
+        if self.capacity == 0:
+            return
+        self._entries[key] = plan
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._entries),
+            "capacity": self.capacity,
+        }
+
+
+class Pipeline:
+    """The parse -> analyze -> provenance-rewrite -> optimize -> plan
+    stage sequence, bound to one catalog and one set of rewrite options."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        options: RewriteOptions,
+        params: Optional[ParamContext] = None,
+    ):
+        self.catalog = catalog
+        self.options = options
+        self.params = params if params is not None else ParamContext()
+        self.rewriter = ProvenanceRewriter(catalog, options)
+        self.optimizer = Optimizer(catalog)
+        self.planner = Planner(catalog, params=self.params)
+        self.counters = PipelineCounters()
+
+    # ------------------------------------------------------------------
+    def analyzer(self) -> Analyzer:
+        analyzer = Analyzer(self.catalog)
+        analyzer.provenance_expander = lambda node: self.rewriter.expand(node).node
+        return analyzer
+
+    def parse(self, sql: str) -> list[ast.Statement]:
+        """Parse *sql* into statements; empty/comment-only input raises a
+        :class:`ParseError` that says so."""
+        self.counters.parse += 1
+        statements = parse_sql(sql)
+        if not statements:
+            raise ParseError(EMPTY_STATEMENT_MESSAGE)
+        return statements
+
+    # ------------------------------------------------------------------
+    def prepare(self, statement: ast.QueryStatement, sql: str = "") -> PreparedPlan:
+        """Run every stage except execute, recording per-stage timings."""
+        timings: list[StageTiming] = []
+
+        start = time.perf_counter()
+        analyzed = self.analyzer().analyze_query(statement.query)
+        timings.append(StageTiming("analyze", time.perf_counter() - start))
+        self.counters.analyze += 1
+
+        start = time.perf_counter()
+        expanded = self.rewriter.expand(analyzed)
+        timings.append(StageTiming("provenance rewrite", time.perf_counter() - start))
+        self.counters.rewrite += 1
+
+        start = time.perf_counter()
+        optimized = self.optimizer.optimize(expanded.node)
+        timings.append(StageTiming("optimize", time.perf_counter() - start))
+        self.counters.optimize += 1
+
+        start = time.perf_counter()
+        physical = self.planner.plan(optimized)
+        timings.append(StageTiming("plan", time.perf_counter() - start))
+        self.counters.plan += 1
+
+        return PreparedPlan(
+            sql=sql,
+            statement=statement,
+            analyzed=analyzed,
+            rewritten=expanded.node,
+            optimized=optimized,
+            physical=physical,
+            provenance_attrs=expanded.provenance_names,
+            param_specs=ast.statement_parameters(statement),
+            param_types=infer_param_types(analyzed),
+            catalog_version=self.catalog.version,
+            timings=timings,
+            _pipeline=self,
+        )
+
+    # ------------------------------------------------------------------
+    def profile(
+        self,
+        sql: str,
+        execute: bool = True,
+        params: object = None,
+    ) -> ExecutionProfile:
+        """Run the pipeline stage by stage, recording artifacts and
+        wall-clock timings (the Figure 3 breakdown)."""
+        profile = ExecutionProfile(sql=sql)
+
+        start = time.perf_counter()
+        statements = self.parse(sql)
+        parse_seconds = time.perf_counter() - start
+        if len(statements) != 1:
+            raise PermError("profile() expects exactly one statement")
+        statement = statements[0]
+        if not isinstance(statement, ast.QueryStatement):
+            raise PermError("profile() expects a query")
+        profile.statement = statement
+        profile.timings.append(StageTiming("parse", parse_seconds))
+
+        prepared = self.prepare(statement, sql)
+        profile.analyzed = prepared.analyzed
+        profile.rewritten = prepared.rewritten
+        profile.optimized = prepared.optimized
+        profile.physical = prepared.physical
+        profile.provenance_attrs = prepared.provenance_attrs
+        profile.timings.extend(prepared.timings)
+
+        if execute:
+            values = bind_parameters(
+                prepared.param_specs, params, prepared.param_types
+            )
+            start = time.perf_counter()
+            profile.result = prepared.execute(values)
+            profile.timings.append(StageTiming("execute", time.perf_counter() - start))
+        return profile
+
+
+# ---------------------------------------------------------------------------
+# Parameter binding
+# ---------------------------------------------------------------------------
+
+# Bound values whose Python type is compatible with each expected SQLType.
+# Numeric slots accept both int and float — the engine's comparison and
+# arithmetic semantics mix them freely, so `a > 1.5` and `a > ?` with 1.5
+# must both work against an int column.
+_COMPATIBLE: dict[SQLType, tuple[type, ...]] = {
+    SQLType.INT: (int, float),
+    SQLType.FLOAT: (int, float),
+    SQLType.TEXT: (str,),
+    SQLType.BOOL: (bool,),
+}
+
+
+def bind_parameters(
+    specs: tuple[Optional[str], ...],
+    params: object,
+    param_types: Mapping[int, SQLType] = {},
+) -> tuple[Value, ...]:
+    """Order user-supplied *params* into slot order and type-check them.
+
+    *specs* comes from the parser (:func:`repro.sql.ast.statement_parameters`):
+    one entry per slot, the placeholder name or ``None`` for positional
+    ``?``. Positional statements take a sequence, named statements take a
+    mapping; mismatched counts, missing or unknown names, and values that
+    contradict the analyzer's expected types all raise eagerly, before
+    any execution starts.
+    """
+    if not specs:
+        if params:
+            raise ProgrammingError(
+                f"statement takes no parameters ({_describe_params(params)} given)"
+            )
+        return ()
+
+    named = any(name is not None for name in specs)
+    if params is None:
+        raise ProgrammingError(
+            f"statement expects {len(specs)} parameter(s), none given"
+        )
+
+    if named:
+        if not isinstance(params, Mapping):
+            raise ProgrammingError(
+                "statement uses named placeholders; pass parameters as a mapping"
+            )
+        supplied = {str(k).lower(): v for k, v in params.items()}
+        wanted = [name for name in specs if name is not None]
+        missing = [name for name in wanted if name not in supplied]
+        extra = sorted(set(supplied) - set(wanted))
+        if missing:
+            raise ProgrammingError(f"missing value for parameter(s): {', '.join(missing)}")
+        if extra:
+            raise ProgrammingError(f"unknown parameter(s): {', '.join(extra)}")
+        values = tuple(supplied[name] for name in wanted)
+    else:
+        if isinstance(params, Mapping):
+            raise ProgrammingError(
+                "statement uses positional (?) placeholders; pass parameters as a sequence"
+            )
+        if isinstance(params, (str, bytes)) or not isinstance(params, Sequence):
+            raise ProgrammingError(
+                "parameters must be a sequence (tuple or list) of values"
+            )
+        if len(params) != len(specs):
+            raise ProgrammingError(
+                f"statement expects {len(specs)} parameter(s), got {len(params)}"
+            )
+        values = tuple(params)
+
+    for index, value in enumerate(values):
+        expected = param_types.get(index)
+        if expected is None or value is None:
+            continue
+        allowed = _COMPATIBLE.get(expected)
+        if allowed is None:
+            continue
+        # bool is an int subclass; only BOOL slots accept it.
+        if isinstance(value, bool) and expected is not SQLType.BOOL:
+            ok = False
+        else:
+            ok = isinstance(value, allowed)
+        if not ok:
+            label = f":{specs[index]}" if specs[index] is not None else f"${index + 1}"
+            try:
+                got = type_of_value(value).value
+            except TypeCheckError:
+                got = type(value).__name__
+            raise TypeCheckError(
+                f"parameter {label} expects {expected.value}, got {got} ({value!r})"
+            )
+    return values
+
+
+def _describe_params(params: object) -> str:
+    if isinstance(params, Mapping):
+        return f"{len(params)} named"
+    if isinstance(params, Sequence) and not isinstance(params, (str, bytes)):
+        return f"{len(params)} positional"
+    return repr(params)

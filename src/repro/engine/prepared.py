@@ -1,0 +1,84 @@
+"""User-facing prepared statements.
+
+``Connection.prepare(sql)`` pays the parse/analyze/rewrite/optimize/plan
+stages once and hands back a :class:`PreparedStatement`; each
+``.execute(params)`` afterwards binds fresh values and re-runs only the
+execute stage — the separation of *prepare* from *execute* that makes
+repeated parameterized provenance queries cheap (the Figure 3 pipeline
+cost is amortized over every execution).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from ..errors import ProgrammingError
+from ..storage.table import Relation
+from .pipeline import PreparedPlan, bind_parameters
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .connection import Connection
+
+
+class PreparedStatement:
+    """A query planned once, executable many times with new parameters."""
+
+    def __init__(self, connection: "Connection", plan: PreparedPlan):
+        self.connection = connection
+        self._plan = plan
+
+    # ------------------------------------------------------------------
+    @property
+    def sql(self) -> str:
+        return self._plan.sql
+
+    @property
+    def parameter_count(self) -> int:
+        return self._plan.parameter_count
+
+    @property
+    def parameter_names(self) -> tuple[Optional[str], ...]:
+        """Slot-ordered placeholder names (``None`` for positional ``?``)."""
+        return self._plan.param_specs
+
+    @property
+    def columns(self) -> list[str]:
+        """Output column names (known without executing)."""
+        return [attribute.name for attribute in self._plan.schema]
+
+    @property
+    def provenance_attrs(self) -> tuple[str, ...]:
+        return self._plan.provenance_attrs
+
+    # ------------------------------------------------------------------
+    def execute(self, params: object = None) -> Relation:
+        """Bind *params* and run the execute stage; returns the result
+        relation. Positional statements take a sequence, named statements
+        a mapping.
+
+        If DDL changed the catalog since the statement was prepared, the
+        plan is transparently re-prepared (through the plan cache) so it
+        never scans dropped storage; a dropped relation surfaces as the
+        usual analyze error."""
+        if self.connection.closed:
+            raise ProgrammingError("connection is closed")
+        if self._plan.catalog_version != self.connection.catalog.version:
+            self._plan = self.connection._prepared_for(
+                self._plan.statement, self._plan.sql
+            )
+        values = bind_parameters(
+            self._plan.param_specs, params, self._plan.param_types
+        )
+        return self._plan.execute(values)
+
+    def executemany(self, seq_of_params: Iterable[object]) -> Optional[Relation]:
+        """Execute once per parameter set; returns the last result."""
+        result: Optional[Relation] = None
+        for params in seq_of_params:
+            result = self.execute(params)
+        return result
+
+    __call__ = execute
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<repro.PreparedStatement {self.sql!r} ({self.parameter_count} param(s))>"

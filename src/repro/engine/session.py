@@ -1,44 +1,38 @@
-"""PermDB: the database session tying the whole pipeline together.
+"""PermDB: the original monolithic session API, kept as a deprecated shim.
 
-Implements the architecture of the paper's Figure 3::
+The session logic moved to the DB-API 2.0 front end
+(:class:`repro.engine.connection.Connection` — connections, cursors,
+``?``/``:name`` placeholders, prepared statements, a plan cache).
+:class:`PermDB` subclasses it and restores the one historical behavioral
+difference: ``execute()``/``query()`` return the result
+:class:`~repro.storage.table.Relation` directly instead of a cursor.
 
-    Parser & Analyzer  ->  Provenance Rewriter  ->  Planner  ->  Executor
-    (syntactic and         (provenance               (optimize and
-     semantic analysis,     rewrite)                  transform into
-     view unfolding)                                  plan; execute)
+Migration::
 
-plus DDL/DML, eager provenance registration and per-stage profiling.
+    db = PermDB()                      ->  conn = repro.connect()
+    rel = db.execute(sql)              ->  cur = conn.execute(sql, params)
+    rel.rows                           ->  cur.fetchall()
+    re-running the same query          ->  stmt = conn.prepare(sql)
+                                           stmt.execute(params)   # plan paid once
+
+Everything else (``profile``, ``explain``, ``load_rows``,
+``create_table_from_relation``, ``catalog`` access) is unchanged —
+``PermDB`` inherits it from ``Connection``.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Callable, Optional, Sequence
+import warnings
+from typing import Optional
 
-from ..algebra import nodes as an
-from ..analyzer import Analyzer
-from ..catalog.catalog import Catalog
-from ..catalog.schema import Attribute, Schema
-from ..core.provenance import ProvenanceRewriter, RewriteOptions
-from ..datatypes import SQLType, Value, is_true, type_from_name
-from ..errors import AnalyzeError, ExecutionError, PermError
-from ..executor import execute_plan
-from ..executor.expr_eval import ExprCompiler
-from ..optimizer import Optimizer
-from ..planner import Planner
-from ..sql import ast, parse_sql
-from ..sql.printer import format_query
+from ..core.provenance import RewriteOptions
 from ..storage.table import Relation
-from .result import ExecutionProfile, StageTiming
+from .connection import Connection, connect  # noqa: F401  (re-export)
 
 
-def _status(message: str) -> Relation:
-    """DDL/DML results are one-row relations, psql-style."""
-    return Relation(Schema((Attribute("status", SQLType.TEXT),)), [(message,)])
-
-
-class PermDB:
-    """An in-memory Perm database session.
+class PermDB(Connection):
+    """Deprecated alias for :class:`~repro.engine.connection.Connection`
+    with the legacy Relation-returning ``execute``.
 
     >>> db = PermDB()
     >>> _ = db.execute("CREATE TABLE r (a int, b text)")
@@ -48,303 +42,33 @@ class PermDB:
     """
 
     def __init__(self, options: Optional[RewriteOptions] = None):
-        self.catalog = Catalog()
-        self.options = options or RewriteOptions()
-        self.rewriter = ProvenanceRewriter(self.catalog, self.options)
-        self.optimizer = Optimizer(self.catalog)
-        self.planner = Planner(self.catalog)
+        warnings.warn(
+            "PermDB is deprecated; use repro.connect() and the DB-API "
+            "Connection/Cursor interface instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(options)
 
-    # ------------------------------------------------------------------
-    # Public API
-    # ------------------------------------------------------------------
-    def execute(self, sql: str) -> Relation:
+    def execute(self, sql: str, params: object = None) -> Relation:  # type: ignore[override]
         """Execute one or more ``;``-separated statements; returns the
-        result of the last one."""
-        statements = parse_sql(sql)
-        if not statements:
-            raise PermError("empty statement")
-        result: Optional[Relation] = None
-        for statement in statements:
-            result = self._execute_statement(statement)
-        assert result is not None
-        return result
+        result of the last one (legacy behavior — ``Connection.execute``
+        returns a cursor)."""
+        return self.run(sql, params)
 
-    def query(self, sql: str) -> Relation:
+    def query(self, sql: str, params: object = None) -> Relation:
         """Alias of :meth:`execute` for read paths."""
-        return self.execute(sql)
-
-    def explain(self, sql: str, mode: str = "plan") -> str:
-        """The Perm-browser inspection surface as text.
-
-        ``mode="rewrite"`` — the rewritten query as SQL (Figure 4,
-        marker 2); ``mode="algebra"`` — original and rewritten algebra
-        trees side by side (markers 3 and 4); ``mode="plan"`` — the
-        optimized logical plan that is handed to the planner.
-        """
-        from ..algebra.render import render_side_by_side, render_tree
-        from ..algebra.to_sql import algebra_to_sql
-
-        profile = self.profile(sql, execute=False)
-        assert profile.analyzed is not None and profile.rewritten is not None
-        if mode == "rewrite":
-            return algebra_to_sql(profile.rewritten)
-        if mode == "algebra":
-            return render_side_by_side(
-                render_tree(profile.analyzed),
-                render_tree(profile.rewritten),
-                headers=("original query", "rewritten query"),
-            )
-        if mode == "plan":
-            assert profile.optimized is not None
-            return render_tree(profile.optimized)
-        raise PermError(f"unknown EXPLAIN mode {mode!r} (rewrite|algebra|plan)")
-
-    def profile(self, sql: str, execute: bool = True) -> ExecutionProfile:
-        """Run the pipeline stage by stage, recording artifacts and
-        wall-clock timings (the Figure 3 breakdown)."""
-        profile = ExecutionProfile(sql=sql)
-
-        start = time.perf_counter()
-        statements = parse_sql(sql)
-        if len(statements) != 1:
-            raise PermError("profile() expects exactly one statement")
-        statement = statements[0]
-        if not isinstance(statement, ast.QueryStatement):
-            raise PermError("profile() expects a query")
-        profile.statement = statement
-        profile.timings.append(StageTiming("parse", time.perf_counter() - start))
-
-        start = time.perf_counter()
-        analyzer = self._analyzer()
-        analyzed = analyzer.analyze_query(statement.query)
-        profile.analyzed = analyzed
-        profile.timings.append(StageTiming("analyze", time.perf_counter() - start))
-
-        start = time.perf_counter()
-        expanded = self.rewriter.expand(analyzed)
-        profile.rewritten = expanded.node
-        profile.provenance_attrs = expanded.provenance_names
-        profile.timings.append(StageTiming("provenance rewrite", time.perf_counter() - start))
-
-        start = time.perf_counter()
-        optimized = self.optimizer.optimize(expanded.node)
-        profile.optimized = optimized
-        profile.timings.append(StageTiming("optimize", time.perf_counter() - start))
-
-        start = time.perf_counter()
-        physical = self.planner.plan(optimized)
-        profile.physical = physical
-        profile.timings.append(StageTiming("plan", time.perf_counter() - start))
-
-        if execute:
-            start = time.perf_counter()
-            profile.result = execute_plan(physical, expanded.provenance_names)
-            profile.timings.append(StageTiming("execute", time.perf_counter() - start))
-        return profile
-
-    # ------------------------------------------------------------------
-    # Helpers for the library API
-    # ------------------------------------------------------------------
-    def load_rows(self, table: str, rows: Sequence[Sequence[Value]]) -> int:
-        """Bulk-insert Python rows into *table* (used by workload
-        generators; bypasses SQL parsing)."""
-        entry = self.catalog.table(table)
-        return entry.table.insert_many(rows)
-
-    def create_table_from_relation(self, name: str, relation: Relation) -> None:
-        """Materialize a result as a stored table, carrying over its
-        provenance-column registration (eager provenance)."""
-        entry = self.catalog.create_table(
-            name,
-            Schema(Attribute(a.name, a.type) for a in relation.schema),
-            provenance_attrs=tuple(relation.provenance_attrs),
-        )
-        entry.table.insert_many(relation.rows)
-
-    def analyze_relation_schema(self, name: str) -> Schema:
-        """Output schema of a table or (analyzed, marker-expanded) view."""
-        if self.catalog.has_table(name):
-            return self.catalog.table(name).schema
-        view = self.catalog.view(name)
-        analyzer = self._analyzer()
-        node = analyzer.analyze_query(view.query)
-        node = self.rewriter.expand(node).node
-        return node.schema
-
-    def run_query_node(self, node: an.Node, provenance_attrs: Sequence[str] = ()) -> Relation:
-        """Optimize, plan and execute an already-analyzed algebra tree."""
-        optimized = self.optimizer.optimize(node)
-        physical = self.planner.plan(optimized)
-        return execute_plan(physical, provenance_attrs)
-
-    # ------------------------------------------------------------------
-    # Statement dispatch
-    # ------------------------------------------------------------------
-    def _analyzer(self) -> Analyzer:
-        analyzer = Analyzer(self.catalog)
-        analyzer.provenance_expander = lambda node: self.rewriter.expand(node).node
-        return analyzer
-
-    def _execute_statement(self, statement: ast.Statement) -> Relation:
-        if isinstance(statement, ast.QueryStatement):
-            return self._execute_query(statement.query)
-        if isinstance(statement, ast.CreateTable):
-            return self._execute_create_table(statement)
-        if isinstance(statement, ast.CreateTableAs):
-            return self._execute_create_table_as(statement)
-        if isinstance(statement, ast.CreateView):
-            return self._execute_create_view(statement)
-        if isinstance(statement, ast.DropRelation):
-            return self._execute_drop(statement)
-        if isinstance(statement, ast.Insert):
-            return self._execute_insert(statement)
-        if isinstance(statement, ast.Delete):
-            return self._execute_delete(statement)
-        if isinstance(statement, ast.Update):
-            return self._execute_update(statement)
-        if isinstance(statement, ast.Explain):
-            return self._execute_explain(statement)
-        raise PermError(f"unsupported statement {type(statement).__name__}")
-
-    def _execute_query(self, query: ast.QueryExpr) -> Relation:
-        analyzer = self._analyzer()
-        node = analyzer.analyze_query(query)
-        expanded = self.rewriter.expand(node)
-        return self.run_query_node(expanded.node, expanded.provenance_names)
-
-    def _execute_create_table(self, statement: ast.CreateTable) -> Relation:
-        schema = Schema(
-            Attribute(column.name, type_from_name(column.type_name))
-            for column in statement.columns
-        )
-        self.catalog.create_table(statement.name, schema, statement.if_not_exists)
-        return _status("CREATE TABLE")
-
-    def _execute_create_table_as(self, statement: ast.CreateTableAs) -> Relation:
-        if statement.if_not_exists and self.catalog.has_relation(statement.name):
-            return _status("CREATE TABLE (exists, skipped)")
-        result = self._execute_query(statement.query)
-        self.create_table_from_relation(statement.name, result)
-        return _status(f"CREATE TABLE ({len(result)} rows)")
-
-    def _execute_create_view(self, statement: ast.CreateView) -> Relation:
-        # Validate (and compute the provenance registration) eagerly.
-        analyzer = self._analyzer()
-        node = analyzer.analyze_query(statement.query)
-        expanded = self.rewriter.expand(node)
-        if statement.or_replace and self.catalog.has_view(statement.name):
-            self.catalog.drop_view(statement.name)
-        self.catalog.create_view(
-            statement.name,
-            statement.query,
-            format_query(statement.query),
-            provenance_attrs=expanded.provenance_names,
-        )
-        return _status("CREATE VIEW")
-
-    def _execute_drop(self, statement: ast.DropRelation) -> Relation:
-        if statement.kind == "table":
-            dropped = self.catalog.drop_table(statement.name, statement.if_exists)
-        else:
-            dropped = self.catalog.drop_view(statement.name, statement.if_exists)
-        return _status(f"DROP {statement.kind.upper()}" + ("" if dropped else " (skipped)"))
-
-    # ------------------------------------------------------------------
-    # DML
-    # ------------------------------------------------------------------
-    def _execute_insert(self, statement: ast.Insert) -> Relation:
-        entry = self.catalog.table(statement.table)
-        schema = entry.schema
-        if statement.columns is not None:
-            positions = [schema.index_of(c) for c in statement.columns]
-        else:
-            positions = list(range(len(schema)))
-
-        def widen(values: Sequence[Value]) -> list[Value]:
-            if len(values) != len(positions):
-                raise AnalyzeError(
-                    f"INSERT expects {len(positions)} values, got {len(values)}"
-                )
-            row: list[Value] = [None] * len(schema)
-            for position, value in zip(positions, values):
-                row[position] = value
-            return row
-
-        if statement.rows is not None:
-            analyzer = self._analyzer()
-            compiler = ExprCompiler(Schema(()), plan_compiler=self._dml_plan_compiler())
-            count = 0
-            for value_exprs in statement.rows:
-                resolved = [
-                    analyzer.resolve_scalar(e, Schema(()), statement.table)
-                    for e in value_exprs
-                ]
-                values = [compiler.compile(r)((), ()) for r in resolved]
-                entry.table.insert(widen(values))
-                count += 1
-            return _status(f"INSERT {count}")
-
-        assert statement.query is not None
-        result = self._execute_query(statement.query)
-        count = 0
-        for row in result.rows:
-            entry.table.insert(widen(row))
-            count += 1
-        return _status(f"INSERT {count}")
-
-    def _predicate(self, entry, where: Optional[ast.Expression]) -> Callable:
-        if where is None:
-            return lambda row: True
-        analyzer = self._analyzer()
-        resolved = analyzer.resolve_scalar(where, entry.schema, entry.name)
-        compiled = ExprCompiler(
-            entry.schema, plan_compiler=self._dml_plan_compiler()
-        ).compile(resolved)
-        return lambda row: is_true(compiled(row, ()))
-
-    def _dml_plan_compiler(self):
-        planner = self.planner
-
-        def compile_plan(plan_node: an.Node, outer_schemas):
-            physical = planner.plan(plan_node, outer_schemas)
-            return lambda env: list(physical.rows(env))
-
-        return compile_plan
-
-    def _execute_delete(self, statement: ast.Delete) -> Relation:
-        entry = self.catalog.table(statement.table)
-        removed = entry.table.delete_where(self._predicate(entry, statement.where))
-        return _status(f"DELETE {removed}")
-
-    def _execute_update(self, statement: ast.Update) -> Relation:
-        entry = self.catalog.table(statement.table)
-        analyzer = self._analyzer()
-        compiler = ExprCompiler(entry.schema, plan_compiler=self._dml_plan_compiler())
-        assignments: list[tuple[int, Callable]] = []
-        for column, expression in statement.assignments:
-            position = entry.schema.index_of(column)
-            resolved = analyzer.resolve_scalar(expression, entry.schema, entry.name)
-            assignments.append((position, compiler.compile(resolved)))
-
-        def updater(row):
-            new_row = list(row)
-            for position, compiled in assignments:
-                new_row[position] = compiled(row, ())
-            return new_row
-
-        changed = entry.table.update_where(self._predicate(entry, statement.where), updater)
-        return _status(f"UPDATE {changed}")
-
-    def _execute_explain(self, statement: ast.Explain) -> Relation:
-        if not isinstance(statement.statement, ast.QueryStatement):
-            raise PermError("EXPLAIN supports queries only")
-        from ..sql.printer import format_statement
-
-        text = self.explain(format_statement(statement.statement), statement.mode)
-        rows = [(line,) for line in text.splitlines()]
-        return Relation(Schema((Attribute("plan", SQLType.TEXT),)), rows)
+        return self.run(sql, params)
 
 
-def connect(options: Optional[RewriteOptions] = None) -> PermDB:
-    """Open a new in-memory Perm session (mirrors DB-API naming)."""
-    return PermDB(options)
+def legacy_session(options: Optional[RewriteOptions] = None) -> PermDB:
+    """A :class:`PermDB` without the deprecation warning.
+
+    For library-internal callers (workload builders) that must return
+    the legacy Relation-returning session for backward compatibility:
+    the deprecation is aimed at *users*, and library code warning about
+    itself would break ``-W error::DeprecationWarning`` runs.
+    """
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return PermDB(options)

@@ -57,3 +57,25 @@ class PlanError(PermError):
 class ExecutionError(PermError):
     """Raised at runtime: division by zero, scalar subquery returning more
     than one row, cast failures, and similar data-dependent errors."""
+
+
+class ProgrammingError(PermError):
+    """Raised for misuse of the DB-API front end: binding the wrong number
+    of parameters, unknown named parameters, operating on a closed
+    connection or cursor (mirrors PEP 249's ProgrammingError)."""
+
+
+class IntegrityError(PermError):
+    """Raised when a change would violate relational integrity (PEP 249's
+    IntegrityError; reserved — the engine currently enforces no
+    constraints, but DB-API clients expect the name to exist)."""
+
+
+class NotSupportedError(PermError):
+    """Raised for DB-API features this engine does not provide (PEP 249's
+    NotSupportedError)."""
+
+
+class PermWarning(Exception):
+    """Base class for important non-fatal conditions (PEP 249's Warning;
+    exposed as ``repro.Warning``)."""

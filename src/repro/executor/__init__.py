@@ -1,4 +1,4 @@
 """Executor: physical volcano-style operators and expression evaluation."""
 
 from .executor import execute_plan  # noqa: F401
-from .expr_eval import CompiledExpr, ExprCompiler  # noqa: F401
+from .expr_eval import CompiledExpr, ExprCompiler, ParamContext  # noqa: F401

@@ -2,13 +2,20 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
+from ..datatypes import Value
 from ..storage.table import Relation
+from .expr_eval import ParamContext
 from .iterators import PhysicalOp
 
 
-def execute_plan(plan: PhysicalOp, provenance_attrs: Sequence[str] = ()) -> Relation:
+def execute_plan(
+    plan: PhysicalOp,
+    provenance_attrs: Sequence[str] = (),
+    params: Sequence[Value] = (),
+    context: Optional[ParamContext] = None,
+) -> Relation:
     """Execute *plan* to completion and wrap the rows in a
     :class:`~repro.storage.table.Relation`.
 
@@ -16,6 +23,13 @@ def execute_plan(plan: PhysicalOp, provenance_attrs: Sequence[str] = ()) -> Rela
     (set by the engine when the query went through the provenance
     rewriter), so clients can split original from provenance attributes
     the way Figure 2 of the paper presents them.
+
+    ``context`` is the :class:`ParamContext` the plan's expressions were
+    compiled against; when given, *params* is bound into it (starting a
+    fresh execution epoch) before any row is produced. Plans without
+    placeholders may omit both.
     """
+    if context is not None:
+        context.bind(params)
     rows = list(plan.rows(()))
     return Relation(plan.schema, rows, provenance_attrs)

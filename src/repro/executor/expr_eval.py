@@ -45,6 +45,31 @@ Env = tuple[Frame, ...]
 # A compiled expression: (row, env) -> value.
 CompiledExpr = Callable[[Row, Env], Value]
 
+
+class ParamContext:
+    """Per-execution binding environment shared by every compiled
+    expression of one plan.
+
+    Compiled :class:`~repro.algebra.expressions.Param` references read
+    their value from here at evaluation time, which is what lets a
+    prepared physical plan be re-executed with fresh parameter values and
+    no recompilation. ``epoch`` increments on every :meth:`bind`; the
+    uncorrelated-subquery result cache is keyed on it so cached rows never
+    leak across executions (they could be stale after DML, or wrong for a
+    subquery that mentions a parameter).
+    """
+
+    __slots__ = ("values", "epoch")
+
+    def __init__(self) -> None:
+        self.values: tuple[Value, ...] = ()
+        self.epoch = 0
+
+    def bind(self, values: Sequence[Value] = ()) -> None:
+        """Install the values for one execution and start a new epoch."""
+        self.values = tuple(values)
+        self.epoch += 1
+
 _COMPARATORS: dict[str, Callable[[Value, Value], Optional[bool]]] = {
     "=": eq,
     "<>": ne,
@@ -91,11 +116,13 @@ class ExprCompiler:
         schema: Schema,
         outer_schemas: Sequence[Schema] = (),
         plan_compiler: Optional[Callable[..., Callable[[Env], list[Row]]]] = None,
+        params: Optional[ParamContext] = None,
     ):
         self.schema = schema
         self.positions = _schema_map(schema)
         self.outer_schemas = tuple(outer_schemas)
         self.plan_compiler = plan_compiler
+        self.params = params if params is not None else ParamContext()
 
     # ------------------------------------------------------------------
     def compile(self, expr: ax.Expr) -> CompiledExpr:
@@ -128,6 +155,21 @@ class ExprCompiler:
         if isinstance(expr, ax.Const):
             value = expr.value
             return lambda row, env: value
+
+        if isinstance(expr, ax.Param):
+            context = self.params
+            index = expr.index
+            label = f":{expr.name}" if expr.name is not None else f"${expr.index + 1}"
+
+            def read_param(row: Row, env: Env) -> Value:
+                if index >= len(context.values):
+                    raise ExecutionError(
+                        f"parameter {label} has no bound value "
+                        f"({len(context.values)} bound)"
+                    )
+                return context.values[index]
+
+            return read_param
 
         if isinstance(expr, ax.BinOp):
             return self._compile_binop(expr)
@@ -256,15 +298,20 @@ class ExprCompiler:
         run_plan = self.plan_compiler(expr.plan, (self.schema, *self.outer_schemas))
         correlated = ax.plan_is_correlated(expr.plan)
         my_positions = self.positions
-        cache: dict[str, list[Row]] = {}
+        context = self.params
+        # Uncorrelated subplans run once *per execution epoch*: re-binding
+        # parameters (or any fresh execution of a cached plan) starts a
+        # new epoch, so stale rows are never reused.
+        cache: dict[str, object] = {}
 
         def rows_for(row: Row, env: Env) -> list[Row]:
-            if not correlated and "rows" in cache:
-                return cache["rows"]
+            if not correlated and cache.get("epoch") == context.epoch:
+                return cache["rows"]  # type: ignore[return-value]
             inner_env: Env = ((my_positions, row), *env)
             result = run_plan(inner_env)
             if not correlated:
                 cache["rows"] = result
+                cache["epoch"] = context.epoch
             return result
 
         kind = expr.kind

@@ -42,6 +42,20 @@ class Literal(Expression):
 
 
 @dataclass
+class Parameter(Expression):
+    """A bind-parameter placeholder: positional ``?`` or named ``:name``.
+
+    ``index`` is the 0-based slot in the enclosing statement's parameter
+    order (assigned by the parser; repeated ``:name`` occurrences share
+    one slot). Values are supplied at execution time through the DB-API
+    front end (:meth:`repro.Connection.execute` / prepared statements).
+    """
+
+    index: int
+    name: Optional[str] = None
+
+
+@dataclass
 class ColumnRef(Expression):
     """A possibly qualified column reference such as ``v1.mId``.
 
@@ -345,3 +359,13 @@ class Explain(Statement):
 
     mode: L["rewrite", "algebra", "plan"]
     statement: Statement
+
+
+def statement_parameters(statement: Statement) -> tuple[Optional[str], ...]:
+    """Parameter slots of a parsed statement, in slot order.
+
+    Each entry is the placeholder's name (for ``:name`` style) or ``None``
+    (for positional ``?``). The parser attaches this to every top-level
+    statement it produces; statements built by hand have no parameters.
+    """
+    return getattr(statement, "parameters", ())

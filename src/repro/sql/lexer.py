@@ -7,6 +7,9 @@ recognized case-insensitively; the SQL-PLE keywords of the paper
 ``COPY``) are ordinary keywords here so the parser can treat them
 contextually — plain SQL queries that use them as identifiers still parse
 when quoted.
+
+Parameter placeholders — positional ``?`` and named ``:name`` — lex as
+PARAM tokens (``::`` remains the cast operator).
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ class TokenKind(enum.Enum):
     NUMBER = "number"
     STRING = "string"
     OPERATOR = "operator"
+    PARAM = "param"
     EOF = "eof"
 
 
@@ -130,6 +134,16 @@ class Lexer:
             return self._lex_number(line, col)
         if ch.isalpha() or ch == "_":
             return self._lex_word(line, col)
+        if ch == "?":
+            self._advance()
+            return Token(TokenKind.PARAM, "?", line, col)
+        if ch == ":" and (self._peek(1).isalpha() or self._peek(1) == "_"):
+            # Named placeholder :name ("::" casts are handled below).
+            self._advance()
+            start = self._pos
+            while self._pos < len(self._text) and (self._peek().isalnum() or self._peek() == "_"):
+                self._advance()
+            return Token(TokenKind.PARAM, ":" + self._text[start:self._pos], line, col)
         for op in _OPERATORS:
             if self._text.startswith(op, self._pos):
                 self._advance(len(op))

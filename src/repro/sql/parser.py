@@ -11,6 +11,8 @@ Grammar highlights (see :mod:`repro.sql.ast` for node semantics):
 * subqueries in FROM and in expressions (scalar, EXISTS, IN, ANY/ALL);
 * DDL/DML: CREATE TABLE (AS), CREATE [OR REPLACE] VIEW, DROP, INSERT,
   DELETE, UPDATE, EXPLAIN;
+* bind parameters: positional ``?`` and named ``:name`` placeholders,
+  numbered per statement (see :func:`repro.sql.ast.statement_parameters`);
 * SQL-PLE (paper §2.4): ``SELECT PROVENANCE [ON CONTRIBUTION (...)]``,
   ``BASERELATION`` and ``PROVENANCE (attrs)`` modifiers on FROM items.
 """
@@ -43,6 +45,12 @@ class Parser:
     def __init__(self, text: str):
         self._tokens = tokenize(text)
         self._index = 0
+        # Parameter registry for the statement currently being parsed:
+        # slot-ordered placeholder names (None = positional "?"). Repeated
+        # :name placeholders share a slot; ? and :name must not be mixed.
+        self._param_names: list[Optional[str]] = []
+        self._param_style: Optional[str] = None
+        self._statement_depth = 0
 
     # ------------------------------------------------------------------
     # Token helpers
@@ -117,6 +125,22 @@ class Parser:
                 )
 
     def parse_statement(self) -> ast.Statement:
+        # Each top-level statement numbers its placeholders from zero
+        # (EXPLAIN recurses into parse_statement; the inner statement
+        # shares the outer registry).
+        if self._statement_depth == 0:
+            self._param_names = []
+            self._param_style = None
+        self._statement_depth += 1
+        try:
+            statement = self._parse_statement_inner()
+        finally:
+            self._statement_depth -= 1
+        if self._statement_depth == 0:
+            statement.parameters = tuple(self._param_names)  # type: ignore[attr-defined]
+        return statement
+
+    def _parse_statement_inner(self) -> ast.Statement:
         if self._at_keyword("SELECT") or self._at_operator("("):
             return ast.QueryStatement(self.parse_query_expr())
         if self._at_keyword("CREATE"):
@@ -596,6 +620,10 @@ class Parser:
         self._expect_operator("=")
         return column, self.parse_expression()
 
+    _STATEMENT_STARTERS = frozenset(
+        ("SELECT", "CREATE", "DROP", "INSERT", "DELETE", "UPDATE", "EXPLAIN")
+    )
+
     def _parse_explain(self) -> ast.Statement:
         self._expect_keyword("EXPLAIN")
         mode = "plan"
@@ -605,6 +633,18 @@ class Parser:
             mode = "algebra"
         elif self._accept_keyword("PLAN"):
             mode = "plan"
+        else:
+            token = self._peek()
+            starts_statement = self._at_operator("(") or (
+                token.kind is TokenKind.KEYWORD and token.upper in self._STATEMENT_STARTERS
+            )
+            if not starts_statement:
+                raise ParseError(
+                    f"unknown EXPLAIN mode {token.text!r} "
+                    "(valid modes: REWRITE, ALGEBRA, PLAN)",
+                    token.line,
+                    token.column,
+                )
         statement = self.parse_statement()
         return ast.Explain(mode=mode, statement=statement)  # type: ignore[arg-type]
 
@@ -737,6 +777,9 @@ class Parser:
 
     def _parse_atom(self) -> ast.Expression:
         token = self._peek()
+        if token.kind is TokenKind.PARAM:
+            self._advance()
+            return self._make_parameter(token)
         if token.kind is TokenKind.NUMBER:
             self._advance()
             text = token.text
@@ -787,6 +830,27 @@ class Parser:
         if token.kind in (TokenKind.IDENT, TokenKind.KEYWORD):
             return self._parse_name_or_call()
         raise ParseError(f"unexpected token {token.text!r} in expression", token.line, token.column)
+
+    def _make_parameter(self, token: Token) -> ast.Parameter:
+        style = "named" if token.text.startswith(":") else "positional"
+        if self._param_style is None:
+            self._param_style = style
+        elif self._param_style != style:
+            raise ParseError(
+                "cannot mix positional (?) and named (:name) placeholders "
+                "in one statement",
+                token.line,
+                token.column,
+            )
+        if style == "positional":
+            index = len(self._param_names)
+            self._param_names.append(None)
+            return ast.Parameter(index=index)
+        name = token.text[1:].lower()
+        if name in self._param_names:
+            return ast.Parameter(index=self._param_names.index(name), name=name)
+        self._param_names.append(name)
+        return ast.Parameter(index=len(self._param_names) - 1, name=name)
 
     def _parse_case(self) -> ast.Expression:
         operand: Optional[ast.Expression] = None

@@ -37,6 +37,8 @@ def format_expression(node: ast.Expression) -> str:
     where precedence could be ambiguous)."""
     if isinstance(node, ast.Literal):
         return _literal(node.value)
+    if isinstance(node, ast.Parameter):
+        return f":{node.name}" if node.name is not None else "?"
     if isinstance(node, ast.ColumnRef):
         return ".".join(quote_identifier(p) for p in node.parts)
     if isinstance(node, ast.Star):

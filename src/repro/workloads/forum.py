@@ -9,7 +9,8 @@ in ``tests/core/test_paper_figures.py``.
 
 from __future__ import annotations
 
-from ..engine.session import PermDB
+from ..engine.connection import Connection
+from ..engine.session import legacy_session
 
 # The example queries of Figure 1 (q2 is the CREATE VIEW below).
 Q1 = "SELECT mId, text FROM messages UNION SELECT mId, text FROM imports"
@@ -40,9 +41,9 @@ SQLPLE_QUERYING_PROVENANCE = (
 SQLPLE_BASERELATION = "SELECT PROVENANCE text FROM v1 BASERELATION"
 
 
-def create_forum_db(db: PermDB | None = None) -> PermDB:
+def create_forum_db(db: Connection | None = None) -> Connection:
     """Create the Figure 1 database (tables, rows and the view v1)."""
-    db = db or PermDB()
+    db = db or legacy_session()
     db.execute(
         """
         CREATE TABLE messages (mId int, text text, uId int);
@@ -76,9 +77,9 @@ def scaled_forum_db(
     users: int = 100,
     imports: int = 500,
     approvals_per_message: int = 3,
-    db: PermDB | None = None,
+    db: Connection | None = None,
     seed: int = 7,
-) -> PermDB:
+) -> Connection:
     """A larger forum instance with the same schema, for benchmarks.
 
     Deterministic given *seed*; message ids are disjoint between
@@ -88,7 +89,7 @@ def scaled_forum_db(
     import random
 
     rng = random.Random(seed)
-    db = db or PermDB()
+    db = db or legacy_session()
     db.execute(
         """
         CREATE TABLE messages (mId int, text text, uId int);

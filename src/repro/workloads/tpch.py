@@ -18,7 +18,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from ..engine.session import PermDB
+from ..engine.connection import Connection
+from ..engine.session import legacy_session
 
 _REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
 _SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
@@ -48,11 +49,11 @@ class TpchConfig:
         )
 
 
-def create_tpch_db(config: TpchConfig | None = None, db: PermDB | None = None) -> PermDB:
+def create_tpch_db(config: TpchConfig | None = None, db: Connection | None = None) -> Connection:
     """Create and populate the TPC-H-like database."""
     config = config or TpchConfig()
     rng = random.Random(config.seed)
-    db = db or PermDB()
+    db = db or legacy_session()
     db.execute(
         """
         CREATE TABLE region (r_regionkey int, r_name text);

@@ -6,14 +6,15 @@ from __future__ import annotations
 import pytest
 
 from repro import PermDB
+from repro.engine.session import legacy_session
 from repro.workloads.forum import create_forum_db
 from repro.workloads.tpch import TpchConfig, create_tpch_db
 
 
 @pytest.fixture
 def db() -> PermDB:
-    """An empty session."""
-    return PermDB()
+    """An empty legacy-style session (Relation-returning execute)."""
+    return legacy_session()
 
 
 @pytest.fixture

@@ -152,7 +152,13 @@ class TestExplainAndProfile:
 
 class TestSessionBasics:
     def test_connect_helper(self):
-        assert isinstance(connect(), PermDB)
+        from repro import Connection
+
+        conn = connect()
+        assert isinstance(conn, Connection)
+        # The deprecated shim is a Connection too, so either front end
+        # works wherever the other is expected.
+        assert issubclass(PermDB, Connection)
 
     def test_multi_statement_returns_last(self, db):
         result = db.execute("CREATE TABLE t (a int); INSERT INTO t VALUES (1); SELECT a FROM t")

@@ -103,7 +103,21 @@ class TestOperators:
 
     def test_unknown_character(self):
         with pytest.raises(ParseError, match="unexpected character"):
-            tokenize("a ? b")
+            tokenize("a @ b")
+
+    def test_positional_placeholder(self):
+        tokens = tokenize("a = ?")
+        assert (tokens[2].kind, tokens[2].text) == (TokenKind.PARAM, "?")
+
+    def test_named_placeholder(self):
+        tokens = tokenize("a = :lo AND b = :hi_2")
+        params = [t.text for t in tokens if t.kind is TokenKind.PARAM]
+        assert params == [":lo", ":hi_2"]
+
+    def test_double_colon_is_still_a_cast(self):
+        tokens = tokenize("a::int")
+        assert [t.text for t in tokens[:3]] == ["a", "::", "int"]
+        assert all(t.kind is not TokenKind.PARAM for t in tokens)
 
 
 class TestCommentsAndPositions:
