@@ -28,8 +28,8 @@ SEMANTICS = {
 @pytest.mark.parametrize("label", list(SEMANTICS))
 def test_contribution_semantics(benchmark, tpch_db, label):
     sql = with_provenance(QUERY, contribution=SEMANTICS[label])
-    result = benchmark(tpch_db.execute, sql)
-    plain = tpch_db.execute(QUERY)
+    result = benchmark(tpch_db.run, sql)
+    plain = tpch_db.run(QUERY)
     width = len(plain.columns)
     assert {tuple(r[:width]) for r in result.rows} == set(plain.rows)
 
@@ -41,7 +41,7 @@ def test_semantics_density_report(tpch_db):
     rows = []
     densities = {}
     for label, contribution in SEMANTICS.items():
-        result = tpch_db.execute(with_provenance(QUERY, contribution=contribution))
+        result = tpch_db.run(with_provenance(QUERY, contribution=contribution))
         prov_positions = [result.schema.index_of(a) for a in result.provenance_attrs]
         cells = len(result) * len(prov_positions)
         non_null = sum(

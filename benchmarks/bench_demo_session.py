@@ -36,7 +36,7 @@ def test_part1_query_execution(benchmark, forum_db):
         for name, sql in FORUM_QUERIES.items():
             if name == "q2":
                 continue
-            out.append(forum_db.execute(sql))
+            out.append(forum_db.run(sql))
         return out
 
     results = benchmark(run_all)
@@ -58,7 +58,7 @@ def test_part2_rewrite_analysis(benchmark, forum_db):
 
 def test_part4_audience_queries(benchmark, forum_db):
     def run_audience():
-        return [forum_db.execute(sql) for sql in AUDIENCE_QUERIES]
+        return [forum_db.run(sql) for sql in AUDIENCE_QUERIES]
 
     results = benchmark(run_audience)
     # The NOT IN query finds the unapproved messages (mId 1 and 3).

@@ -12,7 +12,7 @@ from repro.workloads.forum import Q1, Q3
 
 
 def test_q1_union_of_messages_and_imports(benchmark, forum_db):
-    result = benchmark(forum_db.execute, Q1)
+    result = benchmark(forum_db.run, Q1)
     assert sorted(result.rows, key=repr) == [
         (1, "lorem ipsum ..."),
         (2, "hello ..."),
@@ -23,11 +23,11 @@ def test_q1_union_of_messages_and_imports(benchmark, forum_db):
 
 
 def test_q2_view_is_queryable(benchmark, forum_db):
-    result = benchmark(forum_db.execute, "SELECT mId, text FROM v1")
+    result = benchmark(forum_db.run, "SELECT mId, text FROM v1")
     assert len(result) == 4
 
 
 def test_q3_approval_counts(benchmark, forum_db):
-    result = benchmark(forum_db.execute, Q3)
+    result = benchmark(forum_db.run, Q3)
     assert sorted(result.rows) == [(1, "hello ..."), (3, "hi there ...")]
     print_table("Figure 1: q3 result", result.columns, sorted(result.rows))

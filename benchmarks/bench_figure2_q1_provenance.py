@@ -25,7 +25,7 @@ FIGURE2 = [
 
 
 def test_figure2_exact_reproduction(benchmark, forum_db):
-    result = benchmark(forum_db.execute, PROV_Q1)
+    result = benchmark(forum_db.run, PROV_Q1)
     assert result.columns == [
         "mId",
         "text",
@@ -43,7 +43,7 @@ def test_figure2_exact_reproduction(benchmark, forum_db):
 def test_figure2_under_joinback_strategy(benchmark, forum_db):
     forum_db.options.union_strategy = "joinback"
     try:
-        result = benchmark(forum_db.execute, PROV_Q1)
+        result = benchmark(forum_db.run, PROV_Q1)
         assert sorted(result.rows, key=repr) == sorted(FIGURE2, key=repr)
     finally:
         forum_db.options.union_strategy = "pad"

@@ -33,5 +33,5 @@ def test_rewritten_sql_pane_is_executable(benchmark, forum_db):
     """Pane 2 shows real SQL: executing it must reproduce the result."""
     browser = PermBrowser(forum_db)
     view = browser.run(SIMPLE)
-    rerun = benchmark(forum_db.execute, view.rewritten_sql)
+    rerun = benchmark(forum_db.run, view.rewritten_sql)
     assert sorted(rerun.rows, key=repr) == sorted(view.result.rows, key=repr)

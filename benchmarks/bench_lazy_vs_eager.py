@@ -32,7 +32,7 @@ def test_lazy_retrieval(benchmark):
     db = _fresh_db()
 
     def lazy():
-        return db.execute(
+        return db.run(
             f"SELECT * FROM ({PROV_SQL}) AS p{RETRIEVAL_FILTER}"
         )
 
@@ -43,10 +43,10 @@ def test_lazy_retrieval(benchmark):
 def test_eager_retrieval(benchmark):
     """Provenance stored once; retrievals read the materialized table."""
     db = _fresh_db()
-    db.execute(f"CREATE TABLE prov_store AS {PROV_SQL}")
+    db.run(f"CREATE TABLE prov_store AS {PROV_SQL}")
 
     def eager():
-        return db.execute(f"SELECT * FROM prov_store{RETRIEVAL_FILTER}")
+        return db.run(f"SELECT * FROM prov_store{RETRIEVAL_FILTER}")
 
     result = benchmark(eager)
     assert len(result) > 0
@@ -58,15 +58,15 @@ def test_breakeven_report():
     db = _fresh_db()
 
     start = time.perf_counter()
-    lazy_result = db.execute(f"SELECT * FROM ({PROV_SQL}) AS p{RETRIEVAL_FILTER}")
+    lazy_result = db.run(f"SELECT * FROM ({PROV_SQL}) AS p{RETRIEVAL_FILTER}")
     lazy_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
-    db.execute(f"CREATE TABLE prov_store AS {PROV_SQL}")
+    db.run(f"CREATE TABLE prov_store AS {PROV_SQL}")
     materialize_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
-    eager_result = db.execute(f"SELECT * FROM prov_store{RETRIEVAL_FILTER}")
+    eager_result = db.run(f"SELECT * FROM prov_store{RETRIEVAL_FILTER}")
     eager_seconds = time.perf_counter() - start
 
     assert sorted(eager_result.rows, key=repr) == sorted(lazy_result.rows, key=repr)

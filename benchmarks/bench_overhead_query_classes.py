@@ -41,10 +41,10 @@ def test_provenance_overhead(benchmark, tpch_db, class_name, name, sql):
     prov_sql = with_provenance(sql)
 
     start = time.perf_counter()
-    plain = tpch_db.execute(sql)
+    plain = tpch_db.run(sql)
     plain_seconds = time.perf_counter() - start
 
-    result = benchmark(tpch_db.execute, prov_sql)
+    result = benchmark(tpch_db.run, prov_sql)
 
     # Correctness alongside timing: originals preserved.
     width = len(plain.columns)
@@ -54,7 +54,7 @@ def test_provenance_overhead(benchmark, tpch_db, class_name, name, sql):
     except (AttributeError, TypeError):
         # --benchmark-disable mode: fall back to a single manual timing.
         start = time.perf_counter()
-        tpch_db.execute(prov_sql)
+        tpch_db.run(prov_sql)
         prov_seconds = time.perf_counter() - start
     _RESULTS[f"{class_name}:{name}"] = (plain_seconds, prov_seconds)
 

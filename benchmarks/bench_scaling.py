@@ -34,7 +34,7 @@ SWEEP_QUERIES = {
 def test_spj_provenance_scaling(benchmark, scale):
     db = create_tpch_db(TpchConfig().scale(scale))
     sql = with_provenance(SWEEP_QUERIES["SPJ"])
-    result = benchmark(db.execute, sql)
+    result = benchmark(db.run, sql)
     assert len(result) > 0
 
 
@@ -47,11 +47,11 @@ def test_overhead_factor_stays_bounded():
         for name, sql in SWEEP_QUERIES.items():
             start = time.perf_counter()
             for _ in range(3):
-                db.execute(sql)
+                db.run(sql)
             plain = (time.perf_counter() - start) / 3
             start = time.perf_counter()
             for _ in range(3):
-                db.execute(with_provenance(sql))
+                db.run(with_provenance(sql))
             prov = (time.perf_counter() - start) / 3
             factor = prov / plain if plain > 0 else float("inf")
             factors[name].append(factor)
@@ -65,3 +65,44 @@ def test_overhead_factor_stays_bounded():
         # Flat-ish: the largest scale's factor stays within a small
         # multiple of the smallest scale's (generous bound for noise).
         assert series[-1] < max(series[0] * 4, 12.0), (name, series)
+
+
+def test_engine_speedup_vs_scale():
+    """Row vs vectorized across data scales, provenance on and off.
+
+    The vectorized engine's advantage should hold (or grow) with data
+    size: batch execution amortizes per-tuple overhead, so more tuples
+    mean more amortization — never a regression back under the row
+    engine on these scan-heavy shapes.
+    """
+    rows = []
+    for scale in SCALES:
+        databases = {
+            engine: create_tpch_db(TpchConfig().scale(scale), engine=engine)
+            for engine in ("row", "vectorized")
+        }
+        for name, sql in SWEEP_QUERIES.items():
+            for provenance in (False, True):
+                query = with_provenance(sql) if provenance else sql
+                timings = {}
+                for engine, db in databases.items():
+                    db.run(query)  # warm the plan cache
+                    start = time.perf_counter()
+                    for _ in range(3):
+                        db.run(query)
+                    timings[engine] = (time.perf_counter() - start) / 3
+                rows.append(
+                    (
+                        f"{scale:.2f}",
+                        name,
+                        "on" if provenance else "off",
+                        f"{timings['row'] * 1000:.2f}",
+                        f"{timings['vectorized'] * 1000:.2f}",
+                        f"{timings['row'] / timings['vectorized']:.2f}x",
+                    )
+                )
+    print_table(
+        "Row vs vectorized engine vs scale",
+        ["scale", "class", "prov", "row ms", "vectorized ms", "speedup"],
+        rows,
+    )

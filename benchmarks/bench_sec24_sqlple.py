@@ -17,19 +17,19 @@ from repro.workloads.forum import (
 
 
 def test_listing1_aggregation_provenance(benchmark, forum_db):
-    result = benchmark(forum_db.execute, SQLPLE_AGGREGATION)
+    result = benchmark(forum_db.run, SQLPLE_AGGREGATION)
     assert len(result) == 4
     print_table("§2.4 listing 1", result.columns, result.sorted().rows)
 
 
 def test_listing2_querying_provenance(benchmark, forum_db):
-    result = benchmark(forum_db.execute, SQLPLE_QUERYING_PROVENANCE)
+    result = benchmark(forum_db.run, SQLPLE_QUERYING_PROVENANCE)
     assert result.rows == [("hello ...", "superForum")]
     print_table("§2.4 listing 2", result.columns, result.rows)
 
 
 def test_listing3_baserelation(benchmark, forum_db):
-    result = benchmark(forum_db.execute, SQLPLE_BASERELATION)
+    result = benchmark(forum_db.run, SQLPLE_BASERELATION)
     assert result.columns == ["text", "prov_v1_mid", "prov_v1_text"]
     assert len(result) == 4
     print_table("§2.4 listing 3", result.columns, result.sorted().rows)
@@ -39,9 +39,9 @@ def test_baserelation_vs_full_unfold(benchmark, forum_db_large):
     """BASERELATION is also a performance lever: stopping the rewrite at
     the view skips rewriting the union below it."""
     result = benchmark(
-        forum_db_large.execute, "SELECT PROVENANCE text FROM v1 BASERELATION"
+        forum_db_large.run, "SELECT PROVENANCE text FROM v1 BASERELATION"
     )
-    full = forum_db_large.execute("SELECT PROVENANCE text FROM v1")
+    full = forum_db_large.run("SELECT PROVENANCE text FROM v1")
     # Full unfolding carries base-relation witnesses (6 prov columns);
     # BASERELATION carries the view tuple (2 prov columns).
     assert len(result.provenance_attrs) == 2

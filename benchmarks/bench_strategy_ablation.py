@@ -20,25 +20,25 @@ import time
 import pytest
 from conftest import print_table
 
-from repro import PermDB, RewriteOptions
+from repro import Connection, RewriteOptions, connect
 from repro.workloads.forum import scaled_forum_db
 
 UNION_PROV = "SELECT PROVENANCE mId, text FROM messages UNION SELECT mId, text FROM imports"
 
 
-def _forum(strategy: str) -> PermDB:
+def _forum(strategy: str) -> Connection:
     return scaled_forum_db(
         messages=300,
         users=50,
         imports=150,
-        db=PermDB(RewriteOptions(union_strategy=strategy)),
+        db=connect(RewriteOptions(union_strategy=strategy)),
     )
 
 
 @pytest.mark.parametrize("strategy", ["pad", "joinback", "cost"])
 def test_union_strategy(benchmark, strategy):
     db = _forum(strategy)
-    result = benchmark(db.execute, UNION_PROV)
+    result = benchmark(db.run, UNION_PROV)
     assert len(result) == 450  # one witness row per base tuple
 
 
@@ -48,7 +48,7 @@ def test_union_cost_choice_tracks_best():
         db = _forum(strategy)
         start = time.perf_counter()
         for _ in range(3):
-            db.execute(UNION_PROV)
+            db.run(UNION_PROV)
         timings[strategy] = (time.perf_counter() - start) / 3
     rows = [(s, f"{t * 1000:.2f} ms") for s, t in timings.items()]
     print_table("Union strategy ablation", ["strategy", "mean time"], rows)
@@ -70,11 +70,11 @@ SUBLINK_PROV = (
 def test_sublink_strategy(benchmark, strategy):
     db = scaled_forum_db(
         messages=300, users=50, imports=100,
-        db=PermDB(RewriteOptions(sublink_strategy=strategy)),
+        db=connect(RewriteOptions(sublink_strategy=strategy)),
     )
-    result = benchmark(db.execute, SUBLINK_PROV)
+    result = benchmark(db.run, SUBLINK_PROV)
     names = {row[0] for row in result.rows}
-    baseline = db.execute(SUBLINK_PROV.replace("PROVENANCE ", ""))
+    baseline = db.run(SUBLINK_PROV.replace("PROVENANCE ", ""))
     assert names == {row[0] for row in baseline.rows}
     if strategy == "keep":
         # KEEP yields no witness columns from the sublink.
@@ -90,11 +90,11 @@ def test_sublink_unnesting_beats_correlated_original():
     db = scaled_forum_db(messages=600, users=120, imports=100, approvals_per_message=4)
 
     start = time.perf_counter()
-    db.execute(SUBLINK_PROV.replace("PROVENANCE ", ""))
+    db.run(SUBLINK_PROV.replace("PROVENANCE ", ""))
     original = time.perf_counter() - start
 
     start = time.perf_counter()
-    db.execute(SUBLINK_PROV)
+    db.run(SUBLINK_PROV)
     provenance = time.perf_counter() - start
 
     print_table(

@@ -12,31 +12,31 @@ from __future__ import annotations
 
 import pytest
 
-from repro import PermDB
+from repro import Connection
 from repro.workloads.forum import create_forum_db, scaled_forum_db
 from repro.workloads.tpch import TpchConfig, create_tpch_db
 
 
 @pytest.fixture(scope="session")
-def forum_db() -> PermDB:
+def forum_db() -> Connection:
     """The paper's Figure 1 database."""
     return create_forum_db()
 
 
 @pytest.fixture(scope="session")
-def forum_db_large() -> PermDB:
+def forum_db_large() -> Connection:
     """A scaled forum instance for timing-sensitive comparisons."""
     return scaled_forum_db(messages=400, users=60, imports=200, approvals_per_message=3)
 
 
 @pytest.fixture(scope="session")
-def tpch_db() -> PermDB:
+def tpch_db() -> Connection:
     """TPC-H-like database at the default benchmark scale."""
     return create_tpch_db(TpchConfig())
 
 
 @pytest.fixture(scope="session")
-def tpch_db_small() -> PermDB:
+def tpch_db_small() -> Connection:
     return create_tpch_db(TpchConfig().scale(0.25))
 
 

@@ -16,12 +16,12 @@ Run:  python examples/curated_database_debugging.py
 
 from __future__ import annotations
 
-from repro import PermDB
+from repro import Connection, connect
 
 
-def build_curated_db() -> PermDB:
-    db = PermDB()
-    db.execute(
+def build_curated_db() -> Connection:
+    db = connect()
+    db.run(
         """
         CREATE TABLE source_swiss (pid int, gene text, function text);
         CREATE TABLE source_trembl (pid int, gene text, function text);
@@ -55,7 +55,7 @@ def build_curated_db() -> PermDB:
     db.load_rows("curators", [(1, "ada", "swiss"), (2, "ben", "legacy")])
     # The curated view integrates all three sources (classic curated-DB
     # shape: a union of cleaned upstream feeds).
-    db.execute(
+    db.run(
         """
         CREATE VIEW annotations AS
             SELECT pid, gene, function FROM source_swiss
@@ -70,16 +70,16 @@ def main() -> None:
     db = build_curated_db()
 
     print("The curated annotation view:")
-    print(db.execute("SELECT * FROM annotations ORDER BY pid, function").format(), "\n")
+    print(db.run("SELECT * FROM annotations ORDER BY pid, function").format(), "\n")
 
     # A report flags genes annotated with 'unknown' function.
     print("Suspicious report rows (function = 'unknown'):")
-    report = db.execute("SELECT gene FROM annotations WHERE function = 'unknown'")
+    report = db.run("SELECT gene FROM annotations WHERE function = 'unknown'")
     print(report.format(), "\n")
 
     # Step 1: which source produced each suspicious row?
     print("Provenance of the suspicious rows — which source is to blame?")
-    prov = db.execute(
+    prov = db.run(
         "SELECT PROVENANCE gene FROM annotations WHERE function = 'unknown'"
     )
     print(prov.format(), "\n")
@@ -99,17 +99,17 @@ def main() -> None:
     # legacy feed at all? Store the provenance eagerly and analyze it
     # with ordinary SQL (the paper's "store provenance for later
     # investigation").
-    db.execute(
+    db.run(
         "CREATE TABLE annotation_prov AS SELECT PROVENANCE pid, gene, function FROM annotations"
     )
-    exposure = db.execute(
+    exposure = db.run(
         """
         SELECT count(*) AS legacy_dependent
         FROM annotation_prov
         WHERE prov_source_legacy_pid IS NOT NULL
         """
     )
-    total = db.execute("SELECT count(*) FROM annotations")
+    total = db.run("SELECT count(*) FROM annotations")
     print(
         f"curated rows depending on the legacy feed: "
         f"{exposure.rows[0][0]} of {total.rows[0][0]}"
@@ -117,7 +117,7 @@ def main() -> None:
 
     # Step 3: where-provenance — was the *function string itself* copied
     # from the legacy feed, or merely influenced by it?
-    copy_prov = db.execute(
+    copy_prov = db.run(
         "SELECT PROVENANCE ON CONTRIBUTION (COPY PARTIAL) function "
         "FROM annotations WHERE gene = 'TP53'"
     )

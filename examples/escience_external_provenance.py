@@ -19,16 +19,16 @@ Run:  python examples/escience_external_provenance.py
 
 from __future__ import annotations
 
-from repro import PermDB, attach_external_provenance
+from repro import attach_external_provenance, connect
 
 
 def main() -> None:
-    db = PermDB()
+    db = connect()
 
     # -- Stage 0: externally annotated measurements -----------------------
     # `run_id` / `machine` were written by the sequencer's own software —
     # not by Perm. We register them as this relation's provenance.
-    db.execute(
+    db.run(
         "CREATE TABLE reads (gene text, expression float, quality int, "
         "run_id text, machine text)"
     )
@@ -46,7 +46,7 @@ def main() -> None:
     attach_external_provenance(db, "reads", ["run_id", "machine"])
 
     print("Stage 1: quality filter, with the external provenance flowing through")
-    stage1 = db.execute(
+    stage1 = db.run(
         "SELECT PROVENANCE gene, expression FROM reads WHERE quality >= 30"
     )
     print(stage1.format())
@@ -54,14 +54,14 @@ def main() -> None:
 
     # Store stage 1 eagerly; the engine registers run_id/machine as the
     # stored table's provenance columns.
-    db.execute(
+    db.run(
         "CREATE TABLE clean_reads AS "
         "SELECT PROVENANCE gene, expression FROM reads WHERE quality >= 30"
     )
 
     # -- Stage 2: aggregate per gene, resuming provenance ------------------
     print("Stage 2: mean expression per gene — provenance resumes from stage 1")
-    stage2 = db.execute(
+    stage2 = db.run(
         "SELECT PROVENANCE gene, round(avg(expression), 2) AS mean_expr "
         "FROM clean_reads GROUP BY gene ORDER BY gene"
     )
@@ -71,7 +71,7 @@ def main() -> None:
     # Every aggregate row is annotated with the sequencer runs that fed
     # it; asking operational questions is plain SQL over provenance.
     print("Which genes' results depend on machine novaseq-B at all?")
-    exposed = db.execute(
+    exposed = db.run(
         "SELECT DISTINCT gene FROM ("
         "  SELECT PROVENANCE gene, avg(expression) AS m "
         "  FROM clean_reads GROUP BY gene) p "
@@ -84,7 +84,7 @@ def main() -> None:
     print("-> none: the quality filter removed every novaseq-B read.\n")
 
     print("Which runs feed the BRCA1 result?")
-    runs = db.execute(
+    runs = db.run(
         "SELECT DISTINCT run_id FROM ("
         "  SELECT PROVENANCE gene, avg(expression) AS m "
         "  FROM clean_reads GROUP BY gene) p "

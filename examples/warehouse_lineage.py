@@ -16,7 +16,7 @@ Run:  python examples/warehouse_lineage.py
 
 from __future__ import annotations
 
-from repro import PermDB
+from repro import connect
 from repro.workloads.tpch import TpchConfig, create_tpch_db
 
 
@@ -34,16 +34,16 @@ def main() -> None:
     """
 
     print("The revenue report:")
-    report = db.execute(report_sql + " ORDER BY revenue DESC")
+    report = db.run(report_sql + " ORDER BY revenue DESC")
     print(report.format(), "\n")
     suspicious = report.rows[0][0]
     print(f"analyst: segment {suspicious!r} looks too high — drill down.\n")
 
     # Provenance of the whole report: one row per contributing
     # (customer, order, lineitem) witness combination.
-    db.execute(f"CREATE TABLE report_prov AS SELECT PROVENANCE {report_sql.strip()[7:]}")
+    db.run(f"CREATE TABLE report_prov AS SELECT PROVENANCE {report_sql.strip()[7:]}")
 
-    witnesses = db.execute(
+    witnesses = db.run(
         f"""
         SELECT prov_customer_c_name, prov_orders_o_orderkey,
                prov_lineitem_l_linenumber, prov_lineitem_l_extendedprice
@@ -58,7 +58,7 @@ def main() -> None:
 
     # Lineage analytics over stored provenance: which customers dominate
     # the suspicious cell?
-    dominators = db.execute(
+    dominators = db.run(
         f"""
         SELECT prov_customer_c_name AS customer,
                count(*) AS lines,
@@ -75,8 +75,8 @@ def main() -> None:
 
     # Sanity check the lineage property: replaying the report on only the
     # witness tuples reproduces the suspicious cell exactly.
-    replay = PermDB()
-    replay.execute(
+    replay = connect()
+    replay.run(
         """
         CREATE TABLE customer (c_custkey int, c_name text, c_nationkey int,
                                c_acctbal float, c_mktsegment text);
@@ -89,15 +89,15 @@ def main() -> None:
     )
     for relation in ("customer", "orders", "lineitem"):
         prefix = f"prov_{relation}_"
-        columns = [c for c in db.execute("SELECT * FROM report_prov LIMIT 0").columns
+        columns = [c for c in db.run("SELECT * FROM report_prov LIMIT 0").columns
                    if c.startswith(prefix)]
-        fragments = db.execute(
+        fragments = db.run(
             f"SELECT DISTINCT {', '.join(columns)} FROM report_prov "
             f"WHERE c_mktsegment = '{suspicious}'"
         )
         replay.load_rows(relation, [row for row in fragments.rows
                                     if not all(v is None for v in row)])
-    replayed = replay.execute(report_sql)
+    replayed = replay.run(report_sql)
     cell = [row for row in replayed.rows if row[0] == suspicious]
     original_cell = [row for row in report.rows if row[0] == suspicious]
     print("replay on witnesses reproduces the cell:", cell == original_cell)

@@ -39,6 +39,13 @@ to the execute stage. The pre-1.x ``PermDB`` session remains available as
 a deprecated shim whose ``execute()`` returns the result relation
 directly.
 
+Two execution engines are available — ``repro.connect(engine="row")``
+(tuple-at-a-time volcano iterators, the default) and
+``engine="vectorized"`` (batch-at-a-time columnar execution, typically
+2-5x faster on scan-heavy queries). Both compile from the same physical
+plan and return identical results; ``REPRO_ENGINE`` sets the process
+default. See README.md for the benchmark table.
+
 The package layers match the paper's Figure 3 architecture: SQL frontend
 (:mod:`repro.sql`), analyzer with view unfolding (:mod:`repro.analyzer`),
 the provenance rewriter — the paper's contribution — (:mod:`repro.core`),

@@ -19,6 +19,7 @@ session, which remains available as a deprecated shim
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Iterable, Optional, Sequence
 
 from ..algebra import nodes as an
@@ -30,6 +31,7 @@ from ..datatypes import SQLType, Value, is_true, type_from_name
 from ..errors import AnalyzeError, PermError, ProgrammingError
 from ..executor import execute_plan
 from ..executor.expr_eval import ExprCompiler
+from ..planner import ENGINES
 from ..sql import ast
 from ..sql.printer import format_query, format_statement
 from ..storage.table import Relation
@@ -39,6 +41,22 @@ from .prepared import PreparedStatement
 from .result import ExecutionProfile
 
 _EXPLAIN_MODES = ("rewrite", "algebra", "plan")
+
+# Environment override for the default execution engine, so an entire
+# test/benchmark run can be flipped (the CI matrix runs the tier-1 suite
+# once per engine: REPRO_ENGINE=vectorized).
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Validate an engine choice, falling back to $REPRO_ENGINE, then "row"."""
+    chosen = engine or os.environ.get(ENGINE_ENV_VAR) or "row"
+    chosen = chosen.lower()
+    if chosen not in ENGINES:
+        raise ProgrammingError(
+            f"unknown execution engine {chosen!r} (valid engines: {', '.join(ENGINES)})"
+        )
+    return chosen
 
 
 def _status(message: str) -> Relation:
@@ -61,10 +79,12 @@ class Connection:
         self,
         options: Optional[RewriteOptions] = None,
         plan_cache_size: int = 128,
+        engine: Optional[str] = None,
     ):
         self.catalog = Catalog()
         self.options = options or RewriteOptions()
-        self.pipeline = Pipeline(self.catalog, self.options)
+        self.engine = resolve_engine(engine)
+        self.pipeline = Pipeline(self.catalog, self.options, engine=self.engine)
         self.plan_cache = PlanCache(plan_cache_size)
         self._closed = False
 
@@ -236,7 +256,7 @@ class Connection:
         changes and browser strategy toggles never serve a stale plan.
         """
         canonical = format_statement(statement)
-        key = (canonical, self.catalog.version, repr(self.options))
+        key = (canonical, self.catalog.version, repr(self.options), self.engine)
         plan = self.plan_cache.get(key)
         if plan is None:
             plan = self.pipeline.prepare(statement, sql or canonical)
@@ -317,7 +337,7 @@ class Connection:
     def run_query_node(self, node: an.Node, provenance_attrs: Sequence[str] = ()) -> Relation:
         """Optimize, plan and execute an already-analyzed algebra tree."""
         optimized = self.optimizer.optimize(node)
-        physical = self.planner.plan(optimized)
+        physical = self.planner.plan_root(optimized)
         return execute_plan(physical, provenance_attrs)
 
     # ------------------------------------------------------------------
@@ -524,7 +544,16 @@ class Connection:
 
 
 def connect(
-    options: Optional[RewriteOptions] = None, plan_cache_size: int = 128
+    options: Optional[RewriteOptions] = None,
+    plan_cache_size: int = 128,
+    engine: Optional[str] = None,
 ) -> Connection:
-    """Open a new in-memory Perm session (DB-API module-level constructor)."""
-    return Connection(options, plan_cache_size=plan_cache_size)
+    """Open a new in-memory Perm session (DB-API module-level constructor).
+
+    ``engine`` selects the execution engine: ``"row"`` (tuple-at-a-time
+    volcano iterators, the default) or ``"vectorized"`` (batch-at-a-time
+    columnar execution — same results, much faster on scan-heavy
+    workloads). Unset, it honors the ``REPRO_ENGINE`` environment
+    variable before defaulting to ``"row"``.
+    """
+    return Connection(options, plan_cache_size=plan_cache_size, engine=engine)

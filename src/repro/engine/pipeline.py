@@ -34,6 +34,7 @@ from ..datatypes import SQLType, Value, type_of_value
 from ..errors import ParseError, PermError, ProgrammingError, TypeCheckError
 from ..executor import ParamContext, execute_plan
 from ..executor.iterators import PhysicalOp
+from ..executor.vectorized import VectorOp
 from ..optimizer import Optimizer
 from ..planner import Planner
 from ..sql import ast, parse_sql
@@ -96,7 +97,7 @@ class PreparedPlan:
     analyzed: Optional["Node"]
     rewritten: Optional["Node"]
     optimized: Optional["Node"]
-    physical: PhysicalOp
+    physical: "PhysicalOp | VectorOp"
     provenance_attrs: tuple[str, ...]
     param_specs: tuple[Optional[str], ...]  # slot order; None = positional
     param_types: dict[int, SQLType]
@@ -189,13 +190,15 @@ class Pipeline:
         catalog: Catalog,
         options: RewriteOptions,
         params: Optional[ParamContext] = None,
+        engine: str = "row",
     ):
         self.catalog = catalog
         self.options = options
         self.params = params if params is not None else ParamContext()
+        self.engine = engine
         self.rewriter = ProvenanceRewriter(catalog, options)
         self.optimizer = Optimizer(catalog)
-        self.planner = Planner(catalog, params=self.params)
+        self.planner = Planner(catalog, params=self.params, engine=engine)
         self.counters = PipelineCounters()
 
     # ------------------------------------------------------------------
@@ -234,7 +237,7 @@ class Pipeline:
         self.counters.optimize += 1
 
         start = time.perf_counter()
-        physical = self.planner.plan(optimized)
+        physical = self.planner.plan_root(optimized)
         timings.append(StageTiming("plan", time.perf_counter() - start))
         self.counters.plan += 1
 

@@ -1,4 +1,13 @@
-"""Executor: physical volcano-style operators and expression evaluation."""
+"""Executor: physical operators and expression evaluation.
 
+Two execution engines share this package: the tuple-at-a-time row engine
+(:mod:`~repro.executor.iterators`) and the batch-at-a-time vectorized
+engine (:mod:`~repro.executor.vectorized`). Both are compiled by the
+planner from the same plan decisions and produce identical results.
+"""
+
+from .batch import DEFAULT_BATCH_SIZE, Batch  # noqa: F401
 from .executor import execute_plan  # noqa: F401
 from .expr_eval import CompiledExpr, ExprCompiler, ParamContext  # noqa: F401
+from .vector_expr import VectorExpr, VectorExprCompiler  # noqa: F401
+from .vectorized import VectorOp  # noqa: F401

@@ -1,0 +1,93 @@
+"""Columnar batches: the unit of work of the vectorized executor.
+
+A :class:`Batch` holds a fixed number of rows decomposed into columns
+(one plain Python list per attribute). Vectorized operators pass batches
+of ~:data:`DEFAULT_BATCH_SIZE` rows between each other and vectorized
+expressions evaluate whole columns at a time, which amortizes the
+Python-interpreter dispatch the row engine pays per tuple per operator.
+
+Zero-width batches are legal (``SELECT`` without ``FROM`` flows a
+one-row, zero-column batch through the plan), so the row count is stored
+explicitly rather than derived from the columns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from ..datatypes import Value
+
+Row = tuple[Value, ...]
+
+# Default rows per batch. Large enough to amortize per-batch overheads,
+# small enough to keep intermediate columns cache- and memory-friendly.
+DEFAULT_BATCH_SIZE = 1024
+
+
+class Batch:
+    """A chunk of rows in columnar form."""
+
+    __slots__ = ("columns", "length")
+
+    def __init__(self, columns: Sequence[list[Value]], length: int):
+        self.columns = list(columns)
+        self.length = length
+
+    def __len__(self) -> int:
+        return self.length
+
+    @staticmethod
+    def from_rows(rows: Sequence[Row], width: int) -> "Batch":
+        """Columnarize *rows* (``width`` matters when rows is empty or
+        zero-width)."""
+        if not rows:
+            return Batch([[] for _ in range(width)], 0)
+        if width == 0:
+            return Batch([], len(rows))
+        return Batch([list(column) for column in zip(*rows)], len(rows))
+
+    def rows(self) -> list[Row]:
+        """Materialize the batch back into row tuples."""
+        if not self.columns:
+            return [()] * self.length
+        return list(zip(*self.columns))
+
+    def iter_rows(self) -> Iterator[Row]:
+        if not self.columns:
+            return iter([()] * self.length)
+        return zip(*self.columns)
+
+    def take(self, indices: Sequence[int]) -> "Batch":
+        """A new batch holding the rows at *indices* (in that order)."""
+        return Batch(
+            [[column[i] for i in indices] for column in self.columns],
+            len(indices),
+        )
+
+    def slice(self, start: int, stop: int) -> "Batch":
+        start = max(start, 0)
+        stop = min(stop, self.length)
+        if stop <= start:
+            return Batch([[] for _ in self.columns], 0)
+        return Batch([column[start:stop] for column in self.columns], stop - start)
+
+    def concat_columns(self, other: "Batch") -> "Batch":
+        """Widen this batch with *other*'s columns (same length)."""
+        assert self.length == other.length
+        return Batch(self.columns + other.columns, self.length)
+
+
+def batches_from_rows(
+    rows: Sequence[Row], width: int, batch_size: int = DEFAULT_BATCH_SIZE
+) -> Iterator[Batch]:
+    """Chunk a row list into columnar batches."""
+    for start in range(0, len(rows), batch_size):
+        yield Batch.from_rows(rows[start : start + batch_size], width)
+
+
+def rows_from_batches(batches: Iterable[Batch]) -> list[Row]:
+    """Flatten a batch stream back into one row list."""
+    out: list[Row] = []
+    for batch in batches:
+        out.extend(batch.rows())
+    return out

@@ -8,10 +8,11 @@ from ..datatypes import Value
 from ..storage.table import Relation
 from .expr_eval import ParamContext
 from .iterators import PhysicalOp
+from .vectorized import VectorOp
 
 
 def execute_plan(
-    plan: PhysicalOp,
+    plan: "PhysicalOp | VectorOp",
     provenance_attrs: Sequence[str] = (),
     params: Sequence[Value] = (),
     context: Optional[ParamContext] = None,
@@ -31,5 +32,10 @@ def execute_plan(
     """
     if context is not None:
         context.bind(params)
-    rows = list(plan.rows(()))
+    if isinstance(plan, VectorOp):
+        # Batch fast path: flatten columnar chunks in bulk instead of
+        # pulling tuples one at a time through the iterator adapter.
+        rows = plan.materialize(())
+    else:
+        rows = list(plan.rows(()))
     return Relation(plan.schema, rows, provenance_attrs)

@@ -393,6 +393,26 @@ class PSort(PhysicalOp):
         return iter(data)
 
 
+def evaluate_limit_count(
+    compiled: Optional[CompiledExpr], env: Env, what: str
+) -> Optional[int]:
+    """Evaluate a LIMIT/OFFSET expression to a non-negative int (or None
+    for absent / NULL). Shared by the row and vectorized engines."""
+    if compiled is None:
+        return None
+    value = compiled((), env)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        if isinstance(value, float) and value.is_integer():
+            value = int(value)
+        else:
+            raise ExecutionError(f"{what} must be an integer, got {value!r}")
+    if value < 0:
+        raise ExecutionError(f"{what} must not be negative")
+    return value
+
+
 class PLimit(PhysicalOp):
     __slots__ = ("child", "limit", "offset")
 
@@ -404,24 +424,9 @@ class PLimit(PhysicalOp):
         self.offset = offset
         self.schema = child.schema
 
-    def _count(self, compiled: Optional[CompiledExpr], env: Env, what: str) -> Optional[int]:
-        if compiled is None:
-            return None
-        value = compiled((), env)
-        if value is None:
-            return None
-        if isinstance(value, bool) or not isinstance(value, int):
-            if isinstance(value, float) and value.is_integer():
-                value = int(value)
-            else:
-                raise ExecutionError(f"{what} must be an integer, got {value!r}")
-        if value < 0:
-            raise ExecutionError(f"{what} must not be negative")
-        return value
-
     def rows(self, env: Env) -> Iterator[Row]:
-        limit = self._count(self.limit, env, "LIMIT")
-        offset = self._count(self.offset, env, "OFFSET") or 0
+        limit = evaluate_limit_count(self.limit, env, "LIMIT")
+        offset = evaluate_limit_count(self.offset, env, "OFFSET") or 0
         emitted = 0
         for index, row in enumerate(self.child.rows(env)):
             if index < offset:

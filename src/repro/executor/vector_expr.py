@@ -1,0 +1,379 @@
+"""Column-at-a-time expression compilation for the vectorized executor.
+
+A vector expression is compiled into a callable ``(batch, env) ->
+column`` that produces one output value per batch row. The compiler
+mirrors :class:`~repro.executor.expr_eval.ExprCompiler` semantics
+exactly — it reuses the same scalar kernels (:func:`~repro.datatypes.eq`,
+:func:`~repro.datatypes.arith`, the function table, three-valued logic)
+— but applies them over whole columns, and adds native fast paths
+(plain Python operators inside a single list comprehension) where the
+statically known operand types guarantee Python and SQL agree.
+
+Expressions whose row-engine evaluation is *lazy* (CASE branches, IN
+list items, sublinks) or that reference enclosing rows are not
+vectorized: evaluating all branches eagerly could raise errors the row
+engine never would. Those subtrees fall back to the row compiler and are
+evaluated tuple-at-a-time within the batch — this is also what runs
+correlated sublinks through the row engine per-subtree.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..algebra import expressions as ax
+from ..catalog.schema import Schema
+from ..datatypes import (
+    SQLType,
+    Value,
+    arith,
+    cast_value,
+    not_distinct,
+    negate,
+    tvl_and,
+    tvl_not,
+    tvl_or,
+)
+from ..errors import ExecutionError, PlanError
+from .batch import Batch
+from .expr_eval import (
+    _COMPARATORS,
+    _FUNCTIONS,
+    _FUNCTION_ARITY,
+    _as_bool,
+    _like_to_regex,
+    Env,
+    ExprCompiler,
+)
+
+# A compiled vector expression: (batch, env) -> one value per row.
+VectorExpr = Callable[[Batch, Env], list[Value]]
+
+# Static types for which the native Python operator agrees with SQL
+# comparison/arithmetic semantics on non-NULL values.
+_NUMERIC = (SQLType.INT, SQLType.FLOAT)
+
+
+class VectorExprCompiler:
+    """Compiles resolved expressions into column-level evaluators.
+
+    ``row_compiler`` must be an :class:`ExprCompiler` over the *same*
+    schema, outer scopes and parameter context; it serves the row-wise
+    fallback path (lazy constructs, sublinks) so both evaluation modes
+    share one set of subplan/parameter mechanics.
+    """
+
+    def __init__(self, schema: Schema, row_compiler: ExprCompiler):
+        self.schema = schema
+        self.positions = {a.name.lower(): i for i, a in enumerate(schema)}
+        self.types = {a.name.lower(): a.type for a in schema}
+        self.row_compiler = row_compiler
+
+    # ------------------------------------------------------------------
+    def compile(self, expr: ax.Expr) -> VectorExpr:
+        if isinstance(expr, ax.Column):
+            try:
+                position = self.positions[expr.name.lower()]
+            except KeyError:
+                raise PlanError(
+                    f"column {expr.name!r} not in schema ({', '.join(self.schema.names)})"
+                ) from None
+            return lambda batch, env, p=position: batch.columns[p]
+
+        if isinstance(expr, ax.Const):
+            value = expr.value
+            return lambda batch, env: [value] * batch.length
+
+        if isinstance(expr, ax.Param):
+            context = self.row_compiler.params
+            index = expr.index
+            label = f":{expr.name}" if expr.name is not None else f"${expr.index + 1}"
+
+            def read_param(batch: Batch, env: Env) -> list[Value]:
+                if index >= len(context.values):
+                    raise ExecutionError(
+                        f"parameter {label} has no bound value "
+                        f"({len(context.values)} bound)"
+                    )
+                return [context.values[index]] * batch.length
+
+            return read_param
+
+        if isinstance(expr, ax.BinOp):
+            return self._compile_binop(expr)
+
+        if isinstance(expr, ax.UnOp):
+            operand = self.compile(expr.operand)
+            if expr.op == "not":
+                return lambda batch, env: [
+                    tvl_not(_as_bool(v)) for v in operand(batch, env)
+                ]
+            if expr.op == "-":
+                return lambda batch, env: [negate(v) for v in operand(batch, env)]
+            raise PlanError(f"unknown unary operator {expr.op!r}")
+
+        if isinstance(expr, ax.IsNullTest):
+            operand = self.compile(expr.operand)
+            if expr.negated:
+                return lambda batch, env: [v is not None for v in operand(batch, env)]
+            return lambda batch, env: [v is None for v in operand(batch, env)]
+
+        if isinstance(expr, ax.DistinctTest):
+            left = self.compile(expr.left)
+            right = self.compile(expr.right)
+            if expr.negated:  # IS NOT DISTINCT FROM
+                return lambda batch, env: [
+                    not_distinct(a, b)
+                    for a, b in zip(left(batch, env), right(batch, env))
+                ]
+            return lambda batch, env: [
+                not not_distinct(a, b)
+                for a, b in zip(left(batch, env), right(batch, env))
+            ]
+
+        if isinstance(expr, ax.FuncExpr):
+            return self._compile_func(expr)
+
+        if isinstance(expr, ax.CastExpr):
+            operand = self.compile(expr.operand)
+            target = expr.target
+            return lambda batch, env: [
+                cast_value(v, target) for v in operand(batch, env)
+            ]
+
+        if isinstance(expr, ax.AggExpr):
+            raise PlanError("aggregate expression outside an Aggregate operator")
+
+        # Lazily evaluated constructs (CASE, IN lists, sublinks) and
+        # correlated references: evaluate tuple-at-a-time through the
+        # row compiler so short-circuit and subplan semantics match the
+        # row engine exactly.
+        return self._fallback(expr)
+
+    # ------------------------------------------------------------------
+    def _fallback(self, expr: ax.Expr) -> VectorExpr:
+        scalar = self.row_compiler.compile(expr)
+
+        def run(batch: Batch, env: Env) -> list[Value]:
+            return [scalar(row, env) for row in batch.iter_rows()]
+
+        return run
+
+    def _static_type(self, expr: ax.Expr) -> Optional[SQLType]:
+        """Static type when cheaply and reliably known (column
+        references, typed constants, casts, numeric arithmetic over
+        those); None otherwise."""
+        if isinstance(expr, ax.Column):
+            return self.types.get(expr.name.lower())
+        if isinstance(expr, ax.Const):
+            return expr.type
+        if isinstance(expr, ax.CastExpr):
+            return expr.target
+        if isinstance(expr, ax.UnOp) and expr.op == "-":
+            operand = self._static_type(expr.operand)
+            return operand if operand in _NUMERIC else None
+        if isinstance(expr, ax.BinOp) and expr.op in ("+", "-", "*", "/", "%"):
+            left = self._static_type(expr.left)
+            right = self._static_type(expr.right)
+            if left in _NUMERIC and right in _NUMERIC:
+                if left is SQLType.INT and right is SQLType.INT:
+                    return SQLType.INT
+                return SQLType.FLOAT
+        return None
+
+    def _static_boolean(self, expr: ax.Expr) -> bool:
+        """Whether *expr* can only evaluate to True/False/None — lets
+        AND/OR skip the per-value boolean type check."""
+        if isinstance(expr, ax.BinOp):
+            if expr.op in _COMPARATORS or expr.op in ("and", "or", "like", "ilike"):
+                return True
+            return False
+        if isinstance(expr, ax.UnOp) and expr.op == "not":
+            return self._static_boolean(expr.operand)
+        if isinstance(expr, (ax.IsNullTest, ax.DistinctTest)):
+            return True
+        if isinstance(expr, ax.Const):
+            return expr.type is SQLType.BOOL
+        return False
+
+    def _native_ok(self, left: ax.Expr, right: ax.Expr) -> bool:
+        """Whether Python's operators match SQL comparison/arithmetic for
+        these operands: both statically numeric, or both text."""
+        lt, rt = self._static_type(left), self._static_type(right)
+        if lt is None or rt is None:
+            return False
+        if lt in _NUMERIC and rt in _NUMERIC:
+            return True
+        return lt is SQLType.TEXT and rt is SQLType.TEXT
+
+    # ------------------------------------------------------------------
+    def _compile_binop(self, expr: ax.BinOp) -> VectorExpr:
+        op = expr.op
+        if op == "and":
+            left, right = self.compile(expr.left), self.compile(expr.right)
+            if self._static_boolean(expr.left) and self._static_boolean(expr.right):
+                # Inline 3VL kernel: false dominates unknown.
+                return lambda batch, env: [
+                    False
+                    if (a is False or b is False)
+                    else (None if (a is None or b is None) else True)
+                    for a, b in zip(left(batch, env), right(batch, env))
+                ]
+            return lambda batch, env: [
+                tvl_and(_as_bool(a), _as_bool(b))
+                for a, b in zip(left(batch, env), right(batch, env))
+            ]
+        if op == "or":
+            left, right = self.compile(expr.left), self.compile(expr.right)
+            if self._static_boolean(expr.left) and self._static_boolean(expr.right):
+                # Inline 3VL kernel: true dominates unknown.
+                return lambda batch, env: [
+                    True
+                    if (a is True or b is True)
+                    else (None if (a is None or b is None) else False)
+                    for a, b in zip(left(batch, env), right(batch, env))
+                ]
+            return lambda batch, env: [
+                tvl_or(_as_bool(a), _as_bool(b))
+                for a, b in zip(left(batch, env), right(batch, env))
+            ]
+
+        if op in _COMPARATORS:
+            return self._compile_comparison(expr)
+
+        if op in ("+", "-", "*", "/", "%", "||"):
+            return self._compile_arith(expr)
+
+        if op in ("like", "ilike"):
+            return self._compile_like(expr)
+
+        raise PlanError(f"unknown binary operator {op!r}")
+
+    def _compile_comparison(self, expr: ax.BinOp) -> VectorExpr:
+        comparator = _COMPARATORS[expr.op]
+        native = self._native_ok(expr.left, expr.right)
+
+        # column <op> constant — the hot filter shape.
+        if native and isinstance(expr.right, ax.Const) and expr.right.value is not None:
+            operand = self.compile(expr.left)
+            constant = expr.right.value
+            table = {
+                "=": lambda col: [None if v is None else v == constant for v in col],
+                "<>": lambda col: [None if v is None else v != constant for v in col],
+                "<": lambda col: [None if v is None else v < constant for v in col],
+                "<=": lambda col: [None if v is None else v <= constant for v in col],
+                ">": lambda col: [None if v is None else v > constant for v in col],
+                ">=": lambda col: [None if v is None else v >= constant for v in col],
+            }
+            kernel = table[expr.op]
+            return lambda batch, env: kernel(operand(batch, env))
+
+        left, right = self.compile(expr.left), self.compile(expr.right)
+        if native:
+            table2 = {
+                "=": lambda a, b: None if a is None or b is None else a == b,
+                "<>": lambda a, b: None if a is None or b is None else a != b,
+                "<": lambda a, b: None if a is None or b is None else a < b,
+                "<=": lambda a, b: None if a is None or b is None else a <= b,
+                ">": lambda a, b: None if a is None or b is None else a > b,
+                ">=": lambda a, b: None if a is None or b is None else a >= b,
+            }
+            kernel2 = table2[expr.op]
+            return lambda batch, env: [
+                kernel2(a, b) for a, b in zip(left(batch, env), right(batch, env))
+            ]
+        return lambda batch, env: [
+            comparator(a, b) for a, b in zip(left(batch, env), right(batch, env))
+        ]
+
+    def _compile_arith(self, expr: ax.BinOp) -> VectorExpr:
+        op = expr.op
+        left, right = self.compile(expr.left), self.compile(expr.right)
+        # Native fast path for overflow-free operators on numerics ("/"
+        # and "%" keep the generic kernel: SQL integer-division and
+        # division-by-zero semantics differ from Python's).
+        lt, rt = self._static_type(expr.left), self._static_type(expr.right)
+        numeric = lt in _NUMERIC and rt in _NUMERIC
+        if op == "+" and numeric:
+            return lambda batch, env: [
+                None if a is None or b is None else a + b
+                for a, b in zip(left(batch, env), right(batch, env))
+            ]
+        if op == "-" and numeric:
+            return lambda batch, env: [
+                None if a is None or b is None else a - b
+                for a, b in zip(left(batch, env), right(batch, env))
+            ]
+        if op == "*" and numeric:
+            return lambda batch, env: [
+                None if a is None or b is None else a * b
+                for a, b in zip(left(batch, env), right(batch, env))
+            ]
+        return lambda batch, env: [
+            arith(op, a, b) for a, b in zip(left(batch, env), right(batch, env))
+        ]
+
+    def _compile_like(self, expr: ax.BinOp) -> VectorExpr:
+        case_insensitive = expr.op == "ilike"
+        operand = self.compile(expr.left)
+
+        if isinstance(expr.right, ax.Const) and isinstance(expr.right.value, str):
+            pattern = expr.right.value
+            regex = _like_to_regex(
+                pattern.lower() if case_insensitive else pattern
+            )
+
+            def run_const(batch: Batch, env: Env) -> list[Value]:
+                out: list[Value] = []
+                for value in operand(batch, env):
+                    if value is None:
+                        out.append(None)
+                        continue
+                    if not isinstance(value, str):
+                        raise ExecutionError("LIKE requires text operands")
+                    target = value.lower() if case_insensitive else value
+                    out.append(regex.match(target) is not None)
+                return out
+
+            return run_const
+
+        pattern_fn = self.compile(expr.right)
+
+        def run(batch: Batch, env: Env) -> list[Value]:
+            out: list[Value] = []
+            for value, pattern in zip(operand(batch, env), pattern_fn(batch, env)):
+                if value is None or pattern is None:
+                    out.append(None)
+                    continue
+                if not isinstance(value, str) or not isinstance(pattern, str):
+                    raise ExecutionError("LIKE requires text operands")
+                regex = _like_to_regex(pattern.lower() if case_insensitive else pattern)
+                target = value.lower() if case_insensitive else value
+                out.append(regex.match(target) is not None)
+            return out
+
+        return run
+
+    # ------------------------------------------------------------------
+    def _compile_func(self, expr: ax.FuncExpr) -> VectorExpr:
+        args = [self.compile(a) for a in expr.args]
+        name = expr.name
+        try:
+            impl = _FUNCTIONS[name]
+        except KeyError:
+            raise PlanError(f"unknown function {name!r}") from None
+        expected = _FUNCTION_ARITY.get(name)
+        if expected is not None and len(args) not in expected:
+            raise PlanError(f"function {name} called with {len(args)} arguments")
+
+        if not args:
+            return lambda batch, env: [impl([]) for _ in range(batch.length)]
+        if len(args) == 1:
+            arg = args[0]
+            return lambda batch, env: [impl([v]) for v in arg(batch, env)]
+
+        def run(batch: Batch, env: Env) -> list[Value]:
+            columns = [a(batch, env) for a in args]
+            return [impl(list(values)) for values in zip(*columns)]
+
+        return run

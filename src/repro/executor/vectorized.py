@@ -1,0 +1,533 @@
+"""The vectorized (batch-at-a-time) execution engine.
+
+Physical operators that process :class:`~repro.executor.batch.Batch`
+chunks of ~1024 rows instead of single tuples. The planner builds these
+from the *same* physical plan decisions as the row engine (hash vs
+nested-loop joins, hash aggregation, stable multi-key sorts), so both
+engines produce byte-identical results in identical row order — which is
+what the differential harness in ``tests/differential`` asserts.
+
+Coverage: scan, filter, project, hash join, hash aggregate, distinct,
+sort and limit run vectorized. Everything else (nested-loop joins, set
+operations) and every correlated-sublink expression falls back to the
+row engine per-subtree via :class:`VFromRows` / the row-compiler
+fallback in :mod:`~repro.executor.vector_expr` — falling back never
+changes results, only the execution style.
+
+One intentional deviation: evaluation is *strict* per batch. A query
+whose result is identical on both engines can still differ in error
+behavior when an expression error hides behind LIMIT — the row engine
+stops pulling tuples at the limit, while the vectorized engine has
+already evaluated the whole current batch (standard vectorized-engine
+semantics). The differential generator therefore only emits queries
+free of data-dependent errors.
+
+Speed comes from three places: columnarization happens in bulk
+(``zip(*rows)`` chunks), expression kernels run one list comprehension
+per column instead of a closure call per row per operator, and
+aggregates consume whole columns (``count(*)`` per batch is one
+addition). The row engine pays Python-interpreter dispatch for each of
+these per tuple.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from ..catalog.schema import Schema
+from ..datatypes import SQLType, Value, is_true, row_identity, sort_key, value_identity
+from ..storage.table import HeapTable
+from .batch import DEFAULT_BATCH_SIZE, Batch, batches_from_rows, rows_from_batches
+from .expr_eval import AggregateAccumulator, CompiledExpr, Env, Row, count_star_sentinel
+from .iterators import AggSpec, PhysicalOp, SortSpec, evaluate_limit_count
+from .vector_expr import VectorExpr
+
+Rows = list[Row]
+
+
+class VectorOp:
+    """Base class for vectorized physical operators.
+
+    ``rows(env)`` adapts the batch stream back to tuple-at-a-time pull,
+    so a vectorized plan satisfies the same executor contract as a
+    :class:`~repro.executor.iterators.PhysicalOp` tree.
+    """
+
+    __slots__ = ("schema",)
+
+    schema: Schema
+
+    def batches(self, env: Env) -> Iterator[Batch]:
+        raise NotImplementedError
+
+    def rows(self, env: Env) -> Iterator[Row]:
+        for batch in self.batches(env):
+            yield from batch.iter_rows()
+
+    def materialize(self, env: Env) -> Rows:
+        return rows_from_batches(self.batches(env))
+
+
+class VScan(VectorOp):
+    """Sequential scan: chunk + columnarize the heap in bulk."""
+
+    __slots__ = ("table", "batch_size")
+
+    def __init__(self, table: HeapTable, schema: Schema, batch_size: int = DEFAULT_BATCH_SIZE):
+        self.table = table
+        self.schema = schema
+        self.batch_size = batch_size
+
+    def batches(self, env: Env) -> Iterator[Batch]:
+        rows = self.table.rows
+        width = len(self.schema)
+        for start in range(0, len(rows), self.batch_size):
+            yield Batch.from_rows(rows[start : start + self.batch_size], width)
+
+
+class VValues(VectorOp):
+    """Materialized row source (SingleRow, cached results)."""
+
+    __slots__ = ("data", "batch_size")
+
+    def __init__(self, data: Rows, schema: Schema, batch_size: int = DEFAULT_BATCH_SIZE):
+        self.data = data
+        self.schema = schema
+        self.batch_size = batch_size
+
+    def batches(self, env: Env) -> Iterator[Batch]:
+        width = len(self.schema)
+        for start in range(0, len(self.data), self.batch_size):
+            yield Batch.from_rows(self.data[start : start + self.batch_size], width)
+
+
+class VFromRows(VectorOp):
+    """Adapter: run a row-engine subtree and re-batch its output.
+
+    Used for operators the vectorized engine does not implement natively
+    (nested-loop joins, set operations) so a single plan can mix both
+    engines per-subtree.
+    """
+
+    __slots__ = ("child", "batch_size")
+
+    def __init__(self, child: PhysicalOp, batch_size: int = DEFAULT_BATCH_SIZE):
+        self.child = child
+        self.schema = child.schema
+        self.batch_size = batch_size
+
+    def batches(self, env: Env) -> Iterator[Batch]:
+        width = len(self.schema)
+        buffer: Rows = []
+        for row in self.child.rows(env):
+            buffer.append(row)
+            if len(buffer) >= self.batch_size:
+                yield Batch.from_rows(buffer, width)
+                buffer = []
+        if buffer:
+            yield Batch.from_rows(buffer, width)
+
+
+class VProject(VectorOp):
+    __slots__ = ("child", "items")
+
+    def __init__(self, child: VectorOp, items: list[VectorExpr], schema: Schema):
+        self.child = child
+        self.items = items
+        self.schema = schema
+
+    def batches(self, env: Env) -> Iterator[Batch]:
+        items = self.items
+        for batch in self.child.batches(env):
+            yield Batch([item(batch, env) for item in items], batch.length)
+
+
+class VFilter(VectorOp):
+    __slots__ = ("child", "predicate")
+
+    def __init__(self, child: VectorOp, predicate: VectorExpr):
+        self.child = child
+        self.predicate = predicate
+        self.schema = child.schema
+
+    def batches(self, env: Env) -> Iterator[Batch]:
+        predicate = self.predicate
+        for batch in self.child.batches(env):
+            mask = predicate(batch, env)
+            selected = [i for i, passed in enumerate(mask) if passed is True]
+            if len(selected) == batch.length:
+                yield batch
+            elif selected:
+                yield batch.take(selected)
+
+
+class VHashJoin(VectorOp):
+    """Hash join with vectorized key evaluation.
+
+    Build and probe keys are computed column-at-a-time; the emit loop is
+    tuple-wise (combined rows interleave matches with outer padding) and
+    reproduces :class:`~repro.executor.iterators.PHashJoin`'s output
+    order exactly.
+    """
+
+    __slots__ = (
+        "left",
+        "right",
+        "kind",
+        "left_keys",
+        "right_keys",
+        "null_safe",
+        "residual",
+        "left_width",
+        "right_width",
+        "batch_size",
+    )
+
+    def __init__(
+        self,
+        left: VectorOp,
+        right: VectorOp,
+        kind: str,
+        left_keys: list[VectorExpr],
+        right_keys: list[VectorExpr],
+        null_safe: list[bool],
+        residual: Optional[CompiledExpr],
+        schema: Schema,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ):
+        self.left = left
+        self.right = right
+        self.kind = kind
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.null_safe = null_safe
+        self.residual = residual
+        self.left_width = len(left.schema)
+        self.right_width = len(right.schema)
+        self.schema = schema
+        self.batch_size = batch_size
+
+    def _key_column(
+        self, batch: Batch, env: Env, key_fns: list[VectorExpr]
+    ) -> list[Optional[tuple]]:
+        """One hash key (or None for a never-matching NULL key) per row."""
+        key_columns = [fn(batch, env) for fn in key_fns]
+        null_safe = self.null_safe
+        out: list[Optional[tuple]] = []
+        for values in zip(*key_columns):
+            key: list = []
+            for value, safe in zip(values, null_safe):
+                if value is None and not safe:
+                    break
+                key.append(value_identity(value))
+            else:
+                out.append(tuple(key))
+                continue
+            out.append(None)
+        return out
+
+    def batches(self, env: Env) -> Iterator[Batch]:
+        right_rows: Rows = []
+        table: dict[tuple, list[int]] = {}
+        for batch in self.right.batches(env):
+            keys = self._key_column(batch, env, self.right_keys)
+            base = len(right_rows)
+            right_rows.extend(batch.iter_rows())
+            for offset, key in enumerate(keys):
+                if key is not None:
+                    table.setdefault(key, []).append(base + offset)
+
+        right_matched = (
+            [False] * len(right_rows) if self.kind in ("right", "full") else None
+        )
+        left_pad = (None,) * self.left_width
+        right_pad = (None,) * self.right_width
+        residual = self.residual
+        pad_left = self.kind in ("left", "full")
+
+        out: Rows = []
+        for batch in self.left.batches(env):
+            keys = self._key_column(batch, env, self.left_keys)
+            for left_row, key in zip(batch.iter_rows(), keys):
+                matched = False
+                if key is not None:
+                    for index in table.get(key, ()):
+                        combined = left_row + right_rows[index]
+                        if residual is not None and not is_true(residual(combined, env)):
+                            continue
+                        matched = True
+                        if right_matched is not None:
+                            right_matched[index] = True
+                        out.append(combined)
+                if not matched and pad_left:
+                    out.append(left_row + right_pad)
+                if len(out) >= self.batch_size:
+                    yield Batch.from_rows(out, len(self.schema))
+                    out = []
+
+        if right_matched is not None:
+            for flag, right_row in zip(right_matched, right_rows):
+                if not flag:
+                    out.append(left_pad + right_row)
+                    if len(out) >= self.batch_size:
+                        yield Batch.from_rows(out, len(self.schema))
+                        out = []
+        if out:
+            yield Batch.from_rows(out, len(self.schema))
+
+
+class _ColumnAccumulator:
+    """One aggregate accumulator that can consume whole columns.
+
+    Wraps the row engine's :class:`AggregateAccumulator` (same state,
+    same ``result()``) and adds column fast paths for the common
+    non-DISTINCT aggregates when the argument's static type guarantees
+    the bulk builtins agree with SQL semantics.
+    """
+
+    __slots__ = ("inner", "func", "distinct", "fast", "exact_int")
+
+    def __init__(self, spec: AggSpec, static_type: Optional[SQLType]):
+        self.inner = AggregateAccumulator(spec.func, spec.distinct)
+        self.func = spec.func
+        self.distinct = spec.distinct
+        numeric = static_type in (SQLType.INT, SQLType.FLOAT)
+        text = static_type is SQLType.TEXT
+        self.fast = not spec.distinct and (
+            (self.func in ("sum", "avg", "count") and numeric)
+            or (self.func in ("min", "max") and (numeric or text))
+        )
+        # Integer sums are associative, so bulk sum() is exact; float
+        # sums must accumulate in row order to stay bit-identical with
+        # the row engine (floating-point addition is order-sensitive).
+        self.exact_int = static_type is SQLType.INT
+
+    def add_count_star(self, count: int) -> None:
+        self.inner.count += count
+
+    def add_column(self, column: Sequence[Value]) -> None:
+        inner = self.inner
+        if not self.fast:
+            add = inner.add
+            for value in column:
+                add(value)
+            return
+        present = [v for v in column if v is not None]
+        if not present:
+            return
+        inner.count += len(present)
+        if self.func in ("sum", "avg"):
+            if self.exact_int:
+                inner.total += sum(present)
+                return
+            total = inner.total
+            float_seen = inner.float_seen
+            for value in present:
+                if not float_seen and type(value) is float:
+                    float_seen = True
+                total += value
+            inner.total = total
+            inner.float_seen = float_seen
+        elif self.func == "min":
+            low = min(present)
+            if inner.best is None or low < inner.best:
+                inner.best = low
+        elif self.func == "max":
+            high = max(present)
+            if inner.best is None or high > inner.best:
+                inner.best = high
+
+    def result(self) -> Value:
+        return self.inner.result()
+
+
+class VAggSpec:
+    """One aggregate of a vectorized Aggregate: spec + vector argument +
+    the argument's statically inferred type (enables column fast paths)."""
+
+    __slots__ = ("spec", "arg", "static_type")
+
+    def __init__(
+        self, spec: AggSpec, arg: Optional[VectorExpr], static_type: Optional[SQLType]
+    ):
+        self.spec = spec
+        self.arg = arg
+        self.static_type = static_type
+
+
+class VHashAggregate(VectorOp):
+    """Hash aggregation over batches.
+
+    Grouped aggregation evaluates group keys and arguments column-wise,
+    then updates per-group accumulators row-wise (matching the row
+    engine's first-seen group order). The global (no GROUP BY) shape
+    skips per-row work entirely and feeds whole columns to the
+    accumulators.
+    """
+
+    __slots__ = ("child", "group_exprs", "agg_specs", "batch_size")
+
+    def __init__(
+        self,
+        child: VectorOp,
+        group_exprs: list[VectorExpr],
+        agg_specs: list[VAggSpec],
+        schema: Schema,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ):
+        self.child = child
+        self.group_exprs = group_exprs
+        self.agg_specs = agg_specs
+        self.schema = schema
+        self.batch_size = batch_size
+
+    def batches(self, env: Env) -> Iterator[Batch]:
+        if not self.group_exprs:
+            yield from self._global(env)
+            return
+        yield from self._grouped(env)
+
+    def _global(self, env: Env) -> Iterator[Batch]:
+        accumulators = [
+            _ColumnAccumulator(s.spec, s.static_type) for s in self.agg_specs
+        ]
+        for batch in self.child.batches(env):
+            for spec, accumulator in zip(self.agg_specs, accumulators):
+                if spec.arg is None:
+                    accumulator.add_count_star(batch.length)
+                else:
+                    accumulator.add_column(spec.arg(batch, env))
+        row = tuple(a.result() for a in accumulators)
+        yield Batch.from_rows([row], len(self.schema))
+
+    def _grouped(self, env: Env) -> Iterator[Batch]:
+        star = count_star_sentinel()
+        groups: dict[tuple, tuple[tuple[Value, ...], list[AggregateAccumulator]]] = {}
+        specs = self.agg_specs
+        for batch in self.child.batches(env):
+            key_columns = [g(batch, env) for g in self.group_exprs]
+            arg_columns = [
+                s.arg(batch, env) if s.arg is not None else None for s in specs
+            ]
+            for i, key_values in enumerate(zip(*key_columns)):
+                key = tuple(value_identity(v) for v in key_values)
+                state = groups.get(key)
+                if state is None:
+                    state = (
+                        key_values,
+                        [
+                            AggregateAccumulator(s.spec.func, s.spec.distinct)
+                            for s in specs
+                        ],
+                    )
+                    groups[key] = state
+                accumulators = state[1]
+                for column, accumulator in zip(arg_columns, accumulators):
+                    if column is None:
+                        accumulator.add(star)
+                    else:
+                        accumulator.add(column[i])
+
+        rows = [
+            key_values + tuple(a.result() for a in accumulators)
+            for key_values, accumulators in groups.values()
+        ]
+        yield from batches_from_rows(rows, len(self.schema), self.batch_size)
+
+
+class VDistinct(VectorOp):
+    __slots__ = ("child",)
+
+    def __init__(self, child: VectorOp):
+        self.child = child
+        self.schema = child.schema
+
+    def batches(self, env: Env) -> Iterator[Batch]:
+        seen: set = set()
+        for batch in self.child.batches(env):
+            keep: list[int] = []
+            for index, row in enumerate(batch.iter_rows()):
+                key = row_identity(row)
+                if key not in seen:
+                    seen.add(key)
+                    keep.append(index)
+            if len(keep) == batch.length:
+                yield batch
+            elif keep:
+                yield batch.take(keep)
+
+
+class VSort(VectorOp):
+    """Sort: materialize, evaluate each key column once, then apply the
+    same least-to-most-significant stable index sorts as the row engine."""
+
+    __slots__ = ("child", "keys", "batch_size")
+
+    def __init__(
+        self,
+        child: VectorOp,
+        keys: Sequence[tuple[VectorExpr, SortSpec]],
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ):
+        self.child = child
+        self.keys = list(keys)
+        self.schema = child.schema
+        self.batch_size = batch_size
+
+    def batches(self, env: Env) -> Iterator[Batch]:
+        collected = self.child.materialize(env)
+        if not collected:
+            return
+        width = len(self.schema)
+        big = Batch.from_rows(collected, width)
+        order = list(range(big.length))
+        for vector_fn, spec in reversed(self.keys):
+            column = vector_fn(big, env)
+            nulls_first_ascending = spec.nulls_first != spec.descending
+            sort_keys = [
+                sort_key(value, nulls_first=nulls_first_ascending) for value in column
+            ]
+            order.sort(key=sort_keys.__getitem__, reverse=spec.descending)
+        ordered = [collected[i] for i in order]
+        yield from batches_from_rows(ordered, width, self.batch_size)
+
+
+class VLimit(VectorOp):
+    __slots__ = ("child", "limit", "offset")
+
+    def __init__(
+        self,
+        child: VectorOp,
+        limit: Optional[CompiledExpr],
+        offset: Optional[CompiledExpr],
+    ):
+        self.child = child
+        self.limit = limit
+        self.offset = offset
+        self.schema = child.schema
+
+    def batches(self, env: Env) -> Iterator[Batch]:
+        limit = evaluate_limit_count(self.limit, env, "LIMIT")
+        offset = evaluate_limit_count(self.offset, env, "OFFSET") or 0
+        to_skip = offset
+        remaining = limit
+        if remaining is not None and remaining <= 0:
+            return
+        for batch in self.child.batches(env):
+            if to_skip >= batch.length:
+                to_skip -= batch.length
+                continue
+            start = to_skip
+            to_skip = 0
+            stop = batch.length
+            if remaining is not None:
+                stop = min(stop, start + remaining)
+            piece = batch if (start == 0 and stop == batch.length) else batch.slice(start, stop)
+            if piece.length:
+                yield piece
+                if remaining is not None:
+                    remaining -= piece.length
+                    if remaining <= 0:
+                        return
+
+

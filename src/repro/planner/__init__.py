@@ -1,3 +1,3 @@
 """Planner: logical algebra -> physical operator trees."""
 
-from .planner import Planner, plan  # noqa: F401
+from .planner import ENGINES, Planner, plan  # noqa: F401

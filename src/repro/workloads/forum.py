@@ -9,8 +9,7 @@ in ``tests/core/test_paper_figures.py``.
 
 from __future__ import annotations
 
-from ..engine.connection import Connection
-from ..engine.session import legacy_session
+from ..engine.connection import Connection, connect
 
 # The example queries of Figure 1 (q2 is the CREATE VIEW below).
 Q1 = "SELECT mId, text FROM messages UNION SELECT mId, text FROM imports"
@@ -41,10 +40,12 @@ SQLPLE_QUERYING_PROVENANCE = (
 SQLPLE_BASERELATION = "SELECT PROVENANCE text FROM v1 BASERELATION"
 
 
-def create_forum_db(db: Connection | None = None) -> Connection:
+def create_forum_db(
+    db: Connection | None = None, engine: str | None = None
+) -> Connection:
     """Create the Figure 1 database (tables, rows and the view v1)."""
-    db = db or legacy_session()
-    db.execute(
+    db = db or connect(engine=engine)
+    db.run(
         """
         CREATE TABLE messages (mId int, text text, uId int);
         CREATE TABLE users (uId int, name text);
@@ -68,7 +69,7 @@ def create_forum_db(db: Connection | None = None) -> Connection:
         ],
     )
     db.load_rows("approved", [(2, 2), (1, 4), (2, 4), (3, 4)])
-    db.execute(Q2)
+    db.run(Q2)
     return db
 
 
@@ -79,6 +80,7 @@ def scaled_forum_db(
     approvals_per_message: int = 3,
     db: Connection | None = None,
     seed: int = 7,
+    engine: str | None = None,
 ) -> Connection:
     """A larger forum instance with the same schema, for benchmarks.
 
@@ -89,8 +91,8 @@ def scaled_forum_db(
     import random
 
     rng = random.Random(seed)
-    db = db or legacy_session()
-    db.execute(
+    db = db or connect(engine=engine)
+    db.run(
         """
         CREATE TABLE messages (mId int, text text, uId int);
         CREATE TABLE users (uId int, name text);
@@ -120,5 +122,5 @@ def scaled_forum_db(
         for approver in rng.sample(range(1, users + 1), min(approvals_per_message, users)):
             approvals.append((approver, mid))
     db.load_rows("approved", approvals)
-    db.execute(Q2)
+    db.run(Q2)
     return db

@@ -18,8 +18,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from ..engine.connection import Connection
-from ..engine.session import legacy_session
+from ..engine.connection import Connection, connect
 
 _REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
 _SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
@@ -49,12 +48,16 @@ class TpchConfig:
         )
 
 
-def create_tpch_db(config: TpchConfig | None = None, db: Connection | None = None) -> Connection:
+def create_tpch_db(
+    config: TpchConfig | None = None,
+    db: Connection | None = None,
+    engine: str | None = None,
+) -> Connection:
     """Create and populate the TPC-H-like database."""
     config = config or TpchConfig()
     rng = random.Random(config.seed)
-    db = db or legacy_session()
-    db.execute(
+    db = db or connect(engine=engine)
+    db.run(
         """
         CREATE TABLE region (r_regionkey int, r_name text);
         CREATE TABLE nation (n_nationkey int, n_name text, n_regionkey int);

@@ -5,7 +5,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import PermDB
+from repro import connect
 from repro.algebra import expressions as ax
 from repro.algebra import nodes as an
 from repro.algebra.render import render_side_by_side, render_tree
@@ -20,8 +20,8 @@ from repro.sql import ast, parse_statement
 
 @pytest.fixture
 def db():
-    session = PermDB()
-    session.execute(
+    session = connect()
+    session.run(
         """
         CREATE TABLE t (a int, b text, c float);
         CREATE TABLE s (x int, y text);
@@ -171,15 +171,15 @@ class TestAlgebraToSql:
     def test_roundtrip_execution(self, db, sql):
         node = analyzed(db, sql)
         regenerated = algebra_to_sql(node)
-        direct = db.execute(sql)
-        via_deparse = db.execute(regenerated)
+        direct = db.run(sql)
+        via_deparse = db.run(regenerated)
         assert sorted(direct.rows, key=repr) == sorted(via_deparse.rows, key=repr)
 
     def test_rewritten_provenance_sql_roundtrips(self, db):
         sql = "SELECT PROVENANCE a, b FROM t WHERE a > 1"
         profile = db.profile(sql)
         regenerated = algebra_to_sql(profile.rewritten)
-        again = db.execute(regenerated)
+        again = db.run(regenerated)
         assert sorted(profile.result.rows, key=repr) == sorted(again.rows, key=repr)
 
     def test_expr_to_sql_forms(self):

@@ -9,13 +9,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro import AnalyzeError, PermDB
+from repro import AnalyzeError, connect
 
 
 @pytest.fixture
 def db():
-    session = PermDB()
-    session.execute(
+    session = connect()
+    session.run(
         """
         CREATE TABLE r (a int, b text, c float);
         CREATE TABLE s (a int, d text);
@@ -32,212 +32,212 @@ def rows(relation):
 
 class TestNameResolution:
     def test_unqualified_unique_column(self, db):
-        assert db.execute("SELECT b FROM r WHERE a = 1").rows == [("x",)]
+        assert db.run("SELECT b FROM r WHERE a = 1").rows == [("x",)]
 
     def test_qualified_column(self, db):
-        assert db.execute("SELECT r.b FROM r WHERE r.a = 2").rows == [("y",)]
+        assert db.run("SELECT r.b FROM r WHERE r.a = 2").rows == [("y",)]
 
     def test_ambiguous_column_rejected(self, db):
         with pytest.raises(AnalyzeError, match="ambiguous"):
-            db.execute("SELECT a FROM r, s")
+            db.run("SELECT a FROM r, s")
 
     def test_qualified_disambiguates(self, db):
-        result = db.execute("SELECT r.a, s.a FROM r, s WHERE r.a = s.a")
+        result = db.run("SELECT r.a, s.a FROM r, s WHERE r.a = s.a")
         assert rows(result) == [(1, 1), (2, 2)]
 
     def test_unknown_column(self, db):
         with pytest.raises(AnalyzeError, match="does not exist"):
-            db.execute("SELECT zzz FROM r")
+            db.run("SELECT zzz FROM r")
 
     def test_unknown_relation(self, db):
         with pytest.raises(AnalyzeError, match="relation 'nope' does not exist"):
-            db.execute("SELECT * FROM nope")
+            db.run("SELECT * FROM nope")
 
     def test_unknown_column_in_qualifier(self, db):
         with pytest.raises(AnalyzeError, match="not found in relation"):
-            db.execute("SELECT r.zzz FROM r")
+            db.run("SELECT r.zzz FROM r")
 
     def test_alias_shadows_table_name(self, db):
         with pytest.raises(AnalyzeError):
-            db.execute("SELECT r.a FROM r AS x")  # r no longer visible
+            db.run("SELECT r.a FROM r AS x")  # r no longer visible
 
     def test_duplicate_alias_rejected(self, db):
         with pytest.raises(AnalyzeError, match="more than once"):
-            db.execute("SELECT 1 FROM r, r")
+            db.run("SELECT 1 FROM r, r")
 
     def test_self_join_with_aliases(self, db):
-        result = db.execute(
+        result = db.run(
             "SELECT x.a, y.a FROM r x, r y WHERE x.a = y.a + 1"
         )
         assert rows(result) == [(2, 1), (3, 2)]
 
     def test_three_part_name_rejected(self, db):
         with pytest.raises(AnalyzeError, match="cross-database"):
-            db.execute("SELECT db.r.a FROM r")
+            db.run("SELECT db.r.a FROM r")
 
 
 class TestStars:
     def test_bare_star(self, db):
-        result = db.execute("SELECT * FROM r")
+        result = db.run("SELECT * FROM r")
         assert result.columns == ["a", "b", "c"]
 
     def test_qualified_star(self, db):
-        result = db.execute("SELECT s.* FROM r, s WHERE r.a = s.a")
+        result = db.run("SELECT s.* FROM r, s WHERE r.a = s.a")
         assert result.columns == ["a", "d"]
 
     def test_star_without_from(self, db):
         with pytest.raises(AnalyzeError):
-            db.execute("SELECT *")
+            db.run("SELECT *")
 
     def test_star_mixed_with_expressions(self, db):
-        result = db.execute("SELECT *, a + 1 AS nxt FROM r WHERE a = 1")
+        result = db.run("SELECT *, a + 1 AS nxt FROM r WHERE a = 1")
         assert result.columns == ["a", "b", "c", "nxt"]
         assert result.rows == [(1, "x", 1.5, 2)]
 
     def test_duplicate_output_names_uniquified(self, db):
-        result = db.execute("SELECT a, a FROM r WHERE a = 1")
+        result = db.run("SELECT a, a FROM r WHERE a = 1")
         assert result.columns == ["a", "a_1"]
 
 
 class TestGrouping:
     def test_group_by_column(self, db):
-        result = db.execute("SELECT b, count(*) FROM r GROUP BY b")
+        result = db.run("SELECT b, count(*) FROM r GROUP BY b")
         assert rows(result) == [("x", 2), ("y", 1)]
 
     def test_group_by_ordinal(self, db):
-        result = db.execute("SELECT b, count(*) FROM r GROUP BY 1")
+        result = db.run("SELECT b, count(*) FROM r GROUP BY 1")
         assert rows(result) == [("x", 2), ("y", 1)]
 
     def test_group_by_alias(self, db):
-        result = db.execute("SELECT upper(b) AS ub, count(*) FROM r GROUP BY ub")
+        result = db.run("SELECT upper(b) AS ub, count(*) FROM r GROUP BY ub")
         assert rows(result) == [("X", 2), ("Y", 1)]
 
     def test_group_by_expression_reused_in_select(self, db):
-        result = db.execute("SELECT a % 2, count(*) FROM r GROUP BY a % 2")
+        result = db.run("SELECT a % 2, count(*) FROM r GROUP BY a % 2")
         assert rows(result) == [(0, 1), (1, 2)]
 
     def test_ungrouped_column_rejected(self, db):
         with pytest.raises(AnalyzeError, match="GROUP BY"):
-            db.execute("SELECT a, b, count(*) FROM r GROUP BY a")
+            db.run("SELECT a, b, count(*) FROM r GROUP BY a")
 
     def test_aggregate_in_where_rejected(self, db):
         with pytest.raises(AnalyzeError, match="not allowed"):
-            db.execute("SELECT a FROM r WHERE count(*) > 1")
+            db.run("SELECT a FROM r WHERE count(*) > 1")
 
     def test_nested_aggregate_rejected(self, db):
         with pytest.raises(AnalyzeError, match="nested"):
-            db.execute("SELECT sum(count(*)) FROM r")
+            db.run("SELECT sum(count(*)) FROM r")
 
     def test_having_without_group_by(self, db):
-        result = db.execute("SELECT count(*) FROM r HAVING count(*) > 2")
+        result = db.run("SELECT count(*) FROM r HAVING count(*) > 2")
         assert result.rows == [(3,)]
-        result = db.execute("SELECT count(*) FROM r HAVING count(*) > 5")
+        result = db.run("SELECT count(*) FROM r HAVING count(*) > 5")
         assert result.rows == []
 
     def test_bare_aggregation_makes_query_grouped(self, db):
         with pytest.raises(AnalyzeError, match="GROUP BY"):
-            db.execute("SELECT a, count(*) FROM r")
+            db.run("SELECT a, count(*) FROM r")
 
     def test_group_by_ordinal_out_of_range(self, db):
         with pytest.raises(AnalyzeError, match="out of range"):
-            db.execute("SELECT b FROM r GROUP BY 5")
+            db.run("SELECT b FROM r GROUP BY 5")
 
 
 class TestOrderByResolution:
     def test_order_by_output_alias(self, db):
-        result = db.execute("SELECT a AS k FROM r ORDER BY k DESC")
+        result = db.run("SELECT a AS k FROM r ORDER BY k DESC")
         assert result.rows == [(3,), (2,), (1,)]
 
     def test_order_by_ordinal(self, db):
-        result = db.execute("SELECT b, a FROM r ORDER BY 2 DESC")
+        result = db.run("SELECT b, a FROM r ORDER BY 2 DESC")
         assert [r[1] for r in result.rows] == [3, 2, 1]
 
     def test_order_by_hidden_source_column(self, db):
-        result = db.execute("SELECT b FROM r ORDER BY a DESC")
+        result = db.run("SELECT b FROM r ORDER BY a DESC")
         assert result.columns == ["b"]
         assert result.rows == [("x",), ("y",), ("x",)]
 
     def test_order_by_expression(self, db):
-        result = db.execute("SELECT a FROM r ORDER BY a % 2, a")
+        result = db.run("SELECT a FROM r ORDER BY a % 2, a")
         assert result.rows == [(2,), (1,), (3,)]
 
     def test_distinct_with_hidden_sort_key_rejected(self, db):
         with pytest.raises(AnalyzeError, match="DISTINCT"):
-            db.execute("SELECT DISTINCT b FROM r ORDER BY a")
+            db.run("SELECT DISTINCT b FROM r ORDER BY a")
 
     def test_order_by_aggregate(self, db):
-        result = db.execute("SELECT b, count(*) FROM r GROUP BY b ORDER BY count(*) DESC")
+        result = db.run("SELECT b, count(*) FROM r GROUP BY b ORDER BY count(*) DESC")
         assert result.rows[0] == ("x", 2)
 
     def test_ordinal_out_of_range(self, db):
         with pytest.raises(AnalyzeError, match="out of range"):
-            db.execute("SELECT a FROM r ORDER BY 9")
+            db.run("SELECT a FROM r ORDER BY 9")
 
 
 class TestViewsAndSubqueries:
     def test_view_unfolding(self, db):
-        db.execute("CREATE VIEW big AS SELECT a, b FROM r WHERE a >= 2")
-        assert rows(db.execute("SELECT b FROM big")) == [("x",), ("y",)]
+        db.run("CREATE VIEW big AS SELECT a, b FROM r WHERE a >= 2")
+        assert rows(db.run("SELECT b FROM big")) == [("x",), ("y",)]
 
     def test_view_over_view(self, db):
-        db.execute("CREATE VIEW v1 AS SELECT a FROM r")
-        db.execute("CREATE VIEW v2 AS SELECT a + 1 AS a1 FROM v1")
-        assert rows(db.execute("SELECT * FROM v2")) == [(2,), (3,), (4,)]
+        db.run("CREATE VIEW v1 AS SELECT a FROM r")
+        db.run("CREATE VIEW v2 AS SELECT a + 1 AS a1 FROM v1")
+        assert rows(db.run("SELECT * FROM v2")) == [(2,), (3,), (4,)]
 
     def test_view_alias(self, db):
-        db.execute("CREATE VIEW v1 AS SELECT a FROM r")
-        assert len(db.execute("SELECT x.a FROM v1 AS x")) == 3
+        db.run("CREATE VIEW v1 AS SELECT a FROM r")
+        assert len(db.run("SELECT x.a FROM v1 AS x")) == 3
 
     def test_derived_table_column_aliases(self, db):
-        result = db.execute("SELECT k FROM (SELECT a FROM r) AS d (k) WHERE k = 1")
+        result = db.run("SELECT k FROM (SELECT a FROM r) AS d (k) WHERE k = 1")
         assert result.rows == [(1,)]
 
     def test_derived_table_alias_arity_mismatch(self, db):
         with pytest.raises(AnalyzeError, match="aliases"):
-            db.execute("SELECT 1 FROM (SELECT a, b FROM r) AS d (k)")
+            db.run("SELECT 1 FROM (SELECT a, b FROM r) AS d (k)")
 
     def test_derived_tables_are_not_lateral(self, db):
         with pytest.raises(AnalyzeError, match="does not exist"):
-            db.execute("SELECT 1 FROM r, (SELECT a FROM s WHERE s.a = r.a) AS d")
+            db.run("SELECT 1 FROM r, (SELECT a FROM s WHERE s.a = r.a) AS d")
 
     def test_correlated_subquery_resolves_outward(self, db):
-        result = db.execute(
+        result = db.run(
             "SELECT a FROM r WHERE EXISTS (SELECT 1 FROM s WHERE s.a = r.a)"
         )
         assert rows(result) == [(1,), (2,)]
 
     def test_setop_arity_mismatch(self, db):
         with pytest.raises(AnalyzeError, match="same number of columns"):
-            db.execute("SELECT a, b FROM r UNION SELECT a FROM s")
+            db.run("SELECT a, b FROM r UNION SELECT a FROM s")
 
     def test_limit_with_column_rejected(self, db):
         with pytest.raises(AnalyzeError, match="LIMIT"):
-            db.execute("SELECT a FROM r LIMIT a")
+            db.run("SELECT a FROM r LIMIT a")
 
     def test_where_must_be_boolean(self, db):
         with pytest.raises(AnalyzeError, match="boolean"):
-            db.execute("SELECT a FROM r WHERE a + 1")
+            db.run("SELECT a FROM r WHERE a + 1")
 
 
 class TestJoinsAnalysis:
     def test_using_join(self, db):
-        result = db.execute("SELECT r.b, s.d FROM r JOIN s USING (a)")
+        result = db.run("SELECT r.b, s.d FROM r JOIN s USING (a)")
         assert rows(result) == [("x", "one"), ("y", "two")]
 
     def test_natural_join(self, db):
-        result = db.execute("SELECT r.b, s.d FROM r NATURAL JOIN s")
+        result = db.run("SELECT r.b, s.d FROM r NATURAL JOIN s")
         assert rows(result) == [("x", "one"), ("y", "two")]
 
     def test_natural_join_without_common_columns_is_cross(self, db):
-        db.execute("CREATE TABLE u (z int); INSERT INTO u VALUES (1), (2)")
-        assert len(db.execute("SELECT 1 FROM s NATURAL JOIN u")) == 6
+        db.run("CREATE TABLE u (z int); INSERT INTO u VALUES (1), (2)")
+        assert len(db.run("SELECT 1 FROM s NATURAL JOIN u")) == 6
 
     def test_using_unknown_column(self, db):
         with pytest.raises(AnalyzeError):
-            db.execute("SELECT 1 FROM r JOIN s USING (zzz)")
+            db.run("SELECT 1 FROM r JOIN s USING (zzz)")
 
     def test_parenthesized_join_tree(self, db):
-        result = db.execute(
+        result = db.run(
             "SELECT r.a FROM r JOIN (s JOIN s AS s2 ON s.a = s2.a) ON r.a = s.a"
         )
         assert rows(result) == [(1,), (2,)]

@@ -5,26 +5,26 @@ from __future__ import annotations
 
 import pytest
 
-from repro import PermDB
-from repro.engine.session import legacy_session
+import repro
+from repro import Connection
 from repro.workloads.forum import create_forum_db
 from repro.workloads.tpch import TpchConfig, create_tpch_db
 
 
 @pytest.fixture
-def db() -> PermDB:
-    """An empty legacy-style session (Relation-returning execute)."""
-    return legacy_session()
+def db() -> Connection:
+    """An empty session (engine-level Relation-returning run())."""
+    return repro.connect()
 
 
 @pytest.fixture
-def forum_db() -> PermDB:
+def forum_db() -> Connection:
     """The paper's Figure 1 database (fresh per test — tests mutate it)."""
     return create_forum_db()
 
 
 @pytest.fixture(scope="session")
-def tpch_db() -> PermDB:
+def tpch_db() -> Connection:
     """A small TPC-H-like database, shared read-only across tests."""
     return create_tpch_db(TpchConfig(customers=30, orders=120, parts=20))
 

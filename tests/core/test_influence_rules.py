@@ -8,13 +8,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro import PermDB, RewriteOptions
+from repro import RewriteOptions, connect
 
 
 @pytest.fixture
 def db():
-    session = PermDB()
-    session.execute(
+    session = connect()
+    session.run(
         """
         CREATE TABLE r (a int, b text);
         CREATE TABLE s (c int, d text);
@@ -31,24 +31,24 @@ def rows(relation):
 
 class TestBaseAndSPJ:
     def test_base_relation_provenance_is_itself(self, db):
-        result = db.execute("SELECT PROVENANCE a, b FROM r")
+        result = db.run("SELECT PROVENANCE a, b FROM r")
         assert result.columns == ["a", "b", "prov_r_a", "prov_r_b"]
         assert all(row[0] == row[2] and row[1] == row[3] for row in result.rows)
 
     def test_projection_keeps_full_tuple_provenance(self, db):
-        result = db.execute("SELECT PROVENANCE b FROM r WHERE a = 2")
+        result = db.run("SELECT PROVENANCE b FROM r WHERE a = 2")
         assert result.rows == [("y", 2, "y")]
 
     def test_selection_filters_provenance_rows(self, db):
-        result = db.execute("SELECT PROVENANCE a FROM r WHERE b = 'x'")
+        result = db.run("SELECT PROVENANCE a FROM r WHERE b = 'x'")
         assert rows(result) == [(1, 1, "x"), (3, 3, "x")]
 
     def test_computed_projection_still_has_witnesses(self, db):
-        result = db.execute("SELECT PROVENANCE a * 10 AS a10 FROM r WHERE a = 1")
+        result = db.run("SELECT PROVENANCE a * 10 AS a10 FROM r WHERE a = 1")
         assert result.rows == [(10, 1, "x")]
 
     def test_join_concatenates_witnesses(self, db):
-        result = db.execute(
+        result = db.run(
             "SELECT PROVENANCE b, d FROM r JOIN s ON r.a = s.c"
         )
         assert result.columns == ["b", "d", "prov_r_a", "prov_r_b", "prov_s_c", "prov_s_d"]
@@ -58,13 +58,13 @@ class TestBaseAndSPJ:
         ]
 
     def test_left_outer_join_null_pads_provenance(self, db):
-        result = db.execute(
+        result = db.run(
             "SELECT PROVENANCE b, d FROM r LEFT JOIN s ON r.a = s.c WHERE r.a = 2"
         )
         assert result.rows == [("y", None, 2, "y", None, None)]
 
     def test_self_join_numbering(self, db):
-        result = db.execute(
+        result = db.run(
             "SELECT PROVENANCE r1.a FROM r r1 JOIN r r2 ON r1.a = r2.a"
         )
         assert result.columns == [
@@ -76,13 +76,13 @@ class TestBaseAndSPJ:
         ]
 
     def test_cross_join(self, db):
-        result = db.execute("SELECT PROVENANCE r.a FROM r, s WHERE r.a = 1 AND s.c = 4")
+        result = db.run("SELECT PROVENANCE r.a FROM r, s WHERE r.a = 1 AND s.c = 4")
         assert result.rows == [(1, 1, "x", 4, "four")]
 
 
 class TestAggregation:
     def test_group_provenance_replicates_per_witness(self, db):
-        result = db.execute(
+        result = db.run(
             "SELECT PROVENANCE b, count(*) AS n FROM r GROUP BY b"
         )
         x_rows = [row for row in result.rows if row[0] == "x"]
@@ -91,17 +91,17 @@ class TestAggregation:
         assert sorted(row[2] for row in x_rows) == [1, 3]
 
     def test_global_aggregate_collects_all_rows(self, db):
-        result = db.execute("SELECT PROVENANCE count(*) AS n FROM r")
+        result = db.run("SELECT PROVENANCE count(*) AS n FROM r")
         assert len(result) == 3
         assert all(row[0] == 3 for row in result.rows)
 
     def test_global_aggregate_over_empty_input_keeps_result_row(self, db):
-        result = db.execute("SELECT PROVENANCE count(*) AS n FROM r WHERE a > 99")
+        result = db.run("SELECT PROVENANCE count(*) AS n FROM r WHERE a > 99")
         assert result.rows == [(0, None, None)]
 
     def test_null_group_keys_still_find_witnesses(self, db):
-        db.execute("INSERT INTO r VALUES (NULL, 'x'), (NULL, 'z')")
-        result = db.execute(
+        db.run("INSERT INTO r VALUES (NULL, 'x'), (NULL, 'z')")
+        result = db.run(
             "SELECT PROVENANCE a, count(*) AS n FROM r GROUP BY a"
         )
         null_rows = [row for row in result.rows if row[0] is None]
@@ -110,38 +110,38 @@ class TestAggregation:
         assert all(row[1] == 2 for row in null_rows)
 
     def test_having_filters_with_provenance(self, db):
-        result = db.execute(
+        result = db.run(
             "SELECT PROVENANCE b, count(*) AS n FROM r GROUP BY b HAVING count(*) > 1"
         )
         assert all(row[0] == "x" for row in result.rows)
         assert len(result) == 2
 
     def test_aggregate_values_match_original(self, db):
-        original = db.execute("SELECT b, sum(a) FROM r GROUP BY b")
-        prov = db.execute("SELECT PROVENANCE b, sum(a) FROM r GROUP BY b")
+        original = db.run("SELECT b, sum(a) FROM r GROUP BY b")
+        prov = db.run("SELECT PROVENANCE b, sum(a) FROM r GROUP BY b")
         assert set((row[0], row[1]) for row in prov.rows) == set(original.rows)
 
 
 class TestSetOperations:
     def test_union_pads_non_contributing_side(self, db):
-        result = db.execute("SELECT PROVENANCE a FROM r UNION SELECT c FROM s")
+        result = db.run("SELECT PROVENANCE a FROM r UNION SELECT c FROM s")
         for row in result.rows:
             left_side = row[1] is not None
             right_side = row[3] is not None
             assert left_side != right_side  # exactly one branch contributes
 
     def test_union_value_in_both_branches_has_two_witness_rows(self, db):
-        result = db.execute("SELECT PROVENANCE a FROM r UNION SELECT c FROM s")
+        result = db.run("SELECT PROVENANCE a FROM r UNION SELECT c FROM s")
         ones = [row for row in result.rows if row[0] == 1]
         # 1 occurs in r once and in s twice -> three witness rows.
         assert len(ones) == 3
 
     def test_union_all_keeps_per_duplicate_witnesses(self, db):
-        result = db.execute("SELECT PROVENANCE a FROM r UNION ALL SELECT c FROM s")
+        result = db.run("SELECT PROVENANCE a FROM r UNION ALL SELECT c FROM s")
         assert len(result) == 6
 
     def test_intersect_joins_witnesses_from_both_sides(self, db):
-        result = db.execute("SELECT PROVENANCE a FROM r INTERSECT SELECT c FROM s")
+        result = db.run("SELECT PROVENANCE a FROM r INTERSECT SELECT c FROM s")
         # Only value 1 is in both; r has one witness, s has two.
         assert len(result) == 2
         for row in result.rows:
@@ -149,7 +149,7 @@ class TestSetOperations:
             assert row[1] == 1 and row[3] == 1  # both sides' witnesses present
 
     def test_except_lineage_attaches_all_right_tuples(self, db):
-        result = db.execute("SELECT PROVENANCE a FROM r EXCEPT SELECT c FROM s")
+        result = db.run("SELECT PROVENANCE a FROM r EXCEPT SELECT c FROM s")
         # Survivors: 2 and 3; each carries its left witness crossed with
         # every tuple of s (3 tuples) under lineage semantics.
         assert len(result) == 6
@@ -158,16 +158,16 @@ class TestSetOperations:
         assert all(row[3] is not None for row in result.rows)
 
     def test_except_left_only_option(self):
-        db = PermDB(RewriteOptions(difference_semantics="left-only"))
-        db.execute(
+        db = connect(RewriteOptions(difference_semantics="left-only"))
+        db.run(
             "CREATE TABLE r (a int); CREATE TABLE s (c int);"
             "INSERT INTO r VALUES (1), (2); INSERT INTO s VALUES (2)"
         )
-        result = db.execute("SELECT PROVENANCE a FROM r EXCEPT SELECT c FROM s")
+        result = db.run("SELECT PROVENANCE a FROM r EXCEPT SELECT c FROM s")
         assert result.rows == [(1, 1, None)]
 
     def test_except_survives_empty_right_side(self, db):
-        result = db.execute(
+        result = db.run(
             "SELECT PROVENANCE a FROM r EXCEPT SELECT c FROM s WHERE c > 99"
         )
         # T2 is empty: all of r survives, right provenance is NULL.
@@ -177,42 +177,42 @@ class TestSetOperations:
 
 class TestOtherOperators:
     def test_distinct_replicates_per_witness(self, db):
-        result = db.execute("SELECT PROVENANCE DISTINCT b FROM r")
+        result = db.run("SELECT PROVENANCE DISTINCT b FROM r")
         x_rows = [row for row in result.rows if row[0] == "x"]
         assert len(x_rows) == 2
 
     def test_order_by_preserved(self, db):
-        result = db.execute("SELECT PROVENANCE a FROM r ORDER BY a DESC")
+        result = db.run("SELECT PROVENANCE a FROM r ORDER BY a DESC")
         assert [row[0] for row in result.rows] == [3, 2, 1]
 
     def test_limit_join_back(self, db):
-        result = db.execute("SELECT PROVENANCE a FROM r ORDER BY a LIMIT 1")
+        result = db.run("SELECT PROVENANCE a FROM r ORDER BY a LIMIT 1")
         assert result.rows == [(1, 1, "x")]
 
     def test_provenance_of_view_unfolds(self, db):
-        db.execute("CREATE VIEW big AS SELECT a FROM r WHERE a >= 2")
-        result = db.execute("SELECT PROVENANCE a FROM big")
+        db.run("CREATE VIEW big AS SELECT a FROM r WHERE a >= 2")
+        result = db.run("SELECT PROVENANCE a FROM big")
         assert result.columns == ["a", "prov_r_a", "prov_r_b"]
         assert rows(result) == [(2, 2, "y"), (3, 3, "x")]
 
     def test_provenance_without_from(self, db):
-        result = db.execute("SELECT PROVENANCE 1 AS one")
+        result = db.run("SELECT PROVENANCE 1 AS one")
         assert result.rows == [(1,)]
         assert result.provenance_attrs == ()
 
 
 class TestResultAnnotation:
     def test_relation_knows_provenance_attrs(self, db):
-        result = db.execute("SELECT PROVENANCE a FROM r")
+        result = db.run("SELECT PROVENANCE a FROM r")
         assert result.provenance_attrs == ("prov_r_a", "prov_r_b")
         assert result.original_attrs == ["a"]
 
     def test_plain_query_has_no_provenance_attrs(self, db):
-        assert db.execute("SELECT a FROM r").provenance_attrs == ()
+        assert db.run("SELECT a FROM r").provenance_attrs == ()
 
     def test_prov_name_collision_with_user_column(self, db):
-        db.execute("CREATE TABLE odd (prov_odd_z int, z int); INSERT INTO odd VALUES (7, 8)")
-        result = db.execute("SELECT PROVENANCE prov_odd_z, z FROM odd")
+        db.run("CREATE TABLE odd (prov_odd_z int, z int); INSERT INTO odd VALUES (7, 8)")
+        result = db.run("SELECT PROVENANCE prov_odd_z, z FROM odd")
         # Names stay unique even though the user column collides with the
         # generated provenance name.
         assert len(set(result.columns)) == len(result.columns)

@@ -59,19 +59,19 @@ class TestProvNameGenerator:
 class TestNamingEndToEnd:
     def test_paper_naming_scheme(self):
         """prov_<relation>_<attribute>, as §2.1 prescribes."""
-        from repro import PermDB
+        from repro import connect
 
-        db = PermDB()
-        db.execute("CREATE TABLE orders (id int, total float)")
-        result = db.execute("SELECT PROVENANCE id FROM orders")
+        db = connect()
+        db.run("CREATE TABLE orders (id int, total float)")
+        result = db.run("SELECT PROVENANCE id FROM orders")
         assert list(result.provenance_attrs) == ["prov_orders_id", "prov_orders_total"]
 
     def test_three_way_self_join_numbering(self):
-        from repro import PermDB
+        from repro import connect
 
-        db = PermDB()
-        db.execute("CREATE TABLE r (a int); INSERT INTO r VALUES (1)")
-        result = db.execute(
+        db = connect()
+        db.run("CREATE TABLE r (a int); INSERT INTO r VALUES (1)")
+        result = db.run(
             "SELECT PROVENANCE x.a FROM r x, r y, r z "
             "WHERE x.a = y.a AND y.a = z.a"
         )
@@ -79,9 +79,9 @@ class TestNamingEndToEnd:
         assert result.rows == [(1, 1, 1, 1)]
 
     def test_mixed_case_table_names_folded(self):
-        from repro import PermDB
+        from repro import connect
 
-        db = PermDB()
-        db.execute('CREATE TABLE "MyTable" (a int)')
-        result = db.execute('SELECT PROVENANCE a FROM "MyTable"')
+        db = connect()
+        db.run('CREATE TABLE "MyTable" (a int)')
+        result = db.run('SELECT PROVENANCE a FROM "MyTable"')
         assert list(result.provenance_attrs) == ["prov_mytable_a"]

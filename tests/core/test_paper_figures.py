@@ -25,20 +25,20 @@ def sorted_rows(relation):
 
 class TestFigure1:
     def test_tables_match_paper(self, forum_db):
-        assert sorted_rows(forum_db.execute("SELECT * FROM messages")) == [
+        assert sorted_rows(forum_db.run("SELECT * FROM messages")) == [
             (1, "lorem ipsum ...", 3),
             (4, "hi there ...", 2),
         ]
-        assert sorted_rows(forum_db.execute("SELECT * FROM users")) == [
+        assert sorted_rows(forum_db.run("SELECT * FROM users")) == [
             (1, "Bert"),
             (2, "Gert"),
             (3, "Gertrud"),
         ]
-        assert sorted_rows(forum_db.execute("SELECT * FROM imports")) == [
+        assert sorted_rows(forum_db.run("SELECT * FROM imports")) == [
             (2, "hello ...", "superForum"),
             (3, "I don't ...", "HiBoard"),
         ]
-        assert sorted_rows(forum_db.execute("SELECT * FROM approved")) == [
+        assert sorted_rows(forum_db.run("SELECT * FROM approved")) == [
             (1, 4),
             (2, 2),
             (2, 4),
@@ -46,7 +46,7 @@ class TestFigure1:
         ]
 
     def test_q1_returns_all_messages(self, forum_db):
-        result = forum_db.execute(Q1)
+        result = forum_db.run(Q1)
         assert result.columns == ["mId", "text"]
         assert sorted_rows(result) == [
             (1, "lorem ipsum ..."),
@@ -56,12 +56,12 @@ class TestFigure1:
         ]
 
     def test_q2_view_equals_q1(self, forum_db):
-        assert sorted_rows(forum_db.execute("SELECT * FROM v1")) == sorted_rows(
-            forum_db.execute(Q1)
+        assert sorted_rows(forum_db.run("SELECT * FROM v1")) == sorted_rows(
+            forum_db.run(Q1)
         )
 
     def test_q3_counts_approvals_and_omits_unapproved(self, forum_db):
-        result = forum_db.execute(Q3)
+        result = forum_db.run(Q3)
         assert result.columns == ["count", "text"]
         # mId 1 has no approval and is omitted; mId 2 has one; mId 4 three.
         assert sorted_rows(result) == [(1, "hello ..."), (3, "hi there ...")]
@@ -76,7 +76,7 @@ class TestFigure2:
     )
 
     def test_schema_shape(self, forum_db):
-        result = forum_db.execute(self.PROV_Q1)
+        result = forum_db.run(self.PROV_Q1)
         assert result.columns == [
             "mId",
             "text",
@@ -99,7 +99,7 @@ class TestFigure2:
 
     def test_exact_tuples(self, forum_db):
         """The four tuples of Figure 2, with NULL padding per branch."""
-        result = forum_db.execute(self.PROV_Q1)
+        result = forum_db.run(self.PROV_Q1)
         assert sorted_rows(result) == [
             (1, "lorem ipsum ...", 1, "lorem ipsum ...", 3, None, None, None),
             (2, "hello ...", None, None, None, 2, "hello ...", "superForum"),
@@ -109,7 +109,7 @@ class TestFigure2:
 
     def test_same_under_joinback_strategy(self, forum_db):
         forum_db.options.union_strategy = "joinback"
-        result = forum_db.execute(self.PROV_Q1)
+        result = forum_db.run(self.PROV_Q1)
         assert sorted_rows(result) == [
             (1, "lorem ipsum ...", 1, "lorem ipsum ...", 3, None, None, None),
             (2, "hello ...", None, None, None, 2, "hello ...", "superForum"),
@@ -119,7 +119,7 @@ class TestFigure2:
 
     def test_same_under_cost_based_strategy(self, forum_db):
         forum_db.options.union_strategy = "cost"
-        result = forum_db.execute(self.PROV_Q1)
+        result = forum_db.run(self.PROV_Q1)
         assert len(result) == 4
 
 
@@ -127,7 +127,7 @@ class TestSection21ProvenanceSchema:
     """§2.1 prints the provenance schema of (the aggregation over) q1."""
 
     def test_aggregation_provenance_schema(self, forum_db):
-        result = forum_db.execute(SQLPLE_AGGREGATION)
+        result = forum_db.run(SQLPLE_AGGREGATION)
         # The paper lists: (count, text, prov_messages_mId,
         # prov_messages_text, prov_messages_uId, prov_imports_mId,
         # prov_imports_text, prov_imports_origin) — our q3 variant also
@@ -147,7 +147,7 @@ class TestSection21ProvenanceSchema:
 
 class TestSection24Listings:
     def test_listing1_aggregation_provenance(self, forum_db):
-        result = forum_db.execute(SQLPLE_AGGREGATION)
+        result = forum_db.run(SQLPLE_AGGREGATION)
         # "hi there" has three approvals -> three provenance tuples; each
         # carries the message witness and one approval witness.
         hi_there = [r for r in result.rows if r[1] == "hi there ..."]
@@ -161,12 +161,12 @@ class TestSection24Listings:
         assert hello[0][2] is None and hello[0][5] == 2 and hello[0][7] == "superForum"
 
     def test_listing2_querying_provenance(self, forum_db):
-        result = forum_db.execute(SQLPLE_QUERYING_PROVENANCE)
+        result = forum_db.run(SQLPLE_QUERYING_PROVENANCE)
         assert result.columns == ["text", "prov_imports_origin"]
         assert result.rows == [("hello ...", "superForum")]
 
     def test_listing3_baserelation(self, forum_db):
-        result = forum_db.execute(SQLPLE_BASERELATION)
+        result = forum_db.run(SQLPLE_BASERELATION)
         # v1 is treated like a base relation: its own tuples are the
         # provenance, renamed and attached — not the base tuples of
         # messages/imports.
@@ -179,7 +179,7 @@ class TestSection24Listings:
         ]
 
     def test_listing3_baserelation_rows(self, forum_db):
-        result = forum_db.execute(SQLPLE_BASERELATION)
+        result = forum_db.run(SQLPLE_BASERELATION)
         # Every result tuple's provenance is exactly itself (the view
         # tuple), keyed by mId.
         by_text = {r[0]: r for r in result.rows}
@@ -191,4 +191,4 @@ class TestSection24Listings:
         for name, sql in FORUM_QUERIES.items():
             if name == "q2":
                 continue  # the view already exists in the fixture
-            forum_db.execute(sql)
+            forum_db.run(sql)

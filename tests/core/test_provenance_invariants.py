@@ -20,7 +20,7 @@ from __future__ import annotations
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import PermDB, RewriteOptions
+from repro import RewriteOptions, connect
 
 # -- database generation -----------------------------------------------------
 
@@ -35,9 +35,9 @@ _s_rows = st.lists(
 )
 
 
-def build_db(r_rows, s_rows) -> PermDB:
-    db = PermDB()
-    db.execute("CREATE TABLE r (k int, v text); CREATE TABLE s (k int, v text)")
+def build_db(r_rows, s_rows) -> Connection:
+    db = connect()
+    db.run("CREATE TABLE r (k int, v text); CREATE TABLE s (k int, v text)")
     db.load_rows("r", r_rows)
     db.load_rows("s", s_rows)
     return db
@@ -85,8 +85,8 @@ def split_result(relation):
 def test_result_preservation(case):
     r_rows, s_rows, template = case
     db = build_db(r_rows, s_rows)
-    original = db.execute(template.format(""))
-    prov = db.execute(template.format("PROVENANCE"))
+    original = db.run(template.format(""))
+    prov = db.run(template.format("PROVENANCE"))
     width = len(original.columns)
     assert prov.original_attrs == original.columns
     assert {tuple(row[:width]) for row in prov.rows} == set(original.rows)
@@ -97,7 +97,7 @@ def test_result_preservation(case):
 def test_witness_soundness(case):
     r_rows, s_rows, template = case
     db = build_db(r_rows, s_rows)
-    prov = db.execute(template.format("PROVENANCE"))
+    prov = db.run(template.format("PROVENANCE"))
     base = {"r": set(map(tuple, r_rows)), "s": set(map(tuple, s_rows))}
     # Group provenance columns by relation: prov_r_* and prov_s_*.
     positions: dict[str, list[int]] = {"r": [], "s": []}
@@ -123,8 +123,8 @@ def test_witness_soundness(case):
 def test_witness_sufficiency_for_monotone_queries(case):
     r_rows, s_rows, template = case
     db = build_db(r_rows, s_rows)
-    original = db.execute(template.format(""))
-    prov = db.execute(template.format("PROVENANCE"))
+    original = db.run(template.format(""))
+    prov = db.run(template.format("PROVENANCE"))
 
     positions: dict[str, list[int]] = {"r": [], "s": []}
     for index, name in enumerate(prov.columns):
@@ -142,7 +142,7 @@ def test_witness_sufficiency_for_monotone_queries(case):
                     witnesses[relation].add(fragment)
 
     replay = build_db(sorted(witnesses["r"], key=repr), sorted(witnesses["s"], key=repr))
-    replayed = replay.execute(template.format(""))
+    replayed = replay.run(template.format(""))
     assert set(original.rows) <= set(replayed.rows)
 
 
@@ -151,13 +151,13 @@ def test_witness_sufficiency_for_monotone_queries(case):
 def test_union_strategies_agree(case):
     r_rows, s_rows, template = case
     pad_db = build_db(r_rows, s_rows)
-    joinback_db = PermDB(RewriteOptions(union_strategy="joinback"))
-    joinback_db.execute("CREATE TABLE r (k int, v text); CREATE TABLE s (k int, v text)")
+    joinback_db = connect(RewriteOptions(union_strategy="joinback"))
+    joinback_db.run("CREATE TABLE r (k int, v text); CREATE TABLE s (k int, v text)")
     joinback_db.load_rows("r", r_rows)
     joinback_db.load_rows("s", s_rows)
 
-    pad = pad_db.execute(template.format("PROVENANCE"))
-    joinback = joinback_db.execute(template.format("PROVENANCE"))
+    pad = pad_db.run(template.format("PROVENANCE"))
+    joinback = joinback_db.run(template.format("PROVENANCE"))
     assert pad.columns == joinback.columns
     assert sorted(pad.rows, key=repr) == sorted(joinback.rows, key=repr)
 
@@ -169,7 +169,7 @@ def test_copy_provenance_values_match_result_values(case):
     of some original output column of its row (it was copied there)."""
     r_rows, s_rows, template = case
     db = build_db(r_rows, s_rows)
-    prov = db.execute(template.format("PROVENANCE ON CONTRIBUTION (COPY PARTIAL)"))
+    prov = db.run(template.format("PROVENANCE ON CONTRIBUTION (COPY PARTIAL)"))
     width = len(prov.original_attrs)
     for row in prov.rows:
         originals = set(row[:width])

@@ -5,7 +5,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import PermDB, RewriteError, RewriteOptions
+from repro import RewriteError, RewriteOptions, connect
 from repro.analyzer import Analyzer
 from repro.core.context import RewriteContext
 from repro.core.influence import rewrite_influence
@@ -16,8 +16,8 @@ from repro.algebra.tree import walk_tree
 
 
 def make_db(**options):
-    db = PermDB(RewriteOptions(**options)) if options else PermDB()
-    db.execute(
+    db = connect(RewriteOptions(**options)) if options else connect()
+    db.run(
         """
         CREATE TABLE a (x int);
         CREATE TABLE b (x int);
@@ -73,28 +73,28 @@ class TestChoice:
 
     def expected_rows(self):
         return sorted(
-            make_db().execute(self.UNION_SQL).rows, key=repr
+            make_db().run(self.UNION_SQL).rows, key=repr
         )
 
     @pytest.mark.parametrize("strategy", ["pad", "joinback", "heuristic", "cost"])
     def test_all_strategies_agree_on_result(self, strategy):
         db = make_db(union_strategy=strategy)
-        result = db.execute(self.UNION_SQL)
+        result = db.run(self.UNION_SQL)
         assert sorted(result.rows, key=repr) == self.expected_rows()
 
     def test_joinback_rejected_for_union_all(self):
         db = make_db(union_strategy="joinback")
         with pytest.raises(RewriteError, match="UNION ALL"):
-            db.execute("SELECT PROVENANCE x FROM a UNION ALL SELECT x FROM b")
+            db.run("SELECT PROVENANCE x FROM a UNION ALL SELECT x FROM b")
 
     def test_heuristic_falls_back_to_pad_for_union_all(self):
         db = make_db(union_strategy="heuristic")
-        result = db.execute("SELECT PROVENANCE x FROM a UNION ALL SELECT x FROM b")
+        result = db.run("SELECT PROVENANCE x FROM a UNION ALL SELECT x FROM b")
         assert len(result) == 7
 
     def test_cost_mode_runs_estimator(self):
         db = make_db(union_strategy="cost")
-        result = db.execute(self.UNION_SQL)
+        result = db.run(self.UNION_SQL)
         assert len(result) == 7  # 4 witnesses from a, 3 from b
 
     def test_invalid_option_rejected_eagerly(self):

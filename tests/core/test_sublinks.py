@@ -4,12 +4,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro import PermDB, RewriteError, RewriteOptions
+from repro import RewriteError, RewriteOptions, connect
 
 
 def make_db(**options):
-    db = PermDB(RewriteOptions(**options)) if options else PermDB()
-    db.execute(
+    db = connect(RewriteOptions(**options)) if options else connect()
+    db.run(
         """
         CREATE TABLE c (ck int, cname text);
         CREATE TABLE o (ok int, ock int, price int);
@@ -27,7 +27,7 @@ def rows(relation):
 class TestGenStrategy:
     def test_uncorrelated_in_collects_sublink_witnesses(self):
         db = make_db()
-        result = db.execute(
+        result = db.run(
             "SELECT PROVENANCE cname FROM c WHERE ck IN (SELECT ock FROM o WHERE price > 60)"
         )
         # Only ann qualifies (orders 10 and 11 have price > 60) — and she
@@ -42,24 +42,24 @@ class TestGenStrategy:
 
     def test_uncorrelated_exists_cross_collects_all(self):
         db = make_db()
-        result = db.execute(
+        result = db.run(
             "SELECT PROVENANCE cname FROM c WHERE ck = 1 AND EXISTS (SELECT 1 FROM o WHERE price > 250)"
         )
         assert rows(result) == [("ann", 1, "ann", 11, 1, 300)]
 
     def test_uncorrelated_exists_empty_sublink_filters_all(self):
         db = make_db()
-        result = db.execute(
+        result = db.run(
             "SELECT PROVENANCE cname FROM c WHERE EXISTS (SELECT 1 FROM o WHERE price > 999)"
         )
         assert result.rows == []
 
     def test_original_semantics_preserved(self):
         db = make_db()
-        plain = db.execute(
+        plain = db.run(
             "SELECT cname FROM c WHERE ck IN (SELECT ock FROM o)"
         )
-        prov = db.execute(
+        prov = db.run(
             "SELECT PROVENANCE cname FROM c WHERE ck IN (SELECT ock FROM o)"
         )
         assert {r[0] for r in plain.rows} == {r[0] for r in prov.rows}
@@ -68,7 +68,7 @@ class TestGenStrategy:
 class TestLeftStrategy:
     def test_correlated_exists_traced(self):
         db = make_db()
-        result = db.execute(
+        result = db.run(
             "SELECT PROVENANCE cname FROM c WHERE EXISTS "
             "(SELECT 1 FROM o WHERE o.ock = c.ck AND o.price >= 100)"
         )
@@ -79,7 +79,7 @@ class TestLeftStrategy:
 
     def test_correlated_in_traced(self):
         db = make_db()
-        result = db.execute(
+        result = db.run(
             "SELECT PROVENANCE cname FROM c WHERE ck IN "
             "(SELECT ock FROM o WHERE o.ock = c.ck AND price < 200)"
         )
@@ -90,7 +90,7 @@ class TestLeftStrategy:
 
     def test_correlation_under_aggregate_falls_back_to_keep(self):
         db = make_db()
-        result = db.execute(
+        result = db.run(
             "SELECT PROVENANCE cname FROM c WHERE EXISTS "
             "(SELECT count(*) FROM o WHERE o.ock = c.ck GROUP BY ock HAVING count(*) > 1)"
         )
@@ -102,7 +102,7 @@ class TestLeftStrategy:
 class TestKeepFallback:
     def test_negated_sublinks_keep(self):
         db = make_db()
-        result = db.execute(
+        result = db.run(
             "SELECT PROVENANCE cname FROM c WHERE ck NOT IN (SELECT ock FROM o)"
         )
         assert result.columns == ["cname", "prov_c_ck", "prov_c_cname"]
@@ -110,7 +110,7 @@ class TestKeepFallback:
 
     def test_scalar_sublinks_keep(self):
         db = make_db()
-        result = db.execute(
+        result = db.run(
             "SELECT PROVENANCE cname FROM c WHERE ck = (SELECT min(ock) FROM o)"
         )
         assert result.columns == ["cname", "prov_c_ck", "prov_c_cname"]
@@ -118,7 +118,7 @@ class TestKeepFallback:
 
     def test_forced_keep_strategy(self):
         db = make_db(sublink_strategy="keep")
-        result = db.execute(
+        result = db.run(
             "SELECT PROVENANCE cname FROM c WHERE ck IN (SELECT ock FROM o)"
         )
         assert result.columns == ["cname", "prov_c_ck", "prov_c_cname"]
@@ -126,7 +126,7 @@ class TestKeepFallback:
 
     def test_forced_gen_keeps_correlated_sublinks(self):
         db = make_db(sublink_strategy="gen")
-        result = db.execute(
+        result = db.run(
             "SELECT PROVENANCE cname FROM c WHERE EXISTS "
             "(SELECT 1 FROM o WHERE o.ock = c.ck)"
         )
@@ -135,7 +135,7 @@ class TestKeepFallback:
 
     def test_forced_left_keeps_uncorrelated_sublinks(self):
         db = make_db(sublink_strategy="left")
-        result = db.execute(
+        result = db.run(
             "SELECT PROVENANCE cname FROM c WHERE ck IN (SELECT ock FROM o)"
         )
         assert result.columns == ["cname", "prov_c_ck", "prov_c_cname"]
@@ -154,16 +154,16 @@ class TestStrategyEquivalence:
     @pytest.mark.parametrize("strategy", ["heuristic", "cost", "keep"])
     def test_original_rows_stable_across_strategies(self, sql, strategy):
         db = make_db(sublink_strategy=strategy)
-        result = db.execute(sql)
+        result = db.run(sql)
         names = {row[0] for row in result.rows}
-        baseline = make_db().execute(sql.replace("PROVENANCE ", ""))
+        baseline = make_db().run(sql.replace("PROVENANCE ", ""))
         assert names == {row[0] for row in baseline.rows}
 
 
 class TestSublinkInProvenanceSubquery:
     def test_sublink_inside_derived_table(self):
         db = make_db()
-        result = db.execute(
+        result = db.run(
             "SELECT cname, prov_o_ok FROM "
             "(SELECT PROVENANCE cname FROM c WHERE ck IN (SELECT ock FROM o)) AS p "
             "WHERE prov_o_ok > 10"

@@ -1,0 +1,44 @@
+"""Paired-engine fixtures for the cross-engine differential harness.
+
+Each workload database is built twice with identical deterministic
+content — once per execution engine — so any result difference between
+a pair is attributable to the engines alone.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.forum import create_forum_db
+from repro.workloads.tpch import TpchConfig, create_tpch_db
+
+# Small but non-trivial: plenty of value/NULL variety, fast to build.
+_TPCH_CONFIG = TpchConfig(customers=25, orders=90, parts=15)
+
+# Tiny batches so every vectorized query crosses batch boundaries —
+# scan chunking, hash-join flushing, limit/offset skipping and the
+# row-fallback adapter all run their multi-batch paths under the
+# differential assertions (the production default is ~1024).
+_TEST_BATCH_SIZE = 13
+
+
+def _shrink_batches(connection):
+    connection.pipeline.planner.batch_size = _TEST_BATCH_SIZE
+    return connection
+
+
+@pytest.fixture(scope="session")
+def engine_pairs():
+    """{workload: {engine: Connection}} with identical data per pair."""
+    return {
+        "forum": {
+            "row": create_forum_db(engine="row"),
+            "vectorized": _shrink_batches(create_forum_db(engine="vectorized")),
+        },
+        "tpch": {
+            "row": create_tpch_db(_TPCH_CONFIG, engine="row"),
+            "vectorized": _shrink_batches(
+                create_tpch_db(_TPCH_CONFIG, engine="vectorized")
+            ),
+        },
+    }

@@ -1,0 +1,36 @@
+"""Execution helpers shared by the differential and invariant tests."""
+
+from __future__ import annotations
+
+
+def run_both(pair, sql: str):
+    """Execute *sql* on both engines; returns {engine: outcome}.
+
+    An outcome is either ``("ok", rows, description, provenance_attrs)``
+    or ``("error", exception type name, message)`` — engines must agree
+    on errors too (same stage, same complaint).
+    """
+    outcomes = {}
+    for engine, conn in pair.items():
+        try:
+            cursor = conn.execute(sql)
+            outcomes[engine] = (
+                "ok",
+                cursor.fetchall(),
+                cursor.description,
+                tuple(cursor.relation.provenance_attrs),
+            )
+        except Exception as exc:  # noqa: BLE001 - compared structurally
+            outcomes[engine] = ("error", type(exc).__name__, str(exc))
+    return outcomes
+
+
+def assert_engines_agree(pair, sql: str):
+    outcomes = run_both(pair, sql)
+    row_outcome = outcomes["row"]
+    vec_outcome = outcomes["vectorized"]
+    assert row_outcome == vec_outcome, (
+        f"engines disagree on:\n  {sql}\n"
+        f"row:        {row_outcome!r}\nvectorized: {vec_outcome!r}"
+    )
+    return row_outcome

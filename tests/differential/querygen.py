@@ -1,0 +1,291 @@
+"""Deterministic random query generator over the workload schemas.
+
+Generates well-typed SQL over the paper's forum database and the
+TPC-H-like benchmark database: select/project/filter, two-table joins of
+every kind, grouped and global aggregation, set operations, sublinks
+(IN / EXISTS / scalar), DISTINCT, ORDER BY and LIMIT — optionally
+wrapped in ``SELECT PROVENANCE`` with a random contribution semantics.
+
+Queries are generated from an explicit seed (``generate_query(seed)``)
+so every differential-test failure is reproducible by its seed alone.
+The generator only emits queries that cannot raise *data-dependent*
+runtime errors (no division by columns, no mixed-type comparisons), so
+the two engines must agree on results — not merely on error behavior.
+"""
+
+from __future__ import annotations
+
+import random
+
+# Column catalogs: name -> type per table, per workload.
+FORUM_TABLES: dict[str, dict[str, str]] = {
+    "messages": {"mid": "int", "text": "text", "uid": "int"},
+    "users": {"uid": "int", "name": "text"},
+    "imports": {"mid": "int", "text": "text", "origin": "text"},
+    "approved": {"uid": "int", "mid": "int"},
+}
+
+TPCH_TABLES: dict[str, dict[str, str]] = {
+    "customer": {
+        "c_custkey": "int",
+        "c_name": "text",
+        "c_acctbal": "float",
+        "c_mktsegment": "text",
+        "c_nationkey": "int",
+    },
+    "orders": {
+        "o_orderkey": "int",
+        "o_custkey": "int",
+        "o_totalprice": "float",
+        "o_orderstatus": "text",
+    },
+    "lineitem": {
+        "l_orderkey": "int",
+        "l_partkey": "int",
+        "l_quantity": "int",
+        "l_extendedprice": "float",
+        "l_returnflag": "text",
+    },
+    "part": {"p_partkey": "int", "p_name": "text", "p_retailprice": "float"},
+}
+
+# Equi-join pairs that produce interesting (non-empty) matches.
+TPCH_JOINS = [
+    ("customer", "c_custkey", "orders", "o_custkey"),
+    ("orders", "o_orderkey", "lineitem", "l_orderkey"),
+    ("part", "p_partkey", "lineitem", "l_partkey"),
+]
+FORUM_JOINS = [
+    ("messages", "uid", "users", "uid"),
+    ("messages", "mid", "approved", "mid"),
+    ("users", "uid", "approved", "uid"),
+    ("messages", "mid", "imports", "mid"),
+]
+
+_TEXT_CONSTS = {
+    "forum": ["'lorem ipsum ...'", "'superForum'", "'Gert'", "'hi%'", "'x'"],
+    "tpch": ["'O'", "'F'", "'R'", "'AUTOMOBILE'", "'BUILDING'", "'N'"],
+}
+_JOIN_KINDS = ["JOIN", "LEFT JOIN", "RIGHT JOIN", "FULL JOIN"]
+_CONTRIBUTIONS = ["", " ON CONTRIBUTION (INFLUENCE)", " ON CONTRIBUTION (COPY PARTIAL)"]
+
+
+class _Source:
+    """One FROM item: alias -> available columns with types."""
+
+    def __init__(self, sql: str, columns: dict[str, str]):
+        self.sql = sql
+        self.columns = columns  # qualified name -> type
+
+
+def _single_table(rng: random.Random, tables: dict[str, dict[str, str]]) -> _Source:
+    name = rng.choice(sorted(tables))
+    alias = f"t{rng.randrange(10)}"
+    columns = {f"{alias}.{c}": t for c, t in tables[name].items()}
+    return _Source(f"{name} {alias}", columns)
+
+
+def _join(rng: random.Random, workload: str) -> _Source:
+    joins = TPCH_JOINS if workload == "tpch" else FORUM_JOINS
+    tables = TPCH_TABLES if workload == "tpch" else FORUM_TABLES
+    left, lcol, right, rcol = rng.choice(joins)
+    la, ra = "a", "b"
+    kind = rng.choice(_JOIN_KINDS)
+    condition = f"{la}.{lcol} = {ra}.{rcol}"
+    if rng.random() < 0.3:
+        # Add a residual conjunct so hash joins keep a residual filter.
+        extra_col = rng.choice(sorted(tables[left]))
+        condition += f" AND {la}.{extra_col} {_null_safe_cmp(rng)} {la}.{extra_col}"
+    sql = f"{left} {la} {kind} {right} {ra} ON {condition}"
+    columns = {f"{la}.{c}": t for c, t in tables[left].items()}
+    columns.update({f"{ra}.{c}": t for c, t in tables[right].items()})
+    return _Source(sql, columns)
+
+
+def _null_safe_cmp(rng: random.Random) -> str:
+    return rng.choice(["=", "IS NOT DISTINCT FROM"])
+
+
+def _columns_of_type(source: _Source, type_: str) -> list[str]:
+    return [c for c, t in source.columns.items() if t == type_]
+
+
+def _numeric_columns(source: _Source) -> list[str]:
+    return [c for c, t in source.columns.items() if t in ("int", "float")]
+
+
+def _predicate(rng: random.Random, source: _Source, workload: str, depth: int = 0) -> str:
+    roll = rng.random()
+    if depth < 2 and roll < 0.15:
+        return f"({_predicate(rng, source, workload, depth + 1)} AND {_predicate(rng, source, workload, depth + 1)})"
+    if depth < 2 and roll < 0.3:
+        return f"({_predicate(rng, source, workload, depth + 1)} OR {_predicate(rng, source, workload, depth + 1)})"
+    if roll < 0.38:
+        return f"NOT ({_predicate(rng, source, workload, depth + 1)})"
+    if roll < 0.5:
+        column = rng.choice(sorted(source.columns))
+        return f"{column} IS {rng.choice(['NULL', 'NOT NULL'])}"
+    text_columns = _columns_of_type(source, "text")
+    if roll < 0.62 and text_columns:
+        column = rng.choice(text_columns)
+        if rng.random() < 0.5:
+            return f"{column} LIKE {rng.choice(_TEXT_CONSTS[workload])}"
+        return f"{column} {rng.choice(['=', '<>', '<', '>'])} {rng.choice(_TEXT_CONSTS[workload])}"
+    numeric = _numeric_columns(source)
+    if numeric:
+        column = rng.choice(numeric)
+        if rng.random() < 0.3 and len(numeric) > 1:
+            other = rng.choice(numeric)
+            return f"{column} {rng.choice(['=', '<>', '<', '<=', '>', '>='])} {other}"
+        if rng.random() < 0.25:
+            values = ", ".join(str(rng.randrange(0, 2000)) for _ in range(rng.randint(2, 4)))
+            negated = "NOT " if rng.random() < 0.3 else ""
+            return f"{column} {negated}IN ({values})"
+        constant = rng.choice([0, 1, 2, 3, 5, 10, 100, 1000, 50000, 200000])
+        return f"{column} {rng.choice(['=', '<>', '<', '<=', '>', '>='])} {constant}"
+    column = rng.choice(sorted(source.columns))
+    return f"{column} IS NOT NULL"
+
+
+def _projection(rng: random.Random, source: _Source) -> tuple[str, list[str]]:
+    """Random select list; returns (sql, output aliases)."""
+    columns = sorted(source.columns)
+    count = rng.randint(1, min(4, len(columns)))
+    chosen = rng.sample(columns, count)
+    items, names = [], []
+    for i, column in enumerate(chosen):
+        name = f"c{i}"
+        roll = rng.random()
+        type_ = source.columns[column]
+        if roll < 0.15 and type_ in ("int", "float"):
+            items.append(f"{column} + {rng.randrange(1, 10)} AS {name}")
+        elif roll < 0.25 and type_ == "text":
+            items.append(f"{rng.choice(['upper', 'lower', 'length'])}({column}) AS {name}")
+        elif roll < 0.33:
+            items.append(
+                f"CASE WHEN {column} IS NULL THEN 1 ELSE 0 END AS {name}"
+            )
+        else:
+            items.append(f"{column} AS {name}")
+        names.append(name)
+    return ", ".join(items), names
+
+
+def _aggregate_query(rng: random.Random, source: _Source, where: str) -> str:
+    numeric = _numeric_columns(source)
+    group_column = rng.choice(sorted(source.columns))
+    aggs = []
+    for i in range(rng.randint(1, 3)):
+        func = rng.choice(["count", "sum", "min", "max", "avg"])
+        if func == "count" and rng.random() < 0.5:
+            aggs.append(f"count(*) AS a{i}")
+        elif func in ("sum", "avg"):
+            if not numeric:
+                aggs.append(f"count(*) AS a{i}")
+            else:
+                distinct = "DISTINCT " if rng.random() < 0.2 else ""
+                aggs.append(f"{func}({distinct}{rng.choice(numeric)}) AS a{i}")
+        else:
+            column = rng.choice(sorted(source.columns))
+            aggs.append(f"{func}({column}) AS a{i}")
+    agg_sql = ", ".join(aggs)
+    if rng.random() < 0.3:  # global aggregate
+        return f"SELECT {agg_sql} FROM {source.sql}{where}"
+    having = ""
+    if rng.random() < 0.3:
+        having = f" HAVING count(*) >= {rng.randint(1, 2)}"
+    return (
+        f"SELECT {group_column} AS g, {agg_sql} FROM {source.sql}{where} "
+        f"GROUP BY {group_column}{having}"
+    )
+
+
+def _setop_query(rng: random.Random, workload: str) -> str:
+    tables = TPCH_TABLES if workload == "tpch" else FORUM_TABLES
+    type_ = rng.choice(["int", "text"])
+    candidates = [
+        (table, column)
+        for table, columns in sorted(tables.items())
+        for column, t in sorted(columns.items())
+        if t == type_
+    ]
+    (lt, lc), (rt, rc) = rng.sample(candidates, 2)
+    op = rng.choice(["UNION", "UNION ALL", "INTERSECT", "EXCEPT"])
+    left_where = f" WHERE {_predicate(rng, _Source(lt, {c: t for c, t in tables[lt].items()}), workload)}" if rng.random() < 0.5 else ""
+    return f"SELECT {lc} FROM {lt}{left_where} {op} SELECT {rc} FROM {rt}"
+
+
+def _sublink_query(rng: random.Random, workload: str) -> str:
+    tables = TPCH_TABLES if workload == "tpch" else FORUM_TABLES
+    if workload == "tpch":
+        outer, okey, inner, ikey = rng.choice(TPCH_JOINS)
+    else:
+        outer, okey, inner, ikey = rng.choice(FORUM_JOINS)
+    outer_cols = ", ".join(sorted(tables[outer]))
+    kind = rng.random()
+    inner_source = _Source(inner, {c: t for c, t in tables[inner].items()})
+    inner_where = (
+        f" WHERE {_predicate(rng, inner_source, workload)}" if rng.random() < 0.5 else ""
+    )
+    if kind < 0.4:
+        negated = "NOT " if rng.random() < 0.3 else ""
+        return (
+            f"SELECT {outer_cols} FROM {outer} "
+            f"WHERE {okey} {negated}IN (SELECT {ikey} FROM {inner}{inner_where})"
+        )
+    if kind < 0.75:
+        negated = "NOT " if rng.random() < 0.3 else ""
+        return (
+            f"SELECT {outer_cols} FROM {outer} x WHERE {negated}EXISTS "
+            f"(SELECT 1 FROM {inner} WHERE {inner}.{ikey} = x.{okey})"
+        )
+    numeric = [c for c, t in tables[inner].items() if t in ("int", "float")]
+    target = rng.choice(numeric) if numeric else ikey
+    outer_numeric = [c for c, t in tables[outer].items() if t in ("int", "float")]
+    subject = rng.choice(outer_numeric) if outer_numeric else okey
+    return (
+        f"SELECT {outer_cols} FROM {outer} "
+        f"WHERE {subject} > (SELECT avg({target}) FROM {inner})"
+    )
+
+
+def generate_query(seed: int, workload: str) -> str:
+    """One deterministic random query for (*seed*, *workload*)."""
+    rng = random.Random((seed, workload).__repr__())
+    shape = rng.random()
+
+    if shape < 0.12:
+        sql = _setop_query(rng, workload)
+    elif shape < 0.27:
+        sql = _sublink_query(rng, workload)
+    else:
+        tables = TPCH_TABLES if workload == "tpch" else FORUM_TABLES
+        if rng.random() < 0.45:
+            source = _join(rng, workload)
+        else:
+            source = _single_table(rng, tables)
+        where = (
+            f" WHERE {_predicate(rng, source, workload)}"
+            if rng.random() < 0.75
+            else ""
+        )
+        if shape < 0.52:
+            sql = _aggregate_query(rng, source, where)
+        else:
+            projection, names = _projection(rng, source)
+            distinct = "DISTINCT " if rng.random() < 0.15 else ""
+            sql = f"SELECT {distinct}{projection} FROM {source.sql}{where}"
+            if rng.random() < 0.35:
+                keys = ", ".join(
+                    f"{n} {rng.choice(['ASC', 'DESC'])}" for n in rng.sample(names, rng.randint(1, len(names)))
+                )
+                sql += f" ORDER BY {keys}"
+                if rng.random() < 0.5:
+                    sql += f" LIMIT {rng.randint(0, 20)}"
+                    if rng.random() < 0.4:
+                        sql += f" OFFSET {rng.randint(0, 5)}"
+
+    if rng.random() < 0.45:
+        contribution = rng.choice(_CONTRIBUTIONS)
+        sql = "SELECT PROVENANCE" + contribution + sql[len("SELECT") :]
+    return sql

@@ -9,108 +9,108 @@ from repro import AnalyzeError, CatalogError, ExecutionError, PermDB, PermError,
 
 @pytest.fixture
 def db():
-    return PermDB()
+    return connect()
 
 
 class TestDDL:
     def test_create_insert_select(self, db):
-        db.execute("CREATE TABLE t (a int, b text)")
-        status = db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        db.run("CREATE TABLE t (a int, b text)")
+        status = db.run("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
         assert status.rows == [("INSERT 2",)]
-        assert len(db.execute("SELECT * FROM t")) == 2
+        assert len(db.run("SELECT * FROM t")) == 2
 
     def test_create_table_as(self, db):
-        db.execute("CREATE TABLE t (a int); INSERT INTO t VALUES (1), (2), (3)")
-        db.execute("CREATE TABLE big AS SELECT a FROM t WHERE a > 1")
-        assert sorted(db.execute("SELECT * FROM big").rows) == [(2,), (3,)]
+        db.run("CREATE TABLE t (a int); INSERT INTO t VALUES (1), (2), (3)")
+        db.run("CREATE TABLE big AS SELECT a FROM t WHERE a > 1")
+        assert sorted(db.run("SELECT * FROM big").rows) == [(2,), (3,)]
 
     def test_create_duplicate_rejected(self, db):
-        db.execute("CREATE TABLE t (a int)")
+        db.run("CREATE TABLE t (a int)")
         with pytest.raises(CatalogError):
-            db.execute("CREATE TABLE t (a int)")
-        db.execute("CREATE TABLE IF NOT EXISTS t (a int)")  # no error
+            db.run("CREATE TABLE t (a int)")
+        db.run("CREATE TABLE IF NOT EXISTS t (a int)")  # no error
 
     def test_drop(self, db):
-        db.execute("CREATE TABLE t (a int)")
-        db.execute("DROP TABLE t")
+        db.run("CREATE TABLE t (a int)")
+        db.run("DROP TABLE t")
         with pytest.raises(AnalyzeError):
-            db.execute("SELECT * FROM t")
-        db.execute("DROP TABLE IF EXISTS t")  # no error
+            db.run("SELECT * FROM t")
+        db.run("DROP TABLE IF EXISTS t")  # no error
 
     def test_view_lifecycle(self, db):
-        db.execute("CREATE TABLE t (a int); INSERT INTO t VALUES (1)")
-        db.execute("CREATE VIEW v AS SELECT a + 1 AS b FROM t")
-        assert db.execute("SELECT b FROM v").rows == [(2,)]
-        db.execute("CREATE OR REPLACE VIEW v AS SELECT a + 10 AS b FROM t")
-        assert db.execute("SELECT b FROM v").rows == [(11,)]
-        db.execute("DROP VIEW v")
+        db.run("CREATE TABLE t (a int); INSERT INTO t VALUES (1)")
+        db.run("CREATE VIEW v AS SELECT a + 1 AS b FROM t")
+        assert db.run("SELECT b FROM v").rows == [(2,)]
+        db.run("CREATE OR REPLACE VIEW v AS SELECT a + 10 AS b FROM t")
+        assert db.run("SELECT b FROM v").rows == [(11,)]
+        db.run("DROP VIEW v")
 
     def test_view_validated_at_creation(self, db):
         with pytest.raises(AnalyzeError):
-            db.execute("CREATE VIEW v AS SELECT zzz FROM missing")
+            db.run("CREATE VIEW v AS SELECT zzz FROM missing")
 
     def test_create_view_reflects_later_inserts(self, db):
-        db.execute("CREATE TABLE t (a int)")
-        db.execute("CREATE VIEW v AS SELECT a FROM t")
-        db.execute("INSERT INTO t VALUES (7)")
-        assert db.execute("SELECT * FROM v").rows == [(7,)]
+        db.run("CREATE TABLE t (a int)")
+        db.run("CREATE VIEW v AS SELECT a FROM t")
+        db.run("INSERT INTO t VALUES (7)")
+        assert db.run("SELECT * FROM v").rows == [(7,)]
 
 
 class TestDML:
     @pytest.fixture
     def table(self, db):
-        db.execute("CREATE TABLE t (a int, b text); INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')")
+        db.run("CREATE TABLE t (a int, b text); INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')")
         return db
 
     def test_insert_column_subset(self, table):
-        table.execute("INSERT INTO t (b) VALUES ('only-b')")
-        assert (None, "only-b") in table.execute("SELECT * FROM t").rows
+        table.run("INSERT INTO t (b) VALUES ('only-b')")
+        assert (None, "only-b") in table.run("SELECT * FROM t").rows
 
     def test_insert_expression_values(self, table):
-        table.execute("INSERT INTO t VALUES (2 + 2, upper('w'))")
-        assert (4, "W") in table.execute("SELECT * FROM t").rows
+        table.run("INSERT INTO t VALUES (2 + 2, upper('w'))")
+        assert (4, "W") in table.run("SELECT * FROM t").rows
 
     def test_insert_subquery_value(self, table):
-        table.execute("INSERT INTO t VALUES ((SELECT max(a) FROM t) + 1, 'next')")
-        assert (4, "next") in table.execute("SELECT * FROM t").rows
+        table.run("INSERT INTO t VALUES ((SELECT max(a) FROM t) + 1, 'next')")
+        assert (4, "next") in table.run("SELECT * FROM t").rows
 
     def test_insert_from_query(self, table):
-        status = table.execute("INSERT INTO t SELECT a + 10, b FROM t WHERE a <= 2")
+        status = table.run("INSERT INTO t SELECT a + 10, b FROM t WHERE a <= 2")
         assert status.rows == [("INSERT 2",)]
-        assert len(table.execute("SELECT * FROM t")) == 5
+        assert len(table.run("SELECT * FROM t")) == 5
 
     def test_insert_arity_mismatch(self, table):
         with pytest.raises(AnalyzeError):
-            table.execute("INSERT INTO t VALUES (1)")
+            table.run("INSERT INTO t VALUES (1)")
 
     def test_delete(self, table):
-        status = table.execute("DELETE FROM t WHERE a >= 2")
+        status = table.run("DELETE FROM t WHERE a >= 2")
         assert status.rows == [("DELETE 2",)]
-        assert table.execute("SELECT a FROM t").rows == [(1,)]
+        assert table.run("SELECT a FROM t").rows == [(1,)]
 
     def test_delete_all(self, table):
-        assert table.execute("DELETE FROM t").rows == [("DELETE 3",)]
+        assert table.run("DELETE FROM t").rows == [("DELETE 3",)]
 
     def test_update(self, table):
-        status = table.execute("UPDATE t SET a = a * 10 WHERE b <> 'y'")
+        status = table.run("UPDATE t SET a = a * 10 WHERE b <> 'y'")
         assert status.rows == [("UPDATE 2",)]
-        assert sorted(table.execute("SELECT a FROM t").rows) == [(2,), (10,), (30,)]
+        assert sorted(table.run("SELECT a FROM t").rows) == [(2,), (10,), (30,)]
 
     def test_update_with_subquery(self, table):
-        table.execute("UPDATE t SET a = (SELECT max(a) FROM t) WHERE b = 'x'")
-        assert (3, "x") in table.execute("SELECT * FROM t").rows
+        table.run("UPDATE t SET a = (SELECT max(a) FROM t) WHERE b = 'x'")
+        assert (3, "x") in table.run("SELECT * FROM t").rows
 
     def test_dml_on_missing_table(self, db):
         with pytest.raises(CatalogError):
-            db.execute("INSERT INTO missing VALUES (1)")
+            db.run("INSERT INTO missing VALUES (1)")
         with pytest.raises(CatalogError):
-            db.execute("DELETE FROM missing")
+            db.run("DELETE FROM missing")
 
 
 class TestExplainAndProfile:
     @pytest.fixture
     def table(self, db):
-        db.execute("CREATE TABLE t (a int); INSERT INTO t VALUES (1), (2)")
+        db.run("CREATE TABLE t (a int); INSERT INTO t VALUES (1), (2)")
         return db
 
     def test_explain_rewrite_is_sql(self, table):
@@ -126,7 +126,7 @@ class TestExplainAndProfile:
         assert "Scan(t)" in text
 
     def test_explain_statement_form(self, table):
-        result = table.execute("EXPLAIN REWRITE SELECT PROVENANCE a FROM t")
+        result = table.run("EXPLAIN REWRITE SELECT PROVENANCE a FROM t")
         assert result.columns == ["plan"]
         assert any("prov_t_a" in row[0] for row in result.rows)
 
@@ -161,25 +161,27 @@ class TestSessionBasics:
         assert issubclass(PermDB, Connection)
 
     def test_multi_statement_returns_last(self, db):
-        result = db.execute("CREATE TABLE t (a int); INSERT INTO t VALUES (1); SELECT a FROM t")
+        result = db.run("CREATE TABLE t (a int); INSERT INTO t VALUES (1); SELECT a FROM t")
         assert result.rows == [(1,)]
 
     def test_empty_statement_rejected(self, db):
         with pytest.raises(PermError):
-            db.execute("   ")
+            db.run("   ")
 
     def test_load_rows(self, db):
-        db.execute("CREATE TABLE t (a int, b text)")
+        db.run("CREATE TABLE t (a int, b text)")
         assert db.load_rows("t", [(1, "x"), (2, "y")]) == 2
-        assert len(db.execute("SELECT * FROM t")) == 2
+        assert len(db.run("SELECT * FROM t")) == 2
 
     def test_runtime_error_surfaces(self, db):
-        db.execute("CREATE TABLE t (a int); INSERT INTO t VALUES (0)")
+        db.run("CREATE TABLE t (a int); INSERT INTO t VALUES (0)")
         with pytest.raises(ExecutionError):
-            db.execute("SELECT 1 / a FROM t")
+            db.run("SELECT 1 / a FROM t")
 
     def test_docstring_example(self):
-        db = PermDB()
+        with pytest.warns(DeprecationWarning, match="repro.connect"):
+            db = PermDB()
+        # The shim's execute() returns the Relation directly.
         db.execute("CREATE TABLE r (a int, b text)")
         db.execute("INSERT INTO r VALUES (1, 'x'), (2, 'y')")
         assert db.execute("SELECT PROVENANCE a FROM r WHERE a > 1").columns == [

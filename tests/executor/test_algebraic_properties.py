@@ -11,15 +11,15 @@ from __future__ import annotations
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import PermDB
+from repro import connect
 
 _value = st.integers(min_value=0, max_value=3) | st.none()
 _rows = st.lists(st.tuples(_value, _value), min_size=0, max_size=8)
 
 
 def make_db(r_rows, s_rows):
-    db = PermDB()
-    db.execute("CREATE TABLE r (a int, b int); CREATE TABLE s (c int, d int)")
+    db = connect()
+    db.run("CREATE TABLE r (a int, b int); CREATE TABLE s (c int, d int)")
     db.load_rows("r", r_rows)
     db.load_rows("s", s_rows)
     return db
@@ -33,8 +33,8 @@ def bag(relation):
 @settings(max_examples=60, deadline=None)
 def test_join_commutativity(r, s):
     db = make_db(r, s)
-    left = db.execute("SELECT a, b, c, d FROM r JOIN s ON a = c")
-    right = db.execute("SELECT a, b, c, d FROM s JOIN r ON a = c")
+    left = db.run("SELECT a, b, c, d FROM r JOIN s ON a = c")
+    right = db.run("SELECT a, b, c, d FROM s JOIN r ON a = c")
     assert bag(left) == bag(right)
 
 
@@ -42,8 +42,8 @@ def test_join_commutativity(r, s):
 @settings(max_examples=60, deadline=None)
 def test_inner_join_equals_filtered_cross(r, s):
     db = make_db(r, s)
-    join = db.execute("SELECT a, d FROM r JOIN s ON a = c")
-    cross = db.execute("SELECT a, d FROM r, s WHERE a = c")
+    join = db.run("SELECT a, d FROM r JOIN s ON a = c")
+    cross = db.run("SELECT a, d FROM r, s WHERE a = c")
     assert bag(join) == bag(cross)
 
 
@@ -51,8 +51,8 @@ def test_inner_join_equals_filtered_cross(r, s):
 @settings(max_examples=60, deadline=None)
 def test_left_join_contains_inner_plus_padding(r, s):
     db = make_db(r, s)
-    inner = db.execute("SELECT a, b, c, d FROM r JOIN s ON a = c")
-    left = db.execute("SELECT a, b, c, d FROM r LEFT JOIN s ON a = c")
+    inner = db.run("SELECT a, b, c, d FROM r JOIN s ON a = c")
+    left = db.run("SELECT a, b, c, d FROM r LEFT JOIN s ON a = c")
     assert len(left) >= len(inner)
     assert len(left) >= len(r)
     padded = [row for row in left.rows if row[2] is None and row[3] is None]
@@ -72,10 +72,10 @@ def bag_list(rows):
 @settings(max_examples=60, deadline=None)
 def test_full_join_is_union_of_left_and_right(r, s):
     db = make_db(r, s)
-    full = db.execute("SELECT a, b, c, d FROM r FULL JOIN s ON a = c")
-    left = db.execute("SELECT a, b, c, d FROM r LEFT JOIN s ON a = c")
-    right = db.execute("SELECT a, b, c, d FROM r RIGHT JOIN s ON a = c")
-    inner = db.execute("SELECT a, b, c, d FROM r JOIN s ON a = c")
+    full = db.run("SELECT a, b, c, d FROM r FULL JOIN s ON a = c")
+    left = db.run("SELECT a, b, c, d FROM r LEFT JOIN s ON a = c")
+    right = db.run("SELECT a, b, c, d FROM r RIGHT JOIN s ON a = c")
+    inner = db.run("SELECT a, b, c, d FROM r JOIN s ON a = c")
     assert len(full) == len(left) + len(right) - len(inner)
 
 
@@ -84,8 +84,8 @@ def test_full_join_is_union_of_left_and_right(r, s):
 def test_null_safe_join_partitions_rows(r, s):
     """x = y matches a subset of x IS NOT DISTINCT FROM y pairs."""
     db = make_db(r, s)
-    equi = db.execute("SELECT a, c FROM r JOIN s ON a = c")
-    null_safe = db.execute("SELECT a, c FROM r JOIN s ON a IS NOT DISTINCT FROM c")
+    equi = db.run("SELECT a, c FROM r JOIN s ON a = c")
+    null_safe = db.run("SELECT a, c FROM r JOIN s ON a IS NOT DISTINCT FROM c")
     assert len(null_safe) >= len(equi)
     extra = len(null_safe) - len(equi)
     r_nulls = sum(1 for row in r if row[0] is None)
@@ -97,7 +97,7 @@ def test_null_safe_join_partitions_rows(r, s):
 @settings(max_examples=60, deadline=None)
 def test_union_all_cardinality(r, s):
     db = make_db(r, s)
-    union_all = db.execute("SELECT a, b FROM r UNION ALL SELECT c, d FROM s")
+    union_all = db.run("SELECT a, b FROM r UNION ALL SELECT c, d FROM s")
     assert len(union_all) == len(r) + len(s)
 
 
@@ -105,10 +105,10 @@ def test_union_all_cardinality(r, s):
 @settings(max_examples=60, deadline=None)
 def test_setop_inclusion_exclusion(r, s):
     db = make_db(r, s)
-    union = db.execute("SELECT a, b FROM r UNION SELECT c, d FROM s")
-    intersect = db.execute("SELECT a, b FROM r INTERSECT SELECT c, d FROM s")
-    r_distinct = db.execute("SELECT DISTINCT a, b FROM r")
-    s_distinct = db.execute("SELECT DISTINCT c, d FROM s")
+    union = db.run("SELECT a, b FROM r UNION SELECT c, d FROM s")
+    intersect = db.run("SELECT a, b FROM r INTERSECT SELECT c, d FROM s")
+    r_distinct = db.run("SELECT DISTINCT a, b FROM r")
+    s_distinct = db.run("SELECT DISTINCT c, d FROM s")
     assert len(union) == len(r_distinct) + len(s_distinct) - len(intersect)
 
 
@@ -116,9 +116,9 @@ def test_setop_inclusion_exclusion(r, s):
 @settings(max_examples=60, deadline=None)
 def test_except_plus_intersect_partitions_left(r, s):
     db = make_db(r, s)
-    except_ = db.execute("SELECT a, b FROM r EXCEPT SELECT c, d FROM s")
-    intersect = db.execute("SELECT a, b FROM r INTERSECT SELECT c, d FROM s")
-    r_distinct = db.execute("SELECT DISTINCT a, b FROM r")
+    except_ = db.run("SELECT a, b FROM r EXCEPT SELECT c, d FROM s")
+    intersect = db.run("SELECT a, b FROM r INTERSECT SELECT c, d FROM s")
+    r_distinct = db.run("SELECT DISTINCT a, b FROM r")
     assert len(except_) + len(intersect) == len(r_distinct)
     assert not (set(map(tuple, except_.rows)) & set(map(tuple, intersect.rows)))
 
@@ -127,8 +127,8 @@ def test_except_plus_intersect_partitions_left(r, s):
 @settings(max_examples=60, deadline=None)
 def test_selection_splitting(r):
     db = make_db(r, [])
-    conjunct = db.execute("SELECT a, b FROM r WHERE a >= 1 AND b >= 1")
-    nested = db.execute("SELECT a, b FROM (SELECT a, b FROM r WHERE a >= 1) t WHERE b >= 1")
+    conjunct = db.run("SELECT a, b FROM r WHERE a >= 1 AND b >= 1")
+    nested = db.run("SELECT a, b FROM (SELECT a, b FROM r WHERE a >= 1) t WHERE b >= 1")
     assert bag(conjunct) == bag(nested)
 
 
@@ -136,8 +136,8 @@ def test_selection_splitting(r):
 @settings(max_examples=60, deadline=None)
 def test_distinct_idempotent_and_group_by_equivalence(r):
     db = make_db(r, [])
-    distinct = db.execute("SELECT DISTINCT a, b FROM r")
-    grouped = db.execute("SELECT a, b FROM r GROUP BY a, b")
+    distinct = db.run("SELECT DISTINCT a, b FROM r")
+    grouped = db.run("SELECT a, b FROM r GROUP BY a, b")
     assert bag(distinct) == bag(grouped)
 
 
@@ -145,8 +145,8 @@ def test_distinct_idempotent_and_group_by_equivalence(r):
 @settings(max_examples=60, deadline=None)
 def test_count_star_equals_sum_of_group_counts(r):
     db = make_db(r, [])
-    total = db.execute("SELECT count(*) FROM r").rows[0][0]
-    groups = db.execute("SELECT a, count(*) AS n FROM r GROUP BY a")
+    total = db.run("SELECT count(*) FROM r").rows[0][0]
+    groups = db.run("SELECT a, count(*) AS n FROM r GROUP BY a")
     assert total == sum(row[1] for row in groups.rows)
 
 
@@ -154,8 +154,8 @@ def test_count_star_equals_sum_of_group_counts(r):
 @settings(max_examples=60, deadline=None)
 def test_order_by_is_permutation(r):
     db = make_db(r, [])
-    plain = db.execute("SELECT a, b FROM r")
-    ordered = db.execute("SELECT a, b FROM r ORDER BY a DESC, b ASC NULLS FIRST")
+    plain = db.run("SELECT a, b FROM r")
+    ordered = db.run("SELECT a, b FROM r ORDER BY a DESC, b ASC NULLS FIRST")
     assert bag(plain) == bag(ordered)
     values = [row[0] for row in ordered.rows if row[0] is not None]
     assert values == sorted(values, reverse=True)
@@ -165,5 +165,5 @@ def test_order_by_is_permutation(r):
 @settings(max_examples=60, deadline=None)
 def test_limit_bounds(r, limit):
     db = make_db(r, [])
-    result = db.execute(f"SELECT a FROM r LIMIT {limit}")
+    result = db.run(f"SELECT a FROM r LIMIT {limit}")
     assert len(result) == min(limit, len(r))

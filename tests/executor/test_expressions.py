@@ -6,18 +6,18 @@ from __future__ import annotations
 
 import pytest
 
-from repro import ExecutionError, PermDB
+from repro import ExecutionError, connect
 
 
 @pytest.fixture(scope="module")
 def db():
-    session = PermDB()
-    session.execute("CREATE TABLE one (x int); INSERT INTO one VALUES (1)")
+    session = connect()
+    session.run("CREATE TABLE one (x int); INSERT INTO one VALUES (1)")
     return session
 
 
 def val(db, expression):
-    return db.execute(f"SELECT {expression} FROM one").rows[0][0]
+    return db.run(f"SELECT {expression} FROM one").rows[0][0]
 
 
 class TestNullSemantics:
@@ -53,7 +53,7 @@ class TestNullSemantics:
         assert val(db, "2 IN (1, 3)") is False
 
     def test_where_unknown_filters_row(self, db):
-        assert db.execute("SELECT x FROM one WHERE NULL").rows == []
+        assert db.run("SELECT x FROM one WHERE NULL").rows == []
 
 
 class TestFunctions:

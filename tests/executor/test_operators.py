@@ -5,13 +5,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro import ExecutionError, PermDB
+from repro import ExecutionError, connect
 
 
 @pytest.fixture
 def db():
-    session = PermDB()
-    session.execute(
+    session = connect()
+    session.run(
         """
         CREATE TABLE l (k int, lv text);
         CREATE TABLE r (k int, rv text);
@@ -30,11 +30,11 @@ def rows(relation):
 
 class TestJoins:
     def test_inner_join_and_null_keys_never_match(self, db):
-        result = db.execute("SELECT lv, rv FROM l JOIN r ON l.k = r.k")
+        result = db.run("SELECT lv, rv FROM l JOIN r ON l.k = r.k")
         assert rows(result) == [("l2", "r2"), ("l2b", "r2")]
 
     def test_left_join_pads_right(self, db):
-        result = db.execute("SELECT lv, rv FROM l LEFT JOIN r ON l.k = r.k")
+        result = db.run("SELECT lv, rv FROM l LEFT JOIN r ON l.k = r.k")
         assert rows(result) == [
             ("l1", None),
             ("l2", "r2"),
@@ -43,7 +43,7 @@ class TestJoins:
         ]
 
     def test_right_join_pads_left(self, db):
-        result = db.execute("SELECT lv, rv FROM l RIGHT JOIN r ON l.k = r.k")
+        result = db.run("SELECT lv, rv FROM l RIGHT JOIN r ON l.k = r.k")
         assert rows(result) == [
             ("l2", "r2"),
             ("l2b", "r2"),
@@ -52,7 +52,7 @@ class TestJoins:
         ]
 
     def test_full_join(self, db):
-        result = db.execute("SELECT lv, rv FROM l FULL JOIN r ON l.k = r.k")
+        result = db.run("SELECT lv, rv FROM l FULL JOIN r ON l.k = r.k")
         assert rows(result) == [
             ("l1", None),
             ("l2", "r2"),
@@ -63,30 +63,30 @@ class TestJoins:
         ]
 
     def test_null_safe_join_matches_nulls(self, db):
-        result = db.execute(
+        result = db.run(
             "SELECT lv, rv FROM l JOIN r ON l.k IS NOT DISTINCT FROM r.k"
         )
         assert rows(result) == [("l2", "r2"), ("l2b", "r2"), ("lnull", "rnull")]
 
     def test_non_equi_join_uses_nested_loop(self, db):
-        result = db.execute("SELECT lv, rv FROM l JOIN r ON l.k < r.k")
+        result = db.run("SELECT lv, rv FROM l JOIN r ON l.k < r.k")
         assert rows(result) == [("l1", "r2"), ("l1", "r3"), ("l2", "r3"), ("l2b", "r3")]
 
     def test_outer_join_with_non_equi_condition(self, db):
-        result = db.execute("SELECT lv, rv FROM l LEFT JOIN r ON l.k > r.k")
+        result = db.run("SELECT lv, rv FROM l LEFT JOIN r ON l.k > r.k")
         assert ("l1", None) in result.rows  # no r.k < 1
 
     def test_cross_join_cardinality(self, db):
-        assert len(db.execute("SELECT 1 FROM l CROSS JOIN r")) == 12
+        assert len(db.run("SELECT 1 FROM l CROSS JOIN r")) == 12
 
     def test_join_condition_with_residual(self, db):
-        result = db.execute(
+        result = db.run(
             "SELECT lv, rv FROM l JOIN r ON l.k = r.k AND rv LIKE '%2'"
         )
         assert rows(result) == [("l2", "r2"), ("l2b", "r2")]
 
     def test_left_join_residual_affects_matching(self, db):
-        result = db.execute(
+        result = db.run(
             "SELECT lv, rv FROM l LEFT JOIN r ON l.k = r.k AND rv = 'nope'"
         )
         assert all(rv is None for _, rv in result.rows)
@@ -95,66 +95,66 @@ class TestJoins:
 
 class TestAggregation:
     def test_count_sum_avg_min_max(self, db):
-        result = db.execute(
+        result = db.run(
             "SELECT count(*), count(n), sum(n), avg(n), min(n), max(n) FROM nums"
         )
         assert result.rows == [(5, 4, 8, 2.0, 1, 3)]
 
     def test_aggregates_ignore_nulls(self, db):
-        assert db.execute("SELECT sum(n) FROM nums WHERE n IS NULL").rows == [(None,)]
-        assert db.execute("SELECT count(n) FROM nums WHERE n IS NULL").rows == [(0,)]
+        assert db.run("SELECT sum(n) FROM nums WHERE n IS NULL").rows == [(None,)]
+        assert db.run("SELECT count(n) FROM nums WHERE n IS NULL").rows == [(0,)]
 
     def test_count_star_on_empty_table(self, db):
-        db.execute("CREATE TABLE empty (x int)")
-        assert db.execute("SELECT count(*) FROM empty").rows == [(0,)]
-        assert db.execute("SELECT sum(x), min(x) FROM empty").rows == [(None, None)]
+        db.run("CREATE TABLE empty (x int)")
+        assert db.run("SELECT count(*) FROM empty").rows == [(0,)]
+        assert db.run("SELECT sum(x), min(x) FROM empty").rows == [(None, None)]
 
     def test_group_by_with_null_group(self, db):
-        result = db.execute("SELECT n, count(*) FROM nums GROUP BY n")
+        result = db.run("SELECT n, count(*) FROM nums GROUP BY n")
         assert rows(result) == [(1, 1), (2, 2), (3, 1), (None, 1)]
 
     def test_distinct_aggregate(self, db):
-        result = db.execute("SELECT count(DISTINCT n), sum(DISTINCT n) FROM nums")
+        result = db.run("SELECT count(DISTINCT n), sum(DISTINCT n) FROM nums")
         assert result.rows == [(3, 6)]
 
     def test_avg_of_ints_is_float(self, db):
-        value = db.execute("SELECT avg(n) FROM nums").rows[0][0]
+        value = db.run("SELECT avg(n) FROM nums").rows[0][0]
         assert isinstance(value, float)
 
     def test_sum_type_preservation(self, db):
-        assert isinstance(db.execute("SELECT sum(n) FROM nums").rows[0][0], int)
-        db.execute("CREATE TABLE fs (f float); INSERT INTO fs VALUES (1.5), (2)")
-        assert db.execute("SELECT sum(f) FROM fs").rows == [(3.5,)]
+        assert isinstance(db.run("SELECT sum(n) FROM nums").rows[0][0], int)
+        db.run("CREATE TABLE fs (f float); INSERT INTO fs VALUES (1.5), (2)")
+        assert db.run("SELECT sum(f) FROM fs").rows == [(3.5,)]
 
     def test_aggregate_over_expression(self, db):
-        assert db.execute("SELECT sum(n * 2) FROM nums").rows == [(16,)]
+        assert db.run("SELECT sum(n * 2) FROM nums").rows == [(16,)]
 
     def test_empty_groups_produce_no_rows(self, db):
-        assert db.execute("SELECT n, count(*) FROM nums WHERE n > 99 GROUP BY n").rows == []
+        assert db.run("SELECT n, count(*) FROM nums WHERE n > 99 GROUP BY n").rows == []
 
 
 class TestSetOperations:
     def test_union_dedupes(self, db):
-        result = db.execute("SELECT k FROM l UNION SELECT k FROM r")
+        result = db.run("SELECT k FROM l UNION SELECT k FROM r")
         assert rows(result) == [(1,), (2,), (3,), (None,)]
 
     def test_union_all_keeps_duplicates(self, db):
-        assert len(db.execute("SELECT k FROM l UNION ALL SELECT k FROM r")) == 7
+        assert len(db.run("SELECT k FROM l UNION ALL SELECT k FROM r")) == 7
 
     def test_intersect(self, db):
-        result = db.execute("SELECT k FROM l INTERSECT SELECT k FROM r")
+        result = db.run("SELECT k FROM l INTERSECT SELECT k FROM r")
         assert rows(result) == [(2,), (None,)]  # set ops treat NULLs as equal
 
     def test_intersect_all_min_multiplicity(self, db):
-        result = db.execute("SELECT n FROM nums INTERSECT ALL SELECT n FROM nums WHERE n = 2")
+        result = db.run("SELECT n FROM nums INTERSECT ALL SELECT n FROM nums WHERE n = 2")
         assert result.rows == [(2,), (2,)]
 
     def test_except(self, db):
-        result = db.execute("SELECT k FROM l EXCEPT SELECT k FROM r")
+        result = db.run("SELECT k FROM l EXCEPT SELECT k FROM r")
         assert rows(result) == [(1,)]
 
     def test_except_all_subtracts_counts(self, db):
-        result = db.execute(
+        result = db.run(
             "SELECT n FROM nums EXCEPT ALL SELECT n FROM nums WHERE n = 2 LIMIT 10"
         )
         # nums holds two 2s and the right side returns both of them,
@@ -163,50 +163,50 @@ class TestSetOperations:
         assert counts == [1, 3]
 
     def test_union_unifies_types_positionally(self, db):
-        result = db.execute("SELECT 1 UNION SELECT 2.5")
+        result = db.run("SELECT 1 UNION SELECT 2.5")
         assert rows(result) == [(1,), (2.5,)]
 
 
 class TestDistinctSortLimit:
     def test_distinct(self, db):
-        result = db.execute("SELECT DISTINCT n FROM nums")
+        result = db.run("SELECT DISTINCT n FROM nums")
         assert len(result) == 4  # 1, 2, 3, NULL
 
     def test_order_by_defaults_nulls_last_asc(self, db):
-        result = db.execute("SELECT n FROM nums ORDER BY n")
+        result = db.run("SELECT n FROM nums ORDER BY n")
         assert result.rows == [(1,), (2,), (2,), (3,), (None,)]
 
     def test_order_by_desc_defaults_nulls_first(self, db):
-        result = db.execute("SELECT n FROM nums ORDER BY n DESC")
+        result = db.run("SELECT n FROM nums ORDER BY n DESC")
         assert result.rows == [(None,), (3,), (2,), (2,), (1,)]
 
     def test_explicit_nulls_placement(self, db):
-        asc_first = db.execute("SELECT n FROM nums ORDER BY n ASC NULLS FIRST")
+        asc_first = db.run("SELECT n FROM nums ORDER BY n ASC NULLS FIRST")
         assert asc_first.rows[0] == (None,)
-        desc_last = db.execute("SELECT n FROM nums ORDER BY n DESC NULLS LAST")
+        desc_last = db.run("SELECT n FROM nums ORDER BY n DESC NULLS LAST")
         assert desc_last.rows[-1] == (None,)
 
     def test_multi_key_sort_stability(self, db):
-        db.execute(
+        db.run(
             "CREATE TABLE mk (a int, b int);"
             "INSERT INTO mk VALUES (1, 2), (1, 1), (2, 1), (2, 2)"
         )
-        result = db.execute("SELECT a, b FROM mk ORDER BY a ASC, b DESC")
+        result = db.run("SELECT a, b FROM mk ORDER BY a ASC, b DESC")
         assert result.rows == [(1, 2), (1, 1), (2, 2), (2, 1)]
 
     def test_limit_offset(self, db):
-        result = db.execute("SELECT n FROM nums ORDER BY n LIMIT 2 OFFSET 1")
+        result = db.run("SELECT n FROM nums ORDER BY n LIMIT 2 OFFSET 1")
         assert result.rows == [(2,), (2,)]
 
     def test_limit_zero(self, db):
-        assert db.execute("SELECT n FROM nums LIMIT 0").rows == []
+        assert db.run("SELECT n FROM nums LIMIT 0").rows == []
 
     def test_limit_null_means_all(self, db):
-        assert len(db.execute("SELECT n FROM nums LIMIT NULL")) == 5
+        assert len(db.run("SELECT n FROM nums LIMIT NULL")) == 5
 
     def test_negative_limit_rejected(self, db):
         with pytest.raises(ExecutionError, match="negative"):
-            db.execute("SELECT n FROM nums LIMIT -1")
+            db.run("SELECT n FROM nums LIMIT -1")
 
     def test_limit_expression(self, db):
-        assert len(db.execute("SELECT n FROM nums LIMIT 1 + 1")) == 2
+        assert len(db.run("SELECT n FROM nums LIMIT 1 + 1")) == 2

@@ -5,13 +5,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro import ExecutionError, PermDB
+from repro import ExecutionError, connect
 
 
 @pytest.fixture
 def db():
-    session = PermDB()
-    session.execute(
+    session = connect()
+    session.run(
         """
         CREATE TABLE emp (id int, name text, dept int, salary int);
         CREATE TABLE dept (id int, dname text);
@@ -30,71 +30,71 @@ def rows(relation):
 
 class TestScalarSubqueries:
     def test_uncorrelated_scalar(self, db):
-        result = db.execute("SELECT name FROM emp WHERE salary = (SELECT max(salary) FROM emp)")
+        result = db.run("SELECT name FROM emp WHERE salary = (SELECT max(salary) FROM emp)")
         assert result.rows == [("cat",)]
 
     def test_scalar_in_select_list(self, db):
-        result = db.execute("SELECT name, (SELECT count(*) FROM dept) FROM emp WHERE id = 1")
+        result = db.run("SELECT name, (SELECT count(*) FROM dept) FROM emp WHERE id = 1")
         assert result.rows == [("ann", 3)]
 
     def test_correlated_scalar(self, db):
-        result = db.execute(
+        result = db.run(
             "SELECT name, (SELECT dname FROM dept WHERE dept.id = emp.dept) AS d FROM emp"
         )
         lookup = dict(result.rows)
         assert lookup["ann"] == "eng" and lookup["cat"] == "ops" and lookup["dan"] is None
 
     def test_empty_scalar_is_null(self, db):
-        result = db.execute("SELECT (SELECT salary FROM emp WHERE id = 99) FROM dept")
+        result = db.run("SELECT (SELECT salary FROM emp WHERE id = 99) FROM dept")
         assert all(r[0] is None for r in result.rows)
 
     def test_multirow_scalar_raises(self, db):
         with pytest.raises(ExecutionError, match="more than one row"):
-            db.execute("SELECT (SELECT salary FROM emp) FROM dept")
+            db.run("SELECT (SELECT salary FROM emp) FROM dept")
 
 
 class TestExists:
     def test_correlated_exists(self, db):
-        result = db.execute(
+        result = db.run(
             "SELECT dname FROM dept WHERE EXISTS "
             "(SELECT 1 FROM emp WHERE emp.dept = dept.id)"
         )
         assert rows(result) == [("eng",), ("ops",)]
 
     def test_not_exists(self, db):
-        result = db.execute(
+        result = db.run(
             "SELECT dname FROM dept WHERE NOT EXISTS "
             "(SELECT 1 FROM emp WHERE emp.dept = dept.id)"
         )
         assert result.rows == [("empty",)]
 
     def test_uncorrelated_exists(self, db):
-        assert len(db.execute("SELECT id FROM dept WHERE EXISTS (SELECT 1 FROM emp)")) == 3
-        assert db.execute(
+        assert len(db.run("SELECT id FROM dept WHERE EXISTS (SELECT 1 FROM emp)")) == 3
+        assert db.run(
             "SELECT id FROM dept WHERE EXISTS (SELECT 1 FROM emp WHERE salary > 999)"
         ).rows == []
 
 
 class TestInSubqueries:
     def test_in(self, db):
-        result = db.execute("SELECT name FROM emp WHERE dept IN (SELECT id FROM dept)")
+        result = db.run("SELECT name FROM emp WHERE dept IN (SELECT id FROM dept)")
         assert rows(result) == [("ann",), ("bob",), ("cat",)]
 
     def test_not_in_with_null_in_subquery(self, db):
         # dept contains no NULL; emp.dept does. NOT IN over a set
         # containing no NULLs: NULL operand -> unknown -> filtered.
-        result = db.execute("SELECT name FROM emp WHERE dept NOT IN (SELECT id FROM dept WHERE id > 10)")
+        result = db.run("SELECT name FROM emp WHERE dept NOT IN (SELECT id FROM dept WHERE id > 10)")
         assert rows(result) == [("ann",), ("bob",)]
 
     def test_not_in_null_poisoning(self, db):
         # A NULL in the subquery makes NOT IN never true.
-        result = db.execute(
+        result = db.run(
             "SELECT name FROM emp WHERE salary NOT IN (SELECT dept FROM emp)"
         )
         assert result.rows == []
 
     def test_correlated_in(self, db):
-        result = db.execute(
+        result = db.run(
             "SELECT dname FROM dept WHERE id IN "
             "(SELECT dept FROM emp WHERE emp.salary > 150 AND emp.dept = dept.id)"
         )
@@ -103,36 +103,36 @@ class TestInSubqueries:
 
 class TestQuantified:
     def test_gt_all(self, db):
-        result = db.execute(
+        result = db.run(
             "SELECT name FROM emp WHERE salary > ALL (SELECT salary FROM emp WHERE dept = 10)"
         )
         assert result.rows == [("cat",)]
 
     def test_gt_any(self, db):
-        result = db.execute(
+        result = db.run(
             "SELECT name FROM emp WHERE salary > ANY (SELECT salary FROM emp WHERE dept = 10)"
         )
         assert rows(result) == [("bob",), ("cat",), ("dan",)]
 
     def test_all_over_empty_is_true(self, db):
-        assert len(db.execute(
+        assert len(db.run(
             "SELECT name FROM emp WHERE salary > ALL (SELECT salary FROM emp WHERE id = 99)"
         )) == 4
 
     def test_any_over_empty_is_false(self, db):
-        assert db.execute(
+        assert db.run(
             "SELECT name FROM emp WHERE salary > ANY (SELECT salary FROM emp WHERE id = 99)"
         ).rows == []
 
     def test_eq_any_is_in(self, db):
-        in_result = db.execute("SELECT name FROM emp WHERE dept IN (SELECT id FROM dept)")
-        any_result = db.execute("SELECT name FROM emp WHERE dept = ANY (SELECT id FROM dept)")
+        in_result = db.run("SELECT name FROM emp WHERE dept IN (SELECT id FROM dept)")
+        any_result = db.run("SELECT name FROM emp WHERE dept = ANY (SELECT id FROM dept)")
         assert rows(in_result) == rows(any_result)
 
 
 class TestNesting:
     def test_two_levels_of_correlation(self, db):
-        result = db.execute(
+        result = db.run(
             "SELECT dname FROM dept d WHERE EXISTS ("
             "  SELECT 1 FROM emp e WHERE e.dept = d.id AND e.salary = ("
             "    SELECT max(salary) FROM emp e2 WHERE e2.dept = d.id))"
@@ -140,14 +140,14 @@ class TestNesting:
         assert rows(result) == [("eng",), ("ops",)]
 
     def test_subquery_in_from_with_subquery_in_where(self, db):
-        result = db.execute(
+        result = db.run(
             "SELECT t.name FROM (SELECT name, salary FROM emp WHERE salary > 100) AS t "
             "WHERE t.salary < (SELECT max(salary) FROM emp)"
         )
         assert rows(result) == [("bob",), ("dan",)]
 
     def test_exists_inside_case(self, db):
-        result = db.execute(
+        result = db.run(
             "SELECT dname, CASE WHEN EXISTS (SELECT 1 FROM emp WHERE emp.dept = dept.id) "
             "THEN 'staffed' ELSE 'empty' END FROM dept"
         )

@@ -7,7 +7,7 @@ from __future__ import annotations
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import PermDB
+from repro import connect
 from repro.executor import execute_plan
 from repro.sql import ast, parse_statement
 
@@ -40,8 +40,8 @@ QUERY_SHAPES = [
 )
 @settings(max_examples=120, deadline=None)
 def test_optimizer_preserves_query_results(r_rows, s_rows, shape):
-    db = PermDB()
-    db.execute("CREATE TABLE r (a int, v text); CREATE TABLE s (a int, v text)")
+    db = connect()
+    db.run("CREATE TABLE r (a int, v text); CREATE TABLE s (a int, v text)")
     db.load_rows("r", r_rows)
     db.load_rows("s", s_rows)
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import PermDB
+from repro import connect
 from repro.algebra import expressions as ax
 from repro.algebra import nodes as an
 from repro.algebra.tree import walk_tree
@@ -24,8 +24,8 @@ from repro.sql import ast, parse_statement
 
 @pytest.fixture
 def db():
-    session = PermDB()
-    session.execute(
+    session = connect()
+    session.run(
         """
         CREATE TABLE t (a int, b text);
         CREATE TABLE s (x int, y text);
@@ -200,10 +200,10 @@ class TestCostModel:
     def test_nested_loop_costlier_than_hash_at_scale(self, db):
         # The quadratic nested-loop term must dominate once inputs are
         # large (on 3-row tables a nested loop is genuinely cheaper).
-        db.execute("INSERT INTO t SELECT a + 100, b FROM t")
+        db.run("INSERT INTO t SELECT a + 100, b FROM t")
         for _ in range(6):
-            db.execute("INSERT INTO t SELECT a + 1000, b FROM t")
-            db.execute("INSERT INTO s SELECT x + 1000, y FROM s")
+            db.run("INSERT INTO t SELECT a + 1000, b FROM t")
+            db.run("INSERT INTO s SELECT x + 1000, y FROM s")
         model = CostModel(db.catalog)
         equi = analyzed(db, "SELECT t.a FROM t JOIN s ON t.a = s.x")
         non_equi = analyzed(db, "SELECT t.a FROM t JOIN s ON t.a < s.x")

@@ -9,7 +9,7 @@ from pathlib import Path
 
 import pytest
 
-from repro import PermDB
+from repro import connect
 
 EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
 
@@ -29,8 +29,8 @@ class TestMultiStageScenario:
 
     @pytest.fixture
     def db(self):
-        db = PermDB()
-        db.execute(
+        db = connect()
+        db.run(
             """
             CREATE TABLE raw (id int, category text, value int, source text);
             """
@@ -48,8 +48,8 @@ class TestMultiStageScenario:
         return db
 
     def test_view_then_aggregate_provenance(self, db):
-        db.execute("CREATE VIEW filtered AS SELECT id, category, value FROM raw WHERE value > 15")
-        result = db.execute(
+        db.run("CREATE VIEW filtered AS SELECT id, category, value FROM raw WHERE value > 15")
+        result = db.run(
             "SELECT PROVENANCE category, sum(value) AS total FROM filtered GROUP BY category"
         )
         b_rows = [row for row in result.rows if row[0] == "b"]
@@ -57,13 +57,13 @@ class TestMultiStageScenario:
         assert sorted(row[result.schema.index_of("prov_raw_id")] for row in b_rows) == [3, 4, 5]
 
     def test_eager_chain(self, db):
-        db.execute(
+        db.run(
             "CREATE TABLE stage1 AS SELECT PROVENANCE id, category, value FROM raw WHERE value >= 20"
         )
-        db.execute(
+        db.run(
             "CREATE TABLE stage2 AS SELECT PROVENANCE category, count(*) AS n FROM stage1 GROUP BY category"
         )
-        final = db.execute("SELECT * FROM stage2 ORDER BY category, prov_raw_id")
+        final = db.run("SELECT * FROM stage2 ORDER BY category, prov_raw_id")
         # Stage 2's provenance columns are stage 1's stored witnesses.
         assert [c for c in final.columns if c.startswith("prov_")] == [
             "prov_raw_id",
@@ -75,8 +75,8 @@ class TestMultiStageScenario:
         assert len(a_rows) == 1 and a_rows[0][1] == 1 and a_rows[0][2] == 2
 
     def test_mixed_semantics_same_session(self, db):
-        influence = db.execute("SELECT PROVENANCE category FROM raw WHERE id = 1")
-        copy = db.execute(
+        influence = db.run("SELECT PROVENANCE category FROM raw WHERE id = 1")
+        copy = db.run(
             "SELECT PROVENANCE ON CONTRIBUTION (COPY PARTIAL) category FROM raw WHERE id = 1"
         )
         assert influence.columns == copy.columns
@@ -86,7 +86,7 @@ class TestMultiStageScenario:
     def test_provenance_of_provenance(self, db):
         """Rewriting an already-rewritten query (provenance of a
         provenance subquery) nests cleanly."""
-        result = db.execute(
+        result = db.run(
             "SELECT PROVENANCE p.category FROM "
             "(SELECT PROVENANCE category FROM raw WHERE value > 30) AS p"
         )
@@ -98,16 +98,16 @@ class TestMultiStageScenario:
     def test_union_of_provenance_and_data(self, db):
         """Provenance results are first-class relations: they can be
         stored, unioned and re-queried."""
-        db.execute("CREATE TABLE p1 AS SELECT PROVENANCE id FROM raw WHERE category = 'a'")
-        db.execute("CREATE TABLE p2 AS SELECT PROVENANCE id FROM raw WHERE category = 'b'")
-        merged = db.execute(
+        db.run("CREATE TABLE p1 AS SELECT PROVENANCE id FROM raw WHERE category = 'a'")
+        db.run("CREATE TABLE p2 AS SELECT PROVENANCE id FROM raw WHERE category = 'b'")
+        merged = db.run(
             "SELECT * FROM p1 UNION ALL SELECT * FROM p2 ORDER BY id"
         )
         assert len(merged) == 5
 
     def test_transactions_of_dml_and_provenance(self, db):
-        before = db.execute("SELECT PROVENANCE count(*) AS n FROM raw")
-        db.execute("DELETE FROM raw WHERE source = 'feed2'")
-        after = db.execute("SELECT PROVENANCE count(*) AS n FROM raw")
+        before = db.run("SELECT PROVENANCE count(*) AS n FROM raw")
+        db.run("DELETE FROM raw WHERE source = 'feed2'")
+        after = db.run("SELECT PROVENANCE count(*) AS n FROM raw")
         assert before.rows[0][0] == 5 and after.rows[0][0] == 3
         assert len(after) == 3  # one witness row per remaining tuple

@@ -12,30 +12,30 @@ from repro.workloads.queries import queries_for_class, with_provenance
 class TestForum:
     def test_figure1_cardinalities(self):
         db = create_forum_db()
-        assert len(db.execute("SELECT * FROM messages")) == 2
-        assert len(db.execute("SELECT * FROM users")) == 3
-        assert len(db.execute("SELECT * FROM imports")) == 2
-        assert len(db.execute("SELECT * FROM approved")) == 4
-        assert len(db.execute("SELECT * FROM v1")) == 4
+        assert len(db.run("SELECT * FROM messages")) == 2
+        assert len(db.run("SELECT * FROM users")) == 3
+        assert len(db.run("SELECT * FROM imports")) == 2
+        assert len(db.run("SELECT * FROM approved")) == 4
+        assert len(db.run("SELECT * FROM v1")) == 4
 
     def test_scaled_forum_is_deterministic(self):
         a = scaled_forum_db(messages=50, users=10, imports=20)
         b = scaled_forum_db(messages=50, users=10, imports=20)
         for table in ("messages", "users", "imports", "approved"):
             assert (
-                a.execute(f"SELECT * FROM {table}").rows
-                == b.execute(f"SELECT * FROM {table}").rows
+                a.run(f"SELECT * FROM {table}").rows
+                == b.run(f"SELECT * FROM {table}").rows
             )
 
     def test_scaled_forum_sizes(self):
         db = scaled_forum_db(messages=50, users=10, imports=20, approvals_per_message=2)
-        assert len(db.execute("SELECT * FROM messages")) == 50
-        assert len(db.execute("SELECT * FROM imports")) == 20
-        assert len(db.execute("SELECT * FROM approved")) == 100
+        assert len(db.run("SELECT * FROM messages")) == 50
+        assert len(db.run("SELECT * FROM imports")) == 20
+        assert len(db.run("SELECT * FROM approved")) == 100
 
     def test_scaled_ids_disjoint(self):
         db = scaled_forum_db(messages=20, users=5, imports=20)
-        overlap = db.execute(
+        overlap = db.run(
             "SELECT mId FROM messages INTERSECT SELECT mId FROM imports"
         )
         assert overlap.rows == []
@@ -47,18 +47,18 @@ class TestTpch:
         return create_tpch_db(TpchConfig(customers=20, orders=60, parts=10))
 
     def test_row_counts(self, tpch):
-        assert len(tpch.execute("SELECT * FROM customer")) == 20
-        assert len(tpch.execute("SELECT * FROM orders")) == 60
-        assert len(tpch.execute("SELECT * FROM lineitem")) == 180
-        assert len(tpch.execute("SELECT * FROM region")) == 5
+        assert len(tpch.run("SELECT * FROM customer")) == 20
+        assert len(tpch.run("SELECT * FROM orders")) == 60
+        assert len(tpch.run("SELECT * FROM lineitem")) == 180
+        assert len(tpch.run("SELECT * FROM region")) == 5
 
     def test_referential_integrity(self, tpch):
-        dangling = tpch.execute(
+        dangling = tpch.run(
             "SELECT o_orderkey FROM orders WHERE o_custkey NOT IN "
             "(SELECT c_custkey FROM customer)"
         )
         assert dangling.rows == []
-        dangling = tpch.execute(
+        dangling = tpch.run(
             "SELECT l_orderkey FROM lineitem WHERE l_orderkey NOT IN "
             "(SELECT o_orderkey FROM orders)"
         )
@@ -67,7 +67,7 @@ class TestTpch:
     def test_deterministic_for_seed(self):
         a = create_tpch_db(TpchConfig(customers=5, orders=10, parts=5, seed=1))
         b = create_tpch_db(TpchConfig(customers=5, orders=10, parts=5, seed=1))
-        assert a.execute("SELECT * FROM orders").rows == b.execute("SELECT * FROM orders").rows
+        assert a.run("SELECT * FROM orders").rows == b.run("SELECT * FROM orders").rows
 
     def test_scale_factor(self):
         config = TpchConfig(customers=100, orders=200).scale(0.1)
@@ -76,8 +76,8 @@ class TestTpch:
     def test_every_benchmark_query_runs(self, tpch):
         for class_name in QUERY_CLASSES:
             for name, sql in queries_for_class(class_name).items():
-                plain = tpch.execute(sql)
-                prov = tpch.execute(with_provenance(sql))
+                plain = tpch.run(sql)
+                prov = tpch.run(with_provenance(sql))
                 width = len(plain.columns)
                 assert {tuple(r[:width]) for r in prov.rows} == set(plain.rows), name
 
