@@ -39,20 +39,24 @@ to the execute stage. The pre-1.x ``PermDB`` session remains available as
 a deprecated shim whose ``execute()`` returns the result relation
 directly.
 
-Two execution engines are available — ``repro.connect(engine="row")``
-(tuple-at-a-time volcano iterators, the default) and
-``engine="vectorized"`` (batch-at-a-time columnar execution, typically
-2-5x faster on scan-heavy queries). Both compile from the same physical
-plan and return identical results; ``REPRO_ENGINE`` sets the process
-default. See README.md for the benchmark table.
+Three execution engines are available — ``repro.connect(engine="row")``
+(tuple-at-a-time volcano iterators, the default), ``engine="vectorized"``
+(batch-at-a-time columnar execution, typically 2-5x faster on scan-heavy
+queries) and ``engine="sqlite"`` (the paper's pushdown architecture: the
+rewritten plan is compiled to one SQL statement executed by an embedded
+``sqlite3`` database, often 10-40x faster on large scans). All compile
+from the same physical plan decisions and return identical results;
+``REPRO_ENGINE`` sets the process default. See README.md for the
+benchmark table.
 
 The package layers match the paper's Figure 3 architecture: SQL frontend
 (:mod:`repro.sql`), analyzer with view unfolding (:mod:`repro.analyzer`),
 the provenance rewriter — the paper's contribution — (:mod:`repro.core`),
-logical optimizer (:mod:`repro.optimizer`), planner and executor
-(:mod:`repro.planner`, :mod:`repro.executor`), the explicit pipeline and
-DB-API front end (:mod:`repro.engine`), plus the Perm browser
-(:mod:`repro.browser`) and example workloads (:mod:`repro.workloads`).
+logical optimizer (:mod:`repro.optimizer`), planner and executors
+(:mod:`repro.planner`, :mod:`repro.executor`), the SQLite pushdown
+backend (:mod:`repro.backend`), the explicit pipeline and DB-API front
+end (:mod:`repro.engine`), plus the Perm browser (:mod:`repro.browser`)
+and example workloads (:mod:`repro.workloads`).
 """
 
 from .core.context import RewriteOptions

@@ -70,6 +70,18 @@ def _match(
 ) -> None:
     if isinstance(expr, ax.BinOp) and expr.op in _COMPARABLE_OPS:
         _pair(expr.left, expr.right, schema, outer, found)
+    elif isinstance(expr, ax.BinOp) and expr.op in ("||", "like", "ilike"):
+        # Both operands must be text regardless of the other side.
+        for side in (expr.left, expr.right):
+            if isinstance(side, ax.Param):
+                _record(found, side, SQLType.TEXT)
+    elif isinstance(expr, ax.BinOp) and expr.op in ("and", "or"):
+        for side in (expr.left, expr.right):
+            if isinstance(side, ax.Param):
+                _record(found, side, SQLType.BOOL)
+    elif isinstance(expr, ax.UnOp) and expr.op == "not":
+        if isinstance(expr.operand, ax.Param):
+            _record(found, expr.operand, SQLType.BOOL)
     elif isinstance(expr, ax.DistinctTest):
         _pair(expr.left, expr.right, schema, outer, found)
     elif isinstance(expr, ax.InListExpr):

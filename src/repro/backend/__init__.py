@@ -1,0 +1,11 @@
+"""Pushdown execution backends.
+
+The paper's Perm prototype executes provenance-rewritten query trees by
+deparsing them to SQL and handing them to a conventional DBMS
+(PostgreSQL). This package reproduces that architecture: compiled plans
+run inside an embedded ``sqlite3`` database mirroring the engine's
+catalog, selected with ``repro.connect(engine="sqlite")``.
+"""
+
+from .compile import SQLiteCompiler, Unsupported, compile_sqlite_plan  # noqa: F401
+from .sqlite import SQLiteBackend, SQLiteQueryOp  # noqa: F401

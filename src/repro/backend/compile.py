@@ -1,0 +1,730 @@
+"""Algebra -> one SQLite statement, preserving engine semantics.
+
+This is the pushdown compiler for ``engine="sqlite"``. It walks the
+optimized (provenance-rewritten) algebra tree and emits nested-subselect
+SQL in the SQLite dialect, mirroring the paper's architecture: the
+rewritten query tree is deparsed and handed to a conventional DBMS.
+
+Two things make this more than a deparser:
+
+**The ordering channel.** The row and vectorized engines produce rows in
+a deterministic order (heap order scans, probe-side-major hash joins,
+first-seen groups) and the differential harness asserts bit-identical
+order across engines. SQL result order, however, is only defined by
+ORDER BY. So every compiled subquery carries hidden ordinal columns — a
+total order reproducing the row engine's output order — built from
+``rowid`` at the leaves, concatenated across joins, collapsed through
+GROUP BY via ``min(row_number() OVER (ORDER BY <child ordinals>))``,
+and consumed by one final top-level ORDER BY (NULL placement encoded as
+``(x IS NULL)`` prefix terms, so outer-join padding sorts exactly where
+the row engine puts it).
+
+**Per-subtree fallback.** Constructs SQLite cannot express with
+identical semantics raise :class:`Unsupported`; the enclosing subtree is
+then planned on the row engine and its output materialized into a temp
+fragment table the statement reads (the pattern
+:class:`~repro.executor.vectorized.VFromRows` uses, one level up).
+Fallback triggers for: set operations (SQLite's compound SELECT
+reorders rows), correlated sublinks beyond EXISTS/IN (SQLite silently
+takes the first row of a multi-row scalar subquery where this engine
+raises), quantified comparisons (no ANY/ALL), grouped or unordered
+float SUM/AVG (float addition is order-sensitive and SQLite's GROUP BY
+sorter does not preserve first-seen accumulation order), and statically
+boolean-typed operands of arithmetic/functions (SQLite has no boolean
+type to raise the engine's type errors on).
+
+Everything else — filters, projections, all join kinds, integer and
+min/max/count aggregation, DISTINCT, ORDER BY, LIMIT, parameter
+placeholders, EXISTS/IN sublinks (correlated or not) — runs natively in
+SQLite's C engine.
+
+Known numeric-range limitation: the engine's Python integers are
+unbounded while SQLite's are 64-bit. Tables holding integers beyond
+that range refuse to mirror (a clear :class:`ExecutionError`), oversized
+parameter values error at bind, but *intermediate* arithmetic or sum()
+overflow inside a pushed-down statement follows SQLite's 64-bit
+semantics rather than the row engine's arbitrary precision.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import TYPE_CHECKING, Optional
+
+from ..algebra import expressions as ax
+from ..algebra import nodes as an
+from ..algebra.to_sql import SQLiteDialect, expr_to_sql, quote_identifier_always as q
+from ..algebra.tree import walk_tree
+from ..catalog.schema import Schema
+from ..datatypes import SQLType
+from ..errors import PlanError
+from .sqlite import LimitBind, SQLiteBackend, SQLiteQueryOp, SubplanSlot
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..planner.planner import Planner
+
+
+class Unsupported(Exception):
+    """Raised when a (sub)tree cannot be pushed down with identical
+    semantics; the compiler falls back to the row engine for it."""
+
+
+class OrdKey:
+    """One hidden ordinal column of a compiled subquery.
+
+    ``nulls_first`` is ``None`` when the column can never be NULL;
+    otherwise it fixes NULL placement (outer-join padding, sort keys).
+    """
+
+    __slots__ = ("column", "descending", "nulls_first")
+
+    def __init__(
+        self,
+        column: str,
+        descending: bool = False,
+        nulls_first: Optional[bool] = None,
+    ):
+        self.column = column
+        self.descending = descending
+        self.nulls_first = nulls_first
+
+
+
+class _Compiled:
+    """A compiled subquery: SQL text exposing the node's schema columns
+    (under their quoted attribute names) plus hidden ordinal columns."""
+
+    __slots__ = ("sql", "ords")
+
+    def __init__(self, sql: str, ords: list[OrdKey]):
+        self.sql = sql
+        self.ords = ords
+
+
+_ROWID_NAMES = ("rowid", "_rowid_", "oid")
+# Operators whose compiled SQL is scanned in a *physically guaranteed*
+# order (see _order_realized): safe below an order-sensitive aggregate.
+_ORDER_PRESERVING = (an.Select, an.Project)
+
+
+class SQLiteCompiler:
+    """Compiles one algebra tree into one :class:`SQLiteQueryOp`."""
+
+    def __init__(self, planner: "Planner", backend: SQLiteBackend):
+        self.planner = planner
+        self.backend = backend
+        self._aliases = count()
+        self._ords = count()
+        self.table_names: list[str] = []
+        self.slots: list[SubplanSlot] = []
+        self.limit_binds: list[LimitBind] = []
+        self.param_labels: dict[int, str] = {}
+        # Enclosing sublink scopes, innermost last:
+        # (holder input Schema, lowercased names of the holder's plan tree)
+        self._scopes: list[tuple[Schema, set[str]]] = []
+        self._current_tree: set[str] = set()
+
+    # ------------------------------------------------------------------
+    def compile_root(self, node: an.Node):
+        """Compile *node*; returns a :class:`SQLiteQueryOp`, or a plain
+        row-engine plan when the root itself cannot be pushed down."""
+        self._current_tree = _tree_names(node)
+        try:
+            compiled = self._dispatch(node)
+        except Unsupported:
+            return self.planner.plan(node)
+        alias = self._alias()
+        columns = ", ".join(f"{alias}.{q(a.name)}" for a in node.schema)
+        sql = f"SELECT {columns} FROM ({compiled.sql}) AS {alias}"
+        if compiled.ords:
+            sql += f" ORDER BY {self._order_by(compiled.ords, alias)}"
+        return SQLiteQueryOp(
+            self.backend,
+            sql,
+            node.schema,
+            self.table_names,
+            self.slots,
+            self.limit_binds,
+            self.param_labels,
+            self.planner.params,
+        )
+
+    # ------------------------------------------------------------------
+    # Infrastructure
+    # ------------------------------------------------------------------
+    def _alias(self) -> str:
+        return f"s{next(self._aliases)}"
+
+    def _ord_name(self) -> str:
+        # '#' keeps generated ordinals out of any attribute namespace the
+        # analyzer or rewriter can produce.
+        return f"#o:{next(self._ords)}"
+
+    def _order_by(self, ords: list[OrdKey], alias: Optional[str] = None) -> str:
+        terms = []
+        for key in ords:
+            ref = f"{alias}.{q(key.column)}" if alias else q(key.column)
+            direction = "DESC" if key.descending else "ASC"
+            if key.nulls_first is not None:
+                terms.append(f"({ref} IS NULL) {'DESC' if key.nulls_first else 'ASC'}")
+            terms.append(f"{ref} {direction}")
+        return ", ".join(terms)
+
+    def _node(self, node: an.Node) -> _Compiled:
+        """Compile a subtree, falling back to a row-engine fragment when
+        it (or an expression in it) is unsupported. Side effects of the
+        abandoned attempt (slots, limit binds, parameter labels, table
+        references) are rolled back so the fallback plan does not drag
+        orphaned subplans through every execution."""
+        slots = len(self.slots)
+        limits = len(self.limit_binds)
+        tables = len(self.table_names)
+        labels = dict(self.param_labels)
+        try:
+            return self._dispatch(node)
+        except Unsupported:
+            del self.slots[slots:]
+            del self.limit_binds[limits:]
+            del self.table_names[tables:]
+            self.param_labels = labels
+            return self._fallback(node)
+
+    def _dispatch(self, node: an.Node) -> _Compiled:
+        method = getattr(self, "_compile_" + type(node).__name__.lower(), None)
+        if method is None:
+            raise Unsupported(type(node).__name__)
+        return method(node)
+
+    def _fallback(self, node: an.Node) -> _Compiled:
+        """Plan *node* on the row engine; its output is materialized into
+        a temp fragment per execution (order preserved via rowid)."""
+        if self._scopes and ax.plan_is_correlated(node):
+            # Inside a pushed-down correlated sublink a correlated
+            # subtree cannot be materialized ahead of execution; bubble
+            # up so the whole enclosing operator falls back instead.
+            raise Unsupported("correlated subtree inside a pushed-down sublink")
+        plan = self.planner.plan(node)
+        frag = self.backend.fresh_fragment_name()
+        self.slots.append(SubplanSlot("rows", plan, frag_table=frag))
+        alias = self._alias()
+        items = [
+            f"{alias}.c{i} AS {q(a.name)}" for i, a in enumerate(node.schema)
+        ]
+        ord_name = self._ord_name()
+        items.append(f"{alias}.rowid AS {q(ord_name)}")
+        sql = (
+            f"SELECT {', '.join(items)} "
+            f"FROM temp.{q(frag)} AS {alias}"
+        )
+        return _Compiled(sql, [OrdKey(ord_name)])
+
+    # ------------------------------------------------------------------
+    # Operators
+    # ------------------------------------------------------------------
+    def _compile_scan(self, node: an.Scan) -> _Compiled:
+        stored = {c.lower() for c in node.columns}
+        rowid = next((r for r in _ROWID_NAMES if r not in stored), None)
+        if rowid is None:
+            raise Unsupported("table uses every rowid alias as a column name")
+        key = node.table_name.lower()
+        if key not in {t.lower() for t in self.table_names}:
+            self.table_names.append(node.table_name)
+        alias = self._alias()
+        items = [
+            f"{alias}.{q(col)} AS {q(out.name)}"
+            for col, out in zip(node.columns, node.schema)
+        ]
+        ord_name = self._ord_name()
+        items.append(f"{alias}.{rowid} AS {q(ord_name)}")
+        sql = f"SELECT {', '.join(items)} FROM main.{q(key)} AS {alias}"
+        return _Compiled(sql, [OrdKey(ord_name)])
+
+    def _compile_singlerow(self, node: an.SingleRow) -> _Compiled:
+        ord_name = self._ord_name()
+        return _Compiled(f"SELECT 0 AS {q(ord_name)}", [OrdKey(ord_name)])
+
+    def _compile_baserelationnode(self, node: an.BaseRelationNode) -> _Compiled:
+        return self._node(node.child)
+
+    def _compile_provenancenode(self, node: an.ProvenanceNode) -> _Compiled:
+        raise PlanError(
+            "ProvenanceNode reached the planner — the provenance rewriter "
+            "must run before planning (engine bug or misuse of Planner)"
+        )
+
+    def _compile_project(self, node: an.Project) -> _Compiled:
+        child = self._node(node.child)
+        alias = self._alias()
+        items = [
+            f"{self._expr(expr, node.child.schema)} AS {q(name)}"
+            for name, expr in node.items
+        ]
+        items += [f"{alias}.{q(k.column)} AS {q(k.column)}" for k in child.ords]
+        sql = f"SELECT {', '.join(items)} FROM ({child.sql}) AS {alias}"
+        return _Compiled(sql, child.ords)
+
+    def _compile_select(self, node: an.Select) -> _Compiled:
+        child = self._node(node.child)
+        alias = self._alias()
+        condition = self._expr(node.condition, node.child.schema)
+        columns = [f"{alias}.{q(a.name)}" for a in node.schema]
+        columns += [f"{alias}.{q(k.column)}" for k in child.ords]
+        sql = (
+            f"SELECT {', '.join(columns)} FROM ({child.sql}) AS {alias} "
+            f"WHERE {condition}"
+        )
+        return _Compiled(sql, child.ords)
+
+    def _compile_join(self, node: an.Join) -> _Compiled:
+        if node.kind in ("right", "full") and not self.backend.supports_full_join:
+            raise Unsupported(f"{node.kind} join requires SQLite >= 3.39")
+        left = self._node(node.left)
+        right = self._node(node.right)
+        la, ra = self._alias(), self._alias()
+
+        left_ords = left.ords
+        if node.kind in ("right", "full"):
+            # Unmatched right rows (NULL-padded left side) must sort
+            # after every real row, the way the row engine appends them.
+            # A constant marker ordinal makes padding unambiguous even
+            # when the left ordinals can legitimately be NULL themselves
+            # (a sort key below) or are absent (one-row left input).
+            marker = self._ord_name()
+            left = _Compiled(
+                f"SELECT *, 0 AS {q(marker)} FROM ({left.sql})",
+                [OrdKey(marker, nulls_first=False)] + left_ords,
+            )
+            left_ords = left.ords
+
+        columns = [f"{la}.{q(a.name)}" for a in node.left.schema]
+        columns += [f"{ra}.{q(a.name)}" for a in node.right.schema]
+        columns += [f"{la}.{q(k.column)}" for k in left_ords]
+        columns += [f"{ra}.{q(k.column)}" for k in right.ords]
+
+        keyword = {
+            "inner": "JOIN",
+            "left": "LEFT JOIN",
+            "right": "RIGHT JOIN",
+            "full": "FULL JOIN",
+            "cross": "CROSS JOIN",
+        }[node.kind]
+        sql = (
+            f"SELECT {', '.join(columns)} FROM ({left.sql}) AS {la} "
+            f"{keyword} ({right.sql}) AS {ra}"
+        )
+        if node.condition is not None:
+            sql += f" ON {self._expr(node.condition, node.schema)}"
+
+        # Row-engine order: probe(left)-major, then build(right) order;
+        # unmatched build rows (right/full) appended last via the left
+        # pad marker above. Left/full padding (NULL right ordinals) is a
+        # single row per left row, so right ordinals are only ever
+        # compared among real matches of one left row and keep their
+        # own semantics unchanged.
+        return _Compiled(sql, left_ords + right.ords)
+
+    def _compile_aggregate(self, node: an.Aggregate) -> _Compiled:
+        child_schema = node.child.schema
+        outers = self._outer_schemas()
+        order_sensitive = False
+        float_aggs: set[int] = set()
+        for index, (_, agg) in enumerate(node.agg_items):
+            if agg.func in ("sum", "avg"):
+                arg_type = ax.infer_type(agg.arg, child_schema, outers)
+                if arg_type not in (SQLType.INT, SQLType.FLOAT):
+                    # sum/avg over bool/text raises in the engine;
+                    # SQLite would happily coerce and compute.
+                    raise Unsupported(f"{agg.func}() over {arg_type} input")
+                if arg_type is SQLType.FLOAT:
+                    if agg.distinct:
+                        # SQLite iterates the distinct set in b-tree
+                        # (sorted) order; the engine sums first-seen.
+                        raise Unsupported("DISTINCT float sum/avg is order-sensitive")
+                    order_sensitive = True
+                    float_aggs.add(index)
+
+        if order_sensitive:
+            if node.group_items:
+                # SQLite's GROUP BY sorter does not preserve per-group
+                # arrival order, so float accumulation order (and hence
+                # the exact IEEE sum) could differ from the row engine.
+                raise Unsupported("grouped float sum/avg is order-sensitive")
+            if not _order_realized(node.child):
+                raise Unsupported("float sum/avg over an unordered input")
+
+        child = self._node(node.child)
+        agg_sqls = []
+        for index, (name, agg) in enumerate(node.agg_items):
+            if agg.arg is None:
+                agg_sqls.append(f"count(*) AS {q(name)}")
+                continue
+            distinct = "DISTINCT " if agg.distinct else ""
+            arg_sql = self._expr(agg.arg, child_schema)
+            func = agg.func
+            if index in float_aggs and not self.backend.native_float_agg:
+                # This host's native sum/avg uses compensated summation
+                # (>= 3.44); route through the naive aggregate UDFs for
+                # bit-identical accumulation.
+                func = "repro_fsum" if func == "sum" else "repro_favg"
+            agg_sqls.append(f"{func}({distinct}{arg_sql}) AS {q(name)}")
+
+        if not node.group_items:
+            alias = self._alias()
+            sql = f"SELECT {', '.join(agg_sqls)} FROM ({child.sql}) AS {alias}"
+            return _Compiled(sql, [])  # exactly one row: no ordinal needed
+
+        # First-seen group order: number the input rows by the child
+        # ordinals, group, and order groups by min(row number).
+        inner_alias = self._alias()
+        rn = self._ord_name()
+        over = (
+            f"OVER (ORDER BY {self._order_by(child.ords, inner_alias)})"
+            if child.ords
+            else "OVER ()"
+        )
+        inner_columns = [f"{inner_alias}.{q(a.name)}" for a in child_schema]
+        inner_sql = (
+            f"SELECT {', '.join(inner_columns)}, row_number() {over} AS {q(rn)} "
+            f"FROM ({child.sql}) AS {inner_alias}"
+        )
+        outer_alias = self._alias()
+        group_sqls = [
+            (self._expr(expr, child_schema), name) for name, expr in node.group_items
+        ]
+        items = [f"{sql_text} AS {q(name)}" for sql_text, name in group_sqls]
+        items += agg_sqls
+        ord_name = self._ord_name()
+        items.append(f"min({q(rn)}) AS {q(ord_name)}")
+        sql = (
+            f"SELECT {', '.join(items)} FROM ({inner_sql}) AS {outer_alias} "
+            f"GROUP BY {', '.join(sql_text for sql_text, _ in group_sqls)}"
+        )
+        return _Compiled(sql, [OrdKey(ord_name)])
+
+    def _compile_distinct(self, node: an.Distinct) -> _Compiled:
+        child = self._node(node.child)
+        inner_alias = self._alias()
+        rn = self._ord_name()
+        over = (
+            f"OVER (ORDER BY {self._order_by(child.ords, inner_alias)})"
+            if child.ords
+            else "OVER ()"
+        )
+        inner_columns = [f"{inner_alias}.{q(a.name)}" for a in node.schema]
+        inner_sql = (
+            f"SELECT {', '.join(inner_columns)}, row_number() {over} AS {q(rn)} "
+            f"FROM ({child.sql}) AS {inner_alias}"
+        )
+        outer_alias = self._alias()
+        ord_name = self._ord_name()
+        names = [q(a.name) for a in node.schema]
+        sql = (
+            f"SELECT {', '.join(names)}, min({q(rn)}) AS {q(ord_name)} "
+            f"FROM ({inner_sql}) AS {outer_alias} "
+            f"GROUP BY {', '.join(names)}"
+        )
+        return _Compiled(sql, [OrdKey(ord_name)])
+
+    def _compile_sort(self, node: an.Sort) -> _Compiled:
+        child = self._node(node.child)
+        alias = self._alias()
+        columns = [f"{alias}.{q(a.name)}" for a in node.schema]
+        key_ords = []
+        for key in node.keys:
+            ord_name = self._ord_name()
+            columns.append(f"{self._expr(key.expr, node.child.schema)} AS {q(ord_name)}")
+            # PostgreSQL default NULL placement (the row engine's
+            # SortSpec): NULLS LAST ascending, NULLS FIRST descending.
+            nulls_first = key.descending if key.nulls_first is None else key.nulls_first
+            key_ords.append(OrdKey(ord_name, key.descending, nulls_first))
+        columns += [f"{alias}.{q(k.column)}" for k in child.ords]
+        sql = f"SELECT {', '.join(columns)} FROM ({child.sql}) AS {alias}"
+        # Stable sort: the child ordinals break ties exactly like the
+        # row engine's stable multi-key sort.
+        return _Compiled(sql, key_ords + child.ords)
+
+    def _compile_limit(self, node: an.Limit) -> _Compiled:
+        child = self._node(node.child)
+        alias = self._alias()
+        columns = [f"{alias}.{q(a.name)}" for a in node.schema]
+        columns += [f"{alias}.{q(k.column)}" for k in child.ords]
+        sql = f"SELECT {', '.join(columns)} FROM ({child.sql}) AS {alias}"
+        if child.ords:
+            sql += f" ORDER BY {self._order_by(child.ords, alias)}"
+        compiler = self.planner._compiler(Schema(()), ())
+        if node.limit is not None:
+            bind = f"limit{len(self.limit_binds)}"
+            self.limit_binds.append(LimitBind(bind, compiler.compile(node.limit), "LIMIT"))
+            sql += f" LIMIT :{bind}"
+        else:
+            sql += " LIMIT -1"
+        if node.offset is not None:
+            bind = f"offset{len(self.limit_binds)}"
+            self.limit_binds.append(
+                LimitBind(bind, compiler.compile(node.offset), "OFFSET")
+            )
+            sql += f" OFFSET :{bind}"
+        return _Compiled(sql, child.ords)
+
+    def _compile_setopnode(self, node: an.SetOpNode) -> _Compiled:
+        # SQLite's compound SELECTs dedupe through a sorter, losing the
+        # engine's first-seen/left-major order; run on the row engine.
+        raise Unsupported("set operations reorder rows in SQLite")
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _outer_schemas(self) -> tuple[Schema, ...]:
+        """Enclosing scopes for static typing, innermost first."""
+        return tuple(schema for schema, _ in reversed(self._scopes))
+
+    def _expr(self, expr: ax.Expr, schema: Schema) -> str:
+        prepared = self._prepare(expr, schema)
+        dialect = SQLiteDialect(
+            subquery_renderer=lambda sub: self._sublink(sub, schema)
+        )
+        for part in ax.walk_expr(prepared):
+            if isinstance(part, ax.Param):
+                label = f":{part.name}" if part.name is not None else f"${part.index + 1}"
+                self.param_labels[part.index] = label
+        return expr_to_sql(prepared, dialect)
+
+    def _prepare(self, expr: ax.Expr, schema: Schema) -> ax.Expr:
+        """Static semantic gate + rewrite pass.
+
+        Rejects expressions SQLite cannot evaluate with identical
+        semantics (boolean operands where the engine raises type errors,
+        quantified sublinks) and rewrites division/modulo to the exact
+        ``repro_div``/``repro_mod`` UDFs unless the divisor is a nonzero
+        constant (where native SQLite arithmetic provably matches)."""
+        outers = self._outer_schemas()
+
+        def static_type(e: ax.Expr) -> SQLType:
+            if isinstance(e, ax.FuncExpr) and e.name in ("div", "mod"):
+                # Our own rewrites of '/' and '%' — infer_type does not
+                # know them; mirror the BinOp typing so enclosing gates
+                # (e.g. ||, comparisons) still see the numeric type.
+                if e.name == "mod":
+                    return SQLType.INT
+                lt, rt = static_type(e.args[0]), static_type(e.args[1])
+                if SQLType.FLOAT in (lt, rt):
+                    return SQLType.FLOAT
+                if lt is SQLType.NULL or rt is SQLType.NULL:
+                    return SQLType.NULL
+                return SQLType.INT
+            try:
+                return ax.infer_type(e, schema, outers)
+            except Exception:
+                return SQLType.NULL
+
+        def gate(e: ax.Expr) -> Optional[ax.Expr]:
+            if isinstance(e, ax.UnOp):
+                ot = static_type(e.operand)
+                if e.op == "-" and ot in (SQLType.BOOL, SQLType.TEXT):
+                    raise Unsupported("unary minus over non-numeric raises in-engine")
+                if e.op == "not" and ot not in (SQLType.BOOL, SQLType.NULL):
+                    raise Unsupported("NOT over non-boolean raises in-engine")
+            if isinstance(e, ax.BinOp):
+                lt, rt = static_type(e.left), static_type(e.right)
+                if e.op in ("and", "or") and any(
+                    t not in (SQLType.BOOL, SQLType.NULL) for t in (lt, rt)
+                ):
+                    raise Unsupported("AND/OR over non-boolean raises in-engine")
+                if e.op == "||" and any(
+                    t not in (SQLType.TEXT, SQLType.NULL) for t in (lt, rt)
+                ):
+                    raise Unsupported("|| over non-text raises in-engine")
+                if e.op in ("=", "<>", "<", "<=", ">", ">="):
+                    if (lt is SQLType.BOOL) != (rt is SQLType.BOOL) and SQLType.NULL not in (lt, rt):
+                        raise Unsupported("bool/non-bool comparison raises in-engine")
+                    if not _statically_comparable(lt, rt):
+                        raise Unsupported(f"comparison of {lt} with {rt} raises in-engine")
+                if e.op in ("+", "-", "*", "/", "%") and any(
+                    t not in (SQLType.INT, SQLType.FLOAT, SQLType.NULL)
+                    for t in (lt, rt)
+                ):
+                    # bool/text operands raise in the engine; SQLite
+                    # would coerce ('a' + 1 -> 1) and silently diverge.
+                    raise Unsupported("arithmetic over non-numeric raises in-engine")
+                if e.op in ("/", "%"):
+                    native = (
+                        isinstance(e.right, ax.Const)
+                        and not isinstance(e.right.value, bool)
+                        and isinstance(e.right.value, (int, float))
+                        and e.right.value != 0
+                    )
+                    if e.op == "%" and not (lt is SQLType.INT and rt is SQLType.INT):
+                        native = False
+                    if not native:
+                        return ax.FuncExpr("div" if e.op == "/" else "mod", (e.left, e.right))
+            elif isinstance(e, ax.DistinctTest):
+                lt, rt = static_type(e.left), static_type(e.right)
+                if (lt is SQLType.BOOL) != (rt is SQLType.BOOL) and SQLType.NULL not in (lt, rt):
+                    raise Unsupported("bool/non-bool IS DISTINCT FROM raises in-engine")
+                if not _statically_comparable(lt, rt):
+                    raise Unsupported(f"IS DISTINCT FROM over {lt}/{rt} raises in-engine")
+            elif isinstance(e, ax.FuncExpr) and e.name not in ("div", "mod"):
+                if any(static_type(a) is SQLType.BOOL for a in e.args):
+                    # Most scalar functions reject booleans at runtime;
+                    # through SQLite they would arrive as plain 0/1.
+                    raise Unsupported(f"{e.name}() over a boolean argument")
+            elif isinstance(e, ax.CaseExpr) and e.operand is not None:
+                ot = static_type(e.operand)
+                for when, _ in e.whens:
+                    wt = static_type(when)
+                    if (ot is SQLType.BOOL) != (wt is SQLType.BOOL) and SQLType.NULL not in (ot, wt):
+                        raise Unsupported("CASE operand/WHEN bool mismatch")
+                    if not _statically_comparable(ot, wt):
+                        raise Unsupported("CASE operand/WHEN type mismatch")
+            elif isinstance(e, ax.InListExpr):
+                ot = static_type(e.operand)
+                for item in e.items:
+                    it = static_type(item)
+                    if (ot is SQLType.BOOL) != (it is SQLType.BOOL) and SQLType.NULL not in (ot, it):
+                        raise Unsupported("bool/non-bool IN list raises in-engine")
+                    if not _statically_comparable(ot, it):
+                        raise Unsupported("IN list type mismatch raises in-engine")
+            return None
+
+        return ax.map_expr(expr, gate)
+
+    # ------------------------------------------------------------------
+    # Sublinks
+    # ------------------------------------------------------------------
+    def _sublink(self, sub: ax.SubqueryExpr, schema: Schema) -> str:
+        correlated = ax.plan_is_correlated(sub.plan)
+        if sub.kind == "quant":
+            raise Unsupported("quantified comparison (ANY/ALL) sublink")
+        if not correlated:
+            return self._uncorrelated_sublink(sub, schema)
+        if sub.kind not in ("exists", "in"):
+            # A correlated scalar sublink: SQLite silently yields the
+            # first row where the engine raises on multi-row results.
+            raise Unsupported(f"correlated {sub.kind} sublink")
+        self._validate_outer_refs(sub.plan, schema)
+        saved_tree = self._current_tree
+        self._scopes.append((schema, saved_tree))
+        self._current_tree = _tree_names(sub.plan)
+        try:
+            inner = self._dispatch(sub.plan)
+        except Unsupported:
+            # No materialization point inside a correlated sublink.
+            raise
+        finally:
+            self._scopes.pop()
+            self._current_tree = saved_tree
+        if sub.kind == "exists":
+            prefix = "NOT " if sub.negated else ""
+            return f"({prefix}EXISTS ({inner.sql}))"
+        assert sub.operand is not None
+        operand = self._expr(sub.operand, schema)
+        alias = self._alias()
+        value = q(sub.plan.schema[0].name)
+        maybe_not = "NOT " if sub.negated else ""
+        return (
+            f"({operand} {maybe_not}IN "
+            f"(SELECT {alias}.{value} FROM ({inner.sql}) AS {alias}))"
+        )
+
+    def _uncorrelated_sublink(self, sub: ax.SubqueryExpr, schema: Schema) -> str:
+        """Evaluate once per execution with the row engine; surface the
+        value through the ``repro_slot`` UDF so an evaluation error (or
+        multi-row scalar result) fires only if the statement actually
+        evaluates the expression — matching the row engine's lazy
+        uncorrelated-subquery cache."""
+        plan = self.planner.plan(sub.plan)
+        slot_id = self.backend.fresh_slot_id()
+        if sub.kind == "scalar":
+            self.slots.append(SubplanSlot("scalar", plan, slot_id=slot_id))
+            return f"repro_slot({slot_id})"
+        if sub.kind == "exists":
+            self.slots.append(
+                SubplanSlot("exists", plan, slot_id=slot_id, negated=sub.negated)
+            )
+            return f"repro_slot({slot_id})"
+        if sub.kind == "in":
+            assert sub.operand is not None
+            frag = self.backend.fresh_fragment_name()
+            self.slots.append(
+                SubplanSlot("rows", plan, slot_id=slot_id, frag_table=frag)
+            )
+            operand = self._expr(sub.operand, schema)
+            maybe_not = "NOT " if sub.negated else ""
+            # The CASE guard evaluates the slot first: raises the stored
+            # error if subplan evaluation failed, yields the IN result
+            # (true/false/NULL) otherwise.
+            return (
+                f"(CASE WHEN repro_slot({slot_id}) = 1 THEN "
+                f"({operand} {maybe_not}IN (SELECT c0 FROM temp.{q(frag)})) END)"
+            )
+        raise Unsupported(f"sublink kind {sub.kind!r}")
+
+    def _validate_outer_refs(self, plan: an.Node, schema: Schema) -> None:
+        """A pushed-down correlated sublink resolves outer references by
+        *name* through SQLite's scoping rules; refuse pushdown whenever a
+        name could bind to the wrong scope (shadowed by any relation the
+        resolution path crosses)."""
+        plan_names = _tree_names(plan)
+        # Scopes outward from the sublink: level 1 is the holder's input.
+        scopes_out: list[tuple[set[str], set[str]]] = [
+            ({a.name.lower() for a in schema}, self._current_tree)
+        ]
+        scopes_out += [
+            ({a.name.lower() for a in s}, tree) for s, tree in reversed(self._scopes)
+        ]
+        for level in range(1, len(scopes_out) + 2):
+            names = {n.lower() for n in ax._outer_columns_of_plan(plan, level)}
+            if not names:
+                continue
+            if level > len(scopes_out):
+                raise Unsupported("correlated reference beyond available scopes")
+            target_names, _ = scopes_out[level - 1]
+            shadows = set(plan_names)
+            for schema_names, tree_names in scopes_out[: level - 1]:
+                shadows |= schema_names | tree_names
+            for name in names:
+                if name not in target_names:
+                    raise Unsupported(f"outer reference {name!r} not in target scope")
+                if name in shadows:
+                    raise Unsupported(f"outer reference {name!r} shadowed on pushdown")
+
+
+def _statically_comparable(a: SQLType, b: SQLType) -> bool:
+    numeric = (SQLType.INT, SQLType.FLOAT)
+    if a is SQLType.NULL or b is SQLType.NULL:
+        return True
+    if a in numeric and b in numeric:
+        return True
+    return a is b
+
+
+def _order_realized(node: an.Node) -> bool:
+    """Whether the compiled SQL for *node* is physically scanned in its
+    ordinal order, making order-sensitive (float) aggregation above it
+    safe: table scans walk rowids, LIMIT subqueries carry an inner ORDER
+    BY, single-row subqueries are trivially ordered; filters and
+    projections never reorder."""
+    while isinstance(node, an.BaseRelationNode):
+        node = node.child
+    if isinstance(node, (an.Scan, an.SingleRow, an.Limit)):
+        return True
+    if isinstance(node, an.Aggregate) and not node.group_items:
+        return True
+    if isinstance(node, _ORDER_PRESERVING):
+        return _order_realized(node.child)
+    return False
+
+
+def _tree_names(node: an.Node) -> set[str]:
+    """Lowercased attribute names appearing anywhere in *node*'s tree."""
+    names: set[str] = set()
+    for part in walk_tree(node):
+        names.update(a.name.lower() for a in part.schema)
+    return names
+
+
+def compile_sqlite_plan(planner: "Planner", backend: SQLiteBackend, node: an.Node):
+    """Compile *node* for the sqlite backend (entry point for the
+    planner); returns a :class:`SQLiteQueryOp` or, when nothing at all
+    can be pushed down, the equivalent row-engine plan."""
+    return SQLiteCompiler(planner, backend).compile_root(node)

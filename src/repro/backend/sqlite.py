@@ -1,0 +1,505 @@
+"""SQLite pushdown backend: runtime layer.
+
+The paper's Perm prototype computes provenance by rewriting query trees
+and letting PostgreSQL execute the rewritten query. This backend
+reproduces that architecture against the DBMS Python ships with: the
+provenance-rewritten plan is compiled to a single SQL statement
+(:mod:`repro.backend.compile`) and executed by an in-memory ``sqlite3``
+database whose tables lazily mirror the engine's heap tables.
+
+Pieces:
+
+* :class:`SQLiteBackend` — owns the ``sqlite3`` connection, mirrors
+  catalog tables (synced per :class:`~repro.storage.table.HeapTable`
+  version), registers the ``repro_*`` user-defined functions that give
+  SQLite *exactly* the scalar semantics of
+  :mod:`repro.executor.expr_eval` (including raised errors, which
+  travel through a side channel because sqlite3 swallows exception
+  details), and materializes row-engine fallback fragments into temp
+  tables.
+* :class:`SQLiteQueryOp` — the physical plan object the planner emits
+  for ``engine="sqlite"``; satisfies the executor contract
+  (``schema`` + ``rows(env)``) so :func:`repro.executor.execute_plan`
+  and the whole DB-API surface work unchanged.
+
+Value mapping: INT/FLOAT/TEXT/NULL map 1:1 onto SQLite storage classes;
+mirror columns are declared without a type (blank affinity) so values
+round-trip without coercion. BOOL has no SQLite storage class: ``True``
+/``False`` become 1/0 on the way in and are restored on the way out
+using the plan's static output types.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from itertools import count
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence
+
+from ..algebra.to_sql import quote_identifier_always as quote_identifier
+from ..catalog.schema import Schema
+from ..datatypes import SQLType, Value, arith
+from ..errors import ExecutionError, ProgrammingError
+from ..executor.expr_eval import (
+    _FUNCTIONS,
+    _like_to_regex,
+    CompiledExpr,
+    Env,
+    ParamContext,
+    Row,
+)
+from ..executor.iterators import PhysicalOp, evaluate_limit_count
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..catalog.catalog import Catalog
+
+MIN_SQLITE_VERSION = (3, 25, 0)  # window functions (ordering channel)
+FULL_JOIN_VERSION = (3, 39, 0)  # RIGHT / FULL OUTER JOIN support
+# From 3.44.0 SQLite computes sum()/avg() with Kahan-Babuska compensated
+# summation — more accurate, but not bit-identical to the engines' naive
+# left-to-right accumulation. On such hosts float sum/avg pushdown uses
+# the repro_fsum/repro_favg aggregate UDFs instead of native sum/avg.
+KAHAN_SUM_VERSION = (3, 44, 0)
+
+
+def adapt_value(value: Value) -> Value:
+    """Python -> SQLite: booleans become 1/0, the rest maps directly."""
+    if isinstance(value, bool):
+        return int(value)
+    return value
+
+
+def adapt_row(row: Row) -> Row:
+    return tuple(int(v) if isinstance(v, bool) else v for v in row)
+
+
+class SubplanSlot:
+    """One execution-time obligation of a compiled statement.
+
+    Three kinds, all evaluated by the row engine immediately before the
+    SQL statement runs (sublink subplans always use the row engine, the
+    same policy the vectorized engine follows):
+
+    * ``"rows"`` — a fallback subtree (or IN-sublink value list): the
+      row plan's output is loaded into a temp-schema fragment table the
+      statement reads from;
+    * ``"scalar"`` — an uncorrelated scalar sublink: its single value
+      (or the row engine's multi-row error);
+    * ``"exists"`` — an uncorrelated EXISTS sublink: 1/0 with the
+      negation already applied.
+
+    Sublink slots (``slot_id`` set) surface through the ``repro_slot``
+    UDF rather than plain bound parameters, so an error raised while
+    evaluating the subplan fires only if the statement actually
+    evaluates the expression — exactly like the row engine's lazy
+    uncorrelated-subquery cache (an empty outer relation never touches
+    the sublink on any engine). Fragment slots for fallback *subtrees*
+    (``slot_id`` None) are data sources the statement always scans, so
+    their errors raise immediately.
+    """
+
+    __slots__ = ("kind", "plan", "slot_id", "negated", "frag_table")
+
+    def __init__(
+        self,
+        kind: str,
+        plan: PhysicalOp,
+        slot_id: Optional[int] = None,
+        negated: bool = False,
+        frag_table: Optional[str] = None,
+    ):
+        self.kind = kind
+        self.plan = plan
+        self.slot_id = slot_id
+        self.negated = negated
+        self.frag_table = frag_table
+
+
+class LimitBind:
+    """A LIMIT/OFFSET expression evaluated per execution and bound as a
+    named parameter (reusing the row engine's evaluation and errors)."""
+
+    __slots__ = ("bind_name", "compiled", "what")
+
+    def __init__(self, bind_name: str, compiled: Optional[CompiledExpr], what: str):
+        self.bind_name = bind_name
+        self.compiled = compiled
+        self.what = what
+
+
+class SQLiteBackend:
+    """One in-memory SQLite database mirroring one catalog."""
+
+    def __init__(self, catalog: "Catalog"):
+        if sqlite3.sqlite_version_info < MIN_SQLITE_VERSION:
+            raise ProgrammingError(
+                "the sqlite execution engine requires SQLite >= "
+                + ".".join(str(v) for v in MIN_SQLITE_VERSION)
+                + f" (found {sqlite3.sqlite_version})"
+            )
+        self.catalog = catalog
+        self.connection = sqlite3.connect(":memory:")
+        self.supports_full_join = sqlite3.sqlite_version_info >= FULL_JOIN_VERSION
+        self.native_float_agg = sqlite3.sqlite_version_info < KAHAN_SUM_VERSION
+        # table key -> (heap object, heap version, schema signature)
+        self._mirror: dict[str, tuple] = {}
+        self._frag_names = count()
+        self._slot_ids = count()
+        # slot id -> ("ok", value) | ("error", exception); installed by
+        # the executing SQLiteQueryOp, read by the repro_slot UDF.
+        self._slot_states: dict[int, tuple[str, object]] = {}
+        self._pending_error: Optional[BaseException] = None
+        self.statements_executed = 0
+        self.tables_synced = 0
+        self._register_udfs()
+
+    # ------------------------------------------------------------------
+    # User-defined functions: exact expr_eval semantics inside SQLite
+    # ------------------------------------------------------------------
+    def _register_udfs(self) -> None:
+        for name, impl in _FUNCTIONS.items():
+            self.connection.create_function(
+                f"repro_{name}", -1, self._wrap_udf(impl), deterministic=True
+            )
+        for type_ in (SQLType.INT, SQLType.FLOAT, SQLType.TEXT, SQLType.BOOL):
+            from ..datatypes import cast_value
+
+            self.connection.create_function(
+                f"repro_cast_{type_.name.lower()}",
+                1,
+                self._wrap_udf(lambda args, t=type_: cast_value(args[0], t)),
+                deterministic=True,
+            )
+        for udf, insensitive in (("repro_like", False), ("repro_ilike", True)):
+            self.connection.create_function(
+                udf,
+                2,
+                self._wrap_udf(lambda args, ci=insensitive: _run_like(args, ci)),
+                deterministic=True,
+            )
+        # Division/modulo with the engine's exact rules (raise on zero,
+        # '%' requires integers); used when the divisor is not a nonzero
+        # constant, where native SQLite arithmetic would return NULL.
+        self.connection.create_function(
+            "repro_div",
+            2,
+            self._wrap_udf(lambda args: arith("/", args[0], args[1])),
+            deterministic=True,
+        )
+        self.connection.create_function(
+            "repro_mod",
+            2,
+            self._wrap_udf(lambda args: arith("%", args[0], args[1])),
+            deterministic=True,
+        )
+        # Sublink slot access: constant within one statement execution
+        # (the executing op installs every state before running), so
+        # deterministic is safe and lets SQLite hoist it out of loops.
+        self.connection.create_function(
+            "repro_slot", 1, self._wrap_udf(self._read_slot), deterministic=True
+        )
+        # Naive left-to-right float aggregation (AggregateAccumulator
+        # semantics) for hosts whose native sum()/avg() uses compensated
+        # summation (>= 3.44) and would drift in the low bits.
+        for agg_name, agg_func in (("repro_fsum", "sum"), ("repro_favg", "avg")):
+            self.connection.create_aggregate(
+                agg_name, 1, _naive_aggregate_class(self, agg_func)
+            )
+
+    def _read_slot(self, args):
+        kind, payload = self._slot_states[args[0]]
+        if kind == "error":
+            raise payload  # re-raised with type+message via the channel
+        return payload
+
+    def _wrap_udf(self, impl):
+        def wrapped(*args):
+            try:
+                return adapt_value(impl(list(args)))
+            except Exception as exc:
+                # sqlite3 reports UDF failures as a generic
+                # OperationalError; stash the real exception so
+                # run_statement can re-raise it with type and message
+                # intact (identical error behavior across engines).
+                self._pending_error = exc
+                raise
+
+        return wrapped
+
+    # ------------------------------------------------------------------
+    # Mirroring
+    # ------------------------------------------------------------------
+    def sync_table(self, name: str) -> None:
+        """Bring the SQLite mirror of catalog table *name* up to date.
+
+        Cheap when nothing changed: the mirror entry stores the heap's
+        identity, version counter and schema signature; a full reload
+        happens only after DML or a drop/recreate."""
+        entry = self.catalog.table(name)
+        heap = entry.table
+        key = name.lower()
+        # The signature holds the heap object itself (not id(heap)): a
+        # dropped table's reused address plus a coinciding version
+        # counter must never read as "already synced".
+        signature = (
+            heap,
+            heap.version,
+            tuple((a.name, a.type) for a in heap.schema),
+        )
+        known = self._mirror.get(key)
+        if known is not None and known[0] is heap and known[1:] == signature[1:]:
+            return
+        qname = f"main.{quote_identifier(key)}"
+        # Blank column affinity: values keep their storage class exactly.
+        columns = ", ".join(quote_identifier(a.name) for a in heap.schema)
+        self.connection.execute(f"DROP TABLE IF EXISTS {qname}")
+        self.connection.execute(f"CREATE TABLE {qname} ({columns})")
+        placeholders = ", ".join("?" for _ in heap.schema)
+        insert = f"INSERT INTO {qname} VALUES ({placeholders})"
+        has_bool = any(a.type is SQLType.BOOL for a in heap.schema)
+        try:
+            if has_bool:
+                self.connection.executemany(insert, (adapt_row(r) for r in heap.rows))
+            else:
+                # Fast path: heap rows are plain tuples of SQLite-native
+                # values, no per-row conversion needed.
+                self.connection.executemany(insert, heap.rows)
+        except (sqlite3.Error, OverflowError) as exc:
+            self._mirror.pop(key, None)
+            raise ExecutionError(
+                f"cannot mirror table {name!r} into the sqlite backend: {exc}"
+            ) from exc
+        self._mirror[key] = signature
+        self.tables_synced += 1
+
+    def fresh_fragment_name(self) -> str:
+        return f"_frag_{next(self._frag_names)}"
+
+    def fresh_slot_id(self) -> int:
+        return next(self._slot_ids)
+
+    def materialize_fragment(self, frag: str, rows: list[Row], width: int) -> None:
+        """(Re)create temp fragment *frag* holding *rows* — used for
+        row-engine fallback subtrees and IN-sublink value lists. The
+        implicit rowid preserves the row engine's output order."""
+        qname = f"temp.{quote_identifier(frag)}"
+        self.connection.execute(f"DROP TABLE IF EXISTS {qname}")
+        columns = ", ".join(f"c{i}" for i in range(width))
+        self.connection.execute(f"CREATE TEMP TABLE {quote_identifier(frag)} ({columns})")
+        placeholders = ", ".join("?" for _ in range(width))
+        self.connection.executemany(
+            f"INSERT INTO {qname} VALUES ({placeholders})",
+            (adapt_row(r) for r in rows),
+        )
+
+    def drop_fragment(self, frag: str) -> None:
+        try:
+            self.connection.execute(f"DROP TABLE IF EXISTS temp.{quote_identifier(frag)}")
+        except sqlite3.Error:  # pragma: no cover - connection already closed
+            pass
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_statement(self, sql: str, binds: dict[str, Value]) -> list[Row]:
+        self._pending_error = None
+        try:
+            cursor = self.connection.execute(sql, binds)
+            rows = cursor.fetchall()
+        except OverflowError as exc:
+            # Parameter/slot value outside SQLite's 64-bit integer range
+            # (the engine's Python ints are unbounded): surface the
+            # backend's numeric-range limit as a proper engine error.
+            raise ExecutionError(
+                f"sqlite backend: value exceeds the 64-bit integer range ({exc})"
+            ) from exc
+        except sqlite3.Error as exc:
+            pending, self._pending_error = self._pending_error, None
+            if pending is not None:
+                raise pending
+            raise ExecutionError(f"sqlite backend: {exc}") from exc
+        self.statements_executed += 1
+        return rows
+
+    def close(self) -> None:
+        self.connection.close()
+
+
+def _naive_aggregate_class(backend: SQLiteBackend, func: str):
+    """An sqlite3 aggregate class accumulating exactly like the row
+    engine's :class:`AggregateAccumulator` (left-to-right, no
+    compensation), with errors routed through the backend's channel."""
+    from ..executor.expr_eval import AggregateAccumulator
+
+    class NaiveAggregate:
+        __slots__ = ("accumulator",)
+
+        def __init__(self):
+            self.accumulator = AggregateAccumulator(func, distinct=False)
+
+        def step(self, value):
+            try:
+                self.accumulator.add(value)
+            except Exception as exc:
+                backend._pending_error = exc
+                raise
+
+        def finalize(self):
+            try:
+                return adapt_value(self.accumulator.result())
+            except Exception as exc:  # pragma: no cover - defensive
+                backend._pending_error = exc
+                raise
+
+    return NaiveAggregate
+
+
+def _run_like(args: list[Value], case_insensitive: bool) -> Optional[bool]:
+    value, pattern = args
+    if value is None or pattern is None:
+        return None
+    if not isinstance(value, str) or not isinstance(pattern, str):
+        raise ExecutionError("LIKE requires text operands")
+    regex = _like_to_regex(pattern.lower() if case_insensitive else pattern)
+    target = value.lower() if case_insensitive else value
+    return regex.match(target) is not None
+
+
+class SQLiteQueryOp(PhysicalOp):
+    """A compiled SQLite statement as a physical plan.
+
+    ``rows(env)`` (the executor contract) syncs the mirrored base
+    tables, evaluates sublink/fallback slots with the row engine, binds
+    parameters from the shared :class:`ParamContext`, runs the single
+    SQL statement, and adapts values back (0/1 -> bool per the static
+    output schema).
+    """
+
+    __slots__ = (
+        "backend",
+        "sql",
+        "table_names",
+        "slots",
+        "limit_binds",
+        "param_labels",
+        "params",
+        "_bool_columns",
+    )
+
+    def __init__(
+        self,
+        backend: SQLiteBackend,
+        sql: str,
+        schema: Schema,
+        table_names: Sequence[str],
+        slots: Sequence[SubplanSlot],
+        limit_binds: Sequence[LimitBind],
+        param_labels: dict[int, str],
+        params: ParamContext,
+    ):
+        self.backend = backend
+        self.sql = sql
+        self.schema = schema
+        self.table_names = tuple(table_names)
+        self.slots = tuple(slots)
+        self.limit_binds = tuple(limit_binds)
+        self.param_labels = dict(param_labels)
+        self.params = params
+        self._bool_columns = tuple(
+            i for i, a in enumerate(schema) if a.type is SQLType.BOOL
+        )
+
+    # ------------------------------------------------------------------
+    def rows(self, env: Env) -> Iterator[Row]:
+        return iter(self._execute(env))
+
+    def _execute(self, env: Env) -> list[Row]:
+        for name in self.table_names:
+            self.backend.sync_table(name)
+
+        binds: dict[str, Value] = {}
+        values = self.params.values
+        for index, label in self.param_labels.items():
+            if index >= len(values):
+                raise ExecutionError(
+                    f"parameter {label} has no bound value ({len(values)} bound)"
+                )
+            binds[f"p{index}"] = adapt_value(values[index])
+
+        for bind in self.limit_binds:
+            value = evaluate_limit_count(bind.compiled, env, bind.what)
+            if value is None:
+                value = -1 if bind.what == "LIMIT" else 0
+            binds[bind.bind_name] = value
+
+        try:
+            for slot in self.slots:
+                self._evaluate_slot(slot, env)
+            raw = self.backend.run_statement(self.sql, binds)
+        finally:
+            self._release_slots()
+        return self._adapt(raw)
+
+    def _release_slots(self) -> None:
+        """Drop per-execution slot state so a long-lived connection does
+        not accumulate fragment rows and stored exceptions across the
+        distinct queries it has ever run."""
+        for slot in self.slots:
+            if slot.slot_id is not None:
+                self.backend._slot_states.pop(slot.slot_id, None)
+            if slot.frag_table is not None:
+                self.backend.drop_fragment(slot.frag_table)
+
+    def _evaluate_slot(self, slot: SubplanSlot, env: Env) -> None:
+        """Run one slot's row plan. Sublink slots store their value —
+        or the exception — for the ``repro_slot`` UDF, so errors fire
+        only if the statement evaluates the expression; fallback-subtree
+        fragments (no slot id) are unconditional sources and raise now."""
+        states = self.backend._slot_states
+        if slot.kind == "rows":
+            assert slot.frag_table is not None
+            width = len(slot.plan.schema)
+            if slot.slot_id is None:
+                rows = list(slot.plan.rows(env))
+                self.backend.materialize_fragment(slot.frag_table, rows, width)
+                return
+            try:
+                rows = list(slot.plan.rows(env))
+            except Exception as exc:  # noqa: BLE001 - deferred to evaluation
+                self.backend.materialize_fragment(slot.frag_table, [], width)
+                states[slot.slot_id] = ("error", exc)
+                return
+            self.backend.materialize_fragment(slot.frag_table, rows, width)
+            states[slot.slot_id] = ("ok", 1)
+            return
+        assert slot.slot_id is not None
+        try:
+            if slot.kind == "scalar":
+                rows = list(slot.plan.rows(env))
+                if len(rows) > 1:
+                    raise ExecutionError("scalar subquery returned more than one row")
+                value = adapt_value(rows[0][0]) if rows else None
+            elif slot.kind == "exists":
+                found = next(iter(slot.plan.rows(env)), None) is not None
+                value = int((not found) if slot.negated else found)
+            else:  # pragma: no cover - compiler emits only the kinds above
+                raise ExecutionError(f"unknown subplan slot kind {slot.kind!r}")
+        except Exception as exc:  # noqa: BLE001 - deferred to evaluation
+            states[slot.slot_id] = ("error", exc)
+            return
+        states[slot.slot_id] = ("ok", value)
+
+    def _adapt(self, raw: list[Row]) -> list[Row]:
+        if not self._bool_columns:
+            return raw
+        bool_columns = self._bool_columns
+        adapted = []
+        for row in raw:
+            out = list(row)
+            for i in bool_columns:
+                if out[i] is not None:
+                    out[i] = bool(out[i])
+            adapted.append(tuple(out))
+        return adapted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SQLiteQueryOp {len(self.sql)} chars, {len(self.slots)} slot(s)>"

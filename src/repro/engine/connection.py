@@ -151,6 +151,7 @@ class Connection:
     def close(self) -> None:
         self._closed = True
         self.plan_cache.clear()
+        self.pipeline.planner.close()
 
     def __enter__(self) -> "Connection":
         self._check_open()
@@ -551,9 +552,12 @@ def connect(
     """Open a new in-memory Perm session (DB-API module-level constructor).
 
     ``engine`` selects the execution engine: ``"row"`` (tuple-at-a-time
-    volcano iterators, the default) or ``"vectorized"`` (batch-at-a-time
+    volcano iterators, the default), ``"vectorized"`` (batch-at-a-time
     columnar execution — same results, much faster on scan-heavy
-    workloads). Unset, it honors the ``REPRO_ENGINE`` environment
-    variable before defaulting to ``"row"``.
+    workloads), or ``"sqlite"`` (the paper's pushdown architecture:
+    rewritten plans are compiled to a single SQL statement executed by
+    an embedded ``sqlite3`` database mirroring the catalog). Unset, it
+    honors the ``REPRO_ENGINE`` environment variable before defaulting
+    to ``"row"``.
     """
     return Connection(options, plan_cache_size=plan_cache_size, engine=engine)

@@ -2,8 +2,11 @@
 
 Two execution engines share this package: the tuple-at-a-time row engine
 (:mod:`~repro.executor.iterators`) and the batch-at-a-time vectorized
-engine (:mod:`~repro.executor.vectorized`). Both are compiled by the
-planner from the same plan decisions and produce identical results.
+engine (:mod:`~repro.executor.vectorized`). The third engine — the
+SQLite pushdown backend (:mod:`repro.backend`) — satisfies the same
+physical-operator contract and reuses this package's row engine for
+sublink subplans and fallback fragments. All are compiled by the planner
+from the same plan decisions and produce identical results.
 """
 
 from .batch import DEFAULT_BATCH_SIZE, Batch  # noqa: F401

@@ -1,8 +1,9 @@
-"""Paired-engine fixtures for the cross-engine differential harness.
+"""Per-engine fixtures for the cross-engine differential harness.
 
-Each workload database is built twice with identical deterministic
-content — once per execution engine — so any result difference between
-a pair is attributable to the engines alone.
+Each workload database is built once per execution engine with
+identical deterministic content, so any result difference within a
+group is attributable to the engines alone. The harness asserts
+agreement across all three: ``row``, ``vectorized`` and ``sqlite``.
 """
 
 from __future__ import annotations
@@ -11,6 +12,8 @@ import pytest
 
 from repro.workloads.forum import create_forum_db
 from repro.workloads.tpch import TpchConfig, create_tpch_db
+
+ENGINES = ("row", "vectorized", "sqlite")
 
 # Small but non-trivial: plenty of value/NULL variety, fast to build.
 _TPCH_CONFIG = TpchConfig(customers=25, orders=90, parts=15)
@@ -29,16 +32,18 @@ def _shrink_batches(connection):
 
 @pytest.fixture(scope="session")
 def engine_pairs():
-    """{workload: {engine: Connection}} with identical data per pair."""
+    """{workload: {engine: Connection}} with identical data per group."""
     return {
         "forum": {
             "row": create_forum_db(engine="row"),
             "vectorized": _shrink_batches(create_forum_db(engine="vectorized")),
+            "sqlite": create_forum_db(engine="sqlite"),
         },
         "tpch": {
             "row": create_tpch_db(_TPCH_CONFIG, engine="row"),
             "vectorized": _shrink_batches(
                 create_tpch_db(_TPCH_CONFIG, engine="vectorized")
             ),
+            "sqlite": create_tpch_db(_TPCH_CONFIG, engine="sqlite"),
         },
     }

@@ -1,17 +1,23 @@
-"""Execution helpers shared by the differential and invariant tests."""
+"""Execution helpers shared by the differential and invariant tests.
+
+Generalized to N engines: every fixture is a ``{engine: Connection}``
+mapping over identical data, and agreement means identical outcome
+tuples — rows (in order), cursor description, provenance columns — or
+the same error (type and message) from every engine.
+"""
 
 from __future__ import annotations
 
 
-def run_both(pair, sql: str):
-    """Execute *sql* on both engines; returns {engine: outcome}.
+def run_engines(connections, sql: str):
+    """Execute *sql* on every engine; returns {engine: outcome}.
 
     An outcome is either ``("ok", rows, description, provenance_attrs)``
     or ``("error", exception type name, message)`` — engines must agree
     on errors too (same stage, same complaint).
     """
     outcomes = {}
-    for engine, conn in pair.items():
+    for engine, conn in connections.items():
         try:
             cursor = conn.execute(sql)
             outcomes[engine] = (
@@ -25,12 +31,15 @@ def run_both(pair, sql: str):
     return outcomes
 
 
-def assert_engines_agree(pair, sql: str):
-    outcomes = run_both(pair, sql)
-    row_outcome = outcomes["row"]
-    vec_outcome = outcomes["vectorized"]
-    assert row_outcome == vec_outcome, (
-        f"engines disagree on:\n  {sql}\n"
-        f"row:        {row_outcome!r}\nvectorized: {vec_outcome!r}"
-    )
-    return row_outcome
+def assert_engines_agree(connections, sql: str):
+    """All engines in *connections* must produce identical outcomes for
+    *sql*; returns the (shared) outcome."""
+    outcomes = run_engines(connections, sql)
+    engines = list(outcomes)
+    baseline = outcomes[engines[0]]
+    for engine in engines[1:]:
+        assert outcomes[engine] == baseline, (
+            f"engines disagree on:\n  {sql}\n"
+            + "\n".join(f"{e}: {outcomes[e]!r}" for e in engines)
+        )
+    return baseline

@@ -2,15 +2,17 @@
 
 Generates well-typed SQL over the paper's forum database and the
 TPC-H-like benchmark database: select/project/filter, two-table joins of
-every kind, grouped and global aggregation, set operations, sublinks
-(IN / EXISTS / scalar), DISTINCT, ORDER BY and LIMIT — optionally
-wrapped in ``SELECT PROVENANCE`` with a random contribution semantics.
+every kind (including the explicit ``LEFT OUTER JOIN`` spelling),
+grouped and global aggregation with multi-aggregate HAVING clauses over
+joins, set operations, sublinks (IN / EXISTS / scalar) nested up to
+depth 2, DISTINCT, ORDER BY and LIMIT — optionally wrapped in ``SELECT
+PROVENANCE`` with a random contribution semantics.
 
 Queries are generated from an explicit seed (``generate_query(seed)``)
 so every differential-test failure is reproducible by its seed alone.
 The generator only emits queries that cannot raise *data-dependent*
 runtime errors (no division by columns, no mixed-type comparisons), so
-the two engines must agree on results — not merely on error behavior.
+all engines must agree on results — not merely on error behavior.
 """
 
 from __future__ import annotations
@@ -66,7 +68,14 @@ _TEXT_CONSTS = {
     "forum": ["'lorem ipsum ...'", "'superForum'", "'Gert'", "'hi%'", "'x'"],
     "tpch": ["'O'", "'F'", "'R'", "'AUTOMOBILE'", "'BUILDING'", "'N'"],
 }
-_JOIN_KINDS = ["JOIN", "LEFT JOIN", "RIGHT JOIN", "FULL JOIN"]
+_JOIN_KINDS = [
+    "JOIN",
+    "LEFT JOIN",
+    "LEFT OUTER JOIN",
+    "RIGHT JOIN",
+    "FULL JOIN",
+    "FULL OUTER JOIN",
+]
 _CONTRIBUTIONS = ["", " ON CONTRIBUTION (INFLUENCE)", " ON CONTRIBUTION (COPY PARTIAL)"]
 
 
@@ -171,9 +180,32 @@ def _projection(rng: random.Random, source: _Source) -> tuple[str, list[str]]:
     return ", ".join(items), names
 
 
+def _having_clause(rng: random.Random, source: _Source) -> str:
+    """A well-typed HAVING condition: one or two aggregate comparisons
+    (count/sum/min/max over integer columns or counts, so no engine can
+    hit a type error and float summation order stays irrelevant)."""
+    int_columns = _columns_of_type(source, "int")
+
+    def term() -> str:
+        roll = rng.random()
+        if roll < 0.4 or not int_columns:
+            return f"count(*) {rng.choice(['>=', '>', '<>', '='])} {rng.randint(1, 3)}"
+        column = rng.choice(int_columns)
+        if roll < 0.7:
+            func = rng.choice(["min", "max"])
+            return f"{func}({column}) {rng.choice(['>', '>=', '<', '<='])} {rng.randrange(0, 500)}"
+        return f"sum({column}) {rng.choice(['>', '<='])} {rng.randrange(0, 2000)}"
+
+    if rng.random() < 0.35:
+        return f" HAVING {term()} {rng.choice(['AND', 'OR'])} {term()}"
+    return f" HAVING {term()}"
+
+
 def _aggregate_query(rng: random.Random, source: _Source, where: str) -> str:
     numeric = _numeric_columns(source)
-    group_column = rng.choice(sorted(source.columns))
+    group_columns = rng.sample(
+        sorted(source.columns), 2 if rng.random() < 0.25 and len(source.columns) > 1 else 1
+    )
     aggs = []
     for i in range(rng.randint(1, 3)):
         func = rng.choice(["count", "sum", "min", "max", "avg"])
@@ -191,12 +223,17 @@ def _aggregate_query(rng: random.Random, source: _Source, where: str) -> str:
     agg_sql = ", ".join(aggs)
     if rng.random() < 0.3:  # global aggregate
         return f"SELECT {agg_sql} FROM {source.sql}{where}"
+    # Joined sources always exercise GROUP BY + HAVING over a join;
+    # single-table sources keep HAVING at the original 30% rate.
+    joined = " JOIN " in f" {source.sql} "
     having = ""
-    if rng.random() < 0.3:
-        having = f" HAVING count(*) >= {rng.randint(1, 2)}"
+    if joined or rng.random() < 0.3:
+        having = _having_clause(rng, source)
+    group_sql = ", ".join(group_columns)
+    select_groups = ", ".join(f"{c} AS g{i}" for i, c in enumerate(group_columns))
     return (
-        f"SELECT {group_column} AS g, {agg_sql} FROM {source.sql}{where} "
-        f"GROUP BY {group_column}{having}"
+        f"SELECT {select_groups}, {agg_sql} FROM {source.sql}{where} "
+        f"GROUP BY {group_sql}{having}"
     )
 
 
@@ -227,18 +264,20 @@ def _sublink_query(rng: random.Random, workload: str) -> str:
     inner_where = (
         f" WHERE {_predicate(rng, inner_source, workload)}" if rng.random() < 0.5 else ""
     )
-    if kind < 0.4:
+    if kind < 0.3:
         negated = "NOT " if rng.random() < 0.3 else ""
         return (
             f"SELECT {outer_cols} FROM {outer} "
             f"WHERE {okey} {negated}IN (SELECT {ikey} FROM {inner}{inner_where})"
         )
-    if kind < 0.75:
+    if kind < 0.55:
         negated = "NOT " if rng.random() < 0.3 else ""
         return (
             f"SELECT {outer_cols} FROM {outer} x WHERE {negated}EXISTS "
             f"(SELECT 1 FROM {inner} WHERE {inner}.{ikey} = x.{okey})"
         )
+    if kind < 0.85:
+        return _nested_sublink_query(rng, tables, outer, okey, inner, ikey)
     numeric = [c for c, t in tables[inner].items() if t in ("int", "float")]
     target = rng.choice(numeric) if numeric else ikey
     outer_numeric = [c for c, t in tables[outer].items() if t in ("int", "float")]
@@ -246,6 +285,44 @@ def _sublink_query(rng: random.Random, workload: str) -> str:
     return (
         f"SELECT {outer_cols} FROM {outer} "
         f"WHERE {subject} > (SELECT avg({target}) FROM {inner})"
+    )
+
+
+def _nested_sublink_query(
+    rng: random.Random,
+    tables: dict[str, dict[str, str]],
+    outer: str,
+    okey: str,
+    inner: str,
+    ikey: str,
+) -> str:
+    """Depth-2 sublink nesting: a sublink whose subquery itself filters
+    through another sublink (IN-in-IN, EXISTS-in-EXISTS, IN-in-EXISTS)."""
+    outer_cols = ", ".join(sorted(tables[outer]))
+    shape = rng.random()
+    if shape < 0.35:
+        # IN whose subquery is itself restricted by an uncorrelated IN.
+        negated = "NOT " if rng.random() < 0.25 else ""
+        inner_negated = "NOT " if rng.random() < 0.25 else ""
+        return (
+            f"SELECT {outer_cols} FROM {outer} "
+            f"WHERE {okey} {negated}IN (SELECT {ikey} FROM {inner} "
+            f"WHERE {ikey} {inner_negated}IN (SELECT {okey} FROM {outer}))"
+        )
+    if shape < 0.7:
+        # Correlated EXISTS containing a second EXISTS correlated one
+        # level up (to the middle scope).
+        negated = "NOT " if rng.random() < 0.25 else ""
+        return (
+            f"SELECT {outer_cols} FROM {outer} x WHERE {negated}EXISTS "
+            f"(SELECT 1 FROM {inner} i WHERE i.{ikey} = x.{okey} AND EXISTS "
+            f"(SELECT 1 FROM {outer} o2 WHERE o2.{okey} = i.{ikey}))"
+        )
+    # Correlated EXISTS whose subquery filters through an IN sublink.
+    return (
+        f"SELECT {outer_cols} FROM {outer} x WHERE EXISTS "
+        f"(SELECT 1 FROM {inner} i WHERE i.{ikey} = x.{okey} "
+        f"AND i.{ikey} IN (SELECT {okey} FROM {outer}))"
     )
 
 

@@ -1,4 +1,4 @@
-"""Property-based provenance invariants, checked on both engines.
+"""Property-based provenance invariants, checked on every engine.
 
 For randomly generated queries over the workload schemas, the paper's
 two central guarantees must hold regardless of execution engine:
@@ -21,10 +21,10 @@ import re
 
 import pytest
 
+from conftest import ENGINES
 from querygen import FORUM_TABLES, TPCH_TABLES, generate_query
 from repro.workloads.queries import with_provenance
 
-ENGINES = ("row", "vectorized")
 SEEDS = range(60)
 
 # Tables the generator references (the catalog provides their full
