@@ -76,6 +76,7 @@ from .engine import (
 from .errors import (
     AnalyzeError,
     CatalogError,
+    CostEstimationError,
     ExecutionError,
     IntegrityError,
     NotSupportedError,
@@ -135,6 +136,7 @@ __all__ = [
     "AnalyzeError",
     "TypeCheckError",
     "CatalogError",
+    "CostEstimationError",
     "RewriteError",
     "PlanError",
     "ExecutionError",

@@ -13,14 +13,27 @@ This module produces the text equivalent:
 
 from __future__ import annotations
 
+from typing import Callable, Optional
+
 from .expressions import SubqueryExpr, walk_expr
 from .nodes import Node
 
+Annotator = Callable[[Node], Optional[str]]
 
-def render_tree(root: Node, show_schema: bool = False, show_subplans: bool = True) -> str:
-    """Render a plan as an indented ASCII tree."""
+
+def render_tree(
+    root: Node,
+    show_schema: bool = False,
+    show_subplans: bool = True,
+    annotate: Optional[Annotator] = None,
+) -> str:
+    """Render a plan as an indented ASCII tree.
+
+    ``annotate(node)`` may supply a per-node suffix (EXPLAIN uses it for
+    estimated rows/cost); returning ``None`` leaves the node bare.
+    """
     lines: list[str] = []
-    _render(root, "", "", lines, show_schema, show_subplans)
+    _render(root, "", "", lines, show_schema, show_subplans, annotate)
     return "\n".join(lines)
 
 
@@ -31,10 +44,15 @@ def _render(
     lines: list[str],
     show_schema: bool,
     show_subplans: bool,
+    annotate: Optional[Annotator] = None,
 ) -> None:
     label = node.label()
     if show_schema:
         label += "  :: (" + ", ".join(a.name for a in node.schema) + ")"
+    if annotate is not None:
+        suffix = annotate(node)
+        if suffix:
+            label += f"  {suffix}"
     lines.append(prefix + label)
 
     subplans: list[Node] = []
@@ -58,6 +76,7 @@ def _render(
             lines,
             show_schema,
             show_subplans,
+            annotate,
         )
 
 

@@ -17,11 +17,19 @@ from ..storage.table import HeapTable
 
 @dataclass(frozen=True)
 class ColumnStats:
-    """Statistics for a single column."""
+    """Statistics for a single column.
+
+    ``min_value``/``max_value`` are kept for orderable (numeric) columns
+    only; the cost model uses them for range-predicate selectivity
+    (``WHERE c < k`` interpolates ``k`` into ``[min, max]`` instead of
+    assuming the System-R constant).
+    """
 
     name: str
     n_distinct: int
     null_fraction: float
+    min_value: float | None = None
+    max_value: float | None = None
 
     @property
     def selectivity_eq(self) -> float:
@@ -41,24 +49,45 @@ class TableStats:
     def column(self, name: str) -> ColumnStats | None:
         return self.columns.get(name.lower())
 
+    def column_is_unique(self, name: str) -> bool:
+        """Whether *name* currently holds a distinct non-NULL value in
+        every row — a statistics-derived key. Statistics are exact (one
+        full scan per table version), so this is a fact about the current
+        heap, not an estimate; consumers that bake it into a plan must
+        revalidate against :attr:`HeapTable.version`."""
+        stats = self.column(name)
+        if stats is None:
+            return False
+        return stats.null_fraction == 0.0 and stats.n_distinct == self.row_count
+
 
 def compute_table_stats(table: HeapTable) -> TableStats:
-    """One full scan computing row count, distinct counts and null fractions."""
+    """One full scan computing row count, distinct counts, null fractions
+    and (for numeric columns) min/max bounds."""
     row_count = len(table.rows)
     columns: dict[str, ColumnStats] = {}
     for position, attribute in enumerate(table.schema):
         distinct_values = set()
         nulls = 0
+        low: float | None = None
+        high: float | None = None
         for row in table.rows:
             value = row[position]
             if value is None:
                 nulls += 1
-            else:
-                distinct_values.add(value_identity(value))
+                continue
+            distinct_values.add(value_identity(value))
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                if low is None or value < low:
+                    low = value
+                if high is None or value > high:
+                    high = value
         null_fraction = (nulls / row_count) if row_count else 0.0
         columns[attribute.name.lower()] = ColumnStats(
             name=attribute.name,
             n_distinct=len(distinct_values),
             null_fraction=null_fraction,
+            min_value=low,
+            max_value=high,
         )
     return TableStats(row_count=row_count, columns=columns)

@@ -40,6 +40,7 @@ from .influence import (
     identity_items,
     join_back_condition,
     null_items,
+    prepare_aggregate_rewrite,
     prov_items,
 )
 from .naming import ProvAttr
@@ -219,12 +220,11 @@ def _rewrite_project(node: an.Project, ctx: RewriteContext, mode: str) -> CopyRe
 def _rewrite_aggregate(node: an.Aggregate, ctx: RewriteContext, mode: str) -> CopyResult:
     from .influence import rename_originals
 
-    for _, group_expr in node.group_items:
-        if any(isinstance(s, ax.SubqueryExpr) for s in ax.walk_expr(group_expr)):
-            raise RewriteError(
-                "GROUP BY expressions containing subqueries are not supported "
-                "in provenance queries"
-            )
+    # Sublink-bearing GROUP BY expressions are pre-projected below the
+    # aggregate (shared with the PI-CS rule) so the join-back condition
+    # never duplicates a subquery. The projected group key is a computed
+    # expression, so it copies nothing — consistent with C-CS semantics.
+    node = prepare_aggregate_rewrite(node, ctx)
     child = rewrite_copy(node.child, ctx, mode)
     renamed, mapping = rename_originals(ctx, _as_rewrite(child))
 

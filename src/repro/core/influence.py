@@ -144,6 +144,36 @@ def _expr_has_subquery(expr: ax.Expr) -> bool:
     return any(isinstance(sub, ax.SubqueryExpr) for sub in ax.walk_expr(expr))
 
 
+def prepare_aggregate_rewrite(node: an.Aggregate, ctx: RewriteContext) -> an.Aggregate:
+    """Make an aggregate rewritable when GROUP BY expressions contain
+    subqueries (shared by the PI-CS and C-CS rules).
+
+    The aggregation rules join the original aggregate back to the
+    rewritten input on the group-by expressions; duplicating a sublink
+    expression into that join condition would re-plan and re-run the
+    subquery against the *renamed* input, where its correlated
+    references no longer resolve. Instead, pre-project each
+    sublink-bearing group expression below the aggregate under a fresh
+    name and group by that column: the subquery is evaluated exactly
+    once per input row, in the same scope as before (the projection sees
+    the same input schema the aggregate did), and the join-back
+    condition only ever copies a plain column reference. Output schema
+    (names and types) is unchanged.
+    """
+    if not any(_expr_has_subquery(expr) for _, expr in node.group_items):
+        return node
+    items = identity_items(node.child.schema)
+    group_items: list[tuple[str, ax.Expr]] = []
+    for name, expr in node.group_items:
+        if _expr_has_subquery(expr):
+            fresh = f"{ctx.fresh_prefix()}.{name}"
+            items.append((fresh, expr))
+            group_items.append((name, ax.Column(fresh)))
+        else:
+            group_items.append((name, expr))
+    return an.Aggregate(an.Project(node.child, items), group_items, node.agg_items)
+
+
 # ---------------------------------------------------------------------------
 # The rewriter
 # ---------------------------------------------------------------------------
@@ -255,13 +285,12 @@ def _rewrite_aggregate(node: an.Aggregate, ctx: RewriteContext, rewrite) -> Rewr
     equality; with no GROUP BY the join condition is TRUE, so the single
     aggregate row picks up every input tuple as provenance — and
     survives with NULL provenance when the input is empty.
+
+    GROUP BY expressions containing subqueries are pre-projected below
+    the aggregate first (:func:`prepare_aggregate_rewrite`), so the
+    join-back never duplicates a sublink.
     """
-    for _, group_expr in node.group_items:
-        if _expr_has_subquery(group_expr):
-            raise RewriteError(
-                "GROUP BY expressions containing subqueries are not supported "
-                "in provenance queries"
-            )
+    node = prepare_aggregate_rewrite(node, ctx)
     child = rewrite(node.child, ctx)
     renamed, mapping = rename_originals(ctx, child)
 

@@ -47,6 +47,10 @@ _EXPLAIN_MODES = ("rewrite", "algebra", "plan")
 # once per engine: REPRO_ENGINE=vectorized).
 ENGINE_ENV_VAR = "REPRO_ENGINE"
 
+# Environment override for the optimizer mode ("cost" or "rules"), so the
+# optimizer-on/optimizer-off differential can sweep whole runs.
+OPTIMIZER_ENV_VAR = "REPRO_OPTIMIZER"
+
 
 def resolve_engine(engine: Optional[str]) -> str:
     """Validate an engine choice, falling back to $REPRO_ENGINE, then "row"."""
@@ -55,6 +59,21 @@ def resolve_engine(engine: Optional[str]) -> str:
     if chosen not in ENGINES:
         raise ProgrammingError(
             f"unknown execution engine {chosen!r} (valid engines: {', '.join(ENGINES)})"
+        )
+    return chosen
+
+
+def resolve_optimizer(optimizer: Optional[str]) -> str:
+    """Validate an optimizer mode, falling back to $REPRO_OPTIMIZER, then
+    the cost-based default."""
+    from ..optimizer import OPTIMIZER_MODES
+
+    chosen = optimizer or os.environ.get(OPTIMIZER_ENV_VAR) or "cost"
+    chosen = chosen.lower()
+    if chosen not in OPTIMIZER_MODES:
+        raise ProgrammingError(
+            f"unknown optimizer mode {chosen!r} "
+            f"(valid modes: {', '.join(OPTIMIZER_MODES)})"
         )
     return chosen
 
@@ -80,11 +99,18 @@ class Connection:
         options: Optional[RewriteOptions] = None,
         plan_cache_size: int = 128,
         engine: Optional[str] = None,
+        optimizer: Optional[str] = None,
     ):
         self.catalog = Catalog()
         self.options = options or RewriteOptions()
         self.engine = resolve_engine(engine)
-        self.pipeline = Pipeline(self.catalog, self.options, engine=self.engine)
+        self.optimizer_mode = resolve_optimizer(optimizer)
+        self.pipeline = Pipeline(
+            self.catalog,
+            self.options,
+            engine=self.engine,
+            optimizer_mode=self.optimizer_mode,
+        )
         self.plan_cache = PlanCache(plan_cache_size)
         self._closed = False
 
@@ -257,7 +283,13 @@ class Connection:
         changes and browser strategy toggles never serve a stale plan.
         """
         canonical = format_statement(statement)
-        key = (canonical, self.catalog.version, repr(self.options), self.engine)
+        key = (
+            canonical,
+            self.catalog.version,
+            repr(self.options),
+            self.engine,
+            self.optimizer_mode,
+        )
         plan = self.plan_cache.get(key)
         if plan is None:
             plan = self.pipeline.prepare(statement, sql or canonical)
@@ -274,7 +306,9 @@ class Connection:
         ``mode`` (case-insensitive): ``"rewrite"`` — the rewritten query
         as SQL (Figure 4, marker 2); ``"algebra"`` — original and
         rewritten algebra trees side by side (markers 3 and 4);
-        ``"plan"`` — the optimized logical plan handed to the planner.
+        ``"plan"`` — the optimized logical plan handed to the planner,
+        each node annotated with its estimated output rows and cumulative
+        cost from the catalog statistics.
         """
         from ..algebra.render import render_side_by_side, render_tree
         from ..algebra.to_sql import algebra_to_sql
@@ -296,7 +330,27 @@ class Connection:
                 headers=("original query", "rewritten query"),
             )
         assert profile.optimized is not None
-        return render_tree(profile.optimized)
+        return render_tree(profile.optimized, annotate=self._cost_annotator())
+
+    def _cost_annotator(self):
+        """Per-node ``(rows≈…, cost≈…)`` EXPLAIN annotations; nodes whose
+        cardinality cannot be grounded in statistics stay bare."""
+        from ..errors import CostEstimationError
+        from ..optimizer import CostEstimator
+
+        # Identity-memoized: the annotator estimates every subtree once
+        # even though parents re-estimate their children, and the tree
+        # stays alive for the duration of the render.
+        estimator = CostEstimator(self.catalog, cache=True)
+
+        def annotate(node: an.Node) -> Optional[str]:
+            try:
+                estimate = estimator.estimate(node)
+            except CostEstimationError:
+                return None
+            return f"(rows≈{estimate.rows:.0f}, cost≈{estimate.cost:.1f})"
+
+        return annotate
 
     def profile(
         self, sql: str, execute: bool = True, params: object = None
@@ -372,11 +426,17 @@ class Connection:
         """Run an embedded query (CTAS source, INSERT ... SELECT) through
         the cached pipeline.
 
-        Does NOT rebind the parameter context: any placeholders inside
-        the query belong to the enclosing statement, whose slots were
-        bound by :meth:`_run_statement` for this execution epoch.
+        Does NOT rebind the parameter context (so it cannot go through
+        :meth:`PreparedPlan.execute`, which starts a fresh binding
+        epoch): any placeholders inside the query belong to the
+        enclosing statement, whose slots were bound by
+        :meth:`_run_statement` for this execution epoch. The plan's
+        statistics-derived facts are still revalidated here, exactly as
+        ``PreparedPlan.execute`` would.
         """
         prepared = self._prepared_for(ast.QueryStatement(query))
+        if not prepared.stats_deps_valid():
+            prepared.refresh()
         self.pipeline.counters.execute += 1
         return execute_plan(prepared.physical, prepared.provenance_attrs)
 
@@ -548,6 +608,7 @@ def connect(
     options: Optional[RewriteOptions] = None,
     plan_cache_size: int = 128,
     engine: Optional[str] = None,
+    optimizer: Optional[str] = None,
 ) -> Connection:
     """Open a new in-memory Perm session (DB-API module-level constructor).
 
@@ -559,5 +620,14 @@ def connect(
     an embedded ``sqlite3`` database mirroring the catalog). Unset, it
     honors the ``REPRO_ENGINE`` environment variable before defaulting
     to ``"row"``.
+
+    ``optimizer`` selects the optimizer mode: ``"cost"`` (the default:
+    rules plus cost-based join reordering, redundant join-back
+    elimination and column pruning — the stage the paper's performance
+    argument relies on) or ``"rules"`` (simplifying rules only, joins in
+    syntactic order). Unset, it honors ``REPRO_OPTIMIZER``. Both modes
+    return bit-identical results, row order included.
     """
-    return Connection(options, plan_cache_size=plan_cache_size, engine=engine)
+    return Connection(
+        options, plan_cache_size=plan_cache_size, engine=engine, optimizer=optimizer
+    )

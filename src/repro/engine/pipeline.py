@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Hashable, Mapping, Optional, Sequence
 
 from ..analyzer import Analyzer, infer_param_types
@@ -57,6 +57,13 @@ class PipelineCounters:
     ``execute`` counts plan executions; the others count front-of-pipeline
     work. A well-behaved hot path shows ``execute`` racing ahead while the
     rest stand still.
+
+    The optimizer additionally reports its internals: ``optimize_passes``
+    counts rule-fixpoint iterations, ``optimize_bound_hits`` how often the
+    fixpoint hit its safety bound without converging (a warning is raised
+    too), ``joins_reordered`` cost-based join-region re-shapes,
+    ``joinbacks_eliminated`` dropped redundant provenance join-backs, and
+    ``columns_pruned`` projection columns removed as dead.
     """
 
     parse: int = 0
@@ -65,11 +72,14 @@ class PipelineCounters:
     optimize: int = 0
     plan: int = 0
     execute: int = 0
+    optimize_passes: int = 0
+    optimize_bound_hits: int = 0
+    joins_reordered: int = 0
+    joinbacks_eliminated: int = 0
+    columns_pruned: int = 0
 
     def snapshot(self) -> "PipelineCounters":
-        return PipelineCounters(
-            self.parse, self.analyze, self.rewrite, self.optimize, self.plan, self.execute
-        )
+        return replace(self)
 
     def prepared_since(self, before: "PipelineCounters") -> int:
         """Front-of-pipeline (analyze) runs since *before*."""
@@ -105,6 +115,12 @@ class PreparedPlan:
     # DDL ran since and the plan may scan dropped storage (prepared
     # statements re-prepare, the cache simply never matches).
     catalog_version: int = -1
+    # Heap-version facts any statistics-based plan simplification relied
+    # on (redundant join-back elimination proves at-most-one-match from
+    # exact per-version column statistics). Row-level DML does not bump
+    # the catalog version, so these are revalidated before every
+    # execution and the plan transparently re-prepares when stale.
+    stats_deps: tuple[tuple[str, int], ...] = ()
     timings: list[StageTiming] = field(default_factory=list)
     _pipeline: "Pipeline" = None  # type: ignore[assignment]
 
@@ -124,9 +140,43 @@ class PreparedPlan:
         self.optimized = None
         self.timings = []
 
+    def stats_deps_valid(self) -> bool:
+        """Whether every heap-version fact baked into this plan still
+        holds (always true for plans without statistics-based
+        simplifications)."""
+        if not self.stats_deps:
+            return True
+        catalog = self._pipeline.catalog
+        for table_name, heap_version in self.stats_deps:
+            if not catalog.has_table(table_name):
+                return False
+            if catalog.table(table_name).table.version != heap_version:
+                return False
+        return True
+
+    def refresh(self) -> None:
+        """Re-run the prepare stages for this plan's statement in place,
+        so every holder (plan cache entries, prepared statements) picks
+        up the fresh physical plan."""
+        fresh = self._pipeline.prepare(self.statement, self.sql)
+        self.analyzed = fresh.analyzed
+        self.rewritten = fresh.rewritten
+        self.optimized = fresh.optimized
+        self.physical = fresh.physical
+        self.provenance_attrs = fresh.provenance_attrs
+        self.param_types = fresh.param_types
+        self.catalog_version = fresh.catalog_version
+        self.stats_deps = fresh.stats_deps
+        self.release_intermediates()
+
     def execute(self, values: Sequence[Value] = ()) -> Relation:
         """Run the execute stage with *values* bound to the parameter
         slots (already in slot order — see :func:`bind_parameters`)."""
+        if not self.stats_deps_valid():
+            # DML invalidated a statistics-derived simplification (e.g. a
+            # column this plan's join-back elimination proved unique is
+            # no longer unique): rebuild before running a stale plan.
+            self.refresh()
         self._pipeline.counters.execute += 1
         return execute_plan(
             self.physical, self.provenance_attrs, values, context=self._pipeline.params
@@ -191,15 +241,17 @@ class Pipeline:
         options: RewriteOptions,
         params: Optional[ParamContext] = None,
         engine: str = "row",
+        optimizer_mode: str = "cost",
     ):
         self.catalog = catalog
         self.options = options
         self.params = params if params is not None else ParamContext()
         self.engine = engine
+        self.optimizer_mode = optimizer_mode
         self.rewriter = ProvenanceRewriter(catalog, options)
-        self.optimizer = Optimizer(catalog)
-        self.planner = Planner(catalog, params=self.params, engine=engine)
         self.counters = PipelineCounters()
+        self.optimizer = Optimizer(catalog, mode=optimizer_mode, counters=self.counters)
+        self.planner = Planner(catalog, params=self.params, engine=engine)
 
     # ------------------------------------------------------------------
     def analyzer(self) -> Analyzer:
@@ -252,6 +304,7 @@ class Pipeline:
             param_specs=ast.statement_parameters(statement),
             param_types=infer_param_types(analyzed),
             catalog_version=self.catalog.version,
+            stats_deps=tuple(self.optimizer.stats_deps),
             timings=timings,
             _pipeline=self,
         )

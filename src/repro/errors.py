@@ -54,6 +54,13 @@ class PlanError(PermError):
     implementation (should not happen for trees built by the analyzer)."""
 
 
+class CostEstimationError(PermError):
+    """Raised by the cost estimator when a plan's cardinality cannot be
+    grounded in catalog statistics (e.g. a scan of a relation the catalog
+    does not know). Cost-based decisions must fall back to the syntactic
+    plan instead of optimizing on fabricated numbers."""
+
+
 class ExecutionError(PermError):
     """Raised at runtime: division by zero, scalar subquery returning more
     than one row, cast failures, and similar data-dependent errors."""

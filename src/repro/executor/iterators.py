@@ -135,7 +135,18 @@ class PNestedLoopJoin(PhysicalOp):
 class PHashJoin(PhysicalOp):
     """Hash join on equi-key conjuncts, with optional null-safe keys
     (``IS NOT DISTINCT FROM``) — the join form the provenance rewrite
-    rules generate — and a residual condition for the rest."""
+    rules generate — and a residual condition for the rest.
+
+    ``build_side`` picks which input the hash table is built on. The
+    default builds on the right and streams the left (probe-major
+    emission). ``build_side="left"`` — chosen by the planner when the
+    left input's estimated cardinality is much smaller — hashes the left
+    instead and streams the (large) right input through it, buffering
+    only the *matching* right rows; emission then replays the left rows
+    in their own order, so the output sequence is bit-identical to the
+    build-right path. Only inner and left joins support it (right/full
+    joins would have to buffer every unmatched right row anyway).
+    """
 
     __slots__ = (
         "left",
@@ -147,6 +158,7 @@ class PHashJoin(PhysicalOp):
         "residual",
         "left_width",
         "right_width",
+        "build_side",
     )
 
     def __init__(
@@ -159,7 +171,12 @@ class PHashJoin(PhysicalOp):
         null_safe: list[bool],
         residual: Optional[CompiledExpr],
         schema: Schema,
+        build_side: str = "right",
     ):
+        if build_side == "left" and kind not in ("inner", "left"):
+            raise ExecutionError(
+                f"build-left hash join does not support {kind!r} joins"
+            )
         self.left = left
         self.right = right
         self.kind = kind
@@ -170,6 +187,7 @@ class PHashJoin(PhysicalOp):
         self.left_width = len(left.schema)
         self.right_width = len(right.schema)
         self.schema = schema
+        self.build_side = build_side
 
     def _key(self, values: list[Value]) -> Optional[tuple]:
         """Hash key, or None when a non-null-safe key is NULL (such rows
@@ -182,6 +200,9 @@ class PHashJoin(PhysicalOp):
         return tuple(out)
 
     def rows(self, env: Env) -> Iterator[Row]:
+        if self.build_side == "left":
+            yield from self._rows_build_left(env)
+            return
         right_rows = list(self.right.rows(env))
         table: dict[tuple, list[int]] = {}
         for index, right_row in enumerate(right_rows):
@@ -213,6 +234,38 @@ class PHashJoin(PhysicalOp):
             for flag, right_row in zip(right_matched, right_rows):
                 if not flag:
                     yield left_pad + right_row
+
+    def _rows_build_left(self, env: Env) -> Iterator[Row]:
+        left_rows = list(self.left.rows(env))
+        table: dict[tuple, list[int]] = {}
+        for index, left_row in enumerate(left_rows):
+            key = self._key([k(left_row, env) for k in self.left_keys])
+            if key is not None:
+                table.setdefault(key, []).append(index)
+
+        # Matching right rows per left row, in right-stream order — the
+        # same per-left-row sequence the build-right probe produces.
+        matches: list[list[Row]] = [[] for _ in left_rows]
+        residual = self.residual
+        for right_row in self.right.rows(env):
+            key = self._key([k(right_row, env) for k in self.right_keys])
+            if key is None:
+                continue
+            for index in table.get(key, ()):
+                combined = left_rows[index] + right_row
+                if residual is not None and not is_true(residual(combined, env)):
+                    continue
+                matches[index].append(right_row)
+
+        right_pad = (None,) * self.right_width
+        pad_left = self.kind == "left"
+        for index, left_row in enumerate(left_rows):
+            matched = matches[index]
+            if matched:
+                for right_row in matched:
+                    yield left_row + right_row
+            elif pad_left:
+                yield left_row + right_pad
 
 
 class AggSpec:

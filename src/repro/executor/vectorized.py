@@ -167,7 +167,10 @@ class VHashJoin(VectorOp):
     Build and probe keys are computed column-at-a-time; the emit loop is
     tuple-wise (combined rows interleave matches with outer padding) and
     reproduces :class:`~repro.executor.iterators.PHashJoin`'s output
-    order exactly.
+    order exactly — including under ``build_side="left"``, the
+    planner's estimated-cardinality hash-side choice, which hashes a
+    small left input, streams the large right input through it buffering
+    only matching rows, and replays the output in left-major order.
     """
 
     __slots__ = (
@@ -181,6 +184,7 @@ class VHashJoin(VectorOp):
         "left_width",
         "right_width",
         "batch_size",
+        "build_side",
     )
 
     def __init__(
@@ -194,7 +198,12 @@ class VHashJoin(VectorOp):
         residual: Optional[CompiledExpr],
         schema: Schema,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        build_side: str = "right",
     ):
+        if build_side == "left" and kind not in ("inner", "left"):
+            raise ValueError(
+                f"build-left hash join does not support {kind!r} joins"
+            )
         self.left = left
         self.right = right
         self.kind = kind
@@ -206,6 +215,7 @@ class VHashJoin(VectorOp):
         self.right_width = len(right.schema)
         self.schema = schema
         self.batch_size = batch_size
+        self.build_side = build_side
 
     def _key_column(
         self, batch: Batch, env: Env, key_fns: list[VectorExpr]
@@ -227,6 +237,9 @@ class VHashJoin(VectorOp):
         return out
 
     def batches(self, env: Env) -> Iterator[Batch]:
+        if self.build_side == "left":
+            yield from self._batches_build_left(env)
+            return
         right_rows: Rows = []
         table: dict[tuple, list[int]] = {}
         for batch in self.right.batches(env):
@@ -272,6 +285,51 @@ class VHashJoin(VectorOp):
                     if len(out) >= self.batch_size:
                         yield Batch.from_rows(out, len(self.schema))
                         out = []
+        if out:
+            yield Batch.from_rows(out, len(self.schema))
+
+    def _batches_build_left(self, env: Env) -> Iterator[Batch]:
+        left_rows: Rows = []
+        table: dict[tuple, list[int]] = {}
+        for batch in self.left.batches(env):
+            keys = self._key_column(batch, env, self.left_keys)
+            base = len(left_rows)
+            left_rows.extend(batch.iter_rows())
+            for offset, key in enumerate(keys):
+                if key is not None:
+                    table.setdefault(key, []).append(base + offset)
+
+        # Matching right rows per left row, in right-stream order — the
+        # exact per-left-row sequence the build-right probe produces.
+        matches: list[Rows] = [[] for _ in left_rows]
+        residual = self.residual
+        for batch in self.right.batches(env):
+            keys = self._key_column(batch, env, self.right_keys)
+            for right_row, key in zip(batch.iter_rows(), keys):
+                if key is None:
+                    continue
+                for index in table.get(key, ()):
+                    combined = left_rows[index] + right_row
+                    if residual is not None and not is_true(residual(combined, env)):
+                        continue
+                    matches[index].append(right_row)
+
+        right_pad = (None,) * self.right_width
+        pad_left = self.kind == "left"
+        out: Rows = []
+        for index, left_row in enumerate(left_rows):
+            matched = matches[index]
+            if matched:
+                for right_row in matched:
+                    out.append(left_row + right_row)
+                    if len(out) >= self.batch_size:
+                        yield Batch.from_rows(out, len(self.schema))
+                        out = []
+            elif pad_left:
+                out.append(left_row + right_pad)
+                if len(out) >= self.batch_size:
+                    yield Batch.from_rows(out, len(self.schema))
+                    out = []
         if out:
             yield Batch.from_rows(out, len(self.schema))
 

@@ -8,5 +8,7 @@ cardinality-based cost model that also powers the cost-based
 rewrite-strategy selection of §2.2.
 """
 
-from .cost import CostEstimator, CostModel  # noqa: F401
-from .optimizer import Optimizer, optimize  # noqa: F401
+from .cost import CostEstimator, CostModel, PlanEstimate  # noqa: F401
+from .joinorder import reorder_joins  # noqa: F401
+from .optimizer import OPTIMIZER_MODES, Optimizer, optimize  # noqa: F401
+from .prune import prune_plan  # noqa: F401

@@ -18,6 +18,8 @@ from dataclasses import dataclass
 from ..algebra import expressions as ax
 from ..algebra import nodes as an
 from ..catalog.catalog import Catalog
+from ..catalog.stats import ColumnStats
+from ..errors import CostEstimationError
 
 # Default selectivities (the classic System-R constants).
 _SEL_EQ = 0.1
@@ -45,18 +47,45 @@ class PlanEstimate:
 
 
 class CostEstimator:
-    """Bottom-up cardinality/cost estimation over logical trees."""
+    """Bottom-up cardinality/cost estimation over logical trees.
 
-    def __init__(self, catalog: Catalog):
+    ``cache=True`` memoizes estimates by node identity. Only use it when
+    every estimated tree outlives the estimator's use (one planning
+    pass, one EXPLAIN render): freed nodes could otherwise recycle an
+    ``id`` and hit a stale entry. The optimizer's join-order search
+    estimates short-lived candidate trees and must NOT cache.
+    """
+
+    def __init__(self, catalog: Catalog, cache: bool = False):
         self.catalog = catalog
+        self._cache: dict[int, PlanEstimate] | None = {} if cache else None
 
     # ------------------------------------------------------------------
     def estimate(self, node: an.Node) -> PlanEstimate:
+        if self._cache is None:
+            return self._estimate(node)
+        hit = self._cache.get(id(node))
+        if hit is None:
+            hit = self._estimate(node)
+            self._cache[id(node)] = hit
+        return hit
+
+    def _estimate(self, node: an.Node) -> PlanEstimate:
         if isinstance(node, an.Scan):
-            if self.catalog.has_table(node.table_name):
-                rows = float(self.catalog.table(node.table_name).stats().row_count)
-            else:  # pragma: no cover - scans always name tables
-                rows = 1000.0
+            # Unknown relations must not silently estimate: a fabricated
+            # cardinality would feed the join-order search garbage. The
+            # catalog is the single source of truth — views are unfolded
+            # by the analyzer and backend fragments never appear in
+            # logical trees, so anything unresolvable here is a caller
+            # bug and callers making cost-based *choices* catch this and
+            # keep the syntactic plan.
+            if not self.catalog.has_table(node.table_name):
+                kind = "view" if self.catalog.has_view(node.table_name) else "relation"
+                raise CostEstimationError(
+                    f"cannot estimate scan of {kind} {node.table_name!r}: "
+                    "no table statistics in the catalog"
+                )
+            rows = float(self.catalog.table(node.table_name).stats().row_count)
             return PlanEstimate(rows, rows * _COST_SCAN)
 
         if isinstance(node, an.SingleRow):
@@ -182,8 +211,8 @@ class CostEstimator:
             return _SEL_EQ
         return 1.0 / ndv
 
-    def _column_ndv(self, expr: ax.Expr, root: an.Node) -> int | None:
-        """Distinct-count of a column, traced back to a base-table scan."""
+    def _column_stats(self, expr: ax.Expr, root: an.Node) -> ColumnStats | None:
+        """Base-table statistics of a column, traced back to its scan."""
         if not isinstance(expr, ax.Column):
             return None
         target = expr.name
@@ -192,11 +221,13 @@ class CostEstimator:
                 position = node.schema.index_of(target)
                 column = node.columns[position]
                 if self.catalog.has_table(node.table_name):
-                    stats = self.catalog.table(node.table_name).stats()
-                    column_stats = stats.column(column)
-                    if column_stats is not None:
-                        return column_stats.n_distinct
+                    return self.catalog.table(node.table_name).stats().column(column)
         return None
+
+    def _column_ndv(self, expr: ax.Expr, root: an.Node) -> int | None:
+        """Distinct-count of a column, traced back to a base-table scan."""
+        stats = self._column_stats(expr, root)
+        return stats.n_distinct if stats is not None else None
 
     def _distinct_estimate(self, node: an.Aggregate) -> float:
         product = 1.0
@@ -214,10 +245,35 @@ class CostEstimator:
                 )
                 selectivity *= (1.0 / ndv) if ndv else _SEL_EQ
             elif isinstance(conjunct, ax.BinOp) and conjunct.op in ("<", "<=", ">", ">="):
-                selectivity *= _SEL_RANGE
+                selectivity *= self._range_selectivity(conjunct, node)
             else:
                 selectivity *= _SEL_DEFAULT
         return selectivity
+
+    def _range_selectivity(self, conjunct: ax.BinOp, root: an.Node) -> float:
+        """Selectivity of ``column <op> constant`` by interpolating the
+        constant into the column's [min, max] from table statistics;
+        falls back to the System-R constant when the shape or the
+        statistics do not allow it."""
+        column, constant, op = conjunct.left, conjunct.right, conjunct.op
+        if not isinstance(constant, ax.Const):
+            column, constant = conjunct.right, conjunct.left
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
+        value = constant.value if isinstance(constant, ax.Const) else None
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return _SEL_RANGE
+        stats = self._column_stats(column, root)
+        if (
+            stats is None
+            or stats.min_value is None
+            or stats.max_value is None
+            or stats.max_value <= stats.min_value
+        ):
+            return _SEL_RANGE
+        below = (value - stats.min_value) / (stats.max_value - stats.min_value)
+        fraction = below if op in ("<", "<=") else 1.0 - below
+        fraction = min(max(fraction, 0.0), 1.0)
+        return fraction * (1.0 - stats.null_fraction)
 
 
 def _walk(root: an.Node):

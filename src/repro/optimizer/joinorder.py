@@ -1,0 +1,295 @@
+"""Cost-based join reordering for provenance join-backs.
+
+The paper's central performance argument (§2.2/§5) is that provenance
+rewriting stays practical *because* the rewritten query — the original
+query joined back with every contributing base relation — is handed to a
+cost-based optimizer. This module is that stage: it re-shapes inner-join
+trees using the catalog statistics in :class:`~repro.optimizer.cost.CostEstimator`
+instead of compiling joins in syntactic order.
+
+**Order preservation is a hard invariant.** Every execution engine here
+emits join output in probe(left)-major order, so the output order of any
+inner-join tree is lexicographic in its left-to-right *leaf sequence* —
+independent of the tree's shape — and the SQLite backend's hidden
+ordering channel concatenates leaf ordinals in the same sequence.
+Therefore the search space is the association trees over the fixed leaf
+sequence (plus condition placement at each conjunct's lowest covering
+join): any such re-shape provably returns bit-identical rows in
+bit-identical order on all three engines, which the optimizer-on vs
+optimizer-off differential corpus asserts. Commuting leaves would change
+the engine-defined row order of ORDER-BY-free queries and is deliberately
+out of scope.
+
+Search strategy, following the classic recipe:
+
+* **DP** over contiguous intervals of the term sequence (all Catalan
+  shapes, matrix-chain style) for regions of up to ``dp_limit`` (~8)
+  relations;
+* **greedy chaining** beyond that: repeatedly merge the adjacent pair
+  with the cheapest estimated join until one tree remains.
+
+Join conditions are split into conjuncts; each conjunct is applied at
+the lowest join covering every term it references (single-term conjuncts
+become selections on their term, term-free conjuncts stay at the region
+top). The re-shaped tree is adopted only when its estimated cost beats
+the syntactic shape; estimation failures
+(:class:`~repro.errors.CostEstimationError`) keep the syntactic plan —
+join ordering never runs on fabricated cardinalities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..algebra import expressions as ax
+from ..algebra import nodes as an
+from ..errors import CostEstimationError
+from .cost import CostEstimator, PlanEstimate
+from .rules import expr_cannot_raise
+
+__all__ = ["reorder_joins", "DEFAULT_DP_LIMIT"]
+
+DEFAULT_DP_LIMIT = 8
+
+# Only adopt a re-shaped tree on a clear estimated win; ties keep the
+# syntactic shape (no churn, stable EXPLAIN output).
+_IMPROVEMENT_FACTOR = 0.999
+
+_REGION_KINDS = ("inner", "cross")
+
+
+@dataclass
+class _Conjunct:
+    """One AND-conjunct of a region's join conditions.
+
+    ``mask`` holds the indices of the terms whose columns the conjunct
+    references (sublink subplans included via their level-1 outer
+    references); ``order`` preserves the original relative evaluation
+    order when conjuncts recombine at one join.
+    """
+
+    expr: ax.Expr
+    mask: frozenset[int]
+    order: int
+
+
+class _Region:
+    """A maximal inner/cross-join subtree, flattened."""
+
+    def __init__(self, root: an.Join):
+        self.root = root
+        self.terms: list[an.Node] = []
+        self._condition_exprs: list[ax.Expr] = []
+        self._flatten(root)
+
+    def _flatten(self, node: an.Node) -> None:
+        if isinstance(node, an.Join) and node.kind in _REGION_KINDS:
+            self._flatten(node.left)
+            self._flatten(node.right)
+            if node.condition is not None:
+                self._condition_exprs.extend(ax.conjuncts(node.condition))
+        else:
+            self.terms.append(node)
+
+    def conjuncts(self, terms: list[an.Node]) -> tuple[list[_Conjunct], list[_Conjunct]]:
+        """Split collected condition conjuncts into (term-referencing,
+        term-free) lists with term masks resolved against *terms*."""
+        owner: dict[str, int] = {}
+        for index, term in enumerate(terms):
+            for attribute in term.schema:
+                owner[attribute.name.lower()] = index
+        keyed: list[_Conjunct] = []
+        free: list[_Conjunct] = []
+        for order, expr in enumerate(self._condition_exprs):
+            mask = frozenset(
+                owner[name.lower()]
+                for name in ax.columns_used(expr)
+                if name.lower() in owner
+            )
+            conjunct = _Conjunct(expr, mask, order)
+            (keyed if mask else free).append(conjunct)
+        return keyed, free
+
+    def rebuild_syntactic(self, terms: list[an.Node]) -> an.Node:
+        """The original join structure over (re-optimized) *terms*."""
+        iterator = iter(terms)
+
+        def rebuild(node: an.Node) -> an.Node:
+            if isinstance(node, an.Join) and node.kind in _REGION_KINDS:
+                left = rebuild(node.left)
+                right = rebuild(node.right)
+                return an.Join(left, right, node.kind, node.condition)
+            return next(iterator)
+
+        return rebuild(self.root)
+
+
+def _join_over(
+    left: an.Node, right: an.Node, conjuncts: list[_Conjunct]
+) -> an.Join:
+    """An inner (or, without conditions, cross) join applying *conjuncts*
+    in their original relative order."""
+    condition = ax.combine_conjuncts(
+        [c.expr for c in sorted(conjuncts, key=lambda c: c.order)]
+    )
+    kind = "cross" if condition is None else "inner"
+    return an.Join(left, right, kind, condition)
+
+
+def _base_term(term: an.Node, conjuncts: list[_Conjunct], index: int) -> an.Node:
+    """Attach single-term conjuncts (``a.x IS NOT DISTINCT FROM a.x``
+    style residuals the rules left inside join conditions) as a selection
+    on their term — valid below inner joins, and order-preserving."""
+    mine = [c for c in conjuncts if c.mask == frozenset({index})]
+    if not mine:
+        return term
+    condition = ax.combine_conjuncts(
+        [c.expr for c in sorted(mine, key=lambda c: c.order)]
+    )
+    assert condition is not None
+    return an.Select(term, condition)
+
+
+def _spanning(
+    conjuncts: list[_Conjunct], lo: int, split: int, hi: int
+) -> list[_Conjunct]:
+    """Conjuncts whose lowest covering join is the ([lo..split],
+    [split+1..hi]) combination: fully inside the interval, touching both
+    sides of the cut."""
+    out = []
+    for c in conjuncts:
+        if not c.mask:
+            continue
+        if min(c.mask) < lo or max(c.mask) > hi:
+            continue
+        if any(t <= split for t in c.mask) and any(t > split for t in c.mask):
+            out.append(c)
+    return out
+
+
+Estimate = Callable[[an.Node], PlanEstimate]
+
+
+def _dp_best(
+    terms: list[an.Node],
+    conjuncts: list[_Conjunct],
+    estimate_fn: Estimate,
+) -> tuple[an.Node, PlanEstimate]:
+    """Best association tree over the fixed term sequence (interval DP)."""
+    n = len(terms)
+    best: dict[tuple[int, int], tuple[an.Node, PlanEstimate]] = {}
+    for i, term in enumerate(terms):
+        node = _base_term(term, conjuncts, i)
+        best[(i, i)] = (node, estimate_fn(node))
+    multi = [c for c in conjuncts if len(c.mask) > 1]
+    for span in range(2, n + 1):
+        for lo in range(0, n - span + 1):
+            hi = lo + span - 1
+            cell: Optional[tuple[an.Node, PlanEstimate]] = None
+            for split in range(lo, hi):
+                left, _ = best[(lo, split)]
+                right, _ = best[(split + 1, hi)]
+                candidate = _join_over(
+                    left, right, _spanning(multi, lo, split, hi)
+                )
+                estimate = estimate_fn(candidate)
+                if cell is None or estimate.cost < cell[1].cost:
+                    cell = (candidate, estimate)
+            assert cell is not None
+            best[(lo, hi)] = cell
+    return best[(0, n - 1)]
+
+
+def _greedy_best(
+    terms: list[an.Node],
+    conjuncts: list[_Conjunct],
+    estimate_fn: Estimate,
+) -> tuple[an.Node, PlanEstimate]:
+    """Greedy adjacent-pair chaining for long term sequences: each step
+    merges the neighboring pair whose join is estimated cheapest."""
+    multi = [c for c in conjuncts if len(c.mask) > 1]
+    entries: list[tuple[int, int, an.Node]] = []
+    for i, term in enumerate(terms):
+        entries.append((i, i, _base_term(term, conjuncts, i)))
+    while len(entries) > 1:
+        chosen = None
+        for position in range(len(entries) - 1):
+            lo, split, left = entries[position]
+            _, hi, right = entries[position + 1]
+            candidate = _join_over(left, right, _spanning(multi, lo, split, hi))
+            estimate = estimate_fn(candidate)
+            if chosen is None or estimate.cost < chosen[1].cost:
+                chosen = (position, estimate, candidate, lo, hi)
+        assert chosen is not None
+        position, _, candidate, lo, hi = chosen
+        entries[position : position + 2] = [(lo, hi, candidate)]
+    node = entries[0][2]
+    return node, estimate_fn(node)
+
+
+def reorder_joins(
+    root: an.Node,
+    estimator: CostEstimator,
+    dp_limit: int = DEFAULT_DP_LIMIT,
+    on_reorder: Optional[Callable[[], None]] = None,
+) -> an.Node:
+    """Re-shape every maximal inner/cross-join region of *root* by
+    estimated cost, keeping each region's leaf sequence (and therefore
+    its output row order) intact. ``on_reorder`` fires once per region
+    whose shape was actually changed."""
+
+    def process(node: an.Node) -> an.Node:
+        if isinstance(node, an.Join) and node.kind in _REGION_KINDS:
+            return process_region(node)
+        children = [process(child) for child in node.children]
+        return node.with_children(children)
+
+    def process_region(join: an.Join) -> an.Node:
+        region = _Region(join)
+        terms = [process(term) for term in region.terms]
+        syntactic = region.rebuild_syntactic(terms)
+        if len(terms) < 3:
+            return syntactic
+        # Identity-memoized estimation for this region's search: the
+        # deep term subtrees are re-estimated under every candidate
+        # otherwise. The keepalive list pins every estimated node so a
+        # discarded candidate can never recycle a cached id.
+        cached = CostEstimator(estimator.catalog, cache=True)
+        keepalive: list[an.Node] = [syntactic]
+
+        def estimate_fn(node: an.Node) -> PlanEstimate:
+            keepalive.append(node)
+            return cached.estimate(node)
+
+        try:
+            keyed, free = region.conjuncts(terms)
+            # An error-capable conjunct (1/x, CAST, sublink) is evaluated
+            # against different intermediate row sets under a different
+            # shape — which rows raise could change. The contract is
+            # identical errors across optimizer modes, so such regions
+            # keep their syntactic shape.
+            if any(not expr_cannot_raise(c.expr) for c in keyed + free):
+                return syntactic
+            baseline = estimate_fn(syntactic)
+            if len(terms) <= dp_limit:
+                candidate, estimate = _dp_best(terms, keyed, estimate_fn)
+            else:
+                candidate, estimate = _greedy_best(terms, keyed, estimate_fn)
+            if free:
+                top = ax.combine_conjuncts(
+                    [c.expr for c in sorted(free, key=lambda c: c.order)]
+                )
+                assert top is not None
+                candidate = an.Select(candidate, top)
+                estimate = estimate_fn(candidate)
+        except CostEstimationError:
+            # No grounded cardinalities: never reorder on guesses.
+            return syntactic
+        if estimate.cost < baseline.cost * _IMPROVEMENT_FACTOR:
+            if on_reorder is not None:
+                on_reorder()
+            return candidate
+        return syntactic
+
+    return process(root)

@@ -1,41 +1,115 @@
-"""Optimizer driver: applies the logical rules to a fixpoint.
+"""Optimizer driver: rule fixpoint plus the cost-based plan stages.
 
-Rules run bottom-up; after a full pass changes the tree, another pass
-runs, up to a small iteration bound (the rules are strictly
-simplifying, so the bound exists only as a safety net). Sublink
-subplans are optimized recursively with the same rules.
+The pipeline per plan (and, recursively, per sublink subplan):
+
+1. **rule fixpoint** — the simplifying rewrites of :mod:`.rules`
+   (constant folding, selection pushdown, projection collapsing) run
+   bottom-up until nothing fires;
+2. **join-back elimination + column pruning** (:mod:`.prune`) — drop
+   provably redundant provenance join-backs and dead projection columns;
+3. **cost-based join reordering** (:mod:`.joinorder`) — re-shape
+   inner-join regions by estimated cost, preserving row order;
+4. a final **cleanup fixpoint** over the re-shaped tree.
+
+Stages 2–4 run only in ``mode="cost"`` (the default); ``mode="rules"``
+keeps the historic rules-only behavior and compiles joins in syntactic
+order — the differential corpus runs both modes and asserts bit-identical
+results, row order included.
+
+The rule fixpoint is bounded by ``_MAX_PASSES`` purely as a safety net:
+the shipped rules are strictly simplifying, so hitting the bound means a
+(mis)configured rule list oscillates. That condition is no longer
+silent — it emits a :class:`RuntimeWarning` and shows up in the pipeline
+counters (``optimize_bound_hits``), alongside ``optimize_passes``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+import warnings
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from ..algebra import nodes as an
 from ..algebra.tree import transform_subplans, transform_tree
 from ..catalog.catalog import Catalog
+from .cost import CostEstimator
+from .joinorder import DEFAULT_DP_LIMIT, reorder_joins
+from .prune import StatsDep, prune_plan
 from .rules import DEFAULT_RULES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.pipeline import PipelineCounters
 
 Rule = Callable[[an.Node], Optional[an.Node]]
 
 _MAX_PASSES = 12
 
+OPTIMIZER_MODES = ("cost", "rules")
+
 
 class Optimizer:
-    """Rule-based logical optimizer."""
+    """Rule-based logical optimizer with a cost-based join stage.
 
-    def __init__(self, catalog: Catalog, rules: Sequence[Rule] = DEFAULT_RULES):
+    ``mode`` selects ``"cost"`` (rules + join-back elimination + column
+    pruning + cost-based join reordering) or ``"rules"`` (rules only,
+    syntactic join order). ``counters`` may be a
+    :class:`~repro.engine.pipeline.PipelineCounters` to expose pass and
+    reorder/prune accounting; ``stats_deps`` (reset per :meth:`optimize`
+    call) lists the ``(table, heap version)`` facts any statistics-based
+    elimination relied on, so cached plans can revalidate them.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        rules: Sequence[Rule] = DEFAULT_RULES,
+        mode: str = "cost",
+        dp_limit: int = DEFAULT_DP_LIMIT,
+        counters: "Optional[PipelineCounters]" = None,
+    ):
+        if mode not in OPTIMIZER_MODES:
+            raise ValueError(
+                f"unknown optimizer mode {mode!r} (valid: {', '.join(OPTIMIZER_MODES)})"
+            )
         self.catalog = catalog
         self.rules = tuple(rules)
+        self.mode = mode
+        self.dp_limit = dp_limit
+        self.counters = counters
+        self.estimator = CostEstimator(catalog)
+        self.stats_deps: list[StatsDep] = []
 
     def optimize(self, node: an.Node) -> an.Node:
         """Optimize *node* (and all sublink subplans) to a fixpoint."""
+        self.stats_deps = []
         current = transform_subplans(node, self._optimize_plan)
         return self._optimize_plan(current)
 
     # ------------------------------------------------------------------
     def _optimize_plan(self, node: an.Node) -> an.Node:
+        current = self._rule_fixpoint(node)
+        if self.mode != "cost":
+            return current
+        current = prune_plan(
+            current,
+            self.catalog,
+            on_prune=self._count_pruned,
+            on_eliminate=self._count_eliminated,
+            stats_deps=self.stats_deps,
+        )
+        current = reorder_joins(
+            current,
+            self.estimator,
+            dp_limit=self.dp_limit,
+            on_reorder=self._count_reordered,
+        )
+        return self._rule_fixpoint(current)
+
+    def _rule_fixpoint(self, node: an.Node) -> an.Node:
         current = node
+        passes = 0
+        converged = False
         for _ in range(_MAX_PASSES):
+            passes += 1
             changed = False
 
             def apply_rules(candidate: an.Node) -> Optional[an.Node]:
@@ -54,10 +128,36 @@ class Optimizer:
 
             current = transform_tree(current, apply_rules)
             if not changed:
-                return current
+                converged = True
+                break
+        if self.counters is not None:
+            self.counters.optimize_passes += passes
+        if not converged:
+            if self.counters is not None:
+                self.counters.optimize_bound_hits += 1
+            warnings.warn(
+                f"optimizer rule fixpoint did not converge within {_MAX_PASSES} "
+                "passes; the rule list oscillates and the returned plan may "
+                "not be fully simplified",
+                RuntimeWarning,
+                stacklevel=3,
+            )
         return current
+
+    # ------------------------------------------------------------------
+    def _count_pruned(self, dropped: int) -> None:
+        if self.counters is not None:
+            self.counters.columns_pruned += dropped
+
+    def _count_eliminated(self) -> None:
+        if self.counters is not None:
+            self.counters.joinbacks_eliminated += 1
+
+    def _count_reordered(self) -> None:
+        if self.counters is not None:
+            self.counters.joins_reordered += 1
 
 
 def optimize(catalog: Catalog, node: an.Node) -> an.Node:
-    """Convenience: optimize *node* with the default rules."""
+    """Convenience: optimize *node* with the default rules and stages."""
     return Optimizer(catalog).optimize(node)

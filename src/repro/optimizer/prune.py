@@ -1,0 +1,274 @@
+"""Provenance-aware column pruning and redundant join-back elimination.
+
+The provenance rewrite rules double the width of every base-relation
+access (original attributes plus their ``prov_*`` duplicates) and join
+results back to rewritten inputs. Two cost-free cleanups follow:
+
+**Column pruning.** A projection item nobody above references is dead
+weight — most importantly the renamed original attributes of a rewritten
+input below an aggregation join-back, and provenance duplicates that a
+COPY-semantics mask or an enclosing query projected away. Pruning drops
+such items from existing projections (it never inserts new operators, so
+the row engine pays nothing extra and the vectorized and SQLite engines
+move strictly less data). Row multiset and order are untouched: removing
+projection columns changes tuple width only.
+
+**Redundant join-back elimination.** The limit/set-operation rewrite
+rules re-attach provenance via ``original ⟕_{A ≐ A'} ren(T+)``. When an
+enclosing projection discards every column of the join-back's right side
+(typically: all provenance attributes were projected away) *and* some
+equi-conjunct binds a right-side column that is provably unique — via
+exact per-version table statistics, or structurally via a single GROUP
+BY key — each left row matches at most once, so the left join neither
+filters nor duplicates: it can be dropped entirely. Left rows pass
+through in their own order, so this is row-order-preserving too.
+
+Statistics-derived uniqueness is a fact about the *current* heap, and
+row-level DML does not bump the catalog version that keys the plan
+cache. Every elimination therefore records a ``(table, heap version)``
+dependency; plans revalidate these before execution and transparently
+re-prepare when stale (:class:`repro.engine.pipeline.PreparedPlan`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..algebra import expressions as ax
+from ..algebra import nodes as an
+from ..catalog.catalog import Catalog
+from .rules import expr_cannot_raise, plan_cannot_raise
+
+__all__ = ["prune_plan"]
+
+StatsDep = tuple[str, int]
+
+
+def _is_scan_chain(node: an.Node) -> bool:
+    """A scan, possibly under pushed-down filters: the shapes whose full
+    width would otherwise flow into a join untouched."""
+    while isinstance(node, an.Select):
+        node = node.child
+    return isinstance(node, an.Scan)
+
+
+def _used(exprs: list[ax.Expr]) -> set[str]:
+    out: set[str] = set()
+    for expr in exprs:
+        out.update(name.lower() for name in ax.columns_used(expr))
+    return out
+
+
+def _unique_columns(
+    node: an.Node, catalog: Catalog, deps: list[StatsDep]
+) -> set[str]:
+    """Output attribute names (lowercased) that are individually unique
+    and non-NULL across *node*'s output. Conservative: empty set when in
+    doubt. Statistics-derived facts append their table dependency to
+    *deps* so callers can revalidate them later."""
+    if isinstance(node, an.Scan):
+        if not catalog.has_table(node.table_name):
+            return set()
+        entry = catalog.table(node.table_name)
+        stats = entry.stats()
+        unique = {
+            out.name.lower()
+            for column, out in zip(node.columns, node.schema)
+            if stats.column_is_unique(column)
+        }
+        if unique:
+            deps.append((node.table_name.lower(), entry.table.version))
+        return unique
+    if isinstance(node, (an.Select, an.Sort, an.Limit, an.Distinct)):
+        # Row subsets / permutations keep per-column uniqueness.
+        return _unique_columns(node.child, catalog, deps)
+    if isinstance(node, an.BaseRelationNode):
+        return _unique_columns(node.child, catalog, deps)
+    if isinstance(node, an.Project):
+        inherited = _unique_columns(node.child, catalog, deps)
+        return {
+            name.lower()
+            for name, expr in node.items
+            if isinstance(expr, ax.Column) and expr.name.lower() in inherited
+        }
+    if isinstance(node, an.Aggregate):
+        # Grouping makes a single group key unique by construction (the
+        # NULL group included) — no statistics dependency needed.
+        if len(node.group_items) == 1:
+            return {node.group_items[0][0].lower()}
+        return set()
+    return set()
+
+
+def _joinback_is_redundant(
+    join: an.Join, catalog: Catalog
+) -> Optional[list[StatsDep]]:
+    """Whether the left join can be dropped because every left row
+    matches at most one right row: some conjunct equates a provably
+    unique right-side column with a left-side-only expression. Returns
+    the statistics dependencies of that proof (possibly empty for purely
+    structural uniqueness), or ``None`` when the join must stay."""
+    if join.kind != "left" or join.condition is None:
+        return None
+    # Elimination skips evaluating the right subtree and the ON
+    # condition entirely; both must be provably unable to raise, or a
+    # data-dependent error (1/0, CAST, multi-row scalar sublink) would
+    # appear under optimizer="rules" but not under "cost".
+    if not expr_cannot_raise(join.condition):
+        return None
+    if not plan_cannot_raise(join.right):
+        return None
+    left_names = {a.name.lower() for a in join.left.schema}
+    right_names = {a.name.lower() for a in join.right.schema}
+    right_unique: Optional[set[str]] = None
+    deps: list[StatsDep] = []
+    for conjunct in ax.conjuncts(join.condition):
+        if isinstance(conjunct, ax.BinOp) and conjunct.op == "=":
+            sides = (conjunct.left, conjunct.right)
+        elif isinstance(conjunct, ax.DistinctTest) and conjunct.negated:
+            sides = (conjunct.left, conjunct.right)
+        else:
+            continue
+        for key_side, other_side in (sides, sides[::-1]):
+            if not (
+                isinstance(key_side, ax.Column)
+                and key_side.name.lower() in right_names
+            ):
+                continue
+            if not _used([other_side]) <= left_names:
+                continue
+            if right_unique is None:
+                right_unique = _unique_columns(join.right, catalog, deps)
+            if key_side.name.lower() in right_unique:
+                return deps
+    return None
+
+
+def prune_plan(
+    root: an.Node,
+    catalog: Catalog,
+    on_prune: Optional[Callable[[int], None]] = None,
+    on_eliminate: Optional[Callable[[], None]] = None,
+    stats_deps: Optional[list[StatsDep]] = None,
+) -> an.Node:
+    """Prune dead projection columns and drop redundant join-backs.
+
+    ``on_prune(n)`` fires per projection with the number of dropped
+    items; ``on_eliminate()`` once per dropped join-back. Dependencies of
+    statistics-based eliminations are appended to ``stats_deps``.
+    """
+    deps: list[StatsDep] = []
+
+    def visit(node: an.Node, needed: Optional[set[str]]) -> an.Node:
+        if isinstance(node, an.Project):
+            return visit_project(node, needed)
+        if isinstance(node, an.Select):
+            child_needed = (
+                None if needed is None else needed | _used([node.condition])
+            )
+            return an.Select(visit(node.child, child_needed), node.condition)
+        if isinstance(node, an.Join):
+            condition_used = (
+                _used([node.condition]) if node.condition is not None else set()
+            )
+            if needed is None:
+                left_needed = right_needed = None
+            else:
+                wanted = needed | condition_used
+                left_needed = {
+                    a.name.lower() for a in node.left.schema
+                } & wanted
+                right_needed = {
+                    a.name.lower() for a in node.right.schema
+                } & wanted
+            return an.Join(
+                narrow(visit(node.left, left_needed), left_needed),
+                narrow(visit(node.right, right_needed), right_needed),
+                node.kind,
+                node.condition,
+            )
+        if isinstance(node, an.Aggregate):
+            child_needed = _used(
+                [expr for _, expr in node.group_items]
+                + [agg.arg for _, agg in node.agg_items if agg.arg is not None]
+            )
+            return an.Aggregate(
+                visit(node.child, child_needed), node.group_items, node.agg_items
+            )
+        if isinstance(node, an.Sort):
+            child_needed = (
+                None
+                if needed is None
+                else needed | _used([key.expr for key in node.keys])
+            )
+            return an.Sort(visit(node.child, child_needed), node.keys)
+        if isinstance(node, an.Limit):
+            return an.Limit(visit(node.child, needed), node.limit, node.offset)
+        if isinstance(node, an.BaseRelationNode):
+            return node.with_children([visit(node.child, needed)])
+        # Distinct compares whole rows; set operations are positional:
+        # every column below them is semantically live. Leaves and any
+        # unknown operator keep their full output too.
+        children = [visit(child, None) for child in node.children]
+        return node.with_children(children) if children else node
+
+    def narrow(child: an.Node, needed: Optional[set[str]]) -> an.Node:
+        """Insert a narrowing projection above a scan chain feeding a
+        join when most of its columns are dead. Existing projections are
+        pruned in place instead (see :func:`visit_project`); the
+        at-least-half threshold keeps the row engine from paying a
+        per-row tuple rebuild for marginal width savings."""
+        if needed is None or not _is_scan_chain(child):
+            return child
+        names = [a.name for a in child.schema]
+        kept = [n for n in names if n.lower() in needed]
+        if not kept:
+            kept = names[:1]
+        if len(kept) * 2 > len(names):
+            return child
+        if on_prune is not None:
+            on_prune(len(names) - len(kept))
+        return an.Project(child, [(n, ax.Column(n)) for n in kept])
+
+    def visit_project(node: an.Project, needed: Optional[set[str]]) -> an.Node:
+        if needed is None:
+            kept = list(node.items)
+        else:
+            # A dead item is only dropped when its evaluation provably
+            # cannot raise — pruning must never swallow a runtime error
+            # (1/0, CAST, sublink) the rules-only pipeline would surface.
+            kept = [
+                (name, expr)
+                for name, expr in node.items
+                if name.lower() in needed or not expr_cannot_raise(expr)
+            ]
+            if not kept:
+                # A projection must produce at least one column; keep the
+                # cheapest survivor (parents ignore it anyway).
+                kept = [node.items[0]]
+            dropped = len(node.items) - len(kept)
+            if dropped and on_prune is not None:
+                on_prune(dropped)
+        child_needed = _used([expr for _, expr in kept])
+        child: an.Node = node.child
+        while isinstance(child, an.Join) and not (
+            child_needed & {a.name.lower() for a in child.right.schema}
+        ):
+            proof = _joinback_is_redundant(child, catalog)
+            if proof is None:
+                break
+            deps.extend(proof)
+            child = child.left
+            if on_eliminate is not None:
+                on_eliminate()
+        return an.Project(visit(child, child_needed), kept)
+
+    result = visit(root, None)
+    if stats_deps is not None:
+        # Deduplicate: several eliminations may lean on the same table.
+        seen = set(stats_deps)
+        for dep in deps:
+            if dep not in seen:
+                seen.add(dep)
+                stats_deps.append(dep)
+    return result

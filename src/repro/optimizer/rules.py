@@ -97,6 +97,59 @@ def _has_subquery(expr: ax.Expr) -> bool:
     return any(isinstance(sub, ax.SubqueryExpr) for sub in ax.walk_expr(expr))
 
 
+# Expression shapes that provably cannot raise at runtime: plain values,
+# null tests, and comparisons/logic whose operand types the analyzer has
+# already checked statically. Arithmetic (division by zero), casts,
+# functions, LIKE, CASE and sublinks (multi-row scalar results) stay out.
+# Shared by every transformation that would otherwise skip or relocate an
+# evaluation — the engine's contract is identical *errors*, not just
+# identical rows, across optimizer modes and engines.
+_SAFE_BINOPS = frozenset({"=", "<>", "<", "<=", ">", ">=", "and", "or"})
+_SAFE_AGGS = frozenset({"count", "min", "max"})  # sum/avg raise on non-numerics
+
+
+def expr_cannot_raise(expr: ax.Expr) -> bool:
+    for sub in ax.walk_expr(expr):
+        if isinstance(
+            sub, (ax.Column, ax.Const, ax.Param, ax.IsNullTest, ax.DistinctTest)
+        ):
+            continue
+        if isinstance(sub, ax.BinOp) and sub.op in _SAFE_BINOPS:
+            continue
+        if isinstance(sub, ax.UnOp) and sub.op == "not":
+            continue
+        if isinstance(sub, ax.AggExpr) and sub.func in _SAFE_AGGS:
+            continue
+        return False
+    return True
+
+
+def plan_cannot_raise(node: an.Node) -> bool:
+    """Whether evaluating *node* (fully, or not at all) provably cannot
+    raise a runtime error. Required before a transformation changes how
+    much of a subtree executes — skipping it (join-back elimination) or
+    eagerly materializing it (build-side selection under LIMIT)."""
+    from ..algebra.tree import walk_tree
+
+    for op in walk_tree(node):
+        if isinstance(op, an.Limit):
+            for bound in (op.limit, op.offset):
+                if bound is None:
+                    continue
+                if not (
+                    isinstance(bound, ax.Const)
+                    and isinstance(bound.value, int)
+                    and not isinstance(bound.value, bool)
+                    and bound.value >= 0
+                ):
+                    return False  # a negative/NULL/param bound raises lazily
+            continue
+        for expr in op.expressions():
+            if not expr_cannot_raise(expr):
+                return False
+    return True
+
+
 # ---------------------------------------------------------------------------
 # Rules
 # ---------------------------------------------------------------------------
@@ -262,11 +315,19 @@ def rule_select_through_union(node: an.Node) -> Optional[an.Node]:
 def rule_collapse_projects(node: an.Node) -> Optional[an.Node]:
     """Π[outer](Π[inner](T)) -> Π[merged](T) when the outer projection
     only re-references inner columns and constants (no duplication of
-    computed expressions)."""
+    computed expressions), and no dropped inner item could have raised
+    at runtime (merging silently discards unreferenced inner items)."""
     if not (isinstance(node, an.Project) and isinstance(node.child, an.Project)):
         return None
     inner = node.child
     inner_map = dict(inner.items)
+
+    referenced: set[str] = set()
+    for _, expr in node.items:
+        referenced |= ax.columns_used(expr)
+    for name, expr in inner.items:
+        if name not in referenced and not expr_cannot_raise(expr):
+            return None
 
     merged: list[tuple[str, ax.Expr]] = []
     for name, expr in node.items:

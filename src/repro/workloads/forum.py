@@ -41,10 +41,12 @@ SQLPLE_BASERELATION = "SELECT PROVENANCE text FROM v1 BASERELATION"
 
 
 def create_forum_db(
-    db: Connection | None = None, engine: str | None = None
+    db: Connection | None = None,
+    engine: str | None = None,
+    optimizer: str | None = None,
 ) -> Connection:
     """Create the Figure 1 database (tables, rows and the view v1)."""
-    db = db or connect(engine=engine)
+    db = db or connect(engine=engine, optimizer=optimizer)
     db.run(
         """
         CREATE TABLE messages (mId int, text text, uId int);
@@ -81,6 +83,7 @@ def scaled_forum_db(
     db: Connection | None = None,
     seed: int = 7,
     engine: str | None = None,
+    optimizer: str | None = None,
 ) -> Connection:
     """A larger forum instance with the same schema, for benchmarks.
 
@@ -91,7 +94,7 @@ def scaled_forum_db(
     import random
 
     rng = random.Random(seed)
-    db = db or connect(engine=engine)
+    db = db or connect(engine=engine, optimizer=optimizer)
     db.run(
         """
         CREATE TABLE messages (mId int, text text, uId int);

@@ -52,11 +52,12 @@ def create_tpch_db(
     config: TpchConfig | None = None,
     db: Connection | None = None,
     engine: str | None = None,
+    optimizer: str | None = None,
 ) -> Connection:
     """Create and populate the TPC-H-like database."""
     config = config or TpchConfig()
     rng = random.Random(config.seed)
-    db = db or connect(engine=engine)
+    db = db or connect(engine=engine, optimizer=optimizer)
     db.run(
         """
         CREATE TABLE region (r_regionkey int, r_name text);

@@ -1,0 +1,136 @@
+"""GROUP BY expressions containing subqueries in provenance rewrites.
+
+Regression for the limitation this PR removes: ``SELECT PROVENANCE
+count(*) FROM t GROUP BY (SELECT max(c) FROM s)`` used to raise
+``RewriteError`` under both PI-CS and C-CS. The shared fix
+(:func:`repro.core.influence.prepare_aggregate_rewrite`) pre-projects
+the sublink expression below the aggregate so the join-back condition
+only copies a plain column.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import connect
+from repro.algebra import expressions as ax
+from repro.algebra import nodes as an
+from repro.core.context import RewriteContext
+from repro.core.influence import prepare_aggregate_rewrite
+
+
+def _db(engine=None):
+    conn = connect(engine=engine)
+    conn.run("CREATE TABLE t (a int, c int); CREATE TABLE s (k int, c int)")
+    conn.load_rows("t", [(1, 10), (2, 20), (3, 10)])
+    conn.load_rows("s", [(1, 15), (2, 25)])
+    return conn
+
+
+UNCORRELATED = "count(*) FROM t GROUP BY (SELECT max(c) FROM s)"
+CORRELATED = "count(*) FROM t GROUP BY (SELECT max(s.c) FROM s WHERE s.k = t.a)"
+EMBEDDED = "count(*) FROM t GROUP BY a + (SELECT min(c) FROM s)"
+KEYED = "(SELECT max(c) FROM s) AS g, sum(c) AS n FROM t GROUP BY (SELECT max(c) FROM s)"
+
+
+class TestInfluence:
+    def test_uncorrelated_sublink_group_key(self):
+        conn = _db()
+        rows = conn.execute("SELECT PROVENANCE " + UNCORRELATED).fetchall()
+        # One group (max(c) = 25 for every row) with all three witnesses.
+        assert rows == [(3, 1, 10), (3, 2, 20), (3, 3, 10)]
+
+    def test_correlated_sublink_group_key(self):
+        conn = _db()
+        rows = conn.execute("SELECT PROVENANCE " + CORRELATED).fetchall()
+        # Groups: t.a=1 -> 15, t.a=2 -> 25, t.a=3 -> NULL; one witness each.
+        assert rows == [(1, 1, 10), (1, 2, 20), (1, 3, 10)]
+
+    def test_sublink_embedded_in_expression(self):
+        conn = _db()
+        rows = conn.execute("SELECT PROVENANCE " + EMBEDDED).fetchall()
+        assert sorted(rows) == [(1, 1, 10), (1, 2, 20), (1, 3, 10)]
+
+    def test_group_key_also_projected(self):
+        conn = _db()
+        rows = conn.execute("SELECT PROVENANCE " + KEYED).fetchall()
+        assert rows == [(25, 40, 1, 10), (25, 40, 2, 20), (25, 40, 3, 10)]
+
+    def test_matches_plain_aggregate_values(self):
+        conn = _db()
+        plain = conn.execute("SELECT " + UNCORRELATED).fetchall()
+        provenance = conn.execute("SELECT PROVENANCE " + UNCORRELATED).fetchall()
+        assert {row[0] for row in provenance} == {row[0] for row in plain}
+
+
+class TestCopySemantics:
+    @pytest.mark.parametrize("mode", ["COPY PARTIAL", "COPY COMPLETE"])
+    def test_copy_semantics_accept_sublink_group_key(self, mode):
+        conn = _db()
+        sql = f"SELECT PROVENANCE ON CONTRIBUTION ({mode}) " + UNCORRELATED
+        rows = conn.execute(sql).fetchall()
+        # count(*) copies nothing and the group key is computed, so the
+        # provenance columns are NULL-masked — but the query runs and the
+        # witnesses' multiplicity is preserved.
+        assert rows == [(3, None, None)] * 3
+
+    def test_copied_group_key_not_affected(self):
+        # A plain-column group key next to the fixed sublink path still
+        # copies under C-CS.
+        conn = _db()
+        sql = (
+            "SELECT PROVENANCE ON CONTRIBUTION (COPY PARTIAL) "
+            "c AS g, count(*) AS n FROM t "
+            "GROUP BY c, (SELECT max(c) FROM s)"
+        )
+        rows = conn.execute(sql).fetchall()
+        assert sorted(rows) == [(10, 2, None, 10), (10, 2, None, 10), (20, 1, None, 20)]
+
+
+class TestEngineAgreement:
+    @pytest.mark.parametrize("sql_tail", [UNCORRELATED, CORRELATED, EMBEDDED, KEYED])
+    def test_three_engines_agree(self, sql_tail):
+        sql = "SELECT PROVENANCE " + sql_tail
+        outcomes = {}
+        for engine in ("row", "vectorized", "sqlite"):
+            cursor = _db(engine).execute(sql)
+            outcomes[engine] = (cursor.fetchall(), cursor.description)
+        assert outcomes["row"] == outcomes["vectorized"] == outcomes["sqlite"]
+
+
+class TestSharedHelper:
+    def test_no_sublink_returns_same_node(self):
+        conn = _db()
+        node = conn.profile("SELECT c, count(*) FROM t GROUP BY c", execute=False).analyzed
+        aggregate = next(
+            n
+            for n in _walk(node)
+            if isinstance(n, an.Aggregate)
+        )
+        ctx = RewriteContext(catalog=conn.catalog)
+        assert prepare_aggregate_rewrite(aggregate, ctx) is aggregate
+
+    def test_sublink_group_key_is_preprojected(self):
+        conn = _db()
+        node = conn.profile(
+            "SELECT " + UNCORRELATED, execute=False
+        ).analyzed
+        aggregate = next(n for n in _walk(node) if isinstance(n, an.Aggregate))
+        ctx = RewriteContext(catalog=conn.catalog)
+        prepared = prepare_aggregate_rewrite(aggregate, ctx)
+        assert prepared is not aggregate
+        assert isinstance(prepared.child, an.Project)
+        # The group key became a plain column reference; the sublink
+        # moved into the projection below.
+        (_, group_expr), = prepared.group_items
+        assert isinstance(group_expr, ax.Column)
+        assert prepared.schema.names == aggregate.schema.names
+        assert any(
+            isinstance(expr, ax.SubqueryExpr) for _, expr in prepared.child.items
+        )
+
+
+def _walk(node):
+    yield node
+    for child in node.children:
+        yield from _walk(child)

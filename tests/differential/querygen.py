@@ -64,6 +64,29 @@ FORUM_JOINS = [
     ("messages", "mid", "imports", "mid"),
 ]
 
+# Three-table chains (two pairs sharing the middle table) so the corpus
+# contains join regions the cost-based reorderer can actually re-shape.
+TPCH_CHAINS = [
+    (
+        ("customer", "c_custkey", "orders", "o_custkey"),
+        ("orders", "o_orderkey", "lineitem", "l_orderkey"),
+    ),
+    (
+        ("part", "p_partkey", "lineitem", "l_partkey"),
+        ("lineitem", "l_orderkey", "orders", "o_orderkey"),
+    ),
+]
+FORUM_CHAINS = [
+    (
+        ("messages", "uid", "users", "uid"),
+        ("users", "uid", "approved", "uid"),
+    ),
+    (
+        ("imports", "mid", "messages", "mid"),
+        ("messages", "uid", "users", "uid"),
+    ),
+]
+
 _TEXT_CONSTS = {
     "forum": ["'lorem ipsum ...'", "'superForum'", "'Gert'", "'hi%'", "'x'"],
     "tpch": ["'O'", "'F'", "'R'", "'AUTOMOBILE'", "'BUILDING'", "'N'"],
@@ -95,8 +118,10 @@ def _single_table(rng: random.Random, tables: dict[str, dict[str, str]]) -> _Sou
 
 
 def _join(rng: random.Random, workload: str) -> _Source:
-    joins = TPCH_JOINS if workload == "tpch" else FORUM_JOINS
     tables = TPCH_TABLES if workload == "tpch" else FORUM_TABLES
+    if rng.random() < 0.35:
+        return _chain_join(rng, workload, tables)
+    joins = TPCH_JOINS if workload == "tpch" else FORUM_JOINS
     left, lcol, right, rcol = rng.choice(joins)
     la, ra = "a", "b"
     kind = rng.choice(_JOIN_KINDS)
@@ -108,6 +133,33 @@ def _join(rng: random.Random, workload: str) -> _Source:
     sql = f"{left} {la} {kind} {right} {ra} ON {condition}"
     columns = {f"{la}.{c}": t for c, t in tables[left].items()}
     columns.update({f"{ra}.{c}": t for c, t in tables[right].items()})
+    return _Source(sql, columns)
+
+
+def _chain_join(
+    rng: random.Random, workload: str, tables: dict[str, dict[str, str]]
+) -> _Source:
+    """A three-table chain join (syntactically left-deep), mixing inner
+    and outer kinds — the region shape the cost-based join reorderer
+    re-associates, run under the optimizer-on/off differential."""
+    chains = TPCH_CHAINS if workload == "tpch" else FORUM_CHAINS
+    (t1, c1, t2, c2), (m, mc, t3, c3) = rng.choice(chains)
+    assert m == t2 or m == t1  # the middle pair starts from a joined table
+    aliases = {t1: "a", t2: "b"}
+    third_alias = "c"
+    # Biased toward inner joins: all-inner chains form the 3-term join
+    # regions the reorderer can re-associate; outer kinds still appear
+    # to cover the region-boundary behavior.
+    first_kind = rng.choice(["JOIN", "JOIN", "JOIN"] + _JOIN_KINDS)
+    second_kind = rng.choice(["JOIN", "JOIN", "JOIN", "LEFT JOIN"])
+    middle_alias = aliases[m]
+    sql = (
+        f"{t1} a {first_kind} {t2} b ON a.{c1} = b.{c2} "
+        f"{second_kind} {t3} {third_alias} ON {middle_alias}.{mc} = {third_alias}.{c3}"
+    )
+    columns = {f"a.{c}": t for c, t in tables[t1].items()}
+    columns.update({f"b.{c}": t for c, t in tables[t2].items()})
+    columns.update({f"{third_alias}.{c}": t for c, t in tables[t3].items()})
     return _Source(sql, columns)
 
 

@@ -1,0 +1,85 @@
+"""Regression tests for the optimizer driver's pass accounting.
+
+``Optimizer._rule_fixpoint`` is bounded by ``_MAX_PASSES`` as a safety
+net. Hitting the bound used to be silent — the driver returned a
+possibly non-converged tree and nobody could tell. It now warns and is
+visible in the pipeline counters.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import PipelineCounters, connect
+from repro.algebra import expressions as ax
+from repro.algebra import nodes as an
+from repro.optimizer import Optimizer
+from repro.optimizer.optimizer import _MAX_PASSES
+
+
+def _oscillating_rule():
+    """A rule that keeps renaming a projection's outputs, but settles
+    within each node visit (fires on every other inspection) — so each
+    pass changes the tree and the fixpoint can never converge."""
+    state = {"calls": 0}
+
+    def oscillate(node):
+        if isinstance(node, an.Project):
+            state["calls"] += 1
+            if state["calls"] % 2:
+                return an.Project(
+                    node.child, [(name + "_", expr) for name, expr in node.items]
+                )
+        return None
+
+    return oscillate
+
+
+@pytest.fixture
+def db():
+    conn = connect()
+    conn.run("CREATE TABLE t (a int)")
+    conn.run("INSERT INTO t VALUES (1), (2)")
+    return conn
+
+
+def _project_over_scan(db):
+    scan = an.Scan("t", "t", db.catalog.table("t").schema)
+    return an.Project(scan, [("a", ax.Column("t.a"))])
+
+
+def test_non_converging_rule_list_warns_and_counts(db):
+    counters = PipelineCounters()
+    optimizer = Optimizer(
+        db.catalog, rules=[_oscillating_rule()], mode="rules", counters=counters
+    )
+    with pytest.warns(RuntimeWarning, match="did not converge"):
+        result = optimizer.optimize(_project_over_scan(db))
+    assert counters.optimize_bound_hits == 1
+    assert counters.optimize_passes == _MAX_PASSES
+    # The tree is still returned (usable, just not fully simplified).
+    assert isinstance(result, an.Project)
+
+
+def test_converging_rules_do_not_warn(db):
+    counters = PipelineCounters()
+    optimizer = Optimizer(db.catalog, counters=counters)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", RuntimeWarning)
+        optimizer.optimize(_project_over_scan(db))
+    assert counters.optimize_bound_hits == 0
+    assert counters.optimize_passes >= 1
+
+
+def test_pipeline_counters_expose_passes(db):
+    before = db.counters.snapshot()
+    db.execute("SELECT a FROM t WHERE 1 = 1 AND a > 0").fetchall()
+    assert db.counters.optimize_passes > before.optimize_passes
+    assert db.counters.optimize_bound_hits == 0
+
+
+def test_unknown_mode_rejected(db):
+    with pytest.raises(ValueError, match="unknown optimizer mode"):
+        Optimizer(db.catalog, mode="galactic")

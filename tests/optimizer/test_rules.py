@@ -106,6 +106,10 @@ class TestRules:
         assert sorted(before.rows) == sorted(after.rows) == [(1,)]
 
     def test_pushdown_into_preserved_side_of_outer_join(self, db):
+        # Duplicate an s.x value so the join survives: with s.x unique the
+        # cost stage would (correctly) eliminate this redundant left join
+        # outright, hiding the pushdown this test is about.
+        db.run("INSERT INTO s VALUES (1, 'again')")
         node = analyzed(db, "SELECT t.a FROM t LEFT JOIN s ON t.a = s.x WHERE t.a > 1")
         optimized = Optimizer(db.catalog).optimize(node)
         join = next(n for n in walk_tree(optimized) if isinstance(n, an.Join))
