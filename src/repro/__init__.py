@@ -65,6 +65,7 @@ from .core.external import attach_external_provenance, detach_external_provenanc
 from .engine import (
     Connection,
     Cursor,
+    Database,
     PermDB,
     Pipeline,
     PipelineCounters,
@@ -80,12 +81,14 @@ from .errors import (
     ExecutionError,
     IntegrityError,
     NotSupportedError,
+    OperationalError,
     ParseError,
     PermError,
     PermWarning,
     PlanError,
     ProgrammingError,
     RewriteError,
+    SerializationError,
     TypeCheckError,
 )
 from .storage.table import Relation
@@ -104,12 +107,13 @@ threadsafety = 1
 paramstyle = "qmark"
 
 # PEP 249 exception aliases layered onto the native hierarchy.
+# OperationalError is a real class now (transaction-state violations and
+# serialization failures), no longer an alias of ExecutionError.
 Warning = PermWarning  # noqa: A001 - name required by PEP 249
 Error = PermError
 DatabaseError = PermError
 InterfaceError = ProgrammingError
 DataError = ExecutionError
-OperationalError = ExecutionError
 InternalError = PlanError
 
 __all__ = [
@@ -149,5 +153,7 @@ __all__ = [
     "InterfaceError",
     "DataError",
     "OperationalError",
+    "SerializationError",
+    "Database",
     "InternalError",
 ]

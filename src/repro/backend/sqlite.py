@@ -232,8 +232,14 @@ class SQLiteBackend:
         """Bring the SQLite mirror of catalog table *name* up to date.
 
         Cheap when nothing changed: the mirror entry stores the heap's
-        identity, version counter and schema signature; a full reload
-        happens only after DML or a drop/recreate."""
+        identity, version stamp and schema signature; a full reload
+        happens only after DML or a drop/recreate. ``heap.version`` and
+        ``heap.rows`` resolve through the active transaction
+        (:mod:`repro.storage.mvcc`), so the mirror is keyed on *snapshot
+        identity*: inside a transaction the backend executes against the
+        transaction's stable snapshot (or its own staged writes), and
+        concurrent commits elsewhere re-sync only the next statement
+        that runs outside it."""
         entry = self.catalog.table(name)
         heap = entry.table
         key = name.lower()

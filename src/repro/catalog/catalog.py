@@ -34,19 +34,39 @@ class TableEntry:
     # Provenance metadata for eagerly materialized provenance (column
     # names that carry provenance, in schema order).
     provenance_attrs: tuple[str, ...] = ()
-    _stats: Optional[TableStats] = field(default=None, repr=False)
-    _stats_version: int = field(default=-1, repr=False)
+    # Small statistics cache keyed by version stamp, so sessions at
+    # different snapshots (a long reader plus a committing writer) do
+    # not evict each other's entry on every statement. Bounded to a few
+    # stamps; values pair (stamp -> stats) at insertion, so a reader can
+    # never see stats of one version under the stamp of another.
+    _stats_cache: dict[int, TableStats] = field(default_factory=dict, repr=False)
+
+    # How many distinct visible versions keep cached statistics at once
+    # (concurrent sessions rarely straddle more snapshots than this).
+    _STATS_CACHE_SIZE = 4
 
     @property
     def schema(self) -> Schema:
         return self.table.schema
 
     def stats(self) -> TableStats:
-        """Cached statistics, recomputed when the table has been mutated."""
-        if self._stats is None or self._stats_version != self.table.version:
-            self._stats = compute_table_stats(self.table)
-            self._stats_version = self.table.version
-        return self._stats
+        """Statistics of the *visible* version of the table (the active
+        transaction's snapshot, else the latest committed state), cached
+        per version stamp. Because stamps are unique per distinct state
+        — transaction-local states included — a transaction's private
+        statistics can never be served to another session, and rolling
+        back restores the committed stamp and with it the committed
+        statistics."""
+        version = self.table.version
+        stats = self._stats_cache.get(version)
+        if stats is None:
+            stats = compute_table_stats(self.table)
+            self._stats_cache[version] = stats
+            while len(self._stats_cache) > self._STATS_CACHE_SIZE:
+                # pop(key, None): a racing thread may have evicted the
+                # same oldest entry already.
+                self._stats_cache.pop(next(iter(self._stats_cache)), None)
+        return stats
 
 
 @dataclass

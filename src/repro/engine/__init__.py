@@ -8,6 +8,7 @@ session kept for backward compatibility.
 
 from .connection import Connection, connect  # noqa: F401
 from .cursor import Cursor  # noqa: F401
+from .database import Database  # noqa: F401
 from .pipeline import (  # noqa: F401
     Pipeline,
     PipelineCounters,

@@ -15,6 +15,15 @@ only the execute stage. DDL/DML, eager provenance registration and
 per-stage profiling are carried over from the original ``PermDB``
 session, which remains available as a deprecated shim
 (:class:`repro.engine.session.PermDB`).
+
+Statements execute inside snapshot-isolated MVCC transactions
+(:mod:`repro.storage.mvcc`): autocommit wraps each statement in its own
+implicit transaction, ``BEGIN``/``COMMIT``/``ROLLBACK``/``SAVEPOINT``
+(or ``autocommit=False`` plus :meth:`commit`/:meth:`rollback`) give
+multi-statement transactions, and several connections can share one
+:class:`~repro.engine.database.Database` — readers keep a stable
+snapshot while writers commit, with first-committer-wins conflicts
+(:class:`~repro.errors.SerializationError`).
 """
 
 from __future__ import annotations
@@ -24,18 +33,25 @@ from typing import Callable, Iterable, Optional, Sequence
 
 from ..algebra import nodes as an
 from ..analyzer import Analyzer
-from ..catalog.catalog import Catalog
 from ..catalog.schema import Attribute, Schema
 from ..core.provenance import RewriteOptions
 from ..datatypes import SQLType, Value, is_true, type_from_name
-from ..errors import AnalyzeError, PermError, ProgrammingError
+from ..errors import (
+    AnalyzeError,
+    OperationalError,
+    PermError,
+    ProgrammingError,
+    SerializationError,
+)
 from ..executor import execute_plan
 from ..executor.expr_eval import ExprCompiler
 from ..planner import ENGINES
 from ..sql import ast
 from ..sql.printer import format_query, format_statement
+from ..storage import mvcc
 from ..storage.table import Relation
 from .cursor import Cursor, _status_rowcount
+from .database import Database
 from .pipeline import Pipeline, PlanCache, PreparedPlan, bind_parameters
 from .prepared import PreparedStatement
 from .result import ExecutionProfile
@@ -94,14 +110,23 @@ class Connection:
     [(1, 1, 'x')]
     """
 
+    # How often an autocommit statement that lost the first-committer-wins
+    # race is transparently retried on a fresh snapshot before the
+    # SerializationError surfaces (explicit transactions never retry —
+    # only the application can re-run multi-statement logic).
+    AUTOCOMMIT_RETRIES = 5
+
     def __init__(
         self,
         options: Optional[RewriteOptions] = None,
         plan_cache_size: int = 128,
         engine: Optional[str] = None,
         optimizer: Optional[str] = None,
+        database: Optional[Database] = None,
+        autocommit: bool = True,
     ):
-        self.catalog = Catalog()
+        self.database = database if database is not None else Database()
+        self.catalog = self.database.catalog
         self.options = options or RewriteOptions()
         self.engine = resolve_engine(engine)
         self.optimizer_mode = resolve_optimizer(optimizer)
@@ -113,6 +138,8 @@ class Connection:
         )
         self.plan_cache = PlanCache(plan_cache_size)
         self._closed = False
+        self._autocommit = bool(autocommit)
+        self._txn: Optional[mvcc.Transaction] = None
 
     # Component access (kept for existing callers of the PermDB-era API).
     @property
@@ -159,22 +186,129 @@ class Connection:
             raise ProgrammingError(
                 "prepare() supports queries only; run DDL/DML through execute()"
             )
-        return PreparedStatement(self, self._prepared_for(statement, sql))
+        plan = self._in_transaction(lambda: self._prepared_for(statement, sql))
+        return PreparedStatement(self, plan)
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+    @property
+    def autocommit(self) -> bool:
+        """When true (the default), each statement runs in its own
+        implicit snapshot transaction that commits as the statement
+        finishes; ``BEGIN`` still opens an explicit multi-statement
+        transaction. When false, the PEP 249 model applies: the first
+        statement implicitly opens a transaction that stays open until
+        :meth:`commit` or :meth:`rollback`."""
+        return self._autocommit
+
+    @autocommit.setter
+    def autocommit(self, value: bool) -> None:
+        value = bool(value)
+        if value and not self._autocommit and self._txn is not None:
+            # Leaving manual-commit mode commits the open transaction
+            # (sqlite3 does the same).
+            self.commit()
+        self._autocommit = value
+
+    @property
+    def in_transaction(self) -> bool:
+        """Whether an explicit or PEP 249-implicit transaction is open."""
+        return self._txn is not None and self._txn.active
+
+    def begin(self) -> None:
+        """Open an explicit transaction (the SQL ``BEGIN``)."""
+        self._check_open()
+        if self.in_transaction:
+            raise OperationalError("a transaction is already in progress")
+        self._txn = self.database.begin()
 
     def commit(self) -> None:
-        """No-op: the in-memory engine auto-commits (PEP 249 surface)."""
+        """Commit the open transaction, making its writes the tables' new
+        committed state. Raises :class:`~repro.errors.SerializationError`
+        (and rolls back) if a concurrent transaction committed a table
+        this one wrote first. Without an open transaction: a no-op."""
         self._check_open()
+        txn, self._txn = self._txn, None
+        if txn is not None and txn.active:
+            txn.commit()
 
     def rollback(self) -> None:
-        """No-op: the in-memory engine has no transactions (PEP 249
-        surface; kept so DB-API tooling does not crash)."""
+        """Discard the open transaction's writes; snapshot reads show the
+        pre-transaction state again immediately — data, catalog
+        statistics and prepared-plan validity all revert with the
+        version stamps. Without an open transaction: a no-op."""
         self._check_open()
+        txn, self._txn = self._txn, None
+        if txn is not None:
+            txn.rollback()
+
+    def _in_transaction(self, fn, atomic: bool = False):
+        """Run *fn* inside this connection's transaction.
+
+        - Nested call (a statement already executing, e.g. the inner
+          query of ``INSERT ... SELECT``): reuse the thread's active
+          transaction.
+        - Open explicit/implicit transaction: activate it for the call;
+          with ``atomic=True`` the call is additionally fenced by an
+          internal savepoint so a failure mid-way (``executemany`` with a
+          bad parameter set) undoes the whole call, not just the failing
+          piece.
+        - Otherwise (autocommit): a fresh single-statement transaction
+          that commits as *fn* returns and rolls back if it raises; a
+          commit that loses the first-committer-wins race is retried on
+          a fresh snapshot a few times before surfacing.
+        """
+        if mvcc.current_transaction() is not None:
+            return fn()
+        if self._txn is not None and not self._txn.active:
+            self._txn = None  # defensively drop a dead transaction
+        if self._txn is None and not self._autocommit:
+            # PEP 249: the first statement implicitly opens a transaction.
+            self._txn = self.database.begin()
+        if self._txn is not None:
+            txn = self._txn
+            if not atomic:
+                with mvcc.activate(txn):
+                    return fn()
+            guard = f"_repro_atomic_{id(fn):x}"
+            txn.savepoint(guard)
+            try:
+                with mvcc.activate(txn):
+                    result = fn()
+            except BaseException:
+                txn.rollback_to(guard)
+                txn.release(guard)
+                raise
+            txn.release(guard)
+            return result
+        attempts = self.AUTOCOMMIT_RETRIES
+        for attempt in range(attempts):
+            txn = self.database.begin()
+            try:
+                with mvcc.activate(txn):
+                    result = fn()
+            except BaseException:
+                txn.rollback()
+                raise
+            try:
+                txn.commit()
+            except SerializationError:
+                if attempt == attempts - 1:
+                    raise
+                continue
+            return result
 
     @property
     def closed(self) -> bool:
         return self._closed
 
     def close(self) -> None:
+        if not self._closed:
+            # PEP 249: closing with an open transaction rolls it back.
+            txn, self._txn = self._txn, None
+            if txn is not None:
+                txn.rollback()
         self._closed = True
         self.plan_cache.clear()
         self.pipeline.planner.close()
@@ -229,29 +363,89 @@ class Connection:
         if len(statements) != 1:
             raise ProgrammingError("executemany() requires a single statement")
         statement = statements[0]
-        relation: Optional[Relation] = None
-        total = 0
-        counted = True
-        if isinstance(statement, ast.Insert) and statement.rows is not None:
-            # Bulk-INSERT fast path: analyze and compile the VALUES
-            # expressions once, rebind per parameter set.
-            specs = ast.statement_parameters(statement)
-            runner = self._prepare_insert(statement)
-            for params in seq_of_params:
-                self.pipeline.params.bind(bind_parameters(specs, params))
-                count = runner()
-                total += count
-                relation = _status(f"INSERT {count}")
-            return relation, (total if relation is not None else -1)
-        for params in seq_of_params:
-            relation, rowcount = self._run_statement(statement, params)
-            if rowcount < 0:
-                counted = False
-            else:
-                total += rowcount
-        return relation, (total if counted and relation is not None else -1)
+        if isinstance(statement, ast.TransactionControl):
+            raise ProgrammingError(
+                "transaction control statements cannot be run with executemany()"
+            )
+        # Materialized up front: the whole batch is one atomic unit (and,
+        # under autocommit, one implicit transaction that may be retried
+        # on a serialization conflict).
+        param_sets = list(seq_of_params)
+
+        def run_batch() -> tuple[Optional[Relation], int]:
+            relation: Optional[Relation] = None
+            total = 0
+            counted = True
+            if isinstance(statement, ast.Insert) and statement.rows is not None:
+                # Bulk-INSERT fast path: analyze and compile the VALUES
+                # expressions once, rebind per parameter set.
+                specs = ast.statement_parameters(statement)
+                runner = self._prepare_insert(statement)
+                for params in param_sets:
+                    self.pipeline.params.bind(bind_parameters(specs, params))
+                    count = runner()
+                    total += count
+                    relation = _status(f"INSERT {count}")
+                return relation, (total if relation is not None else -1)
+            for params in param_sets:
+                relation, rowcount = self._run_statement(statement, params)
+                if rowcount < 0:
+                    counted = False
+                else:
+                    total += rowcount
+            return relation, (total if counted and relation is not None else -1)
+
+        # All rows or none: a bad parameter set mid-batch (bind error,
+        # coercion failure) leaves the table exactly as it was, whether
+        # the batch runs in its own implicit transaction or inside an
+        # explicit one (savepoint-fenced there).
+        return self._in_transaction(run_batch, atomic=True)
 
     def _run_statement(
+        self, statement: ast.Statement, params: object
+    ) -> tuple[Relation, int]:
+        if isinstance(statement, ast.TransactionControl):
+            # An empty sequence/mapping is fine (DB-API callers often
+            # forward one uniformly); actual values are not.
+            if params:
+                raise ProgrammingError(
+                    "transaction control statements take no parameters"
+                )
+            return self._execute_transaction_control(statement), -1
+        return self._in_transaction(
+            lambda: self._run_statement_in_txn(statement, params)
+        )
+
+    def _execute_transaction_control(self, statement: ast.TransactionControl) -> Relation:
+        """BEGIN/COMMIT/ROLLBACK/SAVEPOINT against this connection's
+        transaction state (never enters the query pipeline)."""
+        action = statement.action
+        if action == "begin":
+            self.begin()
+            return _status("BEGIN")
+        if action == "commit":
+            self.commit()
+            return _status("COMMIT")
+        if action == "rollback":
+            self.rollback()
+            return _status("ROLLBACK")
+        assert statement.savepoint is not None
+        if not self.in_transaction:
+            raise OperationalError(
+                f"{action.replace('_', ' ').upper()} {statement.savepoint}: "
+                "no transaction in progress (start one with BEGIN)"
+            )
+        assert self._txn is not None
+        if action == "savepoint":
+            self._txn.savepoint(statement.savepoint)
+            return _status("SAVEPOINT")
+        if action == "rollback_to":
+            self._txn.rollback_to(statement.savepoint)
+            return _status("ROLLBACK")
+        self._txn.release(statement.savepoint)
+        return _status("RELEASE")
+
+    def _run_statement_in_txn(
         self, statement: ast.Statement, params: object
     ) -> tuple[Relation, int]:
         if isinstance(statement, ast.QueryStatement):
@@ -358,16 +552,24 @@ class Connection:
         """Run the pipeline stage by stage, recording artifacts and
         wall-clock timings (the Figure 3 breakdown)."""
         self._check_open()
-        return self.pipeline.profile(sql, execute=execute, params=params)
+        return self._in_transaction(
+            lambda: self.pipeline.profile(sql, execute=execute, params=params)
+        )
+
+    def _run_prepared(self, plan: PreparedPlan, values: Sequence[Value]) -> Relation:
+        """Execute a prepared plan inside this connection's transaction
+        (the path :class:`PreparedStatement` takes, so its reads see the
+        same snapshot as ``cursor.execute`` would)."""
+        return self._in_transaction(lambda: plan.execute(values))
 
     # ------------------------------------------------------------------
     # Helpers for the library API
     # ------------------------------------------------------------------
     def load_rows(self, table: str, rows: Sequence[Sequence[Value]]) -> int:
         """Bulk-insert Python rows into *table* (used by workload
-        generators; bypasses SQL parsing)."""
+        generators; bypasses SQL parsing but not the transaction)."""
         entry = self.catalog.table(table)
-        return entry.table.insert_many(rows)
+        return self._in_transaction(lambda: entry.table.insert_many(rows))
 
     def create_table_from_relation(self, name: str, relation: Relation) -> None:
         """Materialize a result as a stored table, carrying over its
@@ -377,23 +579,31 @@ class Connection:
             Schema(Attribute(a.name, a.type) for a in relation.schema),
             provenance_attrs=tuple(relation.provenance_attrs),
         )
-        entry.table.insert_many(relation.rows)
+        self._in_transaction(lambda: entry.table.insert_many(relation.rows))
 
     def analyze_relation_schema(self, name: str) -> Schema:
         """Output schema of a table or (analyzed, marker-expanded) view."""
         if self.catalog.has_table(name):
             return self.catalog.table(name).schema
         view = self.catalog.view(name)
-        analyzer = self._analyzer()
-        node = analyzer.analyze_query(view.query)
-        node = self.rewriter.expand(node).node
-        return node.schema
+
+        def analyze() -> Schema:
+            analyzer = self._analyzer()
+            node = analyzer.analyze_query(view.query)
+            node = self.rewriter.expand(node).node
+            return node.schema
+
+        return self._in_transaction(analyze)
 
     def run_query_node(self, node: an.Node, provenance_attrs: Sequence[str] = ()) -> Relation:
         """Optimize, plan and execute an already-analyzed algebra tree."""
-        optimized = self.optimizer.optimize(node)
-        physical = self.planner.plan_root(optimized)
-        return execute_plan(physical, provenance_attrs)
+
+        def run() -> Relation:
+            optimized = self.optimizer.optimize(node)
+            physical = self.planner.plan_root(optimized)
+            return execute_plan(physical, provenance_attrs)
+
+        return self._in_transaction(run)
 
     # ------------------------------------------------------------------
     # Statement dispatch
@@ -527,11 +737,12 @@ class Connection:
             ]
 
             def run_values() -> int:
-                count = 0
-                for compiled in compiled_rows:
-                    entry.table.insert(widen([fn((), ()) for fn in compiled]))
-                    count += 1
-                return count
+                # Evaluate every VALUES row before inserting any, so an
+                # expression error mid-statement leaves the table as-is.
+                staged = [
+                    widen([fn((), ()) for fn in compiled]) for compiled in compiled_rows
+                ]
+                return entry.table.insert_many(staged)
 
             return run_values
 
@@ -539,11 +750,8 @@ class Connection:
 
         def run_query() -> int:
             result = self._execute_query(statement.query)
-            count = 0
-            for row in result.rows:
-                entry.table.insert(widen(row))
-                count += 1
-            return count
+            staged = [widen(row) for row in result.rows]
+            return entry.table.insert_many(staged)
 
         return run_query
 
@@ -609,6 +817,8 @@ def connect(
     plan_cache_size: int = 128,
     engine: Optional[str] = None,
     optimizer: Optional[str] = None,
+    database: Optional[Database] = None,
+    autocommit: bool = True,
 ) -> Connection:
     """Open a new in-memory Perm session (DB-API module-level constructor).
 
@@ -627,7 +837,22 @@ def connect(
     argument relies on) or ``"rules"`` (simplifying rules only, joins in
     syntactic order). Unset, it honors ``REPRO_OPTIMIZER``. Both modes
     return bit-identical results, row order included.
+
+    ``database`` attaches the session to an existing shared
+    :class:`~repro.engine.database.Database`, so several connections
+    (one per thread) see the same tables under snapshot-isolated MVCC
+    transactions; omitted, the connection gets a private database.
+    ``autocommit`` (default true) makes each statement its own implicit
+    transaction; pass ``False`` for the PEP 249 model where the first
+    statement opens a transaction that stays open until ``commit()`` /
+    ``rollback()``. ``BEGIN``/``COMMIT``/``ROLLBACK``/``SAVEPOINT`` work
+    in SQL either way.
     """
     return Connection(
-        options, plan_cache_size=plan_cache_size, engine=engine, optimizer=optimizer
+        options,
+        plan_cache_size=plan_cache_size,
+        engine=engine,
+        optimizer=optimizer,
+        database=database,
+        autocommit=autocommit,
     )

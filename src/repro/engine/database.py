@@ -1,0 +1,54 @@
+"""A shared database: one catalog plus its transaction coordinator.
+
+Historically every :func:`repro.connect` call owned a private
+:class:`~repro.catalog.catalog.Catalog`, so there was exactly one
+session per database and "concurrent transactions" could not exist. A
+:class:`Database` is the thing multiple connections can now share::
+
+    db = repro.Database()
+    writer = repro.connect(database=db)
+    reader = repro.connect(database=db, engine="vectorized")
+
+Each connection keeps its own pipeline, plan cache and execution engine
+(connections stay single-threaded, per PEP 249 ``threadsafety = 1``,
+and sessions meant for different threads should each be created in
+their own thread), but they see the same tables — with snapshot
+isolation between their transactions, coordinated by the database's
+:class:`~repro.storage.mvcc.TransactionManager`.
+
+DDL (CREATE/DROP of tables and views) is non-transactional and is not
+synchronized beyond the GIL; perform schema changes from a single
+session before concurrent traffic starts.
+"""
+
+from __future__ import annotations
+
+from ..catalog.catalog import Catalog
+from ..storage.mvcc import Transaction, TransactionManager
+
+
+class Database:
+    """Shared storage: a catalog and the MVCC transaction manager
+    coordinating the connections attached to it."""
+
+    def __init__(self) -> None:
+        self.catalog = Catalog()
+        self.manager = TransactionManager(
+            lambda: [entry.table for entry in self.catalog.tables]
+        )
+
+    def begin(self) -> Transaction:
+        """Start a snapshot-isolated transaction (used by connections;
+        prefer SQL ``BEGIN`` or the connection API)."""
+        return self.manager.begin()
+
+    def connect(self, **kwargs) -> "Connection":  # noqa: F821 - forward ref
+        """Open a new session on this database (same keyword arguments
+        as :func:`repro.connect`)."""
+        from .connection import Connection
+
+        return Connection(database=self, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tables = len(self.catalog.tables)
+        return f"<repro.Database {tables} table(s)>"

@@ -120,6 +120,13 @@ class PreparedPlan:
     # exact per-version column statistics). Row-level DML does not bump
     # the catalog version, so these are revalidated before every
     # execution and the plan transparently re-prepares when stale.
+    # The versions are *snapshot stamps* (repro.storage.mvcc): reading
+    # ``table.version`` inside a transaction resolves to the visible
+    # state's stamp, and stamps are globally unique per state — so a
+    # version bump inside a rolled-back transaction can neither
+    # invalidate committed plans nor stale-validate transaction-local
+    # ones, and a commit (which re-installs its final working stamp)
+    # keeps plans prepared inside the transaction valid afterwards.
     stats_deps: tuple[tuple[str, int], ...] = ()
     timings: list[StageTiming] = field(default_factory=list)
     _pipeline: "Pipeline" = None  # type: ignore[assignment]

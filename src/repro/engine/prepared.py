@@ -63,13 +63,15 @@ class PreparedStatement:
         if self.connection.closed:
             raise ProgrammingError("connection is closed")
         if self._plan.catalog_version != self.connection.catalog.version:
-            self._plan = self.connection._prepared_for(
-                self._plan.statement, self._plan.sql
+            self._plan = self.connection._in_transaction(
+                lambda: self.connection._prepared_for(
+                    self._plan.statement, self._plan.sql
+                )
             )
         values = bind_parameters(
             self._plan.param_specs, params, self._plan.param_types
         )
-        return self._plan.execute(values)
+        return self.connection._run_prepared(self._plan, values)
 
     def executemany(self, seq_of_params: Iterable[object]) -> Optional[Relation]:
         """Execute once per parameter set; returns the last result."""

@@ -72,6 +72,20 @@ class ProgrammingError(PermError):
     connection or cursor (mirrors PEP 249's ProgrammingError)."""
 
 
+class OperationalError(PermError):
+    """Raised for errors related to the database's operation rather than
+    the statement's content (PEP 249's OperationalError): transaction
+    state violations such as SAVEPOINT outside a transaction or rolling
+    back to an unknown savepoint."""
+
+
+class SerializationError(OperationalError):
+    """Raised when a COMMIT loses the snapshot-isolation write-write
+    race: another transaction committed a table this one wrote after
+    this one's snapshot was taken (first-committer-wins). The losing
+    transaction is rolled back; the standard remedy is to retry it."""
+
+
 class IntegrityError(PermError):
     """Raised when a change would violate relational integrity (PEP 249's
     IntegrityError; reserved — the engine currently enforces no

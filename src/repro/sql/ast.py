@@ -361,6 +361,18 @@ class Explain(Statement):
     statement: Statement
 
 
+@dataclass
+class TransactionControl(Statement):
+    """Transaction control: ``BEGIN``/``START TRANSACTION``, ``COMMIT``,
+    ``ROLLBACK``, ``SAVEPOINT n``, ``ROLLBACK TO [SAVEPOINT] n`` and
+    ``RELEASE [SAVEPOINT] n``. Carries no expressions (and therefore no
+    parameter placeholders); the connection interprets it against its
+    transaction state rather than the query pipeline."""
+
+    action: L["begin", "commit", "rollback", "savepoint", "rollback_to", "release"]
+    savepoint: Optional[str] = None
+
+
 def statement_parameters(statement: Statement) -> tuple[Optional[str], ...]:
     """Parameter slots of a parsed statement, in slot order.
 

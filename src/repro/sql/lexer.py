@@ -43,6 +43,7 @@ KEYWORDS = frozenset(
     if replace temp temporary
     provenance baserelation contribution influence copy partial complete
     transitive explain analyze rewrite algebra plan
+    begin commit rollback savepoint release start transaction work to
     count sum avg min max
     primary key references default unique check
     """.split()

@@ -155,8 +155,36 @@ class Parser:
             return self._parse_update()
         if self._at_keyword("EXPLAIN"):
             return self._parse_explain()
+        if self._at_keyword("BEGIN", "START", "COMMIT", "ROLLBACK", "SAVEPOINT", "RELEASE"):
+            return self._parse_transaction_control()
         token = self._peek()
         raise ParseError(f"unexpected start of statement: {token.text!r}", token.line, token.column)
+
+    # ------------------------------------------------------------------
+    # Transaction control
+    # ------------------------------------------------------------------
+    def _parse_transaction_control(self) -> ast.Statement:
+        if self._accept_keyword("BEGIN"):
+            self._accept_keyword("TRANSACTION", "WORK")
+            return ast.TransactionControl("begin")
+        if self._accept_keyword("START"):
+            self._expect_keyword("TRANSACTION")
+            return ast.TransactionControl("begin")
+        if self._accept_keyword("COMMIT"):
+            self._accept_keyword("TRANSACTION", "WORK")
+            return ast.TransactionControl("commit")
+        if self._accept_keyword("ROLLBACK"):
+            if self._accept_keyword("TO"):
+                self._accept_keyword("SAVEPOINT")
+                name = self._expect_identifier("savepoint name")
+                return ast.TransactionControl("rollback_to", name)
+            self._accept_keyword("TRANSACTION", "WORK")
+            return ast.TransactionControl("rollback")
+        if self._accept_keyword("SAVEPOINT"):
+            return ast.TransactionControl("savepoint", self._expect_identifier("savepoint name"))
+        self._expect_keyword("RELEASE")
+        self._accept_keyword("SAVEPOINT")
+        return ast.TransactionControl("release", self._expect_identifier("savepoint name"))
 
     # ------------------------------------------------------------------
     # Query expressions (set-operation precedence: EXCEPT/UNION < INTERSECT)
@@ -468,6 +496,17 @@ class Parser:
         if self._accept_keyword("AS"):
             alias = self._expect_identifier("alias")
         elif self._peek().kind is TokenKind.IDENT:
+            alias = self._advance().text
+        elif (
+            self._peek().kind is TokenKind.KEYWORD
+            and self._peek().text.lower() not in _RESERVED
+            # These may directly follow a FROM item (SQL-PLE modifiers),
+            # so they cannot double as bare aliases.
+            and self._peek().upper not in ("BASERELATION", "PROVENANCE")
+        ):
+            # Non-reserved keywords double as bare aliases, matching the
+            # select-item alias rule (a FROM item aliased "start" or
+            # "work" must not break when those words become keywords).
             alias = self._advance().text
         if alias is not None and self._at_operator("("):
             self._advance()

@@ -253,4 +253,17 @@ def format_statement(statement: ast.Statement) -> str:
         return text
     if isinstance(statement, ast.Explain):
         return f"EXPLAIN {statement.mode.upper()} {format_statement(statement.statement)}"
+    if isinstance(statement, ast.TransactionControl):
+        if statement.action == "begin":
+            return "BEGIN"
+        if statement.action == "commit":
+            return "COMMIT"
+        if statement.action == "rollback":
+            return "ROLLBACK"
+        name = quote_identifier(statement.savepoint or "")
+        if statement.action == "savepoint":
+            return f"SAVEPOINT {name}"
+        if statement.action == "rollback_to":
+            return f"ROLLBACK TO SAVEPOINT {name}"
+        return f"RELEASE SAVEPOINT {name}"
     raise TypeError(f"cannot format statement {type(statement).__name__}")

@@ -1,3 +1,5 @@
-"""In-memory storage layer: heap tables and result relations."""
+"""In-memory storage layer: multi-versioned heap tables, snapshot
+transactions (MVCC) and result relations."""
 
+from .mvcc import Transaction, TransactionManager, activate, current_transaction  # noqa: F401
 from .table import HeapTable, Relation  # noqa: F401

@@ -1,0 +1,373 @@
+"""Multi-version concurrency control: snapshot-isolated transactions.
+
+Perm computes provenance inside a real DBMS — one where provenance
+queries run against a *stable snapshot* while other sessions commit
+updates underneath them. This module gives the reproduction that
+property with the copy-on-write flavor of MVCC:
+
+* Each :class:`~repro.storage.table.HeapTable` holds its latest
+  **committed state** as a single ``(rows, version)`` tuple. The rows
+  list of a committed state is never mutated again — every committed
+  mutation installs a *new* list — so a reference to it is a stable
+  snapshot of that table for free.
+
+* A :class:`Transaction` captures, at ``BEGIN``, the committed state of
+  every table (one atomic cut, taken under the manager lock). Reads
+  inside the transaction resolve against that snapshot; the first write
+  to a table makes a private **working copy** (copy-on-write) that only
+  this transaction sees.
+
+* ``COMMIT`` re-checks, under the manager lock, that no other
+  transaction committed a table this one wrote since its snapshot was
+  taken (**first-committer-wins** at table granularity — the snapshot
+  isolation write-write rule). A conflict aborts the transaction with
+  :class:`~repro.errors.SerializationError`; otherwise every working
+  copy is installed as the table's new committed state in one atomic
+  reference swap per table.
+
+* **Version stamps** come from one process-global monotonic counter, so
+  every distinct visible state of a table — committed or transaction-
+  local — has a stamp no other state of that table ever had. Everything
+  that used to key on "the global ``HeapTable.version`` counter" (the
+  catalog's statistics cache, the optimizer's recorded uniqueness deps,
+  the SQLite mirror sync) keys on *snapshot identity* simply by reading
+  ``table.version`` through the active transaction.
+
+Which transaction is "active" is a thread-local set by the connection
+for the duration of each statement (:func:`activate`); the storage layer
+itself never starts or ends transactions.
+
+Isolation level: **snapshot isolation** (Postgres would call it
+REPEATABLE READ). Write skew between transactions whose write sets touch
+different tables is possible, exactly as under SI. DDL (CREATE/DROP) is
+non-transactional: it takes effect immediately and is not undone by
+ROLLBACK.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from ..errors import OperationalError, SerializationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .table import HeapTable, Row
+
+
+# ---------------------------------------------------------------------------
+# Version stamps
+# ---------------------------------------------------------------------------
+
+_stamp_lock = threading.Lock()
+_stamp = 0
+
+
+def next_stamp() -> int:
+    """A process-globally unique, monotonically increasing version stamp."""
+    global _stamp
+    with _stamp_lock:
+        _stamp += 1
+        return _stamp
+
+
+# ---------------------------------------------------------------------------
+# The active transaction (per thread)
+# ---------------------------------------------------------------------------
+
+_tls = threading.local()
+
+
+def current_transaction() -> Optional["Transaction"]:
+    """The transaction the current thread is executing inside, if any."""
+    return getattr(_tls, "txn", None)
+
+
+class _Activation:
+    """Context manager installing a transaction as the thread's current
+    one for the duration of a statement (re-entrant: nested statement
+    execution — e.g. the inner query of INSERT ... SELECT — keeps the
+    already-active transaction)."""
+
+    __slots__ = ("_txn", "_prev")
+
+    def __init__(self, txn: "Transaction"):
+        self._txn = txn
+
+    def __enter__(self) -> "Transaction":
+        self._prev = current_transaction()
+        _tls.txn = self._txn
+        return self._txn
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _tls.txn = self._prev
+
+
+def activate(txn: "Transaction") -> _Activation:
+    """Make *txn* the current thread's transaction inside a ``with``."""
+    return _Activation(txn)
+
+
+# ---------------------------------------------------------------------------
+# Transactions
+# ---------------------------------------------------------------------------
+
+
+class _Working:
+    """A transaction's private view of one table's rows.
+
+    Starts in *overlay* mode — the snapshot base list (never copied)
+    plus appended rows — so an INSERT-only transaction costs O(rows
+    inserted), not O(table). The full copy is materialized only when
+    something actually needs it: a read of the table inside the
+    transaction, or an UPDATE/DELETE (which replace the row list
+    wholesale anyway). Commit installs ``final()`` — at most one copy
+    per table per transaction."""
+
+    __slots__ = ("_base", "_extra", "_rows", "version")
+
+    def __init__(self, base: list["Row"], version: int):
+        self._base: Optional[list["Row"]] = base
+        self._extra: list["Row"] = []
+        self._rows: Optional[list["Row"]] = None
+        self.version = version
+
+    def append(self, rows: Iterable["Row"]) -> None:
+        if self._rows is not None:
+            self._rows.extend(rows)
+        else:
+            self._extra.extend(rows)
+
+    def replace(self, rows: list["Row"]) -> None:
+        self._rows = rows
+        self._base = None
+        self._extra = []
+
+    def visible(self) -> list["Row"]:
+        if self._rows is None:
+            assert self._base is not None
+            self._rows = self._base + self._extra
+            self._base = None
+            self._extra = []
+        return self._rows
+
+    def final(self, in_place: bool = False) -> list["Row"]:
+        """The rows to install at commit (materializes at most once).
+
+        ``in_place=True`` — only legal when the caller has proven no
+        other live snapshot references the base list (no other active
+        transaction) — extends the base directly instead of copying, so
+        a solo append-only commit is O(rows appended), not O(table)."""
+        if self._rows is not None:
+            return self._rows
+        assert self._base is not None
+        if in_place:
+            self._base.extend(self._extra)
+            return self._base
+        return self._base + self._extra
+
+
+class Transaction:
+    """One snapshot-isolated transaction over a set of heap tables.
+
+    Created by :meth:`TransactionManager.begin`; the snapshot maps every
+    table that existed at begin time to its committed ``(rows, version)``
+    state. Tables created afterwards (DDL is non-transactional) are
+    adopted lazily at their then-current committed state.
+    """
+
+    def __init__(
+        self,
+        manager: "TransactionManager",
+        snapshot: dict["HeapTable", tuple[list["Row"], int]],
+    ):
+        self.manager = manager
+        self.status = "active"
+        self._snapshot = snapshot
+        self._working: dict["HeapTable", _Working] = {}
+        # Stack of (savepoint name, saved working state per written table).
+        self._savepoints: list[tuple[str, dict["HeapTable", tuple[list["Row"], int]]]] = []
+
+    # -- status --------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        return self.status == "active"
+
+    def _check_active(self) -> None:
+        if not self.active:
+            raise OperationalError(f"transaction is {self.status}")
+
+    # -- visibility (called from HeapTable properties) -----------------
+    def _base(self, table: "HeapTable") -> tuple[list["Row"], int]:
+        state = self._snapshot.get(table)
+        if state is None:
+            # Created after our snapshot (non-transactional DDL): adopt
+            # its current committed state so the table is usable at all.
+            state = table._state
+            self._snapshot[table] = state
+        return state
+
+    def visible_rows(self, table: "HeapTable") -> list["Row"]:
+        working = self._working.get(table)
+        if working is not None:
+            return working.visible()
+        return self._base(table)[0]
+
+    def visible_version(self, table: "HeapTable") -> int:
+        working = self._working.get(table)
+        if working is not None:
+            return working.version
+        return self._base(table)[1]
+
+    # -- writes --------------------------------------------------------
+    def append_rows(self, table: "HeapTable", rows: Iterable["Row"]) -> None:
+        self._check_active()
+        working = self._working.get(table)
+        if working is None:
+            working = _Working(self._base(table)[0], 0)
+            self._working[table] = working
+        working.append(rows)
+        working.version = next_stamp()
+
+    def replace_rows(self, table: "HeapTable", rows: list["Row"]) -> None:
+        self._check_active()
+        self._base(table)  # pin the snapshot base for the conflict check
+        working = self._working.get(table)
+        if working is None:
+            working = _Working(self._base(table)[0], 0)
+            self._working[table] = working
+        working.replace(rows)
+        working.version = next_stamp()
+
+    # -- savepoints ----------------------------------------------------
+    def savepoint(self, name: str) -> None:
+        self._check_active()
+        saved = {
+            table: (list(working.visible()), working.version)
+            for table, working in self._working.items()
+        }
+        self._savepoints.append((name.lower(), saved))
+
+    def _find_savepoint(self, name: str) -> int:
+        key = name.lower()
+        for index in range(len(self._savepoints) - 1, -1, -1):
+            if self._savepoints[index][0] == key:
+                return index
+        raise OperationalError(f"no such savepoint: {name}")
+
+    def rollback_to(self, name: str) -> None:
+        """Discard every change made after SAVEPOINT *name* (the
+        savepoint itself survives, Postgres-style)."""
+        self._check_active()
+        index = self._find_savepoint(name)
+        saved = self._savepoints[index][1]
+        for table in list(self._working):
+            state = saved.get(table)
+            if state is None:
+                # First written after the savepoint: back to the snapshot.
+                del self._working[table]
+            else:
+                # The saved rows become the restored working's base —
+                # safe without a copy because a _Working never mutates
+                # its base, so rolling back to this savepoint again
+                # later still sees them untouched. The stamp is restored
+                # exactly: the content is bit-identical to what that
+                # stamp named, so statistics and plan deps recorded
+                # against it become valid again.
+                self._working[table] = _Working(state[0], state[1])
+        del self._savepoints[index + 1 :]
+
+    def release(self, name: str) -> None:
+        self._check_active()
+        index = self._find_savepoint(name)
+        del self._savepoints[index:]
+
+    # -- outcome -------------------------------------------------------
+    def commit(self) -> None:
+        """Install every working copy as the new committed state, or
+        abort with :class:`SerializationError` if another transaction
+        committed one of the written tables first."""
+        self._check_active()
+        manager = self.manager
+        if not self._working:
+            self.status = "committed"
+            manager.retire(self)
+            return
+        with manager.lock:
+            for table in self._working:
+                if table._state[1] != self._snapshot[table][1]:
+                    self.status = "aborted"
+                    self._working.clear()
+                    self._savepoints.clear()
+                    manager.retire(self)
+                    raise SerializationError(
+                        f"could not serialize access to table {table.name!r}: "
+                        "a concurrent transaction committed it first "
+                        "(retry the transaction)"
+                    )
+            # Snapshot holders are exactly the live transactions; with
+            # none but us, append-only tables may extend the committed
+            # list in place (their old stamp becomes permanently
+            # unmatchable, so every stamp-keyed cache revalidates).
+            solo = manager.is_solo(self)
+            for table, working in self._working.items():
+                # The working stamp already names exactly this content,
+                # so it is reused: plans prepared inside the transaction
+                # against its final state stay valid after the commit.
+                table._state = (working.final(in_place=solo), working.version)
+            manager.commit_count += 1
+            manager.retire(self)
+        self.status = "committed"
+        self._working.clear()
+        self._savepoints.clear()
+
+    def rollback(self) -> None:
+        """Discard all working copies; committed state is untouched."""
+        if self.status == "active":
+            self.status = "rolled back"
+            self.manager.retire(self)
+        self._working.clear()
+        self._savepoints.clear()
+
+
+class TransactionManager:
+    """Begin/commit coordination point for one database's tables.
+
+    ``tables`` is a zero-argument callable returning the current heap
+    tables (the catalog's, at begin time); keeping it a callable avoids
+    an import cycle between the storage and catalog layers.
+    ``begin_count``/``commit_count`` are plain telemetry counters (the
+    conflict check itself uses version stamps, not sequence numbers).
+    """
+
+    def __init__(self, tables: Callable[[], Iterable["HeapTable"]]):
+        self.lock = threading.RLock()
+        self._tables = tables
+        self.begin_count = 0
+        self.commit_count = 0
+        # Live (active) transactions — i.e. the set of live snapshots.
+        # Weak, so a session abandoned without commit/rollback cannot
+        # pin the in-place append optimization off forever.
+        self._active: "weakref.WeakSet[Transaction]" = weakref.WeakSet()
+
+    def begin(self) -> Transaction:
+        """Start a transaction on a consistent snapshot: the committed
+        state of every table, captured in one critical section so no
+        commit can land between two table captures."""
+        with self.lock:
+            snapshot = {table: table._state for table in self._tables()}
+            self.begin_count += 1
+            txn = Transaction(self, snapshot)
+            self._active.add(txn)
+            return txn
+
+    def retire(self, txn: Transaction) -> None:
+        """Drop *txn* from the live-snapshot set (commit/rollback)."""
+        with self.lock:
+            self._active.discard(txn)
+
+    def is_solo(self, txn: Transaction) -> bool:
+        """Whether *txn* is the only live transaction (call under the
+        manager lock, from its commit)."""
+        return all(other is txn for other in self._active)

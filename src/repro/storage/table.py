@@ -2,10 +2,24 @@
 
 The original Perm system stores everything in PostgreSQL heap files; this
 reproduction keeps tuples as Python tuples in lists. :class:`HeapTable`
-is the mutable stored form (INSERT/DELETE/UPDATE bump a version counter
-that invalidates cached statistics); :class:`Relation` is the immutable
+is the mutable stored form; :class:`Relation` is the immutable
 query-result form returned by the executor and consumed by clients and
 the Perm browser.
+
+Storage is multi-versioned (:mod:`repro.storage.mvcc`): a table's
+committed state is a single ``(rows, version)`` tuple whose rows list is
+never mutated after being installed, so holding a reference to it *is* a
+snapshot. ``rows`` and ``version`` are properties that resolve through
+the thread's active transaction — inside a transaction they return the
+snapshot (or this transaction's private working copy); outside they
+return the latest committed state. ``version`` stamps are globally
+unique per distinct state (see :func:`repro.storage.mvcc.next_stamp`),
+which is what lets cached statistics, the optimizer's recorded
+uniqueness deps and the SQLite mirror key on snapshot identity.
+
+Every mutator is **atomic**: the new row list is staged completely
+(all predicate evaluation and value coercion up front) and applied in a
+single reference swap — an error mid-scan leaves the table untouched.
 """
 
 from __future__ import annotations
@@ -15,25 +29,63 @@ from typing import Callable, Iterable, Iterator, Sequence
 from ..catalog.schema import Schema
 from ..datatypes import Value, cast_value, format_value, type_of_value, SQLType
 from ..errors import CatalogError
+from . import mvcc
 
 Row = tuple[Value, ...]
 
 
 class HeapTable:
-    """A mutable stored table: a schema plus a list of rows."""
+    """A mutable stored table: a schema plus a versioned list of rows."""
 
     def __init__(self, name: str, schema: Schema):
         self.name = name
         self.schema = schema
-        self.rows: list[Row] = []
-        # Bumped on every mutation; used to invalidate cached statistics.
-        self.version = 0
+        # Latest committed (rows, version). Swapped as one tuple so a
+        # concurrent snapshot capture never pairs new rows with an old
+        # stamp. The list inside is treated as immutable once installed.
+        self._state: tuple[list[Row], int] = ([], mvcc.next_stamp())
+
+    # -- visibility ----------------------------------------------------
+    @property
+    def rows(self) -> list[Row]:
+        """Rows visible to the caller: the active transaction's snapshot
+        (or working copy), else the latest committed state. Treat as
+        read-only — mutate through the DML methods."""
+        txn = mvcc.current_transaction()
+        if txn is not None:
+            return txn.visible_rows(self)
+        return self._state[0]
+
+    @property
+    def version(self) -> int:
+        """Version stamp of the visible state (snapshot identity): two
+        reads seeing the same stamp see bit-identical rows."""
+        txn = mvcc.current_transaction()
+        if txn is not None:
+            return txn.visible_version(self)
+        return self._state[1]
 
     def __len__(self) -> int:
         return len(self.rows)
 
     def __iter__(self) -> Iterator[Row]:
         return iter(self.rows)
+
+    # -- write plumbing ------------------------------------------------
+    def _append(self, rows: list[Row]) -> None:
+        txn = mvcc.current_transaction()
+        if txn is not None:
+            txn.append_rows(self, rows)
+        else:
+            committed = self._state[0]
+            self._state = (committed + rows, mvcc.next_stamp())
+
+    def _replace(self, rows: list[Row]) -> None:
+        txn = mvcc.current_transaction()
+        if txn is not None:
+            txn.replace_rows(self, rows)
+        else:
+            self._state = (rows, mvcc.next_stamp())
 
     def _coerce_row(self, values: Sequence[Value]) -> Row:
         if len(values) != len(self.schema):
@@ -55,32 +107,35 @@ class HeapTable:
                 coerced.append(cast_value(value, attribute.type))
         return tuple(coerced)
 
+    # -- DML -----------------------------------------------------------
     def insert(self, values: Sequence[Value]) -> None:
         """Insert one row, coercing values to the column types."""
-        self.rows.append(self._coerce_row(values))
-        self.version += 1
+        self._append([self._coerce_row(values)])
 
     def insert_many(self, rows: Iterable[Sequence[Value]]) -> int:
-        count = 0
-        for row in rows:
-            self.rows.append(self._coerce_row(row))
-            count += 1
-        self.version += 1
-        return count
+        """Insert many rows, all or none: every row is coerced before the
+        first one becomes visible, so a bad row mid-batch leaves the
+        table exactly as it was."""
+        staged = [self._coerce_row(row) for row in rows]
+        if staged:
+            self._append(staged)
+        return len(staged)
 
     def delete_where(self, predicate: Callable[[Row], bool]) -> int:
-        """Delete rows matching *predicate*; returns the number removed."""
+        """Delete rows matching *predicate*; returns the number removed.
+        The predicate runs over every row before anything is applied."""
         kept = [row for row in self.rows if not predicate(row)]
         removed = len(self.rows) - len(kept)
-        self.rows = kept
         if removed:
-            self.version += 1
+            self._replace(kept)
         return removed
 
     def update_where(
         self, predicate: Callable[[Row], bool], updater: Callable[[Row], Sequence[Value]]
     ) -> int:
-        """Apply *updater* to rows matching *predicate*; returns count."""
+        """Apply *updater* to rows matching *predicate*; returns count.
+        Predicate evaluation, updating and coercion all complete before
+        the first changed row is applied (all-or-nothing)."""
         changed = 0
         new_rows: list[Row] = []
         for row in self.rows:
@@ -89,14 +144,12 @@ class HeapTable:
                 changed += 1
             else:
                 new_rows.append(row)
-        self.rows = new_rows
         if changed:
-            self.version += 1
+            self._replace(new_rows)
         return changed
 
     def truncate(self) -> None:
-        self.rows.clear()
-        self.version += 1
+        self._replace([])
 
 
 class Relation:

@@ -121,9 +121,13 @@ class TestConnectionLifecycle:
         with pytest.raises(ProgrammingError, match="connection is closed"):
             connection.cursor()
 
-    def test_commit_rollback_are_noops(self, conn):
+    def test_commit_rollback_without_transaction_are_noops(self, conn):
+        # Real transactions live in tests/transactions/; outside one,
+        # commit()/rollback() remain safe no-ops for DB-API tooling.
+        assert not conn.in_transaction
         conn.commit()
         conn.rollback()
+        assert conn.autocommit
 
     def test_closed_connection_blocks_existing_cursor(self, conn):
         cursor = conn.execute("SELECT a FROM t")

@@ -1,0 +1,425 @@
+"""Seeded concurrent-transaction schedules with an independent oracle.
+
+A *schedule* is a fully deterministic interleaving of several
+transactions over a shared :class:`repro.Database`: each transaction is
+a seeded sequence of DML, provenance/aggregate/join reads, savepoint
+operations and a final COMMIT or ROLLBACK, and the global step order
+interleaves them randomly (per seed). The runner executes the steps one
+at a time from a single thread, switching between per-transaction
+connections — intra-statement execution is atomic in the engine, so the
+statement-level interleaving is the concurrency that matters, and a
+schedule replays bit-identically from its seed.
+
+The oracle never looks inside the MVCC machinery. It keeps:
+
+* ``committed`` — the rows of every table, updated only when a COMMIT
+  is expected to succeed (serial commit order = step order);
+* per transaction: the committed state captured at its BEGIN (its
+  snapshot), and the *effective* DML list — savepoint/rollback-to are
+  modelled as plain list truncation, mirroring the SQL semantics.
+
+Every read inside transaction T is then checked against first
+principles: re-create T's snapshot in a scratch single-session
+database, replay T's effective DML through plain SQL, run the same
+SELECT, and require bit-identical rows (order included — all engines
+guarantee deterministic row order). That is exactly the acceptance
+property "every transaction's reads are explainable by a serial order
+of the commits it observed, plus its own writes".
+
+Commit outcomes are predicted independently too: T's COMMIT must fail
+with :class:`repro.SerializationError` iff some table in T's effective
+write set was committed by another transaction after T's BEGIN
+(first-committer-wins at table granularity).
+
+On any mismatch the runner raises :class:`ScheduleFailure` carrying the
+seed and the full step listing, and dumps it under
+``.txn-failures/`` so a failing seed replays locally and uploads as a
+CI artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+import repro
+from repro import SerializationError
+
+FAILURE_DIR = os.path.join(os.getcwd(), ".txn-failures")
+
+# ---------------------------------------------------------------------------
+# Schedule model
+# ---------------------------------------------------------------------------
+
+# Tables every schedule runs over (small on purpose: more collisions).
+SCHEMA_SQL = (
+    "CREATE TABLE acct (id int, grp text, bal int)",
+    "CREATE TABLE book (id int, acct int, amt int)",
+)
+TABLES = ("acct", "book")
+# SELECT * spellings used to capture table contents in heap order.
+DUMP_SQL = {
+    "acct": "SELECT id, grp, bal FROM acct",
+    "book": "SELECT id, acct, amt FROM book",
+}
+
+
+@dataclass
+class Step:
+    """One schedule step: transaction *txn* runs *sql*.
+
+    ``kind`` drives the oracle: "begin", "commit", "rollback", "dml"
+    (``table`` set), "read", "savepoint"/"rollback_to"/"release"
+    (``name`` set).
+    """
+
+    txn: int
+    kind: str
+    sql: str = ""
+    table: Optional[str] = None
+    name: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"T{self.txn}: {self.sql or self.kind.upper()}"
+
+
+@dataclass
+class Schedule:
+    seed: int
+    initial: dict[str, list[tuple]]
+    steps: list[Step]
+
+    def describe(self) -> str:
+        lines = [f"seed {self.seed}"]
+        for table, rows in self.initial.items():
+            lines.append(f"  initial {table}: {rows}")
+        lines.extend(f"  {i:3d}. {step.describe()}" for i, step in enumerate(self.steps))
+        return "\n".join(lines)
+
+
+class ScheduleFailure(AssertionError):
+    """A schedule violated snapshot consistency; replay with its seed."""
+
+    def __init__(self, message: str, schedule: Schedule, engine: str):
+        self.schedule = schedule
+        self.engine = engine
+        path = _dump_failure(schedule, engine, message)
+        super().__init__(
+            f"[seed {schedule.seed}, engine {engine}] {message}\n"
+            f"schedule dumped to {path}; replay with: "
+            f"run_schedule(generate_schedule({schedule.seed}), engine={engine!r})"
+        )
+
+
+def _dump_failure(schedule: Schedule, engine: str, message: str) -> str:
+    os.makedirs(FAILURE_DIR, exist_ok=True)
+    path = os.path.join(FAILURE_DIR, f"seed_{schedule.seed}_{engine}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(message + "\n\n" + schedule.describe() + "\n")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Generation
+# ---------------------------------------------------------------------------
+
+
+def generate_schedule(
+    seed: int, transactions: int = 4, max_ops: int = 5
+) -> Schedule:
+    """A deterministic schedule from *seed*: *transactions* interleaved
+    transactions of up to *max_ops* DML/read operations each."""
+    rng = random.Random(seed)
+    groups = ["a", "b", "c"]
+    initial = {
+        "acct": [
+            (i, rng.choice(groups), rng.randrange(0, 100))
+            for i in range(1, rng.randrange(5, 9))
+        ],
+        "book": [
+            (i, rng.randrange(1, 6), rng.randrange(-50, 50)) for i in range(1, 5)
+        ],
+    }
+    next_id = 100  # fresh ids for inserts, disjoint per transaction
+
+    per_txn: list[list[Step]] = []
+    for txn in range(transactions):
+        ops: list[Step] = [Step(txn, "begin", "BEGIN")]
+        open_savepoints: list[str] = []
+        for op_index in range(rng.randrange(2, max_ops + 1)):
+            roll = rng.random()
+            if roll < 0.12 and not open_savepoints:
+                name = f"sp{txn}_{op_index}"
+                ops.append(Step(txn, "savepoint", f"SAVEPOINT {name}", name=name))
+                open_savepoints.append(name)
+            elif roll < 0.2 and open_savepoints:
+                name = rng.choice(open_savepoints)
+                ops.append(
+                    Step(txn, "rollback_to", f"ROLLBACK TO SAVEPOINT {name}", name=name)
+                )
+            elif roll < 0.55:
+                ops.append(_random_write(rng, txn, next_id))
+                next_id += 10
+            else:
+                ops.append(Step(txn, "read", _random_read(rng)))
+        end = "commit" if rng.random() < 0.75 else "rollback"
+        ops.append(Step(txn, end, end.upper()))
+        per_txn.append(ops)
+
+    # Random interleaving preserving each transaction's internal order.
+    cursors = [0] * transactions
+    steps: list[Step] = []
+    while any(cursors[t] < len(per_txn[t]) for t in range(transactions)):
+        candidates = [t for t in range(transactions) if cursors[t] < len(per_txn[t])]
+        txn = rng.choice(candidates)
+        steps.append(per_txn[txn][cursors[txn]])
+        cursors[txn] += 1
+    return Schedule(seed=seed, initial=initial, steps=steps)
+
+
+def _random_write(rng: random.Random, txn: int, next_id: int) -> Step:
+    groups = ["a", "b", "c"]
+    choice = rng.randrange(5)
+    if choice == 0:
+        row = (next_id + txn, rng.choice(groups), rng.randrange(0, 100))
+        return Step(txn, "dml", f"INSERT INTO acct VALUES {row!r}", table="acct")
+    if choice == 1:
+        delta, grp = rng.randrange(1, 20), rng.choice(groups)
+        return Step(
+            txn, "dml",
+            f"UPDATE acct SET bal = bal + {delta} WHERE grp = '{grp}'",
+            table="acct",
+        )
+    if choice == 2:
+        ident, amount = rng.randrange(1, 9), rng.randrange(0, 120)
+        return Step(
+            txn, "dml",
+            f"UPDATE acct SET bal = {amount} WHERE id = {ident}",
+            table="acct",
+        )
+    if choice == 3:
+        row = (next_id + txn, rng.randrange(1, 6), rng.randrange(-50, 50))
+        return Step(txn, "dml", f"INSERT INTO book VALUES {row!r}", table="book")
+    bound = rng.randrange(-40, 10)
+    return Step(txn, "dml", f"DELETE FROM book WHERE amt < {bound}", table="book")
+
+
+def _random_read(rng: random.Random) -> str:
+    queries = [
+        "SELECT id, grp, bal FROM acct",
+        "SELECT grp, sum(bal) FROM acct GROUP BY grp ORDER BY grp",
+        "SELECT PROVENANCE id, bal FROM acct WHERE bal > {n}",
+        "SELECT PROVENANCE grp, count(*) FROM acct GROUP BY grp ORDER BY grp",
+        "SELECT a.id, b.amt FROM acct a JOIN book b ON b.acct = a.id",
+        "SELECT PROVENANCE a.grp, b.amt FROM acct a JOIN book b ON b.acct = a.id WHERE b.amt > {m}",
+        "SELECT sum(bal) FROM acct",
+        "SELECT count(*) FROM book",
+    ]
+    sql = rng.choice(queries)
+    return sql.format(n=rng.randrange(0, 80), m=rng.randrange(-30, 30))
+
+
+# ---------------------------------------------------------------------------
+# Oracle scratch database
+# ---------------------------------------------------------------------------
+
+
+class Scratch:
+    """A private single-session database used to recompute expected
+    states and results from first principles (always the row engine,
+    independently of the engine under test)."""
+
+    def __init__(self) -> None:
+        self.conn = repro.connect(engine="row")
+        for sql in SCHEMA_SQL:
+            self.conn.execute(sql)
+
+    def reset(self, state: dict[str, list[tuple]]) -> None:
+        for table in TABLES:
+            self.conn.execute(f"DELETE FROM {table}")
+            if state[table]:
+                self.conn.load_rows(table, state[table])
+
+    def replay(self, state: dict[str, list[tuple]], dml: list[str]) -> None:
+        self.reset(state)
+        for sql in dml:
+            self.conn.execute(sql)
+
+    def dump(self) -> dict[str, list[tuple]]:
+        return {
+            table: self.conn.execute(DUMP_SQL[table]).fetchall() for table in TABLES
+        }
+
+    def query(self, sql: str) -> list[tuple]:
+        return self.conn.execute(sql).fetchall()
+
+    def changed_tables(
+        self, state: dict[str, list[tuple]], effective: list[tuple[str, str]]
+    ) -> set[str]:
+        """Which tables an effective DML list actually changes when
+        replayed over *state* (an UPDATE matching nothing is not a
+        write, so it cannot cause a serialization conflict)."""
+        self.reset(state)
+        changed: set[str] = set()
+        for sql, table in effective:
+            if self.conn.execute(sql).rowcount > 0:
+                changed.add(table)
+        return changed
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _TxnState:
+    conn: repro.Connection
+    snapshot: dict[str, list[tuple]] = field(default_factory=dict)
+    begin_step: int = -1
+    # Effective DML after savepoint truncation (mirrors SQL semantics
+    # with plain list operations — independent of the MVCC code).
+    effective: list[tuple[str, str]] = field(default_factory=list)  # (sql, table)
+    savepoints: list[tuple[str, int]] = field(default_factory=list)  # (name, length)
+    finished: bool = False
+
+    @property
+    def dml(self) -> list[str]:
+        return [sql for sql, _ in self.effective]
+
+
+def run_schedule(schedule: Schedule, engine: str = "row") -> dict[str, int]:
+    """Execute *schedule* on *engine*, checking every read and commit
+    against the oracle. Returns counters (reads checked, commits,
+    conflicts) so tests can assert the schedule exercised something."""
+    database = repro.Database()
+    setup = repro.connect(database=database)
+    for sql in SCHEMA_SQL:
+        setup.execute(sql)
+    for table, rows in schedule.initial.items():
+        setup.load_rows(table, rows)
+
+    scratch = Scratch()
+    # The serially-evolving committed state (updated only at commits).
+    committed: dict[str, list[tuple]] = {
+        table: list(rows) for table, rows in schedule.initial.items()
+    }
+    # Per-table step index of the last successful commit that wrote it.
+    last_commit: dict[str, int] = {table: -1 for table in TABLES}
+
+    txns: dict[int, _TxnState] = {}
+    counters = {"reads": 0, "commits": 0, "conflicts": 0, "rollbacks": 0}
+
+    def fail(step_index: int, step: Step, message: str) -> None:
+        raise ScheduleFailure(
+            f"step {step_index} ({step.describe()}): {message}", schedule, engine
+        )
+
+    for index, step in enumerate(schedule.steps):
+        state = txns.get(step.txn)
+        if step.kind == "begin":
+            conn = repro.connect(database=database, engine=engine)
+            conn.execute("BEGIN")
+            txns[step.txn] = _TxnState(
+                conn=conn,
+                snapshot={table: list(rows) for table, rows in committed.items()},
+                begin_step=index,
+            )
+            continue
+        assert state is not None and not state.finished, "generator bug: op after end"
+        if step.kind == "dml":
+            state.conn.execute(step.sql)
+            state.effective.append((step.sql, step.table or ""))
+        elif step.kind == "savepoint":
+            state.conn.execute(step.sql)
+            state.savepoints.append((step.name or "", len(state.effective)))
+        elif step.kind == "rollback_to":
+            state.conn.execute(step.sql)
+            for name, length in reversed(state.savepoints):
+                if name == step.name:
+                    del state.effective[length:]
+                    break
+        elif step.kind == "read":
+            actual = state.conn.execute(step.sql)
+            scratch.replay(state.snapshot, state.dml)
+            expected_rows = scratch.query(step.sql)
+            if actual.fetchall() != expected_rows:
+                scratch.replay(state.snapshot, state.dml)
+                fail(
+                    index,
+                    step,
+                    "read is not explainable by the transaction's snapshot "
+                    "plus its own writes\n"
+                    f"  expected: {expected_rows}\n"
+                    f"  actual:   {state.conn.execute(step.sql).fetchall()}",
+                )
+            counters["reads"] += 1
+        elif step.kind == "rollback":
+            state.conn.execute("ROLLBACK")
+            state.finished = True
+            counters["rollbacks"] += 1
+            # Committed state is untouched; verify via a fresh autocommit
+            # read on the same connection (new snapshot).
+            observed = {
+                table: state.conn.execute(DUMP_SQL[table]).fetchall()
+                for table in TABLES
+            }
+            if observed != committed:
+                fail(index, step, f"ROLLBACK leaked writes: {observed} != {committed}")
+            state.conn.close()
+        elif step.kind == "commit":
+            writes = scratch.changed_tables(state.snapshot, state.effective)
+            conflict = any(last_commit[table] > state.begin_step for table in writes)
+            if conflict:
+                try:
+                    state.conn.execute("COMMIT")
+                except SerializationError:
+                    counters["conflicts"] += 1
+                else:
+                    fail(index, step, "expected a serialization conflict, commit succeeded")
+            else:
+                try:
+                    state.conn.execute("COMMIT")
+                except SerializationError as error:
+                    fail(index, step, f"unexpected serialization failure: {error}")
+                counters["commits"] += 1
+                # Install the transaction's replayed writes serially.
+                scratch.replay(state.snapshot, state.dml)
+                replayed = scratch.dump()
+                for table in writes:
+                    committed[table] = replayed[table]
+                    last_commit[table] = index
+            state.finished = True
+            # Either way the connection now reads the latest committed state.
+            observed = {
+                table: state.conn.execute(DUMP_SQL[table]).fetchall()
+                for table in TABLES
+            }
+            if observed != committed:
+                fail(
+                    index,
+                    step,
+                    f"post-commit state diverged:\n  expected {committed}\n"
+                    f"  observed {observed}",
+                )
+            state.conn.close()
+        else:  # pragma: no cover - generator invariant
+            raise AssertionError(f"unknown step kind {step.kind!r}")
+
+    # Final convergence: a fresh session sees exactly the serial result.
+    final = {table: setup.execute(DUMP_SQL[table]).fetchall() for table in TABLES}
+    if final != committed:
+        raise ScheduleFailure(
+            f"final state diverged from serial commit order:\n"
+            f"  expected {committed}\n  observed {final}",
+            schedule,
+            engine,
+        )
+    scratch.close()
+    setup.close()
+    return counters
