@@ -1,0 +1,253 @@
+"""Server benchmark: many concurrent wire clients against one database.
+
+Two experiments:
+
+1. **Sustained concurrency** — ``$BENCH_SERVER_SESSIONS`` (default 120)
+   simultaneous socket sessions run a mixed workload (70% point/aggregate
+   reads, 30% single-row transfer writes) against one shared database.
+   The server must answer every request (admission control is sized to
+   queue, not reject), and reports p50/p99 latency from its own
+   reservoir plus wall-clock throughput.
+
+2. **Conflict granularity** — the same disjoint-row write workload runs
+   against a row-granularity and a table-granularity server. Every
+   session updates only its own row, with barriers forcing all
+   transactions to overlap: under table-level conflicts all but the
+   first committer of each round abort; under row-level conflicts the
+   writes are disjoint and *nobody* aborts. The benchmark asserts the
+   row-level abort count is strictly smaller.
+
+Results go to ``BENCH_server.json`` (override with $BENCH_SERVER_JSON)
+so CI can archive the concurrency trajectory across PRs.
+
+Reproduce with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_server.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+import time
+
+from conftest import print_table
+
+from repro import SerializationError, ServerBusy
+from repro.engine.database import Database
+from repro.server import PermServer, ServerClient, ServerThread
+
+SESSIONS = int(os.environ.get("BENCH_SERVER_SESSIONS", "120"))
+OPS_PER_SESSION = int(os.environ.get("BENCH_SERVER_OPS", "20"))
+GRANULARITY_SESSIONS = int(os.environ.get("BENCH_SERVER_GRAN_SESSIONS", "8"))
+GRANULARITY_ROUNDS = int(os.environ.get("BENCH_SERVER_ROUNDS", "12"))
+
+ACCOUNTS = 64
+WRITE_FRACTION = 0.3
+
+
+def _artifact_path() -> str:
+    return os.environ.get("BENCH_SERVER_JSON", "BENCH_server.json")
+
+
+def _merge_artifact(update: dict) -> None:
+    path = _artifact_path()
+    payload = {}
+    if os.path.exists(path):
+        with open(path) as handle:
+            payload = json.load(handle)
+    payload.update(update)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"\nwrote {path}")
+
+
+def _start_server(granularity: str, sessions: int) -> PermServer:
+    return PermServer(
+        database=Database(conflict_granularity=granularity),
+        max_sessions=sessions + 8,
+        max_workers=8,
+        max_pending=sessions * 2 + 32,
+    )
+
+
+def _retrying(call, attempts: int = 50):
+    for _ in range(attempts):
+        try:
+            return call()
+        except (SerializationError, ServerBusy):
+            time.sleep(0.001)
+    raise AssertionError(f"gave up after {attempts} retries")
+
+
+# ---------------------------------------------------------------------------
+# Experiment 1: sustained mixed read/write concurrency
+# ---------------------------------------------------------------------------
+
+
+def test_sustained_concurrent_sessions():
+    """>= 100 concurrent sessions of mixed readers/writers, served
+    completely; p50/p99 from the server's own latency reservoir."""
+    server = _start_server("row", SESSIONS)
+    failures: list[BaseException] = []
+    with ServerThread(server):
+        with ServerClient("127.0.0.1", server.port) as setup:
+            setup.query("CREATE TABLE accounts (id int, balance int)")
+            for i in range(ACCOUNTS):
+                setup.query("INSERT INTO accounts VALUES (?, ?)", [i, 100])
+
+        ready = threading.Barrier(SESSIONS, timeout=120)
+
+        def worker(seed: int) -> None:
+            rng = random.Random(seed)
+            try:
+                with ServerClient("127.0.0.1", server.port) as c:
+                    ready.wait()  # all sessions live before anyone starts
+                    for _ in range(OPS_PER_SESSION):
+                        if rng.random() < WRITE_FRACTION:
+                            src, dst = rng.sample(range(ACCOUNTS), 2)
+                            amount = rng.randint(1, 5)
+                            # Autocommit single-row writes: conflicts
+                            # retry server-side (the retries counter).
+                            _retrying(
+                                lambda: c.query(
+                                    "UPDATE accounts SET balance = balance - ? "
+                                    "WHERE id = ?",
+                                    [amount, src],
+                                )
+                            )
+                            _retrying(
+                                lambda: c.query(
+                                    "UPDATE accounts SET balance = balance + ? "
+                                    "WHERE id = ?",
+                                    [amount, dst],
+                                )
+                            )
+                        else:
+                            account = rng.randrange(ACCOUNTS)
+                            _retrying(
+                                lambda: c.query(
+                                    "SELECT balance FROM accounts WHERE id = ?",
+                                    [account],
+                                )
+                            )
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,)) for seed in range(SESSIONS)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=600)
+        wall = time.perf_counter() - started
+
+        assert not failures, failures[:3]
+        with ServerClient("127.0.0.1", server.port) as check:
+            total = check.query("SELECT SUM(balance) FROM accounts").rows[0][0]
+            stats = check.stats()
+
+    assert total == ACCOUNTS * 100, "transfers must preserve the total balance"
+    snap = stats["server"]
+    assert snap["sessions_total"] >= SESSIONS
+    assert snap["sessions_rejected"] == 0, "admission control should queue, not reject"
+    latency = snap["latency"]
+    assert latency["p50_ms"] is not None and latency["p99_ms"] is not None
+
+    results = {
+        "sessions": SESSIONS,
+        "ops_per_session": OPS_PER_SESSION,
+        "queries": snap["queries"],
+        "wall_s": round(wall, 3),
+        "throughput_qps": round(snap["queries"] / wall, 1),
+        "p50_ms": latency["p50_ms"],
+        "p99_ms": latency["p99_ms"],
+        "conflicts": snap["conflicts"],
+        "retries": snap["retries"],
+        "gc": stats["gc"],
+    }
+    print_table(
+        f"mixed workload, {SESSIONS} concurrent sessions",
+        ["metric", "value"],
+        sorted((k, v) for k, v in results.items() if k != "gc"),
+    )
+    _merge_artifact({"sustained": results})
+
+
+# ---------------------------------------------------------------------------
+# Experiment 2: row-level vs table-level conflict granularity
+# ---------------------------------------------------------------------------
+
+
+def _disjoint_row_aborts(granularity: str) -> int:
+    """Sessions update disjoint rows in barrier-aligned transactions;
+    returns how many commits aborted with a serialization failure."""
+    sessions = GRANULARITY_SESSIONS
+    server = _start_server(granularity, sessions)
+    aborts = [0] * sessions
+    failures: list[BaseException] = []
+    barrier = threading.Barrier(sessions, timeout=120)
+    with ServerThread(server):
+        with ServerClient("127.0.0.1", server.port) as setup:
+            setup.query("CREATE TABLE counters (id int, n int)")
+            for i in range(sessions):
+                setup.query("INSERT INTO counters VALUES (?, 0)", [i])
+
+        def worker(me: int) -> None:
+            try:
+                with ServerClient("127.0.0.1", server.port) as c:
+                    for _ in range(GRANULARITY_ROUNDS):
+                        barrier.wait()  # everyone begins together...
+                        c.begin()
+                        c.query(
+                            "UPDATE counters SET n = n + 1 WHERE id = ?", [me]
+                        )
+                        barrier.wait()  # ...and overlaps through commit
+                        try:
+                            c.commit()
+                        except SerializationError:
+                            aborts[me] += 1
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(me,)) for me in range(sessions)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=600)
+    assert not failures, failures[:3]
+    return sum(aborts)
+
+
+def test_row_granularity_aborts_fewer_disjoint_writers():
+    """The PR's headline concurrency claim: on a disjoint-row write
+    workload, row-level conflict detection aborts strictly fewer
+    transactions than table-level first-committer-wins."""
+    row_aborts = _disjoint_row_aborts("row")
+    table_aborts = _disjoint_row_aborts("table")
+
+    # Fully-overlapped rounds: table granularity must abort someone...
+    assert table_aborts > 0
+    # ...while disjoint rows never truly conflict.
+    assert row_aborts < table_aborts
+    assert row_aborts == 0
+
+    results = {
+        "sessions": GRANULARITY_SESSIONS,
+        "rounds": GRANULARITY_ROUNDS,
+        "commits_attempted": GRANULARITY_SESSIONS * GRANULARITY_ROUNDS,
+        "row_aborts": row_aborts,
+        "table_aborts": table_aborts,
+    }
+    print_table(
+        "disjoint-row writers: aborts by conflict granularity",
+        ["metric", "value"],
+        sorted(results.items()),
+    )
+    _merge_artifact({"granularity": results})

@@ -89,6 +89,7 @@ from .errors import (
     ProgrammingError,
     RewriteError,
     SerializationError,
+    ServerBusy,
     TypeCheckError,
 )
 from .storage.table import Relation
@@ -154,6 +155,7 @@ __all__ = [
     "DataError",
     "OperationalError",
     "SerializationError",
+    "ServerBusy",
     "Database",
     "InternalError",
 ]

@@ -137,7 +137,11 @@ class SQLiteBackend:
                 + f" (found {sqlite3.sqlite_version})"
             )
         self.catalog = catalog
-        self.connection = sqlite3.connect(":memory:")
+        # check_same_thread=False: a server session's statements all run
+        # serialized (one request at a time), but possibly on different
+        # worker-pool threads; sqlite3's same-thread check would reject
+        # that even though access is never concurrent.
+        self.connection = sqlite3.connect(":memory:", check_same_thread=False)
         self.supports_full_join = sqlite3.sqlite_version_info >= FULL_JOIN_VERSION
         self.native_float_agg = sqlite3.sqlite_version_info < KAHAN_SUM_VERSION
         # table key -> (heap object, heap version, schema signature)

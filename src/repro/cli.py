@@ -131,6 +131,10 @@ class Shell:
 def main(argv: Optional[list[str]] = None) -> int:
     """Entry point for ``python -m repro`` (interactive or piped)."""
     argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "serve":
+        from .server.__main__ import main as serve_main
+
+        return serve_main(argv[1:])
     shell = Shell()
     if argv:
         # Execute files given on the command line, then exit.

@@ -140,6 +140,10 @@ class Connection:
         self._closed = False
         self._autocommit = bool(autocommit)
         self._txn: Optional[mvcc.Transaction] = None
+        # How many times this connection's autocommit statements lost the
+        # first-committer-wins race and were transparently retried
+        # (telemetry; surfaced per session by the server's STATS).
+        self.serialization_retries = 0
 
     # Component access (kept for existing callers of the PermDB-era API).
     @property
@@ -282,6 +286,13 @@ class Connection:
                 raise
             txn.release(guard)
             return result
+        return self._run_autocommit(fn)
+
+    def _run_autocommit(self, fn):
+        """Run *fn* in its own one-shot transaction that commits as *fn*
+        returns and rolls back if it raises; a commit that loses the
+        first-committer-wins race is retried on a fresh snapshot a few
+        times before surfacing."""
         attempts = self.AUTOCOMMIT_RETRIES
         for attempt in range(attempts):
             txn = self.database.begin()
@@ -296,6 +307,7 @@ class Connection:
             except SerializationError:
                 if attempt == attempts - 1:
                     raise
+                self.serialization_retries += 1
                 continue
             return result
 
@@ -304,11 +316,12 @@ class Connection:
         return self._closed
 
     def close(self) -> None:
-        if not self._closed:
-            # PEP 249: closing with an open transaction rolls it back.
-            txn, self._txn = self._txn, None
-            if txn is not None:
-                txn.rollback()
+        if self._closed:
+            return  # idempotent (PEP 249: a second close is harmless)
+        # PEP 249: closing with an open transaction rolls it back.
+        txn, self._txn = self._txn, None
+        if txn is not None:
+            txn.rollback()
         self._closed = True
         self.plan_cache.clear()
         self.pipeline.planner.close()
@@ -401,6 +414,18 @@ class Connection:
         # explicit one (savepoint-fenced there).
         return self._in_transaction(run_batch, atomic=True)
 
+    # DDL mutates the shared catalog directly — it cannot be undone by a
+    # ROLLBACK, so running it inside a transaction would silently break
+    # snapshot isolation. It is rejected there instead (Postgres allows
+    # transactional DDL; sqlite and most servers do not) and always runs
+    # in its own one-shot transaction, never the PEP 249 implicit one.
+    _DDL_STATEMENTS = (
+        ast.CreateTable,
+        ast.CreateTableAs,
+        ast.CreateView,
+        ast.DropRelation,
+    )
+
     def _run_statement(
         self, statement: ast.Statement, params: object
     ) -> tuple[Relation, int]:
@@ -412,6 +437,14 @@ class Connection:
                     "transaction control statements take no parameters"
                 )
             return self._execute_transaction_control(statement), -1
+        if isinstance(statement, self._DDL_STATEMENTS):
+            if self.in_transaction:
+                raise OperationalError(
+                    "DDL is not transactional; commit or rollback first"
+                )
+            return self._run_autocommit(
+                lambda: self._run_statement_in_txn(statement, params)
+            )
         return self._in_transaction(
             lambda: self._run_statement_in_txn(statement, params)
         )
@@ -568,12 +601,14 @@ class Connection:
     def load_rows(self, table: str, rows: Sequence[Sequence[Value]]) -> int:
         """Bulk-insert Python rows into *table* (used by workload
         generators; bypasses SQL parsing but not the transaction)."""
+        self._check_open()
         entry = self.catalog.table(table)
         return self._in_transaction(lambda: entry.table.insert_many(rows))
 
     def create_table_from_relation(self, name: str, relation: Relation) -> None:
         """Materialize a result as a stored table, carrying over its
         provenance-column registration (eager provenance)."""
+        self._check_open()
         entry = self.catalog.create_table(
             name,
             Schema(Attribute(a.name, a.type) for a in relation.schema),
@@ -583,6 +618,7 @@ class Connection:
 
     def analyze_relation_schema(self, name: str) -> Schema:
         """Output schema of a table or (analyzed, marker-expanded) view."""
+        self._check_open()
         if self.catalog.has_table(name):
             return self.catalog.table(name).schema
         view = self.catalog.view(name)
@@ -597,6 +633,7 @@ class Connection:
 
     def run_query_node(self, node: an.Node, provenance_attrs: Sequence[str] = ()) -> Relation:
         """Optimize, plan and execute an already-analyzed algebra tree."""
+        self._check_open()
 
         def run() -> Relation:
             optimized = self.optimizer.optimize(node)

@@ -31,10 +31,15 @@ class Database:
     """Shared storage: a catalog and the MVCC transaction manager
     coordinating the connections attached to it."""
 
-    def __init__(self) -> None:
+    def __init__(self, conflict_granularity: str = "row") -> None:
         self.catalog = Catalog()
+        # "row" (default): first-committer-wins per row identity, so
+        # transactions updating disjoint rows of one table both commit.
+        # "table": any two commits of one table conflict (the pre-row-
+        # level behavior, kept for benchmark comparisons).
         self.manager = TransactionManager(
-            lambda: [entry.table for entry in self.catalog.tables]
+            lambda: [entry.table for entry in self.catalog.tables],
+            granularity=conflict_granularity,
         )
 
     def begin(self) -> Transaction:

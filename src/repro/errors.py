@@ -86,6 +86,13 @@ class SerializationError(OperationalError):
     transaction is rolled back; the standard remedy is to retry it."""
 
 
+class ServerBusy(OperationalError):
+    """Raised (and sent over the wire) when the SQL server rejects work
+    for capacity reasons: the session limit is reached, or the worker
+    queue is at its depth limit. The request had no effect; clients
+    should back off and retry."""
+
+
 class IntegrityError(PermError):
     """Raised when a change would violate relational integrity (PEP 249's
     IntegrityError; reserved — the engine currently enforces no

@@ -1,0 +1,27 @@
+"""The concurrent SQL server: Perm over a wire.
+
+The paper's Perm system lives inside PostgreSQL, where many clients
+query one provenance-enabled database concurrently. This subpackage
+gives the reproduction that deployment shape: an asyncio socket server
+(:class:`PermServer`) speaking a small length-prefixed JSON protocol
+(:mod:`repro.server.protocol`), per-connection sessions holding engine
+choice, transaction and prepared-statement state
+(:mod:`repro.server.session`), a bounded worker pool running engine
+work off the event loop, admission control with structured
+:class:`~repro.errors.ServerBusy` rejections, live counters
+(:mod:`repro.server.stats`), and a small blocking client
+(:mod:`repro.server.client`) used by tests, benchmarks and
+``python -m repro.server``.
+"""
+
+from .client import ServerClient, ServerError
+from .server import PermServer, ServerThread
+from .session import Session
+
+__all__ = [
+    "PermServer",
+    "ServerThread",
+    "ServerClient",
+    "ServerError",
+    "Session",
+]

@@ -1,0 +1,90 @@
+"""``python -m repro.server`` — start the SQL server from the shell.
+
+Example::
+
+    python -m repro.server --port 5433 --engine vectorized \
+        --init schema.sql
+
+``--init`` runs a SQL script (``;``-separated statements) against the
+fresh database before accepting connections, which is how a served
+instance gets its schema and seed data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import Optional, Sequence
+
+from ..engine.connection import Connection
+from ..engine.database import Database
+from .server import DEFAULT_PORT, PermServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.server",
+        description="Serve a Perm provenance database over a socket.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    parser.add_argument(
+        "--engine",
+        default=None,
+        help="default execution engine for sessions that do not choose one "
+        "(row, vectorized, sqlite)",
+    )
+    parser.add_argument(
+        "--granularity",
+        default="row",
+        choices=("row", "table"),
+        help="write-write conflict granularity (default: row)",
+    )
+    parser.add_argument("--max-sessions", type=int, default=256)
+    parser.add_argument("--max-workers", type=int, default=8)
+    parser.add_argument("--max-pending", type=int, default=128)
+    parser.add_argument(
+        "--init",
+        default=None,
+        metavar="SCRIPT.sql",
+        help="SQL script to run against the fresh database before serving",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    database = Database(conflict_granularity=args.granularity)
+    if args.init:
+        with open(args.init, "r", encoding="utf-8") as handle:
+            script = handle.read()
+        conn = Connection(database=database)
+        try:
+            conn.run(script)
+        finally:
+            conn.close()
+    server = PermServer(
+        database=database,
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        max_workers=args.max_workers,
+        max_pending=args.max_pending,
+        default_engine=args.engine,
+    )
+
+    async def serve() -> None:
+        await server.start()
+        print(f"repro server listening on {server.host}:{server.port}", flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

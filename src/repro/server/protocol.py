@@ -1,0 +1,120 @@
+"""The wire protocol: length-prefixed JSON frames.
+
+Every message — request or response — is one UTF-8 JSON object preceded
+by a 4-byte big-endian length. Small, explicit, and implementable in a
+few lines from any language.
+
+Requests are ``{"op": ..., ...}``; the ops are:
+
+========== =======================================================
+``hello``  ``{engine?, autocommit?}`` — session options; must precede
+           the first statement. Response carries server identity.
+``query``  ``{sql, params?}`` — execute one statement (SELECT,
+           PROVENANCE queries, DML, DDL, BEGIN/COMMIT/ROLLBACK all
+           work; params positional list or named mapping).
+``prepare``  ``{sql}`` — plan a query once; response carries ``handle``.
+``execute``  ``{handle, params?}`` — run a prepared handle.
+``begin`` / ``commit`` / ``rollback`` — transaction control.
+``stats``  session + server counters (latency percentiles, conflicts,
+           retries, GC).
+``close``  end the session (the server also tears down on disconnect).
+========== =======================================================
+
+Successful responses are ``{"ok": true, ...}``; failures are
+``{"ok": false, "error": {"type": <PEP 249 class name>, "message": ...,
+"retryable": bool}}``. ``type`` names a class from :mod:`repro.errors`
+(``SerializationError``, ``ProgrammingError``, ``ServerBusy``, ...), so
+clients re-raise the exact exception the embedded API would have raised;
+``retryable`` marks the two losses a client should simply retry
+(serialization conflicts and admission rejections).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Optional
+
+from .. import errors
+
+# 4-byte big-endian unsigned frame length.
+_HEADER = struct.Struct(">I")
+HEADER_SIZE = _HEADER.size
+
+# Refuse absurd frames before allocating for them (a malformed or
+# malicious header would otherwise ask for gigabytes).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+PROTOCOL_VERSION = 1
+
+# Wire name -> exception class, for every PermError subclass (walked at
+# import so new error classes are automatically wire-representable).
+ERROR_CLASSES: dict[str, type] = {
+    name: obj
+    for name, obj in vars(errors).items()
+    if isinstance(obj, type) and issubclass(obj, errors.PermError)
+}
+
+_RETRYABLE = (errors.SerializationError, errors.ServerBusy)
+
+
+def encode_frame(message: dict) -> bytes:
+    """One wire frame: header plus compact JSON."""
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise errors.OperationalError(
+            f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict:
+    message = json.loads(body.decode("utf-8"))
+    if not isinstance(message, dict):
+        raise errors.ProgrammingError("protocol frames must be JSON objects")
+    return message
+
+
+def frame_length(header: bytes) -> int:
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise errors.OperationalError(
+            f"peer announced a {length}-byte frame (limit {MAX_FRAME_BYTES})"
+        )
+    return length
+
+
+def error_response(exc: BaseException) -> dict:
+    """Encode an exception as a structured error payload. Non-Perm
+    exceptions (true server bugs) are wrapped as OperationalError so the
+    client always sees the PEP 249 surface."""
+    if isinstance(exc, errors.PermError):
+        type_name = type(exc).__name__
+        if type_name not in ERROR_CLASSES:  # subclass defined elsewhere
+            type_name = "OperationalError"
+    else:
+        type_name = "OperationalError"
+    return {
+        "ok": False,
+        "error": {
+            "type": type_name,
+            "message": str(exc),
+            "retryable": isinstance(exc, _RETRYABLE),
+        },
+    }
+
+
+def exception_from_payload(error: dict) -> Exception:
+    """The inverse of :func:`error_response`, used by clients."""
+    cls = ERROR_CLASSES.get(str(error.get("type")), errors.OperationalError)
+    return cls(str(error.get("message", "unknown server error")))
+
+
+def rows_to_wire(rows) -> list[list]:
+    """Result rows as JSON arrays (all SQL values — int, float, text,
+    bool, NULL — are JSON-native)."""
+    return [list(row) for row in rows]
+
+
+def rows_from_wire(rows: Optional[list]) -> list[tuple]:
+    return [tuple(row) for row in rows or []]

@@ -1,0 +1,110 @@
+"""Server observability: latency reservoirs and counter snapshots.
+
+Counters are deliberately simple — plain ints guarded by a lock, plus a
+bounded latency reservoir good enough for p50/p99 — and are exposed to
+clients through the ``STATS`` protocol message from day one, so load
+problems on a busy server are diagnosable without instrumenting it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+
+class LatencyReservoir:
+    """A bounded sample of query latencies (seconds) for percentile
+    estimates. Once full it overwrites round-robin — recent traffic
+    dominates, which is what a STATS probe wants to see."""
+
+    def __init__(self, capacity: int = 2048):
+        self._capacity = capacity
+        self._samples: list[float] = []
+        self._cursor = 0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._count += 1
+            if len(self._samples) < self._capacity:
+                self._samples.append(seconds)
+            else:
+                self._samples[self._cursor] = seconds
+                self._cursor = (self._cursor + 1) % self._capacity
+
+    def percentile(self, fraction: float) -> Optional[float]:
+        with self._lock:
+            if not self._samples:
+                return None
+            ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self._count,
+            "p50_ms": _ms(self.percentile(0.50)),
+            "p99_ms": _ms(self.percentile(0.99)),
+        }
+
+
+def _ms(seconds: Optional[float]) -> Optional[float]:
+    return None if seconds is None else round(seconds * 1000.0, 3)
+
+
+class ServerStats:
+    """Server-wide counters (shared across sessions; lock-guarded)."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.sessions_total = 0
+        self.sessions_open = 0
+        self.sessions_rejected = 0
+        self.queries = 0
+        self.errors = 0
+        self.conflicts = 0
+        self.retries = 0
+        self.busy_rejections = 0
+        self.disconnects = 0
+        self.latency = LatencyReservoir()
+
+    def bump(self, field: str, amount: int = 1) -> None:
+        with self.lock:
+            setattr(self, field, getattr(self, field) + amount)
+
+    def snapshot(self) -> dict:
+        with self.lock:
+            counters = {
+                "sessions_total": self.sessions_total,
+                "sessions_open": self.sessions_open,
+                "sessions_rejected": self.sessions_rejected,
+                "queries": self.queries,
+                "errors": self.errors,
+                "conflicts": self.conflicts,
+                "retries": self.retries,
+                "busy_rejections": self.busy_rejections,
+                "disconnects": self.disconnects,
+            }
+        counters["latency"] = self.latency.snapshot()
+        return counters
+
+
+class SessionStats:
+    """Per-session counters (touched only by that session's serialized
+    requests, so no lock is needed)."""
+
+    def __init__(self) -> None:
+        self.queries = 0
+        self.errors = 0
+        self.conflicts = 0
+        self.latency = LatencyReservoir(capacity=512)
+
+    def snapshot(self, retries: int = 0) -> dict:
+        return {
+            "queries": self.queries,
+            "errors": self.errors,
+            "conflicts": self.conflicts,
+            "retries": retries,
+            "latency": self.latency.snapshot(),
+        }

@@ -6,24 +6,47 @@ updates underneath them. This module gives the reproduction that
 property with the copy-on-write flavor of MVCC:
 
 * Each :class:`~repro.storage.table.HeapTable` holds its latest
-  **committed state** as a single ``(rows, version)`` tuple. The rows
-  list of a committed state is never mutated again — every committed
-  mutation installs a *new* list — so a reference to it is a stable
-  snapshot of that table for free.
+  **committed state** as a single ``(rows, version, row_ids)`` triple.
+  The rows list of a committed state is never mutated again — every
+  committed mutation installs a *new* list — so a reference to it is a
+  stable snapshot of that table for free. ``row_ids`` is a parallel
+  list of hidden, process-globally unique row identities that survive
+  updates: the same logical row keeps its id across any number of
+  ``UPDATE``\\ s, which is what row-level conflict detection keys on.
 
 * A :class:`Transaction` captures, at ``BEGIN``, the committed state of
   every table (one atomic cut, taken under the manager lock). Reads
   inside the transaction resolve against that snapshot; the first write
   to a table makes a private **working copy** (copy-on-write) that only
-  this transaction sees.
+  this transaction sees. The working copy accumulates the transaction's
+  **row-level write set**: the ids of committed rows it updated (to new
+  content) or deleted. Freshly inserted rows get fresh ids and are
+  never part of the write set — two inserters can never conflict.
 
-* ``COMMIT`` re-checks, under the manager lock, that no other
-  transaction committed a table this one wrote since its snapshot was
-  taken (**first-committer-wins** at table granularity — the snapshot
-  isolation write-write rule). A conflict aborts the transaction with
-  :class:`~repro.errors.SerializationError`; otherwise every working
-  copy is installed as the table's new committed state in one atomic
-  reference swap per table.
+* ``COMMIT`` re-checks, under the manager lock, whether another
+  transaction committed a written table since this one's snapshot. If
+  nothing intervened the working copy installs directly (the cheap,
+  common path). Otherwise conflicts are resolved at **row granularity**
+  (first-committer-wins per row): the table keeps a short history of
+  committed write sets, and the commit aborts with
+  :class:`~repro.errors.SerializationError` only if this transaction's
+  write set overlaps a row someone else wrote after its snapshot — or
+  if either side performed a coarse (whole-table / non-transactional)
+  write. Disjoint-row commits *merge*: the transaction's per-row
+  effects are replayed onto the current committed state, so two
+  transactions updating different rows of one table both succeed.
+  ``TransactionManager(granularity="table")`` restores the old
+  whole-table first-committer-wins rule (used for comparisons).
+
+* **Version GC**: each committed write appends a history entry (its
+  commit sequence number, its row-level write set, and the superseded
+  committed state) to the table. The manager weak-tracks live
+  transactions, so whenever one retires it computes the **snapshot
+  horizon** — the oldest begin sequence any live snapshot holds — and
+  frees every history entry at or below it: superseded committed
+  states no live snapshot can see. ``gc_stats()`` exposes the
+  counters (runs, versions freed, rows freed, versions retained,
+  horizon).
 
 * **Version stamps** come from one process-global monotonic counter, so
   every distinct visible state of a table — committed or transaction-
@@ -31,7 +54,8 @@ property with the copy-on-write flavor of MVCC:
   that used to key on "the global ``HeapTable.version`` counter" (the
   catalog's statistics cache, the optimizer's recorded uniqueness deps,
   the SQLite mirror sync) keys on *snapshot identity* simply by reading
-  ``table.version`` through the active transaction.
+  ``table.version`` through the active transaction. A merged commit
+  gets a fresh stamp (its content includes other transactions' rows).
 
 Which transaction is "active" is a thread-local set by the connection
 for the duration of each statement (:func:`activate`); the storage layer
@@ -39,16 +63,16 @@ itself never starts or ends transactions.
 
 Isolation level: **snapshot isolation** (Postgres would call it
 REPEATABLE READ). Write skew between transactions whose write sets touch
-different tables is possible, exactly as under SI. DDL (CREATE/DROP) is
-non-transactional: it takes effect immediately and is not undone by
-ROLLBACK.
+different rows is possible, exactly as under SI. DDL (CREATE/DROP) is
+non-transactional; the connection layer rejects it inside an explicit
+transaction.
 """
 
 from __future__ import annotations
 
 import threading
 import weakref
-from typing import TYPE_CHECKING, Callable, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
 
 from ..errors import OperationalError, SerializationError
 
@@ -57,19 +81,47 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 # ---------------------------------------------------------------------------
-# Version stamps
+# Version stamps, commit sequence numbers, row identities
 # ---------------------------------------------------------------------------
 
-_stamp_lock = threading.Lock()
+_counter_lock = threading.Lock()
 _stamp = 0
+_commit_seq = 0
+_row_id = 0
 
 
 def next_stamp() -> int:
     """A process-globally unique, monotonically increasing version stamp."""
     global _stamp
-    with _stamp_lock:
+    with _counter_lock:
         _stamp += 1
         return _stamp
+
+
+def next_commit_seq() -> int:
+    """The next commit sequence number (orders committed states; unlike
+    version stamps, which are allocated while a transaction is still
+    writing, sequence numbers are allocated at the moment a state
+    becomes committed)."""
+    global _commit_seq
+    with _counter_lock:
+        _commit_seq += 1
+        return _commit_seq
+
+
+def current_commit_seq() -> int:
+    """The latest allocated commit sequence number."""
+    return _commit_seq
+
+
+def new_row_ids(count: int) -> list[int]:
+    """Allocate *count* fresh row identities (one lock round-trip per
+    batch, so bulk inserts stay cheap)."""
+    global _row_id
+    with _counter_lock:
+        start = _row_id + 1
+        _row_id += count
+    return list(range(start, start + count))
 
 
 # ---------------------------------------------------------------------------
@@ -110,84 +162,161 @@ def activate(txn: "Transaction") -> _Activation:
 
 
 # ---------------------------------------------------------------------------
+# Committed-write history (per table)
+# ---------------------------------------------------------------------------
+
+
+class HistoryEntry:
+    """One committed write of a table: the commit sequence number, the
+    row-level write set (``None`` for a coarse whole-table write), and
+    the committed state this write superseded (held until GC proves no
+    live snapshot can reach it)."""
+
+    __slots__ = ("seq", "written", "superseded")
+
+    def __init__(
+        self,
+        seq: int,
+        written: Optional[frozenset[int]],
+        superseded: tuple[list["Row"], int, list[int]],
+    ):
+        self.seq = seq
+        self.written = written
+        self.superseded = superseded
+
+
+# ---------------------------------------------------------------------------
 # Transactions
 # ---------------------------------------------------------------------------
 
 
 class _Working:
-    """A transaction's private view of one table's rows.
+    """A transaction's private view of one table's rows (plus their ids
+    and the accumulated row-level write set).
 
     Starts in *overlay* mode — the snapshot base list (never copied)
     plus appended rows — so an INSERT-only transaction costs O(rows
     inserted), not O(table). The full copy is materialized only when
     something actually needs it: a read of the table inside the
     transaction, or an UPDATE/DELETE (which replace the row list
-    wholesale anyway). Commit installs ``final()`` — at most one copy
-    per table per transaction."""
+    wholesale anyway). Commit installs ``final_state()`` — at most one
+    copy per table per transaction."""
 
-    __slots__ = ("_base", "_extra", "_rows", "version")
+    __slots__ = (
+        "_base",
+        "_base_ids",
+        "_extra",
+        "_extra_ids",
+        "_rows",
+        "_ids",
+        "version",
+        "written",
+        "coarse",
+    )
 
-    def __init__(self, base: list["Row"], version: int):
+    def __init__(self, base: list["Row"], base_ids: list[int], version: int):
         self._base: Optional[list["Row"]] = base
+        self._base_ids: Optional[list[int]] = base_ids
         self._extra: list["Row"] = []
+        self._extra_ids: list[int] = []
         self._rows: Optional[list["Row"]] = None
+        self._ids: Optional[list[int]] = None
         self.version = version
+        # Ids of committed rows this transaction updated (to different
+        # content) or deleted — the row-level write set. Fresh inserts
+        # are never in it.
+        self.written: set[int] = set()
+        # A whole-table operation (truncate) that must keep
+        # table-granularity conflicts.
+        self.coarse = False
 
-    def append(self, rows: Iterable["Row"]) -> None:
+    def append(self, rows: Sequence["Row"], ids: Sequence[int]) -> None:
         if self._rows is not None:
             self._rows.extend(rows)
+            assert self._ids is not None
+            self._ids.extend(ids)
         else:
             self._extra.extend(rows)
+            self._extra_ids.extend(ids)
 
-    def replace(self, rows: list["Row"]) -> None:
+    def replace(self, rows: list["Row"], ids: list[int]) -> None:
         self._rows = rows
+        self._ids = ids
         self._base = None
+        self._base_ids = None
         self._extra = []
+        self._extra_ids = []
 
     def visible(self) -> list["Row"]:
         if self._rows is None:
-            assert self._base is not None
+            assert self._base is not None and self._base_ids is not None
             self._rows = self._base + self._extra
+            self._ids = self._base_ids + self._extra_ids
             self._base = None
+            self._base_ids = None
             self._extra = []
+            self._extra_ids = []
         return self._rows
 
-    def final(self, in_place: bool = False) -> list["Row"]:
-        """The rows to install at commit (materializes at most once).
+    def visible_ids(self) -> list[int]:
+        self.visible()
+        assert self._ids is not None
+        return self._ids
+
+    def final_state(self, in_place: bool = False) -> tuple[list["Row"], list[int]]:
+        """The (rows, ids) to install at commit (materializes at most
+        once).
 
         ``in_place=True`` — only legal when the caller has proven no
-        other live snapshot references the base list (no other active
-        transaction) — extends the base directly instead of copying, so
-        a solo append-only commit is O(rows appended), not O(table)."""
+        other live snapshot references the base lists (no other active
+        transaction, no retained history) — extends the base directly
+        instead of copying, so a solo append-only commit is O(rows
+        appended), not O(table)."""
         if self._rows is not None:
-            return self._rows
-        assert self._base is not None
+            assert self._ids is not None
+            return self._rows, self._ids
+        assert self._base is not None and self._base_ids is not None
         if in_place:
             self._base.extend(self._extra)
-            return self._base
-        return self._base + self._extra
+            self._base_ids.extend(self._extra_ids)
+            return self._base, self._base_ids
+        return self._base + self._extra, self._base_ids + self._extra_ids
+
+    def save(self) -> tuple[list["Row"], list[int], int, set[int], bool]:
+        """Snapshot for SAVEPOINT (independent copies of the mutable
+        lists; the row tuples themselves are immutable)."""
+        return (
+            list(self.visible()),
+            list(self.visible_ids()),
+            self.version,
+            set(self.written),
+            self.coarse,
+        )
 
 
 class Transaction:
     """One snapshot-isolated transaction over a set of heap tables.
 
     Created by :meth:`TransactionManager.begin`; the snapshot maps every
-    table that existed at begin time to its committed ``(rows, version)``
-    state. Tables created afterwards (DDL is non-transactional) are
-    adopted lazily at their then-current committed state.
+    table that existed at begin time to its committed
+    ``(rows, version, ids)`` state. Tables created afterwards (DDL is
+    non-transactional) are adopted lazily at their then-current
+    committed state.
     """
 
     def __init__(
         self,
         manager: "TransactionManager",
-        snapshot: dict["HeapTable", tuple[list["Row"], int]],
+        snapshot: dict["HeapTable", tuple[list["Row"], int, list[int]]],
+        begin_seq: int,
     ):
         self.manager = manager
         self.status = "active"
+        self.begin_seq = begin_seq
         self._snapshot = snapshot
         self._working: dict["HeapTable", _Working] = {}
         # Stack of (savepoint name, saved working state per written table).
-        self._savepoints: list[tuple[str, dict["HeapTable", tuple[list["Row"], int]]]] = []
+        self._savepoints: list[tuple[str, dict["HeapTable", tuple]]] = []
 
     # -- status --------------------------------------------------------
     @property
@@ -199,7 +328,7 @@ class Transaction:
             raise OperationalError(f"transaction is {self.status}")
 
     # -- visibility (called from HeapTable properties) -----------------
-    def _base(self, table: "HeapTable") -> tuple[list["Row"], int]:
+    def _base(self, table: "HeapTable") -> tuple[list["Row"], int, list[int]]:
         state = self._snapshot.get(table)
         if state is None:
             # Created after our snapshot (non-transactional DDL): adopt
@@ -220,32 +349,54 @@ class Transaction:
             return working.version
         return self._base(table)[1]
 
-    # -- writes --------------------------------------------------------
-    def append_rows(self, table: "HeapTable", rows: Iterable["Row"]) -> None:
-        self._check_active()
+    def visible_ids(self, table: "HeapTable") -> list[int]:
         working = self._working.get(table)
-        if working is None:
-            working = _Working(self._base(table)[0], 0)
-            self._working[table] = working
-        working.append(rows)
-        working.version = next_stamp()
+        if working is not None:
+            return working.visible_ids()
+        return self._base(table)[2]
 
-    def replace_rows(self, table: "HeapTable", rows: list["Row"]) -> None:
-        self._check_active()
-        self._base(table)  # pin the snapshot base for the conflict check
+    # -- writes --------------------------------------------------------
+    def _working_for(self, table: "HeapTable") -> _Working:
         working = self._working.get(table)
         if working is None:
-            working = _Working(self._base(table)[0], 0)
+            base = self._base(table)
+            working = _Working(base[0], base[2], 0)
             self._working[table] = working
-        working.replace(rows)
+        return working
+
+    def append_rows(self, table: "HeapTable", rows: Sequence["Row"]) -> list[int]:
+        self._check_active()
+        working = self._working_for(table)
+        ids = new_row_ids(len(rows))
+        working.append(rows, ids)
+        working.version = next_stamp()
+        return ids
+
+    def replace_rows(
+        self,
+        table: "HeapTable",
+        rows: list["Row"],
+        ids: list[int],
+        written: Iterable[int] = (),
+        coarse: bool = False,
+    ) -> None:
+        """Install a full replacement of the table's visible rows.
+        *written* are the ids of pre-existing rows this statement
+        updated or deleted (the row-level write set contribution);
+        *coarse* marks a whole-table operation that must conflict with
+        any concurrent commit of the table."""
+        self._check_active()
+        working = self._working_for(table)
+        working.replace(rows, ids)
+        working.written.update(written)
+        working.coarse = working.coarse or coarse
         working.version = next_stamp()
 
     # -- savepoints ----------------------------------------------------
     def savepoint(self, name: str) -> None:
         self._check_active()
         saved = {
-            table: (list(working.visible()), working.version)
-            for table, working in self._working.items()
+            table: working.save() for table, working in self._working.items()
         }
         self._savepoints.append((name.lower(), saved))
 
@@ -275,7 +426,11 @@ class Transaction:
                 # exactly: the content is bit-identical to what that
                 # stamp named, so statistics and plan deps recorded
                 # against it become valid again.
-                self._working[table] = _Working(state[0], state[1])
+                rows, ids, version, written, coarse = state
+                restored = _Working(rows, ids, version)
+                restored.written = set(written)
+                restored.coarse = coarse
+                self._working[table] = restored
         del self._savepoints[index + 1 :]
 
     def release(self, name: str) -> None:
@@ -284,10 +439,84 @@ class Transaction:
         del self._savepoints[index:]
 
     # -- outcome -------------------------------------------------------
+    def _abort(self, table: "HeapTable", reason: str) -> SerializationError:
+        self.status = "aborted"
+        self._working.clear()
+        self._savepoints.clear()
+        self.manager.conflict_count += 1
+        self.manager.retire(self)
+        return SerializationError(
+            f"could not serialize access to table {table.name!r}: "
+            f"a concurrent transaction committed it first ({reason}; "
+            "retry the transaction)"
+        )
+
+    def _concurrent_write_set(
+        self, table: "HeapTable"
+    ) -> Optional[set[int]]:
+        """Row ids committed to *table* after this transaction's
+        snapshot, from the table's write history. ``None`` means some
+        concurrent write was coarse (or non-transactional), forcing a
+        table-granularity conflict."""
+        if table._coarse_seq > self.begin_seq:
+            return None
+        others: set[int] = set()
+        for entry in reversed(table._history):
+            if entry.seq <= self.begin_seq:
+                break
+            if entry.written is None:
+                return None
+            others.update(entry.written)
+        return others
+
+    def _merged_state(
+        self, table: "HeapTable", working: _Working
+    ) -> Optional[tuple[list["Row"], list[int]]]:
+        """Merge this transaction's per-row effects onto the table's
+        *current* committed state (which contains other transactions'
+        disjoint writes). Returns ``None`` if a row this transaction
+        wrote no longer exists — the defensive signal to abort."""
+        snap_rows, _, snap_ids = self._snapshot[table]
+        w_rows, w_ids = working.final_state()
+        content = dict(zip(w_ids, w_rows))
+        snap_id_set = set(snap_ids)
+        # Only rows that existed in the snapshot participate in the
+        # merge; a row this transaction inserted *and* wrote again (its
+        # id is fresh) rides along as a plain insert.
+        written = working.written & snap_id_set
+        deleted = {rid for rid in written if rid not in content}
+        updated = written - deleted
+        cur_rows, _, cur_ids = table._state
+        cur_id_set = set(cur_ids)
+        if (deleted | updated) - cur_id_set:
+            return None
+        new_rows: list["Row"] = []
+        new_ids: list[int] = []
+        for row, rid in zip(cur_rows, cur_ids):
+            if rid in deleted:
+                continue
+            if rid in updated:
+                new_rows.append(content[rid])
+            else:
+                new_rows.append(row)
+            new_ids.append(rid)
+        for rid, row in zip(w_ids, w_rows):
+            if rid not in snap_id_set:
+                new_rows.append(row)
+                new_ids.append(rid)
+        return new_rows, new_ids
+
     def commit(self) -> None:
-        """Install every working copy as the new committed state, or
-        abort with :class:`SerializationError` if another transaction
-        committed one of the written tables first."""
+        """Install every working copy as the new committed state.
+
+        Fast path: no other transaction committed a written table since
+        this one's snapshot — the working copy installs directly (its
+        stamp is reused, so plans prepared inside the transaction stay
+        valid). Otherwise row-level first-committer-wins applies: the
+        commit aborts with :class:`SerializationError` iff this
+        transaction's write set overlaps a row committed after its
+        snapshot (or either side wrote coarsely); disjoint-row commits
+        merge onto the current state under a fresh stamp."""
         self._check_active()
         manager = self.manager
         if not self._working:
@@ -295,27 +524,53 @@ class Transaction:
             manager.retire(self)
             return
         with manager.lock:
-            for table in self._working:
-                if table._state[1] != self._snapshot[table][1]:
-                    self.status = "aborted"
-                    self._working.clear()
-                    self._savepoints.clear()
-                    manager.retire(self)
-                    raise SerializationError(
-                        f"could not serialize access to table {table.name!r}: "
-                        "a concurrent transaction committed it first "
-                        "(retry the transaction)"
+            merges: dict["HeapTable", tuple[list["Row"], list[int]]] = {}
+            for table, working in self._working.items():
+                if table._state[1] == self._snapshot[table][1]:
+                    continue  # nothing intervened: plain install below
+                if manager.granularity == "table":
+                    raise self._abort(table, "table-granularity conflict")
+                if working.coarse:
+                    raise self._abort(table, "whole-table write")
+                others = self._concurrent_write_set(table)
+                if others is None:
+                    raise self._abort(table, "concurrent whole-table write")
+                overlap = working.written & others
+                if overlap:
+                    raise self._abort(
+                        table, f"write-write overlap on {len(overlap)} row(s)"
                     )
+                merged = self._merged_state(table, working)
+                if merged is None:
+                    raise self._abort(table, "written row vanished")
+                merges[table] = merged
+            seq = next_commit_seq()
             # Snapshot holders are exactly the live transactions; with
-            # none but us, append-only tables may extend the committed
-            # list in place (their old stamp becomes permanently
-            # unmatchable, so every stamp-keyed cache revalidates).
+            # none but us and no retained history, append-only tables
+            # may extend the committed list in place (their old stamp
+            # becomes permanently unmatchable, so every stamp-keyed
+            # cache revalidates).
             solo = manager.is_solo(self)
             for table, working in self._working.items():
-                # The working stamp already names exactly this content,
-                # so it is reused: plans prepared inside the transaction
-                # against its final state stay valid after the commit.
-                table._state = (working.final(in_place=solo), working.version)
+                previous = table._state
+                merged = merges.get(table)
+                if merged is not None:
+                    # Merged content includes other transactions' rows:
+                    # it is a state no stamp has ever named, so it gets
+                    # a fresh one.
+                    rows, ids = merged
+                    version = next_stamp()
+                else:
+                    in_place = solo and not table._history
+                    rows, ids = working.final_state(in_place=in_place)
+                    # The working stamp already names exactly this
+                    # content, so it is reused: plans prepared inside
+                    # the transaction against its final state stay
+                    # valid after the commit.
+                    version = working.version
+                table._state = (rows, version, ids)
+                written = None if working.coarse else frozenset(working.written)
+                table._history.append(HistoryEntry(seq, written, previous))
             manager.commit_count += 1
             manager.retire(self)
         self.status = "committed"
@@ -337,19 +592,39 @@ class TransactionManager:
     ``tables`` is a zero-argument callable returning the current heap
     tables (the catalog's, at begin time); keeping it a callable avoids
     an import cycle between the storage and catalog layers.
-    ``begin_count``/``commit_count`` are plain telemetry counters (the
-    conflict check itself uses version stamps, not sequence numbers).
-    """
+    ``granularity`` selects the first-committer-wins unit: ``"row"``
+    (the default — disjoint-row commits merge) or ``"table"`` (any two
+    commits of one table conflict; kept for comparison benchmarks).
+    ``begin_count``/``commit_count``/``conflict_count`` are plain
+    telemetry counters (the conflict check itself uses version stamps
+    and commit sequence numbers)."""
 
-    def __init__(self, tables: Callable[[], Iterable["HeapTable"]]):
+    def __init__(
+        self,
+        tables: Callable[[], Iterable["HeapTable"]],
+        granularity: str = "row",
+    ):
+        if granularity not in ("row", "table"):
+            raise ValueError(
+                f"unknown conflict granularity {granularity!r} "
+                "(valid: 'row', 'table')"
+            )
         self.lock = threading.RLock()
         self._tables = tables
+        self.granularity = granularity
         self.begin_count = 0
         self.commit_count = 0
+        self.conflict_count = 0
         # Live (active) transactions — i.e. the set of live snapshots.
         # Weak, so a session abandoned without commit/rollback cannot
-        # pin the in-place append optimization off forever.
+        # pin the version history (or the in-place append optimization)
+        # off forever.
         self._active: "weakref.WeakSet[Transaction]" = weakref.WeakSet()
+        # GC telemetry (guarded by self.lock).
+        self._gc_runs = 0
+        self._gc_versions_freed = 0
+        self._gc_rows_freed = 0
+        self._gc_horizon = 0
 
     def begin(self) -> Transaction:
         """Start a transaction on a consistent snapshot: the committed
@@ -358,16 +633,63 @@ class TransactionManager:
         with self.lock:
             snapshot = {table: table._state for table in self._tables()}
             self.begin_count += 1
-            txn = Transaction(self, snapshot)
+            txn = Transaction(self, snapshot, current_commit_seq())
             self._active.add(txn)
             return txn
 
     def retire(self, txn: Transaction) -> None:
-        """Drop *txn* from the live-snapshot set (commit/rollback)."""
+        """Drop *txn* from the live-snapshot set (commit/rollback) and
+        garbage-collect history the remaining snapshots cannot see."""
         with self.lock:
             self._active.discard(txn)
+            self.collect()
 
     def is_solo(self, txn: Transaction) -> bool:
         """Whether *txn* is the only live transaction (call under the
         manager lock, from its commit)."""
         return all(other is txn for other in self._active)
+
+    # -- version garbage collection ------------------------------------
+    def horizon(self) -> int:
+        """The snapshot horizon: every committed state superseded at or
+        before this sequence number is invisible to all live snapshots
+        (with no live snapshots, everything superseded is)."""
+        live = [txn.begin_seq for txn in self._active if txn.active]
+        return min(live) if live else current_commit_seq()
+
+    def collect(self) -> dict[str, int]:
+        """Free history entries (superseded committed states) no live
+        snapshot can see. Runs automatically whenever a transaction
+        retires; callable directly for tests and telemetry. Returns the
+        cumulative :meth:`gc_stats`."""
+        with self.lock:
+            horizon = self.horizon()
+            freed = rows_freed = 0
+            for table in self._tables():
+                history = table._history
+                cut = 0
+                while cut < len(history) and history[cut].seq <= horizon:
+                    rows_freed += len(history[cut].superseded[0])
+                    freed += 1
+                    cut += 1
+                if cut:
+                    del history[:cut]
+            self._gc_runs += 1
+            self._gc_versions_freed += freed
+            self._gc_rows_freed += rows_freed
+            self._gc_horizon = horizon
+            return self.gc_stats()
+
+    def gc_stats(self) -> dict[str, int]:
+        """Version-GC counters: how often GC ran, how many superseded
+        committed states (and rows) it freed, how many are currently
+        retained for live snapshots, and the current horizon."""
+        with self.lock:
+            retained = sum(len(table._history) for table in self._tables())
+            return {
+                "gc_runs": self._gc_runs,
+                "versions_freed": self._gc_versions_freed,
+                "rows_freed": self._gc_rows_freed,
+                "versions_retained": retained,
+                "horizon": self._gc_horizon,
+            }

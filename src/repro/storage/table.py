@@ -7,15 +7,20 @@ query-result form returned by the executor and consumed by clients and
 the Perm browser.
 
 Storage is multi-versioned (:mod:`repro.storage.mvcc`): a table's
-committed state is a single ``(rows, version)`` tuple whose rows list is
-never mutated after being installed, so holding a reference to it *is* a
-snapshot. ``rows`` and ``version`` are properties that resolve through
-the thread's active transaction — inside a transaction they return the
-snapshot (or this transaction's private working copy); outside they
-return the latest committed state. ``version`` stamps are globally
-unique per distinct state (see :func:`repro.storage.mvcc.next_stamp`),
-which is what lets cached statistics, the optimizer's recorded
-uniqueness deps and the SQLite mirror key on snapshot identity.
+committed state is a single ``(rows, version, row_ids)`` tuple whose
+rows list is never mutated after being installed, so holding a reference
+to it *is* a snapshot. ``row_ids`` is a parallel list of hidden,
+process-globally unique row identities: a logical row keeps its id
+across updates, which is what lets transactions detect write-write
+conflicts at row granularity (two transactions updating *different*
+rows of one table both commit). ``rows`` and ``version`` are properties
+that resolve through the thread's active transaction — inside a
+transaction they return the snapshot (or this transaction's private
+working copy); outside they return the latest committed state.
+``version`` stamps are globally unique per distinct state (see
+:func:`repro.storage.mvcc.next_stamp`), which is what lets cached
+statistics, the optimizer's recorded uniqueness deps and the SQLite
+mirror key on snapshot identity.
 
 Every mutator is **atomic**: the new row list is staged completely
 (all predicate evaluation and value coercion up front) and applied in a
@@ -40,10 +45,18 @@ class HeapTable:
     def __init__(self, name: str, schema: Schema):
         self.name = name
         self.schema = schema
-        # Latest committed (rows, version). Swapped as one tuple so a
-        # concurrent snapshot capture never pairs new rows with an old
-        # stamp. The list inside is treated as immutable once installed.
-        self._state: tuple[list[Row], int] = ([], mvcc.next_stamp())
+        # Latest committed (rows, version, row_ids). Swapped as one
+        # tuple so a concurrent snapshot capture never pairs new rows
+        # with an old stamp. The lists inside are treated as immutable
+        # once installed.
+        self._state: tuple[list[Row], int, list[int]] = ([], mvcc.next_stamp(), [])
+        # Committed-write history for row-level conflict checks; trimmed
+        # by the manager's version GC up to the live-snapshot horizon.
+        self._history: list[mvcc.HistoryEntry] = []
+        # Commit sequence of the last *non-transactional* write (those
+        # bypass the history and conflict coarsely with any transaction
+        # whose snapshot predates them).
+        self._coarse_seq = 0
 
     # -- visibility ----------------------------------------------------
     @property
@@ -72,20 +85,46 @@ class HeapTable:
         return iter(self.rows)
 
     # -- write plumbing ------------------------------------------------
+    def _visible_pair(self) -> tuple[list[Row], list[int]]:
+        """The visible rows and their parallel row-identity list."""
+        txn = mvcc.current_transaction()
+        if txn is not None:
+            return txn.visible_rows(self), txn.visible_ids(self)
+        state = self._state
+        return state[0], state[2]
+
+    def _install_direct(self, rows: list[Row], ids: list[int]) -> None:
+        """Install a new committed state outside any transaction. Such
+        writes carry no row-level write set, so they conflict coarsely:
+        any open transaction that also wrote this table will abort."""
+        self._state = (rows, mvcc.next_stamp(), ids)
+        self._coarse_seq = mvcc.next_commit_seq()
+
     def _append(self, rows: list[Row]) -> None:
         txn = mvcc.current_transaction()
         if txn is not None:
             txn.append_rows(self, rows)
         else:
-            committed = self._state[0]
-            self._state = (committed + rows, mvcc.next_stamp())
+            committed, _, committed_ids = self._state
+            self._install_direct(
+                committed + rows, committed_ids + mvcc.new_row_ids(len(rows))
+            )
 
-    def _replace(self, rows: list[Row]) -> None:
+    def _apply(
+        self,
+        rows: list[Row],
+        ids: list[int],
+        written: Iterable[int],
+        coarse: bool = False,
+    ) -> None:
+        """Install a full replacement of the visible rows. *written* are
+        the identities of pre-existing rows this statement updated or
+        deleted; *coarse* marks a whole-table operation."""
         txn = mvcc.current_transaction()
         if txn is not None:
-            txn.replace_rows(self, rows)
+            txn.replace_rows(self, rows, ids, written, coarse)
         else:
-            self._state = (rows, mvcc.next_stamp())
+            self._install_direct(rows, ids)
 
     def _coerce_row(self, values: Sequence[Value]) -> Row:
         if len(values) != len(self.schema):
@@ -124,32 +163,53 @@ class HeapTable:
     def delete_where(self, predicate: Callable[[Row], bool]) -> int:
         """Delete rows matching *predicate*; returns the number removed.
         The predicate runs over every row before anything is applied."""
-        kept = [row for row in self.rows if not predicate(row)]
-        removed = len(self.rows) - len(kept)
-        if removed:
-            self._replace(kept)
-        return removed
+        rows, ids = self._visible_pair()
+        kept_rows: list[Row] = []
+        kept_ids: list[int] = []
+        removed_ids: list[int] = []
+        for row, rid in zip(rows, ids):
+            if predicate(row):
+                removed_ids.append(rid)
+            else:
+                kept_rows.append(row)
+                kept_ids.append(rid)
+        if removed_ids:
+            self._apply(kept_rows, kept_ids, removed_ids)
+        return len(removed_ids)
 
     def update_where(
         self, predicate: Callable[[Row], bool], updater: Callable[[Row], Sequence[Value]]
     ) -> int:
         """Apply *updater* to rows matching *predicate*; returns count.
         Predicate evaluation, updating and coercion all complete before
-        the first changed row is applied (all-or-nothing)."""
-        changed = 0
+        the first changed row is applied (all-or-nothing). Rows keep
+        their identity across the update; only rows whose content
+        actually changed enter the write set (an UPDATE that rewrites a
+        row to its current values cannot conflict with anything — and
+        installs no new version at all if nothing changed)."""
+        rows, ids = self._visible_pair()
+        matched = 0
         new_rows: list[Row] = []
-        for row in self.rows:
+        written_ids: list[int] = []
+        for row, rid in zip(rows, ids):
             if predicate(row):
-                new_rows.append(self._coerce_row(updater(row)))
-                changed += 1
+                matched += 1
+                new_row = self._coerce_row(updater(row))
+                if new_row != row:
+                    new_rows.append(new_row)
+                    written_ids.append(rid)
+                else:
+                    new_rows.append(row)
             else:
                 new_rows.append(row)
-        if changed:
-            self._replace(new_rows)
-        return changed
+        if written_ids:
+            self._apply(new_rows, list(ids), written_ids)
+        return matched
 
     def truncate(self) -> None:
-        self._replace([])
+        rows, ids = self._visible_pair()
+        if rows:
+            self._apply([], [], ids, coarse=True)
 
 
 class Relation:

@@ -141,6 +141,40 @@ class TestConnectionLifecycle:
         with pytest.raises(ProgrammingError, match="connection is closed"):
             statement.execute()
 
+    def test_close_is_idempotent(self, conn):
+        conn.close()
+        conn.close()  # second close must be a silent no-op
+        assert conn.closed
+
+    def test_cursor_close_is_idempotent(self, conn):
+        cursor = conn.execute("SELECT a FROM t")
+        cursor.close()
+        cursor.close()
+        assert cursor.closed
+
+    def test_closed_connection_blocks_every_entry_point(self, conn):
+        relation = conn.run("SELECT a FROM t")
+        conn.close()
+        with pytest.raises(ProgrammingError, match="connection is closed"):
+            conn.run("SELECT 1")
+        with pytest.raises(ProgrammingError, match="connection is closed"):
+            conn.load_rows("t", [(4, "w")])
+        with pytest.raises(ProgrammingError, match="connection is closed"):
+            conn.create_table_from_relation("copy", relation)
+        with pytest.raises(ProgrammingError, match="connection is closed"):
+            conn.analyze_relation_schema("t")
+
+    def test_close_rolls_back_open_transaction(self):
+        database = repro.Database()
+        writer = connect(database=database)
+        writer.execute("CREATE TABLE t (a int)")
+        writer.execute("INSERT INTO t VALUES (1)")
+        writer.begin()
+        writer.execute("UPDATE t SET a = 99")
+        writer.close()
+        observer = connect(database=database)
+        assert observer.execute("SELECT a FROM t").fetchall() == [(1,)]
+
 
 class TestPreparedStatements:
     def test_prepare_pays_pipeline_once(self, conn):

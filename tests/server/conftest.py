@@ -1,0 +1,23 @@
+"""Server-test fixtures: a live server on an ephemeral port per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.database import Database
+from repro.server import PermServer, ServerClient, ServerThread
+
+
+@pytest.fixture
+def server():
+    """A running server on an ephemeral port (row-level conflicts)."""
+    instance = PermServer(database=Database(), max_workers=4)
+    with ServerThread(instance) as handle:
+        yield handle.server
+
+
+@pytest.fixture
+def client(server):
+    """A connected client against the per-test server."""
+    with ServerClient("127.0.0.1", server.port) as c:
+        yield c

@@ -1,0 +1,22 @@
+"""Shared helpers for the server test suite."""
+
+from __future__ import annotations
+
+import time
+
+from repro.server import PermServer, ServerClient
+
+
+def connect(server: PermServer, **kwargs) -> ServerClient:
+    """A client against a running per-test server."""
+    return ServerClient("127.0.0.1", server.port, **kwargs)
+
+
+def wait_until(predicate, timeout=10.0, interval=0.01):
+    """Poll ``predicate`` until true or ``timeout`` elapses."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()

@@ -1,0 +1,88 @@
+"""Unit tests for the length-prefixed JSON wire protocol."""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import pytest
+
+from repro import errors
+from repro.server import protocol
+
+
+class TestFraming:
+    def test_round_trip(self):
+        frame = protocol.encode_frame({"op": "query", "sql": "SELECT 1"})
+        length = protocol.frame_length(frame[: protocol.HEADER_SIZE])
+        body = frame[protocol.HEADER_SIZE :]
+        assert length == len(body)
+        assert protocol.decode_body(body) == {"op": "query", "sql": "SELECT 1"}
+
+    def test_header_is_big_endian_length(self):
+        frame = protocol.encode_frame({"a": 1})
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+
+    def test_announced_oversized_frame_is_refused(self):
+        header = struct.pack(">I", protocol.MAX_FRAME_BYTES + 1)
+        with pytest.raises(errors.OperationalError, match="limit"):
+            protocol.frame_length(header)
+
+    def test_non_object_body_is_refused(self):
+        with pytest.raises(errors.ProgrammingError, match="JSON object"):
+            protocol.decode_body(json.dumps([1, 2, 3]).encode())
+
+    def test_unicode_survives(self):
+        message = {"sql": "SELECT 'déjà vu ✓'"}
+        frame = protocol.encode_frame(message)
+        assert protocol.decode_body(frame[4:]) == message
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            errors.ProgrammingError,
+            errors.OperationalError,
+            errors.SerializationError,
+            errors.IntegrityError,
+            errors.ServerBusy,
+        ],
+    )
+    def test_error_round_trip_preserves_class(self, exc_type):
+        payload = protocol.error_response(exc_type("boom"))
+        assert payload["ok"] is False
+        revived = protocol.exception_from_payload(payload["error"])
+        assert type(revived) is exc_type
+        assert "boom" in str(revived)
+
+    def test_retryable_flags(self):
+        assert protocol.error_response(errors.SerializationError("x"))["error"][
+            "retryable"
+        ]
+        assert protocol.error_response(errors.ServerBusy("x"))["error"]["retryable"]
+        assert not protocol.error_response(errors.ProgrammingError("x"))["error"][
+            "retryable"
+        ]
+
+    def test_non_perm_exception_wraps_as_operational(self):
+        payload = protocol.error_response(ValueError("internal"))
+        assert payload["error"]["type"] == "OperationalError"
+        revived = protocol.exception_from_payload(payload["error"])
+        assert isinstance(revived, errors.OperationalError)
+
+    def test_unknown_class_name_falls_back_to_operational(self):
+        revived = protocol.exception_from_payload(
+            {"type": "NoSuchError", "message": "m"}
+        )
+        assert isinstance(revived, errors.OperationalError)
+
+
+class TestRows:
+    def test_rows_round_trip(self):
+        rows = [(1, "a", None, 2.5, True)]
+        assert protocol.rows_from_wire(protocol.rows_to_wire(rows)) == rows
+
+    def test_missing_rows_decode_empty(self):
+        assert protocol.rows_from_wire(None) == []

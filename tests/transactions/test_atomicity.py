@@ -8,7 +8,7 @@ import pytest
 from repro import Database, SerializationError, TypeCheckError, connect
 from repro.catalog.schema import Attribute, Schema
 from repro.datatypes import SQLType
-from repro.errors import CatalogError, ExecutionError
+from repro.errors import AnalyzeError, CatalogError, ExecutionError, OperationalError
 from repro.storage.table import HeapTable
 
 
@@ -256,3 +256,66 @@ class TestConflictLosersLeaveNoTrace:
         assert table.rows is rows_before_txns
         assert table.version == version
         assert setup.execute("SELECT b FROM t").fetchall() == [("one",)]
+
+
+class TestDdlIsNotTransactional:
+    """DDL cannot ride inside an explicit transaction: the catalog is
+    not versioned, so a rolled-back CREATE/DROP could not be undone.
+    The connection refuses up front instead of corrupting on rollback."""
+
+    @pytest.fixture
+    def conn(self):
+        connection = connect()
+        connection.run("CREATE TABLE t (a int)")
+        connection.run("INSERT INTO t VALUES (1)")
+        return connection
+
+    @pytest.mark.parametrize(
+        "ddl",
+        [
+            "CREATE TABLE u (a int)",
+            "CREATE TABLE u AS SELECT a FROM t",
+            "CREATE VIEW v AS SELECT a FROM t",
+            "DROP TABLE t",
+        ],
+    )
+    def test_ddl_inside_explicit_transaction_is_refused(self, conn, ddl):
+        conn.begin()
+        with pytest.raises(
+            OperationalError, match="DDL is not transactional"
+        ):
+            conn.execute(ddl)
+        # The refusal is a clean error: the transaction is still usable.
+        assert conn.in_transaction
+        conn.execute("INSERT INTO t VALUES (2)")
+        conn.commit()
+        assert conn.execute("SELECT COUNT(*) FROM t").fetchall() == [(2,)]
+
+    def test_ddl_refusal_leaves_catalog_untouched(self, conn):
+        conn.begin()
+        with pytest.raises(OperationalError):
+            conn.execute("CREATE TABLE u (a int)")
+        conn.rollback()
+        with pytest.raises(AnalyzeError):
+            conn.execute("SELECT * FROM u")
+
+    def test_ddl_works_between_transactions(self, conn):
+        conn.begin()
+        conn.execute("INSERT INTO t VALUES (2)")
+        conn.commit()
+        conn.execute("CREATE TABLE u (a int)")  # autocommit: fine
+        conn.begin()
+        conn.execute("INSERT INTO u VALUES (1)")
+        conn.rollback()
+        assert conn.execute("SELECT COUNT(*) FROM u").fetchall() == [(0,)]
+
+    def test_ddl_does_not_open_the_implicit_transaction(self):
+        connection = connect(autocommit=False)
+        connection.run("CREATE TABLE t (a int)")
+        # DDL self-committed: no transaction is left open around it.
+        assert not connection.in_transaction
+        connection.execute("INSERT INTO t VALUES (1)")
+        assert connection.in_transaction
+        with pytest.raises(OperationalError, match="DDL is not transactional"):
+            connection.execute("CREATE TABLE u (a int)")
+        connection.rollback()

@@ -102,8 +102,97 @@ class TestSnapshots:
 
 
 class TestConflicts:
-    def test_first_committer_wins(self):
+    def test_first_committer_wins_on_same_row(self):
         db, _ = _shared_db()
+        first = connect(database=db)
+        second = connect(database=db)
+        first.execute("BEGIN")
+        second.execute("BEGIN")
+        first.execute("UPDATE t SET b = 'first' WHERE a = 1")
+        second.execute("UPDATE t SET b = 'second' WHERE a = 1")
+        first.commit()
+        with pytest.raises(SerializationError, match="concurrent transaction"):
+            second.commit()
+        # The loser was rolled back; its connection is reusable.
+        assert not second.in_transaction
+        assert second.execute("SELECT b FROM t WHERE a = 1").fetchall() == [("first",)]
+        assert second.execute("SELECT b FROM t WHERE a = 2").fetchall() == [("y",)]
+
+    def test_disjoint_row_updates_both_commit(self):
+        # Row-level write sets: updating different rows of one table is
+        # not a conflict — the second commit merges onto the first.
+        db, observer = _shared_db()
+        first = connect(database=db)
+        second = connect(database=db)
+        first.execute("BEGIN")
+        second.execute("BEGIN")
+        first.execute("UPDATE t SET b = 'first' WHERE a = 1")
+        second.execute("UPDATE t SET b = 'second' WHERE a = 2")
+        first.commit()
+        second.commit()
+        assert observer.execute(
+            "SELECT a, b FROM t ORDER BY a"
+        ).fetchall() == [(1, "first"), (2, "second"), (3, "z")]
+
+    def test_update_vs_delete_of_same_row_conflicts(self):
+        db, _ = _shared_db()
+        first = connect(database=db)
+        second = connect(database=db)
+        first.execute("BEGIN")
+        second.execute("BEGIN")
+        first.execute("DELETE FROM t WHERE a = 1")
+        second.execute("UPDATE t SET b = 'late' WHERE a = 1")
+        first.commit()
+        with pytest.raises(SerializationError, match="concurrent transaction"):
+            second.commit()
+
+    def test_concurrent_inserts_never_conflict(self):
+        db, observer = _shared_db()
+        first = connect(database=db)
+        second = connect(database=db)
+        first.execute("BEGIN")
+        second.execute("BEGIN")
+        first.execute("INSERT INTO t VALUES (10, 'ten')")
+        second.execute("INSERT INTO t VALUES (11, 'eleven')")
+        first.commit()
+        second.commit()
+        assert observer.execute("SELECT count(*) FROM t").fetchall() == [(5,)]
+
+    def test_delete_merges_with_disjoint_update(self):
+        # One side deletes row 3 while the other updates row 1: both
+        # effects survive in the merged committed state.
+        db, observer = _shared_db()
+        first = connect(database=db)
+        second = connect(database=db)
+        first.execute("BEGIN")
+        second.execute("BEGIN")
+        first.execute("DELETE FROM t WHERE a = 3")
+        second.execute("UPDATE t SET b = 'kept' WHERE a = 1")
+        first.commit()
+        second.commit()
+        assert observer.execute(
+            "SELECT a, b FROM t ORDER BY a"
+        ).fetchall() == [(1, "kept"), (2, "y")]
+
+    def test_truncate_is_a_coarse_write(self):
+        # Whole-table operations keep table-granularity conflicts even
+        # against a disjoint-looking row write.
+        db, _ = _shared_db()
+        first = connect(database=db)
+        second = connect(database=db)
+        first.execute("BEGIN")
+        second.execute("BEGIN")
+        first.execute("UPDATE t SET b = 'gone?' WHERE a = 1")
+        second.execute("DELETE FROM t")  # full-table delete
+        first.commit()
+        with pytest.raises(SerializationError, match="concurrent transaction"):
+            second.commit()
+
+    def test_table_granularity_option_restores_coarse_conflicts(self):
+        db = Database(conflict_granularity="table")
+        setup = connect(database=db)
+        setup.run("CREATE TABLE t (a int, b text)")
+        setup.load_rows("t", [(1, "x"), (2, "y")])
         first = connect(database=db)
         second = connect(database=db)
         first.execute("BEGIN")
@@ -113,10 +202,6 @@ class TestConflicts:
         first.commit()
         with pytest.raises(SerializationError, match="concurrent transaction"):
             second.commit()
-        # The loser was rolled back; its connection is reusable.
-        assert not second.in_transaction
-        assert second.execute("SELECT b FROM t WHERE a = 1").fetchall() == [("first",)]
-        assert second.execute("SELECT b FROM t WHERE a = 2").fetchall() == [("y",)]
 
     def test_read_only_transactions_never_conflict(self):
         db, _ = _shared_db()

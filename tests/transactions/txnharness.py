@@ -12,11 +12,16 @@ schedule replays bit-identically from its seed.
 
 The oracle never looks inside the MVCC machinery. It keeps:
 
-* ``committed`` — the rows of every table, updated only when a COMMIT
-  is expected to succeed (serial commit order = step order);
-* per transaction: the committed state captured at its BEGIN (its
-  snapshot), and the *effective* DML list — savepoint/rollback-to are
-  modelled as plain list truncation, mirroring the SQL semantics.
+* ``committed`` — every table as a list of ``(row_id, row)`` pairs
+  (row ids are the *oracle's own*, assigned independently of the
+  engine's hidden identities), updated only when a COMMIT is expected
+  to succeed (serial commit order = step order);
+* ``last_write`` — for each oracle row id, the step index of the last
+  successful commit that updated or deleted it;
+* per transaction: the committed ``(row_id, row)`` state captured at
+  its BEGIN (its snapshot), and the *effective* DML list —
+  savepoint/rollback-to are modelled as plain list truncation,
+  mirroring the SQL semantics.
 
 Every read inside transaction T is then checked against first
 principles: re-create T's snapshot in a scratch single-session
@@ -26,10 +31,20 @@ guarantee deterministic row order). That is exactly the acceptance
 property "every transaction's reads are explainable by a serial order
 of the commits it observed, plus its own writes".
 
-Commit outcomes are predicted independently too: T's COMMIT must fail
-with :class:`repro.SerializationError` iff some table in T's effective
-write set was committed by another transaction after T's BEGIN
-(first-committer-wins at table granularity).
+Commit outcomes are predicted independently at **row granularity**: T's
+effective DML is replayed statement by statement over its snapshot
+while tracking row identities positionally (UPDATE preserves row order
+and count; DELETE keeps survivors in order, and since every predicate
+is content-based, content-equal rows always share its fate, so a
+greedy order-preserving match recovers exactly which ids died; INSERT
+appends fresh ids). A row enters T's write set only if a statement
+changed its content or deleted it. T's COMMIT must fail with
+:class:`repro.SerializationError` iff some id in that write set was
+written by another transaction's successful commit after T's BEGIN
+(first-committer-wins per row) — and must succeed otherwise, with T's
+per-row effects merged onto the current committed state exactly as the
+engine merges them (deleted ids dropped, updated ids rewritten in
+place, inserted rows appended).
 
 On any mismatch the runner raises :class:`ScheduleFailure` carrying the
 seed and the full step listing, and dumps it under
@@ -39,6 +54,7 @@ CI artifact.
 
 from __future__ import annotations
 
+import itertools
 import os
 import random
 from dataclasses import dataclass, field
@@ -255,21 +271,69 @@ class Scratch:
     def query(self, sql: str) -> list[tuple]:
         return self.conn.execute(sql).fetchall()
 
-    def changed_tables(
-        self, state: dict[str, list[tuple]], effective: list[tuple[str, str]]
-    ) -> set[str]:
-        """Which tables an effective DML list actually changes when
-        replayed over *state* (an UPDATE matching nothing is not a
-        write, so it cannot cause a serialization conflict)."""
-        self.reset(state)
-        changed: set[str] = set()
-        for sql, table in effective:
-            if self.conn.execute(sql).rowcount > 0:
-                changed.add(table)
-        return changed
-
     def close(self) -> None:
         self.conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Row-identity tracking (the oracle's own ids, independent of the engine)
+# ---------------------------------------------------------------------------
+
+Model = dict[str, list[tuple[int, tuple]]]  # table -> [(row_id, row), ...]
+
+
+def _content(model: Model) -> dict[str, list[tuple]]:
+    return {table: [row for _, row in pairs] for table, pairs in model.items()}
+
+
+def _replay_with_ids(
+    scratch: Scratch,
+    snapshot: Model,
+    effective: list[tuple[str, str]],
+    alloc,
+) -> tuple[Model, dict[str, set[int]]]:
+    """Replay *effective* DML over *snapshot*, tracking which oracle row
+    ids each statement updates (to different content) or deletes.
+    Returns the transaction's final model and its per-table write set.
+
+    Identity follows position: UPDATE preserves row order and count, so
+    position i keeps its id; DELETE preserves survivor order, and since
+    predicates are content-based, content-equal rows share the
+    predicate's fate — a greedy order-preserving match therefore
+    recovers the deleted ids exactly; INSERT appends rows with fresh
+    ids from *alloc*."""
+    model: Model = {table: list(snapshot[table]) for table in TABLES}
+    written: dict[str, set[int]] = {table: set() for table in TABLES}
+    scratch.reset(_content(model))
+    for sql, table in effective:
+        scratch.conn.execute(sql)
+        new_rows = scratch.query(DUMP_SQL[table])
+        pairs = model[table]
+        verb = sql.split(None, 1)[0].upper()
+        if verb == "INSERT":
+            for row in new_rows[len(pairs):]:
+                pairs.append((next(alloc), row))
+        elif verb == "UPDATE":
+            assert len(new_rows) == len(pairs), "UPDATE changed row count"
+            for i, row in enumerate(new_rows):
+                rid, previous = pairs[i]
+                if row != previous:
+                    pairs[i] = (rid, row)
+                    written[table].add(rid)
+        elif verb == "DELETE":
+            kept: list[tuple[int, tuple]] = []
+            cursor = 0
+            for rid, previous in pairs:
+                if cursor < len(new_rows) and new_rows[cursor] == previous:
+                    kept.append((rid, previous))
+                    cursor += 1
+                else:
+                    written[table].add(rid)
+            assert cursor == len(new_rows), "DELETE reordered surviving rows"
+            model[table] = kept
+        else:  # pragma: no cover - generator invariant
+            raise AssertionError(f"untracked DML verb {verb!r}")
+    return model, written
 
 
 # ---------------------------------------------------------------------------
@@ -280,7 +344,7 @@ class Scratch:
 @dataclass
 class _TxnState:
     conn: repro.Connection
-    snapshot: dict[str, list[tuple]] = field(default_factory=dict)
+    snapshot: Model = field(default_factory=dict)  # (row_id, row) pairs
     begin_step: int = -1
     # Effective DML after savepoint truncation (mirrors SQL semantics
     # with plain list operations — independent of the MVCC code).
@@ -291,6 +355,10 @@ class _TxnState:
     @property
     def dml(self) -> list[str]:
         return [sql for sql, _ in self.effective]
+
+    @property
+    def snapshot_rows(self) -> dict[str, list[tuple]]:
+        return _content(self.snapshot)
 
 
 def run_schedule(schedule: Schedule, engine: str = "row") -> dict[str, int]:
@@ -305,12 +373,16 @@ def run_schedule(schedule: Schedule, engine: str = "row") -> dict[str, int]:
         setup.load_rows(table, rows)
 
     scratch = Scratch()
-    # The serially-evolving committed state (updated only at commits).
-    committed: dict[str, list[tuple]] = {
-        table: list(rows) for table, rows in schedule.initial.items()
+    # The serially-evolving committed state, with the oracle's own row
+    # identities (updated only at commits).
+    alloc = itertools.count(1)
+    committed: Model = {
+        table: [(next(alloc), row) for row in rows]
+        for table, rows in schedule.initial.items()
     }
-    # Per-table step index of the last successful commit that wrote it.
-    last_commit: dict[str, int] = {table: -1 for table in TABLES}
+    # Per row id, the step index of the last successful commit that
+    # updated or deleted it (first-committer-wins at row granularity).
+    last_write: dict[int, int] = {}
 
     txns: dict[int, _TxnState] = {}
     counters = {"reads": 0, "commits": 0, "conflicts": 0, "rollbacks": 0}
@@ -327,7 +399,7 @@ def run_schedule(schedule: Schedule, engine: str = "row") -> dict[str, int]:
             conn.execute("BEGIN")
             txns[step.txn] = _TxnState(
                 conn=conn,
-                snapshot={table: list(rows) for table, rows in committed.items()},
+                snapshot={table: list(pairs) for table, pairs in committed.items()},
                 begin_step=index,
             )
             continue
@@ -346,10 +418,10 @@ def run_schedule(schedule: Schedule, engine: str = "row") -> dict[str, int]:
                     break
         elif step.kind == "read":
             actual = state.conn.execute(step.sql)
-            scratch.replay(state.snapshot, state.dml)
+            scratch.replay(state.snapshot_rows, state.dml)
             expected_rows = scratch.query(step.sql)
             if actual.fetchall() != expected_rows:
-                scratch.replay(state.snapshot, state.dml)
+                scratch.replay(state.snapshot_rows, state.dml)
                 fail(
                     index,
                     step,
@@ -369,12 +441,18 @@ def run_schedule(schedule: Schedule, engine: str = "row") -> dict[str, int]:
                 table: state.conn.execute(DUMP_SQL[table]).fetchall()
                 for table in TABLES
             }
-            if observed != committed:
-                fail(index, step, f"ROLLBACK leaked writes: {observed} != {committed}")
+            if observed != _content(committed):
+                fail(index, step, f"ROLLBACK leaked writes: {observed}")
             state.conn.close()
         elif step.kind == "commit":
-            writes = scratch.changed_tables(state.snapshot, state.effective)
-            conflict = any(last_commit[table] > state.begin_step for table in writes)
+            model, written = _replay_with_ids(
+                scratch, state.snapshot, state.effective, alloc
+            )
+            conflict = any(
+                last_write.get(rid, -1) > state.begin_step
+                for table in TABLES
+                for rid in written[table]
+            )
             if conflict:
                 try:
                     state.conn.execute("COMMIT")
@@ -388,23 +466,46 @@ def run_schedule(schedule: Schedule, engine: str = "row") -> dict[str, int]:
                 except SerializationError as error:
                     fail(index, step, f"unexpected serialization failure: {error}")
                 counters["commits"] += 1
-                # Install the transaction's replayed writes serially.
-                scratch.replay(state.snapshot, state.dml)
-                replayed = scratch.dump()
-                for table in writes:
-                    committed[table] = replayed[table]
-                    last_commit[table] = index
+                # Merge the transaction's per-row effects onto the
+                # current committed state (exactly the engine's merge:
+                # deleted ids dropped, updated ids rewritten in place,
+                # inserted rows appended in the transaction's order).
+                for table in TABLES:
+                    snapshot_ids = {rid for rid, _ in state.snapshot[table]}
+                    content = {rid: row for rid, row in model[table]}
+                    deleted = {
+                        rid for rid in written[table] if rid not in content
+                    }
+                    updated = written[table] - deleted
+                    inserted = [
+                        (rid, row)
+                        for rid, row in model[table]
+                        if rid not in snapshot_ids
+                    ]
+                    if not (written[table] or inserted):
+                        continue
+                    merged: list[tuple[int, tuple]] = []
+                    for rid, row in committed[table]:
+                        if rid in deleted:
+                            continue
+                        merged.append((rid, content[rid]) if rid in updated else (rid, row))
+                    merged.extend(inserted)
+                    committed[table] = merged
+                    for rid in written[table]:
+                        last_write[rid] = index
+                    for rid, _ in inserted:
+                        last_write[rid] = index
             state.finished = True
             # Either way the connection now reads the latest committed state.
             observed = {
                 table: state.conn.execute(DUMP_SQL[table]).fetchall()
                 for table in TABLES
             }
-            if observed != committed:
+            if observed != _content(committed):
                 fail(
                     index,
                     step,
-                    f"post-commit state diverged:\n  expected {committed}\n"
+                    f"post-commit state diverged:\n  expected {_content(committed)}\n"
                     f"  observed {observed}",
                 )
             state.conn.close()
@@ -413,10 +514,10 @@ def run_schedule(schedule: Schedule, engine: str = "row") -> dict[str, int]:
 
     # Final convergence: a fresh session sees exactly the serial result.
     final = {table: setup.execute(DUMP_SQL[table]).fetchall() for table in TABLES}
-    if final != committed:
+    if final != _content(committed):
         raise ScheduleFailure(
             f"final state diverged from serial commit order:\n"
-            f"  expected {committed}\n  observed {final}",
+            f"  expected {_content(committed)}\n  observed {final}",
             schedule,
             engine,
         )
