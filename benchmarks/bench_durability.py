@@ -1,0 +1,195 @@
+"""Durability benchmark: commit latency per mode plus recovery time.
+
+Two experiments:
+
+1. **Commit latency by durability mode** — a single writer commits
+   ``$BENCH_DURABILITY_COMMITS`` (default 200) small transactions against
+   a persistent database in each durability mode, and reports p50/p99
+   commit latency plus the in-memory baseline. The expected shape:
+   ``off`` ≈ in-memory (the WAL append is buffered), ``os`` adds a flush,
+   ``fsync`` pays the disk — the price of power-loss safety in one
+   number.
+
+2. **Recovery time vs WAL length** — the same workload re-opened at
+   several WAL lengths (no checkpoint, so every commit replays), plus
+   once more after a ``CHECKPOINT`` rotated the log. Recovery time must
+   grow with the replay backlog and collapse after the checkpoint.
+
+Results go to ``BENCH_durability.json`` (override with
+$BENCH_DURABILITY_JSON) so CI can archive the durability trajectory
+across PRs.
+
+Reproduce with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_durability.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+
+from conftest import print_table
+
+from repro.engine.database import Database
+from repro.storage.wal import DURABILITY_MODES
+
+COMMITS = int(os.environ.get("BENCH_DURABILITY_COMMITS", "200"))
+RECOVERY_POINTS = (50, 200, 800)
+
+
+def _artifact_path() -> str:
+    return os.environ.get("BENCH_DURABILITY_JSON", "BENCH_durability.json")
+
+
+def _merge_artifact(update: dict) -> None:
+    path = _artifact_path()
+    payload = {}
+    if os.path.exists(path):
+        with open(path) as handle:
+            payload = json.load(handle)
+    payload.update(update)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"\nwrote {path}")
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _run_commits(db: Database, commits: int) -> list[float]:
+    """Time *commits* single-row insert transactions; returns seconds."""
+    conn = db.connect()
+    conn.run("CREATE TABLE bench (id int, val int)")
+    latencies: list[float] = []
+    for i in range(commits):
+        started = time.perf_counter()
+        conn.run("BEGIN")
+        conn.run(f"INSERT INTO bench VALUES ({i}, {i * 7 % 100})")
+        conn.run("COMMIT")
+        latencies.append(time.perf_counter() - started)
+    return latencies
+
+
+# ---------------------------------------------------------------------------
+# Experiment 1: commit latency by durability mode
+# ---------------------------------------------------------------------------
+
+
+def test_commit_latency_by_durability_mode(tmp_path):
+    results: dict[str, dict] = {}
+
+    db = Database()
+    try:
+        baseline = _run_commits(db, COMMITS)
+    finally:
+        db.close()
+    results["memory"] = {
+        "p50_ms": round(_percentile(baseline, 0.5) * 1000, 4),
+        "p99_ms": round(_percentile(baseline, 0.99) * 1000, 4),
+        "mean_ms": round(statistics.mean(baseline) * 1000, 4),
+    }
+
+    for mode in DURABILITY_MODES:
+        with Database(path=str(tmp_path / f"db-{mode}"), durability=mode) as db:
+            latencies = _run_commits(db, COMMITS)
+            stats = db.wal_stats()
+        results[mode] = {
+            "p50_ms": round(_percentile(latencies, 0.5) * 1000, 4),
+            "p99_ms": round(_percentile(latencies, 0.99) * 1000, 4),
+            "mean_ms": round(statistics.mean(latencies) * 1000, 4),
+            "wal_bytes": stats["wal_bytes"],
+            "fsyncs": stats["fsyncs"],
+        }
+
+    # Sanity, not speed: fsync must actually fsync (once per commit plus
+    # the DDL record), and "off" must never fsync on the commit path.
+    assert results["fsync"]["fsyncs"] >= COMMITS
+    assert results["off"]["fsyncs"] == 0
+
+    print_table(
+        f"commit latency, {COMMITS} single-row transactions",
+        ["mode", "p50_ms", "p99_ms", "mean_ms"],
+        [
+            (mode, stats["p50_ms"], stats["p99_ms"], stats["mean_ms"])
+            for mode, stats in results.items()
+        ],
+    )
+    _merge_artifact({"commit_latency": {"commits": COMMITS, "modes": results}})
+
+
+# ---------------------------------------------------------------------------
+# Experiment 2: recovery time vs WAL length
+# ---------------------------------------------------------------------------
+
+
+def test_recovery_time_vs_wal_length(tmp_path):
+    trajectory = []
+    d = str(tmp_path / "db")
+    total = 0
+    for target in RECOVERY_POINTS:
+        with Database(path=d, durability="off") as db:
+            conn = db.connect()
+            if total == 0:
+                conn.run("CREATE TABLE bench (id int, val int)")
+            for i in range(total, target):
+                conn.run("BEGIN")
+                conn.run(f"INSERT INTO bench VALUES ({i}, {i})")
+                conn.run("COMMIT")
+            total = target
+            wal_bytes = db.wal_stats()["wal_bytes"]
+        started = time.perf_counter()
+        with Database(path=d, durability="off") as db:
+            recovery = db.wal_stats()
+            rows = db.connect().run("SELECT count(*) FROM bench").rows[0][0]
+        wall_ms = round((time.perf_counter() - started) * 1000, 2)
+        assert rows == target
+        trajectory.append(
+            {
+                "commits": target,
+                "wal_bytes": wal_bytes,
+                "records_replayed": recovery["records_replayed"],
+                "recovery_ms": recovery["recovery_ms"],
+                "reopen_wall_ms": wall_ms,
+            }
+        )
+
+    # After a checkpoint the snapshot carries everything: nothing replays.
+    with Database(path=d, durability="off") as db:
+        db.connect().run("CHECKPOINT")
+    started = time.perf_counter()
+    with Database(path=d, durability="off") as db:
+        recovery = db.wal_stats()
+        rows = db.connect().run("SELECT count(*) FROM bench").rows[0][0]
+    assert rows == total
+    assert recovery["records_replayed"] == 0
+    trajectory.append(
+        {
+            "commits": total,
+            "wal_bytes": 0,
+            "records_replayed": 0,
+            "recovery_ms": recovery["recovery_ms"],
+            "reopen_wall_ms": round((time.perf_counter() - started) * 1000, 2),
+            "checkpointed": True,
+        }
+    )
+
+    print_table(
+        "recovery time vs WAL length",
+        ["commits", "wal_bytes", "replayed", "recovery_ms"],
+        [
+            (
+                point["commits"],
+                point["wal_bytes"],
+                point["records_replayed"],
+                point["recovery_ms"],
+            )
+            for point in trajectory
+        ],
+    )
+    _merge_artifact({"recovery": trajectory})

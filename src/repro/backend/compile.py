@@ -518,6 +518,13 @@ class SQLiteCompiler:
                 return SQLType.NULL
 
         def gate(e: ax.Expr) -> Optional[ax.Expr]:
+            if isinstance(e, ax.Const) and isinstance(e.value, float) and (
+                e.value != e.value or e.value in (float("inf"), float("-inf"))
+            ):
+                # repr() would render a bare `inf`/`nan` token, which
+                # SQLite reads as a column name; there is no SQLite
+                # literal with identical semantics.
+                raise Unsupported("non-finite float constant")
             if isinstance(e, ax.UnOp):
                 ot = static_type(e.operand)
                 if e.op == "-" and ot in (SQLType.BOOL, SQLType.TEXT):

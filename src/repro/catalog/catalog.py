@@ -93,6 +93,10 @@ class Catalog:
         self._tables: dict[str, TableEntry] = {}
         self._views: dict[str, ViewEntry] = {}
         self.version = 0
+        # Schema-change observer (set by repro.storage.persist so DDL —
+        # which is non-transactional and bypasses the commit hook — still
+        # reaches the write-ahead log). None for in-memory databases.
+        self.observer = None
 
     # -- tables ---------------------------------------------------------
     def create_table(
@@ -110,6 +114,8 @@ class Catalog:
         entry = TableEntry(name=name, table=HeapTable(name, schema), provenance_attrs=provenance_attrs)
         self._tables[key] = entry
         self.version += 1
+        if self.observer is not None:
+            self.observer.on_create_table(entry)
         return entry
 
     def drop_table(self, name: str, if_exists: bool = False) -> bool:
@@ -120,6 +126,8 @@ class Catalog:
             raise CatalogError(f"table {name!r} does not exist")
         del self._tables[key]
         self.version += 1
+        if self.observer is not None:
+            self.observer.on_drop_relation("table", name)
         return True
 
     def table(self, name: str) -> TableEntry:
@@ -152,6 +160,8 @@ class Catalog:
         entry = ViewEntry(name=name, query=query, sql=sql, provenance_attrs=provenance_attrs)
         self._views[key] = entry
         self.version += 1
+        if self.observer is not None:
+            self.observer.on_create_view(entry)
         return entry
 
     def drop_view(self, name: str, if_exists: bool = False) -> bool:
@@ -162,6 +172,8 @@ class Catalog:
             raise CatalogError(f"view {name!r} does not exist")
         del self._views[key]
         self.version += 1
+        if self.observer is not None:
+            self.observer.on_drop_relation("view", name)
         return True
 
     def view(self, name: str) -> ViewEntry:
@@ -196,6 +208,8 @@ class Catalog:
         else:
             raise CatalogError(f"relation {name!r} does not exist")
         self.version += 1
+        if self.observer is not None:
+            self.observer.on_register_provenance(name, attrs)
 
     def provenance_attrs(self, name: str) -> tuple[str, ...]:
         key = name.lower()

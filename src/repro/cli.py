@@ -130,12 +130,33 @@ class Shell:
 
 def main(argv: Optional[list[str]] = None) -> int:
     """Entry point for ``python -m repro`` (interactive or piped)."""
-    argv = sys.argv[1:] if argv is None else argv
+    argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "serve":
         from .server.__main__ import main as serve_main
 
         return serve_main(argv[1:])
-    shell = Shell()
+    # A durable shell: `python -m repro --data-dir DIR [--durability M]`
+    # opens (or creates) a persistent database instead of an in-memory
+    # one. Remaining arguments are SQL script files, as before.
+    data_dir = None
+    durability = "fsync"
+    while argv and argv[0] in ("--data-dir", "--durability"):
+        if len(argv) < 2:
+            print(f"{argv[0]} requires a value", file=sys.stderr)
+            return 2
+        flag, value = argv[0], argv[1]
+        if flag == "--data-dir":
+            data_dir = value
+        else:
+            durability = value
+        del argv[:2]
+    if data_dir is not None:
+        from .engine.database import Database
+
+        database = Database(path=data_dir, durability=durability)
+        shell = Shell(db=Connection(database=database))
+    else:
+        shell = Shell()
     if argv:
         # Execute files given on the command line, then exit.
         for path in argv:

@@ -22,6 +22,7 @@ witnesses.
 from __future__ import annotations
 
 import enum
+import math
 from typing import Any
 
 from .errors import ExecutionError, TypeCheckError
@@ -371,3 +372,32 @@ def value_identity(value: Value) -> tuple[int, Any]:
 def row_identity(row: tuple[Value, ...]) -> tuple[tuple[int, Any], ...]:
     """Identity key for a whole tuple (used by DISTINCT, set ops, hash joins)."""
     return tuple(value_identity(v) for v in row)
+
+
+# ---------------------------------------------------------------------------
+# JSON-safe value encoding (shared by the wire protocol and the WAL)
+# ---------------------------------------------------------------------------
+
+# RFC 8259 JSON has no Infinity/NaN literals, so non-finite floats travel
+# as tagged one-key objects. Unambiguous: SQL values are scalars, never
+# objects, so a dict on the wire can only be a tag.
+_NONFINITE_DECODE = {"inf": math.inf, "-inf": -math.inf, "nan": math.nan}
+
+
+def to_jsonsafe_value(value: Value) -> object:
+    """Encode one SQL value for strict (``allow_nan=False``) JSON."""
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return {"$f": "nan"}
+        return {"$f": "inf" if value > 0 else "-inf"}
+    return value
+
+
+def from_jsonsafe_value(value: object) -> Value:
+    """Decode one value produced by :func:`to_jsonsafe_value`."""
+    if isinstance(value, dict):
+        decoded = _NONFINITE_DECODE.get(value.get("$f"))  # type: ignore[arg-type]
+        if decoded is not None or value.get("$f") == "nan":
+            return decoded if decoded is not None else math.nan
+        raise TypeCheckError(f"unknown tagged wire value: {value!r}")
+    return value  # type: ignore[return-value]

@@ -389,6 +389,19 @@ class Connection:
             relation: Optional[Relation] = None
             total = 0
             counted = True
+            if not param_sets:
+                # PEP 249: an empty parameter sequence affects zero rows
+                # — but the statement must still be validated (parse
+                # errors and missing relations surface either way).
+                if isinstance(statement, ast.QueryStatement):
+                    self._prepared_for(statement)
+                    return None, 0
+                if isinstance(statement, ast.Insert) and statement.rows is not None:
+                    self._prepare_insert(statement)
+                elif isinstance(statement, (ast.Insert, ast.Delete, ast.Update)):
+                    self.catalog.table(statement.table)
+                verb = type(statement).__name__.upper()
+                return _status(f"{verb} 0"), 0
             if isinstance(statement, ast.Insert) and statement.rows is not None:
                 # Bulk-INSERT fast path: analyze and compile the VALUES
                 # expressions once, rebind per parameter set.
@@ -437,6 +450,11 @@ class Connection:
                     "transaction control statements take no parameters"
                 )
             return self._execute_transaction_control(statement), -1
+        if isinstance(statement, ast.Checkpoint):
+            if params:
+                raise ProgrammingError("CHECKPOINT takes no parameters")
+            performed = self.database.checkpoint()
+            return _status("CHECKPOINT" if performed else "CHECKPOINT (in-memory)"), -1
         if isinstance(statement, self._DDL_STATEMENTS):
             if self.in_transaction:
                 raise OperationalError(

@@ -16,6 +16,13 @@ their own thread), but they see the same tables — with snapshot
 isolation between their transactions, coordinated by the database's
 :class:`~repro.storage.mvcc.TransactionManager`.
 
+A database is in-memory by default; ``Database(path="...")`` opens (or
+creates) a durable one backed by a checkpoint snapshot plus a
+write-ahead log (:mod:`repro.storage.persist`): commits are logged and
+made durable *before* they install, recovery replays the committed
+prefix after a crash, and ``CHECKPOINT`` (or a log-size threshold)
+rewrites the snapshot and rotates the log.
+
 DDL (CREATE/DROP of tables and views) is non-transactional and is not
 synchronized beyond the GIL; perform schema changes from a single
 session before concurrent traffic starts.
@@ -23,15 +30,31 @@ session before concurrent traffic starts.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..catalog.catalog import Catalog
 from ..storage.mvcc import Transaction, TransactionManager
 
 
 class Database:
     """Shared storage: a catalog and the MVCC transaction manager
-    coordinating the connections attached to it."""
+    coordinating the connections attached to it — optionally durable.
 
-    def __init__(self, conflict_granularity: str = "row") -> None:
+    ``path`` — a data directory to open/create (``None``: in-memory).
+    ``durability`` — how hard COMMIT lands in the log: ``"fsync"``
+    (default; survives power loss), ``"os"`` (survives process crash)
+    or ``"off"`` (buffered). ``checkpoint_bytes`` — rewrite the
+    snapshot whenever the log outgrows this (0 disables the automatic
+    checkpointer; ``CHECKPOINT`` still works).
+    """
+
+    def __init__(
+        self,
+        conflict_granularity: str = "row",
+        path: Optional[str] = None,
+        durability: str = "fsync",
+        checkpoint_bytes: Optional[int] = None,
+    ) -> None:
         self.catalog = Catalog()
         # "row" (default): first-committer-wins per row identity, so
         # transactions updating disjoint rows of one table both commit.
@@ -41,6 +64,25 @@ class Database:
             lambda: [entry.table for entry in self.catalog.tables],
             granularity=conflict_granularity,
         )
+        self.storage = None
+        if path is not None:
+            from ..storage.persist import DEFAULT_CHECKPOINT_BYTES, PersistentStore
+
+            self.storage = PersistentStore(
+                path,
+                durability=durability,
+                checkpoint_bytes=(
+                    DEFAULT_CHECKPOINT_BYTES
+                    if checkpoint_bytes is None
+                    else checkpoint_bytes
+                ),
+            )
+            self.storage.open_into(self)
+
+    @property
+    def persistent(self) -> bool:
+        """Whether this database is backed by a data directory."""
+        return self.storage is not None
 
     def begin(self) -> Transaction:
         """Start a snapshot-isolated transaction (used by connections;
@@ -54,6 +96,42 @@ class Database:
 
         return Connection(database=self, **kwargs)
 
+    def checkpoint(self) -> bool:
+        """Write a durable snapshot and rotate the write-ahead log.
+        Returns False (a no-op) for in-memory databases."""
+        if self.storage is None:
+            return False
+        self.storage.checkpoint()
+        return True
+
+    def gc_stats(self) -> dict:
+        """Version-GC counters (see
+        :meth:`repro.storage.mvcc.TransactionManager.gc_stats`)."""
+        return self.manager.gc_stats()
+
+    def wal_stats(self) -> dict:
+        """Durability counters: log size, appends/fsyncs, checkpoints,
+        and the last recovery's replay/truncation work. For in-memory
+        databases only ``{"enabled": False}``."""
+        if self.storage is None:
+            return {"enabled": False}
+        return self.storage.wal_stats()
+
+    def close(self) -> None:
+        """Flush and detach the persistence layer (idempotent; a no-op
+        for in-memory databases). Connections stay usable, but further
+        writes are no longer logged."""
+        if self.storage is not None:
+            self.storage.close()
+            self.storage = None
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         tables = len(self.catalog.tables)
-        return f"<repro.Database {tables} table(s)>"
+        suffix = f" at {self.storage.path!r}" if self.storage is not None else ""
+        return f"<repro.Database {tables} table(s){suffix}>"

@@ -45,6 +45,29 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-workers", type=int, default=8)
     parser.add_argument("--max-pending", type=int, default=128)
     parser.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="DIR",
+        help="open (or create) a durable database in this directory: "
+        "committed transactions survive restarts via a checkpoint "
+        "snapshot plus write-ahead log (default: in-memory)",
+    )
+    parser.add_argument(
+        "--durability",
+        default="fsync",
+        choices=("fsync", "os", "off"),
+        help="how hard COMMIT lands in the WAL (fsync: power-loss safe; "
+        "os: crash safe; off: buffered). Only with --data-dir",
+    )
+    parser.add_argument(
+        "--checkpoint-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="rewrite the snapshot whenever the WAL exceeds N bytes "
+        "(0 disables the automatic checkpointer)",
+    )
+    parser.add_argument(
         "--init",
         default=None,
         metavar="SCRIPT.sql",
@@ -55,7 +78,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    database = Database(conflict_granularity=args.granularity)
+    database = Database(
+        conflict_granularity=args.granularity,
+        path=args.data_dir,
+        durability=args.durability,
+        checkpoint_bytes=args.checkpoint_bytes,
+    )
+    if database.persistent:
+        recovered = database.wal_stats()
+        print(
+            f"recovered {args.data_dir}: "
+            f"{len(database.catalog.tables)} table(s), "
+            f"{recovered['records_replayed']} WAL record(s) replayed, "
+            f"{recovered['torn_bytes_truncated']} torn byte(s) truncated "
+            f"in {recovered['recovery_ms']} ms",
+            flush=True,
+        )
     if args.init:
         with open(args.init, "r", encoding="utf-8") as handle:
             script = handle.read()
@@ -83,6 +121,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         asyncio.run(serve())
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)
+    finally:
+        database.close()
     return 0
 
 

@@ -57,7 +57,13 @@ class PreparedHandle:
 
     def execute(self, params: Optional[object] = None) -> QueryResult:
         return QueryResult(
-            self._client.request({"op": "execute", "handle": self.handle, "params": params})
+            self._client.request(
+                {
+                    "op": "execute",
+                    "handle": self.handle,
+                    "params": protocol.params_to_wire(params),
+                }
+            )
         )
 
 
@@ -116,7 +122,11 @@ class ServerClient:
     # SQL surface
     # ------------------------------------------------------------------
     def query(self, sql: str, params: Optional[object] = None) -> QueryResult:
-        return QueryResult(self.request({"op": "query", "sql": sql, "params": params}))
+        return QueryResult(
+            self.request(
+                {"op": "query", "sql": sql, "params": protocol.params_to_wire(params)}
+            )
+        )
 
     execute = query  # DB-API-flavored alias
 

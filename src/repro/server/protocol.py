@@ -36,6 +36,7 @@ import struct
 from typing import Optional
 
 from .. import errors
+from ..datatypes import from_jsonsafe_value, to_jsonsafe_value
 
 # 4-byte big-endian unsigned frame length.
 _HEADER = struct.Struct(">I")
@@ -59,8 +60,20 @@ _RETRYABLE = (errors.SerializationError, errors.ServerBusy)
 
 
 def encode_frame(message: dict) -> bytes:
-    """One wire frame: header plus compact JSON."""
-    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    """One wire frame: header plus compact, strictly RFC 8259 JSON.
+
+    ``allow_nan=False`` because Python's default would emit bare
+    ``Infinity``/``NaN`` tokens no strict parser accepts; non-finite
+    floats must be tagged first (:func:`rows_to_wire` /
+    :func:`params_to_wire` do this for every value-carrying field)."""
+    try:
+        body = json.dumps(
+            message, separators=(",", ":"), allow_nan=False
+        ).encode("utf-8")
+    except ValueError as exc:
+        raise errors.OperationalError(
+            f"frame is not strictly JSON-encodable: {exc}"
+        ) from exc
     if len(body) > MAX_FRAME_BYTES:
         raise errors.OperationalError(
             f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
@@ -111,10 +124,29 @@ def exception_from_payload(error: dict) -> Exception:
 
 
 def rows_to_wire(rows) -> list[list]:
-    """Result rows as JSON arrays (all SQL values — int, float, text,
-    bool, NULL — are JSON-native)."""
-    return [list(row) for row in rows]
+    """Result rows as JSON arrays. SQL values are JSON-native except
+    non-finite floats (``1e308 * 10``), which travel as tagged objects
+    so the frame stays strict RFC 8259 JSON."""
+    return [[to_jsonsafe_value(value) for value in row] for row in rows]
 
 
 def rows_from_wire(rows: Optional[list]) -> list[tuple]:
-    return [tuple(row) for row in rows or []]
+    return [tuple(from_jsonsafe_value(value) for value in row) for row in rows or []]
+
+
+def params_to_wire(params: Optional[object]) -> Optional[object]:
+    """Statement parameters (positional list or named mapping) with the
+    same non-finite tagging as result rows."""
+    if isinstance(params, (list, tuple)):
+        return [to_jsonsafe_value(value) for value in params]
+    if isinstance(params, dict):
+        return {name: to_jsonsafe_value(value) for name, value in params.items()}
+    return params
+
+
+def params_from_wire(params: Optional[object]) -> Optional[object]:
+    if isinstance(params, list):
+        return [from_jsonsafe_value(value) for value in params]
+    if isinstance(params, dict):
+        return {name: from_jsonsafe_value(value) for name, value in params.items()}
+    return params

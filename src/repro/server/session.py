@@ -172,7 +172,8 @@ class Session:
             "ok": True,
             "session": self.stats.snapshot(retries=retries),
             "server": self._server_snapshot(),
-            "gc": self.database.manager.gc_stats(),
+            "gc": self.database.gc_stats(),
+            "wal": self.database.wal_stats(),
         }
 
     # ------------------------------------------------------------------
@@ -203,7 +204,7 @@ class Session:
 def _params(message: dict):
     params = message.get("params")
     if params is None or isinstance(params, (list, dict)):
-        return params
+        return protocol.params_from_wire(params)
     raise ProgrammingError("params must be a list (positional) or object (named)")
 
 

@@ -373,6 +373,13 @@ class TransactionControl(Statement):
     savepoint: Optional[str] = None
 
 
+@dataclass
+class Checkpoint(Statement):
+    """``CHECKPOINT`` — force a durable snapshot + WAL rotation on a
+    persistent database (a no-op on in-memory ones). Like transaction
+    control it never enters the query pipeline."""
+
+
 def statement_parameters(statement: Statement) -> tuple[Optional[str], ...]:
     """Parameter slots of a parsed statement, in slot order.
 

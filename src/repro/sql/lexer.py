@@ -44,6 +44,7 @@ KEYWORDS = frozenset(
     provenance baserelation contribution influence copy partial complete
     transitive explain analyze rewrite algebra plan
     begin commit rollback savepoint release start transaction work to
+    checkpoint
     count sum avg min max
     primary key references default unique check
     """.split()

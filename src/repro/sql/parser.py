@@ -157,6 +157,9 @@ class Parser:
             return self._parse_explain()
         if self._at_keyword("BEGIN", "START", "COMMIT", "ROLLBACK", "SAVEPOINT", "RELEASE"):
             return self._parse_transaction_control()
+        if self._at_keyword("CHECKPOINT"):
+            self._advance()
+            return ast.Checkpoint()
         token = self._peek()
         raise ParseError(f"unexpected start of statement: {token.text!r}", token.line, token.column)
 

@@ -266,4 +266,6 @@ def format_statement(statement: ast.Statement) -> str:
         if statement.action == "rollback_to":
             return f"ROLLBACK TO SAVEPOINT {name}"
         return f"RELEASE SAVEPOINT {name}"
+    if isinstance(statement, ast.Checkpoint):
+        return "CHECKPOINT"
     raise TypeError(f"cannot format statement {type(statement).__name__}")

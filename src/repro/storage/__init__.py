@@ -1,5 +1,8 @@
-"""In-memory storage layer: multi-versioned heap tables, snapshot
-transactions (MVCC) and result relations."""
+"""Storage layer: multi-versioned heap tables, snapshot transactions
+(MVCC), result relations, and the optional durability engine (checkpoint
+snapshots + write-ahead log in :mod:`repro.storage.persist`)."""
 
 from .mvcc import Transaction, TransactionManager, activate, current_transaction  # noqa: F401
+from .persist import PersistentStore  # noqa: F401
 from .table import HeapTable, Relation  # noqa: F401
+from .wal import WriteAheadLog  # noqa: F401

@@ -114,6 +114,28 @@ def current_commit_seq() -> int:
     return _commit_seq
 
 
+def current_stamp() -> int:
+    """The latest allocated version stamp."""
+    return _stamp
+
+
+def current_row_id() -> int:
+    """The latest allocated row identity."""
+    return _row_id
+
+
+def raise_counters(stamp: int = 0, commit_seq: int = 0, row_id: int = 0) -> None:
+    """Raise the global counters to at least the given values (never
+    lowers them). Recovery calls this after replaying a write-ahead log
+    so stamps, commit sequences and row identities allocated after a
+    restart stay monotone with every value the log recorded."""
+    global _stamp, _commit_seq, _row_id
+    with _counter_lock:
+        _stamp = max(_stamp, stamp)
+        _commit_seq = max(_commit_seq, commit_seq)
+        _row_id = max(_row_id, row_id)
+
+
 def new_row_ids(count: int) -> list[int]:
     """Allocate *count* fresh row identities (one lock round-trip per
     batch, so bulk inserts stay cheap)."""
@@ -209,14 +231,26 @@ class _Working:
         "_extra_ids",
         "_rows",
         "_ids",
+        "_base_is_snapshot",
         "version",
         "written",
         "coarse",
     )
 
-    def __init__(self, base: list["Row"], base_ids: list[int], version: int):
+    def __init__(
+        self,
+        base: list["Row"],
+        base_ids: list[int],
+        version: int,
+        base_is_snapshot: bool = True,
+    ):
         self._base: Optional[list["Row"]] = base
         self._base_ids: Optional[list[int]] = base_ids
+        # Whether the base lists *are* the transaction's snapshot of the
+        # table (false after a savepoint restore, whose base is the
+        # saved mid-transaction rows) — the condition under which the
+        # overlay's extra rows alone describe the delta vs the snapshot.
+        self._base_is_snapshot = base_is_snapshot
         self._extra: list["Row"] = []
         self._extra_ids: list[int] = []
         self._rows: Optional[list["Row"]] = None
@@ -282,6 +316,16 @@ class _Working:
             return self._base, self._base_ids
         return self._base + self._extra, self._base_ids + self._extra_ids
 
+    def pending_append(self) -> Optional[tuple[list["Row"], list[int]]]:
+        """The (rows, ids) appended on top of the snapshot, if this
+        working copy is still a pure snapshot overlay — the cheap exact
+        delta for WAL records (``None`` once materialized, replaced, or
+        rebased onto a savepoint)."""
+        if self._rows is None and self._base_is_snapshot:
+            assert not self.written and not self.coarse
+            return self._extra, self._extra_ids
+        return None
+
     def save(self) -> tuple[list["Row"], list[int], int, set[int], bool]:
         """Snapshot for SAVEPOINT (independent copies of the mutable
         lists; the row tuples themselves are immutable)."""
@@ -292,6 +336,52 @@ class _Working:
             set(self.written),
             self.coarse,
         )
+
+
+class CommitChange:
+    """One table's share of a commit, handed to the manager's
+    ``on_commit`` hook *before* the new state installs (the write-ahead
+    ordering: log, make durable, only then install).
+
+    Exactly one of two shapes:
+
+    * ``appended`` is not ``None`` — an append-only overlay commit; the
+      new state is ``previous`` plus the appended rows/ids.
+    * otherwise ``rows``/``ids`` are the complete new state (and
+      ``previous`` is what it supersedes; ``coarse`` marks whole-table
+      writes whose row-level delta is meaningless).
+    """
+
+    __slots__ = (
+        "table",
+        "previous",
+        "version",
+        "rows",
+        "ids",
+        "appended",
+        "appended_ids",
+        "coarse",
+    )
+
+    def __init__(
+        self,
+        table: "HeapTable",
+        previous: tuple[list["Row"], int, list[int]],
+        version: int,
+        rows: Optional[list["Row"]],
+        ids: Optional[list[int]],
+        appended: Optional[list["Row"]],
+        appended_ids: Optional[list[int]],
+        coarse: bool,
+    ):
+        self.table = table
+        self.previous = previous
+        self.version = version
+        self.rows = rows
+        self.ids = ids
+        self.appended = appended
+        self.appended_ids = appended_ids
+        self.coarse = coarse
 
 
 class Transaction:
@@ -427,7 +517,7 @@ class Transaction:
                 # stamp named, so statistics and plan deps recorded
                 # against it become valid again.
                 rows, ids, version, written, coarse = state
-                restored = _Working(rows, ids, version)
+                restored = _Working(rows, ids, version, base_is_snapshot=False)
                 restored.written = set(written)
                 restored.coarse = coarse
                 self._working[table] = restored
@@ -551,9 +641,14 @@ class Transaction:
             # becomes permanently unmatchable, so every stamp-keyed
             # cache revalidates).
             solo = manager.is_solo(self)
+            # Stage every table's new state *before* installing any of
+            # it, so the write-ahead hook sees the complete commit while
+            # no table has changed yet (log -> make durable -> install).
+            pending: list[tuple["HeapTable", _Working, CommitChange]] = []
             for table, working in self._working.items():
                 previous = table._state
                 merged = merges.get(table)
+                appended = appended_ids = None
                 if merged is not None:
                     # Merged content includes other transactions' rows:
                     # it is a state no stamp has ever named, so it gets
@@ -561,21 +656,63 @@ class Transaction:
                     rows, ids = merged
                     version = next_stamp()
                 else:
-                    in_place = solo and not table._history
-                    rows, ids = working.final_state(in_place=in_place)
                     # The working stamp already names exactly this
                     # content, so it is reused: plans prepared inside
                     # the transaction against its final state stay
                     # valid after the commit.
                     version = working.version
-                table._state = (rows, version, ids)
+                    overlay = working.pending_append()
+                    if overlay is not None:
+                        # Append-only: keep the overlay unmaterialized
+                        # so the install below may extend in place.
+                        appended, appended_ids = overlay
+                        rows = ids = None
+                    else:
+                        rows, ids = working.final_state()
+                pending.append(
+                    (
+                        table,
+                        working,
+                        CommitChange(
+                            table,
+                            previous,
+                            version,
+                            rows,
+                            ids,
+                            appended,
+                            appended_ids,
+                            working.coarse,
+                        ),
+                    )
+                )
+            if manager.on_commit is not None:
+                try:
+                    manager.on_commit(seq, [change for _, _, change in pending])
+                except BaseException:
+                    # The commit record never became durable: abort with
+                    # no state installed (the transaction is over either
+                    # way — the caller sees the logging failure).
+                    self.status = "aborted"
+                    self._working.clear()
+                    self._savepoints.clear()
+                    manager.retire(self)
+                    raise
+            for table, working, change in pending:
+                if change.rows is None:
+                    in_place = solo and not table._history
+                    rows, ids = working.final_state(in_place=in_place)
+                else:
+                    rows, ids = change.rows, change.ids
+                table._state = (rows, change.version, ids)
                 written = None if working.coarse else frozenset(working.written)
-                table._history.append(HistoryEntry(seq, written, previous))
+                table._history.append(HistoryEntry(seq, written, change.previous))
             manager.commit_count += 1
             manager.retire(self)
         self.status = "committed"
         self._working.clear()
         self._savepoints.clear()
+        if manager.on_commit_complete is not None:
+            manager.on_commit_complete()
 
     def rollback(self) -> None:
         """Discard all working copies; committed state is untouched."""
@@ -615,6 +752,16 @@ class TransactionManager:
         self.begin_count = 0
         self.commit_count = 0
         self.conflict_count = 0
+        # Durability hooks (set by repro.storage.persist when a database
+        # opens on disk). ``on_commit(seq, changes)`` runs under the
+        # manager lock with every CommitChange staged but nothing
+        # installed — it must make the commit durable or raise (raising
+        # aborts the commit with storage untouched).
+        # ``on_commit_complete()`` runs after the commit fully installs
+        # and the lock is released (checkpoint threshold checks go here,
+        # where rewriting the snapshot can no longer lose the commit).
+        self.on_commit: Optional[Callable[[int, list[CommitChange]], None]] = None
+        self.on_commit_complete: Optional[Callable[[], None]] = None
         # Live (active) transactions — i.e. the set of live snapshots.
         # Weak, so a session abandoned without commit/rollback cannot
         # pin the version history (or the in-place append optimization)

@@ -57,6 +57,10 @@ class HeapTable:
         # bypass the history and conflict coarsely with any transaction
         # whose snapshot predates them).
         self._coarse_seq = 0
+        # Durability hook for non-transactional installs (set by
+        # repro.storage.persist on persistent databases): called with
+        # (table, seq, version, rows, ids) before the state swaps in.
+        self.on_direct_install = None
 
     # -- visibility ----------------------------------------------------
     @property
@@ -97,7 +101,17 @@ class HeapTable:
         """Install a new committed state outside any transaction. Such
         writes carry no row-level write set, so they conflict coarsely:
         any open transaction that also wrote this table will abort."""
-        self._state = (rows, mvcc.next_stamp(), ids)
+        version = mvcc.next_stamp()
+        if self.on_direct_install is not None:
+            # Write-ahead: the record must be durable before the state
+            # swaps in (a hook failure leaves the table untouched).
+            self.on_direct_install(
+                self, mvcc.next_commit_seq(), version, rows, ids
+            )
+        self._state = (rows, version, ids)
+        # Allocated *after* the install so a transaction beginning in
+        # between (whose snapshot misses this write) is ordered before
+        # it and conflicts coarsely, exactly as without a hook.
         self._coarse_seq = mvcc.next_commit_seq()
 
     def _append(self, rows: list[Row]) -> None:

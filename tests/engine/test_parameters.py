@@ -7,6 +7,7 @@ from __future__ import annotations
 import pytest
 
 from repro import (
+    CatalogError,
     ExecutionError,
     ParseError,
     ProgrammingError,
@@ -221,6 +222,27 @@ class TestDMLParameters:
     def test_executemany_requires_single_statement(self, conn):
         with pytest.raises(ProgrammingError, match="single statement"):
             conn.executemany("SELECT 1; SELECT 2", [()])
+
+    def test_executemany_empty_sequence_is_a_zero_row_batch(self, conn):
+        """Regression: an empty parameter list used to leave the cursor
+        reporting rowcount -1; PEP 249 says the batch simply affected
+        zero rows."""
+        cursor = conn.executemany("INSERT INTO r VALUES (?, ?)", [])
+        assert cursor.rowcount == 0
+        assert conn.execute("SELECT count(*) FROM r").fetchone() == (3,)
+
+    def test_executemany_empty_sequence_still_validates_sql(self, conn):
+        # The statement is analyzed even though nothing runs: typos must
+        # not be silently swallowed just because the batch was empty.
+        with pytest.raises(CatalogError):
+            conn.executemany("INSERT INTO ghost VALUES (?)", [])
+        with pytest.raises(ProgrammingError, match="single statement"):
+            conn.executemany("SELECT 1; SELECT 2", [])
+
+    def test_executemany_empty_update_and_delete(self, conn):
+        assert conn.executemany("UPDATE r SET b = ? WHERE a = ?", []).rowcount == 0
+        assert conn.executemany("DELETE FROM r WHERE a = ?", []).rowcount == 0
+        assert conn.execute("SELECT count(*) FROM r").fetchone() == (3,)
 
     def test_parameterized_update_and_delete(self, conn):
         assert conn.execute(

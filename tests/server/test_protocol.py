@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import math
 import struct
 
 import pytest
@@ -86,3 +87,61 @@ class TestRows:
 
     def test_missing_rows_decode_empty(self):
         assert protocol.rows_from_wire(None) == []
+
+
+def _strict_loads(body: bytes):
+    """An RFC 8259 parser: rejects the ``Infinity``/``NaN`` extensions
+    Python's default decoder quietly accepts."""
+
+    def refuse(token):
+        raise ValueError(f"non-standard JSON token {token!r}")
+
+    return json.loads(body.decode("utf-8"), parse_constant=refuse)
+
+
+class TestNonFiniteFloats:
+    """Regression: float overflow results (``SELECT 1e308 * 10``) used to
+    be serialized as bare ``Infinity`` tokens, which no strict JSON
+    parser — i.e. any non-Python client — could decode."""
+
+    VALUES = [float("inf"), float("-inf"), float("nan"), 0.0, -2.5, 1e308]
+
+    def test_rows_with_non_finite_floats_round_trip(self):
+        rows = [tuple(self.VALUES)]
+        decoded = protocol.rows_from_wire(protocol.rows_to_wire(rows))
+        assert decoded[0][:2] == (float("inf"), float("-inf"))
+        assert math.isnan(decoded[0][2])
+        assert decoded[0][3:] == (0.0, -2.5, 1e308)
+
+    def test_every_frame_is_strict_rfc8259(self):
+        frame = protocol.encode_frame(
+            {"ok": True, "rows": protocol.rows_to_wire([tuple(self.VALUES)])}
+        )
+        message = _strict_loads(frame[protocol.HEADER_SIZE :])
+        assert message["rows"][0][0] == {"$f": "inf"}
+        assert message["rows"][0][2] == {"$f": "nan"}
+
+    def test_untagged_non_finite_float_is_refused_not_emitted(self):
+        # The belt-and-suspenders check: if a value-carrying field ever
+        # skips the tagging codec, the frame encoder must refuse loudly
+        # rather than emit a bare Infinity token.
+        with pytest.raises(errors.OperationalError, match="JSON-encodable"):
+            protocol.encode_frame({"oops": float("inf")})
+
+    def test_params_round_trip_positional_and_named(self):
+        positional = [1, float("inf"), "x"]
+        named = {"a": float("-inf"), "b": None}
+        wire_p = protocol.params_to_wire(positional)
+        wire_n = protocol.params_to_wire(named)
+        _strict_loads(json.dumps(wire_p, allow_nan=False).encode())
+        _strict_loads(json.dumps(wire_n, allow_nan=False).encode())
+        assert protocol.params_from_wire(wire_p) == [1, float("inf"), "x"]
+        assert protocol.params_from_wire(wire_n) == {"a": float("-inf"), "b": None}
+
+    def test_params_none_passes_through(self):
+        assert protocol.params_to_wire(None) is None
+        assert protocol.params_from_wire(None) is None
+
+    def test_unknown_tag_is_refused(self):
+        with pytest.raises(errors.TypeCheckError):
+            protocol.rows_from_wire([[{"$f": "imaginary"}]])

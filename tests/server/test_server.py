@@ -77,6 +77,20 @@ class TestQueries:
         with pytest.raises(errors.ProgrammingError, match="unknown protocol op"):
             client.request({"op": "moonwalk"})
 
+    def test_non_finite_floats_cross_the_wire(self, client):
+        """Regression: ``SELECT 1e308 * 10`` overflows to infinity, which
+        used to serialize as a bare ``Infinity`` token and break strict
+        clients; now it travels tagged and decodes back to the float."""
+        assert client.query("SELECT 1e308 * 10").rows == [(float("inf"),)]
+        assert client.query("SELECT 0 - 1e308 * 10").rows == [(float("-inf"),)]
+        # Parameters carry them too (NaN itself stays a protocol-level
+        # concern — the sqlite backend stores NaN as NULL, a documented
+        # engine divergence — so the table round trip uses infinities).
+        client.query("CREATE TABLE f (x float)")
+        client.query("INSERT INTO f VALUES (?), (?)", [float("inf"), 2.5])
+        rows = client.query("SELECT x FROM f ORDER BY x").rows
+        assert [value for (value,) in rows] == [2.5, float("inf")]
+
 
 class TestPrepared:
     def test_prepare_execute(self, client):
@@ -151,6 +165,9 @@ class TestStats:
         assert stats["server"]["sessions_open"] == 1
         assert stats["server"]["granularity"] == "row"
         assert set(stats["gc"]) >= {"gc_runs", "versions_freed", "rows_freed"}
+        # Durability counters ride along; the default test server is
+        # in-memory, which the stats must say explicitly.
+        assert stats["wal"] == {"enabled": False}
 
     def test_stats_count_errors_and_conflicts(self, server, client):
         with pytest.raises(errors.AnalyzeError):
