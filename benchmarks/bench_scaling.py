@@ -11,11 +11,14 @@ real DBMS.
 
 from __future__ import annotations
 
+import json
+import os
 import time
 
 import pytest
 from conftest import print_table
 
+from repro.engine.database import Database
 from repro.workloads.queries import with_provenance
 from repro.workloads.tpch import TpchConfig, create_tpch_db
 
@@ -106,3 +109,130 @@ def test_engine_speedup_vs_scale():
         ["scale", "class", "prov", "row ms", "vectorized ms", "speedup"],
         rows,
     )
+
+
+# ---------------------------------------------------------------------------
+# Durable-database sweep: all three engines against Database(path=...)
+# ---------------------------------------------------------------------------
+
+# Local/test runs stay small; CI sets BENCH_SCALING_ROWS=10000000 for
+# the full 10M-row sweep. The row engine is tuple-at-a-time Python and
+# is capped (default 1M rows) so the sweep finishes; vectorized and
+# sqlite run every point.
+SCALING_ROWS = int(os.environ.get("BENCH_SCALING_ROWS", "200000"))
+ROW_ENGINE_CAP = int(os.environ.get("BENCH_SCALING_ROW_CAP", "1000000"))
+SCALING_DURABILITY = os.environ.get("BENCH_SCALING_DURABILITY", "os")
+LOAD_CHUNK = 100_000
+
+SCALING_QUERIES = {
+    "scan_filter_agg": "SELECT count(*) AS n, sum(val) AS s FROM metrics WHERE grp < 100",
+    "filter_project": "SELECT id, val FROM metrics WHERE grp = 7",
+    "group_agg": "SELECT grp % 10 AS g, sum(id) AS s, avg(val) AS a "
+                 "FROM metrics GROUP BY grp % 10",
+}
+
+
+def _scaling_artifact_path() -> str:
+    return os.environ.get("BENCH_SCALING_JSON", "BENCH_scaling.json")
+
+
+def _scaling_points(total: int) -> list[int]:
+    return sorted({max(10_000, total // 100), max(10_000, total // 10), total})
+
+
+def _load_metrics_rows(conn, start: int, stop: int) -> float:
+    """Append rows [start, stop) to metrics in bounded-memory chunks;
+    returns wall seconds. Every executemany batch is one durable
+    commit, so the sweep exercises the WAL at bulk-load granularity."""
+    began = time.perf_counter()
+    for lo in range(start, stop, LOAD_CHUNK):
+        hi = min(lo + LOAD_CHUNK, stop)
+        conn.load_rows(
+            "metrics",
+            [(i, i % 1000, (i * 7 % 10000) / 10.0) for i in range(lo, hi)],
+        )
+    return time.perf_counter() - began
+
+
+def test_durable_scaling_sweep(tmp_path):
+    """Query latency vs data size against a *durable* database.
+
+    One on-disk Database(path=...) is grown through the sweep points;
+    at each point every engine runs the workload queries with a warm
+    plan cache. Results append to BENCH_scaling.json so CI can archive
+    the scaling trajectory across PRs.
+    """
+    points = _scaling_points(SCALING_ROWS)
+    measurements: list[dict] = []
+    table_rows: list[tuple] = []
+    with Database(
+        path=str(tmp_path / "scaling"), durability=SCALING_DURABILITY
+    ) as db:
+        connections = {
+            engine: db.connect(engine=engine)
+            for engine in ("row", "vectorized", "sqlite")
+        }
+        loader = connections["row"]
+        loader.run("CREATE TABLE metrics (id int, grp int, val float)")
+        loaded = 0
+        for point in points:
+            load_seconds = _load_metrics_rows(loader, loaded, point)
+            loaded = point
+            iterations = 3 if point <= 1_000_000 else 1
+            for name, sql in SCALING_QUERIES.items():
+                for engine, conn in connections.items():
+                    if engine == "row" and point > ROW_ENGINE_CAP:
+                        continue
+                    conn.run(sql)  # warm the plan cache / sqlite mirror
+                    best = min(
+                        _timed(conn, sql) for _ in range(iterations)
+                    )
+                    measurements.append(
+                        {
+                            "rows": point,
+                            "engine": engine,
+                            "query": name,
+                            "ms": round(best * 1000, 3),
+                            "load_s": round(load_seconds, 3),
+                        }
+                    )
+                    table_rows.append(
+                        (f"{point:,}", name, engine, f"{best * 1000:.2f}")
+                    )
+        wal = db.wal_stats()
+    print_table(
+        f"Durable scaling sweep ({SCALING_DURABILITY} durability)",
+        ["rows", "query", "engine", "best ms"],
+        table_rows,
+    )
+    payload = {}
+    path = _scaling_artifact_path()
+    if os.path.exists(path):
+        with open(path) as handle:
+            payload = json.load(handle)
+    payload["durable_sweep"] = {
+        "rows": SCALING_ROWS,
+        "durability": SCALING_DURABILITY,
+        "row_engine_cap": ROW_ENGINE_CAP,
+        "wal_bytes": wal["wal_bytes"],
+        "measurements": measurements,
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"\nwrote {path}")
+
+    # Sanity: the sweep really ran against the durable store and every
+    # engine agreed at the final point on the aggregate query.
+    assert wal["wal_bytes"] > 0
+    answers = {
+        engine: tuple(conn.run(SCALING_QUERIES["scan_filter_agg"]).rows)
+        for engine, conn in connections.items()
+        if not (engine == "row" and loaded > ROW_ENGINE_CAP)
+    }
+    assert len(set(answers.values())) == 1, answers
+
+
+def _timed(conn, sql: str) -> float:
+    start = time.perf_counter()
+    conn.run(sql)
+    return time.perf_counter() - start

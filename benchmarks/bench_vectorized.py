@@ -60,10 +60,14 @@ def _time_query(conn, sql: str, repeat: int = 5) -> tuple[float, list]:
 
 
 def test_scan_filter_aggregate_speedup():
-    """The acceptance experiment: >= 2x on 100k-row scan/filter/agg.
+    """The acceptance experiment: >= 7x on 100k-row scan/filter/agg.
 
-    Best-of-5 per engine keeps the ratio stable on noisy machines; the
-    measured margin is ~3.7x on an idle host.
+    Best-of-5 per engine keeps the ratio stable on noisy machines. The
+    list-based vectorized engine measured ~3.7x on an idle host; the
+    typed columnar kernels (packed int64/float64 buffers + the
+    per-version scan cache) raised that to ~60x, so the gate holds a
+    margin well below the measurement but above what object columns
+    could ever reach.
     """
     times, rows = {}, {}
     for engine in ENGINES:
@@ -79,9 +83,9 @@ def test_scan_filter_aggregate_speedup():
         ],
     )
     assert rows["row"] == rows["vectorized"], "engines disagree on results"
-    assert speedup >= 2.0, (
+    assert speedup >= 7.0, (
         f"vectorized engine only {speedup:.2f}x faster on the 100k-row "
-        "scan/filter/aggregate query (>= 2x required)"
+        "scan/filter/aggregate query (>= 7x required with typed columnar kernels)"
     )
 
 

@@ -38,12 +38,27 @@ min/max/count aggregation, DISTINCT, ORDER BY, LIMIT, parameter
 placeholders, EXISTS/IN sublinks (correlated or not) — runs natively in
 SQLite's C engine.
 
-Known numeric-range limitation: the engine's Python integers are
-unbounded while SQLite's are 64-bit. Tables holding integers beyond
-that range refuse to mirror (a clear :class:`ExecutionError`), oversized
-parameter values error at bind, but *intermediate* arithmetic or sum()
-overflow inside a pushed-down statement follows SQLite's 64-bit
-semantics rather than the row engine's arbitrary precision.
+**Exact integer semantics.** The engine's Python integers are unbounded
+while SQLite's are 64-bit, and SQLite silently promotes overflowing
+integer arithmetic to REAL (losing precision) where the engines return
+exact big integers. Two mechanisms close the gap:
+
+* *Static interval analysis* (:meth:`SQLiteCompiler._prepare`): every
+  integer ``+``/``-``/``*``/unary ``-`` gets conservative value bounds
+  computed bottom-up (constants are exact, stored columns and parameters
+  are int64 by construction); a node whose result interval cannot be
+  proven within int64 is rewritten to the exact ``repro_iadd`` /
+  ``repro_isub`` / ``repro_imul`` / ``repro_ineg`` UDFs, which compute
+  in Python. Integer constants beyond int64 (SQLite would lex them as
+  REAL) make the subtree fall back to the row engine outright.
+* *Runtime escape + rescue* (:class:`~repro.backend.sqlite
+  .IntegerRangeEscape`): any integer that still crosses the 64-bit
+  boundary at runtime — a UDF or aggregate result, native ``sum()``
+  overflow, an oversized parameter at bind, a stored or fragment value
+  beyond int64 — aborts the statement and re-runs the whole query on
+  the row engine, whose exact result is returned. Integer SUM therefore
+  stays on SQLite's fast native aggregate and only pays for rescue in
+  the rare overflow case; all three engines agree on the exact bignum.
 """
 
 from __future__ import annotations
@@ -58,7 +73,14 @@ from ..algebra.tree import walk_tree
 from ..catalog.schema import Schema
 from ..datatypes import SQLType
 from ..errors import PlanError
-from .sqlite import LimitBind, SQLiteBackend, SQLiteQueryOp, SubplanSlot
+from .sqlite import (
+    INT64_MAX,
+    INT64_MIN,
+    LimitBind,
+    SQLiteBackend,
+    SQLiteQueryOp,
+    SubplanSlot,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..planner.planner import Planner
@@ -102,6 +124,27 @@ class _Compiled:
 
 
 _ROWID_NAMES = ("rowid", "_rowid_", "oid")
+_INT64_BOUNDS = (INT64_MIN, INT64_MAX)
+# Rewrites of +/-/* whose result interval escapes int64: exact Python
+# arithmetic UDFs registered by the backend (see sqlite._register_udfs).
+_EXACT_ARITH_UDFS = {"+": "iadd", "-": "isub", "*": "imul"}
+
+
+def _within_int64(interval: tuple[int, int]) -> bool:
+    return INT64_MIN <= interval[0] and interval[1] <= INT64_MAX
+
+
+def _arith_interval(
+    op: str, left: tuple[int, int], right: tuple[int, int]
+) -> tuple[int, int]:
+    """Exact interval arithmetic for integer ``+``/``-``/``*``."""
+    (a, b), (c, d) = left, right
+    if op == "+":
+        return (a + c, b + d)
+    if op == "-":
+        return (a - d, b - c)
+    products = (a * c, a * d, b * c, b * d)
+    return (min(products), max(products))
 # Operators whose compiled SQL is scanned in a *physically guaranteed*
 # order (see _order_realized): safe below an order-sensitive aggregate.
 _ORDER_PRESERVING = (an.Select, an.Project)
@@ -147,6 +190,8 @@ class SQLiteCompiler:
             self.limit_binds,
             self.param_labels,
             self.planner.params,
+            rescue_planner=self.planner,
+            rescue_node=node,
         )
 
     # ------------------------------------------------------------------
@@ -328,6 +373,7 @@ class SQLiteCompiler:
         outers = self._outer_schemas()
         order_sensitive = False
         float_aggs: set[int] = set()
+        int_avgs: set[int] = set()
         for index, (_, agg) in enumerate(node.agg_items):
             if agg.func in ("sum", "avg"):
                 arg_type = ax.infer_type(agg.arg, child_schema, outers)
@@ -342,6 +388,16 @@ class SQLiteCompiler:
                         raise Unsupported("DISTINCT float sum/avg is order-sensitive")
                     order_sensitive = True
                     float_aggs.add(index)
+                elif agg.func == "avg":
+                    # Native integer avg() accumulates in int64 and
+                    # silently switches to double accumulation on
+                    # overflow — not the engine's correctly-rounded
+                    # exact-total / count. The exact accumulator UDF is
+                    # order-insensitive for integers (bignum total,
+                    # one division at the end), so grouping is fine.
+                    # Integer sum() stays native: it is exact until
+                    # overflow, which escapes to the row-engine rescue.
+                    int_avgs.add(index)
 
         if order_sensitive:
             if node.group_items:
@@ -366,6 +422,9 @@ class SQLiteCompiler:
                 # (>= 3.44); route through the naive aggregate UDFs for
                 # bit-identical accumulation.
                 func = "repro_fsum" if func == "sum" else "repro_favg"
+            elif index in int_avgs:
+                # Exact integer average (see the gate above).
+                func = "repro_favg"
             agg_sqls.append(f"{func}({distinct}{arg_sql}) AS {q(name)}")
 
         if not node.group_items:
@@ -512,10 +571,61 @@ class SQLiteCompiler:
                 if lt is SQLType.NULL or rt is SQLType.NULL:
                     return SQLType.NULL
                 return SQLType.INT
+            if isinstance(e, ax.FuncExpr) and e.name in ("iadd", "isub", "imul"):
+                lt, rt = static_type(e.args[0]), static_type(e.args[1])
+                if lt is SQLType.NULL or rt is SQLType.NULL:
+                    return SQLType.NULL
+                return SQLType.INT
+            if isinstance(e, ax.FuncExpr) and e.name == "ineg":
+                return static_type(e.args[0])
             try:
                 return ax.infer_type(e, schema, outers)
             except Exception:
                 return SQLType.NULL
+
+        def int_interval(e: ax.Expr) -> Optional[tuple[int, int]]:
+            """Conservative runtime-value bounds of an integer-typed
+            expression, or ``None`` when it is not statically integer.
+
+            Sound because every integer that enters a compiled statement
+            is int64-bounded by construction — mirrored columns refuse
+            wider values, parameters escape at bind, UDF and sublink-slot
+            results are range-checked on return — and because unsafe
+            arithmetic below has already been rewritten to the escaping
+            ``repro_i*`` UDFs when this runs (``map_expr`` is bottom-up),
+            so any surviving native node was itself proven in-range."""
+            if isinstance(e, ax.Const):
+                if e.value is None:
+                    return (0, 0)  # NULL propagates; no value to bound
+                if isinstance(e.value, int) and not isinstance(e.value, bool):
+                    return (e.value, e.value)
+                return None
+            t = static_type(e)
+            if t in (SQLType.FLOAT, SQLType.TEXT, SQLType.BOOL):
+                return None
+            if isinstance(e, ax.BinOp):
+                if e.op in ("+", "-", "*"):
+                    li = int_interval(e.left) or _INT64_BOUNDS
+                    ri = int_interval(e.right) or _INT64_BOUNDS
+                    return _arith_interval(e.op, li, ri)
+                if e.op == "/":
+                    # Surviving native division has |divisor| >= 1, so
+                    # |quotient| <= |dividend| (the INT64_MIN / -1 edge
+                    # is forced through repro_div below).
+                    lo, hi = int_interval(e.left) or _INT64_BOUNDS
+                    magnitude = max(abs(lo), abs(hi))
+                    return (-magnitude, magnitude)
+                if e.op == "%":
+                    # Surviving native modulo has an integer constant
+                    # divisor; the result is smaller in magnitude.
+                    if isinstance(e.right, ax.Const) and isinstance(e.right.value, int):
+                        bound = abs(e.right.value) - 1
+                        return (-bound, bound)
+                    return _INT64_BOUNDS
+            if isinstance(e, ax.UnOp) and e.op == "-":
+                lo, hi = int_interval(e.operand) or _INT64_BOUNDS
+                return (-hi, -lo)
+            return _INT64_BOUNDS
 
         def gate(e: ax.Expr) -> Optional[ax.Expr]:
             if isinstance(e, ax.Const) and isinstance(e.value, float) and (
@@ -525,12 +635,26 @@ class SQLiteCompiler:
                 # SQLite reads as a column name; there is no SQLite
                 # literal with identical semantics.
                 raise Unsupported("non-finite float constant")
+            if (
+                isinstance(e, ax.Const)
+                and isinstance(e.value, int)
+                and not isinstance(e.value, bool)
+                and not (INT64_MIN <= e.value <= INT64_MAX)
+            ):
+                # SQLite lexes an over-wide integer literal as REAL,
+                # silently losing precision; the row engine keeps it
+                # exact, so the subtree must run there.
+                raise Unsupported("integer constant beyond SQLite's 64-bit range")
             if isinstance(e, ax.UnOp):
                 ot = static_type(e.operand)
                 if e.op == "-" and ot in (SQLType.BOOL, SQLType.TEXT):
                     raise Unsupported("unary minus over non-numeric raises in-engine")
                 if e.op == "not" and ot not in (SQLType.BOOL, SQLType.NULL):
                     raise Unsupported("NOT over non-boolean raises in-engine")
+                if e.op == "-" and ot in (SQLType.INT, SQLType.NULL):
+                    lo, hi = int_interval(e.operand) or _INT64_BOUNDS
+                    if not _within_int64((-hi, -lo)):
+                        return ax.FuncExpr("ineg", (e.operand,))
             if isinstance(e, ax.BinOp):
                 lt, rt = static_type(e.left), static_type(e.right)
                 if e.op in ("and", "or") and any(
@@ -553,6 +677,21 @@ class SQLiteCompiler:
                     # bool/text operands raise in the engine; SQLite
                     # would coerce ('a' + 1 -> 1) and silently diverge.
                     raise Unsupported("arithmetic over non-numeric raises in-engine")
+                if (
+                    e.op in ("+", "-", "*")
+                    and lt in (SQLType.INT, SQLType.NULL)
+                    and rt in (SQLType.INT, SQLType.NULL)
+                ):
+                    # Integer arithmetic: native SQLite silently promotes
+                    # an overflowing result to REAL. When the statically
+                    # derived result interval cannot be proven within
+                    # int64, compute exactly in Python instead (the UDF
+                    # escapes to the row engine if the exact result
+                    # itself exceeds int64).
+                    li = int_interval(e.left) or _INT64_BOUNDS
+                    ri = int_interval(e.right) or _INT64_BOUNDS
+                    if not _within_int64(_arith_interval(e.op, li, ri)):
+                        return ax.FuncExpr(_EXACT_ARITH_UDFS[e.op], (e.left, e.right))
                 if e.op in ("/", "%"):
                     native = (
                         isinstance(e.right, ax.Const)
@@ -562,6 +701,14 @@ class SQLiteCompiler:
                     )
                     if e.op == "%" and not (lt is SQLType.INT and rt is SQLType.INT):
                         native = False
+                    if native and e.op == "/" and e.right.value == -1:
+                        # INT64_MIN / -1 = 2**63, the one in-range operand
+                        # pair whose quotient escapes int64; route through
+                        # the exact UDF unless the dividend provably
+                        # avoids INT64_MIN.
+                        dividend = int_interval(e.left)
+                        if dividend is None or dividend[0] <= INT64_MIN:
+                            native = False
                     if not native:
                         return ax.FuncExpr("div" if e.op == "/" else "mod", (e.left, e.right))
             elif isinstance(e, ax.DistinctTest):

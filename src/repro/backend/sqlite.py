@@ -37,7 +37,7 @@ from typing import TYPE_CHECKING, Iterator, Optional, Sequence
 
 from ..algebra.to_sql import quote_identifier_always as quote_identifier
 from ..catalog.schema import Schema
-from ..datatypes import SQLType, Value, arith
+from ..datatypes import SQLType, Value, arith, negate
 from ..errors import ExecutionError, ProgrammingError
 from ..executor.expr_eval import (
     _FUNCTIONS,
@@ -59,6 +59,24 @@ FULL_JOIN_VERSION = (3, 39, 0)  # RIGHT / FULL OUTER JOIN support
 # left-to-right accumulation. On such hosts float sum/avg pushdown uses
 # the repro_fsum/repro_favg aggregate UDFs instead of native sum/avg.
 KAHAN_SUM_VERSION = (3, 44, 0)
+
+INT64_MIN = -(2**63)
+INT64_MAX = 2**63 - 1
+
+
+class IntegerRangeEscape(Exception):
+    """A value crossed SQLite's 64-bit integer boundary mid-statement.
+
+    The engine's integers are unbounded Python ints; SQLite's are 64-bit.
+    Rather than diverging (silent REAL promotion) or erroring (the row
+    engine computes these queries fine), every place a too-wide integer
+    can enter or leave a pushed-down statement raises this escape —
+    UDF/aggregate return values, parameter and fragment binds, mirror
+    sync of stored big integers, and SQLite's own native ``sum()``
+    overflow — and :class:`SQLiteQueryOp` re-runs the whole query on the
+    row engine, whose exact arbitrary-precision result is returned
+    instead. Internal control flow only: it must never surface to users.
+    """
 
 
 def adapt_value(value: Value) -> Value:
@@ -195,6 +213,25 @@ class SQLiteBackend:
             self._wrap_udf(lambda args: arith("%", args[0], args[1])),
             deterministic=True,
         )
+        # Exact integer arithmetic for expressions whose static interval
+        # analysis (compile._prepare) cannot bound the result within
+        # int64: native SQLite would silently promote an overflowing
+        # result to REAL. These compute in Python (unbounded); a result
+        # beyond int64 escapes to the row engine via _wrap_udf's range
+        # check instead of wrapping or losing precision.
+        for udf_name, op in (("iadd", "+"), ("isub", "-"), ("imul", "*")):
+            self.connection.create_function(
+                f"repro_{udf_name}",
+                2,
+                self._wrap_udf(lambda args, o=op: arith(o, args[0], args[1])),
+                deterministic=True,
+            )
+        self.connection.create_function(
+            "repro_ineg",
+            1,
+            self._wrap_udf(lambda args: negate(args[0])),
+            deterministic=True,
+        )
         # Sublink slot access: constant within one statement execution
         # (the executing op installs every state before running), so
         # deterministic is safe and lets SQLite hoist it out of loops.
@@ -218,7 +255,13 @@ class SQLiteBackend:
     def _wrap_udf(self, impl):
         def wrapped(*args):
             try:
-                return adapt_value(impl(list(args)))
+                result = adapt_value(impl(list(args)))
+                if type(result) is int and not (INT64_MIN <= result <= INT64_MAX):
+                    # The exact Python result exists but SQLite cannot
+                    # hold it; abort the statement and let the row
+                    # engine produce the full-precision answer.
+                    raise IntegerRangeEscape(f"UDF result {result} exceeds int64")
+                return result
             except Exception as exc:
                 # sqlite3 reports UDF failures as a generic
                 # OperationalError; stash the real exception so
@@ -273,7 +316,15 @@ class SQLiteBackend:
                 # Fast path: heap rows are plain tuples of SQLite-native
                 # values, no per-row conversion needed.
                 self.connection.executemany(insert, heap.rows)
-        except (sqlite3.Error, OverflowError) as exc:
+        except OverflowError as exc:
+            # A stored integer beyond int64 cannot be mirrored; escape to
+            # the row engine, which reads the heap directly and computes
+            # with full precision.
+            self._mirror.pop(key, None)
+            raise IntegerRangeEscape(
+                f"table {name!r} holds an integer beyond int64"
+            ) from exc
+        except sqlite3.Error as exc:
             self._mirror.pop(key, None)
             raise ExecutionError(
                 f"cannot mirror table {name!r} into the sqlite backend: {exc}"
@@ -296,10 +347,18 @@ class SQLiteBackend:
         columns = ", ".join(f"c{i}" for i in range(width))
         self.connection.execute(f"CREATE TEMP TABLE {quote_identifier(frag)} ({columns})")
         placeholders = ", ".join("?" for _ in range(width))
-        self.connection.executemany(
-            f"INSERT INTO {qname} VALUES ({placeholders})",
-            (adapt_row(r) for r in rows),
-        )
+        try:
+            self.connection.executemany(
+                f"INSERT INTO {qname} VALUES ({placeholders})",
+                (adapt_row(r) for r in rows),
+            )
+        except OverflowError as exc:
+            # A row-engine fragment (fallback subtree / IN list) produced
+            # an integer beyond int64: the fragment cannot flow through
+            # SQLite, so the whole statement escapes to the row engine.
+            raise IntegerRangeEscape(
+                f"fragment {frag!r} holds an integer beyond int64"
+            ) from exc
 
     def drop_fragment(self, frag: str) -> None:
         try:
@@ -317,15 +376,20 @@ class SQLiteBackend:
             rows = cursor.fetchall()
         except OverflowError as exc:
             # Parameter/slot value outside SQLite's 64-bit integer range
-            # (the engine's Python ints are unbounded): surface the
-            # backend's numeric-range limit as a proper engine error.
-            raise ExecutionError(
-                f"sqlite backend: value exceeds the 64-bit integer range ({exc})"
-            ) from exc
+            # (the engine's Python ints are unbounded): the row engine
+            # handles such values natively, so escape instead of erroring.
+            raise IntegerRangeEscape(f"bound value exceeds int64 ({exc})") from exc
         except sqlite3.Error as exc:
             pending, self._pending_error = self._pending_error, None
             if pending is not None:
                 raise pending
+            if "integer overflow" in str(exc):
+                # Native integer sum() overflowed int64. The engines
+                # return the exact arbitrary-precision total; rather than
+                # gating every integer SUM statically (the common case
+                # never overflows), keep the fast native aggregate and
+                # escape to the row engine only when it actually trips.
+                raise IntegerRangeEscape(str(exc)) from exc
             raise ExecutionError(f"sqlite backend: {exc}") from exc
         self.statements_executed += 1
         return rows
@@ -355,8 +419,13 @@ def _naive_aggregate_class(backend: SQLiteBackend, func: str):
 
         def finalize(self):
             try:
-                return adapt_value(self.accumulator.result())
-            except Exception as exc:  # pragma: no cover - defensive
+                result = adapt_value(self.accumulator.result())
+                if type(result) is int and not (INT64_MIN <= result <= INT64_MAX):
+                    raise IntegerRangeEscape(
+                        f"aggregate result {result} exceeds int64"
+                    )
+                return result
+            except Exception as exc:
                 backend._pending_error = exc
                 raise
 
@@ -393,6 +462,9 @@ class SQLiteQueryOp(PhysicalOp):
         "param_labels",
         "params",
         "_bool_columns",
+        "_rescue_planner",
+        "_rescue_node",
+        "_rescue_plan",
     )
 
     def __init__(
@@ -405,6 +477,8 @@ class SQLiteQueryOp(PhysicalOp):
         limit_binds: Sequence[LimitBind],
         param_labels: dict[int, str],
         params: ParamContext,
+        rescue_planner=None,
+        rescue_node=None,
     ):
         self.backend = backend
         self.sql = sql
@@ -417,14 +491,26 @@ class SQLiteQueryOp(PhysicalOp):
         self._bool_columns = tuple(
             i for i, a in enumerate(schema) if a.type is SQLType.BOOL
         )
+        # Exact-integer rescue: when execution raises
+        # IntegerRangeEscape (a value crossed the int64 boundary), the
+        # original algebra tree is planned on the row engine — lazily,
+        # once — and its exact result returned instead. The row plan
+        # shares this op's ParamContext, so per-execution parameter
+        # values flow through unchanged.
+        self._rescue_planner = rescue_planner
+        self._rescue_node = rescue_node
+        self._rescue_plan: Optional[PhysicalOp] = None
 
     # ------------------------------------------------------------------
     def rows(self, env: Env) -> Iterator[Row]:
         return iter(self._execute(env))
 
     def _execute(self, env: Env) -> list[Row]:
-        for name in self.table_names:
-            self.backend.sync_table(name)
+        try:
+            for name in self.table_names:
+                self.backend.sync_table(name)
+        except IntegerRangeEscape:
+            return self._rescue(env)
 
         binds: dict[str, Value] = {}
         values = self.params.values
@@ -445,9 +531,27 @@ class SQLiteQueryOp(PhysicalOp):
             for slot in self.slots:
                 self._evaluate_slot(slot, env)
             raw = self.backend.run_statement(self.sql, binds)
+        except IntegerRangeEscape:
+            return self._rescue(env)
         finally:
             self._release_slots()
         return self._adapt(raw)
+
+    def _rescue(self, env: Env) -> list[Row]:
+        """Re-run the whole query on the row engine after an integer
+        crossed the int64 boundary. Row-engine rows are already in
+        engine-native values (real booleans, unbounded ints), so they
+        bypass :meth:`_adapt`."""
+        if self._rescue_planner is None or self._rescue_node is None:
+            raise ExecutionError(
+                "sqlite backend: integer beyond the 64-bit range with no "
+                "row-engine rescue plan available"
+            )
+        plan = self._rescue_plan
+        if plan is None:
+            plan = self._rescue_planner.plan(self._rescue_node)
+            self._rescue_plan = plan
+        return list(plan.rows(env))
 
     def _release_slots(self) -> None:
         """Drop per-execution slot state so a long-lived connection does

@@ -282,10 +282,13 @@ def sort_key(value: Value, descending: bool = False, nulls_first: bool | None = 
     if value is None:
         return (null_rank, 0, "")
     # Normalize across int/float and bool so mixed columns sort stably.
+    # Ints stay exact (Python compares int vs float exactly); a float()
+    # normalization here would make integers 2^53 apart tie and sort in
+    # input order instead of numeric order.
     if isinstance(value, bool):
         return (1 - null_rank, 0, int(value))
     if isinstance(value, (int, float)):
-        return (1 - null_rank, 0, float(value))
+        return (1 - null_rank, 0, value)
     return (1 - null_rank, 1, value)
 
 
@@ -357,15 +360,20 @@ def value_identity(value: Value) -> tuple[int, Any]:
     """Hash/equality key distinguishing ``1`` from ``1.0`` from ``True``.
 
     Python hashes ``1 == 1.0 == True`` identically; SQL DISTINCT and set
-    operations must too (they compare by value), so numeric values are
-    normalized to float while booleans and strings keep their own tag.
+    operations must too (they compare by value), so ints and floats
+    share one numeric tag while booleans and strings keep their own.
+    The numeric value itself is kept **exact** — Python guarantees
+    ``5 == 5.0`` with equal hashes, so cross-type matches still work,
+    while big integers beyond 2^53 (where float conversion rounds) can
+    no longer collide with their neighbours in hash joins, GROUP BY or
+    DISTINCT.
     """
     if value is None:
         return (0, None)
     if isinstance(value, bool):
         return (1, value)
     if isinstance(value, (int, float)):
-        return (2, float(value))
+        return (2, value)
     return (3, value)
 
 

@@ -1,10 +1,15 @@
 """Columnar batches: the unit of work of the vectorized executor.
 
-A :class:`Batch` holds a fixed number of rows decomposed into columns
-(one plain Python list per attribute). Vectorized operators pass batches
-of ~:data:`DEFAULT_BATCH_SIZE` rows between each other and vectorized
-expressions evaluate whole columns at a time, which amortizes the
-Python-interpreter dispatch the row engine pays per tuple per operator.
+A :class:`Batch` holds a fixed number of rows decomposed into columns.
+Each column is either a packed :class:`~repro.executor.columns.TypedColumn`
+(int64/float64/bool buffers with a separate null mask, chosen from the
+planner's static types) or a plain Python list for TEXT/untyped values
+and for values that escaped the typed domain. Vectorized operators pass
+batches of ~:data:`DEFAULT_BATCH_SIZE` rows between each other and
+vectorized expressions evaluate whole columns at a time, which amortizes
+the Python-interpreter dispatch the row engine pays per tuple per
+operator — and on packed columns the hot kernels run as single bulk
+array operations.
 
 Zero-width batches are legal (``SELECT`` without ``FROM`` flows a
 one-row, zero-column batch through the plan), so the row count is stored
@@ -16,6 +21,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Sequence
 
 from ..datatypes import Value
+from .columns import AnyColumn, TypedColumn, column_slice, column_values
 
 Row = tuple[Value, ...]
 
@@ -29,7 +35,7 @@ class Batch:
 
     __slots__ = ("columns", "length")
 
-    def __init__(self, columns: Sequence[list[Value]], length: int):
+    def __init__(self, columns: Sequence[AnyColumn], length: int):
         self.columns = list(columns)
         self.length = length
 
@@ -46,30 +52,46 @@ class Batch:
             return Batch([], len(rows))
         return Batch([list(column) for column in zip(*rows)], len(rows))
 
+    def value_columns(self) -> list[list[Value]]:
+        """Every column as a plain Python list."""
+        return [column_values(column) for column in self.columns]
+
     def rows(self) -> list[Row]:
         """Materialize the batch back into row tuples."""
         if not self.columns:
             return [()] * self.length
-        return list(zip(*self.columns))
+        return list(zip(*self.value_columns()))
 
     def iter_rows(self) -> Iterator[Row]:
         if not self.columns:
             return iter([()] * self.length)
-        return zip(*self.columns)
+        return zip(*self.value_columns())
 
-    def take(self, indices: Sequence[int]) -> "Batch":
-        """A new batch holding the rows at *indices* (in that order)."""
-        return Batch(
-            [[column[i] for i in indices] for column in self.columns],
-            len(indices),
-        )
+    def take(self, indices) -> "Batch":
+        """A new batch holding the rows at *indices* (in that order).
+        *indices* may be a Python sequence or a numpy index array."""
+        index_list = None
+        columns: list[AnyColumn] = []
+        for column in self.columns:
+            if isinstance(column, TypedColumn):
+                columns.append(column.take(indices))
+            else:
+                if index_list is None:
+                    index_list = (
+                        indices.tolist() if hasattr(indices, "tolist") else indices
+                    )
+                columns.append([column[i] for i in index_list])
+        return Batch(columns, len(indices))
 
     def slice(self, start: int, stop: int) -> "Batch":
         start = max(start, 0)
         stop = min(stop, self.length)
         if stop <= start:
             return Batch([[] for _ in self.columns], 0)
-        return Batch([column[start:stop] for column in self.columns], stop - start)
+        return Batch(
+            [column_slice(column, start, stop) for column in self.columns],
+            stop - start,
+        )
 
     def concat_columns(self, other: "Batch") -> "Batch":
         """Widen this batch with *other*'s columns (same length)."""

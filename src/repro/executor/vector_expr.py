@@ -1,13 +1,20 @@
 """Column-at-a-time expression compilation for the vectorized executor.
 
 A vector expression is compiled into a callable ``(batch, env) ->
-column`` that produces one output value per batch row. The compiler
-mirrors :class:`~repro.executor.expr_eval.ExprCompiler` semantics
-exactly — it reuses the same scalar kernels (:func:`~repro.datatypes.eq`,
-:func:`~repro.datatypes.arith`, the function table, three-valued logic)
-— but applies them over whole columns, and adds native fast paths
-(plain Python operators inside a single list comprehension) where the
-statically known operand types guarantee Python and SQL agree.
+column`` that produces one output value per batch row — either a packed
+:class:`~repro.executor.columns.TypedColumn` or a plain list. The
+compiler mirrors :class:`~repro.executor.expr_eval.ExprCompiler`
+semantics exactly — it reuses the same scalar kernels
+(:func:`~repro.datatypes.eq`, :func:`~repro.datatypes.arith`, the
+function table, three-valued logic) — but applies them over whole
+columns, and dispatches on the *runtime* column representation: when an
+operand arrives as a numpy-backed typed buffer the hot kernels
+(comparison-vs-constant filters, numeric arithmetic, AND/OR masks,
+IS NULL) run as single bulk array operations with exactness guards (see
+:mod:`~repro.executor.columns`); when it arrives as an object column —
+because the static type had no packed form, or a value escaped the
+typed domain — the same expression runs the per-element object kernel.
+Both paths are bit-identical; the typed path is just faster.
 
 Expressions whose row-engine evaluation is *lazy* (CASE branches, IN
 list items, sublinks) or that reference enclosing rows are not
@@ -36,6 +43,19 @@ from ..datatypes import (
 )
 from ..errors import ExecutionError, PlanError
 from .batch import Batch
+from .columns import (
+    AnyColumn,
+    TypedColumn,
+    column_values,
+    vec_and,
+    vec_arith,
+    vec_cmp,
+    vec_cmp_const,
+    vec_isnull,
+    vec_neg,
+    vec_not,
+    vec_or,
+)
 from .expr_eval import (
     _COMPARATORS,
     _FUNCTIONS,
@@ -46,12 +66,28 @@ from .expr_eval import (
     ExprCompiler,
 )
 
-# A compiled vector expression: (batch, env) -> one value per row.
-VectorExpr = Callable[[Batch, Env], list[Value]]
+# A compiled vector expression: (batch, env) -> one column per call.
+VectorExpr = Callable[[Batch, Env], AnyColumn]
 
 # Static types for which the native Python operator agrees with SQL
 # comparison/arithmetic semantics on non-NULL values.
 _NUMERIC = (SQLType.INT, SQLType.FLOAT)
+
+# Sentinel distinguishing "no constant operand" from a None constant.
+_NO_CONST = object()
+
+
+def _scalar_const(expr: ax.Expr):
+    """The non-NULL numeric constant of *expr*, or ``_NO_CONST`` —
+    constants feed the bulk kernels as broadcast scalars."""
+    if (
+        isinstance(expr, ax.Const)
+        and expr.value is not None
+        and not isinstance(expr.value, bool)
+        and isinstance(expr.value, (int, float))
+    ):
+        return expr.value
+    return _NO_CONST
 
 
 class VectorExprCompiler:
@@ -89,7 +125,7 @@ class VectorExprCompiler:
             index = expr.index
             label = f":{expr.name}" if expr.name is not None else f"${expr.index + 1}"
 
-            def read_param(batch: Batch, env: Env) -> list[Value]:
+            def read_param(batch: Batch, env: Env) -> AnyColumn:
                 if index >= len(context.values):
                     raise ExecutionError(
                         f"parameter {label} has no bound value "
@@ -105,18 +141,42 @@ class VectorExprCompiler:
         if isinstance(expr, ax.UnOp):
             operand = self.compile(expr.operand)
             if expr.op == "not":
-                return lambda batch, env: [
-                    tvl_not(_as_bool(v)) for v in operand(batch, env)
-                ]
+
+                def run_not(batch: Batch, env: Env) -> AnyColumn:
+                    column = operand(batch, env)
+                    bulk = vec_not(column)
+                    if bulk is not None:
+                        return bulk
+                    return [tvl_not(_as_bool(v)) for v in column_values(column)]
+
+                return run_not
             if expr.op == "-":
-                return lambda batch, env: [negate(v) for v in operand(batch, env)]
+
+                def run_neg(batch: Batch, env: Env) -> AnyColumn:
+                    column = operand(batch, env)
+                    bulk = vec_neg(column)
+                    if bulk is not None:
+                        return bulk
+                    return [negate(v) for v in column_values(column)]
+
+                return run_neg
             raise PlanError(f"unknown unary operator {expr.op!r}")
 
         if isinstance(expr, ax.IsNullTest):
             operand = self.compile(expr.operand)
-            if expr.negated:
-                return lambda batch, env: [v is not None for v in operand(batch, env)]
-            return lambda batch, env: [v is None for v in operand(batch, env)]
+            negated = expr.negated
+
+            def run_isnull(batch: Batch, env: Env) -> AnyColumn:
+                column = operand(batch, env)
+                bulk = vec_isnull(column, negated)
+                if bulk is not None:
+                    return bulk
+                values = column_values(column)
+                if negated:
+                    return [v is not None for v in values]
+                return [v is None for v in values]
+
+            return run_isnull
 
         if isinstance(expr, ax.DistinctTest):
             left = self.compile(expr.left)
@@ -124,11 +184,17 @@ class VectorExprCompiler:
             if expr.negated:  # IS NOT DISTINCT FROM
                 return lambda batch, env: [
                     not_distinct(a, b)
-                    for a, b in zip(left(batch, env), right(batch, env))
+                    for a, b in zip(
+                        column_values(left(batch, env)),
+                        column_values(right(batch, env)),
+                    )
                 ]
             return lambda batch, env: [
                 not not_distinct(a, b)
-                for a, b in zip(left(batch, env), right(batch, env))
+                for a, b in zip(
+                    column_values(left(batch, env)),
+                    column_values(right(batch, env)),
+                )
             ]
 
         if isinstance(expr, ax.FuncExpr):
@@ -138,7 +204,7 @@ class VectorExprCompiler:
             operand = self.compile(expr.operand)
             target = expr.target
             return lambda batch, env: [
-                cast_value(v, target) for v in operand(batch, env)
+                cast_value(v, target) for v in column_values(operand(batch, env))
             ]
 
         if isinstance(expr, ax.AggExpr):
@@ -154,7 +220,7 @@ class VectorExprCompiler:
     def _fallback(self, expr: ax.Expr) -> VectorExpr:
         scalar = self.row_compiler.compile(expr)
 
-        def run(batch: Batch, env: Env) -> list[Value]:
+        def run(batch: Batch, env: Env) -> AnyColumn:
             return [scalar(row, env) for row in batch.iter_rows()]
 
         return run
@@ -209,34 +275,50 @@ class VectorExprCompiler:
     # ------------------------------------------------------------------
     def _compile_binop(self, expr: ax.BinOp) -> VectorExpr:
         op = expr.op
-        if op == "and":
+        if op in ("and", "or"):
             left, right = self.compile(expr.left), self.compile(expr.right)
+            bulk = vec_and if op == "and" else vec_or
             if self._static_boolean(expr.left) and self._static_boolean(expr.right):
-                # Inline 3VL kernel: false dominates unknown.
-                return lambda batch, env: [
-                    False
-                    if (a is False or b is False)
-                    else (None if (a is None or b is None) else True)
-                    for a, b in zip(left(batch, env), right(batch, env))
-                ]
-            return lambda batch, env: [
-                tvl_and(_as_bool(a), _as_bool(b))
-                for a, b in zip(left(batch, env), right(batch, env))
-            ]
-        if op == "or":
-            left, right = self.compile(expr.left), self.compile(expr.right)
-            if self._static_boolean(expr.left) and self._static_boolean(expr.right):
-                # Inline 3VL kernel: true dominates unknown.
-                return lambda batch, env: [
-                    True
-                    if (a is True or b is True)
-                    else (None if (a is None or b is None) else False)
-                    for a, b in zip(left(batch, env), right(batch, env))
-                ]
-            return lambda batch, env: [
-                tvl_or(_as_bool(a), _as_bool(b))
-                for a, b in zip(left(batch, env), right(batch, env))
-            ]
+                if op == "and":
+                    # Inline 3VL kernel: false dominates unknown.
+                    def inline(a_vals, b_vals):
+                        return [
+                            False
+                            if (a is False or b is False)
+                            else (None if (a is None or b is None) else True)
+                            for a, b in zip(a_vals, b_vals)
+                        ]
+
+                else:
+                    # Inline 3VL kernel: true dominates unknown.
+                    def inline(a_vals, b_vals):
+                        return [
+                            True
+                            if (a is True or b is True)
+                            else (None if (a is None or b is None) else False)
+                            for a, b in zip(a_vals, b_vals)
+                        ]
+
+            else:
+                checked = tvl_and if op == "and" else tvl_or
+
+                def inline(a_vals, b_vals, _k=checked):
+                    return [
+                        _k(_as_bool(a), _as_bool(b))
+                        for a, b in zip(a_vals, b_vals)
+                    ]
+
+            def run_logic(batch: Batch, env: Env) -> AnyColumn:
+                a = left(batch, env)
+                b = right(batch, env)
+                # A packed boolean column guarantees bool/None contents,
+                # so the bulk kernel is valid regardless of static types.
+                out = bulk(a, b)
+                if out is not None:
+                    return out
+                return inline(column_values(a), column_values(b))
+
+            return run_logic
 
         if op in _COMPARATORS:
             return self._compile_comparison(expr)
@@ -252,6 +334,7 @@ class VectorExprCompiler:
     def _compile_comparison(self, expr: ax.BinOp) -> VectorExpr:
         comparator = _COMPARATORS[expr.op]
         native = self._native_ok(expr.left, expr.right)
+        op = expr.op
 
         # column <op> constant — the hot filter shape.
         if native and isinstance(expr.right, ax.Const) and expr.right.value is not None:
@@ -265,8 +348,16 @@ class VectorExprCompiler:
                 ">": lambda col: [None if v is None else v > constant for v in col],
                 ">=": lambda col: [None if v is None else v >= constant for v in col],
             }
-            kernel = table[expr.op]
-            return lambda batch, env: kernel(operand(batch, env))
+            kernel = table[op]
+
+            def run_const(batch: Batch, env: Env) -> AnyColumn:
+                column = operand(batch, env)
+                bulk = vec_cmp_const(column, op, constant)
+                if bulk is not None:
+                    return bulk
+                return kernel(column_values(column))
+
+            return run_const
 
         left, right = self.compile(expr.left), self.compile(expr.right)
         if native:
@@ -278,39 +369,72 @@ class VectorExprCompiler:
                 ">": lambda a, b: None if a is None or b is None else a > b,
                 ">=": lambda a, b: None if a is None or b is None else a >= b,
             }
-            kernel2 = table2[expr.op]
-            return lambda batch, env: [
-                kernel2(a, b) for a, b in zip(left(batch, env), right(batch, env))
-            ]
+            kernel2 = table2[op]
+
+            def run_native(batch: Batch, env: Env) -> AnyColumn:
+                a = left(batch, env)
+                b = right(batch, env)
+                bulk = vec_cmp(a, b, op)
+                if bulk is not None:
+                    return bulk
+                return [
+                    kernel2(x, y)
+                    for x, y in zip(column_values(a), column_values(b))
+                ]
+
+            return run_native
         return lambda batch, env: [
-            comparator(a, b) for a, b in zip(left(batch, env), right(batch, env))
+            comparator(a, b)
+            for a, b in zip(
+                column_values(left(batch, env)), column_values(right(batch, env))
+            )
         ]
 
     def _compile_arith(self, expr: ax.BinOp) -> VectorExpr:
         op = expr.op
         left, right = self.compile(expr.left), self.compile(expr.right)
-        # Native fast path for overflow-free operators on numerics ("/"
-        # and "%" keep the generic kernel: SQL integer-division and
-        # division-by-zero semantics differ from Python's).
         lt, rt = self._static_type(expr.left), self._static_type(expr.right)
         numeric = lt in _NUMERIC and rt in _NUMERIC
-        if op == "+" and numeric:
-            return lambda batch, env: [
-                None if a is None or b is None else a + b
-                for a, b in zip(left(batch, env), right(batch, env))
-            ]
-        if op == "-" and numeric:
-            return lambda batch, env: [
-                None if a is None or b is None else a - b
-                for a, b in zip(left(batch, env), right(batch, env))
-            ]
-        if op == "*" and numeric:
-            return lambda batch, env: [
-                None if a is None or b is None else a * b
-                for a, b in zip(left(batch, env), right(batch, env))
-            ]
+        if op in ("+", "-", "*", "/", "%") and numeric:
+            # Constants broadcast into the bulk kernels as scalars.
+            left_const = _scalar_const(expr.left)
+            right_const = _scalar_const(expr.right)
+            if op == "+":
+                scalar_kernel = lambda a, b: None if a is None or b is None else a + b
+            elif op == "-":
+                scalar_kernel = lambda a, b: None if a is None or b is None else a - b
+            elif op == "*":
+                scalar_kernel = lambda a, b: None if a is None or b is None else a * b
+            else:
+                # "/" and "%" keep the exact kernel outside the bulk
+                # path: SQL integer-division and division-by-zero
+                # semantics differ from Python's.
+                scalar_kernel = lambda a, b, _op=op: arith(_op, a, b)
+
+            def run_arith(batch: Batch, env: Env) -> AnyColumn:
+                a = left(batch, env) if left_const is _NO_CONST else left_const
+                b = right(batch, env) if right_const is _NO_CONST else right_const
+                bulk = vec_arith(op, a, b, batch.length)
+                if bulk is not None:
+                    return bulk
+                a_vals = (
+                    column_values(a)
+                    if left_const is _NO_CONST
+                    else [left_const] * batch.length
+                )
+                b_vals = (
+                    column_values(b)
+                    if right_const is _NO_CONST
+                    else [right_const] * batch.length
+                )
+                return [scalar_kernel(x, y) for x, y in zip(a_vals, b_vals)]
+
+            return run_arith
         return lambda batch, env: [
-            arith(op, a, b) for a, b in zip(left(batch, env), right(batch, env))
+            arith(op, a, b)
+            for a, b in zip(
+                column_values(left(batch, env)), column_values(right(batch, env))
+            )
         ]
 
     def _compile_like(self, expr: ax.BinOp) -> VectorExpr:
@@ -325,7 +449,7 @@ class VectorExprCompiler:
 
             def run_const(batch: Batch, env: Env) -> list[Value]:
                 out: list[Value] = []
-                for value in operand(batch, env):
+                for value in column_values(operand(batch, env)):
                     if value is None:
                         out.append(None)
                         continue
@@ -341,7 +465,10 @@ class VectorExprCompiler:
 
         def run(batch: Batch, env: Env) -> list[Value]:
             out: list[Value] = []
-            for value, pattern in zip(operand(batch, env), pattern_fn(batch, env)):
+            for value, pattern in zip(
+                column_values(operand(batch, env)),
+                column_values(pattern_fn(batch, env)),
+            ):
                 if value is None or pattern is None:
                     out.append(None)
                     continue
@@ -370,10 +497,12 @@ class VectorExprCompiler:
             return lambda batch, env: [impl([]) for _ in range(batch.length)]
         if len(args) == 1:
             arg = args[0]
-            return lambda batch, env: [impl([v]) for v in arg(batch, env)]
+            return lambda batch, env: [
+                impl([v]) for v in column_values(arg(batch, env))
+            ]
 
         def run(batch: Batch, env: Env) -> list[Value]:
-            columns = [a(batch, env) for a in args]
+            columns = [column_values(a(batch, env)) for a in args]
             return [impl(list(values)) for values in zip(*columns)]
 
         return run

@@ -38,6 +38,18 @@ from ..catalog.schema import Schema
 from ..datatypes import SQLType, Value, is_true, row_identity, sort_key, value_identity
 from ..storage.table import HeapTable
 from .batch import DEFAULT_BATCH_SIZE, Batch, batches_from_rows, rows_from_batches
+from .columns import (
+    KIND_F64,
+    KIND_I64,
+    TypedColumn,
+    build_typed_column,
+    column_slice,
+    column_values,
+    concat_any_columns,
+    f64_has_nan,
+    int_sum_exact,
+    typed_extreme,
+)
 from .expr_eval import AggregateAccumulator, CompiledExpr, Env, Row, count_star_sentinel
 from .iterators import AggSpec, PhysicalOp, SortSpec, evaluate_limit_count
 from .vector_expr import VectorExpr
@@ -69,7 +81,16 @@ class VectorOp:
 
 
 class VScan(VectorOp):
-    """Sequential scan: chunk + columnarize the heap in bulk."""
+    """Sequential scan over the table's packed columnar image.
+
+    The heap hands scans off through ``HeapTable.columnar_cache``: a
+    per-version-stamp packed columnarization (typed buffers for
+    INT/FLOAT/BOOL columns, object lists otherwise) built on first scan
+    and reused until the table's visible version moves — version stamps
+    are snapshot identity, so repeated analytical queries pay zero
+    re-columnarization and the typed kernels start straight from packed
+    buffers.
+    """
 
     __slots__ = ("table", "batch_size")
 
@@ -78,11 +99,44 @@ class VScan(VectorOp):
         self.schema = schema
         self.batch_size = batch_size
 
+    def _columns(self, rows: Rows, version: int) -> list:
+        cached = self.table.columnar_cache
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        schema = self.schema
+        raw = list(zip(*rows)) if rows else [() for _ in schema]
+        columns = []
+        for values, attribute in zip(raw, schema):
+            values = list(values)
+            typed = build_typed_column(values, attribute.type)
+            columns.append(typed if typed is not None else values)
+        self.table.columnar_cache = (version, columns)
+        return columns
+
     def batches(self, env: Env) -> Iterator[Batch]:
-        rows = self.table.rows
+        table = self.table
+        rows = table.rows
+        n = len(rows)
+        if n == 0:
+            return
         width = len(self.schema)
-        for start in range(0, len(rows), self.batch_size):
-            yield Batch.from_rows(rows[start : start + self.batch_size], width)
+        if width and len(rows[0]) != width:
+            # Schema/width drift (shouldn't happen): stay on the safe
+            # row-materializing path.
+            for start in range(0, n, self.batch_size):
+                yield Batch.from_rows(rows[start : start + self.batch_size], width)
+            return
+        columns = self._columns(rows, table.version)
+        batch_size = self.batch_size
+        if n <= batch_size:
+            yield Batch(columns, n)
+            return
+        for start in range(0, n, batch_size):
+            stop = min(start + batch_size, n)
+            yield Batch(
+                [column_slice(column, start, stop) for column in columns],
+                stop - start,
+            )
 
 
 class VValues(VectorOp):
@@ -154,6 +208,14 @@ class VFilter(VectorOp):
         predicate = self.predicate
         for batch in self.child.batches(env):
             mask = predicate(batch, env)
+            if isinstance(mask, TypedColumn):
+                selected = mask.true_indices()
+                count = len(selected)
+                if count == batch.length:
+                    yield batch
+                elif count:
+                    yield batch.take(selected)
+                continue
             selected = [i for i, passed in enumerate(mask) if passed is True]
             if len(selected) == batch.length:
                 yield batch
@@ -221,8 +283,16 @@ class VHashJoin(VectorOp):
         self, batch: Batch, env: Env, key_fns: list[VectorExpr]
     ) -> list[Optional[tuple]]:
         """One hash key (or None for a never-matching NULL key) per row."""
-        key_columns = [fn(batch, env) for fn in key_fns]
+        key_columns = [column_values(fn(batch, env)) for fn in key_fns]
         null_safe = self.null_safe
+        if len(key_columns) == 1:
+            # Single-key probe — the dominant shape.
+            column = key_columns[0]
+            if null_safe[0]:
+                return [(value_identity(v),) for v in column]
+            return [
+                None if v is None else (value_identity(v),) for v in column
+            ]
         out: list[Optional[tuple]] = []
         for values in zip(*key_columns):
             key: list = []
@@ -365,6 +435,10 @@ class _ColumnAccumulator:
 
     def add_column(self, column: Sequence[Value]) -> None:
         inner = self.inner
+        if self.fast and isinstance(column, TypedColumn):
+            self._add_typed(column)
+            return
+        column = column_values(column)
         if not self.fast:
             add = inner.add
             for value in column:
@@ -393,6 +467,40 @@ class _ColumnAccumulator:
         elif self.func == "max":
             high = max(present)
             if inner.best is None or high > inner.best:
+                inner.best = high
+
+    def _add_typed(self, column: TypedColumn) -> None:
+        """Bulk accumulation over a packed column. Exactness rules: an
+        integer SUM that might exceed int64 runs the unbounded Python
+        sum (see :func:`int_sum_exact`); float SUMs accumulate
+        sequentially in row order (floating-point addition is
+        order-sensitive); NaN-containing min/max keep the object path."""
+        inner = self.inner
+        present_count = column.length - column.null_count
+        if present_count == 0:
+            return
+        inner.count += present_count
+        if self.func in ("sum", "avg"):
+            if self.exact_int and column.kind == KIND_I64:
+                inner.total += int_sum_exact(column)
+                return
+            total = inner.total
+            float_seen = inner.float_seen
+            for value in column.values():
+                if value is None:
+                    continue
+                if not float_seen and type(value) is float:
+                    float_seen = True
+                total += value
+            inner.total = total
+            inner.float_seen = float_seen
+        elif self.func == "min":
+            low = typed_extreme(column, want_max=False)
+            if low is not None and (inner.best is None or low < inner.best):
+                inner.best = low
+        elif self.func == "max":
+            high = typed_extreme(column, want_max=True)
+            if high is not None and (inner.best is None or high > inner.best):
                 inner.best = high
 
     def result(self) -> Value:
@@ -463,9 +571,12 @@ class VHashAggregate(VectorOp):
         groups: dict[tuple, tuple[tuple[Value, ...], list[AggregateAccumulator]]] = {}
         specs = self.agg_specs
         for batch in self.child.batches(env):
-            key_columns = [g(batch, env) for g in self.group_exprs]
+            key_columns = [
+                column_values(g(batch, env)) for g in self.group_exprs
+            ]
             arg_columns = [
-                s.arg(batch, env) if s.arg is not None else None for s in specs
+                column_values(s.arg(batch, env)) if s.arg is not None else None
+                for s in specs
             ]
             for i, key_values in enumerate(zip(*key_columns)):
                 key = tuple(value_identity(v) for v in key_values)
@@ -533,21 +644,48 @@ class VSort(VectorOp):
         self.batch_size = batch_size
 
     def batches(self, env: Env) -> Iterator[Batch]:
-        collected = self.child.materialize(env)
-        if not collected:
+        collected = list(self.child.batches(env))
+        total = sum(batch.length for batch in collected)
+        if total == 0:
             return
         width = len(self.schema)
-        big = Batch.from_rows(collected, width)
-        order = list(range(big.length))
+        if len(collected) == 1:
+            big = collected[0]
+        else:
+            # Concatenate column-wise so packed columns stay packed —
+            # the key evaluation below then runs on typed buffers.
+            big = Batch(
+                [
+                    concat_any_columns([batch.columns[i] for batch in collected])
+                    for i in range(width)
+                ],
+                total,
+            )
+        order = list(range(total))
         for vector_fn, spec in reversed(self.keys):
             column = vector_fn(big, env)
+            if (
+                isinstance(column, TypedColumn)
+                and column.nulls is None
+                and not (column.kind == KIND_F64 and f64_has_nan(column))
+            ):
+                # No NULLs, total order: the raw values are their own
+                # sort keys (bools order False < True like 0 < 1).
+                values = column.values()
+                order.sort(key=values.__getitem__, reverse=spec.descending)
+                continue
+            values = column_values(column)
             nulls_first_ascending = spec.nulls_first != spec.descending
             sort_keys = [
-                sort_key(value, nulls_first=nulls_first_ascending) for value in column
+                sort_key(value, nulls_first=nulls_first_ascending) for value in values
             ]
             order.sort(key=sort_keys.__getitem__, reverse=spec.descending)
-        ordered = [collected[i] for i in order]
-        yield from batches_from_rows(ordered, width, self.batch_size)
+        ordered = big.take(order)
+        if total <= self.batch_size:
+            yield ordered
+            return
+        for start in range(0, total, self.batch_size):
+            yield ordered.slice(start, min(start + self.batch_size, total))
 
 
 class VLimit(VectorOp):

@@ -61,6 +61,13 @@ class HeapTable:
         # repro.storage.persist on persistent databases): called with
         # (table, seq, version, rows, ids) before the state swaps in.
         self.on_direct_install = None
+        # Scan hand-off to the vectorized engine: the latest packed
+        # columnar image of this table as ``(version, columns)``.
+        # Version stamps are snapshot identity, so a matching stamp
+        # guarantees the cached columns are bit-identical to ``rows`` —
+        # the executor rebuilds on any mismatch (see
+        # repro.executor.vectorized.VScan).
+        self.columnar_cache: tuple[int, list] | None = None
 
     # -- visibility ----------------------------------------------------
     @property

@@ -13,6 +13,10 @@ so every differential-test failure is reproducible by its seed alone.
 The generator only emits queries that cannot raise *data-dependent*
 runtime errors (no division by columns, no mixed-type comparisons), so
 all engines must agree on results — not merely on error behavior.
+Integer constants at and just past the int64 boundary (2^63 and its
+neighbours, both signs) appear in comparison, projection-arithmetic and
+aggregate positions, pinning exact unbounded-integer semantics across
+all three engines.
 """
 
 from __future__ import annotations
@@ -91,6 +95,16 @@ _TEXT_CONSTS = {
     "forum": ["'lorem ipsum ...'", "'superForum'", "'Gert'", "'hi%'", "'x'"],
     "tpch": ["'O'", "'F'", "'R'", "'AUTOMOBILE'", "'BUILDING'", "'N'"],
 }
+# int64-boundary magnitudes (2^63 and its neighbours): emitted in
+# comparison, arithmetic and aggregate positions so the corpus exercises
+# exact-integer semantics — the engines keep Python bignums, the sqlite
+# backend must rewrite/escape rather than silently promote to REAL.
+_BOUNDARY_INTS = [
+    9223372036854775806,  # 2^63 - 2
+    9223372036854775807,  # 2^63 - 1 (int64 max)
+    9223372036854775808,  # 2^63 (first value beyond int64)
+]
+_SIGNED_BOUNDARY_INTS = _BOUNDARY_INTS + [-b for b in _BOUNDARY_INTS]
 _JOIN_KINDS = [
     "JOIN",
     "LEFT JOIN",
@@ -202,7 +216,10 @@ def _predicate(rng: random.Random, source: _Source, workload: str, depth: int = 
             values = ", ".join(str(rng.randrange(0, 2000)) for _ in range(rng.randint(2, 4)))
             negated = "NOT " if rng.random() < 0.3 else ""
             return f"{column} {negated}IN ({values})"
-        constant = rng.choice([0, 1, 2, 3, 5, 10, 100, 1000, 50000, 200000])
+        if rng.random() < 0.1:
+            constant = rng.choice(_SIGNED_BOUNDARY_INTS)
+        else:
+            constant = rng.choice([0, 1, 2, 3, 5, 10, 100, 1000, 50000, 200000])
         return f"{column} {rng.choice(['=', '<>', '<', '<=', '>', '>='])} {constant}"
     column = rng.choice(sorted(source.columns))
     return f"{column} IS NOT NULL"
@@ -219,7 +236,14 @@ def _projection(rng: random.Random, source: _Source) -> tuple[str, list[str]]:
         roll = rng.random()
         type_ = source.columns[column]
         if roll < 0.15 and type_ in ("int", "float"):
-            items.append(f"{column} + {rng.randrange(1, 10)} AS {name}")
+            if type_ == "int" and rng.random() < 0.3:
+                # int64-boundary arithmetic: exact bignum on every
+                # engine (never wrapped, never REAL).
+                boundary = rng.choice(_BOUNDARY_INTS)
+                shape = rng.choice(["{c} + {b}", "{c} - {b}", "-{c} - {b}", "{c} * {b}"])
+                items.append(f"{shape.format(c=column, b=boundary)} AS {name}")
+            else:
+                items.append(f"{column} + {rng.randrange(1, 10)} AS {name}")
         elif roll < 0.25 and type_ == "text":
             items.append(f"{rng.choice(['upper', 'lower', 'length'])}({column}) AS {name}")
         elif roll < 0.33:
@@ -264,8 +288,17 @@ def _aggregate_query(rng: random.Random, source: _Source, where: str) -> str:
         if func == "count" and rng.random() < 0.5:
             aggs.append(f"count(*) AS a{i}")
         elif func in ("sum", "avg"):
+            int_columns = [c for c in numeric if source.columns[c] == "int"]
             if not numeric:
                 aggs.append(f"count(*) AS a{i}")
+            elif int_columns and rng.random() < 0.2:
+                # Aggregate near the int64 boundary: per-row shifts push
+                # the total past 2^63, so sum() must return the exact
+                # bignum and avg() the correctly-rounded quotient on
+                # every engine.
+                column = rng.choice(int_columns)
+                boundary = rng.choice(_BOUNDARY_INTS)
+                aggs.append(f"{func}({column} + {boundary}) AS a{i}")
             else:
                 distinct = "DISTINCT " if rng.random() < 0.2 else ""
                 aggs.append(f"{func}({distinct}{rng.choice(numeric)}) AS a{i}")

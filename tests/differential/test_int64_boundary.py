@@ -1,0 +1,125 @@
+"""Curated int64-boundary regressions: exact unbounded-integer
+semantics must be identical across the row, vectorized and sqlite
+engines.
+
+The two bugs these pin down (both observed against the sqlite backend
+before the interval-analysis rewrite and the row-engine rescue):
+
+* Silent precision loss: ``SELECT -x - 9223372036854775807`` over
+  ``x = 9223372036854775806`` returned ``-1.8446744073709552e+19``
+  (SQLite promotes overflowing integer arithmetic to REAL) where the
+  row and vectorized engines return the exact ``-18446744073709551613``.
+* Integer SUM overflow: ``SELECT sum(x)`` past int64 raised
+  ``ExecutionError: sqlite backend: integer overflow`` where the other
+  engines return the exact bignum ``9223372036854775808``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from harness import assert_engines_agree
+from querygen import generate_query
+
+ENGINES = ("row", "vectorized", "sqlite")
+
+INT64_MAX = 9223372036854775807
+INT64_MIN = -9223372036854775808
+
+
+@pytest.fixture(scope="module")
+def boundary_pairs():
+    """{engine: Connection} over one table of int64-boundary rows."""
+    connections = {}
+    for engine in ENGINES:
+        conn = repro.connect(engine=engine)
+        conn.run("CREATE TABLE big (k int, x int)")
+        conn.load_rows(
+            "big",
+            [
+                (1, INT64_MAX - 1),
+                (2, INT64_MAX),
+                (3, INT64_MIN),
+                (4, INT64_MIN + 1),
+                (5, 1),
+                (6, None),
+            ],
+        )
+        connections[engine] = conn
+    return connections
+
+
+def test_arithmetic_overflow_stays_exact(boundary_pairs):
+    # The first ISSUE regression: silent REAL promotion on sqlite.
+    outcome = assert_engines_agree(
+        boundary_pairs,
+        "SELECT -x - 9223372036854775807 AS y FROM big WHERE k = 1",
+    )
+    assert outcome[:2] == ("ok", [(-18446744073709551613,)])
+
+
+def test_integer_sum_overflow_returns_exact_bignum(boundary_pairs):
+    # The second ISSUE regression: ExecutionError on sqlite.
+    outcome = assert_engines_agree(
+        boundary_pairs, "SELECT sum(x) AS s FROM big WHERE k IN (2, 5)"
+    )
+    assert outcome[:2] == ("ok", [(9223372036854775808,)])
+
+
+@pytest.mark.parametrize(
+    "sql",
+    [
+        # Every +/-/* near the boundary, both directions.
+        "SELECT x + 9223372036854775806 FROM big",
+        "SELECT x - 9223372036854775808 FROM big",
+        "SELECT x * 9223372036854775807 FROM big WHERE k IN (2, 5, 6)",
+        "SELECT -x FROM big",
+        # INT64_MIN / -1 = 2^63, the one division that escapes int64.
+        "SELECT x / -1 FROM big",
+        # A constant SQLite would lex as REAL.
+        "SELECT 9223372036854775808 FROM big WHERE k = 5",
+        "SELECT x FROM big WHERE x < 9223372036854775808",
+        "SELECT x FROM big WHERE x > -9223372036854775808",
+        # Aggregates over boundary-shifted values (sum/avg/min/max).
+        "SELECT sum(x + 9223372036854775806) FROM big",
+        "SELECT avg(x) FROM big",
+        "SELECT avg(x + 9223372036854775806) FROM big",
+        "SELECT min(x), max(x) FROM big",
+        "SELECT k % 2 AS g, sum(x), avg(x) FROM big GROUP BY k % 2",
+        # Boundary values through joins, DISTINCT, ORDER BY.
+        "SELECT DISTINCT a.x FROM big a JOIN big b ON a.x = b.x",
+        "SELECT x * 3 AS y FROM big ORDER BY y DESC",
+        # Bounded subexpressions stay native: interval analysis proves
+        # (x % 1000) + 7 cannot overflow.
+        "SELECT (x % 1000) + 7 FROM big WHERE x IS NOT NULL",
+    ],
+)
+def test_boundary_query_agrees(boundary_pairs, sql):
+    assert_engines_agree(boundary_pairs, sql)
+
+
+def test_bignum_results_survive_reuse(boundary_pairs):
+    """The rescue path must not poison the cached plan: a query that
+    escapes to the row engine once must keep working (and agreeing)
+    on repeated executions and after interleaved in-range queries."""
+    overflow = "SELECT x * 2 AS y FROM big WHERE k = 2"
+    in_range = "SELECT x FROM big WHERE k = 5"
+    for _ in range(3):
+        assert_engines_agree(boundary_pairs, overflow)
+        assert_engines_agree(boundary_pairs, in_range)
+
+
+def test_corpus_contains_boundary_constants():
+    """The generated differential corpus actually exercises the int64
+    boundary in arithmetic and aggregate positions."""
+    corpus = [
+        generate_query(seed, workload)
+        for workload in ("forum", "tpch")
+        for seed in range(180)
+    ]
+    boundary = [sql for sql in corpus if "922337203685477580" in sql]
+    assert boundary, "no boundary constants in the corpus"
+    assert any(
+        "sum(" in sql or "avg(" in sql for sql in boundary
+    ), "no boundary constants in aggregate position"
