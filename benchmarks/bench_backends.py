@@ -1,15 +1,23 @@
-"""Three-engine backend sweep: row vs vectorized vs sqlite pushdown.
+"""Backend sweep: row vs vectorized vs sqlite vs partitioned sqlite.
 
-The headline experiment for the pushdown backend: the 100k-row
-scan/filter/aggregate query must run at least 2x faster when the
-rewritten plan is compiled to one SQL statement and executed by SQLite's
-C engine (measured: ~40x — the whole query runs without touching the
-Python interpreter per row, only the one-time mirror sync is Python).
+Two headline experiments for the pushdown backends:
 
-The sweep then compares all three engines at 10k and 100k rows with
-provenance rewriting on and off, asserting bit-identical results
-throughout (the same property the differential harness checks, here at
-benchmark scale).
+1. The 100k-row scan/filter/aggregate query must run at least 2x faster
+   when the rewritten plan is compiled to one SQL statement and executed
+   by SQLite's C engine (measured: ~40x — the whole query runs without
+   touching the Python interpreter per row, only the one-time mirror
+   sync is Python).
+2. The hash-partitioned backend (``engine="sqlite-partition"``) must
+   beat the single-connection sqlite backend on 1M-row aggregate-heavy
+   queries by fanning the same compiled statement out across
+   ``$REPRO_PARTITIONS`` shard connections on a thread pool (sqlite3
+   releases the GIL, so the shards genuinely scan in parallel).
+
+The sweep then compares every registered differential engine at 10k and
+100k rows with provenance rewriting on and off, asserting bit-identical
+results throughout (the same property the differential harness checks,
+here at benchmark scale). Results land in ``BENCH_backends.json``
+(override with $BENCH_BACKENDS_JSON) so CI can archive the trajectory.
 
 Reproduce with::
 
@@ -18,17 +26,21 @@ Reproduce with::
 
 from __future__ import annotations
 
+import json
+import os
 import random
 import time
 
 from conftest import print_table
 
 import repro
+from repro.backend.partition import PartitionedQueryOp
 from repro.backend.sqlite import SQLiteQueryOp
 from repro.workloads.queries import with_provenance
 
-ENGINES = ("row", "vectorized", "sqlite")
+ENGINES = ("row", "vectorized", "sqlite", "sqlite-partition")
 SCALES = (10_000, 100_000)
+PARTITION_ROWS = int(os.environ.get("BENCH_PARTITION_ROWS", "1000000"))
 
 SCAN_FILTER_AGG = (
     "SELECT count(*), sum(x), min(x), max(x) "
@@ -41,6 +53,25 @@ SWEEP_QUERIES = {
     "group_agg": "SELECT grp, count(*) AS n, min(k) AS lo, max(k) AS hi "
     "FROM readings GROUP BY grp",
 }
+
+# Aggregate-heavy queries for the 1M-row partitioned experiment. All
+# aggregate arguments are statically INT so the partial-aggregate merge
+# is exact and the plans partition instead of delegating (float sum is
+# order-sensitive and intentionally stays on the single connection).
+PARTITION_QUERIES = {
+    "int_scan_agg": (
+        "SELECT count(*), sum(k), min(k), max(k) "
+        "FROM readings WHERE x > 250.0 AND k % 2 = 0"
+    ),
+    "int_group_agg": (
+        "SELECT grp, count(*) AS n, sum(k) AS total, min(k) AS lo, max(k) AS hi "
+        "FROM readings GROUP BY grp"
+    ),
+}
+
+
+def _artifact_path() -> str:
+    return os.environ.get("BENCH_BACKENDS_JSON", "BENCH_backends.json")
 
 
 def _readings_db(engine: str, rows: int) -> "repro.Connection":
@@ -59,7 +90,7 @@ def _readings_db(engine: str, rows: int) -> "repro.Connection":
 
 def _time_query(conn, sql: str, repeat: int = 5) -> tuple[float, list]:
     """Best-of-*repeat* wall time (seconds) with a warm plan cache (and,
-    for the sqlite backend, a warm table mirror)."""
+    for the pushdown backends, a warm table mirror)."""
     result = conn.run(sql)  # warm-up: plan cached, mirror synced
     best = float("inf")
     for _ in range(repeat):
@@ -67,6 +98,10 @@ def _time_query(conn, sql: str, repeat: int = 5) -> tuple[float, list]:
         result = conn.run(sql)
         best = min(best, time.perf_counter() - start)
     return best, result.rows
+
+
+def _physical_plan(conn, sql: str):
+    return conn._prepared_for(conn.pipeline.parse(sql)[0]).physical
 
 
 def test_sqlite_pushdown_speedup():
@@ -78,8 +113,7 @@ def test_sqlite_pushdown_speedup():
         conn = _readings_db(engine, 100_000)
         times[engine], rows[engine] = _time_query(conn, SCAN_FILTER_AGG)
         if engine == "sqlite":
-            prepared = conn._prepared_for(conn.pipeline.parse(SCAN_FILTER_AGG)[0])
-            assert isinstance(prepared.physical, SQLiteQueryOp), (
+            assert isinstance(_physical_plan(conn, SCAN_FILTER_AGG), SQLiteQueryOp), (
                 "the benchmark query must push down to SQLite, not fall back"
             )
     print_table(
@@ -90,9 +124,9 @@ def test_sqlite_pushdown_speedup():
             for engine in ENGINES
         ],
     )
-    assert rows["row"] == rows["vectorized"] == rows["sqlite"], (
-        "engines disagree on results"
-    )
+    baseline = rows["row"]
+    for engine in ENGINES:
+        assert rows[engine] == baseline, f"{engine} disagrees on results"
     speedup = times["row"] / times["sqlite"]
     assert speedup >= 2.0, (
         f"sqlite backend only {speedup:.2f}x faster on the 100k-row "
@@ -100,8 +134,67 @@ def test_sqlite_pushdown_speedup():
     )
 
 
+def test_partitioned_sqlite_beats_single_connection():
+    """The registry-proof experiment: on 1M-row aggregate-heavy queries
+    the hash-partitioned backend must beat single-connection sqlite,
+    with genuinely partitioned plans (no delegation, no rescues)."""
+    sqlite_db = _readings_db("sqlite", PARTITION_ROWS)
+    partition_db = _readings_db("sqlite-partition", PARTITION_ROWS)
+    backend = partition_db.pipeline.planner.backend
+    shard_count = backend.shard_count
+
+    table_rows, artifact_queries = [], {}
+    for name, sql in PARTITION_QUERIES.items():
+        assert isinstance(_physical_plan(partition_db, sql), PartitionedQueryOp), (
+            f"{name} must compile to a partitioned plan, not delegate"
+        )
+        sqlite_s, sqlite_rows = _time_query(sqlite_db, sql)
+        partition_s, partition_rows = _time_query(partition_db, sql)
+        assert partition_rows == sqlite_rows, f"backends disagree on {name}"
+        speedup = sqlite_s / partition_s
+        table_rows.append(
+            (
+                name,
+                f"{sqlite_s * 1000:.1f} ms",
+                f"{partition_s * 1000:.1f} ms",
+                f"{speedup:.2f}x",
+            )
+        )
+        artifact_queries[name] = {
+            "sql": sql,
+            "sqlite_s": sqlite_s,
+            "sqlite_partition_s": partition_s,
+            "speedup": speedup,
+        }
+    assert backend.rescues == 0, "partitioned plans should not have rescued"
+
+    print_table(
+        f"Aggregate-heavy queries over {PARTITION_ROWS:,} rows "
+        f"({shard_count} shards)",
+        ["query", "sqlite", "sqlite-partition", "speedup"],
+        table_rows,
+    )
+
+    best = max(entry["speedup"] for entry in artifact_queries.values())
+    assert best > 1.0, (
+        f"sqlite-partition never beat single-connection sqlite at "
+        f"{PARTITION_ROWS:,} rows (best {best:.2f}x)"
+    )
+
+    artifact = {
+        "rows": PARTITION_ROWS,
+        "shards": shard_count,
+        "queries": artifact_queries,
+    }
+    with open(_artifact_path(), "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {_artifact_path()}")
+
+
 def test_backend_sweep():
-    """All three engines at 10k/100k rows, provenance on and off."""
+    """Every differential engine at 10k/100k rows, provenance on and
+    off."""
     table_rows = []
     for scale in SCALES:
         databases = {engine: _readings_db(engine, scale) for engine in ENGINES}
@@ -113,10 +206,12 @@ def test_backend_sweep():
                     timings[engine], results[engine] = _time_query(
                         databases[engine], query, repeat=3
                     )
-                assert results["row"] == results["vectorized"] == results["sqlite"], (
-                    f"engines disagree on {name} at {scale} rows "
-                    f"(provenance={provenance})"
-                )
+                baseline = results["row"]
+                for engine in ENGINES:
+                    assert results[engine] == baseline, (
+                        f"{engine} disagrees on {name} at {scale} rows "
+                        f"(provenance={provenance})"
+                    )
                 table_rows.append(
                     (
                         f"{scale // 1000}k",
@@ -125,11 +220,12 @@ def test_backend_sweep():
                         f"{timings['row'] * 1000:.2f}",
                         f"{timings['vectorized'] * 1000:.2f}",
                         f"{timings['sqlite'] * 1000:.2f}",
+                        f"{timings['sqlite-partition'] * 1000:.2f}",
                         f"{timings['row'] / timings['sqlite']:.1f}x",
                     )
                 )
     print_table(
-        "Backend sweep (row vs vectorized vs sqlite)",
-        ["rows", "query", "prov", "row ms", "vec ms", "sqlite ms", "sqlite speedup"],
+        "Backend sweep (row vs vectorized vs sqlite vs sqlite-partition)",
+        ["rows", "query", "prov", "row ms", "vec ms", "sqlite ms", "part ms", "sqlite speedup"],
         table_rows,
     )

@@ -1,4 +1,4 @@
-"""Algebra -> SQL text, parameterized by target dialect.
+"""Algebra -> SQL text: the browser deparser.
 
 The Perm browser's pane 2 shows the *rewritten query as an SQL statement*
 (Figure 4, marker 2). Perm obtains that text by deparsing the rewritten
@@ -7,300 +7,64 @@ algebra trees. The generated SQL nests one subselect per operator, with
 every intermediate attribute exposed under its unique (quoted) name, so
 the output is both readable and re-parseable by :mod:`repro.sql.parser`.
 
-Deparsing is split between tree shape (the :class:`_SqlBuilder` nesting)
-and scalar rendering (a :class:`SqlDialect`), because the same algebra
-trees are compiled to SQL for two different consumers:
-
-* :class:`BrowserDialect` (default) — SQL in this engine's own dialect,
-  shown in the browser and re-parseable by :mod:`repro.sql.parser`;
-* :class:`SQLiteDialect` — SQL executable by a stock ``sqlite3``
-  connection, used by the pushdown backend (:mod:`repro.backend`). It
-  maps booleans to 0/1, renders parameters as named SQLite slots, and
-  routes scalar functions, casts and LIKE through registered
-  ``repro_*`` user-defined functions so the C engine computes exactly
-  the semantics of :mod:`repro.executor.expr_eval`.
+Deparsing is split between tree shape (the :class:`_SqlBuilder` nesting
+here) and scalar rendering, which is parameterized by a dialect object.
+Dialects live in :mod:`repro.backend.dialects` behind the
+:class:`~repro.backend.dialects.base.Dialect` interface — the browser
+dialect for this module, the SQLite/DuckDB dialects for the pushdown
+backends. The historic import surface (``SqlDialect``,
+``BrowserDialect``, ``SQLiteDialect``, ``BROWSER_DIALECT``,
+``quote_identifier_always``) is re-exported lazily below for
+compatibility.
 
 Dialects only cover scalar expressions; operator-tree compilation for
-SQLite (ordering channel, fallbacks, sublink strategies) lives in
-:mod:`repro.backend.compile`.
+pushdown targets (ordering channel, fallbacks, sublink strategies)
+lives in :mod:`repro.backend.compile`.
 """
 
 from __future__ import annotations
 
 from itertools import count
-from typing import Callable, Optional
 
-from ..datatypes import SQLType, Value
-from ..errors import PermError
 from . import nodes as n
-from .expressions import (
-    AggExpr,
-    BinOp,
-    CaseExpr,
-    CastExpr,
-    Column,
-    Const,
-    DistinctTest,
-    Expr,
-    FuncExpr,
-    InListExpr,
-    IsNullTest,
-    OuterColumn,
-    Param,
-    SubqueryExpr,
-    UnOp,
-)
+from .expressions import Expr
 
 _BARE = set("abcdefghijklmnopqrstuvwxyz0123456789_")
+
+# Names re-exported from repro.backend.dialects on attribute access.
+# Imported lazily (PEP 562): the dialect package imports the algebra
+# expression classes, so a module-level import here would be circular
+# whichever package is imported first.
+_DIALECT_EXPORTS = (
+    "Dialect",
+    "SqlDialect",
+    "BrowserDialect",
+    "SQLiteDialect",
+    "BROWSER_DIALECT",
+    "quote_identifier_always",
+)
+
+
+def __getattr__(name: str):
+    if name in _DIALECT_EXPORTS:
+        from ..backend import dialects
+
+        return getattr(dialects, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def expr_to_sql(expr: Expr, dialect=None) -> str:
+    """Render a resolved expression as SQL text in *dialect* (the
+    browser dialect when none is given)."""
+    from ..backend.dialects.base import expr_to_sql as render
+
+    return render(expr, dialect)
 
 
 def _quote(name: str) -> str:
     if name and all(c in _BARE for c in name) and not name[0].isdigit():
         return name
     return '"' + name.replace('"', '""') + '"'
-
-
-def quote_identifier_always(name: str) -> str:
-    """Unconditionally quote *name* — required for SQLite, whose keyword
-    list (CASE, ORDER, ...) would otherwise collide with bare aliases."""
-    return '"' + name.replace('"', '""') + '"'
-
-
-class SqlDialect:
-    """Scalar-rendering knobs that differ between SQL targets."""
-
-    name = "abstract"
-
-    #: SQL spellings of the static types (CAST targets, typed NULLs).
-    type_names: dict[SQLType, str] = {}
-
-    def identifier(self, name: str) -> str:
-        return _quote(name)
-
-    def literal(self, value: Value) -> str:
-        raise NotImplementedError
-
-    def typed_null(self, type_: SQLType) -> str:
-        return f"CAST(NULL AS {self.type_names[type_]})"
-
-    def param(self, expr: Param) -> str:
-        raise NotImplementedError
-
-    def function(self, name: str, args: list[str]) -> str:
-        raise NotImplementedError
-
-    def cast(self, operand: str, target: SQLType) -> str:
-        return f"CAST({operand} AS {self.type_names[target]})"
-
-    def like(self, left: str, right: str, case_insensitive: bool) -> str:
-        raise NotImplementedError
-
-    def subquery(self, expr: SubqueryExpr) -> str:
-        """Render a sublink. Dialects that cannot inline arbitrary
-        subplans (SQLite) override this to delegate or refuse."""
-        raise NotImplementedError
-
-
-class BrowserDialect(SqlDialect):
-    """The engine's own SQL dialect: what :mod:`repro.sql.parser` reads
-    and the Perm browser displays."""
-
-    name = "browser"
-
-    type_names = {
-        SQLType.INT: "int",
-        SQLType.FLOAT: "float",
-        SQLType.TEXT: "text",
-        SQLType.BOOL: "bool",
-        SQLType.NULL: "text",
-    }
-
-    def literal(self, value: Value) -> str:
-        if value is None:
-            return "NULL"
-        if isinstance(value, bool):
-            return "TRUE" if value else "FALSE"
-        if isinstance(value, str):
-            return "'" + value.replace("'", "''") + "'"
-        return repr(value)
-
-    def param(self, expr: Param) -> str:
-        # Re-parseable placeholder syntax (named slots keep their name).
-        return f":{expr.name}" if expr.name is not None else "?"
-
-    def function(self, name: str, args: list[str]) -> str:
-        return f"{name}({', '.join(args)})"
-
-    def like(self, left: str, right: str, case_insensitive: bool) -> str:
-        op = "ILIKE" if case_insensitive else "LIKE"
-        return f"({left} {op} {right})"
-
-    def subquery(self, expr: SubqueryExpr) -> str:
-        inner = algebra_to_sql(expr.plan, pretty=False)
-        if expr.kind == "scalar":
-            return f"({inner})"
-        if expr.kind == "exists":
-            prefix = "NOT " if expr.negated else ""
-            return f"({prefix}EXISTS ({inner}))"
-        if expr.kind == "in":
-            assert expr.operand is not None
-            maybe_not = "NOT " if expr.negated else ""
-            return f"({expr_to_sql(expr.operand, self)} {maybe_not}IN ({inner}))"
-        if expr.kind == "quant":
-            assert expr.operand is not None and expr.op and expr.quantifier
-            return (
-                f"({expr_to_sql(expr.operand, self)} {expr.op} "
-                f"{expr.quantifier.upper()} ({inner}))"
-            )
-        raise PermError(f"unknown sublink kind {expr.kind!r}")
-
-
-class SQLiteDialect(SqlDialect):
-    """SQL executable by ``sqlite3``.
-
-    Booleans become 0/1 (SQLite has no boolean storage class; the
-    backend converts results back using the plan's static types).
-    Scalar functions, CAST and LIKE go through ``repro_*`` UDFs the
-    backend registers, so every value — including raised execution
-    errors — matches the row engine bit for bit. Sublinks are handled
-    by the plan compiler (:mod:`repro.backend.compile`), which installs
-    itself via ``subquery_renderer``.
-    """
-
-    name = "sqlite"
-
-    type_names = {
-        SQLType.INT: "INTEGER",
-        SQLType.FLOAT: "REAL",
-        SQLType.TEXT: "TEXT",
-        SQLType.BOOL: "INTEGER",
-        SQLType.NULL: "BLOB",
-    }
-
-    #: Prefix under which the backend registers its exact-semantics UDFs.
-    udf_prefix = "repro_"
-
-    def identifier(self, name: str) -> str:
-        # Always quote: bare lowercase names can hit SQLite keywords.
-        return quote_identifier_always(name)
-
-    def __init__(
-        self, subquery_renderer: Optional[Callable[[SubqueryExpr], str]] = None
-    ):
-        self.subquery_renderer = subquery_renderer
-
-    def literal(self, value: Value) -> str:
-        if value is None:
-            return "NULL"
-        if isinstance(value, bool):
-            return "1" if value else "0"
-        if isinstance(value, str):
-            return "'" + value.replace("'", "''") + "'"
-        return repr(value)
-
-    def param(self, expr: Param) -> str:
-        # Slot-ordered named parameters; the backend binds values from
-        # the shared ParamContext under these names per execution.
-        return f":p{expr.index}"
-
-    def function(self, name: str, args: list[str]) -> str:
-        return f"{self.udf_prefix}{name}({', '.join(args)})"
-
-    def cast(self, operand: str, target: SQLType) -> str:
-        # SQLite CAST semantics differ ('abc' -> 0, no bool); the UDFs
-        # wrap repro.datatypes.cast_value for exact behavior.
-        return f"{self.udf_prefix}cast_{target.name.lower()}({operand})"
-
-    def like(self, left: str, right: str, case_insensitive: bool) -> str:
-        # SQLite's native LIKE is case-insensitive for ASCII; the UDF
-        # reproduces the engine's case-sensitive regex LIKE exactly.
-        udf = "ilike" if case_insensitive else "like"
-        return f"{self.udf_prefix}{udf}({left}, {right})"
-
-    def subquery(self, expr: SubqueryExpr) -> str:
-        if self.subquery_renderer is None:
-            raise PermError(
-                "sublink rendering for the sqlite dialect requires the "
-                "backend plan compiler (repro.backend.compile)"
-            )
-        return self.subquery_renderer(expr)
-
-
-BROWSER_DIALECT = BrowserDialect()
-
-
-def expr_to_sql(expr: Expr, dialect: SqlDialect = BROWSER_DIALECT) -> str:
-    """Render a resolved expression as SQL text in *dialect*."""
-    if isinstance(expr, Column):
-        return dialect.identifier(expr.name)
-    if isinstance(expr, OuterColumn):
-        # Correlated reference: rendered as a bare name; the enclosing
-        # query exposes it (display + re-parse inside the right scope).
-        return dialect.identifier(expr.name)
-    if isinstance(expr, Const):
-        if expr.value is None and expr.type is not SQLType.NULL:
-            return dialect.typed_null(expr.type)
-        return dialect.literal(expr.value)
-    if isinstance(expr, Param):
-        return dialect.param(expr)
-    if isinstance(expr, BinOp):
-        if expr.op in ("like", "ilike"):
-            return dialect.like(
-                expr_to_sql(expr.left, dialect),
-                expr_to_sql(expr.right, dialect),
-                expr.op == "ilike",
-            )
-        op = expr.op.upper() if expr.op in ("and", "or") else expr.op
-        return f"({expr_to_sql(expr.left, dialect)} {op} {expr_to_sql(expr.right, dialect)})"
-    if isinstance(expr, UnOp):
-        if expr.op == "not":
-            return f"(NOT {expr_to_sql(expr.operand, dialect)})"
-        return f"({expr.op}{expr_to_sql(expr.operand, dialect)})"
-    if isinstance(expr, IsNullTest):
-        maybe_not = " NOT" if expr.negated else ""
-        return f"({expr_to_sql(expr.operand, dialect)} IS{maybe_not} NULL)"
-    if isinstance(expr, DistinctTest):
-        if dialect.name == "sqlite":
-            # SQLite's IS / IS NOT *is* the null-safe comparison.
-            op = "IS" if expr.negated else "IS NOT"
-            return (
-                f"({expr_to_sql(expr.left, dialect)} {op} "
-                f"{expr_to_sql(expr.right, dialect)})"
-            )
-        maybe_not = " NOT" if expr.negated else ""
-        return (
-            f"({expr_to_sql(expr.left, dialect)} IS{maybe_not} DISTINCT FROM "
-            f"{expr_to_sql(expr.right, dialect)})"
-        )
-    if isinstance(expr, CaseExpr):
-        parts = ["CASE"]
-        if expr.operand is not None:
-            parts.append(expr_to_sql(expr.operand, dialect))
-        for condition, result in expr.whens:
-            parts.append(
-                f"WHEN {expr_to_sql(condition, dialect)} "
-                f"THEN {expr_to_sql(result, dialect)}"
-            )
-        if expr.else_result is not None:
-            parts.append(f"ELSE {expr_to_sql(expr.else_result, dialect)}")
-        parts.append("END")
-        return "(" + " ".join(parts) + ")"
-    if isinstance(expr, FuncExpr):
-        return dialect.function(expr.name, [expr_to_sql(a, dialect) for a in expr.args])
-    if isinstance(expr, CastExpr):
-        return dialect.cast(expr_to_sql(expr.operand, dialect), expr.target)
-    if isinstance(expr, InListExpr):
-        maybe_not = "NOT " if expr.negated else ""
-        items = ", ".join(expr_to_sql(i, dialect) for i in expr.items)
-        return f"({expr_to_sql(expr.operand, dialect)} {maybe_not}IN ({items}))"
-    if isinstance(expr, AggExpr):
-        if expr.arg is None:
-            return f"{expr.func}(*)"
-        distinct = "DISTINCT " if expr.distinct else ""
-        return f"{expr.func}({distinct}{expr_to_sql(expr.arg, dialect)})"
-    if isinstance(expr, SubqueryExpr):
-        return dialect.subquery(expr)
-    raise TypeError(f"cannot deparse expression {type(expr).__name__}")
 
 
 class _SqlBuilder:

@@ -1,9 +1,16 @@
-"""Algebra -> one SQLite statement, preserving engine semantics.
+"""Algebra -> one pushdown SQL statement, preserving engine semantics.
 
-This is the pushdown compiler for ``engine="sqlite"``. It walks the
-optimized (provenance-rewritten) algebra tree and emits nested-subselect
-SQL in the SQLite dialect, mirroring the paper's architecture: the
-rewritten query tree is deparsed and handed to a conventional DBMS.
+This is the shared plan compiler behind every pushdown backend
+(``engine="sqlite"`` and friends). It walks the optimized
+(provenance-rewritten) algebra tree and emits nested-subselect SQL,
+mirroring the paper's architecture: the rewritten query tree is
+deparsed and handed to a conventional DBMS. Everything target-specific
+is supplied by two objects — a
+:class:`~repro.backend.dialects.base.Dialect` (string rendering, UDF
+addressing, integer bounds) and a
+:class:`~repro.backend.runtime.MirrorAdapter` (mirroring, scan/fragment
+sources, capability flags) — so the compiler itself never names an
+engine.
 
 Two things make this more than a deparser:
 
@@ -12,53 +19,56 @@ a deterministic order (heap order scans, probe-side-major hash joins,
 first-seen groups) and the differential harness asserts bit-identical
 order across engines. SQL result order, however, is only defined by
 ORDER BY. So every compiled subquery carries hidden ordinal columns — a
-total order reproducing the row engine's output order — built from
-``rowid`` at the leaves, concatenated across joins, collapsed through
-GROUP BY via ``min(row_number() OVER (ORDER BY <child ordinals>))``,
-and consumed by one final top-level ORDER BY (NULL placement encoded as
-``(x IS NULL)`` prefix terms, so outer-join padding sorts exactly where
-the row engine puts it).
+total order reproducing the row engine's output order — built from the
+adapter's scan ordinal (rowid) at the leaves, concatenated across
+joins, collapsed through GROUP BY via
+``min(row_number() OVER (ORDER BY <child ordinals>))``, and consumed by
+one final top-level ORDER BY (NULL placement encoded as ``(x IS NULL)``
+prefix terms, so outer-join padding sorts exactly where the row engine
+puts it).
 
-**Per-subtree fallback.** Constructs SQLite cannot express with
+**Per-subtree fallback.** Constructs the target cannot express with
 identical semantics raise :class:`Unsupported`; the enclosing subtree is
 then planned on the row engine and its output materialized into a temp
 fragment table the statement reads (the pattern
 :class:`~repro.executor.vectorized.VFromRows` uses, one level up).
-Fallback triggers for: set operations (SQLite's compound SELECT
-reorders rows), correlated sublinks beyond EXISTS/IN (SQLite silently
-takes the first row of a multi-row scalar subquery where this engine
-raises), quantified comparisons (no ANY/ALL), grouped or unordered
-float SUM/AVG (float addition is order-sensitive and SQLite's GROUP BY
-sorter does not preserve first-seen accumulation order), and statically
-boolean-typed operands of arithmetic/functions (SQLite has no boolean
-type to raise the engine's type errors on).
+Fallback triggers for: set operations (compound SELECTs reorder rows),
+correlated sublinks beyond EXISTS/IN (SQL targets silently take the
+first row of a multi-row scalar subquery where this engine raises),
+quantified comparisons, grouped or unordered float SUM/AVG (float
+addition is order-sensitive and GROUP BY sorters do not preserve
+first-seen accumulation order), and statically boolean-typed operands
+of arithmetic/functions (0/1 storage cannot raise the engine's type
+errors).
 
 Everything else — filters, projections, all join kinds, integer and
 min/max/count aggregation, DISTINCT, ORDER BY, LIMIT, parameter
 placeholders, EXISTS/IN sublinks (correlated or not) — runs natively in
-SQLite's C engine.
+the target's engine.
 
 **Exact integer semantics.** The engine's Python integers are unbounded
-while SQLite's are 64-bit, and SQLite silently promotes overflowing
-integer arithmetic to REAL (losing precision) where the engines return
-exact big integers. Two mechanisms close the gap:
+while pushdown targets hold 64-bit integers, and e.g. SQLite silently
+promotes overflowing integer arithmetic to REAL (losing precision)
+where the engines return exact big integers. Two mechanisms close the
+gap:
 
-* *Static interval analysis* (:meth:`SQLiteCompiler._prepare`): every
+* *Static interval analysis* (:meth:`PushdownCompiler._prepare`): every
   integer ``+``/``-``/``*``/unary ``-`` gets conservative value bounds
   computed bottom-up (constants are exact, stored columns and parameters
-  are int64 by construction); a node whose result interval cannot be
-  proven within int64 is rewritten to the exact ``repro_iadd`` /
-  ``repro_isub`` / ``repro_imul`` / ``repro_ineg`` UDFs, which compute
-  in Python. Integer constants beyond int64 (SQLite would lex them as
-  REAL) make the subtree fall back to the row engine outright.
-* *Runtime escape + rescue* (:class:`~repro.backend.sqlite
-  .IntegerRangeEscape`): any integer that still crosses the 64-bit
-  boundary at runtime — a UDF or aggregate result, native ``sum()``
-  overflow, an oversized parameter at bind, a stored or fragment value
-  beyond int64 — aborts the statement and re-runs the whole query on
-  the row engine, whose exact result is returned. Integer SUM therefore
-  stays on SQLite's fast native aggregate and only pays for rescue in
-  the rare overflow case; all three engines agree on the exact bignum.
+  are in-range by construction); a node whose result interval cannot be
+  proven within the dialect's :attr:`~repro.backend.dialects.base
+  .Dialect.integer_bounds` is rewritten to the exact ``iadd`` / ``isub``
+  / ``imul`` / ``ineg`` UDFs, which compute in Python. Integer constants
+  beyond the bounds (lexed as REAL by the target) make the subtree fall
+  back to the row engine outright.
+* *Runtime escape + rescue* (:class:`~repro.backend.runtime
+  .IntegerRangeEscape`): any integer that still crosses the boundary at
+  runtime — a UDF or aggregate result, native ``sum()`` overflow, an
+  oversized parameter at bind, a stored or fragment value out of range
+  — aborts the statement and re-runs the whole query on the row engine,
+  whose exact result is returned. Integer SUM therefore stays on the
+  target's fast native aggregate and only pays for rescue in the rare
+  overflow case; all engines agree on the exact bignum.
 """
 
 from __future__ import annotations
@@ -68,19 +78,12 @@ from typing import TYPE_CHECKING, Optional
 
 from ..algebra import expressions as ax
 from ..algebra import nodes as an
-from ..algebra.to_sql import SQLiteDialect, expr_to_sql, quote_identifier_always as q
 from ..algebra.tree import walk_tree
 from ..catalog.schema import Schema
 from ..datatypes import SQLType
 from ..errors import PlanError
-from .sqlite import (
-    INT64_MAX,
-    INT64_MIN,
-    LimitBind,
-    SQLiteBackend,
-    SQLiteQueryOp,
-    SubplanSlot,
-)
+from .dialects.base import expr_to_sql, quote_identifier_always as q
+from .runtime import LimitBind, MirrorAdapter, SubplanSlot
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..planner.planner import Planner
@@ -123,15 +126,9 @@ class _Compiled:
         self.ords = ords
 
 
-_ROWID_NAMES = ("rowid", "_rowid_", "oid")
-_INT64_BOUNDS = (INT64_MIN, INT64_MAX)
-# Rewrites of +/-/* whose result interval escapes int64: exact Python
-# arithmetic UDFs registered by the backend (see sqlite._register_udfs).
+# Rewrites of +/-/* whose result interval escapes the dialect's integer
+# bounds: exact Python arithmetic UDFs registered by the backend.
 _EXACT_ARITH_UDFS = {"+": "iadd", "-": "isub", "*": "imul"}
-
-
-def _within_int64(interval: tuple[int, int]) -> bool:
-    return INT64_MIN <= interval[0] and interval[1] <= INT64_MAX
 
 
 def _arith_interval(
@@ -150,12 +147,21 @@ def _arith_interval(
 _ORDER_PRESERVING = (an.Select, an.Project)
 
 
-class SQLiteCompiler:
-    """Compiles one algebra tree into one :class:`SQLiteQueryOp`."""
+class PushdownCompiler:
+    """Compiles one algebra tree into one pushdown query operator,
+    parameterized by the backend's :class:`MirrorAdapter` (and, through
+    it, the backend's dialect)."""
 
-    def __init__(self, planner: "Planner", backend: SQLiteBackend):
+    def __init__(self, planner: "Planner", backend: MirrorAdapter):
         self.planner = planner
         self.backend = backend
+        # A plain dialect instance for rendering that needs no sublink
+        # support (slot handles, UDF names, bind labels).
+        self.dialect = backend.dialect()
+        bounds = self.dialect.integer_bounds
+        self._int_min, self._int_max = (
+            bounds if bounds is not None else (None, None)
+        )
         self._aliases = count()
         self._ords = count()
         self.table_names: list[str] = []
@@ -169,8 +175,9 @@ class SQLiteCompiler:
 
     # ------------------------------------------------------------------
     def compile_root(self, node: an.Node):
-        """Compile *node*; returns a :class:`SQLiteQueryOp`, or a plain
-        row-engine plan when the root itself cannot be pushed down."""
+        """Compile *node*; returns the backend's query operator, or a
+        plain row-engine plan when the root itself cannot be pushed
+        down."""
         self._current_tree = _tree_names(node)
         try:
             compiled = self._dispatch(node)
@@ -181,8 +188,7 @@ class SQLiteCompiler:
         sql = f"SELECT {columns} FROM ({compiled.sql}) AS {alias}"
         if compiled.ords:
             sql += f" ORDER BY {self._order_by(compiled.ords, alias)}"
-        return SQLiteQueryOp(
-            self.backend,
+        return self.backend.make_query_op(
             sql,
             node.schema,
             self.table_names,
@@ -242,7 +248,8 @@ class SQLiteCompiler:
 
     def _fallback(self, node: an.Node) -> _Compiled:
         """Plan *node* on the row engine; its output is materialized into
-        a temp fragment per execution (order preserved via rowid)."""
+        a temp fragment per execution (order preserved via rowid, which
+        the adapter contract guarantees on fragment tables)."""
         if self._scopes and ax.plan_is_correlated(node):
             # Inside a pushed-down correlated sublink a correlated
             # subtree cannot be materialized ahead of execution; bubble
@@ -259,7 +266,7 @@ class SQLiteCompiler:
         items.append(f"{alias}.rowid AS {q(ord_name)}")
         sql = (
             f"SELECT {', '.join(items)} "
-            f"FROM temp.{q(frag)} AS {alias}"
+            f"FROM {self.backend.fragment_source(frag)} AS {alias}"
         )
         return _Compiled(sql, [OrdKey(ord_name)])
 
@@ -267,10 +274,9 @@ class SQLiteCompiler:
     # Operators
     # ------------------------------------------------------------------
     def _compile_scan(self, node: an.Scan) -> _Compiled:
-        stored = {c.lower() for c in node.columns}
-        rowid = next((r for r in _ROWID_NAMES if r not in stored), None)
+        rowid = self.backend.scan_ordinal(node.columns)
         if rowid is None:
-            raise Unsupported("table uses every rowid alias as a column name")
+            raise Unsupported("mirror table cannot expose a scan ordinal")
         key = node.table_name.lower()
         if key not in {t.lower() for t in self.table_names}:
             self.table_names.append(node.table_name)
@@ -280,8 +286,11 @@ class SQLiteCompiler:
             for col, out in zip(node.columns, node.schema)
         ]
         ord_name = self._ord_name()
-        items.append(f"{alias}.{rowid} AS {q(ord_name)}")
-        sql = f"SELECT {', '.join(items)} FROM main.{q(key)} AS {alias}"
+        items.append(f"{alias}.{q(rowid)} AS {q(ord_name)}")
+        sql = (
+            f"SELECT {', '.join(items)} "
+            f"FROM {self.backend.scan_source(key)} AS {alias}"
+        )
         return _Compiled(sql, [OrdKey(ord_name)])
 
     def _compile_singlerow(self, node: an.SingleRow) -> _Compiled:
@@ -322,7 +331,7 @@ class SQLiteCompiler:
 
     def _compile_join(self, node: an.Join) -> _Compiled:
         if node.kind in ("right", "full") and not self.backend.supports_full_join:
-            raise Unsupported(f"{node.kind} join requires SQLite >= 3.39")
+            raise Unsupported(f"{node.kind} join unsupported by this backend")
         left = self._node(node.left)
         right = self._node(node.right)
         la, ra = self._alias(), self._alias()
@@ -379,11 +388,11 @@ class SQLiteCompiler:
                 arg_type = ax.infer_type(agg.arg, child_schema, outers)
                 if arg_type not in (SQLType.INT, SQLType.FLOAT):
                     # sum/avg over bool/text raises in the engine;
-                    # SQLite would happily coerce and compute.
+                    # a SQL target would happily coerce and compute.
                     raise Unsupported(f"{agg.func}() over {arg_type} input")
                 if arg_type is SQLType.FLOAT:
                     if agg.distinct:
-                        # SQLite iterates the distinct set in b-tree
+                        # SQL targets iterate the distinct set in b-tree
                         # (sorted) order; the engine sums first-seen.
                         raise Unsupported("DISTINCT float sum/avg is order-sensitive")
                     order_sensitive = True
@@ -401,9 +410,9 @@ class SQLiteCompiler:
 
         if order_sensitive:
             if node.group_items:
-                # SQLite's GROUP BY sorter does not preserve per-group
-                # arrival order, so float accumulation order (and hence
-                # the exact IEEE sum) could differ from the row engine.
+                # GROUP BY sorters do not preserve per-group arrival
+                # order, so float accumulation order (and hence the
+                # exact IEEE sum) could differ from the row engine.
                 raise Unsupported("grouped float sum/avg is order-sensitive")
             if not _order_realized(node.child):
                 raise Unsupported("float sum/avg over an unordered input")
@@ -418,13 +427,13 @@ class SQLiteCompiler:
             arg_sql = self._expr(agg.arg, child_schema)
             func = agg.func
             if index in float_aggs and not self.backend.native_float_agg:
-                # This host's native sum/avg uses compensated summation
-                # (>= 3.44); route through the naive aggregate UDFs for
-                # bit-identical accumulation.
-                func = "repro_fsum" if func == "sum" else "repro_favg"
+                # This host's native sum/avg is not bit-identical to the
+                # engine's naive accumulation (e.g. compensated
+                # summation); route through the naive aggregate UDFs.
+                func = self.dialect.udf_name("fsum" if func == "sum" else "favg")
             elif index in int_avgs:
                 # Exact integer average (see the gate above).
-                func = "repro_favg"
+                func = self.dialect.udf_name("favg")
             agg_sqls.append(f"{func}({distinct}{arg_sql}) AS {q(name)}")
 
         if not node.group_items:
@@ -514,21 +523,21 @@ class SQLiteCompiler:
         if node.limit is not None:
             bind = f"limit{len(self.limit_binds)}"
             self.limit_binds.append(LimitBind(bind, compiler.compile(node.limit), "LIMIT"))
-            sql += f" LIMIT :{bind}"
+            sql += f" LIMIT {self.dialect.bind_label(bind)}"
         else:
-            sql += " LIMIT -1"
+            sql += f" {self.dialect.limit_all()}"
         if node.offset is not None:
             bind = f"offset{len(self.limit_binds)}"
             self.limit_binds.append(
                 LimitBind(bind, compiler.compile(node.offset), "OFFSET")
             )
-            sql += f" OFFSET :{bind}"
+            sql += f" OFFSET {self.dialect.bind_label(bind)}"
         return _Compiled(sql, child.ords)
 
     def _compile_setopnode(self, node: an.SetOpNode) -> _Compiled:
-        # SQLite's compound SELECTs dedupe through a sorter, losing the
-        # engine's first-seen/left-major order; run on the row engine.
-        raise Unsupported("set operations reorder rows in SQLite")
+        # Compound SELECTs dedupe through a sorter, losing the engine's
+        # first-seen/left-major order; run on the row engine.
+        raise Unsupported("set operations reorder rows on pushdown")
 
     # ------------------------------------------------------------------
     # Expressions
@@ -539,7 +548,7 @@ class SQLiteCompiler:
 
     def _expr(self, expr: ax.Expr, schema: Schema) -> str:
         prepared = self._prepare(expr, schema)
-        dialect = SQLiteDialect(
+        dialect = self.backend.dialect(
             subquery_renderer=lambda sub: self._sublink(sub, schema)
         )
         for part in ax.walk_expr(prepared):
@@ -548,15 +557,20 @@ class SQLiteCompiler:
                 self.param_labels[part.index] = label
         return expr_to_sql(prepared, dialect)
 
+    def _within_bounds(self, interval: tuple[int, int]) -> bool:
+        return self._int_min <= interval[0] and interval[1] <= self._int_max
+
     def _prepare(self, expr: ax.Expr, schema: Schema) -> ax.Expr:
         """Static semantic gate + rewrite pass.
 
-        Rejects expressions SQLite cannot evaluate with identical
+        Rejects expressions the target cannot evaluate with identical
         semantics (boolean operands where the engine raises type errors,
         quantified sublinks) and rewrites division/modulo to the exact
-        ``repro_div``/``repro_mod`` UDFs unless the divisor is a nonzero
-        constant (where native SQLite arithmetic provably matches)."""
+        ``div``/``mod`` UDFs unless the divisor is a nonzero constant
+        (where native arithmetic provably matches)."""
         outers = self._outer_schemas()
+        int_gated = self._int_min is not None
+        int_bounds = (self._int_min, self._int_max) if int_gated else None
 
         def static_type(e: ax.Expr) -> SQLType:
             if isinstance(e, ax.FuncExpr) and e.name in ("div", "mod"):
@@ -588,12 +602,12 @@ class SQLiteCompiler:
             expression, or ``None`` when it is not statically integer.
 
             Sound because every integer that enters a compiled statement
-            is int64-bounded by construction — mirrored columns refuse
-            wider values, parameters escape at bind, UDF and sublink-slot
+            is bounded by construction — mirrored columns refuse wider
+            values, parameters escape at bind, UDF and sublink-slot
             results are range-checked on return — and because unsafe
             arithmetic below has already been rewritten to the escaping
-            ``repro_i*`` UDFs when this runs (``map_expr`` is bottom-up),
-            so any surviving native node was itself proven in-range."""
+            ``i*`` UDFs when this runs (``map_expr`` is bottom-up), so
+            any surviving native node was itself proven in-range."""
             if isinstance(e, ax.Const):
                 if e.value is None:
                     return (0, 0)  # NULL propagates; no value to bound
@@ -605,14 +619,14 @@ class SQLiteCompiler:
                 return None
             if isinstance(e, ax.BinOp):
                 if e.op in ("+", "-", "*"):
-                    li = int_interval(e.left) or _INT64_BOUNDS
-                    ri = int_interval(e.right) or _INT64_BOUNDS
+                    li = int_interval(e.left) or int_bounds
+                    ri = int_interval(e.right) or int_bounds
                     return _arith_interval(e.op, li, ri)
                 if e.op == "/":
                     # Surviving native division has |divisor| >= 1, so
-                    # |quotient| <= |dividend| (the INT64_MIN / -1 edge
-                    # is forced through repro_div below).
-                    lo, hi = int_interval(e.left) or _INT64_BOUNDS
+                    # |quotient| <= |dividend| (the INT_MIN / -1 edge
+                    # is forced through the div UDF below).
+                    lo, hi = int_interval(e.left) or int_bounds
                     magnitude = max(abs(lo), abs(hi))
                     return (-magnitude, magnitude)
                 if e.op == "%":
@@ -621,39 +635,40 @@ class SQLiteCompiler:
                     if isinstance(e.right, ax.Const) and isinstance(e.right.value, int):
                         bound = abs(e.right.value) - 1
                         return (-bound, bound)
-                    return _INT64_BOUNDS
+                    return int_bounds
             if isinstance(e, ax.UnOp) and e.op == "-":
-                lo, hi = int_interval(e.operand) or _INT64_BOUNDS
+                lo, hi = int_interval(e.operand) or int_bounds
                 return (-hi, -lo)
-            return _INT64_BOUNDS
+            return int_bounds
 
         def gate(e: ax.Expr) -> Optional[ax.Expr]:
             if isinstance(e, ax.Const) and isinstance(e.value, float) and (
                 e.value != e.value or e.value in (float("inf"), float("-inf"))
             ):
                 # repr() would render a bare `inf`/`nan` token, which
-                # SQLite reads as a column name; there is no SQLite
-                # literal with identical semantics.
+                # SQL lexers read as a column name; there is no literal
+                # with identical semantics.
                 raise Unsupported("non-finite float constant")
             if (
-                isinstance(e, ax.Const)
+                int_gated
+                and isinstance(e, ax.Const)
                 and isinstance(e.value, int)
                 and not isinstance(e.value, bool)
-                and not (INT64_MIN <= e.value <= INT64_MAX)
+                and not (self._int_min <= e.value <= self._int_max)
             ):
-                # SQLite lexes an over-wide integer literal as REAL,
+                # The target lexes an over-wide integer literal as REAL,
                 # silently losing precision; the row engine keeps it
                 # exact, so the subtree must run there.
-                raise Unsupported("integer constant beyond SQLite's 64-bit range")
+                raise Unsupported("integer constant beyond the target's range")
             if isinstance(e, ax.UnOp):
                 ot = static_type(e.operand)
                 if e.op == "-" and ot in (SQLType.BOOL, SQLType.TEXT):
                     raise Unsupported("unary minus over non-numeric raises in-engine")
                 if e.op == "not" and ot not in (SQLType.BOOL, SQLType.NULL):
                     raise Unsupported("NOT over non-boolean raises in-engine")
-                if e.op == "-" and ot in (SQLType.INT, SQLType.NULL):
-                    lo, hi = int_interval(e.operand) or _INT64_BOUNDS
-                    if not _within_int64((-hi, -lo)):
+                if int_gated and e.op == "-" and ot in (SQLType.INT, SQLType.NULL):
+                    lo, hi = int_interval(e.operand) or int_bounds
+                    if not self._within_bounds((-hi, -lo)):
                         return ax.FuncExpr("ineg", (e.operand,))
             if isinstance(e, ax.BinOp):
                 lt, rt = static_type(e.left), static_type(e.right)
@@ -674,23 +689,24 @@ class SQLiteCompiler:
                     t not in (SQLType.INT, SQLType.FLOAT, SQLType.NULL)
                     for t in (lt, rt)
                 ):
-                    # bool/text operands raise in the engine; SQLite
+                    # bool/text operands raise in the engine; SQL targets
                     # would coerce ('a' + 1 -> 1) and silently diverge.
                     raise Unsupported("arithmetic over non-numeric raises in-engine")
                 if (
-                    e.op in ("+", "-", "*")
+                    int_gated
+                    and e.op in ("+", "-", "*")
                     and lt in (SQLType.INT, SQLType.NULL)
                     and rt in (SQLType.INT, SQLType.NULL)
                 ):
-                    # Integer arithmetic: native SQLite silently promotes
+                    # Integer arithmetic: native targets silently promote
                     # an overflowing result to REAL. When the statically
-                    # derived result interval cannot be proven within
-                    # int64, compute exactly in Python instead (the UDF
-                    # escapes to the row engine if the exact result
-                    # itself exceeds int64).
-                    li = int_interval(e.left) or _INT64_BOUNDS
-                    ri = int_interval(e.right) or _INT64_BOUNDS
-                    if not _within_int64(_arith_interval(e.op, li, ri)):
+                    # derived result interval cannot be proven within the
+                    # dialect's bounds, compute exactly in Python instead
+                    # (the UDF escapes to the row engine if the exact
+                    # result itself exceeds the bounds).
+                    li = int_interval(e.left) or int_bounds
+                    ri = int_interval(e.right) or int_bounds
+                    if not self._within_bounds(_arith_interval(e.op, li, ri)):
                         return ax.FuncExpr(_EXACT_ARITH_UDFS[e.op], (e.left, e.right))
                 if e.op in ("/", "%"):
                     native = (
@@ -701,13 +717,13 @@ class SQLiteCompiler:
                     )
                     if e.op == "%" and not (lt is SQLType.INT and rt is SQLType.INT):
                         native = False
-                    if native and e.op == "/" and e.right.value == -1:
-                        # INT64_MIN / -1 = 2**63, the one in-range operand
-                        # pair whose quotient escapes int64; route through
-                        # the exact UDF unless the dividend provably
-                        # avoids INT64_MIN.
+                    if native and int_gated and e.op == "/" and e.right.value == -1:
+                        # INT_MIN / -1 = -INT_MIN, the one in-range
+                        # operand pair whose quotient escapes the bounds;
+                        # route through the exact UDF unless the dividend
+                        # provably avoids INT_MIN.
                         dividend = int_interval(e.left)
-                        if dividend is None or dividend[0] <= INT64_MIN:
+                        if dividend is None or dividend[0] <= self._int_min:
                             native = False
                     if not native:
                         return ax.FuncExpr("div" if e.op == "/" else "mod", (e.left, e.right))
@@ -720,7 +736,7 @@ class SQLiteCompiler:
             elif isinstance(e, ax.FuncExpr) and e.name not in ("div", "mod"):
                 if any(static_type(a) is SQLType.BOOL for a in e.args):
                     # Most scalar functions reject booleans at runtime;
-                    # through SQLite they would arrive as plain 0/1.
+                    # through the mirror they would arrive as plain 0/1.
                     raise Unsupported(f"{e.name}() over a boolean argument")
             elif isinstance(e, ax.CaseExpr) and e.operand is not None:
                 ot = static_type(e.operand)
@@ -752,7 +768,7 @@ class SQLiteCompiler:
         if not correlated:
             return self._uncorrelated_sublink(sub, schema)
         if sub.kind not in ("exists", "in"):
-            # A correlated scalar sublink: SQLite silently yields the
+            # A correlated scalar sublink: SQL targets silently yield the
             # first row where the engine raises on multi-row results.
             raise Unsupported(f"correlated {sub.kind} sublink")
         self._validate_outer_refs(sub.plan, schema)
@@ -782,20 +798,20 @@ class SQLiteCompiler:
 
     def _uncorrelated_sublink(self, sub: ax.SubqueryExpr, schema: Schema) -> str:
         """Evaluate once per execution with the row engine; surface the
-        value through the ``repro_slot`` UDF so an evaluation error (or
-        multi-row scalar result) fires only if the statement actually
-        evaluates the expression — matching the row engine's lazy
+        value through the slot UDF so an evaluation error (or multi-row
+        scalar result) fires only if the statement actually evaluates
+        the expression — matching the row engine's lazy
         uncorrelated-subquery cache."""
         plan = self.planner.plan(sub.plan)
         slot_id = self.backend.fresh_slot_id()
         if sub.kind == "scalar":
             self.slots.append(SubplanSlot("scalar", plan, slot_id=slot_id))
-            return f"repro_slot({slot_id})"
+            return self.dialect.slot_expr(slot_id)
         if sub.kind == "exists":
             self.slots.append(
                 SubplanSlot("exists", plan, slot_id=slot_id, negated=sub.negated)
             )
-            return f"repro_slot({slot_id})"
+            return self.dialect.slot_expr(slot_id)
         if sub.kind == "in":
             assert sub.operand is not None
             frag = self.backend.fresh_fragment_name()
@@ -808,16 +824,17 @@ class SQLiteCompiler:
             # error if subplan evaluation failed, yields the IN result
             # (true/false/NULL) otherwise.
             return (
-                f"(CASE WHEN repro_slot({slot_id}) = 1 THEN "
-                f"({operand} {maybe_not}IN (SELECT c0 FROM temp.{q(frag)})) END)"
+                f"(CASE WHEN {self.dialect.slot_expr(slot_id)} = 1 THEN "
+                f"({operand} {maybe_not}IN "
+                f"(SELECT c0 FROM {self.backend.fragment_source(frag)})) END)"
             )
         raise Unsupported(f"sublink kind {sub.kind!r}")
 
     def _validate_outer_refs(self, plan: an.Node, schema: Schema) -> None:
         """A pushed-down correlated sublink resolves outer references by
-        *name* through SQLite's scoping rules; refuse pushdown whenever a
-        name could bind to the wrong scope (shadowed by any relation the
-        resolution path crosses)."""
+        *name* through the target's scoping rules; refuse pushdown
+        whenever a name could bind to the wrong scope (shadowed by any
+        relation the resolution path crosses)."""
         plan_names = _tree_names(plan)
         # Scopes outward from the sublink: level 1 is the holder's input.
         scopes_out: list[tuple[set[str], set[str]]] = [
@@ -843,6 +860,10 @@ class SQLiteCompiler:
                     raise Unsupported(f"outer reference {name!r} shadowed on pushdown")
 
 
+#: Historic name — the compiler predates the backend registry.
+SQLiteCompiler = PushdownCompiler
+
+
 def _statically_comparable(a: SQLType, b: SQLType) -> bool:
     numeric = (SQLType.INT, SQLType.FLOAT)
     if a is SQLType.NULL or b is SQLType.NULL:
@@ -855,9 +876,9 @@ def _statically_comparable(a: SQLType, b: SQLType) -> bool:
 def _order_realized(node: an.Node) -> bool:
     """Whether the compiled SQL for *node* is physically scanned in its
     ordinal order, making order-sensitive (float) aggregation above it
-    safe: table scans walk rowids, LIMIT subqueries carry an inner ORDER
-    BY, single-row subqueries are trivially ordered; filters and
-    projections never reorder."""
+    safe: table scans walk the mirror's ordinal, LIMIT subqueries carry
+    an inner ORDER BY, single-row subqueries are trivially ordered;
+    filters and projections never reorder."""
     while isinstance(node, an.BaseRelationNode):
         node = node.child
     if isinstance(node, (an.Scan, an.SingleRow, an.Limit)):
@@ -877,8 +898,12 @@ def _tree_names(node: an.Node) -> set[str]:
     return names
 
 
-def compile_sqlite_plan(planner: "Planner", backend: SQLiteBackend, node: an.Node):
-    """Compile *node* for the sqlite backend (entry point for the
-    planner); returns a :class:`SQLiteQueryOp` or, when nothing at all
-    can be pushed down, the equivalent row-engine plan."""
-    return SQLiteCompiler(planner, backend).compile_root(node)
+def compile_pushdown_plan(planner: "Planner", backend: MirrorAdapter, node: an.Node):
+    """Compile *node* for a pushdown backend (entry point for the
+    planner); returns the backend's query operator or, when nothing at
+    all can be pushed down, the equivalent row-engine plan."""
+    return PushdownCompiler(planner, backend).compile_root(node)
+
+
+#: Historic name for :func:`compile_pushdown_plan`.
+compile_sqlite_plan = compile_pushdown_plan

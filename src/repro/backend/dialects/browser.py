@@ -1,0 +1,69 @@
+"""The engine's own SQL dialect: what :mod:`repro.sql.parser` reads and
+the Perm browser displays (Figure 4, marker 2)."""
+
+from __future__ import annotations
+
+from ...datatypes import SQLType, Value
+from ...errors import PermError
+from ...algebra.expressions import Param, SubqueryExpr
+from .base import Dialect, expr_to_sql
+
+
+class BrowserDialect(Dialect):
+    """SQL in this engine's own dialect, re-parseable by the parser."""
+
+    name = "browser"
+
+    type_names = {
+        SQLType.INT: "int",
+        SQLType.FLOAT: "float",
+        SQLType.TEXT: "text",
+        SQLType.BOOL: "bool",
+        SQLType.NULL: "text",
+    }
+
+    def literal(self, value: Value) -> str:
+        if value is None:
+            return "NULL"
+        if isinstance(value, bool):
+            return "TRUE" if value else "FALSE"
+        if isinstance(value, str):
+            return "'" + value.replace("'", "''") + "'"
+        return repr(value)
+
+    def param(self, expr: Param) -> str:
+        # Re-parseable placeholder syntax (named slots keep their name).
+        return f":{expr.name}" if expr.name is not None else "?"
+
+    def function(self, name: str, args: list[str]) -> str:
+        return f"{name}({', '.join(args)})"
+
+    def like(self, left: str, right: str, case_insensitive: bool) -> str:
+        op = "ILIKE" if case_insensitive else "LIKE"
+        return f"({left} {op} {right})"
+
+    def subquery(self, expr: SubqueryExpr) -> str:
+        # Imported lazily: the algebra deparser itself renders scalars
+        # through this dialect, so a module-level import would cycle.
+        from ...algebra.to_sql import algebra_to_sql
+
+        inner = algebra_to_sql(expr.plan, pretty=False)
+        if expr.kind == "scalar":
+            return f"({inner})"
+        if expr.kind == "exists":
+            prefix = "NOT " if expr.negated else ""
+            return f"({prefix}EXISTS ({inner}))"
+        if expr.kind == "in":
+            assert expr.operand is not None
+            maybe_not = "NOT " if expr.negated else ""
+            return f"({expr_to_sql(expr.operand, self)} {maybe_not}IN ({inner}))"
+        if expr.kind == "quant":
+            assert expr.operand is not None and expr.op and expr.quantifier
+            return (
+                f"({expr_to_sql(expr.operand, self)} {expr.op} "
+                f"{expr.quantifier.upper()} ({inner}))"
+            )
+        raise PermError(f"unknown sublink kind {expr.kind!r}")
+
+
+BROWSER_DIALECT = BrowserDialect()

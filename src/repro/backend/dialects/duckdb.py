@@ -1,0 +1,91 @@
+"""DuckDB pushdown dialect (optional).
+
+DuckDB speaks near-PostgreSQL SQL: ``IS [NOT] DISTINCT FROM`` exists,
+its BIGINT is 64-bit (overflow *raises* instead of promoting to REAL,
+so the same interval-gated exact-arithmetic rewrites apply), and Python
+scalar UDFs register through ``duckdb.create_function``. Everything
+engine-exact still routes through registered ``repro_*`` UDFs, exactly
+like the SQLite dialect, because DuckDB's native CAST/LIKE/division
+semantics differ from the engine's.
+
+This module intentionally does not import :mod:`duckdb`: the dialect is
+pure string rendering, and the matching backend registration
+(:mod:`repro.backend.registry`) is gated on the module's availability —
+in environments without DuckDB the engine simply is not registered.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ...datatypes import SQLType, Value
+from ...errors import PermError
+from ...algebra.expressions import Param, SubqueryExpr
+from .base import Dialect, quote_identifier_always
+from .sqlite import INT64_MAX, INT64_MIN
+
+
+class DuckDBDialect(Dialect):
+    """The pushdown dialect for an embedded DuckDB mirror."""
+
+    name = "duckdb"
+
+    type_names = {
+        SQLType.INT: "BIGINT",
+        SQLType.FLOAT: "DOUBLE",
+        SQLType.TEXT: "VARCHAR",
+        SQLType.BOOL: "BOOLEAN",
+        SQLType.NULL: "VARCHAR",
+    }
+
+    udf_prefix = "repro_"
+
+    #: DuckDB BIGINT is 64-bit; wider values escape to the row engine.
+    integer_bounds = (INT64_MIN, INT64_MAX)
+
+    def __init__(
+        self, subquery_renderer: Optional[Callable[[SubqueryExpr], str]] = None
+    ):
+        self.subquery_renderer = subquery_renderer
+
+    def identifier(self, name: str) -> str:
+        return quote_identifier_always(name)
+
+    def literal(self, value: Value) -> str:
+        if value is None:
+            return "NULL"
+        if isinstance(value, bool):
+            return "TRUE" if value else "FALSE"
+        if isinstance(value, str):
+            return "'" + value.replace("'", "''") + "'"
+        return repr(value)
+
+    def param(self, expr: Param) -> str:
+        # DuckDB's named-parameter syntax ($name) over the shared slot
+        # numbering; the backend binds the same p{index} labels.
+        return f"$p{expr.index}"
+
+    def function(self, name: str, args: list[str]) -> str:
+        return f"{self.udf_prefix}{name}({', '.join(args)})"
+
+    def cast(self, operand: str, target: SQLType) -> str:
+        return f"{self.udf_prefix}cast_{target.name.lower()}({operand})"
+
+    def like(self, left: str, right: str, case_insensitive: bool) -> str:
+        udf = "ilike" if case_insensitive else "like"
+        return f"{self.udf_prefix}{udf}({left}, {right})"
+
+    def bind_label(self, name: str) -> str:
+        return f"${name}"
+
+    def limit_all(self) -> str:
+        # DuckDB rejects LIMIT -1; int64 max is effectively "all".
+        return f"LIMIT {INT64_MAX}"
+
+    def subquery(self, expr: SubqueryExpr) -> str:
+        if self.subquery_renderer is None:
+            raise PermError(
+                "sublink rendering for the duckdb dialect requires the "
+                "backend plan compiler (repro.backend.compile)"
+            )
+        return self.subquery_renderer(expr)

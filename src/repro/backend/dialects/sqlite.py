@@ -1,0 +1,92 @@
+"""SQL executable by ``sqlite3``.
+
+Booleans become 0/1 (SQLite has no boolean storage class; the backend
+converts results back using the plan's static types). Scalar functions,
+CAST and LIKE go through ``repro_*`` UDFs the backend registers, so
+every value — including raised execution errors — matches the row
+engine bit for bit. Sublinks are handled by the plan compiler
+(:mod:`repro.backend.compile`), which installs itself via
+``subquery_renderer``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ...datatypes import SQLType, Value
+from ...errors import PermError
+from ...algebra.expressions import Param, SubqueryExpr
+from .base import Dialect, quote_identifier_always
+
+INT64_MIN = -(2**63)
+INT64_MAX = 2**63 - 1
+
+
+class SQLiteDialect(Dialect):
+    """The pushdown dialect for the embedded ``sqlite3`` mirror."""
+
+    name = "sqlite"
+
+    type_names = {
+        SQLType.INT: "INTEGER",
+        SQLType.FLOAT: "REAL",
+        SQLType.TEXT: "TEXT",
+        SQLType.BOOL: "INTEGER",
+        SQLType.NULL: "BLOB",
+    }
+
+    #: Prefix under which the backend registers its exact-semantics UDFs.
+    udf_prefix = "repro_"
+
+    #: SQLite integers are 64-bit; wider values escape to the row engine.
+    integer_bounds = (INT64_MIN, INT64_MAX)
+
+    def __init__(
+        self, subquery_renderer: Optional[Callable[[SubqueryExpr], str]] = None
+    ):
+        self.subquery_renderer = subquery_renderer
+
+    def identifier(self, name: str) -> str:
+        # Always quote: bare lowercase names can hit SQLite keywords.
+        return quote_identifier_always(name)
+
+    def literal(self, value: Value) -> str:
+        if value is None:
+            return "NULL"
+        if isinstance(value, bool):
+            return "1" if value else "0"
+        if isinstance(value, str):
+            return "'" + value.replace("'", "''") + "'"
+        return repr(value)
+
+    def param(self, expr: Param) -> str:
+        # Slot-ordered named parameters; the backend binds values from
+        # the shared ParamContext under these names per execution.
+        return f":p{expr.index}"
+
+    def function(self, name: str, args: list[str]) -> str:
+        return f"{self.udf_prefix}{name}({', '.join(args)})"
+
+    def cast(self, operand: str, target: SQLType) -> str:
+        # SQLite CAST semantics differ ('abc' -> 0, no bool); the UDFs
+        # wrap repro.datatypes.cast_value for exact behavior.
+        return f"{self.udf_prefix}cast_{target.name.lower()}({operand})"
+
+    def like(self, left: str, right: str, case_insensitive: bool) -> str:
+        # SQLite's native LIKE is case-insensitive for ASCII; the UDF
+        # reproduces the engine's case-sensitive regex LIKE exactly.
+        udf = "ilike" if case_insensitive else "like"
+        return f"{self.udf_prefix}{udf}({left}, {right})"
+
+    def distinct_test(self, left: str, right: str, negated: bool) -> str:
+        # SQLite's IS / IS NOT *is* the null-safe comparison.
+        op = "IS" if negated else "IS NOT"
+        return f"({left} {op} {right})"
+
+    def subquery(self, expr: SubqueryExpr) -> str:
+        if self.subquery_renderer is None:
+            raise PermError(
+                "sublink rendering for the sqlite dialect requires the "
+                "backend plan compiler (repro.backend.compile)"
+            )
+        return self.subquery_renderer(expr)

@@ -1,0 +1,280 @@
+"""The execution-backend registry.
+
+Every execution engine — the built-in row/vectorized interpreters, the
+pushdown backends, and any third-party backend — is described by a
+:class:`BackendSpec` and registered here. Everything that used to
+hardcode the engine tuple (planner validation, ``resolve_engine``, the
+plan-cache key, server/CLI ``--engine`` choices, the differential test
+matrix) now consults this module, so adding a backend is one
+:func:`register` call:
+
+>>> import repro.backend as backend
+>>> backend.register(backend.BackendSpec(          # doctest: +SKIP
+...     name="mydb",
+...     kind="pushdown",
+...     description="pushdown onto MyDB",
+...     requires=("mydb",),                        # importable modules
+...     plan_root=my_plan_root,                    # (planner, node) -> op
+...     create_backend=my_adapter_factory,         # (catalog, options) -> MirrorAdapter
+... ))
+
+Registration is *declarative about availability*: a spec whose
+``requires`` modules cannot be imported is silently not registered
+(:func:`register` returns ``False``), so optional backends degrade to
+"unknown engine, valid engines are ..." instead of an import error at
+first use. The DuckDB backend ships exactly this way.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+from ..errors import PlanError, ProgrammingError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..algebra import nodes as an
+    from ..catalog.catalog import Catalog
+    from ..planner.planner import Planner
+    from .runtime import MirrorAdapter
+
+
+class BackendSpec:
+    """Everything the engine needs to know about one execution backend.
+
+    * ``name`` — the public engine name (``engine="..."``,
+      ``$REPRO_ENGINE``, server HELLO, CLI ``--engine``).
+    * ``kind`` — ``"core"`` (interpreter over the heap) or
+      ``"pushdown"`` (compiles plans to SQL for a mirror DBMS).
+    * ``requires`` — importable module names the backend depends on;
+      if any is missing the spec is not registered.
+    * ``differential`` — whether the N-way differential harness should
+      include this engine in its default matrix.
+    * ``plan_root(planner, node)`` — build the top-level physical plan.
+    * ``create_backend(catalog, options)`` — construct the backend's
+      :class:`~repro.backend.runtime.MirrorAdapter` (pushdown only).
+    * ``resolve_options()`` — resolve per-planner configuration
+      (environment knobs like ``$REPRO_PARTITIONS``) into a hashable
+      tuple, captured once at planner construction so the plan-cache
+      token and the live backend can never disagree mid-connection.
+    """
+
+    __slots__ = (
+        "name",
+        "kind",
+        "description",
+        "requires",
+        "differential",
+        "plan_root",
+        "create_backend",
+        "resolve_options",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        kind: str = "core",
+        description: str = "",
+        requires: Sequence[str] = (),
+        differential: bool = True,
+        plan_root: Callable[["Planner", "an.Node"], object] = None,
+        create_backend: Optional[
+            Callable[["Catalog", tuple], "MirrorAdapter"]
+        ] = None,
+        resolve_options: Optional[Callable[[], tuple]] = None,
+    ):
+        if plan_root is None:
+            raise ProgrammingError(f"backend {name!r} needs a plan_root callable")
+        self.name = name.lower()
+        self.kind = kind
+        self.description = description
+        self.requires = tuple(requires)
+        self.differential = differential
+        self.plan_root = plan_root
+        self.create_backend = create_backend
+        self.resolve_options = resolve_options if resolve_options is not None else tuple
+
+    def available(self) -> bool:
+        """Whether every required module can be imported here."""
+        for module in self.requires:
+            try:
+                if importlib.util.find_spec(module) is None:
+                    return False
+            except (ImportError, ValueError):
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BackendSpec {self.name!r} ({self.kind})>"
+
+
+#: name -> BackendSpec, in registration order (the order user-facing
+#: listings show).
+_REGISTRY: dict[str, BackendSpec] = {}
+
+
+def register(spec: BackendSpec) -> bool:
+    """Register *spec*; returns whether it is now available.
+
+    A second registration under an existing name is rejected
+    (:class:`~repro.errors.ProgrammingError`) — backends are identities,
+    not configuration to be silently swapped. A spec whose ``requires``
+    modules are missing is skipped and ``False`` returned: the engine
+    stays unknown (with a clean "valid engines are ..." error) rather
+    than failing with an import error at first query.
+    """
+    if spec.name in _REGISTRY:
+        raise ProgrammingError(
+            f"execution backend {spec.name!r} is already registered"
+        )
+    if not spec.available():
+        return False
+    _REGISTRY[spec.name] = spec
+    return True
+
+
+def unregister(name: str) -> None:
+    """Remove a registered backend (primarily for tests and reloads)."""
+    _REGISTRY.pop(name.lower(), None)
+
+
+def engine_names() -> tuple[str, ...]:
+    """All registered engine names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def differential_engines() -> tuple[str, ...]:
+    """Engines the N-way differential harness compares by default."""
+    return tuple(name for name, spec in _REGISTRY.items() if spec.differential)
+
+
+def backend_specs() -> tuple[BackendSpec, ...]:
+    return tuple(_REGISTRY.values())
+
+
+def unknown_engine_message(name: str, env_var: Optional[str] = None) -> str:
+    """The single source of truth for the invalid-engine error text.
+
+    *env_var* names the environment variable the bad value came from
+    (``$REPRO_ENGINE``), so a user who never passed ``engine=`` is told
+    where to look.
+    """
+    origin = f" (from ${env_var})" if env_var else ""
+    return (
+        f"unknown execution engine {name!r}{origin} "
+        f"(valid engines: {', '.join(engine_names())})"
+    )
+
+
+def get_spec(name: str, env_var: Optional[str] = None) -> BackendSpec:
+    """Look up a backend by name; raises :class:`PlanError` with the
+    canonical listing of registered engines when absent."""
+    spec = _REGISTRY.get(name.lower())
+    if spec is None:
+        raise PlanError(unknown_engine_message(name, env_var))
+    return spec
+
+
+# ----------------------------------------------------------------------
+# Built-in backends
+# ----------------------------------------------------------------------
+def _plan_row(planner: "Planner", node: "an.Node"):
+    return planner.plan(node)
+
+
+def _plan_vectorized(planner: "Planner", node: "an.Node"):
+    return planner.plan_vectorized(node)
+
+
+def _plan_pushdown(planner: "Planner", node: "an.Node"):
+    from .compile import compile_pushdown_plan
+
+    return compile_pushdown_plan(planner, planner.backend, node)
+
+
+def _create_sqlite(catalog: "Catalog", options: tuple) -> "MirrorAdapter":
+    from .sqlite import SQLiteBackend
+
+    return SQLiteBackend(catalog)
+
+
+def _plan_partitioned(planner: "Planner", node: "an.Node"):
+    from .partition import compile_partitioned_plan
+
+    return compile_partitioned_plan(planner, planner.backend, node)
+
+
+def _create_partitioned(catalog: "Catalog", options: tuple) -> "MirrorAdapter":
+    from .partition import PartitionedSQLiteBackend
+
+    (shards,) = options
+    return PartitionedSQLiteBackend(catalog, shards=shards)
+
+
+def _partition_options() -> tuple:
+    from .partition import resolve_shard_count
+
+    return (resolve_shard_count(),)
+
+
+def _create_duckdb(catalog: "Catalog", options: tuple) -> "MirrorAdapter":
+    from .duckdb import DuckDBBackend
+
+    return DuckDBBackend(catalog)
+
+
+def register_builtins() -> None:
+    """Install the in-tree backends (idempotent; called on package
+    import)."""
+    if "row" in _REGISTRY:
+        return
+    register(
+        BackendSpec(
+            name="row",
+            kind="core",
+            description="tuple-at-a-time interpreter (the reference engine)",
+            plan_root=_plan_row,
+        )
+    )
+    register(
+        BackendSpec(
+            name="vectorized",
+            kind="core",
+            description="batch-at-a-time columnar interpreter",
+            plan_root=_plan_vectorized,
+        )
+    )
+    register(
+        BackendSpec(
+            name="sqlite",
+            kind="pushdown",
+            description="single-statement pushdown onto embedded sqlite3",
+            plan_root=_plan_pushdown,
+            create_backend=_create_sqlite,
+        )
+    )
+    register(
+        BackendSpec(
+            name="sqlite-partition",
+            kind="pushdown",
+            description=(
+                "hash-partitioned sqlite3 mirrors executed on a thread "
+                "pool ($REPRO_PARTITIONS shards)"
+            ),
+            plan_root=_plan_partitioned,
+            create_backend=_create_partitioned,
+            resolve_options=_partition_options,
+        )
+    )
+    # Optional: only registered where the duckdb module is importable
+    # (its tests skip cleanly elsewhere).
+    register(
+        BackendSpec(
+            name="duckdb",
+            kind="pushdown",
+            description="single-statement pushdown onto embedded DuckDB",
+            requires=("duckdb",),
+            plan_root=_plan_pushdown,
+            create_backend=_create_duckdb,
+        )
+    )

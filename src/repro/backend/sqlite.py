@@ -9,48 +9,56 @@ database whose tables lazily mirror the engine's heap tables.
 
 Pieces:
 
-* :class:`SQLiteBackend` — owns the ``sqlite3`` connection, mirrors
-  catalog tables (synced per :class:`~repro.storage.table.HeapTable`
-  version), registers the ``repro_*`` user-defined functions that give
-  SQLite *exactly* the scalar semantics of
-  :mod:`repro.executor.expr_eval` (including raised errors, which
-  travel through a side channel because sqlite3 swallows exception
-  details), and materializes row-engine fallback fragments into temp
-  tables.
+* :class:`SQLiteBackend` — the :class:`~repro.backend.runtime
+  .MirrorAdapter` for ``engine="sqlite"``: owns the ``sqlite3``
+  connection, mirrors catalog tables (synced per
+  :class:`~repro.storage.table.HeapTable` version), registers the
+  ``repro_*`` user-defined functions that give SQLite *exactly* the
+  scalar semantics of :mod:`repro.executor.expr_eval` (including raised
+  errors, which travel through a side channel because sqlite3 swallows
+  exception details), and materializes row-engine fallback fragments
+  into temp tables.
 * :class:`SQLiteQueryOp` — the physical plan object the planner emits
-  for ``engine="sqlite"``; satisfies the executor contract
-  (``schema`` + ``rows(env)``) so :func:`repro.executor.execute_plan`
-  and the whole DB-API surface work unchanged.
+  for ``engine="sqlite"``; the generic
+  :class:`~repro.backend.runtime.PushdownQueryOp` under its historic
+  name.
 
 Value mapping: INT/FLOAT/TEXT/NULL map 1:1 onto SQLite storage classes;
 mirror columns are declared without a type (blank affinity) so values
 round-trip without coercion. BOOL has no SQLite storage class: ``True``
 /``False`` become 1/0 on the way in and are restored on the way out
 using the plan's static output types.
+
+The partitioned variant (:mod:`repro.backend.partition`) subclasses
+:class:`SQLiteBackend` per shard, overriding only the mirror hooks
+(:meth:`SQLiteBackend._mirror_columns` /
+:meth:`SQLiteBackend._mirror_rows` / :meth:`SQLiteBackend.scan_ordinal`)
+to store each table slice with an explicit global-position column.
 """
 
 from __future__ import annotations
 
 import sqlite3
-from itertools import count
-from typing import TYPE_CHECKING, Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
-from ..algebra.to_sql import quote_identifier_always as quote_identifier
-from ..catalog.schema import Schema
-from ..datatypes import SQLType, Value, arith, negate
+from ..datatypes import SQLType, Value
 from ..errors import ExecutionError, ProgrammingError
-from ..executor.expr_eval import (
-    _FUNCTIONS,
-    _like_to_regex,
-    CompiledExpr,
-    Env,
-    ParamContext,
-    Row,
+from ..executor.expr_eval import _FUNCTIONS, _like_to_regex, Row
+from .dialects.base import quote_identifier_always as quote_identifier
+from .dialects.sqlite import INT64_MAX, INT64_MIN, SQLiteDialect
+from .runtime import (  # noqa: F401  (re-exported: historic import surface)
+    IntegerRangeEscape,
+    LimitBind,
+    MirrorAdapter,
+    PushdownQueryOp,
+    SubplanSlot,
+    adapt_row,
+    adapt_value,
 )
-from ..executor.iterators import PhysicalOp, evaluate_limit_count
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..catalog.catalog import Catalog
+    from ..storage.table import HeapTable
 
 MIN_SQLITE_VERSION = (3, 25, 0)  # window functions (ordering channel)
 FULL_JOIN_VERSION = (3, 39, 0)  # RIGHT / FULL OUTER JOIN support
@@ -60,92 +68,20 @@ FULL_JOIN_VERSION = (3, 39, 0)  # RIGHT / FULL OUTER JOIN support
 # the repro_fsum/repro_favg aggregate UDFs instead of native sum/avg.
 KAHAN_SUM_VERSION = (3, 44, 0)
 
-INT64_MIN = -(2**63)
-INT64_MAX = 2**63 - 1
+_ROWID_NAMES = ("rowid", "_rowid_", "oid")
 
 
-class IntegerRangeEscape(Exception):
-    """A value crossed SQLite's 64-bit integer boundary mid-statement.
+class SQLiteQueryOp(PushdownQueryOp):
+    """The physical plan object for ``engine="sqlite"`` (the generic
+    pushdown operator under its historic name)."""
 
-    The engine's integers are unbounded Python ints; SQLite's are 64-bit.
-    Rather than diverging (silent REAL promotion) or erroring (the row
-    engine computes these queries fine), every place a too-wide integer
-    can enter or leave a pushed-down statement raises this escape —
-    UDF/aggregate return values, parameter and fragment binds, mirror
-    sync of stored big integers, and SQLite's own native ``sum()``
-    overflow — and :class:`SQLiteQueryOp` re-runs the whole query on the
-    row engine, whose exact arbitrary-precision result is returned
-    instead. Internal control flow only: it must never surface to users.
-    """
+    __slots__ = ()
 
 
-def adapt_value(value: Value) -> Value:
-    """Python -> SQLite: booleans become 1/0, the rest maps directly."""
-    if isinstance(value, bool):
-        return int(value)
-    return value
-
-
-def adapt_row(row: Row) -> Row:
-    return tuple(int(v) if isinstance(v, bool) else v for v in row)
-
-
-class SubplanSlot:
-    """One execution-time obligation of a compiled statement.
-
-    Three kinds, all evaluated by the row engine immediately before the
-    SQL statement runs (sublink subplans always use the row engine, the
-    same policy the vectorized engine follows):
-
-    * ``"rows"`` — a fallback subtree (or IN-sublink value list): the
-      row plan's output is loaded into a temp-schema fragment table the
-      statement reads from;
-    * ``"scalar"`` — an uncorrelated scalar sublink: its single value
-      (or the row engine's multi-row error);
-    * ``"exists"`` — an uncorrelated EXISTS sublink: 1/0 with the
-      negation already applied.
-
-    Sublink slots (``slot_id`` set) surface through the ``repro_slot``
-    UDF rather than plain bound parameters, so an error raised while
-    evaluating the subplan fires only if the statement actually
-    evaluates the expression — exactly like the row engine's lazy
-    uncorrelated-subquery cache (an empty outer relation never touches
-    the sublink on any engine). Fragment slots for fallback *subtrees*
-    (``slot_id`` None) are data sources the statement always scans, so
-    their errors raise immediately.
-    """
-
-    __slots__ = ("kind", "plan", "slot_id", "negated", "frag_table")
-
-    def __init__(
-        self,
-        kind: str,
-        plan: PhysicalOp,
-        slot_id: Optional[int] = None,
-        negated: bool = False,
-        frag_table: Optional[str] = None,
-    ):
-        self.kind = kind
-        self.plan = plan
-        self.slot_id = slot_id
-        self.negated = negated
-        self.frag_table = frag_table
-
-
-class LimitBind:
-    """A LIMIT/OFFSET expression evaluated per execution and bound as a
-    named parameter (reusing the row engine's evaluation and errors)."""
-
-    __slots__ = ("bind_name", "compiled", "what")
-
-    def __init__(self, bind_name: str, compiled: Optional[CompiledExpr], what: str):
-        self.bind_name = bind_name
-        self.compiled = compiled
-        self.what = what
-
-
-class SQLiteBackend:
+class SQLiteBackend(MirrorAdapter):
     """One in-memory SQLite database mirroring one catalog."""
+
+    dialect_class = SQLiteDialect
 
     def __init__(self, catalog: "Catalog"):
         if sqlite3.sqlite_version_info < MIN_SQLITE_VERSION:
@@ -154,7 +90,7 @@ class SQLiteBackend:
                 + ".".join(str(v) for v in MIN_SQLITE_VERSION)
                 + f" (found {sqlite3.sqlite_version})"
             )
-        self.catalog = catalog
+        super().__init__(catalog)
         # check_same_thread=False: a server session's statements all run
         # serialized (one request at a time), but possibly on different
         # worker-pool threads; sqlite3's same-thread check would reject
@@ -164,27 +100,19 @@ class SQLiteBackend:
         self.native_float_agg = sqlite3.sqlite_version_info < KAHAN_SUM_VERSION
         # table key -> (heap object, heap version, schema signature)
         self._mirror: dict[str, tuple] = {}
-        self._frag_names = count()
-        self._slot_ids = count()
-        # slot id -> ("ok", value) | ("error", exception); installed by
-        # the executing SQLiteQueryOp, read by the repro_slot UDF.
-        self._slot_states: dict[int, tuple[str, object]] = {}
-        self._pending_error: Optional[BaseException] = None
-        self.statements_executed = 0
-        self.tables_synced = 0
         self._register_udfs()
 
     # ------------------------------------------------------------------
     # User-defined functions: exact expr_eval semantics inside SQLite
     # ------------------------------------------------------------------
     def _register_udfs(self) -> None:
+        from ..datatypes import arith, cast_value, negate
+
         for name, impl in _FUNCTIONS.items():
             self.connection.create_function(
                 f"repro_{name}", -1, self._wrap_udf(impl), deterministic=True
             )
         for type_ in (SQLType.INT, SQLType.FLOAT, SQLType.TEXT, SQLType.BOOL):
-            from ..datatypes import cast_value
-
             self.connection.create_function(
                 f"repro_cast_{type_.name.lower()}",
                 1,
@@ -246,12 +174,6 @@ class SQLiteBackend:
                 agg_name, 1, _naive_aggregate_class(self, agg_func)
             )
 
-    def _read_slot(self, args):
-        kind, payload = self._slot_states[args[0]]
-        if kind == "error":
-            raise payload  # re-raised with type+message via the channel
-        return payload
-
     def _wrap_udf(self, impl):
         def wrapped(*args):
             try:
@@ -275,6 +197,19 @@ class SQLiteBackend:
     # ------------------------------------------------------------------
     # Mirroring
     # ------------------------------------------------------------------
+    def _mirror_columns(self, heap: "HeapTable") -> list[str]:
+        """Column definitions of the mirror table. Blank affinity:
+        values keep their storage class exactly."""
+        return [quote_identifier(a.name) for a in heap.schema]
+
+    def _mirror_rows(self, heap: "HeapTable") -> Iterable[Row]:
+        """Rows to load into the mirror (already storage-adapted)."""
+        if any(a.type is SQLType.BOOL for a in heap.schema):
+            return (adapt_row(r) for r in heap.rows)
+        # Fast path: heap rows are plain tuples of SQLite-native
+        # values, no per-row conversion needed.
+        return heap.rows
+
     def sync_table(self, name: str) -> None:
         """Bring the SQLite mirror of catalog table *name* up to date.
 
@@ -302,20 +237,13 @@ class SQLiteBackend:
         if known is not None and known[0] is heap and known[1:] == signature[1:]:
             return
         qname = f"main.{quote_identifier(key)}"
-        # Blank column affinity: values keep their storage class exactly.
-        columns = ", ".join(quote_identifier(a.name) for a in heap.schema)
+        columns = ", ".join(self._mirror_columns(heap))
         self.connection.execute(f"DROP TABLE IF EXISTS {qname}")
         self.connection.execute(f"CREATE TABLE {qname} ({columns})")
-        placeholders = ", ".join("?" for _ in heap.schema)
+        placeholders = ", ".join("?" for _ in self._mirror_columns(heap))
         insert = f"INSERT INTO {qname} VALUES ({placeholders})"
-        has_bool = any(a.type is SQLType.BOOL for a in heap.schema)
         try:
-            if has_bool:
-                self.connection.executemany(insert, (adapt_row(r) for r in heap.rows))
-            else:
-                # Fast path: heap rows are plain tuples of SQLite-native
-                # values, no per-row conversion needed.
-                self.connection.executemany(insert, heap.rows)
+            self.connection.executemany(insert, self._mirror_rows(heap))
         except OverflowError as exc:
             # A stored integer beyond int64 cannot be mirrored; escape to
             # the row engine, which reads the heap directly and computes
@@ -332,11 +260,14 @@ class SQLiteBackend:
         self._mirror[key] = signature
         self.tables_synced += 1
 
-    def fresh_fragment_name(self) -> str:
-        return f"_frag_{next(self._frag_names)}"
+    def scan_source(self, table_key: str) -> str:
+        return f"main.{quote_identifier(table_key)}"
 
-    def fresh_slot_id(self) -> int:
-        return next(self._slot_ids)
+    def scan_ordinal(self, columns: Sequence[str]) -> Optional[str]:
+        """SQLite's implicit rowid reproduces heap insertion order; pick
+        whichever alias the scanned columns leave available."""
+        stored = {c.lower() for c in columns}
+        return next((r for r in _ROWID_NAMES if r not in stored), None)
 
     def materialize_fragment(self, frag: str, rows: list[Row], width: int) -> None:
         """(Re)create temp fragment *frag* holding *rows* — used for
@@ -359,6 +290,9 @@ class SQLiteBackend:
             raise IntegerRangeEscape(
                 f"fragment {frag!r} holds an integer beyond int64"
             ) from exc
+
+    def fragment_source(self, frag: str) -> str:
+        return f"temp.{quote_identifier(frag)}"
 
     def drop_fragment(self, frag: str) -> None:
         try:
@@ -393,6 +327,9 @@ class SQLiteBackend:
             raise ExecutionError(f"sqlite backend: {exc}") from exc
         self.statements_executed += 1
         return rows
+
+    def make_query_op(self, *args, **kwargs):
+        return SQLiteQueryOp(self, *args, **kwargs)
 
     def close(self) -> None:
         self.connection.close()
@@ -441,179 +378,3 @@ def _run_like(args: list[Value], case_insensitive: bool) -> Optional[bool]:
     regex = _like_to_regex(pattern.lower() if case_insensitive else pattern)
     target = value.lower() if case_insensitive else value
     return regex.match(target) is not None
-
-
-class SQLiteQueryOp(PhysicalOp):
-    """A compiled SQLite statement as a physical plan.
-
-    ``rows(env)`` (the executor contract) syncs the mirrored base
-    tables, evaluates sublink/fallback slots with the row engine, binds
-    parameters from the shared :class:`ParamContext`, runs the single
-    SQL statement, and adapts values back (0/1 -> bool per the static
-    output schema).
-    """
-
-    __slots__ = (
-        "backend",
-        "sql",
-        "table_names",
-        "slots",
-        "limit_binds",
-        "param_labels",
-        "params",
-        "_bool_columns",
-        "_rescue_planner",
-        "_rescue_node",
-        "_rescue_plan",
-    )
-
-    def __init__(
-        self,
-        backend: SQLiteBackend,
-        sql: str,
-        schema: Schema,
-        table_names: Sequence[str],
-        slots: Sequence[SubplanSlot],
-        limit_binds: Sequence[LimitBind],
-        param_labels: dict[int, str],
-        params: ParamContext,
-        rescue_planner=None,
-        rescue_node=None,
-    ):
-        self.backend = backend
-        self.sql = sql
-        self.schema = schema
-        self.table_names = tuple(table_names)
-        self.slots = tuple(slots)
-        self.limit_binds = tuple(limit_binds)
-        self.param_labels = dict(param_labels)
-        self.params = params
-        self._bool_columns = tuple(
-            i for i, a in enumerate(schema) if a.type is SQLType.BOOL
-        )
-        # Exact-integer rescue: when execution raises
-        # IntegerRangeEscape (a value crossed the int64 boundary), the
-        # original algebra tree is planned on the row engine — lazily,
-        # once — and its exact result returned instead. The row plan
-        # shares this op's ParamContext, so per-execution parameter
-        # values flow through unchanged.
-        self._rescue_planner = rescue_planner
-        self._rescue_node = rescue_node
-        self._rescue_plan: Optional[PhysicalOp] = None
-
-    # ------------------------------------------------------------------
-    def rows(self, env: Env) -> Iterator[Row]:
-        return iter(self._execute(env))
-
-    def _execute(self, env: Env) -> list[Row]:
-        try:
-            for name in self.table_names:
-                self.backend.sync_table(name)
-        except IntegerRangeEscape:
-            return self._rescue(env)
-
-        binds: dict[str, Value] = {}
-        values = self.params.values
-        for index, label in self.param_labels.items():
-            if index >= len(values):
-                raise ExecutionError(
-                    f"parameter {label} has no bound value ({len(values)} bound)"
-                )
-            binds[f"p{index}"] = adapt_value(values[index])
-
-        for bind in self.limit_binds:
-            value = evaluate_limit_count(bind.compiled, env, bind.what)
-            if value is None:
-                value = -1 if bind.what == "LIMIT" else 0
-            binds[bind.bind_name] = value
-
-        try:
-            for slot in self.slots:
-                self._evaluate_slot(slot, env)
-            raw = self.backend.run_statement(self.sql, binds)
-        except IntegerRangeEscape:
-            return self._rescue(env)
-        finally:
-            self._release_slots()
-        return self._adapt(raw)
-
-    def _rescue(self, env: Env) -> list[Row]:
-        """Re-run the whole query on the row engine after an integer
-        crossed the int64 boundary. Row-engine rows are already in
-        engine-native values (real booleans, unbounded ints), so they
-        bypass :meth:`_adapt`."""
-        if self._rescue_planner is None or self._rescue_node is None:
-            raise ExecutionError(
-                "sqlite backend: integer beyond the 64-bit range with no "
-                "row-engine rescue plan available"
-            )
-        plan = self._rescue_plan
-        if plan is None:
-            plan = self._rescue_planner.plan(self._rescue_node)
-            self._rescue_plan = plan
-        return list(plan.rows(env))
-
-    def _release_slots(self) -> None:
-        """Drop per-execution slot state so a long-lived connection does
-        not accumulate fragment rows and stored exceptions across the
-        distinct queries it has ever run."""
-        for slot in self.slots:
-            if slot.slot_id is not None:
-                self.backend._slot_states.pop(slot.slot_id, None)
-            if slot.frag_table is not None:
-                self.backend.drop_fragment(slot.frag_table)
-
-    def _evaluate_slot(self, slot: SubplanSlot, env: Env) -> None:
-        """Run one slot's row plan. Sublink slots store their value —
-        or the exception — for the ``repro_slot`` UDF, so errors fire
-        only if the statement evaluates the expression; fallback-subtree
-        fragments (no slot id) are unconditional sources and raise now."""
-        states = self.backend._slot_states
-        if slot.kind == "rows":
-            assert slot.frag_table is not None
-            width = len(slot.plan.schema)
-            if slot.slot_id is None:
-                rows = list(slot.plan.rows(env))
-                self.backend.materialize_fragment(slot.frag_table, rows, width)
-                return
-            try:
-                rows = list(slot.plan.rows(env))
-            except Exception as exc:  # noqa: BLE001 - deferred to evaluation
-                self.backend.materialize_fragment(slot.frag_table, [], width)
-                states[slot.slot_id] = ("error", exc)
-                return
-            self.backend.materialize_fragment(slot.frag_table, rows, width)
-            states[slot.slot_id] = ("ok", 1)
-            return
-        assert slot.slot_id is not None
-        try:
-            if slot.kind == "scalar":
-                rows = list(slot.plan.rows(env))
-                if len(rows) > 1:
-                    raise ExecutionError("scalar subquery returned more than one row")
-                value = adapt_value(rows[0][0]) if rows else None
-            elif slot.kind == "exists":
-                found = next(iter(slot.plan.rows(env)), None) is not None
-                value = int((not found) if slot.negated else found)
-            else:  # pragma: no cover - compiler emits only the kinds above
-                raise ExecutionError(f"unknown subplan slot kind {slot.kind!r}")
-        except Exception as exc:  # noqa: BLE001 - deferred to evaluation
-            states[slot.slot_id] = ("error", exc)
-            return
-        states[slot.slot_id] = ("ok", value)
-
-    def _adapt(self, raw: list[Row]) -> list[Row]:
-        if not self._bool_columns:
-            return raw
-        bool_columns = self._bool_columns
-        adapted = []
-        for row in raw:
-            out = list(row)
-            for i in bool_columns:
-                if out[i] is not None:
-                    out[i] = bool(out[i])
-            adapted.append(tuple(out))
-        return adapted
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<SQLiteQueryOp {len(self.sql)} chars, {len(self.slots)} slot(s)>"

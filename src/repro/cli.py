@@ -137,26 +137,39 @@ def main(argv: Optional[list[str]] = None) -> int:
         return serve_main(argv[1:])
     # A durable shell: `python -m repro --data-dir DIR [--durability M]`
     # opens (or creates) a persistent database instead of an in-memory
-    # one. Remaining arguments are SQL script files, as before.
+    # one; `--engine NAME` picks any registered execution engine.
+    # Remaining arguments are SQL script files, as before.
     data_dir = None
     durability = "fsync"
-    while argv and argv[0] in ("--data-dir", "--durability"):
+    engine = None
+    while argv and argv[0] in ("--data-dir", "--durability", "--engine"):
         if len(argv) < 2:
             print(f"{argv[0]} requires a value", file=sys.stderr)
             return 2
         flag, value = argv[0], argv[1]
         if flag == "--data-dir":
             data_dir = value
+        elif flag == "--engine":
+            engine = value
         else:
             durability = value
         del argv[:2]
+    if engine is not None:
+        from .backend.registry import engine_names
+
+        if engine.lower() not in engine_names():
+            print(
+                f"--engine must be one of: {', '.join(engine_names())}",
+                file=sys.stderr,
+            )
+            return 2
     if data_dir is not None:
         from .engine.database import Database
 
         database = Database(path=data_dir, durability=durability)
-        shell = Shell(db=Connection(database=database))
+        shell = Shell(db=Connection(database=database, engine=engine))
     else:
-        shell = Shell()
+        shell = Shell(db=Connection(engine=engine))
     if argv:
         # Execute files given on the command line, then exit.
         for path in argv:

@@ -45,7 +45,7 @@ from ..errors import (
 )
 from ..executor import execute_plan
 from ..executor.expr_eval import ExprCompiler
-from ..planner import ENGINES
+from ..backend.registry import engine_names, unknown_engine_message
 from ..sql import ast
 from ..sql.printer import format_query, format_statement
 from ..storage import mvcc
@@ -69,12 +69,17 @@ OPTIMIZER_ENV_VAR = "REPRO_OPTIMIZER"
 
 
 def resolve_engine(engine: Optional[str]) -> str:
-    """Validate an engine choice, falling back to $REPRO_ENGINE, then "row"."""
+    """Validate an engine choice against the backend registry, falling
+    back to $REPRO_ENGINE, then "row". When the invalid name came from
+    the environment rather than an ``engine=`` argument, the error says
+    so — a user who never passed an engine should be pointed at the
+    variable."""
+    from_env = not engine and bool(os.environ.get(ENGINE_ENV_VAR))
     chosen = engine or os.environ.get(ENGINE_ENV_VAR) or "row"
     chosen = chosen.lower()
-    if chosen not in ENGINES:
+    if chosen not in engine_names():
         raise ProgrammingError(
-            f"unknown execution engine {chosen!r} (valid engines: {', '.join(ENGINES)})"
+            unknown_engine_message(chosen, env_var=ENGINE_ENV_VAR if from_env else None)
         )
     return chosen
 
@@ -524,15 +529,18 @@ class Connection:
 
         The key is the statement's *canonical* SQL (deparse of the parsed
         AST, whitespace- and case-normalized by construction) plus the
-        catalog version and the rewrite-option fingerprint — so schema
-        changes and browser strategy toggles never serve a stale plan.
+        catalog version, the rewrite-option fingerprint and the planner's
+        engine cache token (engine name + resolved backend options such
+        as the partition shard count) — so schema changes, browser
+        strategy toggles and backend reconfiguration never serve a stale
+        plan.
         """
         canonical = format_statement(statement)
         key = (
             canonical,
             self.catalog.version,
             repr(self.options),
-            self.engine,
+            self.pipeline.planner.cache_token,
             self.optimizer_mode,
         )
         plan = self.plan_cache.get(key)

@@ -17,6 +17,7 @@ import asyncio
 import sys
 from typing import Optional, Sequence
 
+from ..backend.registry import engine_names
 from ..engine.connection import Connection
 from ..engine.database import Database
 from .server import DEFAULT_PORT, PermServer
@@ -33,7 +34,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine",
         default=None,
         help="default execution engine for sessions that do not choose one "
-        "(row, vectorized, sqlite)",
+        f"({', '.join(engine_names())})",
     )
     parser.add_argument(
         "--granularity",

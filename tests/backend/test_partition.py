@@ -1,0 +1,188 @@
+"""The partitioned sqlite backend: hash-sharded mirrors, merged exactly.
+
+``engine="sqlite-partition"`` proves the backend registry end to end:
+it reuses the shared pushdown compiler, fans execution out across N
+sqlite connections on a thread pool, and merges ordered streams and
+partial aggregates back into the bit-identical result the row engine
+would produce. These tests pin the plan-routing decisions (what
+partitions vs what delegates), the exact-merge semantics, the rescue
+path, and the ``$REPRO_PARTITIONS`` knob.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.backend.partition import (
+    PartitionedQueryOp,
+    PartitionedSQLiteBackend,
+    resolve_shard_count,
+)
+from repro.errors import ProgrammingError
+
+INT64_MAX = 2**63 - 1
+
+
+@pytest.fixture(params=(2, 3))
+def db(request, monkeypatch):
+    monkeypatch.setenv("REPRO_PARTITIONS", str(request.param))
+    connection = repro.connect(engine="sqlite-partition")
+    connection.run("CREATE TABLE t (k INT, grp TEXT, x FLOAT)")
+    connection.run(
+        "INSERT INTO t VALUES "
+        "(5, 'a', 1.5), (2, 'b', 2.5), (9, 'a', 0.5), "
+        "(4, 'c', 3.5), (7, 'b', 4.5), (1, 'a', 5.5), (6, NULL, 6.5)"
+    )
+    yield connection
+    connection.close()
+
+
+def _backend(connection) -> PartitionedSQLiteBackend:
+    backend = connection.pipeline.planner.backend
+    assert isinstance(backend, PartitionedSQLiteBackend)
+    return backend
+
+
+def test_shard_count_follows_env(db):
+    assert len(_backend(db).shards) in (2, 3)
+    assert len(_backend(db).shards) == _backend(db).shard_count
+
+
+def test_global_aggregate_partitions_and_matches(db):
+    backend = _backend(db)
+    before = backend.partitioned_plans
+    result = db.run("SELECT count(*), sum(k), min(k), max(k), avg(k) FROM t")
+    assert result.rows == [(7, 34, 1, 9, 34 / 7)]
+    assert backend.partitioned_plans == before + 1
+    assert backend.rescues == 0
+
+
+def test_grouped_aggregate_merges_in_first_seen_order(db):
+    rows = db.run("SELECT grp, count(*), sum(k) FROM t GROUP BY grp").rows
+    # Global first-seen order of groups, exactly as the row engine
+    # reports them — not an artifact of shard interleaving.
+    assert rows == [("a", 3, 15), ("b", 2, 9), ("c", 1, 4), (None, 1, 6)]
+
+
+def test_distinct_preserves_first_seen_order(db):
+    rows = db.run("SELECT DISTINCT grp FROM t").rows
+    assert rows == [("a",), ("b",), ("c",), (None,)]
+
+
+def test_order_by_merges_sorted_streams(db):
+    rows = db.run("SELECT k FROM t WHERE k > 2 ORDER BY k DESC").rows
+    assert rows == [(9,), (7,), (6,), (5,), (4,)]
+
+
+def test_plan_is_partitioned_op(db):
+    pipeline = db.pipeline
+    (statement,) = pipeline.parse("SELECT count(*) FROM t")
+    prepared = pipeline.prepare(statement)
+    assert isinstance(prepared.physical, PartitionedQueryOp)
+
+
+def test_float_aggregate_delegates(db):
+    # float sum is order-sensitive; partial merge could drift a ULP, so
+    # the shape is delegated to the single-connection backend instead.
+    backend = _backend(db)
+    before = backend.delegated_plans
+    result = db.run("SELECT sum(x) FROM t")
+    assert result.rows == [(24.5,)]
+    assert backend.delegated_plans == before + 1
+
+
+def test_subquery_delegates(db):
+    backend = _backend(db)
+    before = backend.delegated_plans
+    rows = db.run("SELECT k FROM t WHERE k = (SELECT max(k) FROM t)").rows
+    assert rows == [(9,)]
+    assert backend.delegated_plans > before
+
+
+def test_join_delegates(db):
+    backend = _backend(db)
+    before = backend.delegated_plans
+    db.run("CREATE TABLE names (grp TEXT, label TEXT)")
+    db.run("INSERT INTO names VALUES ('a', 'alpha')")
+    rows = db.run(
+        "SELECT label, k FROM t, names WHERE t.grp = names.grp ORDER BY k"
+    ).rows
+    assert rows == [("alpha", 1), ("alpha", 5), ("alpha", 9)]
+    assert backend.delegated_plans > before
+
+
+def test_provenance_queries_still_agree(db):
+    rows = db.run("SELECT PROVENANCE grp, count(*) FROM t GROUP BY grp").rows
+    reference = repro.connect(engine="row")
+    try:
+        reference.run("CREATE TABLE t (k INT, grp TEXT, x FLOAT)")
+        reference.run(
+            "INSERT INTO t VALUES "
+            "(5, 'a', 1.5), (2, 'b', 2.5), (9, 'a', 0.5), "
+            "(4, 'c', 3.5), (7, 'b', 4.5), (1, 'a', 5.5), (6, NULL, 6.5)"
+        )
+        expected = reference.run(
+            "SELECT PROVENANCE grp, count(*) FROM t GROUP BY grp"
+        ).rows
+    finally:
+        reference.close()
+    assert rows == expected
+
+
+def test_int64_overflow_rescued(db):
+    backend = _backend(db)
+    db.run("CREATE TABLE big (v INT)")
+    # Positions 0 and 6 share a shard at both 2 and 3 shards, so that
+    # one shard's native int64 sum overflows regardless of the count.
+    db.run(
+        f"INSERT INTO big VALUES ({INT64_MAX}), (1), (1), (1), (1), (1), ({INT64_MAX})"
+    )
+    before = backend.rescues
+    # Exact bignum answer: the overflowing shard escapes and the op
+    # rescues through the row engine rather than wrapping around.
+    result = db.run("SELECT sum(v) FROM big")
+    assert result.rows == [(2 * INT64_MAX + 5,)]
+    assert result.rows[0][0] > INT64_MAX
+    assert backend.rescues > before
+
+
+def test_transactions_and_updates_visible(db):
+    db.run("BEGIN")
+    db.run("INSERT INTO t VALUES (100, 'z', 0.0)")
+    assert db.run("SELECT count(*) FROM t").rows == [(8,)]
+    db.run("ROLLBACK")
+    assert db.run("SELECT count(*) FROM t").rows == [(7,)]
+    db.run("UPDATE t SET k = k + 10 WHERE grp = 'c'")
+    assert db.run("SELECT max(k) FROM t").rows == [(14,)]
+
+
+def test_cache_token_varies_with_shard_count(monkeypatch):
+    monkeypatch.setenv("REPRO_PARTITIONS", "2")
+    two = repro.connect(engine="sqlite-partition")
+    monkeypatch.setenv("REPRO_PARTITIONS", "3")
+    three = repro.connect(engine="sqlite-partition")
+    try:
+        token_two = two.pipeline.planner.cache_token
+        token_three = three.pipeline.planner.cache_token
+        assert token_two != token_three
+        assert token_two[0] == token_three[0] == "sqlite-partition"
+    finally:
+        two.close()
+        three.close()
+
+
+@pytest.mark.parametrize("raw", ("0", "-1", "nope", "2.5", ""))
+def test_bad_partitions_env_rejected(monkeypatch, raw):
+    monkeypatch.setenv("REPRO_PARTITIONS", raw)
+    if raw == "":
+        # Empty string means unset: fall back to the default.
+        assert resolve_shard_count() >= 1
+        return
+    with pytest.raises(ProgrammingError, match="REPRO_PARTITIONS"):
+        resolve_shard_count()
+
+
+def test_default_shard_count_bounded(monkeypatch):
+    monkeypatch.delenv("REPRO_PARTITIONS", raising=False)
+    assert 2 <= resolve_shard_count() <= 8

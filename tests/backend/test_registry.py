@@ -1,0 +1,155 @@
+"""The backend registry: the single switchboard for engine names.
+
+Covers the registry contract the refactor introduced: duplicate names
+are identity collisions (rejected), unknown names produce the one
+canonical error listing every registered backend, optional backends
+with missing dependencies degrade to "not registered" instead of
+import errors, and every layer that validates an engine name (connect,
+$REPRO_ENGINE, CLI, server) consults the same registry.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+import repro
+from repro.backend import (
+    BackendSpec,
+    differential_engines,
+    engine_names,
+    get_spec,
+    register,
+    unknown_engine_message,
+    unregister,
+)
+from repro.errors import PlanError, ProgrammingError
+
+
+def _noop_plan_root(planner, node):  # pragma: no cover - never planned
+    raise AssertionError("test backend should never plan")
+
+
+def test_builtins_registered():
+    names = engine_names()
+    assert names[:4] == ("row", "vectorized", "sqlite", "sqlite-partition")
+    # duckdb is optional: present iff the module is importable here.
+    try:
+        import duckdb  # noqa: F401
+
+        assert "duckdb" in names
+    except ImportError:
+        assert "duckdb" not in names
+
+
+def test_differential_matrix_is_registry_driven():
+    assert set(differential_engines()) <= set(engine_names())
+    assert "sqlite-partition" in differential_engines()
+
+
+def test_register_custom_backend_and_connect():
+    spec = BackendSpec(
+        name="test-rowclone",
+        kind="core",
+        description="row engine under another name",
+        plan_root=lambda planner, node: planner.plan(node),
+    )
+    assert register(spec) is True
+    try:
+        assert "test-rowclone" in engine_names()
+        db = repro.connect(engine="test-rowclone")
+        try:
+            db.run("CREATE TABLE t (x INT)")
+            db.run("INSERT INTO t VALUES (1), (2)")
+            assert db.run("SELECT sum(x) FROM t").rows == [(3,)]
+        finally:
+            db.close()
+    finally:
+        unregister("test-rowclone")
+    assert "test-rowclone" not in engine_names()
+
+
+def test_duplicate_name_rejected():
+    with pytest.raises(ProgrammingError, match="already registered"):
+        register(
+            BackendSpec(name="sqlite", kind="pushdown", plan_root=_noop_plan_root)
+        )
+    # Case-insensitive: names are normalised to lowercase identities.
+    with pytest.raises(ProgrammingError, match="already registered"):
+        register(BackendSpec(name="SQLite", plan_root=_noop_plan_root))
+
+
+def test_spec_requires_plan_root():
+    with pytest.raises(ProgrammingError, match="plan_root"):
+        BackendSpec(name="incomplete")
+
+
+def test_optional_backend_with_missing_module_degrades():
+    spec = BackendSpec(
+        name="test-missing-dep",
+        kind="pushdown",
+        requires=("no_such_module_xyz",),
+        plan_root=_noop_plan_root,
+    )
+    assert spec.available() is False
+    # register() returns False and leaves the name unknown — so using
+    # it is an "unknown engine" error, never an ImportError.
+    assert register(spec) is False
+    assert "test-missing-dep" not in engine_names()
+    with pytest.raises(PlanError, match="valid engines"):
+        get_spec("test-missing-dep")
+
+
+def test_unknown_engine_lists_registered_backends():
+    with pytest.raises(PlanError) as excinfo:
+        get_spec("no-such-engine")
+    message = str(excinfo.value)
+    for name in engine_names():
+        assert name in message
+    assert "no-such-engine" in message
+
+
+def test_connect_unknown_engine_same_message():
+    with pytest.raises(ProgrammingError) as excinfo:
+        repro.connect(engine="no-such-engine")
+    assert str(excinfo.value) == unknown_engine_message("no-such-engine")
+
+
+def test_env_engine_error_names_the_variable(monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE", "no-such-engine")
+    with pytest.raises(ProgrammingError) as excinfo:
+        repro.connect()
+    message = str(excinfo.value)
+    assert "$REPRO_ENGINE" in message
+    assert message == unknown_engine_message("no-such-engine", env_var="REPRO_ENGINE")
+    # An explicit engine= argument does not blame the environment.
+    with pytest.raises(ProgrammingError) as explicit:
+        repro.connect(engine="also-missing")
+    assert "$REPRO_ENGINE" not in str(explicit.value)
+
+
+def test_cli_engine_validation_uses_registry(capsys):
+    from repro.cli import main
+
+    assert main(["--engine", "no-such-engine"]) == 2
+    err = capsys.readouterr().err
+    for name in engine_names():
+        assert name in err
+
+
+def test_cli_accepts_registered_engine(tmp_path):
+    from repro.cli import Shell
+
+    out = io.StringIO()
+    shell = Shell(db=repro.connect(engine="sqlite-partition"), out=out)
+    shell.run(io.StringIO("CREATE TABLE t (x INT);\nINSERT INTO t VALUES (7);\nSELECT count(*) FROM t;\n"))
+    assert "1" in out.getvalue()
+
+
+def test_server_help_lists_registry(capsys):
+    from repro.server.__main__ import build_parser
+
+    help_text = build_parser().format_help()
+    for name in engine_names():
+        assert name in help_text

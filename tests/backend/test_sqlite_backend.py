@@ -388,12 +388,12 @@ class TestDialect:
 class TestBackendObject:
     def test_backend_created_lazily(self):
         conn = repro.connect(engine="row")
-        assert conn.pipeline.planner._sqlite_backend is None
+        assert conn.pipeline.planner._backend is None
         conn = repro.connect(engine="sqlite")
-        assert conn.pipeline.planner._sqlite_backend is None
+        assert conn.pipeline.planner._backend is None
         conn.run("CREATE TABLE t (a int)")
         conn.run("SELECT a FROM t")
-        assert isinstance(conn.pipeline.planner._sqlite_backend, SQLiteBackend)
+        assert isinstance(conn.pipeline.planner._backend, SQLiteBackend)
 
     def test_close_closes_backend(self):
         conn = repro.connect(engine="sqlite")

@@ -2,18 +2,22 @@
 
 Each workload database is built once per execution engine with
 identical deterministic content, so any result difference within a
-group is attributable to the engines alone. The harness asserts
-agreement across all three: ``row``, ``vectorized`` and ``sqlite``.
+group is attributable to the engines alone. The engine matrix is the
+backend registry's differential set (``row``, ``vectorized``,
+``sqlite``, ``sqlite-partition``, plus ``duckdb``/third-party backends
+wherever they are registered) — registering a backend automatically
+enrolls it in every agreement assertion here.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.backend import differential_engines
 from repro.workloads.forum import create_forum_db
 from repro.workloads.tpch import TpchConfig, create_tpch_db
 
-ENGINES = ("row", "vectorized", "sqlite")
+ENGINES = differential_engines()
 
 # Small but non-trivial: plenty of value/NULL variety, fast to build.
 _TPCH_CONFIG = TpchConfig(customers=25, orders=90, parts=15)
@@ -30,20 +34,24 @@ def _shrink_batches(connection):
     return connection
 
 
+def _build(factory, engine):
+    connection = factory(engine=engine)
+    if engine == "vectorized":
+        _shrink_batches(connection)
+    return connection
+
+
 @pytest.fixture(scope="session")
 def engine_pairs():
     """{workload: {engine: Connection}} with identical data per group."""
     return {
         "forum": {
-            "row": create_forum_db(engine="row"),
-            "vectorized": _shrink_batches(create_forum_db(engine="vectorized")),
-            "sqlite": create_forum_db(engine="sqlite"),
+            engine: _build(create_forum_db, engine) for engine in ENGINES
         },
         "tpch": {
-            "row": create_tpch_db(_TPCH_CONFIG, engine="row"),
-            "vectorized": _shrink_batches(
-                create_tpch_db(_TPCH_CONFIG, engine="vectorized")
-            ),
-            "sqlite": create_tpch_db(_TPCH_CONFIG, engine="sqlite"),
+            engine: _build(
+                lambda engine: create_tpch_db(_TPCH_CONFIG, engine=engine), engine
+            )
+            for engine in ENGINES
         },
     }

@@ -21,8 +21,9 @@ import pytest
 import repro
 from harness import assert_engines_agree
 from querygen import generate_query
+from repro.backend import differential_engines
 
-ENGINES = ("row", "vectorized", "sqlite")
+ENGINES = differential_engines()
 
 INT64_MAX = 9223372036854775807
 INT64_MIN = -9223372036854775808
