@@ -49,6 +49,20 @@ class Analyzer:
         # PostgreSQL analyzer the same way — the paper's §2.4 example
         # filters on a provenance column of a provenance subquery).
         self.provenance_expander: Optional[Callable[[an.Node], an.Node]] = None
+        # Materialized views: ``inline_matviews`` forces every matview
+        # reference to unfold to its defining query (used when analyzing
+        # a matview's own definition, so maintenance programs see true
+        # base-table leaves). ``stale_matviews`` records each matview
+        # that was unfolded because its stored contents could not be
+        # trusted (stale flag, or base-table version skew) — the
+        # connection refreshes these before re-planning a read.
+        # ``fresh_matviews`` records each matview served from its stored
+        # heap — a decision valid only while the view stays fresh for
+        # the executing snapshot, so plans carry the set and revalidate
+        # it before every execution (PreparedPlan.deps_valid).
+        self.inline_matviews = False
+        self.stale_matviews: set[str] = set()
+        self.fresh_matviews: set[str] = set()
 
     def _expand_markers(self, node: an.Node) -> an.Node:
         if self.provenance_expander is None:
@@ -275,6 +289,57 @@ class Analyzer:
                 explicit_baserelation=item.baserelation,
                 explicit_attrs=item.provenance_attrs,
                 registered_attrs=table.provenance_attrs,
+            )
+            return node, [entry]
+        if self.catalog.has_matview(item.name):
+            matview = self.catalog.matview(item.name)
+            if not self.inline_matviews and self.catalog.matview_fresh(matview):
+                # Fresh contents: scan the stored heap like a table.
+                self.fresh_matviews.add(matview.name)
+                scan = an.Scan(item.name, alias, matview.table.schema)
+                entry = ScopeEntry.from_names(
+                    alias, matview.table.schema.names, scan.schema.names
+                )
+                node = self._wrap_base_relation(
+                    scan,
+                    entry,
+                    relation_label=item.name,
+                    explicit_baserelation=item.baserelation,
+                    explicit_attrs=item.provenance_attrs,
+                    registered_attrs=matview.provenance_attrs,
+                )
+                return node, [entry]
+            # Unfold the defining query (matview inlining for its own
+            # maintenance program, or stored rows that cannot be
+            # trusted). The unfolded plan computes the same columns, so
+            # results are identical — just not served from the heap.
+            if not self.inline_matviews:
+                self.stale_matviews.add(matview.name)
+            if self._view_depth >= _MAX_VIEW_DEPTH:
+                raise AnalyzeError(
+                    f"view nesting too deep (is view {item.name!r} recursive?)"
+                )
+            self._view_depth += 1
+            try:
+                inner = self._expand_markers(
+                    self.analyze_query(matview.query, outer=None)
+                )
+            finally:
+                self._view_depth -= 1
+            exposed = inner.schema.names
+            unique = _uniquify([f"{alias}.{name}" for name in exposed])
+            project = an.Project(
+                inner,
+                [(u, ax.Column(old.name)) for u, old in zip(unique, inner.schema)],
+            )
+            entry = ScopeEntry.from_names(alias, exposed, unique)
+            node = self._wrap_base_relation(
+                project,
+                entry,
+                relation_label=item.name,
+                explicit_baserelation=item.baserelation,
+                explicit_attrs=item.provenance_attrs,
+                registered_attrs=matview.provenance_attrs,
             )
             return node, [entry]
         if self.catalog.has_view(item.name):

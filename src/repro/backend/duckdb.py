@@ -147,7 +147,7 @@ class DuckDBBackend(MirrorAdapter):
     # Mirroring
     # ------------------------------------------------------------------
     def sync_table(self, name: str) -> None:
-        entry = self.catalog.table(name)
+        entry = self.catalog.scan_entry(name)
         heap = entry.table
         key = name.lower()
         signature = (

@@ -222,7 +222,7 @@ class SQLiteBackend(MirrorAdapter):
         transaction's stable snapshot (or its own staged writes), and
         concurrent commits elsewhere re-sync only the next statement
         that runs outside it."""
-        entry = self.catalog.table(name)
+        entry = self.catalog.scan_entry(name)
         heap = entry.table
         key = name.lower()
         # The signature holds the heap object itself (not id(heap)): a

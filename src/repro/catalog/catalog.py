@@ -70,6 +70,38 @@ class TableEntry:
 
 
 @dataclass
+class MatviewEntry(TableEntry):
+    """A materialized view: a stored heap table plus its defining query.
+
+    The heap makes MVCC snapshots, statistics and the WAL cover the
+    stored rows exactly like a base table; the query (and its SQL text,
+    which survives checkpoints) lets the engine refresh or incrementally
+    maintain the contents. ``stale`` marks contents that no longer match
+    the base tables (non-delta-safe shape, coarse base write, or a view
+    redefinition); reads outside a transaction refresh stale matviews
+    before planning.
+
+    The maintenance fields below are owned by :mod:`repro.engine.matview`:
+    ``base_versions`` maps each base table to the heap version stamp the
+    stored rows were computed from, and ``source_ids`` holds, per stored
+    row, the tuple of contributing base-row ids per leaf of the rewritten
+    plan (``None`` when the shape is not delta-safe).
+    """
+
+    query: "ast.QueryExpr" = None  # type: ignore[assignment]
+    sql: str = ""
+    with_provenance: bool = False
+    stale: bool = False
+    base_tables: tuple[str, ...] = ()
+    base_versions: dict[str, int] = field(default_factory=dict)
+    delta_safe: bool = False
+    source_ids: Optional[list[tuple]] = None
+    # Compiled MatviewProgram (engine.matview); rebuilt lazily after
+    # recovery or refresh.
+    program: object = field(default=None, repr=False)
+
+
+@dataclass
 class ViewEntry:
     """A stored view: name, defining query AST, and its SQL text."""
 
@@ -92,6 +124,7 @@ class Catalog:
     def __init__(self) -> None:
         self._tables: dict[str, TableEntry] = {}
         self._views: dict[str, ViewEntry] = {}
+        self._matviews: dict[str, MatviewEntry] = {}
         self.version = 0
         # Schema-change observer (set by repro.storage.persist so DDL —
         # which is non-transactional and bypasses the commit hook — still
@@ -107,7 +140,7 @@ class Catalog:
         provenance_attrs: tuple[str, ...] = (),
     ) -> TableEntry:
         key = name.lower()
-        if key in self._tables or key in self._views:
+        if key in self._tables or key in self._views or key in self._matviews:
             if if_not_exists and key in self._tables:
                 return self._tables[key]
             raise CatalogError(f"relation {name!r} already exists")
@@ -155,6 +188,8 @@ class Catalog:
         key = name.lower()
         if key in self._tables:
             raise CatalogError(f"relation {name!r} already exists as a table")
+        if key in self._matviews:
+            raise CatalogError(f"relation {name!r} already exists as a materialized view")
         if key in self._views and not or_replace:
             raise CatalogError(f"view {name!r} already exists")
         entry = ViewEntry(name=name, query=query, sql=sql, provenance_attrs=provenance_attrs)
@@ -189,13 +224,122 @@ class Catalog:
     def views(self) -> list[ViewEntry]:
         return list(self._views.values())
 
+    # -- materialized views ---------------------------------------------
+    def create_matview(
+        self,
+        name: str,
+        schema: Schema,
+        query: "ast.QueryExpr",
+        sql: str,
+        with_provenance: bool = False,
+        provenance_attrs: tuple[str, ...] = (),
+    ) -> MatviewEntry:
+        key = name.lower()
+        if key in self._tables or key in self._views or key in self._matviews:
+            raise CatalogError(f"relation {name!r} already exists")
+        entry = MatviewEntry(
+            name=name,
+            table=HeapTable(name, schema),
+            provenance_attrs=provenance_attrs,
+            query=query,
+            sql=sql,
+            with_provenance=with_provenance,
+        )
+        self._matviews[key] = entry
+        self.version += 1
+        if self.observer is not None:
+            self.observer.on_create_matview(entry)
+        return entry
+
+    def drop_matview(self, name: str, if_exists: bool = False) -> bool:
+        key = name.lower()
+        if key not in self._matviews:
+            if if_exists:
+                return False
+            raise CatalogError(f"materialized view {name!r} does not exist")
+        del self._matviews[key]
+        self.version += 1
+        if self.observer is not None:
+            self.observer.on_drop_relation("materialized view", name)
+        return True
+
+    def matview(self, name: str) -> MatviewEntry:
+        try:
+            return self._matviews[name.lower()]
+        except KeyError:
+            raise CatalogError(f"materialized view {name!r} does not exist") from None
+
+    def has_matview(self, name: str) -> bool:
+        return name.lower() in self._matviews
+
+    @property
+    def matviews(self) -> list[MatviewEntry]:
+        return list(self._matviews.values())
+
+    def matview_fresh(self, entry: MatviewEntry) -> bool:
+        """Whether *entry*'s stored rows match its base tables **as
+        visible to the caller's snapshot** — ``table.version`` resolves
+        through the active transaction, so a transaction that wrote a
+        base table sees a version mismatch here and must unfold (its own
+        uncommitted writes are not in the stored heap). This is the
+        single freshness predicate: the analyzer's scan-vs-unfold
+        decision and the plan-level revalidation both call it."""
+        if entry.stale:
+            return False
+        for name in entry.base_tables:
+            if not self.has_table(name):
+                return False
+            if self.table(name).table.version != entry.base_versions.get(name):
+                return False
+        return True
+
+    def mark_matview_stale(self, name: str) -> None:
+        """Flag a materialized view as out of date. Bumps the catalog
+        version only on the fresh -> stale transition, so cached plans
+        that scan the stored heap stop being served; repeated marks are
+        idempotent and free."""
+        entry = self.matview(name)
+        if entry.stale:
+            return
+        entry.stale = True
+        self.version += 1
+        if self.observer is not None:
+            self.observer.on_matview_stale(entry.name)
+
+    def set_matview_fresh(self, name: str) -> None:
+        """Clear the stale flag after a successful refresh (bumps the
+        catalog version so plans that unfolded the stale definition are
+        invalidated in favour of heap scans)."""
+        entry = self.matview(name)
+        entry.stale = False
+        self.version += 1
+        if self.observer is not None:
+            self.observer.on_matview_fresh(entry.name)
+
+    def scan_entry(self, name: str) -> TableEntry:
+        """Read-path resolution: the heap-backed entry for *name*, which
+        is either a base table or a materialized view. DML and DDL sites
+        keep using the strict :meth:`table` / :meth:`matview` lookups."""
+        key = name.lower()
+        entry = self._tables.get(key)
+        if entry is not None:
+            return entry
+        entry = self._matviews.get(key)
+        if entry is not None:
+            return entry
+        raise CatalogError(f"table {name!r} does not exist")
+
     # -- generic --------------------------------------------------------
     def has_relation(self, name: str) -> bool:
         key = name.lower()
-        return key in self._tables or key in self._views
+        return key in self._tables or key in self._views or key in self._matviews
 
     def relation_names(self) -> list[str]:
-        return sorted([e.name for e in self._tables.values()] + [e.name for e in self._views.values()])
+        return sorted(
+            [e.name for e in self._tables.values()]
+            + [e.name for e in self._views.values()]
+            + [e.name for e in self._matviews.values()]
+        )
 
     def register_provenance_attrs(self, name: str, attrs: tuple[str, ...]) -> None:
         """Record that relation *name* stores provenance in columns *attrs*
@@ -205,6 +349,8 @@ class Catalog:
             self._tables[key].provenance_attrs = attrs
         elif key in self._views:
             self._views[key].provenance_attrs = attrs
+        elif key in self._matviews:
+            self._matviews[key].provenance_attrs = attrs
         else:
             raise CatalogError(f"relation {name!r} does not exist")
         self.version += 1
@@ -217,4 +363,6 @@ class Catalog:
             return self._tables[key].provenance_attrs
         if key in self._views:
             return self._views[key].provenance_attrs
+        if key in self._matviews:
+            return self._matviews[key].provenance_attrs
         raise CatalogError(f"relation {name!r} does not exist")

@@ -37,6 +37,8 @@ def attach_external_provenance(db: "Connection", relation: str, attrs: Sequence[
     catalog = db.catalog
     if catalog.has_table(relation):
         schema = catalog.table(relation).schema
+    elif catalog.has_matview(relation):
+        schema = catalog.matview(relation).schema
     elif catalog.has_view(relation):
         # Validate against the view's analyzed output schema.
         schema = db.analyze_relation_schema(relation)

@@ -29,6 +29,7 @@ snapshot while writers commit, with first-committer-wins conflicts
 from __future__ import annotations
 
 import os
+from dataclasses import replace
 from typing import Callable, Iterable, Optional, Sequence
 
 from ..algebra import nodes as an
@@ -38,6 +39,7 @@ from ..core.provenance import RewriteOptions
 from ..datatypes import SQLType, Value, is_true, type_from_name
 from ..errors import (
     AnalyzeError,
+    CatalogError,
     OperationalError,
     PermError,
     ProgrammingError,
@@ -52,6 +54,7 @@ from ..storage import mvcc
 from ..storage.table import Relation
 from .cursor import Cursor, _status_rowcount
 from .database import Database
+from .matview import base_table_names, compile_program
 from .pipeline import Pipeline, PlanCache, PreparedPlan, bind_parameters
 from .prepared import PreparedStatement
 from .result import ExecutionProfile
@@ -195,6 +198,7 @@ class Connection:
             raise ProgrammingError(
                 "prepare() supports queries only; run DDL/DML through execute()"
             )
+        self._auto_refresh_matviews(statement)
         plan = self._in_transaction(lambda: self._prepared_for(statement, sql))
         return PreparedStatement(self, plan)
 
@@ -404,7 +408,8 @@ class Connection:
                 if isinstance(statement, ast.Insert) and statement.rows is not None:
                     self._prepare_insert(statement)
                 elif isinstance(statement, (ast.Insert, ast.Delete, ast.Update)):
-                    self.catalog.table(statement.table)
+                    verb = type(statement).__name__.upper()
+                    self._dml_table(statement.table, verb)
                 verb = type(statement).__name__.upper()
                 return _status(f"{verb} 0"), 0
             if isinstance(statement, ast.Insert) and statement.rows is not None:
@@ -441,6 +446,8 @@ class Connection:
         ast.CreateTable,
         ast.CreateTableAs,
         ast.CreateView,
+        ast.CreateMaterializedView,
+        ast.RefreshMaterializedView,
         ast.DropRelation,
     )
 
@@ -468,6 +475,13 @@ class Connection:
             return self._run_autocommit(
                 lambda: self._run_statement_in_txn(statement, params)
             )
+        if isinstance(statement, ast.QueryStatement):
+            # Reads outside a transaction refresh stale materialized
+            # views first, so the planned query can scan the stored rows
+            # instead of unfolding the definition. Inside a transaction
+            # the snapshot predates any refresh, so the analyzer unfolds
+            # stale views there (same results, no fast path).
+            self._auto_refresh_matviews(statement)
         return self._in_transaction(
             lambda: self._run_statement_in_txn(statement, params)
         )
@@ -619,6 +633,16 @@ class Connection:
         """Execute a prepared plan inside this connection's transaction
         (the path :class:`PreparedStatement` takes, so its reads see the
         same snapshot as ``cursor.execute`` would)."""
+        if (
+            plan.stale_matviews
+            and not self.in_transaction
+            and mvcc.current_transaction() is None
+        ):
+            self._auto_refresh_matviews(plan.statement)
+            if plan.catalog_version != self.catalog.version:
+                # The refresh invalidated this unfolded plan; rebuild it
+                # in place so this execution already scans the heap.
+                self._run_autocommit(plan.refresh)
         return self._in_transaction(lambda: plan.execute(values))
 
     # ------------------------------------------------------------------
@@ -647,6 +671,8 @@ class Connection:
         self._check_open()
         if self.catalog.has_table(name):
             return self.catalog.table(name).schema
+        if self.catalog.has_matview(name):
+            return self.catalog.matview(name).schema
         view = self.catalog.view(name)
 
         def analyze() -> Schema:
@@ -683,6 +709,10 @@ class Connection:
             return self._execute_create_table_as(statement)
         if isinstance(statement, ast.CreateView):
             return self._execute_create_view(statement)
+        if isinstance(statement, ast.CreateMaterializedView):
+            return self._execute_create_matview(statement)
+        if isinstance(statement, ast.RefreshMaterializedView):
+            return self._execute_refresh_matview(statement)
         if isinstance(statement, ast.DropRelation):
             return self._execute_drop(statement)
         if isinstance(statement, ast.Insert):
@@ -708,7 +738,7 @@ class Connection:
         ``PreparedPlan.execute`` would.
         """
         prepared = self._prepared_for(ast.QueryStatement(query))
-        if not prepared.stats_deps_valid():
+        if not prepared.deps_valid():
             prepared.refresh()
         self.pipeline.counters.execute += 1
         return execute_plan(prepared.physical, prepared.provenance_attrs)
@@ -739,6 +769,10 @@ class Connection:
         expanded = self.rewriter.expand(node)
         if statement.or_replace and self.catalog.has_view(statement.name):
             self.catalog.drop_view(statement.name)
+            # A materialized view may have been computed through the old
+            # definition; there is no view-dependency graph, so every
+            # stored result is conservatively recomputed on next read.
+            self._invalidate_all_matviews()
         self.catalog.create_view(
             statement.name,
             statement.query,
@@ -747,16 +781,211 @@ class Connection:
         )
         return _status("CREATE VIEW")
 
-    def _execute_drop(self, statement: ast.DropRelation) -> Relation:
-        if statement.kind == "table":
-            dropped = self.catalog.drop_table(statement.name, statement.if_exists)
+    def _invalidate_all_matviews(self) -> None:
+        """Mark every materialized view stale (after a view definition
+        changed underneath it)."""
+        maintainer = self.database.matview_maintainer
+        for entry in self.catalog.matviews:
+            maintainer._mark_stale(entry.name)
+
+    def _execute_create_matview(self, statement: ast.CreateMaterializedView) -> Relation:
+        if ast.statement_parameters(statement):
+            raise ProgrammingError(
+                "materialized views cannot contain parameter placeholders"
+            )
+        name = statement.name
+        if self.catalog.has_relation(name):
+            raise CatalogError(f"relation {name!r} already exists")
+        query = statement.query
+        if statement.with_provenance:
+            if not isinstance(query, ast.Select):
+                raise ProgrammingError(
+                    "CREATE MATERIALIZED VIEW ... WITH PROVENANCE requires a "
+                    "SELECT query (wrap set operations in SELECT * FROM (...))"
+                )
+            if query.provenance is None:
+                # Bake the provenance request into the stored definition,
+                # so refresh and unfolding see the same query.
+                query = replace(query, provenance=ast.ProvenanceClause())
+        rows, sids, base_versions, base_tables, program, expanded = (
+            self._compute_matview(query)
+        )
+        schema = Schema(
+            Attribute(a.name, a.type) for a in expanded.node.schema
+        )
+        entry = self.catalog.create_matview(
+            name,
+            schema,
+            query,
+            format_query(query),
+            with_provenance=statement.with_provenance,
+            provenance_attrs=expanded.provenance_names,
+        )
+        entry.base_tables = base_tables
+        entry.delta_safe = program is not None
+        entry.program = program
+        entry.source_ids = sids
+        entry.table._install_direct(rows, mvcc.new_row_ids(len(rows)))
+        # Set last: until the stored rows are installed, readers see the
+        # empty versions map, fail the freshness check and unfold. The
+        # fresh-mark also reaches the WAL observer, which records the
+        # base versions so recovery restores a trusted view.
+        entry.base_versions = base_versions
+        self.catalog.set_matview_fresh(name)
+        return _status(f"CREATE MATERIALIZED VIEW ({len(rows)} rows)")
+
+    def _execute_refresh_matview(
+        self, statement: ast.RefreshMaterializedView
+    ) -> Relation:
+        count = self._refresh_matview(statement.name)
+        return _status(f"REFRESH MATERIALIZED VIEW ({count} rows)")
+
+    def _compute_matview(self, query: ast.QueryExpr):
+        """Analyze a materialized-view definition (views *and* other
+        matviews unfolded, so only base tables remain) and evaluate its
+        current contents: through the delta interpreter when the rewritten
+        shape is delta-safe, else through this connection's engine.
+        Returns ``(rows, source_ids, base_versions, base_tables, program,
+        expanded)``."""
+        analyzer = self._analyzer()
+        analyzer.inline_matviews = True
+        node = analyzer.analyze_query(query)
+        expanded = self.rewriter.expand(node)
+        rewritten = expanded.node
+
+        def compute():
+            program = compile_program(rewritten, self.catalog)
+            base_tables = base_table_names(rewritten, self.catalog)
+            if program is not None:
+                rows, sids, base_versions = program.compute_full(self.catalog)
+            else:
+                optimized = self.optimizer.optimize(rewritten)
+                physical = self.planner.plan_root(optimized)
+                result = execute_plan(physical, expanded.provenance_names)
+                rows = list(result.rows)
+                sids = None
+                base_versions = {
+                    t: self.catalog.table(t).table.version for t in base_tables
+                }
+            return rows, sids, base_versions, base_tables, program
+
+        if mvcc.current_transaction() is not None:
+            rows, sids, base_versions, base_tables, program = compute()
         else:
-            dropped = self.catalog.drop_view(statement.name, statement.if_exists)
+            rows, sids, base_versions, base_tables, program = self._run_autocommit(
+                compute
+            )
+        return rows, sids, base_versions, base_tables, program, expanded
+
+    def _refresh_matview(self, name: str) -> int:
+        """Recompute a materialized view's stored rows from the current
+        base-table state; returns the new row count. The view is marked
+        stale *first*, so commit-time maintenance (which skips stale
+        views) cannot interleave its own heap write with the install."""
+        catalog = self.catalog
+        entry = catalog.matview(name)
+        rows, sids, base_versions, base_tables, program, expanded = (
+            self._compute_matview(entry.query)
+        )
+        new_names = [a.name for a in expanded.node.schema]
+        old_names = [a.name for a in entry.schema]
+        if new_names != old_names:
+            raise OperationalError(
+                f"cannot refresh materialized view {entry.name!r}: its "
+                f"definition now produces columns ({', '.join(new_names)}) "
+                f"instead of ({', '.join(old_names)}); drop and re-create it"
+            )
+        self.database.matview_maintainer._mark_stale(entry.name)
+        entry.base_tables = base_tables
+        entry.delta_safe = program is not None
+        entry.program = program
+        entry.source_ids = sids
+        entry.table._install_direct(rows, mvcc.new_row_ids(len(rows)))
+        entry.base_versions = base_versions
+        catalog.set_matview_fresh(entry.name)
+        self.pipeline.counters.matview_refreshes += 1
+        return len(rows)
+
+    def _auto_refresh_matviews(self, statement: ast.QueryStatement) -> None:
+        """Best-effort refresh of every stale materialized view a read
+        would unfold, run before the statement's own transaction begins
+        (a refresh *inside* the snapshot would be invisible to it). A
+        view whose refresh fails — e.g. its definition no longer analyzes
+        after a base-schema change — is left stale and the read serves
+        the unfolded definition instead."""
+        if (
+            self.in_transaction
+            or mvcc.current_transaction() is not None
+            or not self.catalog.matviews
+        ):
+            return
+        for _ in range(3):
+            try:
+                plan = self._run_autocommit(lambda: self._prepared_for(statement))
+            except PermError:
+                return  # broken statement: surface the error on the real path
+            if not plan.stale_matviews:
+                return
+            progressed = False
+            for name in plan.stale_matviews:
+                if not self.catalog.has_matview(name):
+                    continue
+                try:
+                    self._refresh_matview(name)
+                except PermError:
+                    self.database.matview_maintainer._mark_stale(name)
+                else:
+                    progressed = True
+                    self.pipeline.counters.matview_auto_refreshes += 1
+            if not progressed:
+                return
+
+    def _execute_drop(self, statement: ast.DropRelation) -> Relation:
+        catalog = self.catalog
+        name = statement.name
+        if statement.kind in ("table", "view") and catalog.has_matview(name):
+            raise ProgrammingError(
+                f"{name!r} is a materialized view; use DROP MATERIALIZED VIEW"
+            )
+        if statement.kind == "table":
+            if catalog.has_table(name):
+                key = name.lower()
+                dependents = sorted(
+                    entry.name
+                    for entry in catalog.matviews
+                    if key in entry.base_tables
+                )
+                if dependents:
+                    raise OperationalError(
+                        f"cannot drop table {name!r}: materialized view(s) "
+                        f"{', '.join(dependents)} depend on it (drop them first)"
+                    )
+            dropped = catalog.drop_table(name, statement.if_exists)
+        elif statement.kind == "materialized view":
+            if catalog.has_view(name):
+                raise ProgrammingError(f"{name!r} is a view; use DROP VIEW")
+            dropped = catalog.drop_matview(name, statement.if_exists)
+        else:
+            dropped = catalog.drop_view(name, statement.if_exists)
+            if dropped:
+                # Same conservatism as CREATE OR REPLACE VIEW: a stored
+                # result may have been computed through this view.
+                self._invalidate_all_matviews()
         return _status(f"DROP {statement.kind.upper()}" + ("" if dropped else " (skipped)"))
 
     # ------------------------------------------------------------------
     # DML
     # ------------------------------------------------------------------
+    def _dml_table(self, name: str, verb: str):
+        """Resolve a DML target, refusing materialized views (their rows
+        are derived state, maintained from the base tables)."""
+        if self.catalog.has_matview(name):
+            raise ProgrammingError(
+                f"cannot {verb} materialized view {name!r}: its rows are "
+                "maintained from the base tables (use REFRESH MATERIALIZED VIEW)"
+            )
+        return self.catalog.table(name)
+
     def _execute_insert(self, statement: ast.Insert) -> Relation:
         return _status(f"INSERT {self._prepare_insert(statement)()}")
 
@@ -765,7 +994,7 @@ class Connection:
         evaluates it against the currently bound parameters. This is what
         lets ``executemany`` pay analysis/compilation once per statement
         instead of once per parameter set."""
-        entry = self.catalog.table(statement.table)
+        entry = self._dml_table(statement.table, "INSERT into")
         schema = entry.schema
         if statement.columns is not None:
             positions = [schema.index_of(c) for c in statement.columns]
@@ -840,12 +1069,12 @@ class Connection:
         return compile_plan
 
     def _execute_delete(self, statement: ast.Delete) -> Relation:
-        entry = self.catalog.table(statement.table)
+        entry = self._dml_table(statement.table, "DELETE from")
         removed = entry.table.delete_where(self._predicate(entry, statement.where))
         return _status(f"DELETE {removed}")
 
     def _execute_update(self, statement: ast.Update) -> Relation:
-        entry = self.catalog.table(statement.table)
+        entry = self._dml_table(statement.table, "UPDATE")
         analyzer = self._analyzer()
         compiler = ExprCompiler(
             entry.schema,

@@ -34,6 +34,7 @@ from typing import Optional
 
 from ..catalog.catalog import Catalog
 from ..storage.mvcc import Transaction, TransactionManager
+from .matview import MatviewMaintainer
 
 
 class Database:
@@ -60,10 +61,15 @@ class Database:
         # transactions updating disjoint rows of one table both commit.
         # "table": any two commits of one table conflict (the pre-row-
         # level behavior, kept for benchmark comparisons).
+        # Snapshots must cover materialized-view heaps too, so a reader
+        # sees base tables and view contents from one consistent cut.
         self.manager = TransactionManager(
-            lambda: [entry.table for entry in self.catalog.tables],
+            lambda: [entry.table for entry in self.catalog.tables]
+            + [entry.table for entry in self.catalog.matviews],
             granularity=conflict_granularity,
         )
+        self.matview_maintainer = MatviewMaintainer(self.catalog)
+        self.manager.matview_maintainer = self.matview_maintainer.on_commit
         self.storage = None
         if path is not None:
             from ..storage.persist import DEFAULT_CHECKPOINT_BYTES, PersistentStore
@@ -108,6 +114,26 @@ class Database:
         """Version-GC counters (see
         :meth:`repro.storage.mvcc.TransactionManager.gc_stats`)."""
         return self.manager.gc_stats()
+
+    def matview_stats(self) -> dict:
+        """Materialized-view bookkeeping: per-view freshness and size,
+        plus the maintainer's cumulative counters."""
+        maintainer = self.matview_maintainer
+        return {
+            "views": {
+                entry.name: {
+                    "rows": len(entry.table._state[0]),
+                    "stale": entry.stale,
+                    "delta_safe": entry.delta_safe,
+                    "with_provenance": entry.with_provenance,
+                }
+                for entry in self.catalog.matviews
+            },
+            "incremental_commits": maintainer.incremental_commits,
+            "stale_marks": maintainer.stale_marks,
+            "rows_added": maintainer.rows_added,
+            "rows_removed": maintainer.rows_removed,
+        }
 
     def wal_stats(self) -> dict:
         """Durability counters: log size, appends/fsyncs, checkpoints,

@@ -77,6 +77,12 @@ class PipelineCounters:
     joins_reordered: int = 0
     joinbacks_eliminated: int = 0
     columns_pruned: int = 0
+    # Materialized views: explicit REFRESH statements, and refreshes the
+    # connection ran automatically because a read outside a transaction
+    # hit a stale view (the recompute-fallback path for shapes the
+    # incremental maintainer cannot handle).
+    matview_refreshes: int = 0
+    matview_auto_refreshes: int = 0
 
     def snapshot(self) -> "PipelineCounters":
         return replace(self)
@@ -128,6 +134,18 @@ class PreparedPlan:
     # ones, and a commit (which re-installs its final working stamp)
     # keeps plans prepared inside the transaction valid afterwards.
     stats_deps: tuple[tuple[str, int], ...] = ()
+    # Materialized views this plan *unfolded* because their stored rows
+    # could not be trusted (stale, or base-version skew). The connection
+    # refreshes these before serving reads outside a transaction.
+    stale_matviews: tuple[str, ...] = ()
+    # Materialized views this plan scans *from the stored heap* — a
+    # decision that holds only while each view stays fresh for the
+    # executing snapshot. Like ``stats_deps`` this is revalidated before
+    # every execution: a transaction that writes a base table after
+    # preparing (or a cached plan outliving a freshness change that
+    # never bumped the catalog version) re-prepares and unfolds instead
+    # of serving stored rows its snapshot cannot trust.
+    fresh_matviews: tuple[str, ...] = ()
     timings: list[StageTiming] = field(default_factory=list)
     _pipeline: "Pipeline" = None  # type: ignore[assignment]
 
@@ -155,11 +173,30 @@ class PreparedPlan:
             return True
         catalog = self._pipeline.catalog
         for table_name, heap_version in self.stats_deps:
-            if not catalog.has_table(table_name):
+            if not (
+                catalog.has_table(table_name) or catalog.has_matview(table_name)
+            ):
                 return False
-            if catalog.table(table_name).table.version != heap_version:
+            if catalog.scan_entry(table_name).table.version != heap_version:
                 return False
         return True
+
+    def matviews_still_fresh(self) -> bool:
+        """Whether every matview this plan scans from its stored heap is
+        still fresh for the caller's snapshot (trivially true for plans
+        that scan no matview)."""
+        catalog = self._pipeline.catalog
+        for name in self.fresh_matviews:
+            if not catalog.has_matview(name) or not catalog.matview_fresh(
+                catalog.matview(name)
+            ):
+                return False
+        return True
+
+    def deps_valid(self) -> bool:
+        """Every execution-time fact the plan relies on: statistics-based
+        simplifications and fresh-matview scan decisions."""
+        return self.stats_deps_valid() and self.matviews_still_fresh()
 
     def refresh(self) -> None:
         """Re-run the prepare stages for this plan's statement in place,
@@ -174,15 +211,20 @@ class PreparedPlan:
         self.param_types = fresh.param_types
         self.catalog_version = fresh.catalog_version
         self.stats_deps = fresh.stats_deps
+        self.stale_matviews = fresh.stale_matviews
+        self.fresh_matviews = fresh.fresh_matviews
         self.release_intermediates()
 
     def execute(self, values: Sequence[Value] = ()) -> Relation:
         """Run the execute stage with *values* bound to the parameter
         slots (already in slot order — see :func:`bind_parameters`)."""
-        if not self.stats_deps_valid():
+        if not self.deps_valid():
             # DML invalidated a statistics-derived simplification (e.g. a
             # column this plan's join-back elimination proved unique is
-            # no longer unique): rebuild before running a stale plan.
+            # no longer unique), or a matview this plan scans is no
+            # longer fresh for the executing snapshot (e.g. this very
+            # transaction wrote one of its base tables): rebuild before
+            # running a stale plan.
             self.refresh()
         self._pipeline.counters.execute += 1
         return execute_plan(
@@ -281,7 +323,8 @@ class Pipeline:
         timings: list[StageTiming] = []
 
         start = time.perf_counter()
-        analyzed = self.analyzer().analyze_query(statement.query)
+        analyzer = self.analyzer()
+        analyzed = analyzer.analyze_query(statement.query)
         timings.append(StageTiming("analyze", time.perf_counter() - start))
         self.counters.analyze += 1
 
@@ -312,6 +355,8 @@ class Pipeline:
             param_types=infer_param_types(analyzed),
             catalog_version=self.catalog.version,
             stats_deps=tuple(self.optimizer.stats_deps),
+            stale_matviews=tuple(sorted(analyzer.stale_matviews)),
+            fresh_matviews=tuple(sorted(analyzer.fresh_matviews)),
             timings=timings,
             _pipeline=self,
         )

@@ -79,13 +79,16 @@ class CostEstimator:
             # logical trees, so anything unresolvable here is a caller
             # bug and callers making cost-based *choices* catch this and
             # keep the syntactic plan.
-            if not self.catalog.has_table(node.table_name):
+            if not (
+                self.catalog.has_table(node.table_name)
+                or self.catalog.has_matview(node.table_name)
+            ):
                 kind = "view" if self.catalog.has_view(node.table_name) else "relation"
                 raise CostEstimationError(
                     f"cannot estimate scan of {kind} {node.table_name!r}: "
                     "no table statistics in the catalog"
                 )
-            rows = float(self.catalog.table(node.table_name).stats().row_count)
+            rows = float(self.catalog.scan_entry(node.table_name).stats().row_count)
             return PlanEstimate(rows, rows * _COST_SCAN)
 
         if isinstance(node, an.SingleRow):
@@ -220,8 +223,10 @@ class CostEstimator:
             if isinstance(node, an.Scan) and node.schema.has(target):
                 position = node.schema.index_of(target)
                 column = node.columns[position]
-                if self.catalog.has_table(node.table_name):
-                    return self.catalog.table(node.table_name).stats().column(column)
+                if self.catalog.has_table(node.table_name) or self.catalog.has_matview(
+                    node.table_name
+                ):
+                    return self.catalog.scan_entry(node.table_name).stats().column(column)
         return None
 
     def _column_ndv(self, expr: ax.Expr, root: an.Node) -> int | None:

@@ -67,9 +67,9 @@ def _unique_columns(
     doubt. Statistics-derived facts append their table dependency to
     *deps* so callers can revalidate them later."""
     if isinstance(node, an.Scan):
-        if not catalog.has_table(node.table_name):
+        if not (catalog.has_table(node.table_name) or catalog.has_matview(node.table_name)):
             return set()
-        entry = catalog.table(node.table_name)
+        entry = catalog.scan_entry(node.table_name)
         stats = entry.stats()
         unique = {
             out.name.lower()

@@ -16,7 +16,7 @@ Requests are ``{"op": ..., ...}``; the ops are:
 ``execute``  ``{handle, params?}`` — run a prepared handle.
 ``begin`` / ``commit`` / ``rollback`` — transaction control.
 ``stats``  session + server counters (latency percentiles, conflicts,
-           retries, GC).
+           retries, GC, WAL, materialized-view freshness).
 ``close``  end the session (the server also tears down on disconnect).
 ========== =======================================================
 

@@ -174,6 +174,7 @@ class Session:
             "server": self._server_snapshot(),
             "gc": self.database.gc_stats(),
             "wal": self.database.wal_stats(),
+            "matviews": self.database.matview_stats(),
         }
 
     # ------------------------------------------------------------------

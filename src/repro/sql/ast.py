@@ -325,8 +325,32 @@ class CreateView(Statement):
 
 
 @dataclass
+class CreateMaterializedView(Statement):
+    """``CREATE MATERIALIZED VIEW name [WITH PROVENANCE] AS query``.
+
+    ``with_provenance`` materializes the provenance-rewritten query (the
+    stored rows include the ``prov_*`` columns), registering them so
+    later ``SELECT PROVENANCE`` queries resume from the stored columns
+    — the paper's eager provenance storage (§2.4) applied to a
+    maintained materialization.
+    """
+
+    name: str
+    query: QueryExpr
+    with_provenance: bool = False
+
+
+@dataclass
+class RefreshMaterializedView(Statement):
+    """``REFRESH MATERIALIZED VIEW name`` — recompute the stored rows
+    from the current base-table state and clear staleness."""
+
+    name: str
+
+
+@dataclass
 class DropRelation(Statement):
-    kind: L["table", "view"]
+    kind: L["table", "view", "materialized view"]
     name: str
     if_exists: bool = False
 

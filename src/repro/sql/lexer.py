@@ -40,7 +40,7 @@ KEYWORDS = frozenset(
     join inner left right full outer cross on using natural
     union intersect except
     create table view drop insert into values delete update set
-    if replace temp temporary
+    if replace temp temporary materialized refresh
     provenance baserelation contribution influence copy partial complete
     transitive explain analyze rewrite algebra plan
     begin commit rollback savepoint release start transaction work to

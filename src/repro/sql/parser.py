@@ -155,6 +155,8 @@ class Parser:
             return self._parse_update()
         if self._at_keyword("EXPLAIN"):
             return self._parse_explain()
+        if self._at_keyword("REFRESH"):
+            return self._parse_refresh()
         if self._at_keyword("BEGIN", "START", "COMMIT", "ROLLBACK", "SAVEPOINT", "RELEASE"):
             return self._parse_transaction_control()
         if self._at_keyword("CHECKPOINT"):
@@ -547,6 +549,29 @@ class Parser:
             self._expect_keyword("REPLACE")
             or_replace = True
         self._accept_keyword("TEMP") or self._accept_keyword("TEMPORARY")
+        if self._at_keyword("MATERIALIZED"):
+            token = self._advance()
+            if or_replace:
+                raise ParseError(
+                    "OR REPLACE is not supported for materialized views "
+                    "(DROP MATERIALIZED VIEW first)",
+                    token.line,
+                    token.column,
+                )
+            self._expect_keyword("VIEW")
+            name = self._expect_identifier("materialized view name")
+            with_provenance = False
+            # WITH is not a keyword in this dialect; match it by text so
+            # identifiers named "with" elsewhere keep working.
+            if self._peek().upper == "WITH":
+                self._advance()
+                self._expect_keyword("PROVENANCE")
+                with_provenance = True
+            self._expect_keyword("AS")
+            query = self.parse_query_expr()
+            return ast.CreateMaterializedView(
+                name=name, query=query, with_provenance=with_provenance
+            )
         if self._accept_keyword("VIEW"):
             name = self._expect_identifier("view name")
             self._expect_keyword("AS")
@@ -601,7 +626,10 @@ class Parser:
 
     def _parse_drop(self) -> ast.Statement:
         self._expect_keyword("DROP")
-        if self._accept_keyword("VIEW"):
+        if self._accept_keyword("MATERIALIZED"):
+            self._expect_keyword("VIEW")
+            kind = "materialized view"
+        elif self._accept_keyword("VIEW"):
             kind = "view"
         else:
             self._expect_keyword("TABLE")
@@ -662,8 +690,15 @@ class Parser:
         self._expect_operator("=")
         return column, self.parse_expression()
 
+    def _parse_refresh(self) -> ast.Statement:
+        self._expect_keyword("REFRESH")
+        self._expect_keyword("MATERIALIZED")
+        self._expect_keyword("VIEW")
+        name = self._expect_identifier("materialized view name")
+        return ast.RefreshMaterializedView(name=name)
+
     _STATEMENT_STARTERS = frozenset(
-        ("SELECT", "CREATE", "DROP", "INSERT", "DELETE", "UPDATE", "EXPLAIN")
+        ("SELECT", "CREATE", "DROP", "INSERT", "DELETE", "UPDATE", "EXPLAIN", "REFRESH")
     )
 
     def _parse_explain(self) -> ast.Statement:

@@ -224,6 +224,14 @@ def format_statement(statement: ast.Statement) -> str:
     if isinstance(statement, ast.CreateView):
         replace = "OR REPLACE " if statement.or_replace else ""
         return f"CREATE {replace}VIEW {quote_identifier(statement.name)} AS {format_query(statement.query)}"
+    if isinstance(statement, ast.CreateMaterializedView):
+        prov = "WITH PROVENANCE " if statement.with_provenance else ""
+        return (
+            f"CREATE MATERIALIZED VIEW {quote_identifier(statement.name)} "
+            f"{prov}AS {format_query(statement.query)}"
+        )
+    if isinstance(statement, ast.RefreshMaterializedView):
+        return f"REFRESH MATERIALIZED VIEW {quote_identifier(statement.name)}"
     if isinstance(statement, ast.DropRelation):
         exists = "IF EXISTS " if statement.if_exists else ""
         return f"DROP {statement.kind.upper()} {exists}{quote_identifier(statement.name)}"

@@ -685,6 +685,18 @@ class Transaction:
                         ),
                     )
                 )
+            finalize_matviews = None
+            if manager.matview_maintainer is not None:
+                # Materialized-view maintenance: derive the views' share
+                # of this commit from the staged base-table changes, so
+                # the write-ahead hook logs base rows and view rows as
+                # one atomic unit. The returned finalizer (catalog
+                # bookkeeping) runs only after everything installs.
+                maintained, finalize_matviews = manager.matview_maintainer(
+                    seq, [change for _, _, change in pending]
+                )
+                for change in maintained:
+                    pending.append((change.table, None, change))
             if manager.on_commit is not None:
                 try:
                     manager.on_commit(seq, [change for _, _, change in pending])
@@ -698,6 +710,14 @@ class Transaction:
                     manager.retire(self)
                     raise
             for table, working, change in pending:
+                if working is None:
+                    # A maintainer-generated change: a complete new state
+                    # for a materialized view's heap. No user transaction
+                    # ever writes these heaps, so a coarse history entry
+                    # is conservative and safe.
+                    table._state = (change.rows, change.version, change.ids)
+                    table._history.append(HistoryEntry(seq, None, change.previous))
+                    continue
                 if change.rows is None:
                     in_place = solo and not table._history
                     rows, ids = working.final_state(in_place=in_place)
@@ -706,6 +726,8 @@ class Transaction:
                 table._state = (rows, change.version, ids)
                 written = None if working.coarse else frozenset(working.written)
                 table._history.append(HistoryEntry(seq, written, change.previous))
+            if finalize_matviews is not None:
+                finalize_matviews()
             manager.commit_count += 1
             manager.retire(self)
         self.status = "committed"
@@ -762,6 +784,16 @@ class TransactionManager:
         # where rewriting the snapshot can no longer lose the commit).
         self.on_commit: Optional[Callable[[int, list[CommitChange]], None]] = None
         self.on_commit_complete: Optional[Callable[[], None]] = None
+        # Materialized-view maintenance hook (set by repro.engine.database
+        # when the catalog holds matviews; a callable keeps this module
+        # free of engine imports). Called under the lock with the staged
+        # changes; returns (extra changes, finalizer-or-None).
+        self.matview_maintainer: Optional[
+            Callable[
+                [int, list[CommitChange]],
+                tuple[list[CommitChange], Optional[Callable[[], None]]],
+            ]
+        ] = None
         # Live (active) transactions — i.e. the set of live snapshots.
         # Weak, so a session abandoned without commit/rollback cannot
         # pin the version history (or the in-place append optimization)

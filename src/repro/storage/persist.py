@@ -150,6 +150,8 @@ class PersistentStore:
                 self._load_table(catalog, spec)
             for spec in manifest.get("views", []):
                 self._load_view(catalog, spec)
+            for spec in manifest.get("matviews", []):
+                self._load_matview(catalog, spec)
             catalog.version = int(manifest.get("catalog_version", catalog.version))
             self.last_checkpoint_seq = checkpoint_seq
         wal_path = os.path.join(self.path, WAL_NAME)
@@ -209,13 +211,58 @@ class PersistentStore:
             provenance_attrs=tuple(spec.get("provenance", ())),
         )
 
+    def _create_matview_entry(self, catalog: "Catalog", spec: dict):
+        """Shared by manifest load and WAL replay: re-register a
+        materialized view from its durable description. Maintenance
+        state that cannot be persisted (the compiled program, per-row
+        source ids) is rebuilt by the first refresh; until then the view
+        degrades to stale-and-recompute on its first base write."""
+        from ..sql.parser import Parser
+
+        schema = Schema(
+            Attribute(name, type_from_name(type_name))
+            for name, type_name in spec["columns"]
+        )
+        entry = catalog.create_matview(
+            spec["name"],
+            schema,
+            Parser(spec["sql"]).parse_query_expr(),
+            spec["sql"],
+            with_provenance=bool(spec.get("with_provenance", False)),
+            provenance_attrs=tuple(spec.get("provenance", ())),
+        )
+        entry.stale = bool(spec.get("stale", False))
+        entry.delta_safe = bool(spec.get("delta_safe", False))
+        entry.base_tables = tuple(spec.get("base_tables", ()))
+        entry.base_versions = {
+            str(name): int(version)
+            for name, version in spec.get("base_versions", {}).items()
+        }
+        return entry
+
+    def _load_matview(self, catalog: "Catalog", spec: dict) -> None:
+        entry = self._create_matview_entry(catalog, spec)
+        with open(os.path.join(self.path, spec["heap"]), "rb") as handle:
+            heap = json.load(handle)
+        entry.table._state = (
+            _decode_rows(heap["rows"]),
+            int(spec["version"]),
+            list(heap["ids"]),
+        )
+
     def _replay(self, catalog: "Catalog", record: dict) -> None:
         kind = record.get("kind")
         if kind == "commit":
             for name, delta in record["tables"].items():
-                self._replay_delta(catalog.table(name).table, delta)
+                entry = catalog.scan_entry(name)
+                self._replay_delta(entry.table, delta)
+                versions = delta.get("matview", {}).get("base_versions")
+                if versions:
+                    entry.base_versions = {
+                        str(t): int(v) for t, v in versions.items()
+                    }
         elif kind == "direct":
-            table = catalog.table(record["table"]).table
+            table = catalog.scan_entry(record["table"]).table
             table._state = (
                 _decode_rows(record["rows"]),
                 int(record["version"]),
@@ -234,9 +281,26 @@ class PersistentStore:
             entry.table._state = ([], int(record["version"]), [])
         elif kind == "create_view":
             self._load_view(catalog, record)
+        elif kind == "create_matview":
+            self._create_matview_entry(catalog, record)
+        elif kind == "matview_stale":
+            if catalog.has_matview(record["name"]):
+                catalog.matview(record["name"]).stale = True
+        elif kind == "matview_fresh":
+            if catalog.has_matview(record["name"]):
+                entry = catalog.matview(record["name"])
+                entry.stale = False
+                entry.delta_safe = bool(record.get("delta_safe", False))
+                entry.base_tables = tuple(record.get("base_tables", ()))
+                entry.base_versions = {
+                    str(t): int(v)
+                    for t, v in record.get("base_versions", {}).items()
+                }
         elif kind == "drop":
             if record["relation"] == "table":
                 catalog.drop_table(record["name"], if_exists=True)
+            elif record["relation"] == "materialized view":
+                catalog.drop_matview(record["name"], if_exists=True)
             else:
                 catalog.drop_view(record["name"], if_exists=True)
         elif kind == "provenance":
@@ -247,6 +311,23 @@ class PersistentStore:
 
     def _replay_delta(self, table: "HeapTable", delta: dict) -> None:
         rows, _, ids = table._state
+        matview = delta.get("matview")
+        if matview is not None:
+            # Positioned matview delta: drop the removed row ids, then
+            # apply the inserts in ascending final-index order (so each
+            # ``insert`` lands at its recorded position).
+            remove = set(matview["remove"])
+            new_rows, new_ids = [], []
+            for row, rid in zip(rows, ids):
+                if rid in remove:
+                    continue
+                new_rows.append(row)
+                new_ids.append(rid)
+            for index, rid, row in matview["insert_at"]:
+                new_rows.insert(index, tuple(from_jsonsafe_value(v) for v in row))
+                new_ids.insert(index, rid)
+            table._state = (new_rows, int(delta["version"]), new_ids)
+            return
         if "state" in delta:
             new_rows = _decode_rows(delta["state"]["rows"])
             new_ids = list(delta["state"]["ids"])
@@ -271,7 +352,7 @@ class PersistentStore:
         database.catalog.observer = self
         database.manager.on_commit = self._on_commit
         database.manager.on_commit_complete = self._maybe_checkpoint
-        for entry in database.catalog.tables:
+        for entry in database.catalog.tables + database.catalog.matviews:
             entry.table.on_direct_install = self._on_direct_install
 
     # ------------------------------------------------------------------
@@ -307,6 +388,20 @@ class PersistentStore:
 
     def _delta_for(self, change: "mvcc.CommitChange") -> dict:
         delta: dict = {"version": change.version}
+        wal_delta = getattr(change, "wal_delta", None)
+        if wal_delta is not None:
+            # Maintainer-generated matview update: the compact positioned
+            # delta (plus the base versions it advances to) instead of a
+            # full-state dump of the view's contents.
+            delta["matview"] = {
+                "remove": list(wal_delta["remove"]),
+                "insert_at": [
+                    [index, rid, [to_jsonsafe_value(v) for v in row]]
+                    for index, rid, row in wal_delta["insert_at"]
+                ],
+                "base_versions": dict(wal_delta.get("base_versions", {})),
+            }
+            return delta
         if change.appended is not None:
             delta["insert"] = [
                 [rid, [to_jsonsafe_value(v) for v in row]]
@@ -392,6 +487,43 @@ class PersistentStore:
         record.update(self._counter_fields(mvcc.next_commit_seq()))
         self._append(record)
 
+    def on_create_matview(self, entry) -> None:
+        entry.table.on_direct_install = self._on_direct_install
+        record = {
+            "kind": "create_matview",
+            "name": entry.name,
+            "sql": entry.sql,
+            "with_provenance": entry.with_provenance,
+            "columns": [[a.name, a.type.value] for a in entry.schema],
+            "provenance": list(entry.provenance_attrs),
+            "version": entry.table._state[1],
+        }
+        record.update(self._counter_fields(mvcc.next_commit_seq()))
+        self._append(record)
+
+    def on_matview_stale(self, name: str) -> None:
+        record = {"kind": "matview_stale", "name": name}
+        record.update(self._counter_fields(mvcc.next_commit_seq()))
+        self._append(record)
+
+    def on_matview_fresh(self, name: str) -> None:
+        # Fired after CREATE and REFRESH, when the entry's maintenance
+        # bookkeeping is final — recording it lets recovery trust the
+        # replayed contents without a recompute on first read.
+        database = self._database
+        if database is None:
+            return
+        entry = database.catalog.matview(name)
+        record = {
+            "kind": "matview_fresh",
+            "name": name,
+            "delta_safe": entry.delta_safe,
+            "base_tables": list(entry.base_tables),
+            "base_versions": dict(entry.base_versions),
+        }
+        record.update(self._counter_fields(mvcc.next_commit_seq()))
+        self._append(record)
+
     def on_register_provenance(self, name: str, attrs: tuple[str, ...]) -> None:
         record = {"kind": "provenance", "name": name, "attrs": list(attrs)}
         record.update(self._counter_fields(mvcc.next_commit_seq()))
@@ -447,6 +579,33 @@ class PersistentStore:
                         "heap": heap_rel,
                     }
                 )
+            matviews = []
+            for index, entry in enumerate(database.catalog.matviews):
+                rows, version, ids = entry.table._state
+                heap_rel = os.path.join(
+                    HEAP_DIR, f"g{generation:08d}-m{index:04d}.heap"
+                )
+                heap_data = json.dumps(
+                    {"rows": _encode_rows(rows), "ids": list(ids)},
+                    separators=(",", ":"),
+                    allow_nan=False,
+                ).encode("utf-8")
+                _write_atomically(os.path.join(self.path, heap_rel), heap_data)
+                matviews.append(
+                    {
+                        "name": entry.name,
+                        "sql": entry.sql,
+                        "with_provenance": entry.with_provenance,
+                        "columns": [[a.name, a.type.value] for a in entry.schema],
+                        "provenance": list(entry.provenance_attrs),
+                        "version": version,
+                        "heap": heap_rel,
+                        "stale": entry.stale,
+                        "delta_safe": entry.delta_safe,
+                        "base_tables": list(entry.base_tables),
+                        "base_versions": dict(entry.base_versions),
+                    }
+                )
             manifest = {
                 "format": FORMAT_VERSION,
                 "generation": generation,
@@ -458,6 +617,7 @@ class PersistentStore:
                     "row_id": mvcc.current_row_id(),
                 },
                 "tables": tables,
+                "matviews": matviews,
                 "views": [
                     {
                         "name": view.name,
@@ -479,7 +639,10 @@ class PersistentStore:
             self._generation = generation
             self.checkpoint_count += 1
             self.last_checkpoint_seq = seq
-            self._prune_heap_files({spec["heap"] for spec in tables})
+            self._prune_heap_files(
+                {spec["heap"] for spec in tables}
+                | {spec["heap"] for spec in matviews}
+            )
 
     def _prune_heap_files(self, referenced: set) -> None:
         """Drop heap files no manifest references anymore (best-effort:
@@ -526,7 +689,7 @@ class PersistentStore:
                 database.catalog.observer = None
                 database.manager.on_commit = None
                 database.manager.on_commit_complete = None
-                for entry in database.catalog.tables:
+                for entry in database.catalog.tables + database.catalog.matviews:
                     entry.table.on_direct_install = None
             wal, self._wal = self._wal, None
             if wal is not None:

@@ -1,0 +1,16 @@
+"""Backend-suite collection rules.
+
+DuckDB is an optional backend dependency that is deliberately not
+installed in the local tier-1 environment. Without this rule,
+``test_duckdb.py`` sits in every run as a permanent unexplained skip;
+deselecting it at collection time keeps the tier-1 report at zero
+skips while the dedicated CI job — which installs ``duckdb`` and
+registers the backend — still collects and runs the file (see
+.github/workflows/ci.yml, job ``duckdb``).
+"""
+
+import importlib.util
+
+collect_ignore = []
+if importlib.util.find_spec("duckdb") is None:
+    collect_ignore.append("test_duckdb.py")

@@ -21,9 +21,15 @@ import re
 
 import pytest
 
-from conftest import ENGINES
 from querygen import FORUM_TABLES, TPCH_TABLES, generate_query
+from repro.backend import differential_engines
 from repro.workloads.queries import with_provenance
+
+# The registry's differential set, read directly rather than via
+# ``from conftest import ...`` — plain-named conftest imports resolve to
+# whichever test directory's conftest loaded first when several suites
+# run in one invocation.
+ENGINES = differential_engines()
 
 SEEDS = range(60)
 

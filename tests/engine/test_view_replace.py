@@ -1,0 +1,90 @@
+"""Stale-view-definition regressions: redefinitions reach every reader.
+
+A view replaced (or dropped and re-created) while a prepared statement
+built against the old definition is still open must never serve the old
+plan: every DDL bumps the catalog version, prepared statements
+re-prepare on the mismatch, and the plan cache keys on the version so
+dropped-definition plans simply stop matching. Parametrized over every
+registered engine — the re-prepare path runs per backend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.backend import engine_names
+from repro.errors import AnalyzeError
+
+
+@pytest.fixture(params=engine_names())
+def db(request):
+    connection = repro.connect(engine=request.param)
+    connection.run("CREATE TABLE t (a int, b text)")
+    connection.run(
+        "INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'x'), (4, 'z')"
+    )
+    connection.run("CREATE VIEW v AS SELECT a, b FROM t WHERE a <= 2")
+    yield connection
+    connection.close()
+
+
+def test_replace_view_reaches_open_prepared_statement(db):
+    statement = db.prepare("SELECT a, b FROM v")
+    assert statement.execute().rows == [(1, "x"), (2, "y")]
+    db.run("CREATE OR REPLACE VIEW v AS SELECT a, b FROM t WHERE a > 2")
+    assert statement.execute().rows == [(3, "x"), (4, "z")]
+
+
+def test_drop_and_recreate_view_reaches_open_prepared_statement(db):
+    statement = db.prepare("SELECT a FROM v")
+    assert statement.execute().rows == [(1,), (2,)]
+    db.run("DROP VIEW v")
+    db.run("CREATE VIEW v AS SELECT a FROM t WHERE b = 'x'")
+    assert statement.execute().rows == [(1,), (3,)]
+
+
+def test_dropped_view_fails_instead_of_serving_old_plan(db):
+    statement = db.prepare("SELECT a FROM v")
+    assert statement.execute().rows == [(1,), (2,)]
+    db.run("DROP VIEW v")
+    with pytest.raises(AnalyzeError, match="does not exist"):
+        statement.execute()
+
+
+def test_plan_cache_does_not_serve_replaced_definition(db):
+    sql = "SELECT count(*) FROM v"
+    assert db.run(sql).rows == [(2,)]
+    db.run("CREATE OR REPLACE VIEW v AS SELECT a, b FROM t")
+    assert db.run(sql).rows == [(4,)]
+    db.run("DROP VIEW v")
+    with pytest.raises(AnalyzeError, match="does not exist"):
+        db.run(sql)
+
+
+def test_replace_view_changing_schema_reaches_prepared_statement(db):
+    statement = db.prepare("SELECT * FROM v")
+    first = statement.execute()
+    assert first.columns == ["a", "b"]
+    db.run("CREATE OR REPLACE VIEW v AS SELECT b, a * 10 AS a10 FROM t WHERE a = 1")
+    second = statement.execute()
+    assert second.columns == ["b", "a10"]
+    assert second.rows == [("x", 10)]
+
+
+def test_replace_underlying_view_stales_matview_reader(db):
+    """A matview built over a view must not keep serving rows computed
+    from the view's old definition after CREATE OR REPLACE VIEW."""
+    db.run("CREATE MATERIALIZED VIEW mv AS SELECT a FROM v")
+    assert db.run("SELECT * FROM mv").rows == [(1,), (2,)]
+    db.run("CREATE OR REPLACE VIEW v AS SELECT a, b FROM t WHERE a >= 3")
+    assert db.run("SELECT * FROM mv").rows == [(3,), (4,)]
+
+
+def test_prepared_provenance_query_follows_view_replacement(db):
+    statement = db.prepare("SELECT PROVENANCE a FROM v")
+    first = statement.execute()
+    assert [row[0] for row in first.rows] == [1, 2]
+    db.run("CREATE OR REPLACE VIEW v AS SELECT a, b FROM t WHERE b = 'z'")
+    second = statement.execute()
+    assert [row[0] for row in second.rows] == [4]

@@ -1,0 +1,74 @@
+"""SQL surface of materialized views: lexer/parser/printer round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql.parser import parse_sql
+from repro.sql.printer import format_statement
+
+
+def _parse_one(sql: str) -> ast.Statement:
+    statements = parse_sql(sql)
+    assert len(statements) == 1
+    return statements[0]
+
+
+@pytest.mark.parametrize(
+    "sql",
+    (
+        "CREATE MATERIALIZED VIEW mv AS SELECT a, b FROM t WHERE a > 1",
+        "CREATE MATERIALIZED VIEW mv WITH PROVENANCE AS SELECT a FROM t",
+        "CREATE MATERIALIZED VIEW mv AS "
+        "SELECT x.a, y.b FROM t x JOIN u y ON y.a = x.a",
+        "CREATE MATERIALIZED VIEW mv AS "
+        "SELECT a, count(*) AS n FROM t GROUP BY a",
+        "REFRESH MATERIALIZED VIEW mv",
+        "DROP MATERIALIZED VIEW mv",
+        "DROP MATERIALIZED VIEW IF EXISTS mv",
+    ),
+)
+def test_round_trip_is_stable(sql):
+    statement = _parse_one(sql)
+    printed = format_statement(statement)
+    assert format_statement(_parse_one(printed)) == printed
+
+
+def test_create_parses_to_typed_node():
+    statement = _parse_one(
+        "CREATE MATERIALIZED VIEW mv WITH PROVENANCE AS SELECT a FROM t"
+    )
+    assert isinstance(statement, ast.CreateMaterializedView)
+    assert statement.name == "mv"
+    assert statement.with_provenance
+    assert isinstance(statement.query, ast.Select)
+
+
+def test_refresh_and_drop_parse_to_typed_nodes():
+    refresh = _parse_one("REFRESH MATERIALIZED VIEW mv")
+    assert isinstance(refresh, ast.RefreshMaterializedView)
+    assert refresh.name == "mv"
+    drop = _parse_one("DROP MATERIALIZED VIEW IF EXISTS mv")
+    assert isinstance(drop, ast.DropRelation)
+    assert drop.kind == "materialized view"
+    assert drop.if_exists
+
+
+def test_or_replace_materialized_view_is_rejected():
+    with pytest.raises(ParseError, match="DROP MATERIALIZED VIEW first"):
+        _parse_one("CREATE OR REPLACE MATERIALIZED VIEW mv AS SELECT a FROM t")
+
+
+@pytest.mark.parametrize(
+    "sql",
+    (
+        "CREATE MATERIALIZED VIEW mv",
+        "REFRESH MATERIALIZED mv",
+        "CREATE MATERIALIZED TABLE mv AS SELECT 1",
+    ),
+)
+def test_malformed_statements_raise_parse_errors(sql):
+    with pytest.raises(ParseError):
+        parse_sql(sql)

@@ -168,6 +168,28 @@ class TestStats:
         # Durability counters ride along; the default test server is
         # in-memory, which the stats must say explicitly.
         assert stats["wal"] == {"enabled": False}
+        # Materialized-view bookkeeping is always present (empty here).
+        assert stats["matviews"]["views"] == {}
+
+    def test_stats_report_matview_freshness(self, client):
+        client.query("CREATE TABLE t (a int, g text)")
+        client.query("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        client.query(
+            "CREATE MATERIALIZED VIEW mv AS "
+            "SELECT g, count(*) AS n FROM t GROUP BY g"
+        )
+        matviews = client.stats()["matviews"]
+        assert matviews["views"]["mv"] == {
+            "rows": 2,
+            "stale": False,
+            "delta_safe": False,
+            "with_provenance": False,
+        }
+        client.query("INSERT INTO t VALUES (3, 'x')")
+        assert client.stats()["matviews"]["views"]["mv"]["stale"] is True
+        assert client.stats()["matviews"]["stale_marks"] >= 1
+        client.query("REFRESH MATERIALIZED VIEW mv")
+        assert client.stats()["matviews"]["views"]["mv"]["stale"] is False
 
     def test_stats_count_errors_and_conflicts(self, server, client):
         with pytest.raises(errors.AnalyzeError):

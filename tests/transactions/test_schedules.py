@@ -45,7 +45,7 @@ def test_seed_bank_exercises_conflicts_and_reads():
     totals = {"reads": 0, "commits": 0, "conflicts": 0, "rollbacks": 0}
     for seed in range(12):
         for key, value in run_schedule(generate_schedule(seed), engine="row").items():
-            totals[key] += value
+            totals[key] = totals.get(key, 0) + value
     assert totals["reads"] >= 20
     assert totals["commits"] >= 10
     assert totals["conflicts"] >= 1

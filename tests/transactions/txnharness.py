@@ -81,6 +81,48 @@ DUMP_SQL = {
     "book": "SELECT id, acct, amt FROM book",
 }
 
+# Materialized-view mode (``generate_schedule(..., matviews=True)``):
+# the database additionally carries these matviews over the schedule
+# tables — a delta-safe filter, a delta-safe join, a provenance-carrying
+# one, and a non-delta-safe aggregate (stale-and-recompute path) — and
+# readers query *through* them while writers churn the base tables.
+# The oracle stays first-principles: the scratch database gets plain
+# virtual VIEWs of the same names (reading a fresh matview is required
+# to be bit-identical to unfolding its definition), so every check is
+# still "replay the snapshot plus own writes, run the same SQL".
+MATVIEW_DEFS = {
+    "hot_acct": "SELECT id, grp, bal FROM acct WHERE bal >= 20",
+    "acct_book": (
+        "SELECT a.id, a.grp, b.amt FROM acct a JOIN book b ON b.acct = a.id"
+    ),
+    "grp_tot": "SELECT grp, sum(bal) AS total FROM acct GROUP BY grp",
+}
+MATVIEW_DDL = tuple(
+    f"CREATE MATERIALIZED VIEW {name} AS {defining}"
+    for name, defining in MATVIEW_DEFS.items()
+) + (
+    "CREATE MATERIALIZED VIEW prov_hot WITH PROVENANCE AS "
+    "SELECT id, bal FROM acct WHERE bal >= 40",
+)
+MATVIEW_NAMES = tuple(MATVIEW_DEFS) + ("prov_hot",)
+# The provenance matview has no plain-view twin in the scratch database
+# (virtual views don't store provenance columns); its reads translate to
+# the equivalent SELECT PROVENANCE over the base table instead. Row
+# values compare exactly — the matview stores the same provenance
+# columns the live rewrite produces.
+ORACLE_SQL = {
+    "SELECT * FROM prov_hot": "SELECT PROVENANCE id, bal FROM acct WHERE bal >= 40",
+}
+# Fresh-session checks run after the last step: by then every commit has
+# landed, so an autocommit read through each matview (auto-refreshing
+# the stale aggregate on the way) must match the serial committed state.
+MATVIEW_FINAL_CHECKS = (
+    "SELECT * FROM hot_acct",
+    "SELECT * FROM acct_book",
+    "SELECT grp, total FROM grp_tot ORDER BY grp",
+    "SELECT * FROM prov_hot",
+)
+
 
 @dataclass
 class Step:
@@ -106,9 +148,10 @@ class Schedule:
     seed: int
     initial: dict[str, list[tuple]]
     steps: list[Step]
+    matviews: bool = False
 
     def describe(self) -> str:
-        lines = [f"seed {self.seed}"]
+        lines = [f"seed {self.seed}" + (" (matviews)" if self.matviews else "")]
         for table, rows in self.initial.items():
             lines.append(f"  initial {table}: {rows}")
         lines.extend(f"  {i:3d}. {step.describe()}" for i, step in enumerate(self.steps))
@@ -122,16 +165,19 @@ class ScheduleFailure(AssertionError):
         self.schedule = schedule
         self.engine = engine
         path = _dump_failure(schedule, engine, message)
+        flags = ", matviews=True" if schedule.matviews else ""
         super().__init__(
             f"[seed {schedule.seed}, engine {engine}] {message}\n"
             f"schedule dumped to {path}; replay with: "
-            f"run_schedule(generate_schedule({schedule.seed}), engine={engine!r})"
+            f"run_schedule(generate_schedule({schedule.seed}{flags}), "
+            f"engine={engine!r})"
         )
 
 
 def _dump_failure(schedule: Schedule, engine: str, message: str) -> str:
     os.makedirs(FAILURE_DIR, exist_ok=True)
-    path = os.path.join(FAILURE_DIR, f"seed_{schedule.seed}_{engine}.txt")
+    variant = "_mv" if schedule.matviews else ""
+    path = os.path.join(FAILURE_DIR, f"seed_{schedule.seed}{variant}_{engine}.txt")
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(message + "\n\n" + schedule.describe() + "\n")
     return path
@@ -143,10 +189,12 @@ def _dump_failure(schedule: Schedule, engine: str, message: str) -> str:
 
 
 def generate_schedule(
-    seed: int, transactions: int = 4, max_ops: int = 5
+    seed: int, transactions: int = 4, max_ops: int = 5, matviews: bool = False
 ) -> Schedule:
     """A deterministic schedule from *seed*: *transactions* interleaved
-    transactions of up to *max_ops* DML/read operations each."""
+    transactions of up to *max_ops* DML/read operations each. With
+    *matviews*, reads also go through the schedule's materialized views
+    (``matviews=False`` schedules are bit-identical to earlier seeds)."""
     rng = random.Random(seed)
     groups = ["a", "b", "c"]
     initial = {
@@ -179,7 +227,7 @@ def generate_schedule(
                 ops.append(_random_write(rng, txn, next_id))
                 next_id += 10
             else:
-                ops.append(Step(txn, "read", _random_read(rng)))
+                ops.append(Step(txn, "read", _random_read(rng, matviews)))
         end = "commit" if rng.random() < 0.75 else "rollback"
         ops.append(Step(txn, end, end.upper()))
         per_txn.append(ops)
@@ -192,7 +240,7 @@ def generate_schedule(
         txn = rng.choice(candidates)
         steps.append(per_txn[txn][cursors[txn]])
         cursors[txn] += 1
-    return Schedule(seed=seed, initial=initial, steps=steps)
+    return Schedule(seed=seed, initial=initial, steps=steps, matviews=matviews)
 
 
 def _random_write(rng: random.Random, txn: int, next_id: int) -> Step:
@@ -222,7 +270,7 @@ def _random_write(rng: random.Random, txn: int, next_id: int) -> Step:
     return Step(txn, "dml", f"DELETE FROM book WHERE amt < {bound}", table="book")
 
 
-def _random_read(rng: random.Random) -> str:
+def _random_read(rng: random.Random, matviews: bool = False) -> str:
     queries = [
         "SELECT id, grp, bal FROM acct",
         "SELECT grp, sum(bal) FROM acct GROUP BY grp ORDER BY grp",
@@ -233,6 +281,16 @@ def _random_read(rng: random.Random) -> str:
         "SELECT sum(bal) FROM acct",
         "SELECT count(*) FROM book",
     ]
+    if matviews:
+        queries += [
+            "SELECT * FROM hot_acct",
+            "SELECT id, bal FROM hot_acct WHERE bal < {n}",
+            "SELECT grp, count(*) FROM hot_acct GROUP BY grp ORDER BY grp",
+            "SELECT * FROM acct_book",
+            "SELECT h.id, h.bal, b.amt FROM hot_acct h JOIN book b ON b.acct = h.id",
+            "SELECT grp, total FROM grp_tot ORDER BY grp",
+            "SELECT * FROM prov_hot",
+        ]
     sql = rng.choice(queries)
     return sql.format(n=rng.randrange(0, 80), m=rng.randrange(-30, 30))
 
@@ -247,10 +305,16 @@ class Scratch:
     states and results from first principles (always the row engine,
     independently of the engine under test)."""
 
-    def __init__(self) -> None:
+    def __init__(self, matviews: bool = False) -> None:
         self.conn = repro.connect(engine="row")
         for sql in SCHEMA_SQL:
             self.conn.execute(sql)
+        if matviews:
+            # Plain virtual views under the matview names: the oracle's
+            # statement of "a matview read is the unfolded query over
+            # the visible snapshot", with no materialization machinery.
+            for name, defining in MATVIEW_DEFS.items():
+                self.conn.execute(f"CREATE VIEW {name} AS {defining}")
 
     def reset(self, state: dict[str, list[tuple]]) -> None:
         for table in TABLES:
@@ -371,8 +435,11 @@ def run_schedule(schedule: Schedule, engine: str = "row") -> dict[str, int]:
         setup.execute(sql)
     for table, rows in schedule.initial.items():
         setup.load_rows(table, rows)
+    if schedule.matviews:
+        for sql in MATVIEW_DDL:
+            setup.execute(sql)
 
-    scratch = Scratch()
+    scratch = Scratch(matviews=schedule.matviews)
     # The serially-evolving committed state, with the oracle's own row
     # identities (updated only at commits).
     alloc = itertools.count(1)
@@ -385,7 +452,13 @@ def run_schedule(schedule: Schedule, engine: str = "row") -> dict[str, int]:
     last_write: dict[int, int] = {}
 
     txns: dict[int, _TxnState] = {}
-    counters = {"reads": 0, "commits": 0, "conflicts": 0, "rollbacks": 0}
+    counters = {
+        "reads": 0,
+        "commits": 0,
+        "conflicts": 0,
+        "rollbacks": 0,
+        "matview_reads": 0,
+    }
 
     def fail(step_index: int, step: Step, message: str) -> None:
         raise ScheduleFailure(
@@ -418,8 +491,9 @@ def run_schedule(schedule: Schedule, engine: str = "row") -> dict[str, int]:
                     break
         elif step.kind == "read":
             actual = state.conn.execute(step.sql)
+            oracle_sql = ORACLE_SQL.get(step.sql, step.sql)
             scratch.replay(state.snapshot_rows, state.dml)
-            expected_rows = scratch.query(step.sql)
+            expected_rows = scratch.query(oracle_sql)
             if actual.fetchall() != expected_rows:
                 scratch.replay(state.snapshot_rows, state.dml)
                 fail(
@@ -431,6 +505,8 @@ def run_schedule(schedule: Schedule, engine: str = "row") -> dict[str, int]:
                     f"  actual:   {state.conn.execute(step.sql).fetchall()}",
                 )
             counters["reads"] += 1
+            if any(name in step.sql for name in MATVIEW_NAMES):
+                counters["matview_reads"] += 1
         elif step.kind == "rollback":
             state.conn.execute("ROLLBACK")
             state.finished = True
@@ -521,6 +597,22 @@ def run_schedule(schedule: Schedule, engine: str = "row") -> dict[str, int]:
             schedule,
             engine,
         )
+    if schedule.matviews:
+        # Autocommit reads through every matview (auto-refreshing any
+        # view the commits left stale) must agree with the serial
+        # committed state — incremental maintenance and recompute both
+        # land on the unfolded answer.
+        scratch.reset(_content(committed))
+        for sql in MATVIEW_FINAL_CHECKS:
+            expected = scratch.query(ORACLE_SQL.get(sql, sql))
+            observed = setup.execute(sql).fetchall()
+            if observed != expected:
+                raise ScheduleFailure(
+                    f"materialized view diverged after the last commit:\n"
+                    f"  {sql}\n  expected {expected}\n  observed {observed}",
+                    schedule,
+                    engine,
+                )
     scratch.close()
     setup.close()
     return counters
